@@ -1,0 +1,50 @@
+//! Criterion bench for paper Table 4 / Fig. 14: Basic Testing queries on
+//! the in-process engines (the batch engines are excluded here — their
+//! simulated job latency would drown the measurement; the repro binary
+//! covers them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use s2rdf_bench::dataset;
+use s2rdf_core::engines::centralized::CentralizedEngine;
+use s2rdf_core::engines::property_table::PropertyTableEngine;
+use s2rdf_core::engines::triples_table::TriplesTableEngine;
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::Workload;
+
+fn bench_basic(c: &mut Criterion) {
+    let data = dataset(1);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let extvp = store.engine(true);
+    let vp = store.engine(false);
+    let tt = TriplesTableEngine::new(&data.graph);
+    let pt = PropertyTableEngine::new(&data.graph);
+    let central = CentralizedEngine::new(&data.graph);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("table4_basic");
+    group.sample_size(10);
+    for template in &Workload::basic_testing().templates {
+        let query = template.instantiate(&data, &mut rng);
+        let engines: [(&str, &dyn SparqlEngine); 5] = [
+            ("extvp", &extvp),
+            ("vp", &vp),
+            ("pt", &pt),
+            ("tt", &tt),
+            ("central", &central),
+        ];
+        for (label, engine) in engines {
+            group.bench_function(format!("{}/{label}", template.name), |b| {
+                b.iter(|| engine.query(&query).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_basic);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for paper Table 5 / Fig. 15: Incremental Linear
+//! Testing — runtime vs query diameter for ExtVP and VP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use s2rdf_bench::dataset;
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::Workload;
+
+fn bench_il(c: &mut Criterion) {
+    let data = dataset(1);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let extvp = store.engine(true);
+    let vp = store.engine(false);
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut group = c.benchmark_group("table5_il");
+    group.sample_size(10);
+    for template in &Workload::incremental_linear().templates {
+        let query = template.instantiate(&data, &mut rng);
+        group.bench_function(format!("{}/extvp", template.name), |b| {
+            b.iter(|| extvp.query(&query).unwrap())
+        });
+        group.bench_function(format!("{}/vp", template.name), |b| {
+            b.iter(|| vp.query(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_il);
+criterion_main!(benches);

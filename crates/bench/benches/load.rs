@@ -1,0 +1,55 @@
+//! Criterion bench for paper Table 2: data-load (layout construction)
+//! costs — VP build, ExtVP build, and competitor layout builds.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use s2rdf_bench::dataset;
+use s2rdf_core::engines::centralized::CentralizedEngine;
+use s2rdf_core::engines::property_table::PropertyTableEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+
+fn bench_load(c: &mut Criterion) {
+    let data = dataset(1);
+    let mut group = c.benchmark_group("table2_load");
+    group.sample_size(10);
+
+    group.bench_function("vp_only", |b| {
+        b.iter(|| {
+            S2rdfStore::build(
+                &data.graph,
+                &BuildOptions {  threshold: 1.0, build_extvp: false, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("extvp_full", |b| {
+        b.iter(|| S2rdfStore::build(&data.graph, &BuildOptions::default()))
+    });
+    group.bench_function("extvp_threshold_0_25", |b| {
+        b.iter(|| {
+            S2rdfStore::build(
+                &data.graph,
+                &BuildOptions {  threshold: 0.25, build_extvp: true, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("property_table", |b| {
+        b.iter(|| PropertyTableEngine::new(&data.graph))
+    });
+    group.bench_function("centralized_six_indexes", |b| {
+        b.iter(|| CentralizedEngine::new(&data.graph))
+    });
+    group.bench_function("save_to_disk", |b| {
+        let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+        let dir = std::env::temp_dir().join(format!("s2rdf-bench-save-{}", std::process::id()));
+        b.iter_batched(
+            || (),
+            |_| store.save(&dir).unwrap(),
+            BatchSize::PerIteration,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_load);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for paper Table 3 / Fig. 13: Selectivity Testing,
+//! ExtVP vs VP per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use s2rdf_bench::dataset;
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::Workload;
+
+fn bench_st(c: &mut Criterion) {
+    let data = dataset(1);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let extvp = store.engine(true);
+    let vp = store.engine(false);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+
+    let mut group = c.benchmark_group("table3_st");
+    group.sample_size(10);
+    for template in &Workload::selectivity_testing().templates {
+        let query = template.instantiate(&data, &mut rng);
+        group.bench_function(format!("{}/extvp", template.name), |b| {
+            b.iter(|| extvp.query(&query).unwrap())
+        });
+        group.bench_function(format!("{}/vp", template.name), |b| {
+            b.iter(|| vp.query(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_st);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for paper Table 6 / Fig. 16: Basic Testing runtime as a
+//! function of the SF threshold the store was built with.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use s2rdf_bench::dataset;
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::Workload;
+
+fn bench_threshold(c: &mut Criterion) {
+    let data = dataset(1);
+    let basic = Workload::basic_testing();
+    let mut group = c.benchmark_group("table6_threshold");
+    group.sample_size(10);
+
+    for threshold in [0.0, 0.25, 1.0] {
+        let store = S2rdfStore::build(
+            &data.graph,
+            &BuildOptions {  threshold, build_extvp: true, ..Default::default() },
+        );
+        let engine = store.engine(true);
+        // One representative query per category.
+        for name in ["L2", "S3", "F5", "C3"] {
+            let template = basic.get(name).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            let query = template.instantiate(&data, &mut rng);
+            group.bench_function(format!("th_{threshold:.2}/{name}"), |b| {
+                b.iter(|| engine.query(&query).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Reproduces **Table 2**: WatDiv load times and store sizes for S2RDF
+//! VP/ExtVP and the competitor layouts, across scale factors.
+//!
+//! Usage: `repro_table2 [--scales 1,2,3]`
+
+use std::time::Instant;
+
+use s2rdf_bench::{dataset, print_row, Args};
+use s2rdf_core::engines::centralized::CentralizedEngine;
+use s2rdf_core::engines::property_table::PropertyTableEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_model::ntriples;
+
+fn main() {
+    let args = Args::parse();
+    let scales: Vec<u32> = args
+        .get("scales", "1,2,3".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+
+    println!("== Table 2: load times and store sizes (laptop-scaled) ==");
+    println!("paper: SF10..SF10000 on a 10-node cluster; here: SF{scales:?} on one machine\n");
+
+    let header: Vec<String> = std::iter::once("metric".to_string())
+        .chain(scales.iter().map(|s| format!("SF{s}")))
+        .collect();
+    let widths: Vec<usize> = std::iter::once(34usize)
+        .chain(scales.iter().map(|_| 14usize))
+        .collect();
+
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["tuples: original (|G|)".into()],
+        vec!["tuples: VP".into()],
+        vec!["tuples: ExtVP (0<SF<1)".into()],
+        vec!["size: original N-Triples".into()],
+        vec!["size: VP".into()],
+        vec!["size: ExtVP".into()],
+        vec!["size: TT (batch engines)".into()],
+        vec!["size: Centralized (6 indexes)".into()],
+        vec!["load: VP".into()],
+        vec!["load: ExtVP (incl. VP)".into()],
+        vec!["load: PropertyTable".into()],
+        vec!["load: Centralized".into()],
+        vec!["tables: VP".into()],
+        vec!["tables: ExtVP".into()],
+        vec!["tables: total".into()],
+        vec!["ExtVP tables SF=1 (not stored)".into()],
+        vec!["ExtVP empty pairs (stats only)".into()],
+    ];
+
+    for &scale in &scales {
+        eprintln!("generating SF{scale}…");
+        let data = dataset(scale);
+        let n = data.graph.len();
+
+        // Original N-Triples size.
+        let mut nt = Vec::new();
+        ntriples::write_graph(&data.graph, &mut nt).expect("serialize N-Triples");
+
+        // VP-only build (paper's "load VP" row).
+        let vp_start = Instant::now();
+        let vp_store =
+            S2rdfStore::build(&data.graph, &BuildOptions {  threshold: 1.0, build_extvp: false, ..Default::default() });
+        let vp_time = vp_start.elapsed();
+
+        // Full ExtVP build.
+        let ext_start = Instant::now();
+        let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+        let ext_time = ext_start.elapsed();
+
+        // Competitor layouts.
+        let pt_start = Instant::now();
+        let _pt = PropertyTableEngine::new(&data.graph);
+        let pt_time = pt_start.elapsed();
+        let cz_start = Instant::now();
+        let central = CentralizedEngine::new(&data.graph);
+        let cz_time = cz_start.elapsed();
+
+        // Persisted sizes.
+        let dir = std::env::temp_dir().join(format!("s2rdf-table2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store.save(&dir).expect("save store");
+        let (tt_size, vp_size, extvp_size) = S2rdfStore::disk_sizes(&dir).expect("disk sizes");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let summary = store.catalog().extvp_summary();
+        let num_preds = store.catalog().num_predicates();
+        // Empty pairs = all possible SS/OS/SO pairs minus recorded ones.
+        let possible = num_preds * (num_preds - 1) + 2 * num_preds * num_preds;
+        let recorded = store.catalog().extvp_stats().count();
+
+        let mb = |bytes: u64| format!("{:.1} MB", bytes as f64 / 1e6);
+        let secs = |d: std::time::Duration| format!("{:.2} s", d.as_secs_f64());
+        let cells = [
+            format!("{n}"),
+            format!("{}", store.vp_tuples()),
+            format!("{}", store.extvp_tuples()),
+            mb(nt.len() as u64),
+            mb(vp_size),
+            mb(extvp_size + vp_size),
+            mb(tt_size),
+            format!("{} entries", central.index_entries()),
+            secs(vp_time),
+            secs(ext_time),
+            secs(pt_time),
+            secs(cz_time),
+            format!("{num_preds}"),
+            format!("{}", store.num_extvp_tables()),
+            format!("{}", num_preds + store.num_extvp_tables()),
+            format!("{}", summary.sf_one_tables),
+            format!("{}", possible - recorded),
+        ];
+        for (row, cell) in rows.iter_mut().zip(cells) {
+            row.push(cell);
+        }
+        let _ = vp_store; // built only for its load time
+    }
+
+    print_row(&header, &widths);
+    for row in &rows {
+        let mut cells = row.clone();
+        let name = cells.remove(0);
+        let mut all = vec![name];
+        all.extend(cells);
+        print_row(&all, &widths);
+    }
+    println!("\nExtVP/VP tuple ratio should sit near the paper's ~11x (no threshold),");
+    println!("and >90% of possible ExtVP tables should be empty or SF=1 (paper §5.3).");
+}

@@ -1,0 +1,104 @@
+//! Minimal argument parsing: a subcommand followed by `--key value` pairs
+//! and `--flag` booleans.
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+pub struct Args {
+    command: Option<String>,
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument iterator (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                out.command = iter.next();
+            }
+        }
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                // Stray positional: treat as unknown flag to surface typos.
+                out.flags.push(arg);
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    out.pairs.push((name.to_string(), value));
+                }
+                _ => out.flags.push(name.to_string()),
+            }
+        }
+        out
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A required `--name value`.
+    pub fn value(&self, name: &str) -> Result<String, String> {
+        self.opt_value(name)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing --{name} <value>"))
+    }
+
+    /// An optional `--name value`.
+    pub fn opt_value(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether `--name` was given as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_pairs() {
+        let a = parse("load --data x.nt --store ./db --threshold 0.25");
+        assert_eq!(a.command(), Some("load"));
+        assert_eq!(a.value("data").unwrap(), "x.nt");
+        assert_eq!(a.opt_value("threshold"), Some("0.25"));
+        assert!(a.value("missing").is_err());
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse("query --store db --explain --no-extvp --query SELECT");
+        assert!(a.flag("explain"));
+        assert!(a.flag("no-extvp"));
+        assert!(!a.flag("stdin"));
+        assert_eq!(a.opt_value("query"), Some("SELECT"));
+    }
+
+    #[test]
+    fn no_subcommand() {
+        let a = parse("--help");
+        assert_eq!(a.command(), None);
+        assert!(a.flag("help"));
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse("stats --store db --explain");
+        assert_eq!(a.opt_value("store"), Some("db"));
+        assert!(a.flag("explain"));
+    }
+}

@@ -1,0 +1,200 @@
+//! `s2rdf` — command-line front end for the S2RDF reproduction.
+//!
+//! ```text
+//! s2rdf generate --scale 1 [--seed 42] --out data.nt
+//! s2rdf load     --data data.nt --store ./db [--threshold 1.0]
+//!                [--mode rows|bits|lazy] [--no-extvp] [--oo]
+//! s2rdf stats    --store ./db
+//! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
+//!                [--explain] [--no-extvp]
+//! ```
+
+use std::io::Read;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use s2rdf_core::exec::QueryOptions;
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::layout::extvp::ExtVpMode;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_model::ntriples;
+use s2rdf_watdiv::{generate, Config};
+
+mod args;
+use args::Args;
+
+const USAGE: &str = "usage:
+  s2rdf generate --scale <N> [--seed <S>] --out <file.nt>
+  s2rdf load     --data <file.nt> --store <dir> [--threshold <0..1>]
+                 [--mode rows|bits|lazy] [--no-extvp] [--oo]
+  s2rdf stats    --store <dir>
+  s2rdf query    --store <dir> (--query <sparql> | --file <q.rq>)
+                 [--explain] [--no-extvp] [--intersect] [--max-print <N>]";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command() {
+        Some("generate") => cmd_generate(&args),
+        Some("load") => cmd_load(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("query") => cmd_query(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let scale: u32 = args.value("scale")?.parse().map_err(|_| "bad --scale")?;
+    let seed: u64 = args.opt_value("seed").map_or(Ok(42), |s| {
+        s.parse().map_err(|_| "bad --seed".to_string())
+    })?;
+    let out = args.value("out")?;
+    eprintln!("generating WatDiv-style data at SF{scale} (seed {seed})…");
+    let start = Instant::now();
+    let data = generate(&Config { scale, seed });
+    let mut file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+    ntriples::write_graph(&data.graph, &mut file).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} triples to {out} in {:.2?}",
+        data.graph.len(),
+        start.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let data_path = args.value("data")?;
+    let store_dir = args.value("store")?;
+    let threshold: f64 = args.opt_value("threshold").map_or(Ok(1.0), |s| {
+        s.parse().map_err(|_| "bad --threshold".to_string())
+    })?;
+    let mode_label = args.opt_value("mode").unwrap_or("rows");
+    let mode = ExtVpMode::from_label(mode_label)
+        .ok_or(format!("bad --mode {mode_label} (rows|bits|lazy)"))?;
+    let options = BuildOptions {
+        threshold,
+        build_extvp: !args.flag("no-extvp"),
+        mode,
+        include_oo: args.flag("oo"),
+    };
+
+    eprintln!("reading {data_path}…");
+    let file = std::fs::File::open(&data_path).map_err(|e| e.to_string())?;
+    let graph =
+        ntriples::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    eprintln!("{} triples; building store ({options:?})…", graph.len());
+    let start = Instant::now();
+    let store = S2rdfStore::build(&graph, &options);
+    eprintln!(
+        "built in {:.2?}: {} VP tables, {} ExtVP partitions ({} tuples)",
+        start.elapsed(),
+        store.catalog().num_predicates(),
+        store.num_extvp_tables(),
+        store.extvp_tuples()
+    );
+    store.save(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    eprintln!("saved to {store_dir}");
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let store_dir = args.value("store")?;
+    let store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    let catalog = store.catalog();
+    println!("store: {store_dir}");
+    println!("  triples (|G|):        {}", catalog.total_triples);
+    println!("  predicates:           {}", catalog.num_predicates());
+    println!("  ExtVP built:          {}", catalog.extvp_built);
+    println!("  ExtVP mode:           {:?}", store.mode());
+    println!("  OO correlations:      {}", catalog.oo_built);
+    println!("  SF threshold:         {}", catalog.threshold);
+    println!("  ExtVP partitions:     {}", store.num_extvp_tables());
+    println!("  ExtVP tuples:         {}", store.extvp_tuples());
+    let summary = catalog.extvp_summary();
+    println!("  SF=1 (not stored):    {}", summary.sf_one_tables);
+    println!("  over threshold:       {}", summary.over_threshold_tables);
+    println!("\nlargest VP tables:");
+    let mut sizes: Vec<_> = catalog.vp_sizes().collect();
+    sizes.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (p, n) in sizes.into_iter().take(10) {
+        let share = n as f64 / catalog.total_triples as f64;
+        println!("  {:>9} ({:>5.1}%)  {}", n, 100.0 * share, store.dict().term(p));
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let store_dir = args.value("store")?;
+    let sparql = read_query_text(args)?;
+    let max_print: usize = args.opt_value("max-print").map_or(Ok(20), |s| {
+        s.parse().map_err(|_| "bad --max-print".to_string())
+    })?;
+
+    let store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    let engine = store.engine(!args.flag("no-extvp"));
+    let options = QueryOptions {
+        intersect_correlations: args.flag("intersect"),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let (solutions, explain) = engine
+        .query_opt(&sparql, &options)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+
+    if args.flag("explain") {
+        if explain.statically_empty {
+            println!("-- proven empty from ExtVP statistics; nothing executed");
+        }
+        for step in &explain.bgp_steps {
+            println!("-- scan {} → {} rows (SF {:.2})", step.table, step.rows, step.sf);
+        }
+        println!(
+            "-- naive join comparisons: {}",
+            explain.naive_join_comparisons
+        );
+    }
+    println!("{} solutions in {elapsed:.2?} [{}]", solutions.len(), engine.name());
+    if !solutions.is_empty() {
+        println!("{}", solutions.vars.join("\t"));
+        for (i, row) in solutions.iter().enumerate() {
+            if i >= max_print {
+                println!("… ({} more rows)", solutions.len() - max_print);
+                break;
+            }
+            let cells: Vec<String> = row
+                .iter()
+                .map(|(_, t)| t.map_or("∅".to_string(), |t| t.to_string()))
+                .collect();
+            println!("{}", cells.join("\t"));
+        }
+    }
+    Ok(())
+}
+
+fn read_query_text(args: &Args) -> Result<String, String> {
+    if let Some(q) = args.opt_value("query") {
+        return Ok(q.to_string());
+    }
+    if let Some(path) = args.opt_value("file") {
+        return std::fs::read_to_string(path).map_err(|e| e.to_string());
+    }
+    if args.flag("stdin") {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        return Ok(buf);
+    }
+    Err("need --query, --file or --stdin".to_string())
+}

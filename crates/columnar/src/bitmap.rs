@@ -1,0 +1,173 @@
+//! Fixed-length bitmaps over table row indices.
+//!
+//! Used by the compact ExtVP representation (the S2RDF paper's §8 future
+//! work): instead of materializing a semi-join reduction's tuples, store
+//! one bit per base-table row — `⌈|VP_p1|/8⌉` bytes instead of 8 bytes per
+//! surviving tuple.
+
+use crate::error::ColumnarError;
+use crate::table::Table;
+
+/// A fixed-length bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap covering `len` rows.
+    pub fn new(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Builds a bitmap of length `len` with the given bits set.
+    pub fn from_indices(len: usize, indices: &[u32]) -> Bitmap {
+        let mut bm = Bitmap::new(len);
+        for &i in indices {
+            bm.set(i as usize);
+        }
+        bm
+    }
+
+    /// Number of covered rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Gathers the rows whose bits are set from `table` (which must have
+    /// exactly `len` rows) — materializing the reduction this bitmap
+    /// encodes.
+    pub fn gather(&self, table: &Table) -> Table {
+        assert_eq!(table.num_rows(), self.len, "bitmap/table length mismatch");
+        let indices: Vec<usize> = self.iter_ones().collect();
+        table.gather(&indices)
+    }
+
+    /// Bitmap payload size in bytes (the compact representation's storage
+    /// cost).
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Serializes as `len (u64 LE)` followed by the words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the [`Bitmap::to_bytes`] format.
+    pub fn from_bytes(data: &[u8]) -> Result<Bitmap, ColumnarError> {
+        if data.len() < 8 || !(data.len() - 8).is_multiple_of(8) {
+            return Err(ColumnarError::CorruptFile("bad bitmap length".into()));
+        }
+        let len = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
+        let words: Vec<u64> = data[8..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if words.len() != len.div_ceil(64) {
+            return Err(ColumnarError::CorruptFile("bitmap word count mismatch".into()));
+        }
+        Ok(Bitmap { words, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn set_get_count() {
+        let mut bm = Bitmap::new(130);
+        assert_eq!(bm.count_ones(), 0);
+        for i in [0, 63, 64, 129] {
+            bm.set(i);
+            assert!(bm.get(i));
+        }
+        assert!(!bm.get(1));
+        assert_eq!(bm.count_ones(), 4);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn from_indices_matches_manual() {
+        let bm = Bitmap::from_indices(100, &[5, 50, 99]);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![5, 50, 99]);
+    }
+
+    #[test]
+    fn gather_materializes_rows() {
+        let t = Table::from_rows(Schema::new(["s", "o"]), &[[1, 2], [3, 4], [5, 6]]);
+        let bm = Bitmap::from_indices(3, &[0, 2]);
+        let g = bm.gather(&t);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.row_vec(1), vec![5, 6]);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bm = Bitmap::from_indices(1000, &[0, 1, 500, 999]);
+        let back = Bitmap::from_bytes(&bm.to_bytes()).unwrap();
+        assert_eq!(back, bm);
+        assert!(Bitmap::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn compactness() {
+        // 1 M rows → 125 KB bitmap, vs 8 B/tuple for a dense reduction.
+        let bm = Bitmap::new(1_000_000);
+        assert_eq!(bm.byte_size(), 1_000_000usize.div_ceil(64) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        Bitmap::new(10).set(10);
+    }
+}

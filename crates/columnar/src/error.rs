@@ -1,0 +1,45 @@
+//! Error type for the columnar substrate.
+
+use std::fmt;
+
+/// Errors raised by table construction, operators, or the table store.
+#[derive(Debug)]
+pub enum ColumnarError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// Two schemas are incompatible for the attempted operation.
+    SchemaMismatch(String),
+    /// A persisted table file is corrupt or has an unsupported version.
+    CorruptFile(String),
+    /// A named table does not exist in the store.
+    NoSuchTable(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            ColumnarError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ColumnarError::CorruptFile(m) => write!(f, "corrupt table file: {m}"),
+            ColumnarError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            ColumnarError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColumnarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ColumnarError {
+    fn from(e: std::io::Error) -> Self {
+        ColumnarError::Io(e)
+    }
+}

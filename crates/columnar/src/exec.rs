@@ -1,0 +1,192 @@
+//! Data-parallel execution: partitioned hash joins.
+//!
+//! Spark executes joins by shuffling both inputs into hash partitions and
+//! joining partitions in parallel across the cluster. This module is the
+//! shared-memory analogue: rows are partitioned by a multiplicative hash of
+//! their join key, partition pairs are joined on scoped threads, and the
+//! partial results are concatenated. Small inputs skip partitioning — the
+//! same "little setup overhead" property of Spark the paper's
+//! pre-evaluation leans on (§5).
+
+use std::cmp::Ordering;
+
+use crate::ops;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Probe-side row count below which partitioning is not worth the copies.
+pub const PARALLEL_ROW_THRESHOLD: usize = 1 << 15;
+
+/// Fibonacci-hash a key value into one of `parts` partitions.
+#[inline]
+fn partition_of(key: u64, parts: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % parts
+}
+
+fn key_of(table: &Table, keys: &[usize], row: usize) -> u64 {
+    let mut k: u64 = 0;
+    for &c in keys {
+        k = k
+            .rotate_left(27)
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(table.value(row, c) as u64);
+    }
+    k
+}
+
+fn split(table: &Table, keys: &[usize], parts: usize) -> Vec<Table> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for row in 0..table.num_rows() {
+        buckets[partition_of(key_of(table, keys, row), parts)].push(row);
+    }
+    buckets.into_iter().map(|idx| table.gather(&idx)).collect()
+}
+
+/// Concatenates tables with identical schemas.
+pub fn concat(schema: Schema, tables: Vec<Table>) -> Table {
+    let mut out = Table::empty(schema);
+    out.reserve(tables.iter().map(Table::num_rows).sum());
+    for t in tables {
+        debug_assert_eq!(t.schema(), out.schema());
+        for row in 0..t.num_rows() {
+            out.push_row_from(&t, row);
+        }
+    }
+    out
+}
+
+/// How many worker threads to use for parallel joins.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Natural join that partitions both sides by join-key hash and joins the
+/// partition pairs on scoped threads. Row order of the result is
+/// partition-major (a permutation of the serial join's bag).
+pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
+    let common = left.schema().common_columns(right.schema());
+    if common.is_empty() || parts <= 1 {
+        return ops::natural_join(left, right);
+    }
+    let left_keys: Vec<usize> = common
+        .iter()
+        .map(|c| left.schema().index_of(c).unwrap())
+        .collect();
+    let right_keys: Vec<usize> = common
+        .iter()
+        .map(|c| right.schema().index_of(c).unwrap())
+        .collect();
+
+    let left_parts = split(left, &left_keys, parts);
+    let right_parts = split(right, &right_keys, parts);
+
+    let results: Vec<Table> = std::thread::scope(|scope| {
+        let handles: Vec<_> = left_parts
+            .iter()
+            .zip(&right_parts)
+            .map(|(l, r)| scope.spawn(move || ops::natural_join(l, r)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+    });
+
+    let schema = results
+        .first()
+        .map(|t| t.schema().clone())
+        .expect("at least one partition");
+    concat(schema, results)
+}
+
+/// Chooses between the serial and partitioned join based on input sizes.
+pub fn natural_join_auto(left: &Table, right: &Table) -> Table {
+    let probe = left.num_rows().max(right.num_rows());
+    if probe >= PARALLEL_ROW_THRESHOLD {
+        par_natural_join(left, right, default_parallelism())
+    } else {
+        ops::natural_join(left, right)
+    }
+}
+
+/// Canonical multiset form of a table's rows (sorted row vectors) — used by
+/// tests and by engine-equivalence checks, where row order is unspecified.
+pub fn row_multiset(table: &Table) -> Vec<Vec<u32>> {
+    let mut rows: Vec<Vec<u32>> = (0..table.num_rows()).map(|i| table.row_vec(i)).collect();
+    rows.sort_unstable_by(|a, b| {
+        for (x, y) in a.iter().zip(b) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(schema: &[&str], rows: &[Vec<u32>]) -> Table {
+        Table::from_rows(Schema::new(schema.iter().map(|s| s.to_string())), rows)
+    }
+
+    fn random_table(schema: &[&str], n: usize, card: u32, seed: u64) -> Table {
+        // Tiny deterministic LCG; avoids a dev-dependency in unit tests.
+        let mut state = seed.wrapping_add(0x853c49e6748fea9b);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % card
+        };
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|_| (0..schema.len()).map(|_| next()).collect())
+            .collect();
+        table(schema, &rows)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let l = random_table(&["a", "k"], 5000, 64, 1);
+        let r = random_table(&["k", "b"], 5000, 64, 2);
+        let serial = ops::natural_join(&l, &r);
+        for parts in [2, 3, 8] {
+            let par = par_natural_join(&l, &r, parts);
+            assert_eq!(row_multiset(&par), row_multiset(&serial), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn parallel_multi_key_matches_serial() {
+        let l = random_table(&["a", "k1", "k2"], 2000, 8, 3);
+        let r = random_table(&["k1", "k2", "b"], 2000, 8, 4);
+        let serial = ops::natural_join(&l, &r);
+        let par = par_natural_join(&l, &r, 4);
+        assert_eq!(row_multiset(&par), row_multiset(&serial));
+    }
+
+    #[test]
+    fn auto_dispatch_small_input() {
+        let l = table(&["a", "k"], &[vec![1, 2]]);
+        let r = table(&["k", "b"], &[vec![2, 3]]);
+        let j = natural_join_auto(&l, &r);
+        assert_eq!(j.num_rows(), 1);
+    }
+
+    #[test]
+    fn concat_preserves_rows() {
+        let a = table(&["x"], &[vec![1], vec![2]]);
+        let b = table(&["x"], &[vec![3]]);
+        let schema = a.schema().clone();
+        let c = concat(schema, vec![a, b]);
+        assert_eq!(c.column(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_partitions_are_fine() {
+        let l = table(&["a", "k"], &[vec![1, 7]]);
+        let r = table(&["k", "b"], &[vec![7, 9]]);
+        let j = par_natural_join(&l, &r, 16);
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.row_vec(0), vec![1, 7, 9]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Persistent table store: the stand-in for Parquet files on HDFS.
+//!
+//! Tables are serialized one file per table into a store directory, in a
+//! small columnar format with per-column lightweight compression (choosing
+//! per column between a plain varint stream and run-length encoding —
+//! standing in for Parquet's RLE + snappy, see DESIGN.md). A `manifest.tsv`
+//! maps logical table names (which contain characters like `|` that the
+//! ExtVP naming scheme uses) to on-disk file names.
+
+use std::fs;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use rustc_hash::FxHashMap;
+
+use crate::error::ColumnarError;
+use crate::schema::Schema;
+use crate::table::Table;
+
+const MAGIC: &[u8; 4] = b"S2CT";
+const VERSION: u8 = 1;
+const ENC_PLAIN: u8 = 0;
+const ENC_RLE: u8 = 1;
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, ColumnarError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *data
+            .get(*pos)
+            .ok_or_else(|| ColumnarError::CorruptFile("truncated varint".into()))?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(ColumnarError::CorruptFile("varint overflow".into()));
+        }
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+/// Encodes one column, picking the smaller of plain-varint and RLE.
+fn encode_column(col: &[u32], out: &mut Vec<u8>) {
+    let mut plain_size = 0usize;
+    let mut rle_size = 0usize;
+    let mut i = 0;
+    while i < col.len() {
+        let mut run = 1;
+        while i + run < col.len() && col[i + run] == col[i] {
+            run += 1;
+        }
+        rle_size += varint_len(col[i] as u64) + varint_len(run as u64);
+        i += run;
+    }
+    for &v in col {
+        plain_size += varint_len(v as u64);
+    }
+
+    if rle_size < plain_size {
+        out.push(ENC_RLE);
+        let mut body = Vec::with_capacity(rle_size);
+        let mut i = 0;
+        while i < col.len() {
+            let mut run = 1;
+            while i + run < col.len() && col[i + run] == col[i] {
+                run += 1;
+            }
+            write_varint(&mut body, col[i] as u64);
+            write_varint(&mut body, run as u64);
+            i += run;
+        }
+        write_varint(out, body.len() as u64);
+        out.extend_from_slice(&body);
+    } else {
+        out.push(ENC_PLAIN);
+        let mut body = Vec::with_capacity(plain_size);
+        for &v in col {
+            write_varint(&mut body, v as u64);
+        }
+        write_varint(out, body.len() as u64);
+        out.extend_from_slice(&body);
+    }
+}
+
+fn decode_column(data: &[u8], pos: &mut usize, nrows: usize) -> Result<Vec<u32>, ColumnarError> {
+    let tag = *data
+        .get(*pos)
+        .ok_or_else(|| ColumnarError::CorruptFile("missing column tag".into()))?;
+    *pos += 1;
+    let body_len = read_varint(data, pos)? as usize;
+    let end = *pos + body_len;
+    if end > data.len() {
+        return Err(ColumnarError::CorruptFile("truncated column body".into()));
+    }
+    let mut col = Vec::with_capacity(nrows);
+    match tag {
+        ENC_PLAIN => {
+            while *pos < end {
+                col.push(read_varint(data, pos)? as u32);
+            }
+        }
+        ENC_RLE => {
+            while *pos < end {
+                let value = read_varint(data, pos)? as u32;
+                let run = read_varint(data, pos)? as usize;
+                col.extend(std::iter::repeat_n(value, run));
+            }
+        }
+        other => {
+            return Err(ColumnarError::CorruptFile(format!(
+                "unknown column encoding {other}"
+            )))
+        }
+    }
+    if col.len() != nrows {
+        return Err(ColumnarError::CorruptFile(format!(
+            "column decoded to {} rows, expected {nrows}",
+            col.len()
+        )));
+    }
+    Ok(col)
+}
+
+/// Serializes a table into the columnar file format.
+pub fn serialize_table(table: &Table) -> Vec<u8> {
+    let mut out = Vec::with_capacity(table.byte_size() / 2 + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    write_varint(&mut out, table.schema().len() as u64);
+    for name in table.schema().names() {
+        write_varint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+    }
+    write_varint(&mut out, table.num_rows() as u64);
+    for col in table.columns() {
+        encode_column(col, &mut out);
+    }
+    out
+}
+
+/// Deserializes a table from the columnar file format.
+pub fn deserialize_table(data: &[u8]) -> Result<Table, ColumnarError> {
+    if data.len() < 5 || &data[..4] != MAGIC {
+        return Err(ColumnarError::CorruptFile("bad magic".into()));
+    }
+    if data[4] != VERSION {
+        return Err(ColumnarError::CorruptFile(format!(
+            "unsupported version {}",
+            data[4]
+        )));
+    }
+    let mut pos = 5;
+    let ncols = read_varint(data, &mut pos)? as usize;
+    let mut names = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let len = read_varint(data, &mut pos)? as usize;
+        let end = pos + len;
+        let bytes = data
+            .get(pos..end)
+            .ok_or_else(|| ColumnarError::CorruptFile("truncated column name".into()))?;
+        names.push(
+            std::str::from_utf8(bytes)
+                .map_err(|_| ColumnarError::CorruptFile("non-utf8 column name".into()))?
+                .to_string(),
+        );
+        pos = end;
+    }
+    let nrows = read_varint(data, &mut pos)? as usize;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        cols.push(decode_column(data, &mut pos, nrows)?);
+    }
+    Ok(Table::from_columns(Schema::new(names), cols))
+}
+
+/// A directory of persisted tables with a name manifest.
+#[derive(Debug)]
+pub struct TableStore {
+    root: PathBuf,
+    /// logical name -> file name
+    manifest: FxHashMap<String, String>,
+    next_file: u64,
+}
+
+impl TableStore {
+    /// Creates (or opens, if it already exists) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<TableStore, ColumnarError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let mut store = TableStore { root, manifest: FxHashMap::default(), next_file: 0 };
+        let manifest_path = store.manifest_path();
+        if manifest_path.exists() {
+            let mut content = String::new();
+            BufReader::new(fs::File::open(&manifest_path)?).read_to_string(&mut content)?;
+            for line in content.lines() {
+                if let Some((name, file)) = line.split_once('\t') {
+                    if let Some(num) = file
+                        .strip_prefix('t')
+                        .and_then(|f| f.strip_suffix(".col"))
+                        .and_then(|n| n.parse::<u64>().ok())
+                    {
+                        store.next_file = store.next_file.max(num + 1);
+                    }
+                    store.manifest.insert(name.to_string(), file.to_string());
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.tsv")
+    }
+
+    fn flush_manifest(&self) -> Result<(), ColumnarError> {
+        let mut entries: Vec<_> = self.manifest.iter().collect();
+        entries.sort();
+        let mut out = BufWriter::new(fs::File::create(self.manifest_path())?);
+        for (name, file) in entries {
+            writeln!(out, "{name}\t{file}")?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Persists a table under a logical name, replacing any previous
+    /// version.
+    pub fn save(&mut self, name: &str, table: &Table) -> Result<(), ColumnarError> {
+        assert!(
+            !name.contains(['\t', '\n']),
+            "table names must not contain tabs or newlines"
+        );
+        let file = match self.manifest.get(name) {
+            Some(f) => f.clone(),
+            None => {
+                let f = format!("t{:06}.col", self.next_file);
+                self.next_file += 1;
+                f
+            }
+        };
+        fs::write(self.root.join(&file), serialize_table(table))?;
+        self.manifest.insert(name.to_string(), file);
+        self.flush_manifest()
+    }
+
+    /// Loads a table by logical name.
+    pub fn load(&self, name: &str) -> Result<Table, ColumnarError> {
+        let file = self
+            .manifest
+            .get(name)
+            .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
+        let data = fs::read(self.root.join(file))?;
+        deserialize_table(&data)
+    }
+
+    /// True if a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.manifest.contains_key(name)
+    }
+
+    /// Logical names of all stored tables (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.manifest.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of stored tables.
+    pub fn len(&self) -> usize {
+        self.manifest.len()
+    }
+
+    /// True if the store holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.is_empty()
+    }
+
+    /// On-disk size of one table in bytes.
+    pub fn file_size(&self, name: &str) -> Result<u64, ColumnarError> {
+        let file = self
+            .manifest
+            .get(name)
+            .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
+        Ok(fs::metadata(self.root.join(file))?.len())
+    }
+
+    /// Total on-disk size of all tables (the "HDFS size" of paper Tables 2
+    /// and 6).
+    pub fn total_size(&self) -> Result<u64, ColumnarError> {
+        let mut total = 0;
+        for file in self.manifest.values() {
+            total += fs::metadata(self.root.join(file))?.len();
+        }
+        Ok(total)
+    }
+
+    /// Removes a table.
+    pub fn remove(&mut self, name: &str) -> Result<(), ColumnarError> {
+        let file = self
+            .manifest
+            .remove(name)
+            .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
+        fs::remove_file(self.root.join(file))?;
+        self.flush_manifest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Schema::new(["s", "o"]),
+            &[[1, 100], [1, 100], [1, 100], [2, 5], [3, 7]],
+        )
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let t = sample();
+        let bytes = serialize_table(&t);
+        let back = deserialize_table(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rle_beats_plain_on_constant_columns() {
+        let constant = Table::from_columns(Schema::new(["c"]), vec![vec![42; 10_000]]);
+        let varied = Table::from_columns(
+            Schema::new(["c"]),
+            vec![(0..10_000u32).collect()],
+        );
+        let small = serialize_table(&constant).len();
+        let large = serialize_table(&varied).len();
+        assert!(small * 100 < large, "RLE column {small}B vs plain {large}B");
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(deserialize_table(b"oops").is_err());
+        let mut bytes = serialize_table(&sample());
+        bytes[4] = 99; // bad version
+        assert!(deserialize_table(&bytes).is_err());
+        let bytes = serialize_table(&sample());
+        assert!(deserialize_table(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn store_save_load_cycle() {
+        let dir = std::env::temp_dir().join(format!("s2ct-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut store = TableStore::open(&dir).unwrap();
+            store.save("VP/follows", &sample()).unwrap();
+            store.save("ExtVP_OS/follows|likes", &sample()).unwrap();
+            assert_eq!(store.len(), 2);
+            assert!(store.file_size("VP/follows").unwrap() > 0);
+            assert!(store.total_size().unwrap() > 0);
+        }
+        {
+            // Re-open and read back.
+            let mut store = TableStore::open(&dir).unwrap();
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.load("ExtVP_OS/follows|likes").unwrap(), sample());
+            store.remove("VP/follows").unwrap();
+            assert!(!store.contains("VP/follows"));
+            assert!(store.load("VP/follows").is_err());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_replaces_without_leaking_files() {
+        let dir = std::env::temp_dir().join(format!("s2ct-replace-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        store.save("t", &sample()).unwrap();
+        let before = store.file_size("t").unwrap();
+        let bigger = Table::from_columns(Schema::new(["s", "o"]), vec![(0..999).collect(), (0..999).collect()]);
+        store.save("t", &bigger).unwrap();
+        assert!(store.file_size("t").unwrap() > before);
+        assert_eq!(store.len(), 1);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 2); // table + manifest
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_serialize_roundtrip(rows in proptest::collection::vec((any::<u32>(), 0u32..50), 0..200)) {
+            let cols = vec![
+                rows.iter().map(|r| r.0).collect::<Vec<_>>(),
+                rows.iter().map(|r| r.1).collect::<Vec<_>>(),
+            ];
+            let t = Table::from_columns(Schema::new(["a", "b"]), cols);
+            let back = deserialize_table(&serialize_table(&t)).unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Columnar relational execution substrate.
+//!
+//! This crate is the stand-in for Spark SQL + Parquet in the S2RDF paper: a
+//! small in-memory columnar engine over `u32` (dictionary-id) columns with
+//! the relational operators the SPARQL compiler needs — scans with
+//! selections, projections/renames, natural hash joins (optionally
+//! data-parallel and partitioned, mirroring Spark's shuffle-hash join),
+//! semi joins, left outer joins, union, distinct, sort and slice — plus a
+//! compressed on-disk table store standing in for Parquet files on HDFS.
+//!
+//! All values are dictionary ids; [`NULL_ID`] marks an unbound value (used
+//! by OPTIONAL's left outer join).
+
+pub mod bitmap;
+pub mod error;
+pub mod exec;
+pub mod io;
+pub mod ops;
+pub mod schema;
+pub mod table;
+
+pub use bitmap::Bitmap;
+pub use error::ColumnarError;
+pub use io::TableStore;
+pub use schema::{ColName, Schema};
+pub use table::{Table, NULL_ID};

@@ -1,0 +1,99 @@
+//! Selections and projections.
+
+use crate::error::ColumnarError;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Keeps the rows for which `pred(table, row_index)` returns true.
+pub fn filter<F: Fn(&Table, usize) -> bool>(table: &Table, pred: F) -> Table {
+    let indices: Vec<usize> = (0..table.num_rows())
+        .filter(|&i| pred(table, i))
+        .collect();
+    table.gather(&indices)
+}
+
+/// Fast-path selection `column = value` (the WHERE clauses emitted for bound
+/// subjects/objects in triple patterns).
+pub fn select_eq(table: &Table, col: usize, value: u32) -> Table {
+    let column = table.column(col);
+    let indices: Vec<usize> = column
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v == value).then_some(i))
+        .collect();
+    table.gather(&indices)
+}
+
+/// Projects (and reorders) the named columns.
+pub fn project(table: &Table, names: &[&str]) -> Result<Table, ColumnarError> {
+    let pairs: Vec<(&str, &str)> = names.iter().map(|&n| (n, n)).collect();
+    project_rename(table, &pairs)
+}
+
+/// Projects columns with renames: each `(source, target)` pair selects the
+/// `source` column and exposes it as `target`. This is the relational
+/// `π[s → x, o → y]` used when mapping a triple pattern's columns to its
+/// variable names (paper Alg. 2).
+pub fn project_rename(table: &Table, pairs: &[(&str, &str)]) -> Result<Table, ColumnarError> {
+    let mut cols = Vec::with_capacity(pairs.len());
+    for (src, _) in pairs {
+        cols.push(table.column_by_name(src)?.to_vec());
+    }
+    let schema = Schema::new(pairs.iter().map(|(_, dst)| dst.to_string()));
+    Ok(Table::from_columns(schema, cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Schema::new(["s", "o"]),
+            &[[1, 10], [2, 20], [1, 30], [3, 10]],
+        )
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let t = sample();
+        let f = filter(&t, |t, i| t.value(i, 1) >= 20);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.column(1), &[20, 30]);
+    }
+
+    #[test]
+    fn select_eq_matches() {
+        let t = sample();
+        let sel = select_eq(&t, 0, 1);
+        assert_eq!(sel.num_rows(), 2);
+        assert_eq!(sel.column(1), &[10, 30]);
+        assert!(select_eq(&t, 0, 99).is_empty());
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = sample();
+        let p = project(&t, &["o", "s"]).unwrap();
+        assert_eq!(p.schema().names()[0].as_ref(), "o");
+        assert_eq!(p.row_vec(0), vec![10, 1]);
+        assert!(project(&t, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn project_rename_binds_variables() {
+        let t = sample();
+        let p = project_rename(&t, &[("s", "x"), ("o", "y")]).unwrap();
+        assert!(p.schema().contains("x"));
+        assert!(p.schema().contains("y"));
+        assert_eq!(p.column_by_name("x").unwrap(), t.column(0));
+    }
+
+    #[test]
+    fn duplicate_source_column_allowed() {
+        // ?x p ?x patterns project the same source twice under two names.
+        let t = sample();
+        let p = project_rename(&t, &[("s", "a"), ("s", "b")]).unwrap();
+        assert_eq!(p.column_by_name("a").unwrap(), p.column_by_name("b").unwrap());
+    }
+}

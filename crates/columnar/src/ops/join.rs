@@ -1,0 +1,375 @@
+//! Hash joins: inner (natural and keyed), semi, and left outer.
+//!
+//! All joins build a hash table on the smaller input and probe with the
+//! larger one. Join keys of one or two columns are packed into a `u64`
+//! (the overwhelmingly common case in SPARQL BGPs); wider keys fall back to
+//! `Vec<u32>` keys.
+
+use rustc_hash::FxHashMap;
+
+use crate::schema::Schema;
+use crate::table::{Table, NULL_ID};
+
+/// Hash map from packed key to the row indices holding it.
+enum KeyIndex {
+    Narrow(FxHashMap<u64, Vec<u32>>),
+    Wide(FxHashMap<Vec<u32>, Vec<u32>>),
+}
+
+#[inline]
+fn pack2(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+fn build_index(table: &Table, keys: &[usize]) -> KeyIndex {
+    match keys {
+        [k] => {
+            let col = table.column(*k);
+            let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            map.reserve(col.len());
+            for (i, &v) in col.iter().enumerate() {
+                map.entry(v as u64).or_default().push(i as u32);
+            }
+            KeyIndex::Narrow(map)
+        }
+        [k1, k2] => {
+            let (c1, c2) = (table.column(*k1), table.column(*k2));
+            let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            map.reserve(c1.len());
+            for i in 0..c1.len() {
+                map.entry(pack2(c1[i], c2[i])).or_default().push(i as u32);
+            }
+            KeyIndex::Narrow(map)
+        }
+        _ => {
+            let mut map: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+            for i in 0..table.num_rows() {
+                let key: Vec<u32> = keys.iter().map(|&k| table.value(i, k)).collect();
+                map.entry(key).or_default().push(i as u32);
+            }
+            KeyIndex::Wide(map)
+        }
+    }
+}
+
+impl KeyIndex {
+    fn probe(&self, table: &Table, keys: &[usize], row: usize) -> Option<&[u32]> {
+        match (self, keys) {
+            (KeyIndex::Narrow(map), [k]) => {
+                map.get(&(table.value(row, *k) as u64)).map(Vec::as_slice)
+            }
+            (KeyIndex::Narrow(map), [k1, k2]) => map
+                .get(&pack2(table.value(row, *k1), table.value(row, *k2)))
+                .map(Vec::as_slice),
+            (KeyIndex::Wide(map), keys) => {
+                let key: Vec<u32> = keys.iter().map(|&k| table.value(row, k)).collect();
+                map.get(&key).map(Vec::as_slice)
+            }
+            _ => unreachable!("index arity mismatch"),
+        }
+    }
+}
+
+/// Output schema of a join: all left columns plus the right columns that are
+/// not join keys. Panics on residual name collisions (the compiler never
+/// produces them).
+fn join_schema(left: &Table, right: &Table, right_keys: &[usize]) -> (Schema, Vec<usize>) {
+    let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
+    let mut right_payload = Vec::new();
+    for (idx, name) in right.schema().names().iter().enumerate() {
+        if right_keys.contains(&idx) {
+            continue;
+        }
+        assert!(
+            !left.schema().contains(name),
+            "non-key column name collision in join: {name}"
+        );
+        names.push(name.to_string());
+        right_payload.push(idx);
+    }
+    (Schema::new(names), right_payload)
+}
+
+/// Inner hash join on explicit key-column pairs `(left_col, right_col)`.
+///
+/// The output contains every left column followed by the right non-key
+/// columns.
+pub fn hash_join_on(left: &Table, right: &Table, keys: &[(usize, usize)]) -> Table {
+    let left_keys: Vec<usize> = keys.iter().map(|&(l, _)| l).collect();
+    let right_keys: Vec<usize> = keys.iter().map(|&(_, r)| r).collect();
+    let (schema, right_payload) = join_schema(left, right, &right_keys);
+    let mut out = Table::empty(schema);
+
+    // Build on the smaller side, probe with the larger.
+    if left.num_rows() <= right.num_rows() {
+        let index = build_index(left, &left_keys);
+        for probe_row in 0..right.num_rows() {
+            if let Some(matches) = index.probe(right, &right_keys, probe_row) {
+                for &build_row in matches {
+                    push_joined(&mut out, left, build_row as usize, right, probe_row, &right_payload);
+                }
+            }
+        }
+    } else {
+        let index = build_index(right, &right_keys);
+        for probe_row in 0..left.num_rows() {
+            if let Some(matches) = index.probe(left, &left_keys, probe_row) {
+                for &build_row in matches {
+                    push_joined(&mut out, left, probe_row, right, build_row as usize, &right_payload);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn push_joined(
+    out: &mut Table,
+    left: &Table,
+    left_row: usize,
+    right: &Table,
+    right_row: usize,
+    right_payload: &[usize],
+) {
+    let mut row = Vec::with_capacity(out.schema().len());
+    for c in 0..left.schema().len() {
+        row.push(left.value(left_row, c));
+    }
+    for &c in right_payload {
+        row.push(right.value(right_row, c));
+    }
+    out.push_row(&row);
+}
+
+/// Natural inner join on all shared column names. Falls back to a cross
+/// product when the schemas are disjoint (SPARQL cross join).
+///
+/// ```
+/// use s2rdf_columnar::{ops, Schema, Table};
+///
+/// let follows = Table::from_rows(Schema::new(["x", "y"]), &[[0, 1], [1, 2]]);
+/// let likes = Table::from_rows(Schema::new(["y", "w"]), &[[2, 9]]);
+/// let joined = ops::natural_join(&follows, &likes);
+/// assert_eq!(joined.num_rows(), 1);
+/// assert_eq!(joined.row_vec(0), vec![1, 2, 9]);
+/// ```
+pub fn natural_join(left: &Table, right: &Table) -> Table {
+    let common = left.schema().common_columns(right.schema());
+    if common.is_empty() {
+        return cross_join(left, right);
+    }
+    let keys: Vec<(usize, usize)> = common
+        .iter()
+        .map(|c| {
+            (
+                left.schema().index_of(c).unwrap(),
+                right.schema().index_of(c).unwrap(),
+            )
+        })
+        .collect();
+    hash_join_on(left, right, &keys)
+}
+
+fn cross_join(left: &Table, right: &Table) -> Table {
+    let names: Vec<String> = left
+        .schema()
+        .names()
+        .iter()
+        .chain(right.schema().names())
+        .map(|c| c.to_string())
+        .collect();
+    let mut out = Table::empty(Schema::new(names));
+    for l in 0..left.num_rows() {
+        for r in 0..right.num_rows() {
+            let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(l, c)).collect();
+            row.extend((0..right.schema().len()).map(|c| right.value(r, c)));
+            out.push_row(&row);
+        }
+    }
+    out
+}
+
+/// Left semi join `left ⋉ right` on a single key pair: the rows of `left`
+/// whose key value appears in `right`'s key column. This is the primitive
+/// that materializes ExtVP partitions (paper §5.2).
+pub fn semi_join_on(left: &Table, left_key: usize, right: &Table, right_key: usize) -> Table {
+    let mut probe: FxHashMap<u64, ()> = FxHashMap::default();
+    probe.reserve(right.num_rows());
+    for &v in right.column(right_key) {
+        probe.insert(v as u64, ());
+    }
+    let col = left.column(left_key);
+    let indices: Vec<usize> = col
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| probe.contains_key(&(v as u64)).then_some(i))
+        .collect();
+    left.gather(&indices)
+}
+
+/// Natural left outer join (SPARQL OPTIONAL): left rows without a match are
+/// emitted once with the right-only columns set to [`NULL_ID`].
+pub fn left_outer_join(left: &Table, right: &Table) -> Table {
+    let common = left.schema().common_columns(right.schema());
+    let left_keys: Vec<usize> = common
+        .iter()
+        .map(|c| left.schema().index_of(c).unwrap())
+        .collect();
+    let right_keys: Vec<usize> = common
+        .iter()
+        .map(|c| right.schema().index_of(c).unwrap())
+        .collect();
+    let (schema, right_payload) = join_schema(left, right, &right_keys);
+    let mut out = Table::empty(schema);
+
+    if common.is_empty() {
+        // Degenerate case: OPTIONAL with no shared variables is a cross
+        // product unless the right side is empty, where the left survives
+        // padded (there are no right-only columns to pad only if right is
+        // fully keyed, so pad all right columns).
+        if right.is_empty() {
+            for l in 0..left.num_rows() {
+                let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(l, c)).collect();
+                row.extend(std::iter::repeat_n(NULL_ID, right_payload.len()));
+                out.push_row(&row);
+            }
+            return out;
+        }
+        return cross_join(left, right);
+    }
+
+    let index = build_index(right, &right_keys);
+    for l in 0..left.num_rows() {
+        match index.probe(left, &left_keys, l) {
+            Some(matches) => {
+                for &r in matches {
+                    push_joined(&mut out, left, l, right, r as usize, &right_payload);
+                }
+            }
+            None => {
+                let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(l, c)).collect();
+                row.extend(std::iter::repeat_n(NULL_ID, right_payload.len()));
+                out.push_row(&row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn follows() -> Table {
+        // VP_follows from the paper's running example G1 (ids: A=0 B=1 C=2 D=3).
+        Table::from_rows(Schema::new(["x", "y"]), &[[0, 1], [1, 2], [1, 3], [2, 3]])
+    }
+
+    fn likes() -> Table {
+        // VP_likes (I1=4, I2=5).
+        Table::from_rows(Schema::new(["y", "w"]), &[[0, 4], [0, 5], [2, 5]])
+    }
+
+    #[test]
+    fn natural_join_single_key() {
+        // follows(x,y) ⋈ likes(y,w): y ∈ {1,2,3} from follows, likes has y ∈ {0,2}.
+        let j = natural_join(&follows(), &likes());
+        assert_eq!(j.schema().names().len(), 3);
+        assert_eq!(j.num_rows(), 1); // only y=2 matches: (1,2)⋈(2,5)
+        assert_eq!(j.row_vec(0), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn join_is_symmetric_in_cardinality() {
+        let a = natural_join(&follows(), &likes());
+        let b = natural_join(&likes(), &follows());
+        assert_eq!(a.num_rows(), b.num_rows());
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let l = Table::from_rows(Schema::new(["a", "b", "c"]), &[[1, 2, 9], [1, 3, 8]]);
+        let r = Table::from_rows(Schema::new(["a", "b", "d"]), &[[1, 2, 7], [1, 9, 6]]);
+        let j = natural_join(&l, &r);
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.row_vec(0), vec![1, 2, 9, 7]);
+    }
+
+    #[test]
+    fn wide_key_join_falls_back() {
+        let l = Table::from_rows(Schema::new(["a", "b", "c", "x"]), &[[1, 2, 3, 10], [4, 5, 6, 11]]);
+        let r = Table::from_rows(Schema::new(["a", "b", "c", "y"]), &[[1, 2, 3, 20], [4, 5, 0, 21]]);
+        let j = natural_join(&l, &r);
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.row_vec(0), vec![1, 2, 3, 10, 20]);
+    }
+
+    #[test]
+    fn duplicate_keys_multiply() {
+        let l = Table::from_rows(Schema::new(["k", "a"]), &[[1, 0], [1, 1]]);
+        let r = Table::from_rows(Schema::new(["k", "b"]), &[[1, 2], [1, 3], [1, 4]]);
+        let j = natural_join(&l, &r);
+        assert_eq!(j.num_rows(), 6);
+    }
+
+    #[test]
+    fn disjoint_schemas_cross_join() {
+        let l = Table::from_rows(Schema::new(["a"]), &[[1], [2]]);
+        let r = Table::from_rows(Schema::new(["b"]), &[[3], [4], [5]]);
+        let j = natural_join(&l, &r);
+        assert_eq!(j.num_rows(), 6);
+        assert_eq!(j.schema().len(), 2);
+    }
+
+    #[test]
+    fn semi_join_reduces() {
+        // The paper's Fig. 8: VP_follows ⋉(o=s) VP_likes = {(B,C)}.
+        let f = follows().with_schema(Schema::new(["s", "o"]));
+        let l = likes().with_schema(Schema::new(["s", "o"]));
+        let red = semi_join_on(&f, 1, &l, 0);
+        assert_eq!(red.num_rows(), 1);
+        assert_eq!(red.row_vec(0), vec![1, 2]); // (B, C)
+    }
+
+    #[test]
+    fn semi_join_keeps_duplicates_of_left() {
+        let l = Table::from_rows(Schema::new(["s", "o"]), &[[1, 5], [1, 5], [2, 6]]);
+        let r = Table::from_rows(Schema::new(["s", "o"]), &[[5, 0]]);
+        let red = semi_join_on(&l, 1, &r, 0);
+        assert_eq!(red.num_rows(), 2);
+    }
+
+    #[test]
+    fn left_outer_pads_nulls() {
+        let l = Table::from_rows(Schema::new(["x", "y"]), &[[1, 2], [3, 4]]);
+        let r = Table::from_rows(Schema::new(["y", "z"]), &[[2, 9]]);
+        let j = left_outer_join(&l, &r);
+        assert_eq!(j.num_rows(), 2);
+        let rows: Vec<Vec<u32>> = (0..2).map(|i| j.row_vec(i)).collect();
+        assert!(rows.contains(&vec![1, 2, 9]));
+        assert!(rows.contains(&vec![3, 4, NULL_ID]));
+    }
+
+    #[test]
+    fn left_outer_with_empty_right() {
+        let l = Table::from_rows(Schema::new(["x"]), &[[1]]);
+        let r = Table::empty(Schema::new(["y", "z"]));
+        let j = left_outer_join(&l, &r);
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.row_vec(0), vec![1, NULL_ID, NULL_ID]);
+    }
+
+    #[test]
+    fn join_decomposition_identity() {
+        // T1 ⋈ T2 = (T1 ⋉ T2) ⋈ T2 on the join key — the §5.2 identity ExtVP
+        // relies on (restricted form; the full property test lives in the
+        // integration suite).
+        let t1 = follows().with_schema(Schema::new(["a", "j"]));
+        let t2 = likes().with_schema(Schema::new(["j", "b"]));
+        let direct = natural_join(&t1, &t2);
+        let reduced = semi_join_on(&t1, 1, &t2, 0);
+        let via_semi = natural_join(&reduced, &t2);
+        assert_eq!(direct.num_rows(), via_semi.num_rows());
+    }
+}

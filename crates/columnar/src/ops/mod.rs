@@ -1,0 +1,17 @@
+//! Relational operators over [`Table`](crate::Table).
+//!
+//! The operator set is exactly what the SPARQL compiler in `s2rdf-core`
+//! needs: selections/projections for triple patterns (paper Alg. 2), hash
+//! joins for BGP evaluation (Alg. 3/4), semi joins for ExtVP construction
+//! (§5.2), left outer join for OPTIONAL, union/distinct/sort/slice for the
+//! remaining SPARQL 1.0 solution modifiers (§6.1).
+
+mod basic;
+mod join;
+mod set;
+mod sort;
+
+pub use basic::{filter, project, project_rename, select_eq};
+pub use join::{hash_join_on, left_outer_join, natural_join, semi_join_on};
+pub use set::{distinct, union};
+pub use sort::{slice, sort_by};

@@ -1,0 +1,115 @@
+//! Union and duplicate elimination.
+
+use rustc_hash::FxHashSet;
+
+use crate::schema::Schema;
+use crate::table::{Table, NULL_ID};
+
+/// SPARQL UNION: concatenates two solution tables. The result schema is the
+/// left schema followed by right-only columns; a branch's missing columns
+/// are padded with [`NULL_ID`] (unbound).
+pub fn union(left: &Table, right: &Table) -> Table {
+    let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
+    for c in right.schema().names() {
+        if !left.schema().contains(c) {
+            names.push(c.to_string());
+        }
+    }
+    let schema = Schema::new(names);
+    let mut out = Table::empty(schema.clone());
+    out.reserve(left.num_rows() + right.num_rows());
+
+    // Column mapping for each branch: output column -> source column index.
+    let left_map: Vec<Option<usize>> = schema
+        .names()
+        .iter()
+        .map(|c| left.schema().index_of(c))
+        .collect();
+    let right_map: Vec<Option<usize>> = schema
+        .names()
+        .iter()
+        .map(|c| right.schema().index_of(c))
+        .collect();
+
+    let mut row = Vec::with_capacity(schema.len());
+    for (src, map) in [(left, &left_map), (right, &right_map)] {
+        for i in 0..src.num_rows() {
+            row.clear();
+            row.extend(map.iter().map(|m| match m {
+                Some(c) => src.value(i, *c),
+                None => NULL_ID,
+            }));
+            out.push_row(&row);
+        }
+    }
+    out
+}
+
+/// Removes duplicate rows, keeping first occurrences in order (SPARQL
+/// DISTINCT).
+pub fn distinct(table: &Table) -> Table {
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+    seen.reserve(table.num_rows());
+    let mut indices = Vec::new();
+    let mut row = Vec::with_capacity(table.schema().len());
+    for i in 0..table.num_rows() {
+        table.read_row(i, &mut row);
+        if seen.insert(row.clone()) {
+            indices.push(i);
+        }
+    }
+    table.gather(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_same_schema() {
+        let a = Table::from_rows(Schema::new(["x"]), &[[1], [2]]);
+        let b = Table::from_rows(Schema::new(["x"]), &[[2], [3]]);
+        let u = union(&a, &b);
+        assert_eq!(u.num_rows(), 4); // bag semantics: duplicates retained
+        assert_eq!(u.column(0), &[1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn union_pads_disjoint_vars() {
+        let a = Table::from_rows(Schema::new(["x"]), &[[1]]);
+        let b = Table::from_rows(Schema::new(["y"]), &[[9]]);
+        let u = union(&a, &b);
+        assert_eq!(u.schema().len(), 2);
+        assert_eq!(u.row_vec(0), vec![1, NULL_ID]);
+        assert_eq!(u.row_vec(1), vec![NULL_ID, 9]);
+    }
+
+    #[test]
+    fn union_aligns_overlapping_vars() {
+        let a = Table::from_rows(Schema::new(["x", "y"]), &[[1, 2]]);
+        let b = Table::from_rows(Schema::new(["y", "z"]), &[[5, 6]]);
+        let u = union(&a, &b);
+        assert_eq!(u.schema().len(), 3); // x, y, z
+        assert_eq!(u.row_vec(0), vec![1, 2, NULL_ID]);
+        assert_eq!(u.row_vec(1), vec![NULL_ID, 5, 6]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_stably() {
+        let t = Table::from_rows(
+            Schema::new(["a", "b"]),
+            &[[1, 2], [3, 4], [1, 2], [3, 4], [5, 6]],
+        );
+        let d = distinct(&t);
+        assert_eq!(d.num_rows(), 3);
+        assert_eq!(d.row_vec(0), vec![1, 2]);
+        assert_eq!(d.row_vec(1), vec![3, 4]);
+        assert_eq!(d.row_vec(2), vec![5, 6]);
+    }
+
+    #[test]
+    fn distinct_on_empty() {
+        let t = Table::empty(Schema::new(["a"]));
+        assert!(distinct(&t).is_empty());
+    }
+}

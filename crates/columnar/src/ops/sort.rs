@@ -1,0 +1,61 @@
+//! Sorting and pagination (ORDER BY / LIMIT / OFFSET).
+
+use std::cmp::Ordering;
+
+use crate::table::Table;
+
+/// Stable sort by a caller-supplied row comparator. The comparator receives
+/// two row indices of `table`; callers decode dictionary ids to terms to
+/// implement SPARQL value ordering.
+pub fn sort_by<F: FnMut(usize, usize) -> Ordering>(table: &Table, mut cmp: F) -> Table {
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    indices.sort_by(|&a, &b| cmp(a, b));
+    table.gather(&indices)
+}
+
+/// OFFSET/LIMIT: skips `offset` rows then keeps at most `limit` rows.
+pub fn slice(table: &Table, offset: usize, limit: Option<usize>) -> Table {
+    let start = offset.min(table.num_rows());
+    let end = match limit {
+        Some(l) => (start + l).min(table.num_rows()),
+        None => table.num_rows(),
+    };
+    let indices: Vec<usize> = (start..end).collect();
+    table.gather(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> Table {
+        Table::from_rows(Schema::new(["k", "v"]), &[[3, 0], [1, 1], [2, 2], [1, 3]])
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let t = sample();
+        let s = sort_by(&t, |a, b| t.value(a, 0).cmp(&t.value(b, 0)));
+        assert_eq!(s.column(0), &[1, 1, 2, 3]);
+        // Equal keys keep input order: v=1 before v=3.
+        assert_eq!(s.column(1), &[1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn sort_descending() {
+        let t = sample();
+        let s = sort_by(&t, |a, b| t.value(b, 0).cmp(&t.value(a, 0)));
+        assert_eq!(s.column(0), &[3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let t = sample();
+        assert_eq!(slice(&t, 0, None).num_rows(), 4);
+        assert_eq!(slice(&t, 1, Some(2)).column(1), &[1, 2]);
+        assert_eq!(slice(&t, 3, Some(10)).num_rows(), 1);
+        assert_eq!(slice(&t, 10, Some(1)).num_rows(), 0);
+        assert_eq!(slice(&t, 0, Some(0)).num_rows(), 0);
+    }
+}

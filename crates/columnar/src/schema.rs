@@ -1,0 +1,105 @@
+//! Table schemas: ordered lists of named `u32` columns.
+
+use std::sync::Arc;
+
+/// A column name. `Arc<str>` keeps schema clones cheap — query plans copy
+/// schemas on every projection/rename.
+pub type ColName = Arc<str>;
+
+/// An ordered list of column names. All columns hold `u32` dictionary ids,
+/// so the schema is just the names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    cols: Vec<ColName>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names — relational schemas downstream
+    /// (variable names) are always distinct.
+    pub fn new<I, S>(names: I) -> Schema
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<ColName>,
+    {
+        let cols: Vec<ColName> = names.into_iter().map(Into::into).collect();
+        for (i, c) in cols.iter().enumerate() {
+            assert!(
+                !cols[..i].contains(c),
+                "duplicate column name in schema: {c}"
+            );
+        }
+        Schema { cols }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| &**c == name)
+    }
+
+    /// True if the schema contains the named column.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[ColName] {
+        &self.cols
+    }
+
+    /// The name at a position.
+    pub fn name(&self, idx: usize) -> &ColName {
+        &self.cols[idx]
+    }
+
+    /// Column names shared with another schema, in this schema's order.
+    pub fn common_columns(&self, other: &Schema) -> Vec<ColName> {
+        self.cols
+            .iter()
+            .filter(|c| other.contains(c))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_lookup() {
+        let s = Schema::new(["s", "o"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("s"), Some(0));
+        assert_eq!(s.index_of("o"), Some(1));
+        assert_eq!(s.index_of("p"), None);
+        assert!(s.contains("o"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicates_rejected() {
+        Schema::new(["x", "x"]);
+    }
+
+    #[test]
+    fn common_columns_in_left_order() {
+        let a = Schema::new(["x", "y", "z"]);
+        let b = Schema::new(["z", "w", "x"]);
+        let common: Vec<String> =
+            a.common_columns(&b).iter().map(|c| c.to_string()).collect();
+        assert_eq!(common, vec!["x", "z"]);
+    }
+}

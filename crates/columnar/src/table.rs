@@ -1,0 +1,204 @@
+//! In-memory columnar tables of `u32` dictionary ids.
+
+use crate::error::ColumnarError;
+use crate::schema::Schema;
+
+/// Sentinel id representing an unbound (NULL) value, produced by left outer
+/// joins (SPARQL OPTIONAL) and UNION branches with disjoint variables.
+/// Dictionaries never hand out this id (they would need 2^32 - 1 distinct
+/// terms first, and `Dictionary::intern` panics on overflow before that).
+pub const NULL_ID: u32 = u32::MAX;
+
+/// A columnar table: a schema plus one `Vec<u32>` per column, all of equal
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    schema: Schema,
+    cols: Vec<Vec<u32>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Table {
+        let cols = (0..schema.len()).map(|_| Vec::new()).collect();
+        Table { schema, cols }
+    }
+
+    /// Creates a table from a schema and its columns.
+    ///
+    /// # Panics
+    /// Panics if the column count or lengths are inconsistent.
+    pub fn from_columns(schema: Schema, cols: Vec<Vec<u32>>) -> Table {
+        assert_eq!(schema.len(), cols.len(), "column count mismatch");
+        if let Some(first) = cols.first() {
+            for c in &cols {
+                assert_eq!(c.len(), first.len(), "column length mismatch");
+            }
+        }
+        Table { schema, cols }
+    }
+
+    /// Creates a table from rows (convenient in tests).
+    pub fn from_rows<R: AsRef<[u32]>>(schema: Schema, rows: &[R]) -> Table {
+        let mut t = Table::empty(schema);
+        for r in rows {
+            t.push_row(r.as_ref());
+        }
+        t
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// A column by position.
+    pub fn column(&self, idx: usize) -> &[u32] {
+        &self.cols[idx]
+    }
+
+    /// A column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[u32], ColumnarError> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| ColumnarError::UnknownColumn(name.to_string()))?;
+        Ok(&self.cols[idx])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Vec<u32>] {
+        &self.cols
+    }
+
+    /// The value at `(row, col)`.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> u32 {
+        self.cols[col][row]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the schema.
+    pub fn push_row(&mut self, row: &[u32]) {
+        assert_eq!(row.len(), self.schema.len(), "row width mismatch");
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Copies row `row` of `src` onto the end of this table. Both tables
+    /// must have the same arity (names may differ — used by rename-free
+    /// gather loops).
+    #[inline]
+    pub fn push_row_from(&mut self, src: &Table, row: usize) {
+        debug_assert_eq!(self.cols.len(), src.cols.len());
+        for (dst, s) in self.cols.iter_mut().zip(&src.cols) {
+            dst.push(s[row]);
+        }
+    }
+
+    /// Materializes row `row` into `buf` (cleared first).
+    pub fn read_row(&self, row: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c[row]));
+    }
+
+    /// Returns the row as a freshly allocated vector (test/debug helper).
+    pub fn row_vec(&self, row: usize) -> Vec<u32> {
+        self.cols.iter().map(|c| c[row]).collect()
+    }
+
+    /// Builds a new table containing the rows at `indices`, in order.
+    pub fn gather(&self, indices: &[usize]) -> Table {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| indices.iter().map(|&i| c[i]).collect())
+            .collect();
+        Table { schema: self.schema.clone(), cols }
+    }
+
+    /// Renames the table's columns wholesale (arity-preserving).
+    pub fn with_schema(mut self, schema: Schema) -> Table {
+        assert_eq!(schema.len(), self.schema.len(), "rename arity mismatch");
+        self.schema = schema;
+        self
+    }
+
+    /// Approximate in-memory payload size in bytes (column data only).
+    pub fn byte_size(&self) -> usize {
+        self.cols.iter().map(|c| c.len() * 4).sum()
+    }
+
+    /// Reserves row capacity in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.cols {
+            c.reserve(additional);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(Schema::new(["s", "o"]), &[[1, 2], [3, 4], [5, 6]])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(1, 0), 3);
+        assert_eq!(t.column_by_name("o").unwrap(), &[2, 4, 6]);
+        assert!(t.column_by_name("x").is_err());
+    }
+
+    #[test]
+    fn push_and_read_row() {
+        let mut t = sample();
+        t.push_row(&[7, 8]);
+        assert_eq!(t.num_rows(), 4);
+        let mut buf = Vec::new();
+        t.read_row(3, &mut buf);
+        assert_eq!(buf, vec![7, 8]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let t = sample();
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.row_vec(0), vec![5, 6]);
+        assert_eq!(g.row_vec(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn rename_preserves_data() {
+        let t = sample().with_schema(Schema::new(["x", "y"]));
+        assert_eq!(t.column_by_name("x").unwrap(), &[1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_rejected() {
+        sample().push_row(&[1]);
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        assert_eq!(sample().byte_size(), 3 * 2 * 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: the optimized operators match naive reference
+//! implementations on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use s2rdf_columnar::exec::{par_natural_join, row_multiset};
+use s2rdf_columnar::ops::{distinct, hash_join_on, left_outer_join, natural_join, union};
+use s2rdf_columnar::{Schema, Table, NULL_ID};
+
+fn table(cols: &'static [&'static str], rows: Vec<Vec<u32>>) -> Table {
+    Table::from_rows(Schema::new(cols.iter().map(|c| c.to_string())), &rows)
+}
+
+fn arb_rows(width: usize, card: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0..card, width), 0..50)
+}
+
+/// Naive nested-loop natural join on one shared column ("j").
+fn reference_join(left: &Table, right: &Table) -> Vec<Vec<u32>> {
+    let lj = left.schema().index_of("j").unwrap();
+    let rj = right.schema().index_of("j").unwrap();
+    let mut out = Vec::new();
+    for l in 0..left.num_rows() {
+        for r in 0..right.num_rows() {
+            if left.value(l, lj) == right.value(r, rj) {
+                let mut row = left.row_vec(l);
+                for c in 0..right.schema().len() {
+                    if c != rj {
+                        row.push(right.value(r, c));
+                    }
+                }
+                out.push(row);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        l in arb_rows(2, 12),
+        r in arb_rows(2, 12),
+    ) {
+        let left = table(&["a", "j"], l);
+        let right = table(&["j", "b"], r);
+        let expected = reference_join(&left, &right);
+        prop_assert_eq!(row_multiset(&natural_join(&left, &right)), expected.clone());
+        // The keyed variant and the partitioned variant agree too.
+        let keyed = hash_join_on(&left, &right, &[(1, 0)]);
+        prop_assert_eq!(row_multiset(&keyed), expected.clone());
+        for parts in [2, 5] {
+            prop_assert_eq!(
+                row_multiset(&par_natural_join(&left, &right, parts)),
+                expected.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn left_outer_join_covers_every_left_row(
+        l in arb_rows(2, 8),
+        r in arb_rows(2, 8),
+    ) {
+        let left = table(&["a", "j"], l);
+        let right = table(&["j", "b"], r);
+        let out = left_outer_join(&left, &right);
+        // Inner part matches the inner join; the rest are NULL-padded.
+        let inner = natural_join(&left, &right).num_rows();
+        let padded = (0..out.num_rows())
+            .filter(|&i| out.value(i, 2) == NULL_ID)
+            .count();
+        prop_assert_eq!(out.num_rows(), inner + padded);
+        // Every left row appears at least once.
+        let mut seen = vec![false; left.num_rows()];
+        for i in 0..out.num_rows() {
+            for (li, s) in seen.iter_mut().enumerate() {
+                if left.value(li, 0) == out.value(i, 0) && left.value(li, 1) == out.value(i, 1) {
+                    *s = true;
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn union_preserves_cardinality_and_distinct_is_idempotent(
+        l in arb_rows(2, 6),
+        r in arb_rows(2, 6),
+    ) {
+        let left = table(&["a", "b"], l);
+        let right = table(&["b", "c"], r);
+        let u = union(&left, &right);
+        prop_assert_eq!(u.num_rows(), left.num_rows() + right.num_rows());
+        let d = distinct(&u);
+        prop_assert!(d.num_rows() <= u.num_rows());
+        prop_assert_eq!(row_multiset(&distinct(&d)), row_multiset(&d));
+        // Distinct keeps exactly the set of rows.
+        let mut set: Vec<Vec<u32>> = row_multiset(&u);
+        set.dedup();
+        prop_assert_eq!(row_multiset(&d), set);
+    }
+}

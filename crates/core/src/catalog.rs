@@ -1,0 +1,330 @@
+//! Selectivity statistics for VP and ExtVP tables (paper §6.1).
+//!
+//! S2RDF "collects statistics about all tables in ExtVP during the initial
+//! creation process, most notably the selectivities (SF values) and actual
+//! sizes" and "also stores statistics about empty tables (which do not
+//! physically exist) as this empowers the query compiler to know that a
+//! query has no results without actually running it".
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use s2rdf_model::TermId;
+
+use crate::error::CoreError;
+
+/// The correlation kinds between triple patterns (paper Fig. 9).
+///
+/// SS/OS/SO are precomputed by default; OO is the paper's deliberate
+/// omission (§5.2: "relatively poor cost-benefit ratio … indeed, it is
+/// only a design choice and we could precompute them just as well") and is
+/// available behind [`crate::store::BuildOptions::include_oo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Correlation {
+    /// subject-subject: `VP_p1 ⋉(s=s) VP_p2`
+    SS,
+    /// object-subject: `VP_p1 ⋉(o=s) VP_p2`
+    OS,
+    /// subject-object: `VP_p1 ⋉(s=o) VP_p2`
+    SO,
+    /// object-object: `VP_p1 ⋉(o=o) VP_p2` (optional).
+    OO,
+}
+
+impl Correlation {
+    /// The correlation kinds precomputed by default (paper §5.2).
+    pub const DEFAULT: [Correlation; 3] = [Correlation::SS, Correlation::OS, Correlation::SO];
+
+    /// Short name used in table names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Correlation::SS => "SS",
+            Correlation::OS => "OS",
+            Correlation::SO => "SO",
+            Correlation::OO => "OO",
+        }
+    }
+}
+
+/// Identifies one ExtVP partition: `ExtVP^corr_{p1|p2}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExtVpKey {
+    /// Correlation kind.
+    pub corr: Correlation,
+    /// The reduced predicate (the table is a subset of `VP_p1`).
+    pub p1: TermIdRepr,
+    /// The reducing predicate.
+    pub p2: TermIdRepr,
+}
+
+/// Serializable mirror of [`TermId`] (plain u32 for serde friendliness).
+pub type TermIdRepr = u32;
+
+impl ExtVpKey {
+    /// Creates a key from term ids.
+    pub fn new(corr: Correlation, p1: TermId, p2: TermId) -> ExtVpKey {
+        ExtVpKey { corr, p1: p1.0, p2: p2.0 }
+    }
+}
+
+/// Statistics for one ExtVP partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtVpStat {
+    /// Number of tuples in the reduction.
+    pub count: usize,
+    /// Selectivity factor `SF = |ExtVP_p1|p2| / |VP_p1|` (paper §5.3).
+    pub sf: f64,
+    /// True if the table was materialized (i.e. `0 < SF` and `SF` within
+    /// the threshold and `SF < 1`).
+    pub materialized: bool,
+}
+
+/// The statistics catalog built while loading a dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Total number of triples `n = |G|`.
+    pub total_triples: usize,
+    /// `|VP_p|` for every predicate in the dataset.
+    vp_sizes: BTreeMap<TermIdRepr, usize>,
+    /// Stats for every ExtVP partition with `count > 0`. Pairs that never
+    /// co-occur are *absent*, which (when `extvp_built`) means `SF = 0`.
+    /// (Serialized as an entry list: JSON maps need string keys.)
+    #[serde(with = "extvp_entries")]
+    extvp: BTreeMap<ExtVpKey, ExtVpStat>,
+    /// Whether ExtVP statistics were computed at all. A pure-VP store has
+    /// `false` here, and table selection must not infer emptiness.
+    pub extvp_built: bool,
+    /// Whether OO correlations were computed. When false, OO lookups
+    /// return no statistic (absence must not read as emptiness).
+    #[serde(default)]
+    pub oo_built: bool,
+    /// The ExtVP storage representation, persisted so a reloaded store
+    /// resolves tables the same way: "rows", "bits" or "lazy".
+    #[serde(default)]
+    pub extvp_mode: String,
+    /// The selectivity threshold `SF_TH` the store was built with
+    /// (tables with `SF >= SF_TH` are not materialized; `1.0` keeps
+    /// everything below SF=1, paper §5.3/7.4).
+    pub threshold: f64,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new(total_triples: usize, threshold: f64, extvp_built: bool) -> Catalog {
+        Catalog {
+            total_triples,
+            vp_sizes: BTreeMap::new(),
+            extvp: BTreeMap::new(),
+            extvp_built,
+            oo_built: false,
+            extvp_mode: String::new(),
+            threshold,
+        }
+    }
+
+    /// Records the size of a VP table.
+    pub fn set_vp_size(&mut self, p: TermId, size: usize) {
+        self.vp_sizes.insert(p.0, size);
+    }
+
+    /// `|VP_p|`, or 0 if the predicate does not occur.
+    pub fn vp_size(&self, p: TermId) -> usize {
+        self.vp_sizes.get(&p.0).copied().unwrap_or(0)
+    }
+
+    /// All predicates with their VP sizes.
+    pub fn vp_sizes(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
+        self.vp_sizes.iter().map(|(&p, &n)| (TermId(p), n))
+    }
+
+    /// Number of distinct predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.vp_sizes.len()
+    }
+
+    /// Records an ExtVP partition's statistics.
+    pub fn set_extvp(&mut self, key: ExtVpKey, count: usize, materialized: bool) {
+        let vp = self.vp_sizes.get(&key.p1).copied().unwrap_or(0);
+        let sf = if vp == 0 { 0.0 } else { count as f64 / vp as f64 };
+        self.extvp.insert(key, ExtVpStat { count, sf, materialized });
+    }
+
+    /// Looks up an ExtVP partition's statistics.
+    ///
+    /// When ExtVP was built, an absent entry means the reduction is empty
+    /// (`SF = 0`), which is itself a statistic: the compiler can answer the
+    /// query without running it (paper §6.1).
+    pub fn extvp_stat(&self, key: &ExtVpKey) -> Option<ExtVpStat> {
+        if !self.extvp_built {
+            return None;
+        }
+        if key.corr == Correlation::OO && !self.oo_built {
+            return None;
+        }
+        Some(self.extvp.get(key).copied().unwrap_or(ExtVpStat {
+            count: 0,
+            sf: 0.0,
+            materialized: false,
+        }))
+    }
+
+    /// Iterates all recorded (non-empty) ExtVP stats.
+    pub fn extvp_stats(&self) -> impl Iterator<Item = (&ExtVpKey, &ExtVpStat)> {
+        self.extvp.iter()
+    }
+
+    /// Summary counters used by the paper's Table 2 / Table 6: number of
+    /// materialized ExtVP tables, tables with `SF = 1` (not stored), and
+    /// total materialized ExtVP tuples.
+    pub fn extvp_summary(&self) -> ExtVpSummary {
+        let mut summary = ExtVpSummary::default();
+        for stat in self.extvp.values() {
+            if stat.materialized {
+                summary.materialized_tables += 1;
+                summary.materialized_tuples += stat.count;
+            } else if stat.sf >= 1.0 {
+                summary.sf_one_tables += 1;
+            } else {
+                summary.over_threshold_tables += 1;
+                summary.over_threshold_tuples += stat.count;
+            }
+        }
+        summary
+    }
+
+    /// Serializes the catalog to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let json = serde_json::to_vec_pretty(self)
+            .map_err(|e| CoreError::Catalog(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| CoreError::Catalog(e.to_string()))
+    }
+
+    /// Loads a catalog from a JSON file.
+    pub fn load(path: &Path) -> Result<Catalog, CoreError> {
+        let data = std::fs::read(path).map_err(|e| CoreError::Catalog(e.to_string()))?;
+        serde_json::from_slice(&data).map_err(|e| CoreError::Catalog(e.to_string()))
+    }
+}
+
+/// Serializes the ExtVP stat map as a list of `(key, stat)` entries.
+mod extvp_entries {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<ExtVpKey, ExtVpStat>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&ExtVpKey, &ExtVpStat)> = map.iter().collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<ExtVpKey, ExtVpStat>, D::Error> {
+        let entries: Vec<(ExtVpKey, ExtVpStat)> = serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+/// Aggregate ExtVP accounting (paper Tables 2 & 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtVpSummary {
+    /// Materialized tables (`0 < SF <` threshold).
+    pub materialized_tables: usize,
+    /// Tuples across materialized tables.
+    pub materialized_tuples: usize,
+    /// Tables that equal their VP table (`SF = 1`, never stored).
+    pub sf_one_tables: usize,
+    /// Non-empty tables skipped because `SF >=` threshold (but `< 1`).
+    pub over_threshold_tables: usize,
+    /// Tuples across skipped tables.
+    pub over_threshold_tuples: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_computation() {
+        let mut c = Catalog::new(100, 1.0, true);
+        c.set_vp_size(TermId(1), 40);
+        c.set_extvp(ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)), 10, true);
+        let stat = c
+            .extvp_stat(&ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)))
+            .unwrap();
+        assert_eq!(stat.count, 10);
+        assert!((stat.sf - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_pair_means_empty_when_built() {
+        let mut c = Catalog::new(100, 1.0, true);
+        c.set_vp_size(TermId(1), 40);
+        let stat = c
+            .extvp_stat(&ExtVpKey::new(Correlation::SS, TermId(1), TermId(9)))
+            .unwrap();
+        assert_eq!(stat.count, 0);
+        assert_eq!(stat.sf, 0.0);
+        assert!(!stat.materialized);
+    }
+
+    #[test]
+    fn no_stats_without_extvp() {
+        let c = Catalog::new(100, 0.0, false);
+        assert!(c
+            .extvp_stat(&ExtVpKey::new(Correlation::SS, TermId(1), TermId(2)))
+            .is_none());
+    }
+
+    #[test]
+    fn oo_stats_gated_by_oo_built() {
+        let mut c = Catalog::new(100, 1.0, true);
+        c.set_vp_size(TermId(1), 10);
+        let key = ExtVpKey::new(Correlation::OO, TermId(1), TermId(2));
+        // Without oo_built, an absent OO pair is *unknown*, not empty.
+        assert!(c.extvp_stat(&key).is_none());
+        c.oo_built = true;
+        assert_eq!(c.extvp_stat(&key).unwrap().count, 0);
+        c.set_extvp(key, 4, true);
+        assert_eq!(c.extvp_stat(&key).unwrap().count, 4);
+    }
+
+    #[test]
+    fn summary_buckets() {
+        let mut c = Catalog::new(100, 0.25, true);
+        c.set_vp_size(TermId(1), 40);
+        c.set_vp_size(TermId(2), 40);
+        c.set_extvp(ExtVpKey::new(Correlation::SS, TermId(1), TermId(2)), 5, true);
+        c.set_extvp(ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)), 40, false); // SF = 1
+        c.set_extvp(ExtVpKey::new(Correlation::SO, TermId(1), TermId(2)), 20, false); // over threshold
+        let s = c.extvp_summary();
+        assert_eq!(s.materialized_tables, 1);
+        assert_eq!(s.materialized_tuples, 5);
+        assert_eq!(s.sf_one_tables, 1);
+        assert_eq!(s.over_threshold_tables, 1);
+        assert_eq!(s.over_threshold_tuples, 20);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let mut c = Catalog::new(7, 0.5, true);
+        c.set_vp_size(TermId(3), 4);
+        c.set_extvp(ExtVpKey::new(Correlation::OS, TermId(3), TermId(3)), 2, true);
+        let dir = std::env::temp_dir().join(format!("s2rdf-cat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        c.save(&path).unwrap();
+        let back = Catalog::load(&path).unwrap();
+        assert_eq!(back.total_triples, 7);
+        assert_eq!(back.vp_size(TermId(3)), 4);
+        assert_eq!(
+            back.extvp_stat(&ExtVpKey::new(Correlation::OS, TermId(3), TermId(3))),
+            c.extvp_stat(&ExtVpKey::new(Correlation::OS, TermId(3), TermId(3)))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,262 @@
+//! BGP compilation — the paper's Algorithms 3 and 4.
+
+use rustc_hash::FxHashSet;
+
+use s2rdf_model::Dictionary;
+use s2rdf_sparql::TriplePattern;
+
+use crate::catalog::Catalog;
+
+use super::selection::select_with_candidates;
+use super::{BgpPlan, TableSource, TpPlan};
+
+/// Compilation switches.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Use ExtVP candidates in table selection (off = the paper's "S2RDF
+    /// VP" configuration).
+    pub use_extvp: bool,
+    /// Apply join-order optimization (Alg. 4). Off reproduces the naive
+    /// Alg. 3 ordering for the Fig. 12 ablation.
+    pub optimize_join_order: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { use_extvp: true, optimize_join_order: true }
+    }
+}
+
+/// Compiles a BGP into an ordered join plan.
+pub fn compile_bgp(
+    bgp: &[TriplePattern],
+    catalog: &Catalog,
+    dict: &Dictionary,
+    options: CompileOptions,
+) -> BgpPlan {
+    let mut steps: Vec<TpPlan> = Vec::with_capacity(bgp.len());
+    for tp in bgp {
+        let (sel, candidates) =
+            select_with_candidates(tp, bgp, catalog, dict, options.use_extvp);
+        if sel.source == TableSource::Empty {
+            return BgpPlan { steps: Vec::new(), statically_empty: true };
+        }
+        // Everything except the chosen table is an extra reducer.
+        let extra_reducers = candidates
+            .into_iter()
+            .filter(|key| sel.source != TableSource::ExtVp(*key))
+            .collect();
+        steps.push(TpPlan {
+            tp: tp.clone(),
+            source: sel.source,
+            size: sel.size,
+            sf: sel.sf,
+            extra_reducers,
+        });
+    }
+    if options.optimize_join_order {
+        steps = order_steps(steps);
+    }
+    BgpPlan { steps, statically_empty: false }
+}
+
+/// Join-order optimization (Alg. 4): repeatedly pick, among the remaining
+/// patterns that share a variable with the patterns chosen so far (to avoid
+/// cross joins), the one with the most bound positions, breaking ties by
+/// smallest selected-table cardinality. The first pick considers all
+/// patterns; a cross join is only accepted when no connected pattern
+/// remains.
+fn order_steps(mut remaining: Vec<TpPlan>) -> Vec<TpPlan> {
+    let mut ordered = Vec::with_capacity(remaining.len());
+    let mut bound_vars: FxHashSet<String> = FxHashSet::default();
+    while !remaining.is_empty() {
+        let connected = |p: &TpPlan| {
+            bound_vars.is_empty() || p.tp.vars().iter().any(|v| bound_vars.contains(*v))
+        };
+        let candidate_set: Vec<usize> = {
+            let conn: Vec<usize> = (0..remaining.len())
+                .filter(|&i| connected(&remaining[i]))
+                .collect();
+            if conn.is_empty() {
+                (0..remaining.len()).collect() // forced cross join
+            } else {
+                conn
+            }
+        };
+        // First minimum wins (manual loop: `Iterator::min_by` keeps the
+        // *last* of equal elements, which would make plans depend on input
+        // permutation).
+        let mut best = candidate_set[0];
+        for &i in &candidate_set[1..] {
+            let (cur, cand) = (&remaining[best], &remaining[i]);
+            let better = cand
+                .tp
+                .bound_count()
+                .cmp(&cur.tp.bound_count()) // more bound values first
+                .reverse()
+                .then(cand.size.cmp(&cur.size)) // then smaller tables first
+                .is_lt();
+            if better {
+                best = i;
+            }
+        }
+        let step = remaining.remove(best);
+        for v in step.tp.vars() {
+            bound_vars.insert(v.to_string());
+        }
+        ordered.push(step);
+    }
+    ordered
+}
+
+/// Orders raw triple patterns for engines without per-pattern table
+/// statistics (triples-table, centralized, batch baselines): same greedy
+/// strategy with a caller-provided size estimate.
+pub fn order_patterns_by<F: Fn(&TriplePattern) -> usize>(
+    bgp: &[TriplePattern],
+    estimate: F,
+) -> Vec<TriplePattern> {
+    let steps: Vec<TpPlan> = bgp
+        .iter()
+        .map(|tp| TpPlan {
+            tp: tp.clone(),
+            source: TableSource::TriplesTable,
+            size: estimate(tp),
+            sf: 1.0,
+            extra_reducers: Vec::new(),
+        })
+        .collect();
+    order_steps(steps).into_iter().map(|s| s.tp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Correlation, ExtVpKey};
+    use s2rdf_model::Term;
+    use s2rdf_sparql::TermPattern;
+
+    fn v(name: &str) -> TermPattern {
+        TermPattern::Var(name.into())
+    }
+
+    fn p(name: &str) -> TermPattern {
+        TermPattern::Term(Term::iri(name))
+    }
+
+    fn fig11() -> (Dictionary, Catalog) {
+        let mut dict = Dictionary::new();
+        let follows = dict.intern(&Term::iri("follows"));
+        let likes = dict.intern(&Term::iri("likes"));
+        let mut cat = Catalog::new(7, 1.0, true);
+        cat.set_vp_size(follows, 4);
+        cat.set_vp_size(likes, 3);
+        cat.set_extvp(ExtVpKey::new(Correlation::SS, follows, likes), 2, true);
+        cat.set_extvp(ExtVpKey::new(Correlation::OS, follows, follows), 2, true);
+        cat.set_extvp(ExtVpKey::new(Correlation::SO, follows, follows), 3, true);
+        cat.set_extvp(ExtVpKey::new(Correlation::OS, follows, likes), 1, true);
+        cat.set_extvp(ExtVpKey::new(Correlation::SO, likes, follows), 1, true);
+        cat.set_extvp(ExtVpKey::new(Correlation::SS, likes, follows), 3, false);
+        (dict, cat)
+    }
+
+    fn q1() -> Vec<TriplePattern> {
+        vec![
+            TriplePattern::new(v("x"), p("likes"), v("w")),
+            TriplePattern::new(v("x"), p("follows"), v("y")),
+            TriplePattern::new(v("y"), p("follows"), v("z")),
+            TriplePattern::new(v("z"), p("likes"), v("w")),
+        ]
+    }
+
+    #[test]
+    fn unoptimized_keeps_query_order() {
+        let (dict, cat) = fig11();
+        let plan = compile_bgp(
+            &q1(),
+            &cat,
+            &dict,
+            CompileOptions { use_extvp: true, optimize_join_order: false },
+        );
+        let order: Vec<&TriplePattern> = plan.steps.iter().map(|s| &s.tp).collect();
+        assert_eq!(order, q1().iter().collect::<Vec<_>>());
+    }
+
+    /// The paper's Fig. 12: join-order optimization starts with the two
+    /// smallest tables (TP3 with SF 0.25, then TP4 with SF 0.33).
+    #[test]
+    fn fig12_join_order() {
+        let (dict, cat) = fig11();
+        let bgp = q1();
+        let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
+        assert!(!plan.statically_empty);
+        assert_eq!(plan.steps.len(), 4);
+        // First step: TP3 (size 1).
+        assert_eq!(plan.steps[0].tp, bgp[2]);
+        assert_eq!(plan.steps[0].size, 1);
+        // Second: TP4 (size 1, connected via ?z).
+        assert_eq!(plan.steps[1].tp, bgp[3]);
+        // Third: TP2 (size 2, connected via ?y).
+        assert_eq!(plan.steps[2].tp, bgp[1]);
+        // Last: TP1 (size 3).
+        assert_eq!(plan.steps[3].tp, bgp[0]);
+    }
+
+    #[test]
+    fn bound_values_take_priority() {
+        let (dict, cat) = fig11();
+        // A pattern with a bound subject runs first even though its table
+        // is larger.
+        let bgp = vec![
+            TriplePattern::new(v("a"), p("likes"), v("b")),
+            TriplePattern::new(TermPattern::Term(Term::iri("likes")), p("follows"), v("a")),
+        ];
+        let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
+        assert_eq!(plan.steps[0].tp.bound_count(), 2);
+    }
+
+    #[test]
+    fn cross_join_avoided() {
+        let (dict, cat) = fig11();
+        // Disconnected in the middle: ?a…?b then ?x…?y then ?b…?x bridges.
+        let bgp = vec![
+            TriplePattern::new(v("a"), p("follows"), v("b")),
+            TriplePattern::new(v("x"), p("likes"), v("y")),
+            TriplePattern::new(v("b"), p("follows"), v("x")),
+        ];
+        let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
+        // Whatever starts, each later step must share a variable with the
+        // accumulated set.
+        let mut seen: Vec<String> = plan.steps[0].tp.vars().iter().map(|s| s.to_string()).collect();
+        for step in &plan.steps[1..] {
+            assert!(
+                step.tp.vars().iter().any(|v| seen.contains(&v.to_string())),
+                "cross join in plan"
+            );
+            seen.extend(step.tp.vars().iter().map(|s| s.to_string()));
+        }
+    }
+
+    #[test]
+    fn empty_plan_from_statistics() {
+        let (dict, cat) = fig11();
+        let bgp = vec![
+            TriplePattern::new(v("a"), p("likes"), v("b")),
+            TriplePattern::new(v("b"), p("likes"), v("c")),
+        ];
+        let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
+        assert!(plan.statically_empty);
+    }
+
+    #[test]
+    fn order_patterns_by_estimate() {
+        let bgp = vec![
+            TriplePattern::new(v("a"), p("big"), v("b")),
+            TriplePattern::new(v("b"), p("small"), v("c")),
+        ];
+        let ordered = order_patterns_by(&bgp, |tp| {
+            if tp.p == p("big") { 1000 } else { 1 }
+        });
+        assert_eq!(ordered[0].p, p("small"));
+    }
+}

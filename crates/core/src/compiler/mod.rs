@@ -1,0 +1,62 @@
+//! SPARQL-to-plan compilation (paper §6).
+//!
+//! * [`selection`] — Algorithm 1: pick, per triple pattern, the ExtVP table
+//!   with the best (smallest) selectivity factor among the pattern's
+//!   correlations, falling back to VP or the triples table,
+//! * [`bgp`] — Algorithms 3/4: compile a BGP into an ordered join plan,
+//!   short-circuiting to the empty result when any selected table has
+//!   `SF = 0` and optionally reordering joins by bound-value count and
+//!   table cardinality.
+
+pub mod bgp;
+pub mod selection;
+
+use s2rdf_sparql::TriplePattern;
+
+use crate::catalog::ExtVpKey;
+
+/// The table a triple pattern reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableSource {
+    /// The base triples table (unbound predicate).
+    TriplesTable,
+    /// A VP table (`VP_p`).
+    Vp(s2rdf_model::TermId),
+    /// A materialized ExtVP partition.
+    ExtVp(ExtVpKey),
+    /// Statically empty: the predicate does not occur, a bound term is not
+    /// in the dictionary, or a correlation has `SF = 0`.
+    Empty,
+}
+
+/// The compiled access path for one triple pattern.
+#[derive(Debug, Clone)]
+pub struct TpPlan {
+    /// The source pattern.
+    pub tp: TriplePattern,
+    /// Chosen table.
+    pub source: TableSource,
+    /// Cardinality of the chosen table (for join ordering and explain).
+    pub size: usize,
+    /// Selectivity factor of the chosen table relative to VP (1.0 for VP
+    /// and the triples table).
+    pub sf: f64,
+    /// All other materialized reductions applicable to this pattern. When
+    /// [`crate::exec::QueryOptions::intersect_correlations`] is on, the
+    /// executor intersects the chosen table with these (paper §8 future
+    /// work).
+    pub extra_reducers: Vec<ExtVpKey>,
+}
+
+/// A compiled BGP: an ordered sequence of triple-pattern plans to be
+/// joined left-to-right.
+#[derive(Debug, Clone, Default)]
+pub struct BgpPlan {
+    /// Join steps in execution order.
+    pub steps: Vec<TpPlan>,
+    /// True if statistics prove the result is empty (paper §6.1: "a
+    /// SPARQL query which contains a correlation between two predicates
+    /// that does not exist in the dataset can be answered by using the
+    /// statistics only").
+    pub statically_empty: bool,
+}

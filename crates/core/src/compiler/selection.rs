@@ -1,0 +1,284 @@
+//! Table selection — the paper's Algorithm 1.
+//!
+//! For a triple pattern `tp_i` within a BGP, the candidates are its VP
+//! table plus one ExtVP table per correlation (SS/SO/OS) to every other
+//! triple pattern; the candidate with the smallest selectivity factor
+//! wins. A candidate with `SF = 0` proves the whole BGP empty.
+
+use s2rdf_model::Dictionary;
+use s2rdf_sparql::{TermPattern, TriplePattern};
+
+use crate::catalog::{Catalog, Correlation, ExtVpKey};
+
+use super::TableSource;
+
+/// The outcome of table selection for one pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct Selected {
+    /// Chosen table.
+    pub source: TableSource,
+    /// Its cardinality.
+    pub size: usize,
+    /// Its selectivity factor w.r.t. the VP table.
+    pub sf: f64,
+}
+
+fn same_var(a: &TermPattern, b: &TermPattern) -> bool {
+    match (a.as_var(), b.as_var()) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Algorithm 1 (`TableSelection`). `use_extvp` disables the ExtVP
+/// candidates (the paper's "S2RDF VP" configuration).
+pub fn select_table(
+    tp_i: &TriplePattern,
+    bgp: &[TriplePattern],
+    catalog: &Catalog,
+    dict: &Dictionary,
+    use_extvp: bool,
+) -> Selected {
+    select_with_candidates(tp_i, bgp, catalog, dict, use_extvp).0
+}
+
+/// Like [`select_table`], additionally returning every *materialized*
+/// candidate reduction for the pattern. The extra candidates feed the
+/// correlation-intersection optimization (paper §8 future work): all of
+/// them are supersets of the rows that can contribute to the BGP, so
+/// intersecting them tightens the input beyond the single best table.
+pub fn select_with_candidates(
+    tp_i: &TriplePattern,
+    bgp: &[TriplePattern],
+    catalog: &Catalog,
+    dict: &Dictionary,
+    use_extvp: bool,
+) -> (Selected, Vec<ExtVpKey>) {
+    // Bound subject/object constants that are not in the dictionary make
+    // the pattern unsatisfiable.
+    let empty = (Selected { source: TableSource::Empty, size: 0, sf: 0.0 }, Vec::new());
+    for pos in [&tp_i.s, &tp_i.o] {
+        if let Some(t) = pos.as_term() {
+            if dict.id(t).is_none() {
+                return empty;
+            }
+        }
+    }
+    // Unbound predicate: only the triples table can answer it (§5.2).
+    let p_term = match &tp_i.p {
+        TermPattern::Var(_) => {
+            return (
+                Selected {
+                    source: TableSource::TriplesTable,
+                    size: catalog.total_triples,
+                    sf: 1.0,
+                },
+                Vec::new(),
+            )
+        }
+        TermPattern::Term(t) => t,
+    };
+    let Some(p1) = dict.id(p_term) else {
+        return empty;
+    };
+    let vp_size = catalog.vp_size(p1);
+    if vp_size == 0 {
+        return empty;
+    }
+
+    let mut best = Selected { source: TableSource::Vp(p1), size: vp_size, sf: 1.0 };
+    let mut materialized_candidates: Vec<ExtVpKey> = Vec::new();
+    if !use_extvp || !catalog.extvp_built {
+        return (best, materialized_candidates);
+    }
+
+    for tp in bgp {
+        if std::ptr::eq(tp, tp_i) || tp == tp_i {
+            continue;
+        }
+        // ExtVP only covers correlations to patterns with a bound predicate.
+        let Some(p2_term) = tp.p.as_term() else { continue };
+        let Some(p2) = dict.id(p2_term) else {
+            // The other pattern's predicate does not occur at all: the BGP
+            // is empty (that pattern will select Empty itself).
+            continue;
+        };
+
+        let consider = |corr: Correlation, applies: bool| {
+            if !applies {
+                return None;
+            }
+            if matches!(corr, Correlation::SS | Correlation::OO) && p1 == p2 {
+                // SS/OO self-correlations are the identity.
+                return None;
+            }
+            let key = ExtVpKey::new(corr, p1, p2);
+            // For OO this returns None unless OO tables were built, so
+            // absence is never misread as emptiness.
+            catalog.extvp_stat(&key).map(|stat| (key, stat))
+        };
+
+        let candidates = [
+            consider(Correlation::SS, same_var(&tp_i.s, &tp.s)),
+            consider(Correlation::SO, same_var(&tp_i.s, &tp.o)),
+            consider(Correlation::OS, same_var(&tp_i.o, &tp.s)),
+            consider(Correlation::OO, same_var(&tp_i.o, &tp.o)),
+        ];
+        for (key, stat) in candidates.into_iter().flatten() {
+            if stat.count == 0 {
+                // SF = 0: the whole BGP is empty, no execution needed.
+                return (Selected { source: TableSource::Empty, size: 0, sf: 0.0 }, Vec::new());
+            }
+            if stat.materialized {
+                if !materialized_candidates.contains(&key) {
+                    materialized_candidates.push(key);
+                }
+                // `<=` so that among equal-SF candidates the one from the
+                // later correlation wins, matching the paper's Fig. 11
+                // choice (ExtVP_OS follows|follows over ExtVP_SS
+                // follows|likes).
+                if stat.sf <= best.sf {
+                    best = Selected {
+                        source: TableSource::ExtVp(key),
+                        size: stat.count,
+                        sf: stat.sf,
+                    };
+                }
+            }
+        }
+    }
+    (best, materialized_candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::{Term, TermId};
+
+    /// Builds dictionary ids for the predicates of the paper's Fig. 11
+    /// example and a catalog mirroring its ExtVP statistics.
+    fn fig11() -> (Dictionary, Catalog, TermId, TermId) {
+        let mut dict = Dictionary::new();
+        let follows = dict.intern(&Term::iri("follows"));
+        let likes = dict.intern(&Term::iri("likes"));
+        let mut cat = Catalog::new(7, 1.0, true);
+        cat.set_vp_size(follows, 4);
+        cat.set_vp_size(likes, 3);
+        // Fig. 11's SF values.
+        cat.set_extvp(ExtVpKey::new(Correlation::SS, follows, likes), 2, true); // 0.50
+        cat.set_extvp(ExtVpKey::new(Correlation::OS, follows, follows), 2, true); // 0.50
+        cat.set_extvp(ExtVpKey::new(Correlation::SO, follows, follows), 3, true); // 0.75
+        cat.set_extvp(ExtVpKey::new(Correlation::OS, follows, likes), 1, true); // 0.25
+        cat.set_extvp(ExtVpKey::new(Correlation::SO, likes, follows), 1, true); // 0.33
+        cat.set_extvp(ExtVpKey::new(Correlation::SS, likes, follows), 3, false); // 1.00
+        (dict, cat, follows, likes)
+    }
+
+    fn v(name: &str) -> TermPattern {
+        TermPattern::Var(name.into())
+    }
+
+    fn p(name: &str) -> TermPattern {
+        TermPattern::Term(Term::iri(name))
+    }
+
+    /// Query Q1's BGP (Fig. 11).
+    fn q1() -> Vec<TriplePattern> {
+        vec![
+            TriplePattern::new(v("x"), p("likes"), v("w")),
+            TriplePattern::new(v("x"), p("follows"), v("y")),
+            TriplePattern::new(v("y"), p("follows"), v("z")),
+            TriplePattern::new(v("z"), p("likes"), v("w")),
+        ]
+    }
+
+    #[test]
+    fn fig11_table_choices() {
+        let (dict, cat, follows, likes) = fig11();
+        let bgp = q1();
+
+        // TP1 (?x likes ?w): candidates VP_likes (1.0) and SS likes|follows
+        // (1.0, not materialized) -> VP_likes.
+        let s = select_table(&bgp[0], &bgp, &cat, &dict, true);
+        assert_eq!(s.source, TableSource::Vp(likes));
+        assert_eq!(s.size, 3);
+
+        // TP2 (?x follows ?y): ExtVP_SS follows|likes and ExtVP_OS
+        // follows|follows tie at SF 0.5; the later correlation wins, as in
+        // the paper's Fig. 11/12 choice of ExtVP_OS follows|follows.
+        let s = select_table(&bgp[1], &bgp, &cat, &dict, true);
+        assert_eq!(s.size, 2);
+        assert!((s.sf - 0.5).abs() < 1e-12);
+        assert_eq!(
+            s.source,
+            TableSource::ExtVp(ExtVpKey::new(Correlation::OS, follows, follows))
+        );
+
+        // TP3 (?y follows ?z): ExtVP_OS follows|likes, SF 0.25 (the paper's
+        // highlighted choice among three candidates).
+        let s = select_table(&bgp[2], &bgp, &cat, &dict, true);
+        assert_eq!(
+            s.source,
+            TableSource::ExtVp(ExtVpKey::new(Correlation::OS, follows, likes))
+        );
+        assert_eq!(s.size, 1);
+
+        // TP4 (?z likes ?w): ExtVP_SO likes|follows, SF 0.33.
+        let s = select_table(&bgp[3], &bgp, &cat, &dict, true);
+        assert_eq!(
+            s.source,
+            TableSource::ExtVp(ExtVpKey::new(Correlation::SO, likes, follows))
+        );
+    }
+
+    #[test]
+    fn vp_mode_ignores_extvp() {
+        let (dict, cat, follows, _) = fig11();
+        let bgp = q1();
+        let s = select_table(&bgp[2], &bgp, &cat, &dict, false);
+        assert_eq!(s.source, TableSource::Vp(follows));
+        assert_eq!(s.size, 4);
+    }
+
+    #[test]
+    fn zero_sf_short_circuits() {
+        let (dict, cat, _, _) = fig11();
+        // ?a likes ?b . ?b likes ?c — ExtVP_OS likes|likes is absent from
+        // the catalog, hence SF = 0 and the BGP is provably empty.
+        let bgp = vec![
+            TriplePattern::new(v("a"), p("likes"), v("b")),
+            TriplePattern::new(v("b"), p("likes"), v("c")),
+        ];
+        let s = select_table(&bgp[0], &bgp, &cat, &dict, true);
+        assert_eq!(s.source, TableSource::Empty);
+    }
+
+    #[test]
+    fn unknown_predicate_is_empty() {
+        let (dict, cat, _, _) = fig11();
+        let bgp = vec![TriplePattern::new(v("a"), p("nonexistent"), v("b"))];
+        let s = select_table(&bgp[0], &bgp, &cat, &dict, true);
+        assert_eq!(s.source, TableSource::Empty);
+    }
+
+    #[test]
+    fn unknown_constant_is_empty() {
+        let (dict, cat, _, _) = fig11();
+        let bgp = vec![TriplePattern::new(
+            TermPattern::Term(Term::iri("ghost")),
+            p("likes"),
+            v("b"),
+        )];
+        let s = select_table(&bgp[0], &bgp, &cat, &dict, true);
+        assert_eq!(s.source, TableSource::Empty);
+    }
+
+    #[test]
+    fn var_predicate_uses_triples_table() {
+        let (dict, cat, _, _) = fig11();
+        let bgp = vec![TriplePattern::new(v("a"), v("p"), v("b"))];
+        let s = select_table(&bgp[0], &bgp, &cat, &dict, true);
+        assert_eq!(s.source, TableSource::TriplesTable);
+        assert_eq!(s.size, 7);
+    }
+}

@@ -1,0 +1,162 @@
+//! H2RDF+-style adaptive engine (paper §3.2 / §7.2).
+//!
+//! H2RDF+ "maintains aggregated index statistics to estimate triple
+//! pattern selectivity … based on these estimations, the system adaptively
+//! decides whether queries are executed centralized over a single cluster
+//! node or distributed via MapReduce". This simulation composes the
+//! centralized six-index engine with the batch (MapReduce) engine and
+//! picks per BGP: if every pattern's index-range estimate is below a
+//! selectivity budget, run centralized merge-join style; otherwise pay the
+//! batch jobs. The paper's observed behaviour follows: selective queries
+//! are answered in milliseconds, unselective ones fall off a cliff
+//! ("distributed query execution can be orders of magnitude slower than
+//! centralized").
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use s2rdf_columnar::Table;
+use s2rdf_model::{Dictionary, Graph};
+use s2rdf_sparql::TriplePattern;
+
+use crate::error::CoreError;
+use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions};
+
+use super::batch::{BatchEngine, JobGranularity};
+use super::centralized::CentralizedEngine;
+use super::{run_query, SparqlEngine};
+
+/// Default per-pattern row budget for centralized execution.
+pub const DEFAULT_CENTRAL_BUDGET: usize = 50_000;
+
+/// The adaptive (H2RDF+-simulation) engine.
+#[derive(Debug)]
+pub struct AdaptiveEngine {
+    centralized: CentralizedEngine,
+    batch: BatchEngine,
+    /// Estimated-rows budget: BGPs whose largest pattern estimate exceeds
+    /// this run on the batch path.
+    central_budget: usize,
+}
+
+impl AdaptiveEngine {
+    /// Builds both execution paths. `work_dir` and `job_overhead`
+    /// parameterize the batch path like [`BatchEngine::new`].
+    pub fn new(
+        graph: &Graph,
+        work_dir: impl Into<PathBuf>,
+        job_overhead: Duration,
+        central_budget: usize,
+    ) -> Result<AdaptiveEngine, CoreError> {
+        Ok(AdaptiveEngine {
+            centralized: CentralizedEngine::new(graph),
+            batch: BatchEngine::new(graph, work_dir, job_overhead, JobGranularity::MultiJoin)?,
+            central_budget,
+        })
+    }
+
+    /// True if the BGP will run on the centralized path.
+    pub fn chooses_centralized(&self, bgp: &[TriplePattern]) -> bool {
+        bgp.iter().all(|tp| self.centralized.estimate(tp) <= self.central_budget)
+    }
+}
+
+impl BgpEvaluator for AdaptiveEngine {
+    fn dict(&self) -> &Dictionary {
+        self.centralized.dict()
+    }
+
+    fn eval_bgp(
+        &self,
+        bgp: &[TriplePattern],
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Table, CoreError> {
+        if self.chooses_centralized(bgp) {
+            self.centralized.eval_bgp(bgp, ctx)
+        } else {
+            self.batch.eval_bgp(bgp, ctx)
+        }
+    }
+}
+
+impl SparqlEngine for AdaptiveEngine {
+    fn name(&self) -> String {
+        "Adaptive (H2RDF+-sim)".to_string()
+    }
+
+    fn query_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(Solutions, Explain), CoreError> {
+        run_query(self, sparql, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::{Term, Triple};
+    use s2rdf_sparql::GraphPattern;
+
+    fn graph() -> Graph {
+        // Many `follows` edges (unselective) and a handful of `likes`.
+        let mut triples = Vec::new();
+        for i in 0..500 {
+            triples.push(Triple::new(
+                Term::iri(format!("u{i}")),
+                Term::iri("follows"),
+                Term::iri(format!("u{}", (i + 1) % 500)),
+            ));
+        }
+        for i in 0..5 {
+            triples.push(Triple::new(
+                Term::iri(format!("u{i}")),
+                Term::iri("likes"),
+                Term::iri("thing"),
+            ));
+        }
+        Graph::from_triples(triples)
+    }
+
+    fn engine(budget: usize) -> AdaptiveEngine {
+        let dir = std::env::temp_dir().join(format!(
+            "s2rdf-adaptive-{}-{budget}",
+            std::process::id()
+        ));
+        AdaptiveEngine::new(&graph(), dir, Duration::ZERO, budget).unwrap()
+    }
+
+    fn bgp_of(q: &str) -> Vec<TriplePattern> {
+        match s2rdf_sparql::parse_query(q).unwrap().pattern {
+            GraphPattern::Bgp(tps) => tps,
+            other => panic!("expected BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selective_queries_go_centralized() {
+        let e = engine(100);
+        assert!(e.chooses_centralized(&bgp_of("SELECT * WHERE { ?x <likes> ?y }")));
+        assert!(!e.chooses_centralized(&bgp_of("SELECT * WHERE { ?x <follows> ?y }")));
+        assert!(!e.chooses_centralized(&bgp_of(
+            "SELECT * WHERE { ?x <likes> ?t . ?x <follows> ?y }"
+        )));
+    }
+
+    #[test]
+    fn both_paths_agree() {
+        let e = engine(100);
+        let q = "SELECT * WHERE { ?x <likes> ?t . ?x <follows> ?y }"; // batch path
+        let s = e.query(q).unwrap();
+        let central_only = CentralizedEngine::new(&graph());
+        assert_eq!(s.canonical(), central_only.query(q).unwrap().canonical());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn budget_flips_the_decision() {
+        let loose = engine(10_000);
+        assert!(loose.chooses_centralized(&bgp_of("SELECT * WHERE { ?x <follows> ?y }")));
+    }
+}

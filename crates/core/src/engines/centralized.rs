@@ -1,0 +1,387 @@
+//! Centralized-store simulation: six sorted triple-permutation indexes
+//! with single-threaded index-nested-loop joins (Hexastore / RDF-3X
+//! style), standing in for Virtuoso in the paper's comparison (§7).
+//!
+//! Highly selective queries are answered by a handful of binary searches —
+//! exactly why the paper's Virtuoso beats everything on small lookups —
+//! while unselective large-diameter queries enumerate enormous
+//! intermediate bindings on one core and hit the harness deadline, like
+//! Virtuoso's "F" entries on IL-3.
+
+use s2rdf_columnar::{Schema, Table};
+use s2rdf_model::{Dictionary, Graph};
+use s2rdf_sparql::{TermPattern, TriplePattern};
+
+use crate::compiler::bgp::order_patterns_by;
+use crate::error::CoreError;
+use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions};
+
+use super::{run_query, SparqlEngine};
+
+/// Triple component order of one index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Perm {
+    Spo,
+    Sop,
+    Pso,
+    Pos,
+    Osp,
+    Ops,
+}
+
+impl Perm {
+    /// Reorders an `(s, p, o)` triple into this permutation.
+    fn encode(self, t: (u32, u32, u32)) -> [u32; 3] {
+        let (s, p, o) = t;
+        match self {
+            Perm::Spo => [s, p, o],
+            Perm::Sop => [s, o, p],
+            Perm::Pso => [p, s, o],
+            Perm::Pos => [p, o, s],
+            Perm::Osp => [o, s, p],
+            Perm::Ops => [o, p, s],
+        }
+    }
+
+    /// Maps a permuted row back to `(s, p, o)`.
+    fn decode(self, r: [u32; 3]) -> (u32, u32, u32) {
+        match self {
+            Perm::Spo => (r[0], r[1], r[2]),
+            Perm::Sop => (r[0], r[2], r[1]),
+            Perm::Pso => (r[1], r[0], r[2]),
+            Perm::Pos => (r[2], r[0], r[1]),
+            Perm::Osp => (r[1], r[2], r[0]),
+            Perm::Ops => (r[2], r[1], r[0]),
+        }
+    }
+}
+
+const PERMS: [Perm; 6] = [Perm::Spo, Perm::Sop, Perm::Pso, Perm::Pos, Perm::Osp, Perm::Ops];
+
+/// Centralized (Virtuoso-style) engine.
+#[derive(Debug)]
+pub struct CentralizedEngine {
+    dict: Dictionary,
+    /// One sorted array per permutation, in [`PERMS`] order.
+    indexes: [Vec<[u32; 3]>; 6],
+}
+
+impl CentralizedEngine {
+    /// Builds all six permutation indexes.
+    pub fn new(graph: &Graph) -> CentralizedEngine {
+        let mut indexes: [Vec<[u32; 3]>; 6] = Default::default();
+        for (perm, index) in PERMS.iter().zip(indexes.iter_mut()) {
+            index.reserve(graph.len());
+            for t in graph.triples() {
+                index.push(perm.encode((t.s.0, t.p.0, t.o.0)));
+            }
+            index.sort_unstable();
+        }
+        CentralizedEngine { dict: graph.dict().clone(), indexes }
+    }
+
+    /// Total index entries (6 · |G|), for the load/size report.
+    pub fn index_entries(&self) -> usize {
+        self.indexes.iter().map(Vec::len).sum()
+    }
+
+    /// Picks the index whose sort order puts the bound components first
+    /// and returns the matching sorted range.
+    fn range(&self, s: Option<u32>, p: Option<u32>, o: Option<u32>) -> (Perm, &[[u32; 3]]) {
+        let (perm, prefix): (Perm, Vec<u32>) = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => (Perm::Spo, vec![s, p, o]),
+            (Some(s), Some(p), None) => (Perm::Spo, vec![s, p]),
+            (Some(s), None, Some(o)) => (Perm::Sop, vec![s, o]),
+            (Some(s), None, None) => (Perm::Spo, vec![s]),
+            (None, Some(p), Some(o)) => (Perm::Pos, vec![p, o]),
+            (None, Some(p), None) => (Perm::Pso, vec![p]),
+            (None, None, Some(o)) => (Perm::Osp, vec![o]),
+            (None, None, None) => (Perm::Spo, vec![]),
+        };
+        let index = &self.indexes[PERMS.iter().position(|&q| q == perm).unwrap()];
+        let lower = index.partition_point(|row| row[..prefix.len()] < prefix[..]);
+        let upper = index.partition_point(|row| row[..prefix.len()] <= prefix[..]);
+        (perm, &index[lower..upper])
+    }
+
+    /// Iterates the `(s, p, o)` triples matching the bound components.
+    fn scan(
+        &self,
+        s: Option<u32>,
+        p: Option<u32>,
+        o: Option<u32>,
+    ) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let (perm, range) = self.range(s, p, o);
+        range.iter().map(move |&r| perm.decode(r))
+    }
+
+    /// Estimated matches for a pattern — the index range length, obtained
+    /// with two binary searches. Also used by the adaptive (H2RDF+-style)
+    /// engine to choose its execution mode.
+    pub fn estimate(&self, tp: &TriplePattern) -> usize {
+        let resolve = |pat: &TermPattern| match pat {
+            TermPattern::Var(_) => Ok(None),
+            TermPattern::Term(t) => match self.dict.id(t) {
+                Some(id) => Ok(Some(id.0)),
+                None => Err(()),
+            },
+        };
+        match (resolve(&tp.s), resolve(&tp.p), resolve(&tp.o)) {
+            (Ok(s), Ok(p), Ok(o)) => self.range(s, p, o).1.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Per-query state for the index-nested-loop evaluation.
+struct Inlj<'e> {
+    engine: &'e CentralizedEngine,
+    plan: Vec<TriplePattern>,
+    vars: Vec<String>,
+    /// Constant ids per pattern position, or the var's binding slot.
+    resolved: Vec<[Slot; 3]>,
+    out: Table,
+    visited: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Const(u32),
+    Var(usize),
+    /// A constant not present in the dictionary: no match possible.
+    Impossible,
+}
+
+impl Inlj<'_> {
+    fn recurse(
+        &mut self,
+        depth: usize,
+        binding: &mut Vec<Option<u32>>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<(), CoreError> {
+        if depth == self.plan.len() {
+            let row: Vec<u32> = binding
+                .iter()
+                .map(|b| b.expect("all vars bound at leaf"))
+                .collect();
+            self.out.push_row(&row);
+            return Ok(());
+        }
+        self.visited += 1;
+        if self.visited.is_multiple_of(8192) {
+            ctx.check_deadline()?;
+        }
+        let slots = self.resolved[depth];
+        let fetch = |slot: Slot, binding: &Vec<Option<u32>>| match slot {
+            Slot::Const(c) => Some(Some(c)),
+            Slot::Var(i) => Some(binding[i]),
+            Slot::Impossible => None,
+        };
+        let (Some(s), Some(p), Some(o)) = (
+            fetch(slots[0], binding),
+            fetch(slots[1], binding),
+            fetch(slots[2], binding),
+        ) else {
+            return Ok(()); // impossible constant
+        };
+        // Collect matches first: `scan` borrows the engine immutably while
+        // we mutate bindings below.
+        let matches: Vec<(u32, u32, u32)> = self.engine.scan(s, p, o).collect();
+        for (ms, mp, mo) in matches {
+            self.visited += 1;
+            if self.visited.is_multiple_of(8192) {
+                ctx.check_deadline()?;
+            }
+            let mut newly = [usize::MAX; 3];
+            let mut ok = true;
+            for (slot_idx, (slot, val)) in
+                slots.iter().zip([ms, mp, mo]).enumerate()
+            {
+                if let Slot::Var(v) = slot {
+                    match binding[*v] {
+                        Some(existing) if existing != val => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding[*v] = Some(val);
+                            newly[slot_idx] = *v;
+                        }
+                    }
+                }
+            }
+            if ok {
+                self.recurse(depth + 1, binding, ctx)?;
+            }
+            for v in newly {
+                if v != usize::MAX {
+                    binding[v] = None;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BgpEvaluator for CentralizedEngine {
+    fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn eval_bgp(
+        &self,
+        bgp: &[TriplePattern],
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Table, CoreError> {
+        let plan = if ctx.options.optimize_join_order {
+            order_patterns_by(bgp, |tp| self.estimate(tp))
+        } else {
+            bgp.to_vec()
+        };
+        // Variable slots in first-occurrence order of the plan.
+        let mut vars: Vec<String> = Vec::new();
+        for tp in &plan {
+            for v in tp.vars() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        let resolved: Vec<[Slot; 3]> = plan
+            .iter()
+            .map(|tp| {
+                [&tp.s, &tp.p, &tp.o].map(|pat| match pat {
+                    TermPattern::Var(v) => {
+                        Slot::Var(vars.iter().position(|x| x == v).unwrap())
+                    }
+                    TermPattern::Term(t) => match self.dict.id(t) {
+                        Some(id) => Slot::Const(id.0),
+                        None => Slot::Impossible,
+                    },
+                })
+            })
+            .collect();
+
+        let schema = if vars.is_empty() {
+            Schema::new([crate::exec::pattern::UNIT_COL])
+        } else {
+            Schema::new(vars.clone())
+        };
+        let unit = vars.is_empty();
+        let mut inlj = Inlj {
+            engine: self,
+            plan,
+            vars,
+            resolved,
+            out: Table::empty(schema),
+            visited: 0,
+        };
+        let mut binding: Vec<Option<u32>> =
+            vec![None; inlj.vars.len().max(usize::from(unit))];
+        if unit {
+            binding[0] = Some(0); // unit column value
+        }
+        inlj.recurse(0, &mut binding, ctx)?;
+        Ok(inlj.out)
+    }
+}
+
+impl SparqlEngine for CentralizedEngine {
+    fn name(&self) -> String {
+        "Centralized (Virtuoso-sim)".to_string()
+    }
+
+    fn query_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(Solutions, Explain), CoreError> {
+        run_query(self, sparql, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::{Term, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn g1() -> Graph {
+        Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+            t("C", "follows", "D"),
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ])
+    }
+
+    #[test]
+    fn builds_six_indexes() {
+        let e = CentralizedEngine::new(&g1());
+        assert_eq!(e.index_entries(), 6 * 7);
+    }
+
+    #[test]
+    fn scans_use_all_binding_shapes() {
+        let e = CentralizedEngine::new(&g1());
+        let id = |x: &str| e.dict.id(&Term::iri(x)).unwrap().0;
+        assert_eq!(e.scan(None, None, None).count(), 7);
+        assert_eq!(e.scan(Some(id("A")), None, None).count(), 3);
+        assert_eq!(e.scan(None, Some(id("follows")), None).count(), 4);
+        assert_eq!(e.scan(None, None, Some(id("D"))).count(), 2);
+        assert_eq!(e.scan(Some(id("A")), Some(id("likes")), None).count(), 2);
+        assert_eq!(e.scan(Some(id("A")), None, Some(id("I1"))).count(), 1);
+        assert_eq!(e.scan(None, Some(id("likes")), Some(id("I2"))).count(), 2);
+        assert_eq!(
+            e.scan(Some(id("A")), Some(id("follows")), Some(id("B"))).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn q1_matches_paper() {
+        let e = CentralizedEngine::new(&g1());
+        let s = e
+            .query(
+                "SELECT * WHERE { ?x <likes> ?w . ?x <follows> ?y .
+                                  ?y <follows> ?z . ?z <likes> ?w }",
+            )
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "y"), Some(&Term::iri("B")));
+    }
+
+    #[test]
+    fn fully_bound_and_unknown_constants() {
+        let e = CentralizedEngine::new(&g1());
+        assert_eq!(e.query("SELECT * WHERE { <A> <follows> <B> }").unwrap().len(), 1);
+        assert!(e.query("SELECT * WHERE { <A> <follows> <Z9> }").unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_constrains() {
+        let e = CentralizedEngine::new(&g1());
+        let s = e.query("SELECT * WHERE { ?x <follows> ?x }").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deadline_enforced() {
+        let e = CentralizedEngine::new(&g1());
+        let opts = QueryOptions {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Default::default()
+        };
+        match e.query_opt("SELECT * WHERE { ?a ?b ?c . ?c ?d ?e }", &opts) {
+            Err(CoreError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

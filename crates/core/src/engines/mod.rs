@@ -1,0 +1,197 @@
+//! Query engines: S2RDF itself plus the baseline and competitor-style
+//! engines used in the paper's evaluation (§7).
+//!
+//! | Engine | Stands in for | Mechanism |
+//! |---|---|---|
+//! | [`s2rdf::S2rdfEngine`] (ExtVP) | S2RDF | statistics-driven ExtVP selection + parallel hash joins |
+//! | [`s2rdf::S2rdfEngine`] (VP mode) | S2RDF VP | plain vertical partitioning |
+//! | [`triples_table::TriplesTableEngine`] | naive triples-table SQL (§4.1) | full-table scans per pattern |
+//! | [`property_table::PropertyTableEngine`] | Sempala | star-shaped groups answered without joins from a property table |
+//! | [`batch::BatchEngine`] | SHARD / PigSPARQL | left-deep disk-materialized jobs with per-job startup latency |
+//! | [`adaptive::AdaptiveEngine`] | H2RDF+ | statistics-driven choice between centralized and batch execution |
+//! | [`centralized::CentralizedEngine`] | Virtuoso / RDF-3X | single-threaded six-permutation sorted indexes, index-nested-loop joins |
+
+pub mod adaptive;
+pub mod batch;
+pub mod centralized;
+pub mod property_table;
+pub mod s2rdf;
+pub mod triples_table;
+
+use s2rdf_columnar::{ops, Schema, Table};
+use s2rdf_model::Dictionary;
+use s2rdf_sparql::{GraphPattern, TermPattern, TriplePattern};
+
+use crate::error::CoreError;
+use crate::exec::{eval_query, BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions};
+
+/// The common engine interface: parse + evaluate a SPARQL query.
+pub trait SparqlEngine {
+    /// Engine name for reports ("S2RDF ExtVP", "Sempala-sim", …).
+    fn name(&self) -> String;
+
+    /// Runs a query with options, returning solutions and the execution
+    /// trace.
+    fn query_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(Solutions, Explain), CoreError>;
+
+    /// Runs a query with default options.
+    fn query(&self, sparql: &str) -> Result<Solutions, CoreError> {
+        self.query_opt(sparql, &QueryOptions::default()).map(|(s, _)| s)
+    }
+}
+
+/// Shared driver: every engine is a [`BgpEvaluator`]; this parses the query
+/// and runs the algebra evaluator on top of it.
+pub(crate) fn run_query(
+    ev: &dyn BgpEvaluator,
+    sparql: &str,
+    options: &QueryOptions,
+) -> Result<(Solutions, Explain), CoreError> {
+    let query = s2rdf_sparql::parse_query(sparql)?;
+    let mut ctx = ExecContext::new(ev.dict(), *options);
+    let solutions = eval_query(ev, &query, &mut ctx)?;
+    Ok((solutions, ctx.explain))
+}
+
+/// An empty solution table with one column per BGP variable (used when
+/// statistics prove emptiness).
+pub(crate) fn empty_bgp_table(bgp: &[TriplePattern]) -> Table {
+    let vars = GraphPattern::Bgp(bgp.to_vec()).vars();
+    Table::empty(Schema::new(vars))
+}
+
+/// Evaluates one triple pattern against a physical table.
+///
+/// `cols` maps physical column indices to the pattern positions they hold
+/// (e.g. `[(0, s), (1, o)]` for a VP table, `[(0, s), (1, p), (2, o)]` for
+/// the triples table). Implements the paper's Algorithm 2: bound terms
+/// become selections, variables become projections-with-rename; a repeated
+/// variable adds a column-equality selection.
+pub(crate) fn scan_pattern(
+    table: &Table,
+    cols: &[(usize, &TermPattern)],
+    dict: &Dictionary,
+) -> Table {
+    // Selections for bound terms.
+    let mut current: Option<Table> = None;
+    for &(col, pat) in cols {
+        if let Some(term) = pat.as_term() {
+            let Some(id) = dict.id(term) else {
+                return Table::empty(scan_schema(cols));
+            };
+            let source = current.as_ref().unwrap_or(table);
+            current = Some(ops::select_eq(source, col, id.0));
+        }
+    }
+
+    // Variable projections; repeated variables become equality selections.
+    let mut proj: Vec<(usize, &str)> = Vec::new();
+    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
+    for &(col, pat) in cols {
+        if let Some(var) = pat.as_var() {
+            match proj.iter().find(|(_, v)| *v == var) {
+                Some(&(first_col, _)) => eq_pairs.push((first_col, col)),
+                None => proj.push((col, var)),
+            }
+        }
+    }
+    let mut result = current.unwrap_or_else(|| table.clone());
+    if !eq_pairs.is_empty() {
+        result = ops::filter(&result, |t, row| {
+            eq_pairs.iter().all(|&(a, b)| t.value(row, a) == t.value(row, b))
+        });
+    }
+    if proj.is_empty() {
+        // Fully bound pattern: solutions bind nothing, but their count
+        // matters. Zero-column tables cannot carry a row count, so emit the
+        // unit column instead.
+        return Table::from_columns(
+            Schema::new([crate::exec::pattern::UNIT_COL]),
+            vec![vec![0; result.num_rows()]],
+        );
+    }
+    let schema = Schema::new(proj.iter().map(|(_, v)| v.to_string()));
+    let cols_out: Vec<Vec<u32>> = proj
+        .iter()
+        .map(|&(c, _)| result.column(c).to_vec())
+        .collect();
+    Table::from_columns(schema, cols_out)
+}
+
+fn scan_schema(cols: &[(usize, &TermPattern)]) -> Schema {
+    let mut names: Vec<String> = Vec::new();
+    for &(_, pat) in cols {
+        if let Some(v) = pat.as_var() {
+            if !names.iter().any(|n| n == v) {
+                names.push(v.to_string());
+            }
+        }
+    }
+    if names.is_empty() {
+        names.push(crate::exec::pattern::UNIT_COL.to_string());
+    }
+    Schema::new(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::Term;
+
+    fn dict_with(terms: &[&str]) -> Dictionary {
+        let mut d = Dictionary::new();
+        for t in terms {
+            d.intern(&Term::iri(*t));
+        }
+        d
+    }
+
+    #[test]
+    fn scan_projects_variables() {
+        let dict = dict_with(&["a", "b", "c"]);
+        let table = Table::from_rows(Schema::new(["s", "o"]), &[[0, 1], [1, 2]]);
+        let s_var = TermPattern::Var("x".into());
+        let o_var = TermPattern::Var("y".into());
+        let out = scan_pattern(&table, &[(0, &s_var), (1, &o_var)], &dict);
+        assert_eq!(out.schema().names()[0].as_ref(), "x");
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn scan_selects_bound_terms() {
+        let dict = dict_with(&["a", "b", "c"]);
+        let table = Table::from_rows(Schema::new(["s", "o"]), &[[0, 1], [1, 2]]);
+        let bound = TermPattern::Term(Term::iri("b"));
+        let o_var = TermPattern::Var("y".into());
+        let out = scan_pattern(&table, &[(0, &bound), (1, &o_var)], &dict);
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), 2);
+        assert_eq!(out.schema().len(), 1); // bound position not projected
+    }
+
+    #[test]
+    fn scan_unknown_constant_is_empty() {
+        let dict = dict_with(&["a"]);
+        let table = Table::from_rows(Schema::new(["s", "o"]), &[[0, 0]]);
+        let bound = TermPattern::Term(Term::iri("ghost"));
+        let o_var = TermPattern::Var("y".into());
+        let out = scan_pattern(&table, &[(0, &bound), (1, &o_var)], &dict);
+        assert!(out.is_empty());
+        assert!(out.schema().contains("y"));
+    }
+
+    #[test]
+    fn scan_repeated_variable_enforces_equality() {
+        let dict = dict_with(&["a", "b"]);
+        let table = Table::from_rows(Schema::new(["s", "o"]), &[[0, 0], [0, 1]]);
+        let v = TermPattern::Var("x".into());
+        let out = scan_pattern(&table, &[(0, &v), (1, &v)], &dict);
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.schema().len(), 1);
+        assert_eq!(out.value(0, 0), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The S2RDF engine: ExtVP-aware BGP evaluation (paper §6).
+
+use rustc_hash::FxHashSet;
+use s2rdf_columnar::exec::natural_join_auto;
+use s2rdf_columnar::Table;
+use s2rdf_model::Dictionary;
+use s2rdf_sparql::TriplePattern;
+
+use crate::compiler::bgp::{compile_bgp, CompileOptions};
+use crate::compiler::{TableSource, TpPlan};
+use crate::error::CoreError;
+use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, StepExplain};
+use crate::layout::{extvp_table_name, vp_table_name, TT_NAME};
+use crate::store::S2rdfStore;
+
+use super::{empty_bgp_table, run_query, scan_pattern, SparqlEngine};
+
+/// The S2RDF query engine over a built store.
+///
+/// With `use_extvp = true` it compiles BGPs against the ExtVP statistics
+/// (Algorithms 1–4); with `false` it restricts table selection to VP — the
+/// paper's "S2RDF VP" configuration used throughout §7.1's comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct S2rdfEngine<'a> {
+    store: &'a S2rdfStore,
+    use_extvp: bool,
+}
+
+impl<'a> S2rdfEngine<'a> {
+    /// Creates an engine over a store.
+    pub fn new(store: &'a S2rdfStore, use_extvp: bool) -> S2rdfEngine<'a> {
+        S2rdfEngine { store, use_extvp }
+    }
+
+    /// Whether this engine uses ExtVP candidates.
+    pub fn uses_extvp(&self) -> bool {
+        self.use_extvp
+    }
+
+    fn exec_step(&self, step: &TpPlan, ctx: &mut ExecContext<'_>) -> Result<Table, CoreError> {
+        let dict = self.store.dict();
+        let out = match step.source {
+            TableSource::TriplesTable => scan_pattern(
+                self.store.triples_table(),
+                &[(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)],
+                dict,
+            ),
+            TableSource::Vp(p) => {
+                let table =
+                    self.store.vp_table(p).expect("compiler selected an existing VP table");
+                let table = self.apply_intersection(table, step, ctx);
+                scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict)
+            }
+            TableSource::ExtVp(key) => {
+                let table = self
+                    .store
+                    .extvp_table(&key)
+                    .expect("compiler selected a materialized ExtVP table");
+                let table = self.apply_intersection(table, step, ctx);
+                scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict)
+            }
+            TableSource::Empty => unreachable!("empty plans short-circuit earlier"),
+        };
+        let name = match step.source {
+            TableSource::TriplesTable => TT_NAME.to_string(),
+            TableSource::Vp(p) => vp_table_name(dict, p),
+            TableSource::ExtVp(key) => extvp_table_name(dict, &key),
+            TableSource::Empty => unreachable!(),
+        };
+        let intersected = ctx.options.intersect_correlations && !step.extra_reducers.is_empty();
+        ctx.explain.bgp_steps.push(StepExplain {
+            table: if intersected {
+                format!("{name} ∩ {} reducers", step.extra_reducers.len())
+            } else {
+                name
+            },
+            rows: out.num_rows(),
+            sf: step.sf,
+        });
+        Ok(out)
+    }
+
+    /// The §8 future-work "unification" optimization: every materialized
+    /// reduction applicable to the pattern is a superset of the rows that
+    /// can contribute, so their intersection is a tighter input than the
+    /// single best table. Computed here at query time via hash-set
+    /// filtering against the chosen table.
+    fn apply_intersection(
+        &self,
+        chosen: std::sync::Arc<Table>,
+        step: &TpPlan,
+        ctx: &ExecContext<'_>,
+    ) -> std::sync::Arc<Table> {
+        if !ctx.options.intersect_correlations || step.extra_reducers.is_empty() {
+            return chosen;
+        }
+        let mut keep: Option<Vec<bool>> = None;
+        for key in &step.extra_reducers {
+            let Some(reducer) = self.store.extvp_table(key) else { continue };
+            let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+            set.reserve(reducer.num_rows());
+            for row in 0..reducer.num_rows() {
+                set.insert((reducer.value(row, 0), reducer.value(row, 1)));
+            }
+            let keep = keep.get_or_insert_with(|| vec![true; chosen.num_rows()]);
+            for (row, flag) in keep.iter_mut().enumerate() {
+                if *flag && !set.contains(&(chosen.value(row, 0), chosen.value(row, 1))) {
+                    *flag = false;
+                }
+            }
+        }
+        match keep {
+            Some(keep) if keep.iter().any(|&k| !k) => {
+                let indices: Vec<usize> = keep
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &k)| k.then_some(i))
+                    .collect();
+                std::sync::Arc::new(chosen.gather(&indices))
+            }
+            _ => chosen,
+        }
+    }
+}
+
+impl BgpEvaluator for S2rdfEngine<'_> {
+    fn dict(&self) -> &Dictionary {
+        self.store.dict()
+    }
+
+    fn eval_bgp(
+        &self,
+        bgp: &[TriplePattern],
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Table, CoreError> {
+        let options = CompileOptions {
+            use_extvp: self.use_extvp,
+            optimize_join_order: ctx.options.optimize_join_order,
+        };
+        let plan = compile_bgp(bgp, self.store.catalog(), self.store.dict(), options);
+        if plan.statically_empty {
+            ctx.explain.statically_empty = true;
+            return Ok(empty_bgp_table(bgp));
+        }
+        let mut result: Option<Table> = None;
+        for step in &plan.steps {
+            ctx.check_deadline()?;
+            let scanned = self.exec_step(step, ctx)?;
+            result = Some(match result {
+                None => scanned,
+                Some(acc) => {
+                    let joined = natural_join_auto(&acc, &scanned);
+                    ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows());
+                    joined
+                }
+            });
+        }
+        Ok(result.expect("eval_bgp called with non-empty BGP"))
+    }
+}
+
+impl SparqlEngine for S2rdfEngine<'_> {
+    fn name(&self) -> String {
+        if self.use_extvp { "S2RDF ExtVP".to_string() } else { "S2RDF VP".to_string() }
+    }
+
+    fn query_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(Solutions, Explain), CoreError> {
+        run_query(self, sparql, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::BuildOptions;
+    use s2rdf_model::{Graph, Term, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn g1() -> Graph {
+        Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+            t("C", "follows", "D"),
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ])
+    }
+
+    /// Q1 from the paper (§2.1): "friends of friends who like the same
+    /// things" — exactly one solution on G1.
+    const Q1: &str = "SELECT * WHERE {
+        ?x <likes> ?w . ?x <follows> ?y .
+        ?y <follows> ?z . ?z <likes> ?w
+    }";
+
+    #[test]
+    fn q1_on_g1() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let s = store.query(Q1).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "x"), Some(&Term::iri("A")));
+        assert_eq!(s.binding(0, "y"), Some(&Term::iri("B")));
+        assert_eq!(s.binding(0, "z"), Some(&Term::iri("C")));
+        assert_eq!(s.binding(0, "w"), Some(&Term::iri("I2")));
+    }
+
+    #[test]
+    fn extvp_and_vp_agree() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let a = store.engine(true).query(Q1).unwrap();
+        let b = store.engine(false).query(Q1).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    /// Fig. 8: the single BGP join of (?x follows ?y . ?y likes ?z) costs
+    /// 12 naive comparisons on VP but 1 on ExtVP.
+    #[test]
+    fn fig8_join_comparisons() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let q = "SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?z }";
+        let (s_ext, ex_ext) = store.engine(true).query_opt(q, &Default::default()).unwrap();
+        let (s_vp, ex_vp) = store.engine(false).query_opt(q, &Default::default()).unwrap();
+        assert_eq!(s_ext.canonical(), s_vp.canonical());
+        assert_eq!(s_ext.len(), 1);
+        assert_eq!(ex_vp.naive_join_comparisons, 12); // 4 × 3
+        assert_eq!(ex_ext.naive_join_comparisons, 1); // 1 × 1
+    }
+
+    /// Fig. 12: with join-order optimization Q1 does 6 naive comparisons
+    /// instead of 10.
+    #[test]
+    fn fig12_join_order_comparisons() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let engine = store.engine(true);
+        let (_, unopt) = engine
+            .query_opt(
+                Q1,
+                &QueryOptions { optimize_join_order: false, ..Default::default() },
+            )
+            .unwrap();
+        let (_, opt) = engine.query_opt(Q1, &QueryOptions::default()).unwrap();
+        assert_eq!(unopt.naive_join_comparisons, 10); // (3·2) + (2·1) + (2·1)
+        assert_eq!(opt.naive_join_comparisons, 6); // (1·1) + (1·2) + (1·3)
+    }
+
+    #[test]
+    fn statistics_answer_empty_queries() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        // likes → likes chains don't exist in G1 (ST-8-style query).
+        let q = "SELECT * WHERE { ?a <likes> ?b . ?b <likes> ?c }";
+        let (s, explain) = store.engine(true).query_opt(q, &Default::default()).unwrap();
+        assert!(s.is_empty());
+        assert!(explain.statically_empty);
+        assert!(explain.bgp_steps.is_empty()); // nothing was executed
+
+        // The VP engine cannot know statically.
+        let (s_vp, ex_vp) = store.engine(false).query_opt(q, &Default::default()).unwrap();
+        assert!(s_vp.is_empty());
+        assert!(!ex_vp.statically_empty);
+    }
+
+    #[test]
+    fn bound_constants_and_var_predicates() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let s = store.query("SELECT ?y WHERE { <A> <follows> ?y }").unwrap();
+        assert_eq!(s.len(), 1);
+        // Var predicate goes through the triples table.
+        let s = store.query("SELECT ?p WHERE { <A> ?p ?o }").unwrap();
+        assert_eq!(s.len(), 3);
+        // Fully bound pattern.
+        let s = store.query("SELECT * WHERE { <A> <follows> <B> }").unwrap();
+        assert_eq!(s.len(), 1);
+        let s = store.query("SELECT * WHERE { <A> <follows> <C> }").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn correlation_intersection_is_semantics_preserving_and_tighter() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let engine = store.engine(true);
+        let plain = engine.query_opt(Q1, &QueryOptions::default()).unwrap();
+        let inter = engine
+            .query_opt(
+                Q1,
+                &QueryOptions { intersect_correlations: true, ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(plain.0.canonical(), inter.0.canonical());
+        // The intersected plan never scans more rows than the plain one…
+        let rows = |ex: &Explain| ex.bgp_steps.iter().map(|s| s.rows).sum::<usize>();
+        assert!(rows(&inter.1) <= rows(&plain.1));
+        // …and Q1's TP2 has two applicable reductions (OS follows|follows,
+        // SS follows|likes), whose intersection {(A,B)} is strictly
+        // smaller than either (size 2). The explain notes the reducers.
+        assert!(
+            inter.1.bgp_steps.iter().any(|s| s.table.contains("∩")),
+            "no intersected step in {:?}",
+            inter.1.bgp_steps
+        );
+        assert!(rows(&inter.1) < rows(&plain.1));
+    }
+
+    #[test]
+    fn threshold_store_still_correct() {
+        // With a harsh threshold nothing is materialized but results match.
+        let full = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let th = S2rdfStore::build(
+            &g1(),
+            &BuildOptions {  threshold: 0.3, build_extvp: true, ..Default::default() },
+        );
+        assert!(th.num_extvp_tables() < full.num_extvp_tables());
+        assert_eq!(
+            th.query(Q1).unwrap().canonical(),
+            full.query(Q1).unwrap().canonical()
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! SPARQL 1.1 aggregation (GROUP BY + COUNT/SUM/AVG/MIN/MAX).
+//!
+//! The paper leaves "the additional features introduced in SPARQL 1.1,
+//! e.g. subqueries and aggregations" as future work (§6.1); this module
+//! implements the aggregation part. Grouping operates on the dictionary-id
+//! binding table produced by pattern evaluation; aggregate values are
+//! computed over decoded terms and returned directly as fresh terms (they
+//! need not exist in the dictionary), so the output is a decoded
+//! [`Solutions`].
+
+use std::cmp::Ordering;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use s2rdf_columnar::{Table, NULL_ID};
+use s2rdf_model::{Term, TermId};
+use s2rdf_sparql::{AggFunc, Query, SelectItem, Selection};
+
+use crate::error::CoreError;
+
+use super::{ExecContext, Solutions};
+
+/// Integer datatype used for counts and integral sums.
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// Decimal datatype used for fractional sums and averages.
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+
+/// Applies grouping + aggregation to a solution table, producing the final
+/// decoded solutions (before ORDER BY/DISTINCT/LIMIT, which the caller
+/// applies on the decoded form).
+pub fn aggregate_table(
+    table: &Table,
+    query: &Query,
+    ctx: &ExecContext<'_>,
+) -> Result<Solutions, CoreError> {
+    let items: Vec<SelectItem> = match &query.selection {
+        Selection::Items(items) => items.clone(),
+        // `SELECT ?x WHERE {…} GROUP BY ?x` without aggregates.
+        Selection::Vars(vars) => vars.iter().cloned().map(SelectItem::Var).collect(),
+        Selection::All => {
+            return Err(CoreError::Unsupported(
+                "SELECT * cannot be combined with GROUP BY/aggregates".into(),
+            ))
+        }
+    };
+    // Plain projected variables must be group keys (SPARQL 1.1 rule).
+    for item in &items {
+        if let SelectItem::Var(v) = item {
+            if !query.group_by.contains(v) {
+                return Err(CoreError::Unsupported(format!(
+                    "?{v} is projected but not in GROUP BY"
+                )));
+            }
+        }
+    }
+
+    // Group row indices by the GROUP BY key (empty key = single group).
+    let key_cols: Vec<Option<usize>> = query
+        .group_by
+        .iter()
+        .map(|v| table.schema().index_of(v))
+        .collect();
+    let mut order: Vec<Vec<u32>> = Vec::new();
+    let mut groups: FxHashMap<Vec<u32>, Vec<usize>> = FxHashMap::default();
+    for row in 0..table.num_rows() {
+        let key: Vec<u32> = key_cols
+            .iter()
+            .map(|c| c.map_or(NULL_ID, |c| table.value(row, c)))
+            .collect();
+        match groups.entry(key.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(key);
+                e.insert(vec![row]);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+        }
+    }
+    if query.group_by.is_empty() && order.is_empty() {
+        // Aggregates over the empty solution sequence produce one row
+        // (e.g. COUNT(*) = 0).
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let dict = ctx.dict;
+    let decode = |id: u32| -> Option<&Term> {
+        if id == NULL_ID {
+            None
+        } else {
+            dict.get(TermId(id))
+        }
+    };
+
+    let vars: Vec<String> = items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Var(v) => v.clone(),
+            SelectItem::Aggregate { alias, .. } => alias.clone(),
+        })
+        .collect();
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::with_capacity(order.len());
+
+    for key in &order {
+        let members = &groups[key];
+        let mut out_row: Vec<Option<Term>> = Vec::with_capacity(items.len());
+        for item in &items {
+            match item {
+                SelectItem::Var(v) => {
+                    let pos = query.group_by.iter().position(|g| g == v).expect("validated");
+                    out_row.push(key.get(pos).and_then(|&id| decode(id)).cloned());
+                }
+                SelectItem::Aggregate { func, arg, distinct, alias: _ } => {
+                    // Collect the group's argument values as terms.
+                    let mut values: Vec<Term> = Vec::new();
+                    for &row in members {
+                        match arg {
+                            None => values.push(Term::integer(1)), // COUNT(*)
+                            Some(expr) => {
+                                let lookup = |var: &str| -> Option<&Term> {
+                                    let col = table.schema().index_of(var)?;
+                                    decode(table.value(row, col))
+                                };
+                                if let Ok(value) = expr.eval(&lookup) {
+                                    if let Some(term) = super::pattern::value_to_term(value) {
+                                        values.push(term);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if *distinct && arg.is_some() {
+                        let mut seen: FxHashSet<Term> = FxHashSet::default();
+                        values.retain(|t| seen.insert(t.clone()));
+                    }
+                    out_row.push(apply(*func, arg.is_none(), members.len(), &values));
+                }
+            }
+        }
+        rows.push(out_row);
+    }
+    Ok(Solutions { vars, rows })
+}
+
+/// Computes one aggregate over a group's values.
+fn apply(func: AggFunc, count_star: bool, group_size: usize, values: &[Term]) -> Option<Term> {
+    match func {
+        AggFunc::Count => {
+            let n = if count_star { group_size } else { values.len() };
+            Some(Term::integer(n as i64))
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(Term::numeric_value).collect();
+            if nums.len() != values.len() {
+                // A non-numeric operand is a SPARQL aggregation error: the
+                // alias stays unbound for this group.
+                return None;
+            }
+            let sum: f64 = nums.iter().sum();
+            match func {
+                AggFunc::Sum => Some(number_term(sum)),
+                AggFunc::Avg => {
+                    if nums.is_empty() {
+                        Some(Term::integer(0)) // Avg({}) = 0 per spec
+                    } else {
+                        Some(number_term(sum / nums.len() as f64))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        AggFunc::Min => values.iter().min_by(|a, b| a.value_cmp(b)).cloned(),
+        AggFunc::Max => values.iter().max_by(term_max_cmp).cloned(),
+    }
+}
+
+/// `max_by` keeps the *last* maximal element; compare such that ties keep
+/// the first for determinism.
+fn term_max_cmp(a: &&Term, b: &&Term) -> Ordering {
+    match a.value_cmp(b) {
+        Ordering::Equal => Ordering::Greater,
+        other => other,
+    }
+}
+
+fn number_term(n: f64) -> Term {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        Term::typed_literal(format!("{}", n as i64), XSD_INTEGER)
+    } else {
+        Term::typed_literal(format!("{n}"), XSD_DECIMAL)
+    }
+}
+
+/// Post-aggregation solution modifiers: ORDER BY (over output columns),
+/// DISTINCT, OFFSET/LIMIT — applied to the decoded rows.
+pub fn apply_modifiers(solutions: &mut Solutions, query: &Query) {
+    if !query.order_by.is_empty() {
+        let vars = solutions.vars.clone();
+        solutions.rows.sort_by(|a, b| {
+            for cond in &query.order_by {
+                let lookup_in = |row: &Vec<Option<Term>>, v: &str| -> Option<Term> {
+                    let i = vars.iter().position(|x| x == v)?;
+                    row.get(i).cloned().flatten()
+                };
+                let (ka, kb) = match &cond.expr {
+                    s2rdf_sparql::Expression::Var(v) => {
+                        (lookup_in(a, v), lookup_in(b, v))
+                    }
+                    expr => {
+                        let eval = |row: &Vec<Option<Term>>| -> Option<Term> {
+                            let lookup = |v: &str| -> Option<&Term> {
+                                let i = vars.iter().position(|x| x == v)?;
+                                row.get(i)?.as_ref()
+                            };
+                            expr.eval(&lookup).ok().and_then(super::pattern::value_to_term)
+                        };
+                        (eval(a), eval(b))
+                    }
+                };
+                let ord = match (&ka, &kb) {
+                    (None, None) => Ordering::Equal,
+                    (None, Some(_)) => Ordering::Less,
+                    (Some(_), None) => Ordering::Greater,
+                    (Some(x), Some(y)) => x.value_cmp(y),
+                };
+                let ord = if cond.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    if query.distinct {
+        let mut seen: FxHashSet<String> = FxHashSet::default();
+        solutions.rows.retain(|row| {
+            let key = row
+                .iter()
+                .map(|t| t.as_ref().map_or("∅".to_string(), Term::to_string))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            seen.insert(key)
+        });
+    }
+    let offset = query.offset.unwrap_or(0);
+    if offset > 0 {
+        solutions.rows.drain(..offset.min(solutions.rows.len()));
+    }
+    if let Some(limit) = query.limit {
+        solutions.rows.truncate(limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::store::{BuildOptions, S2rdfStore};
+    use s2rdf_model::{Graph, Term, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn num(s: &str, p: &str, n: i64) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::integer(n))
+    }
+
+    fn store() -> S2rdfStore {
+        S2rdfStore::build(
+            &Graph::from_triples([
+                t("A", "follows", "B"),
+                t("B", "follows", "C"),
+                t("B", "follows", "D"),
+                t("C", "follows", "D"),
+                t("A", "likes", "I1"),
+                t("A", "likes", "I2"),
+                t("C", "likes", "I2"),
+                num("A", "age", 30),
+                num("B", "age", 20),
+                num("C", "age", 40),
+            ]),
+            &BuildOptions::default(),
+        )
+    }
+
+    #[test]
+    fn count_star_single_group() {
+        let s = store().query("SELECT (COUNT(*) AS ?n) WHERE { ?a <follows> ?b }").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "n"), Some(&Term::integer(4)));
+    }
+
+    #[test]
+    fn group_by_with_count() {
+        let s = store()
+            .query(
+                "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a <follows> ?b }
+                 GROUP BY ?a ORDER BY DESC(?n) ?a",
+            )
+            .unwrap();
+        assert_eq!(s.len(), 3);
+        // B follows two people; A and C one each.
+        assert_eq!(s.binding(0, "a"), Some(&Term::iri("B")));
+        assert_eq!(s.binding(0, "n"), Some(&Term::integer(2)));
+        assert_eq!(s.binding(1, "n"), Some(&Term::integer(1)));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = store()
+            .query("SELECT (COUNT(DISTINCT ?w) AS ?n) WHERE { ?u <likes> ?w }")
+            .unwrap();
+        assert_eq!(s.binding(0, "n"), Some(&Term::integer(2))); // I1, I2
+
+        let s = store()
+            .query("SELECT (COUNT(?w) AS ?n) WHERE { ?u <likes> ?w }")
+            .unwrap();
+        assert_eq!(s.binding(0, "n"), Some(&Term::integer(3)));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let s = store()
+            .query(
+                "SELECT (SUM(?v) AS ?sum) (AVG(?v) AS ?avg) (MIN(?v) AS ?min) (MAX(?v) AS ?max)
+                 WHERE { ?u <age> ?v }",
+            )
+            .unwrap();
+        assert_eq!(s.binding(0, "sum").unwrap().numeric_value(), Some(90.0));
+        assert_eq!(s.binding(0, "avg").unwrap().numeric_value(), Some(30.0));
+        assert_eq!(s.binding(0, "min"), Some(&Term::integer(20)));
+        assert_eq!(s.binding(0, "max"), Some(&Term::integer(40)));
+    }
+
+    #[test]
+    fn aggregate_over_empty_group() {
+        let s = store()
+            .query("SELECT (COUNT(*) AS ?n) WHERE { ?a <follows> <Nobody> }")
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "n"), Some(&Term::integer(0)));
+    }
+
+    #[test]
+    fn sum_of_non_numeric_is_unbound() {
+        let s = store()
+            .query("SELECT (SUM(?b) AS ?sum) WHERE { ?a <follows> ?b }")
+            .unwrap();
+        assert_eq!(s.binding(0, "sum"), None);
+    }
+
+    #[test]
+    fn arithmetic_inside_aggregate() {
+        let s = store()
+            .query("SELECT (SUM(?v * 2) AS ?sum) WHERE { ?u <age> ?v }")
+            .unwrap();
+        assert_eq!(s.binding(0, "sum").unwrap().numeric_value(), Some(180.0));
+    }
+
+    #[test]
+    fn limit_and_offset_after_grouping() {
+        let s = store()
+            .query(
+                "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a <follows> ?b }
+                 GROUP BY ?a ORDER BY ?a LIMIT 1 OFFSET 1",
+            )
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "a"), Some(&Term::iri("B")));
+    }
+
+    #[test]
+    fn projecting_non_key_is_an_error() {
+        let err = store()
+            .query("SELECT ?b (COUNT(?a) AS ?n) WHERE { ?a <follows> ?b } GROUP BY ?a")
+            .unwrap_err();
+        assert!(matches!(err, crate::CoreError::Unsupported(_)));
+    }
+
+    #[test]
+    fn group_by_without_aggregates() {
+        let s = store()
+            .query("SELECT ?a WHERE { ?a <follows> ?b } GROUP BY ?a ORDER BY ?a")
+            .unwrap();
+        assert_eq!(s.len(), 3); // one row per group
+    }
+
+    #[test]
+    fn aggregates_work_on_all_engines() {
+        use crate::engines::triples_table::TriplesTableEngine;
+        use crate::engines::SparqlEngine;
+        let g = Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+        ]);
+        let q = "SELECT ?a (COUNT(*) AS ?n) WHERE { ?a <follows> ?b } GROUP BY ?a ORDER BY ?a";
+        let store = S2rdfStore::build(&g, &BuildOptions::default());
+        let tt = TriplesTableEngine::new(&g);
+        assert_eq!(
+            store.query(q).unwrap().canonical(),
+            tt.query(q).unwrap().canonical()
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Evaluation of the SPARQL algebra over the columnar substrate.
+//!
+//! A [`BgpEvaluator`] supplies BGP evaluation (each engine implements its
+//! own layout-specific strategy); this module supplies everything above
+//! BGPs — FILTER, OPTIONAL (left outer join), UNION, DISTINCT, ORDER BY,
+//! LIMIT/OFFSET and projection — which the paper maps "more or less
+//! directly … to the appropriate counterparts in Spark SQL" (§6.1).
+
+pub mod aggregate;
+pub mod pattern;
+pub mod solution;
+
+use std::time::Instant;
+
+use s2rdf_columnar::Table;
+use s2rdf_model::Dictionary;
+use s2rdf_sparql::TriplePattern;
+
+use crate::error::CoreError;
+
+pub use pattern::{eval_pattern, eval_query, unit_table};
+pub use solution::Solutions;
+
+/// Per-query evaluation options shared by all engines.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Hard deadline: long-running engines (centralized, batch) poll it and
+    /// abort with [`CoreError::Timeout`] — the paper's "F" entries.
+    pub deadline: Option<Instant>,
+    /// Join-order optimization (paper Alg. 4 / §6.2). Disabling reproduces
+    /// the naive Alg. 3 behaviour for ablations.
+    pub optimize_join_order: bool,
+    /// Intersect *all* applicable ExtVP reductions for each triple pattern
+    /// instead of only the most selective one — the paper's §8 future-work
+    /// "unification strategy … able to consider the intersections of all
+    /// correlations for a triple pattern". Computed at query time against
+    /// the chosen table (the paper proposes precomputing the unification;
+    /// the input reduction achieved is the same).
+    pub intersect_correlations: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            deadline: None,
+            optimize_join_order: true,
+            intersect_correlations: false,
+        }
+    }
+}
+
+/// Explain record for one BGP join step.
+#[derive(Debug, Clone)]
+pub struct StepExplain {
+    /// Human-readable table name (e.g. `ExtVP_OS/<follows>|<likes>`).
+    pub table: String,
+    /// Rows read from that table after bound-constant selections.
+    pub rows: usize,
+    /// Selectivity factor of the chosen table (1.0 for VP/TT).
+    pub sf: f64,
+}
+
+/// Execution trace collected alongside a query result.
+#[derive(Debug, Clone, Default)]
+pub struct Explain {
+    /// One entry per executed triple pattern, in join order.
+    pub bgp_steps: Vec<StepExplain>,
+    /// Σ |left| · |right| over all pairwise joins — the paper's "join
+    /// comparisons" metric from Figs. 8 and 12.
+    pub naive_join_comparisons: u64,
+    /// Cardinality after each join.
+    pub intermediate_rows: Vec<usize>,
+    /// True if statistics alone proved the result empty (§6.1).
+    pub statically_empty: bool,
+}
+
+/// Shared evaluation state threaded through pattern evaluation.
+pub struct ExecContext<'a> {
+    /// The dictionary for decoding ids in filters and results.
+    pub dict: &'a Dictionary,
+    /// Options for this query.
+    pub options: QueryOptions,
+    /// Trace being collected.
+    pub explain: Explain,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Creates a context.
+    pub fn new(dict: &'a Dictionary, options: QueryOptions) -> ExecContext<'a> {
+        ExecContext { dict, options, explain: Explain::default() }
+    }
+
+    /// Returns `Err(Timeout)` if the deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), CoreError> {
+        if let Some(deadline) = self.options.deadline {
+            if Instant::now() > deadline {
+                return Err(CoreError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a pairwise join for the comparison counter.
+    pub fn note_join(&mut self, left_rows: usize, right_rows: usize, out_rows: usize) {
+        self.explain.naive_join_comparisons += left_rows as u64 * right_rows as u64;
+        self.explain.intermediate_rows.push(out_rows);
+    }
+}
+
+/// Layout-specific BGP evaluation, implemented by each engine.
+pub trait BgpEvaluator {
+    /// The dictionary encoding this evaluator's data.
+    fn dict(&self) -> &Dictionary;
+
+    /// Evaluates a non-empty BGP to a solution table whose columns are the
+    /// BGP's variable names.
+    fn eval_bgp(
+        &self,
+        bgp: &[TriplePattern],
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Table, CoreError>;
+}

@@ -1,0 +1,455 @@
+//! Pattern- and query-level evaluation above BGPs.
+
+use std::cmp::Ordering;
+
+use s2rdf_columnar::exec::natural_join_auto;
+use s2rdf_columnar::{ops, Schema, Table, NULL_ID};
+use s2rdf_model::{Term, TermId};
+use s2rdf_sparql::{optimizer, Expression, GraphPattern, Query, Value};
+
+use crate::error::CoreError;
+
+use super::{BgpEvaluator, ExecContext, Solutions};
+
+/// Internal column name for solutions that bind no variable (the result of
+/// an empty BGP, or of a fully bound triple pattern). The `#` prefix cannot
+/// appear in variable names, so it never collides, and such columns are
+/// dropped on projection. Joining two unit columns is an identity join (all
+/// values are 0).
+pub const UNIT_COL: &str = "#unit";
+
+/// The unit table: one row, no variable bindings.
+pub fn unit_table() -> Table {
+    Table::from_rows(Schema::new([UNIT_COL]), &[[0u32]])
+}
+
+/// Evaluates a graph pattern to a solution table (columns = variables).
+pub fn eval_pattern(
+    ev: &dyn BgpEvaluator,
+    pattern: &GraphPattern,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Table, CoreError> {
+    ctx.check_deadline()?;
+    match pattern {
+        GraphPattern::Bgp(tps) => {
+            if tps.is_empty() {
+                Ok(unit_table())
+            } else {
+                ev.eval_bgp(tps, ctx)
+            }
+        }
+        GraphPattern::Filter { expr, inner } => {
+            let table = eval_pattern(ev, inner, ctx)?;
+            filter_table(&table, expr, ctx)
+        }
+        GraphPattern::Join(l, r) => {
+            let left = eval_pattern(ev, l, ctx)?;
+            let right = eval_pattern(ev, r, ctx)?;
+            ctx.check_deadline()?;
+            // SPARQL compatibility semantics: an unbound shared variable
+            // (possible under UNION/OPTIONAL inputs) joins with anything.
+            // Hash joins treat NULL_ID as a value, so fall back to the
+            // compatibility join when shared columns contain NULLs.
+            let shared = left.schema().common_columns(right.schema());
+            let has_nulls = |t: &Table| {
+                shared.iter().any(|c| {
+                    t.column(t.schema().index_of(c).unwrap())
+                        .contains(&NULL_ID)
+                })
+            };
+            let out = if !shared.is_empty() && (has_nulls(&left) || has_nulls(&right)) {
+                compat_join(&left, &right)
+            } else {
+                natural_join_auto(&left, &right)
+            };
+            ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows());
+            Ok(out)
+        }
+        GraphPattern::LeftJoin(l, r) => {
+            let left = eval_pattern(ev, l, ctx)?;
+            let right = eval_pattern(ev, r, ctx)?;
+            ctx.check_deadline()?;
+            let out = ops::left_outer_join(&left, &right);
+            ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows());
+            Ok(out)
+        }
+        GraphPattern::Union(l, r) => {
+            let left = eval_pattern(ev, l, ctx)?;
+            let right = eval_pattern(ev, r, ctx)?;
+            Ok(ops::union(&left, &right))
+        }
+    }
+}
+
+/// Join under full SPARQL compatibility semantics (§2.1: two mappings are
+/// compatible iff they agree on the variables *bound in both*): a
+/// nested-loop join where NULL on either side of a shared column matches
+/// anything and the merged value is the bound one. Only used when shared
+/// columns actually contain NULLs — after UNION branches with disjoint
+/// variables — so inputs are small.
+fn compat_join(left: &Table, right: &Table) -> Table {
+    let shared = left.schema().common_columns(right.schema());
+    let shared_idx: Vec<(usize, usize)> = shared
+        .iter()
+        .map(|c| {
+            (
+                left.schema().index_of(c).unwrap(),
+                right.schema().index_of(c).unwrap(),
+            )
+        })
+        .collect();
+    let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
+    let right_extra: Vec<usize> = right
+        .schema()
+        .names()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !left.schema().contains(c))
+        .map(|(i, c)| {
+            names.push(c.to_string());
+            i
+        })
+        .collect();
+    let mut out = Table::empty(Schema::new(names));
+    for lr in 0..left.num_rows() {
+        'rows: for rr in 0..right.num_rows() {
+            for &(lc, rc) in &shared_idx {
+                let (lv, rv) = (left.value(lr, lc), right.value(rr, rc));
+                if lv != NULL_ID && rv != NULL_ID && lv != rv {
+                    continue 'rows;
+                }
+            }
+            let mut row: Vec<u32> = (0..left.schema().len())
+                .map(|c| {
+                    let lv = left.value(lr, c);
+                    if lv != NULL_ID {
+                        return lv;
+                    }
+                    // Take the right side's binding for shared columns the
+                    // left leaves unbound.
+                    match shared_idx.iter().find(|&&(lc, _)| lc == c) {
+                        Some(&(_, rc)) => right.value(rr, rc),
+                        None => NULL_ID,
+                    }
+                })
+                .collect();
+            row.extend(right_extra.iter().map(|&c| right.value(rr, c)));
+            out.push_row(&row);
+        }
+    }
+    out
+}
+
+/// Applies a FILTER to a solution table. Rows whose condition errors (type
+/// error / unbound) are dropped, per SPARQL semantics.
+pub fn filter_table(
+    table: &Table,
+    expr: &Expression,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Table, CoreError> {
+    ctx.check_deadline()?;
+    let dict = ctx.dict;
+    Ok(ops::filter(table, |t, row| {
+        let lookup = |var: &str| -> Option<&Term> {
+            let col = t.schema().index_of(var)?;
+            let v = t.value(row, col);
+            if v == NULL_ID {
+                None
+            } else {
+                dict.get(TermId(v))
+            }
+        };
+        matches!(expr.eval(&lookup).and_then(|v| v.ebv()), Ok(true))
+    }))
+}
+
+/// Evaluates a full SELECT query: optimize, evaluate the pattern, then
+/// apply ORDER BY → projection → DISTINCT → LIMIT/OFFSET and decode.
+pub fn eval_query(
+    ev: &dyn BgpEvaluator,
+    query: &Query,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Solutions, CoreError> {
+    let mut query = query.clone();
+    optimizer::optimize(&mut query);
+
+    let mut table = eval_pattern(ev, &query.pattern, ctx)?;
+
+    if query.is_aggregate() {
+        // Aggregation path (SPARQL 1.1): group + aggregate on the binding
+        // table, then apply the solution modifiers on the decoded rows.
+        let mut solutions = super::aggregate::aggregate_table(&table, &query, ctx)?;
+        super::aggregate::apply_modifiers(&mut solutions, &query);
+        ctx.check_deadline()?;
+        return Ok(solutions);
+    }
+
+    if !query.order_by.is_empty() {
+        table = order_table(&table, &query.order_by, ctx)?;
+    }
+
+    let vars = query.projected_vars();
+    let mut table = project_to_vars(&table, &vars);
+
+    if query.distinct {
+        table = ops::distinct(&table);
+    }
+    if query.offset.is_some() || query.limit.is_some() {
+        table = ops::slice(&table, query.offset.unwrap_or(0), query.limit);
+    }
+
+    ctx.check_deadline()?;
+    Ok(decode(&table, ctx))
+}
+
+/// Projects a solution table to the given variables, adding an all-NULL
+/// column for variables the pattern never binds.
+fn project_to_vars(table: &Table, vars: &[String]) -> Table {
+    let n = table.num_rows();
+    if vars.is_empty() {
+        // Zero-column tables cannot carry a row count; keep the solution
+        // count in a unit column (e.g. `SELECT * { <a> <p> <b> }`).
+        return Table::from_columns(Schema::new([UNIT_COL]), vec![vec![0; n]]);
+    }
+    let cols: Vec<Vec<u32>> = vars
+        .iter()
+        .map(|v| match table.schema().index_of(v) {
+            Some(idx) => table.column(idx).to_vec(),
+            None => vec![NULL_ID; n],
+        })
+        .collect();
+    Table::from_columns(Schema::new(vars.iter().cloned()), cols)
+}
+
+/// ORDER BY: precomputes per-row sort keys (decoded terms / evaluated
+/// expressions) and sorts stably. Unbound/error keys sort first, per
+/// SPARQL's ordering of unbound before bound.
+fn order_table(
+    table: &Table,
+    conditions: &[s2rdf_sparql::OrderCondition],
+    ctx: &mut ExecContext<'_>,
+) -> Result<Table, CoreError> {
+    ctx.check_deadline()?;
+    let dict = ctx.dict;
+    let mut keys: Vec<Vec<Option<Term>>> = Vec::with_capacity(table.num_rows());
+    for row in 0..table.num_rows() {
+        let lookup = |var: &str| -> Option<&Term> {
+            let col = table.schema().index_of(var)?;
+            let v = table.value(row, col);
+            if v == NULL_ID {
+                None
+            } else {
+                dict.get(TermId(v))
+            }
+        };
+        let row_keys = conditions
+            .iter()
+            .map(|c| c.expr.eval(&lookup).ok().and_then(value_to_term))
+            .collect();
+        keys.push(row_keys);
+    }
+    Ok(ops::sort_by(table, |a, b| {
+        for (cond, (ka, kb)) in conditions.iter().zip(keys[a].iter().zip(&keys[b])) {
+            let ord = match (ka, kb) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(x), Some(y)) => x.value_cmp(y),
+            };
+            let ord = if cond.descending { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }))
+}
+
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Converts an expression [`Value`] to a sortable/aggregatable term.
+pub(crate) fn value_to_term(value: Value) -> Option<Term> {
+    match value {
+        Value::Term(t) => Some(t),
+        Value::Bool(b) => Some(Term::literal(if b { "true" } else { "false" })),
+        Value::Number(n) => Some(Term::typed_literal(
+            format_number(n),
+            "http://www.w3.org/2001/XMLSchema#decimal",
+        )),
+        Value::String(s) => Some(Term::literal(s)),
+    }
+}
+
+/// Decodes a solution table to terms, skipping internal columns.
+fn decode(table: &Table, ctx: &ExecContext<'_>) -> Solutions {
+    let mut vars = Vec::new();
+    let mut cols = Vec::new();
+    for (idx, name) in table.schema().names().iter().enumerate() {
+        if name.starts_with('#') {
+            continue;
+        }
+        vars.push(name.to_string());
+        cols.push(idx);
+    }
+    let rows = (0..table.num_rows())
+        .map(|row| {
+            cols.iter()
+                .map(|&c| {
+                    let v = table.value(row, c);
+                    if v == NULL_ID {
+                        None
+                    } else {
+                        ctx.dict.get(TermId(v)).cloned()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Solutions { vars, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::QueryOptions;
+    use s2rdf_model::Dictionary;
+
+    /// A trivial evaluator over a fixed solution table, for exercising the
+    /// operator plumbing without a store.
+    struct Fixed {
+        dict: Dictionary,
+        table: Table,
+    }
+
+    impl BgpEvaluator for Fixed {
+        fn dict(&self) -> &Dictionary {
+            &self.dict
+        }
+        fn eval_bgp(
+            &self,
+            bgp: &[s2rdf_sparql::TriplePattern],
+            _ctx: &mut ExecContext<'_>,
+        ) -> Result<Table, CoreError> {
+            // Expose the fixed rows under the first pattern's variable
+            // names, so different BGPs bind different variables (the union
+            // test relies on this).
+            let vars: Vec<String> = bgp[0].vars().iter().map(|v| v.to_string()).collect();
+            assert_eq!(vars.len(), 2, "fixture supports two-variable patterns");
+            Ok(self.table.clone().with_schema(Schema::new(vars)))
+        }
+    }
+
+    fn fixture() -> Fixed {
+        let mut dict = Dictionary::new();
+        let ids: Vec<u32> = (0..4).map(|i| dict.intern(&Term::integer(i)).0).collect();
+        let table = Table::from_rows(
+            Schema::new(["x", "y"]),
+            &[
+                [ids[0], ids[3]],
+                [ids[1], ids[2]],
+                [ids[2], ids[1]],
+            ],
+        );
+        Fixed { dict, table }
+    }
+
+    fn run(q: &str, f: &Fixed) -> Solutions {
+        let query = s2rdf_sparql::parse_query(q).unwrap();
+        let mut ctx = ExecContext::new(&f.dict, QueryOptions::default());
+        eval_query(f, &query, &mut ctx).unwrap()
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let f = fixture();
+        let s = run("SELECT * WHERE { ?x <p> ?y FILTER(?x < 2) }", &f);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn order_by_numeric() {
+        let f = fixture();
+        let s = run("SELECT ?x WHERE { ?x <p> ?y } ORDER BY DESC(?y)", &f);
+        let xs: Vec<i64> = (0..s.len())
+            .map(|i| s.binding(i, "x").unwrap().numeric_value().unwrap() as i64)
+            .collect();
+        assert_eq!(xs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn limit_offset() {
+        let f = fixture();
+        let s = run("SELECT ?x WHERE { ?x <p> ?y } ORDER BY ?x LIMIT 1 OFFSET 1", &f);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "x").unwrap().numeric_value(), Some(1.0));
+    }
+
+    #[test]
+    fn projection_of_unbound_var() {
+        let f = fixture();
+        let s = run("SELECT ?x ?nope WHERE { ?x <p> ?y } LIMIT 1", &f);
+        assert_eq!(s.vars, vec!["x", "nope"]);
+        assert_eq!(s.binding(0, "nope"), None);
+    }
+
+    #[test]
+    fn distinct_after_projection() {
+        let f = fixture();
+        // All three rows project onto a single constant after dropping ?x/?y.
+        let s = run("SELECT DISTINCT ?z WHERE { ?x <p> ?y }", &f);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_group_yields_unit() {
+        let f = fixture();
+        let s = run("SELECT ?z WHERE { }", &f);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "z"), None);
+    }
+
+    #[test]
+    fn union_join_uses_compatibility_semantics() {
+        // { {?x p ?y} UNION {?z p ?w} } joined with ?x p ?y: the right
+        // union branch binds neither ?x nor ?y, so its rows are compatible
+        // with every row of the second pattern and inherit its bindings.
+        let f = fixture(); // table has 3 rows over (x, y)
+        let s = run(
+            "SELECT ?x ?y ?z WHERE { { ?x <p> ?y } UNION { ?z <p> ?w } ?x <p> ?y }",
+            &f,
+        );
+        // Left branch: 3 rows join with themselves on (x, y) → 3.
+        // Right branch: 3 rows (z, w) × 3 rows (x, y), all compatible → 9.
+        assert_eq!(s.len(), 12);
+        // Every solution has ?x bound (from the mandatory second pattern).
+        for i in 0..s.len() {
+            assert!(s.binding(i, "x").is_some());
+        }
+        // And the right-branch rows carry ?z bindings.
+        let with_z = (0..s.len()).filter(|&i| s.binding(i, "z").is_some()).count();
+        assert_eq!(with_z, 9);
+    }
+
+    #[test]
+    fn deadline_aborts() {
+        let f = fixture();
+        let query = s2rdf_sparql::parse_query("SELECT * WHERE { ?x <p> ?y }").unwrap();
+        let mut ctx = ExecContext::new(
+            &f.dict,
+            QueryOptions {
+                deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+                ..Default::default()
+            },
+        );
+        match eval_query(&f, &query, &mut ctx) {
+            Err(CoreError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Decoded query results.
+
+use std::fmt;
+
+use s2rdf_model::Term;
+
+/// A bag of solution mappings, decoded from dictionary ids to terms.
+///
+/// `rows[i][j]` is the binding of variable `vars[j]` in solution `i`
+/// (`None` = unbound, e.g. under OPTIONAL).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solutions {
+    /// Projected variable names.
+    pub vars: Vec<String>,
+    /// Solution rows.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The binding of `var` in solution `row`.
+    pub fn binding(&self, row: usize, var: &str) -> Option<&Term> {
+        let col = self.vars.iter().position(|v| v == var)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// Iterates solutions as `(var, term)` pair lists.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<(&str, Option<&Term>)>> {
+        self.rows.iter().map(move |row| {
+            self.vars
+                .iter()
+                .zip(row)
+                .map(|(v, t)| (v.as_str(), t.as_ref()))
+                .collect()
+        })
+    }
+
+    /// A canonical multiset representation: each row rendered as
+    /// `var=term` pairs sorted by variable name, rows sorted. Used to
+    /// compare results across engines, where row order is unspecified.
+    pub fn canonical(&self) -> Vec<String> {
+        let mut var_order: Vec<usize> = (0..self.vars.len()).collect();
+        var_order.sort_by(|&a, &b| self.vars[a].cmp(&self.vars[b]));
+        let mut out: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                var_order
+                    .iter()
+                    .map(|&i| match &row[i] {
+                        Some(t) => format!("{}={}", self.vars[i], t),
+                        None => format!("{}=∅", self.vars[i]),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl fmt::Display for Solutions {
+    /// Renders a small result table (for examples and debugging).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.vars.join("\t"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|t| t.as_ref().map_or("∅".to_string(), Term::to_string))
+                .collect();
+            writeln!(f, "{}", cells.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Solutions {
+        Solutions {
+            vars: vec!["x".into(), "y".into()],
+            rows: vec![
+                vec![Some(Term::iri("a")), Some(Term::iri("b"))],
+                vec![Some(Term::iri("c")), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn binding_lookup() {
+        let s = sample();
+        assert_eq!(s.binding(0, "x"), Some(&Term::iri("a")));
+        assert_eq!(s.binding(1, "y"), None);
+        assert_eq!(s.binding(0, "z"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let a = sample();
+        let mut b = sample();
+        b.rows.reverse();
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn canonical_is_var_order_insensitive() {
+        let a = sample();
+        let b = Solutions {
+            vars: vec!["y".into(), "x".into()],
+            rows: vec![
+                vec![None, Some(Term::iri("c"))],
+                vec![Some(Term::iri("b")), Some(Term::iri("a"))],
+            ],
+        };
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn display_renders() {
+        let rendered = sample().to_string();
+        assert!(rendered.contains("x\ty"));
+        assert!(rendered.contains("<a>\t<b>"));
+        assert!(rendered.contains('∅'));
+    }
+}

@@ -1,0 +1,624 @@
+//! Extended Vertical Partitioning (paper §5).
+//!
+//! For every ordered predicate pair `(p1, p2)` and correlation `corr ∈
+//! {SS, OS, SO}`, ExtVP materializes the semi-join reduction
+//!
+//! ```text
+//! ExtVP^SS_p1|p2 = VP_p1 ⋉(s=s) VP_p2      (p1 ≠ p2)
+//! ExtVP^OS_p1|p2 = VP_p1 ⋉(o=s) VP_p2
+//! ExtVP^SO_p1|p2 = VP_p1 ⋉(s=o) VP_p2
+//! ```
+//!
+//! OO correlations are not precomputed by default (paper §5.2:
+//! "relatively poor cost-benefit ratio … indeed, it is only a design
+//! choice"), but can be opted into via [`ExtVpBuildOptions::include_oo`].
+//! Tables equal to their VP table (`SF = 1`) are not stored; empty tables
+//! are recorded in the catalog only. An optional selectivity threshold
+//! `SF_TH` skips tables with `SF >= SF_TH` (§5.3). Three physical
+//! representations are supported ([`ExtVpMode`]): materialized tuple
+//! tables (the paper's scheme), per-partition bitmaps over the VP rows
+//! (the paper's §8 future work), and lazy on-first-use materialization
+//! (the paper's §7 "pay as you go" deployment remark).
+//!
+//! # Construction strategy
+//!
+//! Instead of the paper's `O(k²)` pairwise semi-joins (it pre-filters pairs
+//! with an existence query, §5.2), this builder computes per-resource
+//! *predicate sets* — for each term, the set of predicates it occurs under
+//! as a subject and as an object — and then emits every tuple of every
+//! non-empty partition in a single pass over the graph, in time
+//! proportional to the total output size. With ≤ 128 predicates the sets
+//! are `u128` bitmasks; larger vocabularies fall back to sorted id lists.
+
+use rustc_hash::FxHashMap;
+
+use s2rdf_columnar::{Bitmap, Table};
+use s2rdf_model::{Graph, TermId};
+
+use crate::catalog::{Catalog, Correlation, ExtVpKey};
+
+/// Per-resource predicate occurrence sets.
+enum PredSets {
+    /// ≤ 128 predicates: one bit per predicate index.
+    Bits { subj: Vec<u128>, obj: Vec<u128> },
+    /// Arbitrary predicate counts: sorted, deduplicated index lists.
+    Lists { subj: Vec<Vec<u32>>, obj: Vec<Vec<u32>> },
+}
+
+impl PredSets {
+    fn build(graph: &Graph, pred_index: &FxHashMap<TermId, u32>, num_terms: usize) -> PredSets {
+        if pred_index.len() <= 128 {
+            let mut subj = vec![0u128; num_terms];
+            let mut obj = vec![0u128; num_terms];
+            for t in graph.triples() {
+                let bit = 1u128 << pred_index[&t.p];
+                subj[t.s.index()] |= bit;
+                obj[t.o.index()] |= bit;
+            }
+            PredSets::Bits { subj, obj }
+        } else {
+            let mut subj = vec![Vec::new(); num_terms];
+            let mut obj = vec![Vec::new(); num_terms];
+            for t in graph.triples() {
+                let p = pred_index[&t.p];
+                subj[t.s.index()].push(p);
+                obj[t.o.index()].push(p);
+            }
+            for v in subj.iter_mut().chain(obj.iter_mut()) {
+                v.sort_unstable();
+                v.dedup();
+            }
+            PredSets::Lists { subj, obj }
+        }
+    }
+
+    /// Calls `f(p2_index)` for every predicate under which `term` occurs in
+    /// the given role.
+    fn for_each(&self, term: TermId, as_subject: bool, mut f: impl FnMut(u32)) {
+        match self {
+            PredSets::Bits { subj, obj } => {
+                let mut mask = if as_subject { subj[term.index()] } else { obj[term.index()] };
+                while mask != 0 {
+                    f(mask.trailing_zeros());
+                    mask &= mask - 1;
+                }
+            }
+            PredSets::Lists { subj, obj } => {
+                let list = if as_subject { &subj[term.index()] } else { &obj[term.index()] };
+                for &p in list {
+                    f(p);
+                }
+            }
+        }
+    }
+}
+
+/// Physical representation of the materialized ExtVP partitions.
+///
+/// * `Materialized` — each partition is a two-column table (the paper's
+///   scheme),
+/// * `BitVector` — each partition is one bit per base-VP row, materialized
+///   on access (the paper's §8 future-work "more compact bit vector
+///   representation"),
+/// * `Lazy` — only statistics are computed up front; partitions are
+///   computed by an on-the-fly semi-join on first use and cached (the
+///   paper's §7 "pay as you go" remark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtVpMode {
+    /// Tuple tables (default).
+    #[default]
+    Materialized,
+    /// Row bitmaps over the VP tables.
+    BitVector,
+    /// Statistics now, tables on first use.
+    Lazy,
+}
+
+impl ExtVpMode {
+    /// Stable label used in the persisted catalog.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExtVpMode::Materialized => "rows",
+            ExtVpMode::BitVector => "bits",
+            ExtVpMode::Lazy => "lazy",
+        }
+    }
+
+    /// Parses [`ExtVpMode::label`] output (empty = default).
+    pub fn from_label(label: &str) -> Option<ExtVpMode> {
+        match label {
+            "rows" | "" => Some(ExtVpMode::Materialized),
+            "bits" => Some(ExtVpMode::BitVector),
+            "lazy" => Some(ExtVpMode::Lazy),
+            _ => None,
+        }
+    }
+}
+
+/// The built ExtVP payloads, shaped by [`ExtVpMode`].
+#[derive(Debug, Default)]
+pub enum ExtVpStorage {
+    /// Materialized tuple tables.
+    Rows(FxHashMap<ExtVpKey, std::sync::Arc<Table>>),
+    /// Row bitmaps over the VP tables.
+    Bits(FxHashMap<ExtVpKey, Bitmap>),
+    /// Nothing materialized; resolve via semi-joins on demand.
+    Lazy,
+    /// ExtVP disabled entirely.
+    #[default]
+    None,
+}
+
+/// Build switches for [`build_extvp`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExtVpBuildOptions {
+    /// The SF threshold (paper §5.3).
+    pub threshold: f64,
+    /// Physical representation.
+    pub mode: ExtVpMode,
+    /// Also compute OO correlations (paper §5.2's opt-in design choice).
+    pub include_oo: bool,
+}
+
+/// Builds the full ExtVP schema over a graph.
+///
+/// Every non-empty partition's tuple count is recorded in `catalog`
+/// (including the non-materialized ones); the returned storage contains
+/// only the materialized partitions: `0 < SF < min(threshold, 1)` — as
+/// tables, bitmaps, or nothing (lazy), per `options.mode`.
+///
+/// `vp` must be the VP tables of the same graph (they provide the row
+/// numbering bitmaps refer to and the payloads tables gather from), and
+/// the catalog must already contain the VP sizes.
+pub fn build_extvp(
+    graph: &Graph,
+    vp: &FxHashMap<TermId, std::sync::Arc<Table>>,
+    catalog: &mut Catalog,
+    options: ExtVpBuildOptions,
+) -> ExtVpStorage {
+    // Dense predicate indexing for the bitmask sets.
+    let preds: Vec<TermId> = graph.predicate_counts().iter().map(|&(p, _)| p).collect();
+    let pred_index: FxHashMap<TermId, u32> = preds
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let sets = PredSets::build(graph, &pred_index, graph.dict().len());
+    let collect_rows = options.mode != ExtVpMode::Lazy;
+
+    // One pass: route every triple's VP row index into each partition it
+    // belongs to. `build_vp` assigns rows in graph order, so a per-
+    // predicate counter reproduces the numbering exactly. In lazy mode
+    // only counts are kept.
+    let mut row_counters: Vec<u32> = vec![0; preds.len()];
+    let mut rows: FxHashMap<(Correlation, u32, u32), Vec<u32>> = FxHashMap::default();
+    let mut counts: FxHashMap<(Correlation, u32, u32), usize> = FxHashMap::default();
+    for t in graph.triples() {
+        let p1 = pred_index[&t.p];
+        let row = row_counters[p1 as usize];
+        row_counters[p1 as usize] += 1;
+        let mut add = |corr: Correlation, p2: u32| {
+            if collect_rows {
+                rows.entry((corr, p1, p2)).or_default().push(row);
+            } else {
+                *counts.entry((corr, p1, p2)).or_default() += 1;
+            }
+        };
+        // SS: subjects shared with another predicate p2 ≠ p1.
+        sets.for_each(t.s, true, |p2| {
+            if p2 != p1 {
+                add(Correlation::SS, p2);
+            }
+        });
+        // OS: our object occurs as a subject of p2 (p2 = p1 allowed:
+        // e.g. ExtVP_OS follows|follows in the paper's Fig. 10).
+        sets.for_each(t.o, true, |p2| add(Correlation::OS, p2));
+        // SO: our subject occurs as an object of p2.
+        sets.for_each(t.s, false, |p2| add(Correlation::SO, p2));
+        // OO (opt-in): our object occurs as an object of p2 ≠ p1 (the
+        // self-correlation is the identity, like SS).
+        if options.include_oo {
+            sets.for_each(t.o, false, |p2| {
+                if p2 != p1 {
+                    add(Correlation::OO, p2);
+                }
+            });
+        }
+    }
+
+    catalog.oo_built = options.include_oo;
+    catalog.extvp_mode = options.mode.label().to_string();
+
+    // (partition key, tuple count, row indices when collected)
+    type Entry = ((Correlation, u32, u32), usize, Option<Vec<u32>>);
+    let mut out_rows: FxHashMap<ExtVpKey, std::sync::Arc<Table>> = FxHashMap::default();
+    let mut out_bits: FxHashMap<ExtVpKey, Bitmap> = FxHashMap::default();
+    let entries: Vec<Entry> = if collect_rows {
+        rows.into_iter()
+            .map(|(k, idx)| {
+                let n = idx.len();
+                (k, n, Some(idx))
+            })
+            .collect()
+    } else {
+        counts.into_iter().map(|(k, n)| (k, n, None)).collect()
+    };
+    for ((corr, p1_idx, p2_idx), count, indices) in entries {
+        let p1 = preds[p1_idx as usize];
+        let p2 = preds[p2_idx as usize];
+        let key = ExtVpKey::new(corr, p1, p2);
+        let vp_size = catalog.vp_size(p1);
+        debug_assert!(vp_size > 0, "VP sizes must be in the catalog before ExtVP");
+        let sf = count as f64 / vp_size as f64;
+        // Materialize iff the reduction is proper (SF < 1) and selective
+        // enough (SF < threshold).
+        let materialized = sf < 1.0 && sf < options.threshold;
+        catalog.set_extvp(key, count, materialized);
+        if !materialized {
+            continue;
+        }
+        match options.mode {
+            ExtVpMode::Materialized => {
+                let base = &vp[&p1];
+                let idx: Vec<usize> =
+                    indices.as_ref().unwrap().iter().map(|&i| i as usize).collect();
+                out_rows.insert(key, std::sync::Arc::new(base.gather(&idx)));
+            }
+            ExtVpMode::BitVector => {
+                out_bits.insert(
+                    key,
+                    Bitmap::from_indices(vp_size, indices.as_ref().unwrap()),
+                );
+            }
+            ExtVpMode::Lazy => {}
+        }
+    }
+    match options.mode {
+        ExtVpMode::Materialized => ExtVpStorage::Rows(out_rows),
+        ExtVpMode::BitVector => ExtVpStorage::Bits(out_bits),
+        ExtVpMode::Lazy => ExtVpStorage::Lazy,
+    }
+}
+
+/// Computes one ExtVP partition directly by semi-join (used by the lazy
+/// mode to materialize a partition on first access).
+pub fn compute_partition(
+    vp: &FxHashMap<TermId, std::sync::Arc<Table>>,
+    key: &ExtVpKey,
+) -> Option<Table> {
+    let vp1 = vp.get(&TermId(key.p1))?;
+    let vp2 = vp.get(&TermId(key.p2))?;
+    let (lk, rk) = semi_join_columns(key.corr);
+    Some(s2rdf_columnar::ops::semi_join_on(vp1, lk, vp2, rk))
+}
+
+/// The `(left, right)` key columns of the semi-join defining a
+/// correlation (0 = subject, 1 = object).
+pub fn semi_join_columns(corr: Correlation) -> (usize, usize) {
+    match corr {
+        Correlation::SS => (0, 0),
+        Correlation::OS => (1, 0),
+        Correlation::SO => (0, 1),
+        Correlation::OO => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::vp::build_vp;
+    use s2rdf_columnar::exec::row_multiset;
+    use s2rdf_columnar::ops::semi_join_on;
+    use s2rdf_model::{Term, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// The paper's running-example graph G1 (Fig. 1).
+    fn g1() -> Graph {
+        Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+            t("C", "follows", "D"),
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ])
+    }
+
+    fn arc_vp(g: &Graph) -> FxHashMap<TermId, std::sync::Arc<Table>> {
+        build_vp(g)
+            .into_iter()
+            .map(|(p, t)| (p, std::sync::Arc::new(t)))
+            .collect()
+    }
+
+    fn build_mode(
+        g: &Graph,
+        threshold: f64,
+        mode: ExtVpMode,
+        include_oo: bool,
+    ) -> (ExtVpStorage, Catalog) {
+        let vp = arc_vp(g);
+        let mut catalog = Catalog::new(g.len(), threshold, true);
+        for (p, table) in &vp {
+            catalog.set_vp_size(*p, table.num_rows());
+        }
+        let storage = build_extvp(
+            g,
+            &vp,
+            &mut catalog,
+            ExtVpBuildOptions { threshold, mode, include_oo },
+        );
+        (storage, catalog)
+    }
+
+    fn build(
+        g: &Graph,
+        threshold: f64,
+    ) -> (FxHashMap<ExtVpKey, std::sync::Arc<Table>>, Catalog) {
+        let (storage, catalog) = build_mode(g, threshold, ExtVpMode::Materialized, false);
+        match storage {
+            ExtVpStorage::Rows(tables) => (tables, catalog),
+            other => panic!("expected row storage, got {other:?}"),
+        }
+    }
+
+    fn id(g: &Graph, term: &str) -> TermId {
+        g.dict().id(&Term::iri(term)).unwrap()
+    }
+
+    /// The full Fig. 10 check: which partitions of G1 are stored, and with
+    /// which contents.
+    #[test]
+    fn fig10_partitions_of_g1() {
+        let g = g1();
+        let (tables, catalog) = build(&g, 1.0);
+        let follows = id(&g, "follows");
+        let likes = id(&g, "likes");
+        let names = |t: &Table| row_multiset(t);
+
+        // ExtVP_OS follows|follows = {(A,B),(B,C)}  (objects that follow on).
+        let k = ExtVpKey::new(Correlation::OS, follows, follows);
+        let a = id(&g, "A").0;
+        let b = id(&g, "B").0;
+        let c = id(&g, "C").0;
+        let d = id(&g, "D").0;
+        assert_eq!(names(&tables[&k]), vec![vec![a, b], vec![b, c]]);
+
+        // ExtVP_OS follows|likes = {(B,C)}.
+        let k = ExtVpKey::new(Correlation::OS, follows, likes);
+        assert_eq!(names(&tables[&k]), vec![vec![b, c]]);
+
+        // ExtVP_SO follows|follows = {(B,C),(B,D),(C,D)}.
+        let k = ExtVpKey::new(Correlation::SO, follows, follows);
+        assert_eq!(
+            names(&tables[&k]),
+            vec![vec![b, c], vec![b, d], vec![c, d]]
+        );
+
+        // ExtVP_SO follows|likes: empty — not stored, catalog knows SF = 0.
+        let k = ExtVpKey::new(Correlation::SO, follows, likes);
+        assert!(!tables.contains_key(&k));
+        assert_eq!(catalog.extvp_stat(&k).unwrap().sf, 0.0);
+
+        // ExtVP_SS follows|likes = {(A,B),(C,D)}.
+        let k = ExtVpKey::new(Correlation::SS, follows, likes);
+        assert_eq!(names(&tables[&k]), vec![vec![a, b], vec![c, d]]);
+
+        // ExtVP_OS likes|follows and likes|likes: empty.
+        for p2 in [follows, likes] {
+            let k = ExtVpKey::new(Correlation::OS, likes, p2);
+            assert!(!tables.contains_key(&k));
+            assert_eq!(catalog.extvp_stat(&k).unwrap().count, 0);
+        }
+
+        // ExtVP_SO likes|follows = {(C,I2)} with SF = 1/3.
+        let k = ExtVpKey::new(Correlation::SO, likes, follows);
+        let i2 = id(&g, "I2").0;
+        assert_eq!(names(&tables[&k]), vec![vec![c, i2]]);
+        let stat = catalog.extvp_stat(&k).unwrap();
+        assert!((stat.sf - 1.0 / 3.0).abs() < 1e-12);
+
+        // ExtVP_SS likes|follows = VP_likes (SF = 1): red-marked, not stored.
+        let k = ExtVpKey::new(Correlation::SS, likes, follows);
+        assert!(!tables.contains_key(&k));
+        let stat = catalog.extvp_stat(&k).unwrap();
+        assert_eq!(stat.sf, 1.0);
+        assert!(!stat.materialized);
+
+        // No SS self-partitions and no OO partitions exist at all.
+        for (key, _) in catalog.extvp_stats() {
+            assert!(!(key.corr == Correlation::SS && key.p1 == key.p2));
+        }
+    }
+
+    /// Every materialized partition must equal the corresponding semi-join
+    /// of the VP tables (the definition in §5.2).
+    #[test]
+    fn partitions_equal_semi_joins() {
+        let g = g1();
+        let vp = build_vp(&g);
+        let (tables, _) = build(&g, 1.0);
+        for (key, table) in &tables {
+            let vp1 = &vp[&TermId(key.p1)];
+            let vp2 = &vp[&TermId(key.p2)];
+            let (lk, rk) = semi_join_columns(key.corr);
+            let expected = semi_join_on(vp1, lk, vp2, rk);
+            assert_eq!(
+                row_multiset(table),
+                row_multiset(&expected),
+                "partition {key:?} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_low_selectivity_tables() {
+        let g = g1();
+        let (all, catalog_all) = build(&g, 1.0);
+        let (some, catalog_th) = build(&g, 0.4);
+        assert!(some.len() < all.len());
+        for (key, table) in &some {
+            let stat = catalog_th.extvp_stat(key).unwrap();
+            assert!(stat.sf < 0.4, "{key:?} has SF {}", stat.sf);
+            assert_eq!(table.num_rows(), stat.count);
+        }
+        // Threshold changes materialization only, not the statistics.
+        for (key, stat) in catalog_all.extvp_stats() {
+            assert_eq!(
+                catalog_th.extvp_stat(key).unwrap().count,
+                stat.count,
+                "{key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_zero_materializes_nothing() {
+        let g = g1();
+        let (tables, catalog) = build(&g, 0.0);
+        assert!(tables.is_empty());
+        // Stats still recorded.
+        assert!(catalog.extvp_stats().count() > 0);
+    }
+
+    #[test]
+    fn disjoint_predicate_domains_produce_no_tables() {
+        // Users have u-predicates, products have p-predicates; nothing
+        // correlates (the "many ExtVP tables would be empty" case, §5.2).
+        let g = Graph::from_triples([
+            t("u1", "uname", "n1"),
+            t("u2", "uname", "n2"),
+            t("x1", "pprice", "v1"),
+            t("x2", "pprice", "v2"),
+        ]);
+        let (tables, _) = build(&g, 1.0);
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn list_fallback_matches_bitmask_result() {
+        // Force the >128-predicate path by building a graph with 130
+        // predicates hanging off a shared subject and compare a partition
+        // against the semi-join definition.
+        let mut triples = Vec::new();
+        for i in 0..130 {
+            triples.push(t("hub", &format!("p{i}"), &format!("o{i}")));
+        }
+        triples.push(t("o0", "p1", "z"));
+        // Second p0 tuple so that ExtVP_OS p0|p1 has SF 0.5 < 1 and is
+        // materialized.
+        triples.push(t("hub2", "p0", "dangling"));
+        let g = Graph::from_triples(triples);
+        let vp = build_vp(&g);
+        let (tables, _) = build(&g, 1.0);
+        for (key, table) in &tables {
+            let vp1 = &vp[&TermId(key.p1)];
+            let vp2 = &vp[&TermId(key.p2)];
+            let (lk, rk) = semi_join_columns(key.corr);
+            let expected = semi_join_on(vp1, lk, vp2, rk);
+            assert_eq!(row_multiset(table), row_multiset(&expected));
+        }
+        // OS p0|p1 must contain (hub, o0) since o0 is a subject of p1.
+        let p0 = id(&g, "p0");
+        let p1 = id(&g, "p1");
+        let k = ExtVpKey::new(Correlation::OS, p0, p1);
+        assert_eq!(tables[&k].num_rows(), 1);
+    }
+
+    #[test]
+    fn bitvector_mode_encodes_same_partitions() {
+        let g = g1();
+        let vp = arc_vp(&g);
+        let (tables, catalog_rows) = build(&g, 1.0);
+        let (storage, catalog_bits) = build_mode(&g, 1.0, ExtVpMode::BitVector, false);
+        let ExtVpStorage::Bits(bits) = storage else { panic!("expected bitmaps") };
+        assert_eq!(bits.len(), tables.len());
+        assert_eq!(catalog_bits.extvp_mode, "bits");
+        for (key, bitmap) in &bits {
+            let base = &vp[&TermId(key.p1)];
+            assert_eq!(bitmap.len(), base.num_rows());
+            let materialized = bitmap.gather(base);
+            assert_eq!(
+                row_multiset(&materialized),
+                row_multiset(&tables[key]),
+                "{key:?}"
+            );
+            // Statistics identical across representations.
+            assert_eq!(
+                catalog_bits.extvp_stat(key).unwrap().count,
+                catalog_rows.extvp_stat(key).unwrap().count
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_mode_keeps_stats_only() {
+        let g = g1();
+        let (storage, catalog_lazy) = build_mode(&g, 1.0, ExtVpMode::Lazy, false);
+        assert!(matches!(storage, ExtVpStorage::Lazy));
+        assert_eq!(catalog_lazy.extvp_mode, "lazy");
+        let (_, catalog_rows) = build(&g, 1.0);
+        // Same statistics as the eager build.
+        let lazy_stats: Vec<_> = catalog_lazy.extvp_stats().collect();
+        let row_stats: Vec<_> = catalog_rows.extvp_stats().collect();
+        assert_eq!(lazy_stats.len(), row_stats.len());
+        for ((k1, s1), (k2, s2)) in lazy_stats.iter().zip(&row_stats) {
+            assert_eq!(k1, k2);
+            assert_eq!(s1.count, s2.count);
+            assert_eq!(s1.materialized, s2.materialized);
+        }
+        // And on-demand computation matches the definition.
+        let vp = arc_vp(&g);
+        for (key, stat) in catalog_lazy.extvp_stats() {
+            let computed = compute_partition(&vp, key).unwrap();
+            assert_eq!(computed.num_rows(), stat.count, "{key:?}");
+        }
+    }
+
+    #[test]
+    fn oo_partitions_when_enabled() {
+        // Build a graph where two different predicates share objects.
+        let g = Graph::from_triples([
+            t("a", "likes", "thing"),
+            t("b", "wants", "thing"),
+            t("c", "wants", "other"),
+        ]);
+        let (storage, catalog) = build_mode(&g, 1.0, ExtVpMode::Materialized, true);
+        assert!(catalog.oo_built);
+        let likes = g.dict().id(&Term::iri("likes")).unwrap();
+        let wants = g.dict().id(&Term::iri("wants")).unwrap();
+        // OO wants|likes = wants-tuples whose object is liked: {(b, thing)},
+        // SF = 1/2 → materialized.
+        let key = ExtVpKey::new(Correlation::OO, wants, likes);
+        let stat = catalog.extvp_stat(&key).unwrap();
+        assert_eq!(stat.count, 1);
+        assert!(stat.materialized);
+        let ExtVpStorage::Rows(tables) = storage else { panic!("rows expected") };
+        let table = &tables[&key];
+        let expected = compute_partition(&arc_vp(&g), &key).unwrap();
+        assert_eq!(row_multiset(table), row_multiset(&expected));
+        // OO likes|wants has SF = 1 (every likes-object is wanted): stats
+        // only.
+        let rev = ExtVpKey::new(Correlation::OO, likes, wants);
+        assert_eq!(catalog.extvp_stat(&rev).unwrap().sf, 1.0);
+        assert!(!tables.contains_key(&rev));
+        // No OO self-partitions.
+        for (key, _) in catalog.extvp_stats() {
+            assert!(!(key.corr == Correlation::OO && key.p1 == key.p2));
+        }
+    }
+
+    #[test]
+    fn oo_absent_by_default() {
+        let g = g1();
+        let (_, catalog) = build(&g, 1.0);
+        assert!(!catalog.oo_built);
+        assert!(catalog
+            .extvp_stats()
+            .all(|(key, _)| key.corr != Correlation::OO));
+    }
+}

@@ -1,0 +1,44 @@
+//! Relational layouts for RDF (paper §4 and §5).
+//!
+//! * [`triples_table`] — the single three-column table TT(s, p, o) (§4.1),
+//! * [`vp`] — vertical partitioning: one two-column table per predicate
+//!   (§4.2),
+//! * [`property_table`] — the star-optimized property table used by the
+//!   Sempala-style baseline engine (§4.3),
+//! * [`extvp`] — **Extended Vertical Partitioning**, the semi-join
+//!   reductions of VP tables over SS/OS/SO correlations (§5).
+
+pub mod extvp;
+pub mod property_table;
+pub mod triples_table;
+pub mod vp;
+
+use s2rdf_model::{Dictionary, TermId};
+
+use crate::catalog::ExtVpKey;
+
+/// Column name of the subject column in VP/ExtVP/TT tables.
+pub const COL_S: &str = "s";
+/// Column name of the predicate column in the triples table.
+pub const COL_P: &str = "p";
+/// Column name of the object column in VP/ExtVP/TT tables.
+pub const COL_O: &str = "o";
+
+/// Logical store name of the triples table.
+pub const TT_NAME: &str = "TT";
+
+/// Logical store name of a VP table, e.g. `VP/<follows>`.
+pub fn vp_table_name(dict: &Dictionary, p: TermId) -> String {
+    format!("VP/{}", dict.term(p))
+}
+
+/// Logical store name of an ExtVP table, e.g.
+/// `ExtVP_OS/<follows>|<likes>` (the paper's `ExtVP_OS follows|likes`).
+pub fn extvp_table_name(dict: &Dictionary, key: &ExtVpKey) -> String {
+    format!(
+        "ExtVP_{}/{}|{}",
+        key.corr.label(),
+        dict.term(TermId(key.p1)),
+        dict.term(TermId(key.p2)),
+    )
+}

@@ -1,0 +1,110 @@
+//! Property-table layout (paper §4.3), backing the Sempala-style baseline.
+//!
+//! The formal definition `PT_{p1..pn}[G] = {(s, o1..on) | (s,pi,oi) ∈ G}`
+//! duplicates rows for multi-valued predicates — a cross product per
+//! subject. Materializing that explodes for WatDiv-like data where
+//! subjects carry several multi-valued predicates, so (like Sempala's
+//! complex property table with Parquet array columns) this implementation
+//! stores each predicate column as per-subject *value lists* and expands
+//! the cross product lazily during star evaluation. The logical content is
+//! identical to the formal definition; only the physical encoding differs
+//! (documented in DESIGN.md).
+
+use rustc_hash::FxHashMap;
+
+use s2rdf_model::{Graph, TermId};
+
+/// One predicate column: subject id → object ids.
+pub type PredicateColumn = FxHashMap<u32, Vec<u32>>;
+
+/// The unified property table.
+#[derive(Debug, Default)]
+pub struct PropertyTable {
+    /// predicate → (subject → objects).
+    columns: FxHashMap<TermId, PredicateColumn>,
+    /// Total stored (subject, object) pairs — equals `|G|`.
+    tuples: usize,
+}
+
+impl PropertyTable {
+    /// Builds the property table from a graph.
+    pub fn build(graph: &Graph) -> PropertyTable {
+        let mut columns: FxHashMap<TermId, PredicateColumn> = FxHashMap::default();
+        for t in graph.triples() {
+            columns
+                .entry(t.p)
+                .or_default()
+                .entry(t.s.0)
+                .or_default()
+                .push(t.o.0);
+        }
+        PropertyTable { columns, tuples: graph.len() }
+    }
+
+    /// The column for a predicate, if it occurs in the data.
+    pub fn column(&self, p: TermId) -> Option<&PredicateColumn> {
+        self.columns.get(&p)
+    }
+
+    /// Number of subjects having predicate `p` (the column's row count).
+    pub fn column_subjects(&self, p: TermId) -> usize {
+        self.columns.get(&p).map_or(0, FxHashMap::len)
+    }
+
+    /// The objects of `(s, p)`, empty if absent.
+    pub fn objects(&self, s: u32, p: TermId) -> &[u32] {
+        self.columns
+            .get(&p)
+            .and_then(|c| c.get(&s))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Total stored pairs (= `|G|`).
+    pub fn tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// Number of predicate columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::{Term, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// The paper's Table 1 data: G1 as a property table.
+    #[test]
+    fn table1_structure() {
+        let g = Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+            t("C", "follows", "D"),
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ]);
+        let pt = PropertyTable::build(&g);
+        assert_eq!(pt.num_columns(), 2);
+        assert_eq!(pt.tuples(), 7);
+        let follows = g.dict().id(&Term::iri("follows")).unwrap();
+        let likes = g.dict().id(&Term::iri("likes")).unwrap();
+        let a = g.dict().id(&Term::iri("A")).unwrap().0;
+        let b = g.dict().id(&Term::iri("B")).unwrap().0;
+        // A follows {B}, likes {I1, I2} — the cross product of Table 1's
+        // two A-rows is recoverable from the lists.
+        assert_eq!(pt.objects(a, follows).len(), 1);
+        assert_eq!(pt.objects(a, likes).len(), 2);
+        // B follows {C, D}, likes nothing (NULL in Table 1).
+        assert_eq!(pt.objects(b, follows).len(), 2);
+        assert!(pt.objects(b, likes).is_empty());
+        assert_eq!(pt.column_subjects(follows), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! The triples-table layout TT(s, p, o) (paper §4.1).
+//!
+//! Kept in every store for triple patterns with an unbound predicate, which
+//! VP/ExtVP cannot answer (paper §5.2: "S2RDF can answer such queries by
+//! accessing the base triples table").
+
+use s2rdf_columnar::{Schema, Table};
+use s2rdf_model::Graph;
+
+use super::{COL_O, COL_P, COL_S};
+
+/// Builds the triples table from a graph. One row per triple, columns
+/// `s, p, o`.
+pub fn build_triples_table(graph: &Graph) -> Table {
+    let triples = graph.triples();
+    let mut s = Vec::with_capacity(triples.len());
+    let mut p = Vec::with_capacity(triples.len());
+    let mut o = Vec::with_capacity(triples.len());
+    for t in triples {
+        s.push(t.s.0);
+        p.push(t.p.0);
+        o.push(t.o.0);
+    }
+    Table::from_columns(Schema::new([COL_S, COL_P, COL_O]), vec![s, p, o])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::{Term, Triple};
+
+    #[test]
+    fn one_row_per_triple() {
+        let g = Graph::from_triples([
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
+            Triple::new(Term::iri("b"), Term::iri("q"), Term::literal("x")),
+        ]);
+        let tt = build_triples_table(&g);
+        assert_eq!(tt.num_rows(), 2);
+        assert_eq!(tt.schema().names().len(), 3);
+        let p = g.dict().id(&Term::iri("p")).unwrap();
+        assert_eq!(tt.value(0, 1), p.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! S2RDF in Rust: ExtVP partitioning and statistics-driven SPARQL execution.
+//!
+//! This crate implements the contribution of *"S2RDF: RDF Querying with
+//! SPARQL on Spark"* (VLDB 2016):
+//!
+//! * [`layout`] — relational layouts for RDF: the triples table (§4.1),
+//!   vertical partitioning (§4.2), property tables (§4.3), and **ExtVP**,
+//!   the semi-join-reduced extension of VP that is the paper's core idea
+//!   (§5),
+//! * [`catalog`] — the selectivity statistics collected at load time and
+//!   consulted during compilation (§6.1),
+//! * [`compiler`] — table selection (Alg. 1), triple-pattern mapping
+//!   (Alg. 2) and BGP compilation with join-order optimization
+//!   (Alg. 3/4),
+//! * [`exec`] — evaluation of the full SPARQL algebra over the columnar
+//!   substrate, producing decoded [`exec::Solutions`],
+//! * [`store`] — the persistent S2RDF database (VP + ExtVP + statistics),
+//! * [`engines`] — the S2RDF engine plus the baseline/competitor engines
+//!   used in the evaluation (triples table, property table / Sempala-style,
+//!   MapReduce-style batch, centralized six-index store).
+//!
+//! # Quick start
+//!
+//! ```
+//! use s2rdf_core::store::{BuildOptions, S2rdfStore};
+//! use s2rdf_model::{Graph, Term, Triple};
+//!
+//! let mut graph = Graph::new();
+//! graph.insert(&Triple::new(
+//!     Term::iri("alice"), Term::iri("follows"), Term::iri("bob"),
+//! ));
+//! graph.insert(&Triple::new(
+//!     Term::iri("bob"), Term::iri("likes"), Term::iri("rust"),
+//! ));
+//!
+//! let store = S2rdfStore::build(&graph, &BuildOptions::default());
+//! let solutions = store
+//!     .query("SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?w }")
+//!     .unwrap();
+//! assert_eq!(solutions.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod compiler;
+pub mod engines;
+pub mod error;
+pub mod exec;
+pub mod layout;
+pub mod store;
+
+pub use catalog::{Catalog, Correlation, ExtVpStat};
+pub use layout::extvp::ExtVpMode;
+pub use error::CoreError;
+pub use exec::{Explain, Solutions};
+pub use store::{BuildOptions, S2rdfStore};

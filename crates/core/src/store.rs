@@ -1,0 +1,565 @@
+//! The persistent S2RDF database: VP + ExtVP tables, the triples table,
+//! the dictionary, and the statistics catalog.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+
+use s2rdf_columnar::{Bitmap, Table, TableStore};
+use s2rdf_model::{Dictionary, Graph, Term, TermId};
+
+use crate::catalog::{Catalog, Correlation, ExtVpKey};
+use crate::engines::s2rdf::S2rdfEngine;
+use crate::engines::SparqlEngine;
+use crate::error::CoreError;
+use crate::exec::{Explain, QueryOptions, Solutions};
+use crate::layout::extvp::{
+    build_extvp, compute_partition, ExtVpBuildOptions, ExtVpMode, ExtVpStorage,
+};
+use crate::layout::{
+    extvp_table_name, triples_table::build_triples_table, vp::build_vp, vp_table_name, TT_NAME,
+};
+
+/// Options controlling store construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Selectivity-factor threshold `SF_TH` (paper §5.3): only ExtVP tables
+    /// with `SF < threshold` are materialized. `1.0` (the default) stores
+    /// every proper reduction; `0.0` yields a plain VP store with ExtVP
+    /// statistics.
+    pub threshold: f64,
+    /// Whether to compute ExtVP at all. `false` builds the paper's
+    /// "S2RDF VP" baseline configuration.
+    pub build_extvp: bool,
+    /// Physical representation of the ExtVP partitions (tables, bitmaps,
+    /// or lazy on-demand materialization).
+    pub mode: ExtVpMode,
+    /// Also precompute OO correlations (the paper's §5.2 opt-in design
+    /// choice).
+    pub include_oo: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            threshold: 1.0,
+            build_extvp: true,
+            mode: ExtVpMode::Materialized,
+            include_oo: false,
+        }
+    }
+}
+
+/// An S2RDF store over one RDF dataset.
+#[derive(Debug)]
+pub struct S2rdfStore {
+    dict: Dictionary,
+    tt: Table,
+    vp: FxHashMap<TermId, Arc<Table>>,
+    extvp: ExtVpStorage,
+    /// Cache for lazily computed partitions (the "pay as you go" mode).
+    lazy_cache: RwLock<FxHashMap<ExtVpKey, Arc<Table>>>,
+    catalog: Catalog,
+}
+
+impl S2rdfStore {
+    /// Builds a store from a graph (the paper's data load phase, Table 2).
+    pub fn build(graph: &Graph, options: &BuildOptions) -> S2rdfStore {
+        let tt = build_triples_table(graph);
+        let vp: FxHashMap<TermId, Arc<Table>> = build_vp(graph)
+            .into_iter()
+            .map(|(p, t)| (p, Arc::new(t)))
+            .collect();
+        let mut catalog = Catalog::new(graph.len(), options.threshold, options.build_extvp);
+        for (&p, table) in &vp {
+            catalog.set_vp_size(p, table.num_rows());
+        }
+        let extvp = if options.build_extvp {
+            build_extvp(
+                graph,
+                &vp,
+                &mut catalog,
+                ExtVpBuildOptions {
+                    threshold: options.threshold,
+                    mode: options.mode,
+                    include_oo: options.include_oo,
+                },
+            )
+        } else {
+            ExtVpStorage::None
+        };
+        S2rdfStore {
+            dict: graph.dict().clone(),
+            tt,
+            vp,
+            extvp,
+            lazy_cache: RwLock::new(FxHashMap::default()),
+            catalog,
+        }
+    }
+
+    /// The dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The statistics catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The ExtVP storage mode of this store.
+    pub fn mode(&self) -> ExtVpMode {
+        match &self.extvp {
+            ExtVpStorage::Rows(_) | ExtVpStorage::None => ExtVpMode::Materialized,
+            ExtVpStorage::Bits(_) => ExtVpMode::BitVector,
+            ExtVpStorage::Lazy => ExtVpMode::Lazy,
+        }
+    }
+
+    /// The base triples table.
+    pub fn triples_table(&self) -> &Table {
+        &self.tt
+    }
+
+    /// A VP table by predicate id.
+    pub fn vp_table(&self, p: TermId) -> Option<Arc<Table>> {
+        self.vp.get(&p).cloned()
+    }
+
+    /// Resolves an ExtVP partition to a queryable table, whatever the
+    /// storage mode: materialized tables are shared, bitmaps are gathered
+    /// on access, and lazy partitions are computed by semi-join on first
+    /// use and cached (paper §7's "pay as you go" deployment).
+    pub fn extvp_table(&self, key: &ExtVpKey) -> Option<Arc<Table>> {
+        match &self.extvp {
+            ExtVpStorage::None => None,
+            ExtVpStorage::Rows(tables) => tables.get(key).cloned(),
+            ExtVpStorage::Bits(bits) => {
+                let bitmap = bits.get(key)?;
+                let base = self.vp.get(&TermId(key.p1))?;
+                Some(Arc::new(bitmap.gather(base)))
+            }
+            ExtVpStorage::Lazy => {
+                let eligible = self.catalog.extvp_stat(key)?.materialized;
+                if !eligible {
+                    return None;
+                }
+                if let Some(hit) = self.lazy_cache.read().get(key) {
+                    return Some(hit.clone());
+                }
+                let computed = Arc::new(compute_partition(&self.vp, key)?);
+                self.lazy_cache
+                    .write()
+                    .entry(*key)
+                    .or_insert_with(|| computed.clone());
+                Some(computed)
+            }
+        }
+    }
+
+    /// Number of materialized (or materializable, for lazy stores) ExtVP
+    /// partitions.
+    pub fn num_extvp_tables(&self) -> usize {
+        match &self.extvp {
+            ExtVpStorage::None => 0,
+            ExtVpStorage::Rows(tables) => tables.len(),
+            ExtVpStorage::Bits(bits) => bits.len(),
+            ExtVpStorage::Lazy => self
+                .catalog
+                .extvp_stats()
+                .filter(|(_, s)| s.materialized)
+                .count(),
+        }
+    }
+
+    /// Total tuples across VP tables (= |G|).
+    pub fn vp_tuples(&self) -> usize {
+        self.vp.values().map(|t| t.num_rows()).sum()
+    }
+
+    /// Total (logical) tuples across materialized ExtVP partitions.
+    pub fn extvp_tuples(&self) -> usize {
+        match &self.extvp {
+            ExtVpStorage::None => 0,
+            ExtVpStorage::Rows(tables) => tables.values().map(|t| t.num_rows()).sum(),
+            ExtVpStorage::Bits(bits) => bits.values().map(Bitmap::count_ones).sum(),
+            ExtVpStorage::Lazy => self
+                .catalog
+                .extvp_stats()
+                .filter(|(_, s)| s.materialized)
+                .map(|(_, s)| s.count)
+                .sum(),
+        }
+    }
+
+    /// In-memory bytes the ExtVP representation occupies (8 B/tuple for
+    /// tables, one bit per VP row for bitmaps, cache contents for lazy) —
+    /// the quantity the paper's §8 bit-vector idea targets.
+    pub fn extvp_payload_bytes(&self) -> usize {
+        match &self.extvp {
+            ExtVpStorage::None => 0,
+            ExtVpStorage::Rows(tables) => tables.values().map(|t| t.byte_size()).sum(),
+            ExtVpStorage::Bits(bits) => bits.values().map(Bitmap::byte_size).sum(),
+            ExtVpStorage::Lazy => self
+                .lazy_cache
+                .read()
+                .values()
+                .map(|t| t.byte_size())
+                .sum(),
+        }
+    }
+
+    /// An engine over this store. `use_extvp = false` forces the VP-only
+    /// execution path (the paper's "S2RDF VP" rows).
+    pub fn engine(&self, use_extvp: bool) -> S2rdfEngine<'_> {
+        S2rdfEngine::new(self, use_extvp && self.catalog.extvp_built)
+    }
+
+    /// Convenience: parse and run a query with default options on the best
+    /// available layout.
+    pub fn query(&self, sparql: &str) -> Result<Solutions, CoreError> {
+        self.engine(true).query(sparql)
+    }
+
+    /// Convenience: run with options, returning the execution trace too.
+    pub fn query_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(Solutions, Explain), CoreError> {
+        self.engine(true).query_opt(sparql, options)
+    }
+
+    /// Persists the store into a directory (tables, bitmaps, dictionary,
+    /// catalog).
+    pub fn save(&self, dir: &Path) -> Result<(), CoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| CoreError::Catalog(e.to_string()))?;
+        let mut tables = TableStore::open(dir.join("tables"))?;
+        tables.save(TT_NAME, &self.tt)?;
+        for (&p, table) in &self.vp {
+            debug_assert!(
+                self.dict.term(p).is_iri(),
+                "predicates must be IRIs for name round-tripping"
+            );
+            tables.save(&vp_table_name(&self.dict, p), table)?;
+        }
+        match &self.extvp {
+            ExtVpStorage::Rows(rows) => {
+                for (key, table) in rows {
+                    tables.save(&extvp_table_name(&self.dict, key), table)?;
+                }
+            }
+            ExtVpStorage::Bits(bits) => {
+                let bm_dir = dir.join("bitmaps");
+                std::fs::create_dir_all(&bm_dir)
+                    .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                let mut manifest = BufWriter::new(
+                    std::fs::File::create(bm_dir.join("manifest.tsv"))
+                        .map_err(|e| CoreError::Catalog(e.to_string()))?,
+                );
+                for (i, (key, bitmap)) in bits.iter().enumerate() {
+                    let file = format!("b{i:06}.bits");
+                    std::fs::write(bm_dir.join(&file), bitmap.to_bytes())
+                        .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                    writeln!(manifest, "{}\t{}", extvp_table_name(&self.dict, key), file)
+                        .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                }
+                manifest.flush().map_err(|e| CoreError::Catalog(e.to_string()))?;
+            }
+            ExtVpStorage::Lazy | ExtVpStorage::None => {}
+        }
+        self.catalog.save(&dir.join("catalog.json"))?;
+        // Dictionary: one term per line in N-Triples syntax, id = line no.
+        let file = std::fs::File::create(dir.join("dictionary.nt"))
+            .map_err(|e| CoreError::Catalog(e.to_string()))?;
+        let mut out = BufWriter::new(file);
+        for (_, term) in self.dict.iter() {
+            writeln!(out, "{term}").map_err(|e| CoreError::Catalog(e.to_string()))?;
+        }
+        out.flush().map_err(|e| CoreError::Catalog(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`S2rdfStore::save`].
+    pub fn load(dir: &Path) -> Result<S2rdfStore, CoreError> {
+        let catalog = Catalog::load(&dir.join("catalog.json"))?;
+        let mode = ExtVpMode::from_label(&catalog.extvp_mode)
+            .ok_or_else(|| CoreError::Catalog(format!("bad mode {}", catalog.extvp_mode)))?;
+        let file = std::fs::File::open(dir.join("dictionary.nt"))
+            .map_err(|e| CoreError::Catalog(e.to_string()))?;
+        let mut dict = Dictionary::new();
+        for line in BufReader::new(file).lines() {
+            let line = line.map_err(|e| CoreError::Catalog(e.to_string()))?;
+            dict.intern(&Term::parse_ntriples(&line)?);
+        }
+        let tables = TableStore::open(dir.join("tables"))?;
+        let tt = tables.load(TT_NAME)?;
+        let mut vp = FxHashMap::default();
+        let mut extvp_rows = FxHashMap::default();
+        for name in tables.names() {
+            if let Some(term_text) = name.strip_prefix("VP/") {
+                let term = Term::parse_ntriples(term_text)?;
+                let p = dict
+                    .id(&term)
+                    .ok_or_else(|| CoreError::Catalog(format!("unknown predicate {term}")))?;
+                vp.insert(p, Arc::new(tables.load(&name)?));
+            } else if name.starts_with("ExtVP_") {
+                let key = parse_extvp_name(&name, &dict)?;
+                extvp_rows.insert(key, Arc::new(tables.load(&name)?));
+            }
+        }
+        let extvp = if !catalog.extvp_built {
+            ExtVpStorage::None
+        } else {
+            match mode {
+                ExtVpMode::Materialized => ExtVpStorage::Rows(extvp_rows),
+                ExtVpMode::Lazy => ExtVpStorage::Lazy,
+                ExtVpMode::BitVector => {
+                    let bm_dir = dir.join("bitmaps");
+                    let manifest = std::fs::read_to_string(bm_dir.join("manifest.tsv"))
+                        .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                    let mut bits = FxHashMap::default();
+                    for line in manifest.lines() {
+                        let (name, file) = line.split_once('\t').ok_or_else(|| {
+                            CoreError::Catalog("bad bitmap manifest".to_string())
+                        })?;
+                        let key = parse_extvp_name(name, &dict)?;
+                        let data = std::fs::read(bm_dir.join(file))
+                            .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                        bits.insert(key, Bitmap::from_bytes(&data)?);
+                    }
+                    ExtVpStorage::Bits(bits)
+                }
+            }
+        };
+        Ok(S2rdfStore {
+            dict,
+            tt,
+            vp,
+            extvp,
+            lazy_cache: RwLock::new(FxHashMap::default()),
+            catalog,
+        })
+    }
+
+    /// On-disk byte sizes by table family, for Tables 2 and 6. Returns
+    /// `(tt, vp, extvp)` bytes from a saved store directory (bitmap files
+    /// count toward the ExtVP family).
+    pub fn disk_sizes(dir: &Path) -> Result<(u64, u64, u64), CoreError> {
+        let tables = TableStore::open(dir.join("tables"))?;
+        let (mut tt, mut vp, mut extvp) = (0, 0, 0);
+        for name in tables.names() {
+            let size = tables.file_size(&name)?;
+            if name == TT_NAME {
+                tt += size;
+            } else if name.starts_with("VP/") {
+                vp += size;
+            } else if name.starts_with("ExtVP_") {
+                extvp += size;
+            }
+        }
+        let bm_dir = dir.join("bitmaps");
+        if bm_dir.is_dir() {
+            for entry in
+                std::fs::read_dir(&bm_dir).map_err(|e| CoreError::Catalog(e.to_string()))?
+            {
+                let entry = entry.map_err(|e| CoreError::Catalog(e.to_string()))?;
+                extvp += entry
+                    .metadata()
+                    .map_err(|e| CoreError::Catalog(e.to_string()))?
+                    .len();
+            }
+        }
+        Ok((tt, vp, extvp))
+    }
+}
+
+/// Parses `ExtVP_<corr>/<p1>|<p2>` names back into keys. Predicates are
+/// IRIs rendered as `<...>`, so the separator is the `|` between `>` and
+/// `<`.
+fn parse_extvp_name(name: &str, dict: &Dictionary) -> Result<ExtVpKey, CoreError> {
+    let rest = name
+        .strip_prefix("ExtVP_")
+        .ok_or_else(|| CoreError::Catalog(format!("bad table name {name}")))?;
+    let (corr_label, pair) = rest
+        .split_once('/')
+        .ok_or_else(|| CoreError::Catalog(format!("bad table name {name}")))?;
+    let corr = match corr_label {
+        "SS" => Correlation::SS,
+        "OS" => Correlation::OS,
+        "SO" => Correlation::SO,
+        "OO" => Correlation::OO,
+        other => return Err(CoreError::Catalog(format!("bad correlation {other}"))),
+    };
+    let sep = pair
+        .find(">|<")
+        .ok_or_else(|| CoreError::Catalog(format!("bad table name {name}")))?;
+    let p1 = Term::parse_ntriples(&pair[..sep + 1])?;
+    let p2 = Term::parse_ntriples(&pair[sep + 2..])?;
+    let p1 = dict
+        .id(&p1)
+        .ok_or_else(|| CoreError::Catalog(format!("unknown predicate {p1}")))?;
+    let p2 = dict
+        .id(&p2)
+        .ok_or_else(|| CoreError::Catalog(format!("unknown predicate {p2}")))?;
+    Ok(ExtVpKey::new(corr, p1, p2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::Triple;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn g1() -> Graph {
+        Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+            t("C", "follows", "D"),
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ])
+    }
+
+    const Q_CHAIN: &str = "SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?w }";
+
+    #[test]
+    fn build_counts() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        assert_eq!(store.vp_tuples(), 7);
+        assert_eq!(store.catalog().num_predicates(), 2);
+        // Fig. 10: 5 green ExtVP tables for G1.
+        assert_eq!(store.num_extvp_tables(), 5);
+    }
+
+    #[test]
+    fn vp_only_build() {
+        let store = S2rdfStore::build(
+            &g1(),
+            &BuildOptions { build_extvp: false, ..Default::default() },
+        );
+        assert_eq!(store.num_extvp_tables(), 0);
+        assert!(!store.catalog().extvp_built);
+        // Queries still work through VP.
+        let s = store.query(Q_CHAIN).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn all_modes_answer_identically() {
+        let reference = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let expected = reference.query(Q_CHAIN).unwrap().canonical();
+        for mode in [ExtVpMode::BitVector, ExtVpMode::Lazy] {
+            let store = S2rdfStore::build(&g1(), &BuildOptions { mode, ..Default::default() });
+            assert_eq!(store.num_extvp_tables(), reference.num_extvp_tables());
+            assert_eq!(store.extvp_tuples(), reference.extvp_tuples());
+            assert_eq!(store.query(Q_CHAIN).unwrap().canonical(), expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn bitvector_payload_is_smaller() {
+        // With large VP tables the bitmap payload undercuts 8 B/tuple — on
+        // tiny G1 the advantage is absent, so synthesize a wider graph.
+        let mut triples = Vec::new();
+        for i in 0..2000 {
+            triples.push(t(&format!("u{i}"), "follows", &format!("u{}", (i + 1) % 2000)));
+        }
+        for i in 0..500 {
+            triples.push(t(&format!("u{i}"), "likes", &format!("m{}", i % 50)));
+        }
+        let g = Graph::from_triples(triples);
+        let rows = S2rdfStore::build(&g, &BuildOptions::default());
+        let bits = S2rdfStore::build(
+            &g,
+            &BuildOptions { mode: ExtVpMode::BitVector, ..Default::default() },
+        );
+        assert_eq!(rows.extvp_tuples(), bits.extvp_tuples());
+        assert!(
+            bits.extvp_payload_bytes() * 4 < rows.extvp_payload_bytes(),
+            "bitmaps {}B vs tables {}B",
+            bits.extvp_payload_bytes(),
+            rows.extvp_payload_bytes()
+        );
+    }
+
+    #[test]
+    fn lazy_cache_fills_on_use() {
+        let store = S2rdfStore::build(
+            &g1(),
+            &BuildOptions { mode: ExtVpMode::Lazy, ..Default::default() },
+        );
+        assert_eq!(store.extvp_payload_bytes(), 0); // nothing materialized yet
+        let s = store.query(Q_CHAIN).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(store.extvp_payload_bytes() > 0); // warm cache
+        // Second run hits the cache and still agrees.
+        assert_eq!(store.query(Q_CHAIN).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn oo_correlation_improves_oo_queries() {
+        let store_oo = S2rdfStore::build(
+            &g1(),
+            &BuildOptions { include_oo: true, ..Default::default() },
+        );
+        let store_plain = S2rdfStore::build(&g1(), &BuildOptions::default());
+        // ?a follows ?w . ?c likes ?w — an OO correlation.
+        let q = "SELECT * WHERE { ?a <follows> ?w . ?c <likes> ?w }";
+        let a = store_oo.query(q).unwrap();
+        let b = store_plain.query(q).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        // With OO built, the follows-side scan reads the OO reduction
+        // (follows tuples whose object is liked: only (B,D)? — objects of
+        // likes are I1/I2, no follows object is liked, so SF = 0 and the
+        // query is answered from statistics).
+        let (_, explain) = store_oo.engine(true).query_opt(q, &Default::default()).unwrap();
+        assert!(explain.statically_empty);
+        assert!(a.is_empty());
+        // Without OO the plain store must execute the join.
+        let (_, plain_explain) =
+            store_plain.engine(true).query_opt(q, &Default::default()).unwrap();
+        assert!(!plain_explain.statically_empty);
+    }
+
+    #[test]
+    fn save_load_roundtrip_all_modes() {
+        for (idx, options) in [
+            BuildOptions::default(),
+            BuildOptions { mode: ExtVpMode::BitVector, ..Default::default() },
+            BuildOptions { mode: ExtVpMode::Lazy, ..Default::default() },
+            BuildOptions { include_oo: true, ..Default::default() },
+        ]
+        .iter()
+        .enumerate()
+        {
+            let dir = std::env::temp_dir()
+                .join(format!("s2rdf-store-{}-{idx}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = S2rdfStore::build(&g1(), options);
+            store.save(&dir).unwrap();
+            let loaded = S2rdfStore::load(&dir).unwrap();
+            assert_eq!(loaded.mode(), store.mode(), "mode {idx}");
+            assert_eq!(loaded.vp_tuples(), store.vp_tuples());
+            assert_eq!(loaded.extvp_tuples(), store.extvp_tuples());
+            assert_eq!(loaded.num_extvp_tables(), store.num_extvp_tables());
+            assert_eq!(loaded.catalog().oo_built, store.catalog().oo_built);
+            assert_eq!(
+                loaded.query(Q_CHAIN).unwrap().canonical(),
+                store.query(Q_CHAIN).unwrap().canonical()
+            );
+            let (tt, vp, _) = S2rdfStore::disk_sizes(&dir).unwrap();
+            assert!(tt > 0 && vp > 0);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

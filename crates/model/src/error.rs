@@ -1,0 +1,35 @@
+//! Error type for model-level operations.
+
+use std::fmt;
+
+/// Errors raised while parsing terms or N-Triples documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A term could not be parsed from its textual form.
+    InvalidTerm(String),
+    /// An N-Triples line is malformed. Carries the 1-based line number and a
+    /// description of the problem.
+    InvalidLine { line: usize, message: String },
+    /// An I/O error occurred while reading or writing a document.
+    Io(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidTerm(t) => write!(f, "invalid RDF term: {t}"),
+            ModelError::InvalidLine { line, message } => {
+                write!(f, "invalid N-Triples line {line}: {message}")
+            }
+            ModelError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e.to_string())
+    }
+}

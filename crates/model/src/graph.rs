@@ -1,0 +1,219 @@
+//! Dictionary-encoded RDF graphs.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::dict::{Dictionary, TermId};
+use crate::term::{Term, Triple};
+
+/// A triple with all three components dictionary-encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EncodedTriple {
+    /// Subject id.
+    pub s: TermId,
+    /// Predicate id.
+    pub p: TermId,
+    /// Object id.
+    pub o: TermId,
+}
+
+/// An RDF graph: a *set* of triples plus the dictionary that encodes them.
+///
+/// Insertion order of first occurrence is preserved, which keeps generation
+/// deterministic; duplicate triples are ignored (RDF graphs are sets).
+///
+/// ```
+/// use s2rdf_model::{Graph, Term, Triple};
+///
+/// let mut g = Graph::new();
+/// let t = Triple::new(Term::iri("a"), Term::iri("p"), Term::literal("v"));
+/// assert!(g.insert(&t));
+/// assert!(!g.insert(&t)); // duplicate
+/// assert_eq!(g.len(), 1);
+/// assert_eq!(g.dict().len(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    dict: Dictionary,
+    triples: Vec<EncodedTriple>,
+    seen: FxHashSet<EncodedTriple>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Inserts a decoded triple. Returns true if it was new.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let enc = EncodedTriple {
+            s: self.dict.intern(&triple.s),
+            p: self.dict.intern(&triple.p),
+            o: self.dict.intern(&triple.o),
+        };
+        self.insert_encoded(enc)
+    }
+
+    /// Inserts an already-encoded triple. Returns true if it was new.
+    pub fn insert_encoded(&mut self, triple: EncodedTriple) -> bool {
+        debug_assert!(self.dict.get(triple.s).is_some());
+        debug_assert!(self.dict.get(triple.p).is_some());
+        debug_assert!(self.dict.get(triple.o).is_some());
+        if self.seen.insert(triple) {
+            self.triples.push(triple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Builds a graph from an iterator of decoded triples.
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(iter: I) -> Graph {
+        let mut g = Graph::new();
+        for t in iter {
+            g.insert(&t);
+        }
+        g
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The dictionary backing this graph.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (used by builders that intern query
+    /// constants before encoding).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// All encoded triples in insertion order.
+    pub fn triples(&self) -> &[EncodedTriple] {
+        &self.triples
+    }
+
+    /// Interns a term into this graph's dictionary (without adding triples).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Decodes one triple.
+    pub fn decode(&self, t: EncodedTriple) -> Triple {
+        Triple::new(
+            self.dict.term(t.s).clone(),
+            self.dict.term(t.p).clone(),
+            self.dict.term(t.o).clone(),
+        )
+    }
+
+    /// Iterates decoded triples.
+    pub fn iter_decoded(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.triples.iter().map(|&t| self.decode(t))
+    }
+
+    /// Returns the distinct predicate ids with their triple counts, in
+    /// first-seen order.
+    pub fn predicate_counts(&self) -> Vec<(TermId, usize)> {
+        let mut counts: FxHashMap<TermId, usize> = FxHashMap::default();
+        let mut order: Vec<TermId> = Vec::new();
+        for t in &self.triples {
+            let e = counts.entry(t.p).or_insert(0);
+            if *e == 0 {
+                order.push(t.p);
+            }
+            *e += 1;
+        }
+        order.into_iter().map(|p| (p, counts[&p])).collect()
+    }
+
+    /// True if the graph contains the given encoded triple.
+    pub fn contains(&self, t: EncodedTriple) -> bool {
+        self.seen.contains(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// The paper's running-example graph G1 (Fig. 1).
+    pub fn g1() -> Graph {
+        Graph::from_triples([
+            t("A", "follows", "B"),
+            t("B", "follows", "C"),
+            t("B", "follows", "D"),
+            t("C", "follows", "D"),
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ])
+    }
+
+    #[test]
+    fn build_g1() {
+        let g = g1();
+        assert_eq!(g.len(), 7);
+        // 6 resources + 2 predicates = 8 distinct terms.
+        assert_eq!(g.dict().len(), 8);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut g = g1();
+        assert!(!g.insert(&t("A", "follows", "B")));
+        assert_eq!(g.len(), 7);
+        assert!(g.insert(&t("D", "follows", "A")));
+        assert_eq!(g.len(), 8);
+    }
+
+    #[test]
+    fn predicate_counts_match() {
+        let g = g1();
+        let counts = g.predicate_counts();
+        assert_eq!(counts.len(), 2);
+        let follows = g.dict().id(&Term::iri("follows")).unwrap();
+        let likes = g.dict().id(&Term::iri("likes")).unwrap();
+        assert!(counts.contains(&(follows, 4)));
+        assert!(counts.contains(&(likes, 3)));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let g = g1();
+        let decoded: Vec<_> = g.iter_decoded().collect();
+        let g2 = Graph::from_triples(decoded);
+        assert_eq!(g2.len(), g.len());
+        for tr in g.triples() {
+            let dec = g.decode(*tr);
+            let enc = EncodedTriple {
+                s: g2.dict().id(&dec.s).unwrap(),
+                p: g2.dict().id(&dec.p).unwrap(),
+                o: g2.dict().id(&dec.o).unwrap(),
+            };
+            assert!(g2.contains(enc));
+        }
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let g = g1();
+        let first = g.triples()[0];
+        assert!(g.contains(first));
+        let bogus = EncodedTriple { s: first.s, p: first.p, o: first.s };
+        assert!(!g.contains(bogus));
+    }
+}

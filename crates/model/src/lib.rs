@@ -1,0 +1,23 @@
+//! RDF data model for the S2RDF reproduction.
+//!
+//! This crate provides the pieces every other layer builds on:
+//!
+//! * [`Term`] — RDF terms (IRIs, blank nodes, literals) with N-Triples
+//!   syntax parsing and serialization,
+//! * [`Dictionary`] — global dictionary encoding of terms into dense
+//!   [`TermId`]s (the analogue of Parquet's dictionary encoding in the
+//!   paper's storage layer),
+//! * [`Graph`] — a set of dictionary-encoded triples with per-predicate
+//!   access, and
+//! * [`ntriples`] — line-based N-Triples reading and writing.
+
+pub mod dict;
+pub mod error;
+pub mod graph;
+pub mod ntriples;
+pub mod term;
+
+pub use dict::{Dictionary, TermId};
+pub use error::ModelError;
+pub use graph::{EncodedTriple, Graph};
+pub use term::{Term, Triple};

@@ -1,0 +1,167 @@
+//! Line-based N-Triples reading and writing.
+//!
+//! This is the interchange format the WatDiv generator emits and the loaders
+//! ingest, mirroring the paper's use of N-Triples input files (§7, Table 2
+//! reports input sizes "in N-triples format").
+
+use std::io::{BufRead, Write};
+
+use crate::error::ModelError;
+use crate::graph::Graph;
+use crate::term::{Term, Triple};
+
+/// Parses a single N-Triples statement line (without the trailing newline).
+///
+/// Returns `Ok(None)` for blank lines and `#` comments.
+pub fn parse_line(line: &str, lineno: usize) -> Result<Option<Triple>, ModelError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let body = line.strip_suffix('.').ok_or_else(|| ModelError::InvalidLine {
+        line: lineno,
+        message: "missing trailing '.'".to_string(),
+    })?;
+    let mut rest = body.trim();
+
+    let mut take_term = |what: &str| -> Result<Term, ModelError> {
+        let (tok, remainder) = split_term(rest).ok_or_else(|| ModelError::InvalidLine {
+            line: lineno,
+            message: format!("missing {what}"),
+        })?;
+        rest = remainder.trim_start();
+        Term::parse_ntriples(tok).map_err(|e| ModelError::InvalidLine {
+            line: lineno,
+            message: e.to_string(),
+        })
+    };
+
+    let s = take_term("subject")?;
+    let p = take_term("predicate")?;
+    let o = take_term("object")?;
+    if !rest.trim().is_empty() {
+        return Err(ModelError::InvalidLine {
+            line: lineno,
+            message: format!("trailing content: {rest:?}"),
+        });
+    }
+    Ok(Some(Triple::new(s, p, o)))
+}
+
+/// Splits the leading term token off `s`, returning `(token, rest)`.
+fn split_term(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    match bytes[0] {
+        b'<' => {
+            let end = s.find('>')?;
+            Some((&s[..=end], &s[end + 1..]))
+        }
+        b'_' => {
+            let end = s.find(char::is_whitespace).unwrap_or(s.len());
+            Some((&s[..end], &s[end..]))
+        }
+        b'"' => {
+            // Closing quote honouring escapes, then optional @lang / ^^<dt>.
+            let mut i = 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => break,
+                    _ => i += 1,
+                }
+            }
+            if i >= bytes.len() {
+                return None;
+            }
+            let mut end = i + 1;
+            if bytes.get(end) == Some(&b'@') {
+                end += 1;
+                while end < bytes.len() && !bytes[end].is_ascii_whitespace() {
+                    end += 1;
+                }
+            } else if s[end..].starts_with("^^<") {
+                let close = s[end..].find('>')?;
+                end += close + 1;
+            }
+            Some((&s[..end], &s[end..]))
+        }
+        _ => None,
+    }
+}
+
+/// Reads an entire N-Triples document into a [`Graph`].
+pub fn read_graph<R: BufRead>(reader: R) -> Result<Graph, ModelError> {
+    let mut graph = Graph::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some(triple) = parse_line(&line, idx + 1)? {
+            graph.insert(&triple);
+        }
+    }
+    Ok(graph)
+}
+
+/// Writes a graph as an N-Triples document.
+pub fn write_graph<W: Write>(graph: &Graph, writer: &mut W) -> Result<(), ModelError> {
+    let mut out = std::io::BufWriter::new(writer);
+    for triple in graph.iter_decoded() {
+        writeln!(out, "{triple}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_line() {
+        let t = parse_line("<a> <p> <b> .", 1).unwrap().unwrap();
+        assert_eq!(t, Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")));
+    }
+
+    #[test]
+    fn parse_literal_object() {
+        let t = parse_line("<a> <p> \"v with spaces\"@en .", 1).unwrap().unwrap();
+        assert_eq!(t.o, Term::lang_literal("v with spaces", "en"));
+        let t = parse_line(
+            "<a> <p> \"12\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+            1,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(t.o, Term::integer(12));
+    }
+
+    #[test]
+    fn skip_comments_and_blanks() {
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        assert_eq!(parse_line("   # comment", 2).unwrap(), None);
+    }
+
+    #[test]
+    fn reject_malformed() {
+        assert!(parse_line("<a> <p> <b>", 1).is_err()); // no dot
+        assert!(parse_line("<a> <p> .", 1).is_err()); // missing object
+        assert!(parse_line("<a> <p> <b> <c> .", 1).is_err()); // extra term
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let src = "<a> <p> <b> .\n<b> <p> \"x\\\"y\" .\n<c> <q> \"2\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+        let g = read_graph(src.as_bytes()).unwrap();
+        assert_eq!(g.len(), 3);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g2.len(), 3);
+        for t in g.iter_decoded() {
+            assert!(g2.iter_decoded().any(|u| u == t));
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Query AST, structured as the SPARQL algebra.
+
+use s2rdf_model::Term;
+
+use crate::expr::Expression;
+
+/// A position in a triple pattern: either a variable or a bound RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermPattern {
+    /// A query variable (name without the leading `?`).
+    Var(String),
+    /// A bound term.
+    Term(Term),
+}
+
+impl TermPattern {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Term(_) => None,
+        }
+    }
+
+    /// The bound term, if this is one.
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            TermPattern::Var(_) => None,
+            TermPattern::Term(t) => Some(t),
+        }
+    }
+
+    /// True if this position is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermPattern::Var(_))
+    }
+}
+
+/// A triple pattern `tp = (s', p', o')` (paper §2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermPattern,
+    /// Predicate position.
+    pub p: TermPattern,
+    /// Object position.
+    pub o: TermPattern,
+}
+
+impl TriplePattern {
+    /// Creates a triple pattern.
+    pub fn new(s: TermPattern, p: TermPattern, o: TermPattern) -> TriplePattern {
+        TriplePattern { s, p, o }
+    }
+
+    /// The set of variables in this pattern, in s/p/o order, deduplicated.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for pos in [&self.s, &self.p, &self.o] {
+            if let Some(v) = pos.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of bound (non-variable) positions — the selectivity proxy the
+    /// join-order optimizer sorts by first (paper §6.2).
+    pub fn bound_count(&self) -> usize {
+        [&self.s, &self.p, &self.o]
+            .iter()
+            .filter(|p| !p.is_var())
+            .count()
+    }
+}
+
+/// A graph pattern in algebra form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a set of triple patterns joined on shared
+    /// variables.
+    Bgp(Vec<TriplePattern>),
+    /// FILTER: keep solutions where the expression evaluates to true.
+    Filter {
+        /// The filter condition.
+        expr: Expression,
+        /// The filtered pattern.
+        inner: Box<GraphPattern>,
+    },
+    /// Join of two group patterns (juxtaposition in the syntax).
+    Join(Box<GraphPattern>, Box<GraphPattern>),
+    /// OPTIONAL: left outer join.
+    LeftJoin(Box<GraphPattern>, Box<GraphPattern>),
+    /// UNION of two patterns.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+}
+
+impl GraphPattern {
+    /// All variables mentioned in the pattern, first-occurrence order.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        let mut add = |v: &str| {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        };
+        match self {
+            GraphPattern::Bgp(tps) => {
+                for tp in tps {
+                    for v in tp.vars() {
+                        add(v);
+                    }
+                }
+            }
+            GraphPattern::Filter { inner, .. } => inner.collect_vars(out),
+            GraphPattern::Join(l, r)
+            | GraphPattern::LeftJoin(l, r)
+            | GraphPattern::Union(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// The projection of a SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// `SELECT *`: all variables in the pattern.
+    All,
+    /// An explicit variable list.
+    Vars(Vec<String>),
+    /// A projection containing aggregates (SPARQL 1.1 — the paper lists
+    /// aggregation as future work, implemented here), e.g.
+    /// `SELECT ?x (COUNT(?y) AS ?n)`.
+    Items(Vec<SelectItem>),
+}
+
+/// One item of an aggregate projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain (group-key) variable.
+    Var(String),
+    /// `(<func>([DISTINCT] <expr>|*) AS ?alias)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated expression; `None` is `COUNT(*)`.
+        arg: Option<Expression>,
+        /// `DISTINCT` inside the aggregate.
+        distinct: bool,
+        /// Output variable name.
+        alias: String,
+    },
+}
+
+/// SPARQL 1.1 aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl AggFunc {
+    /// The SPARQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One ORDER BY condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCondition {
+    /// The sort key expression (usually a bare variable).
+    pub expr: Expression,
+    /// True for DESC.
+    pub descending: bool,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected variables.
+    pub selection: Selection,
+    /// True if DISTINCT was given.
+    pub distinct: bool,
+    /// The WHERE pattern in algebra form.
+    pub pattern: GraphPattern,
+    /// GROUP BY variables (SPARQL 1.1).
+    pub group_by: Vec<String>,
+    /// ORDER BY conditions, outermost first.
+    pub order_by: Vec<OrderCondition>,
+    /// LIMIT, if given.
+    pub limit: Option<usize>,
+    /// OFFSET, if given.
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// The variables this query projects, resolving `SELECT *` against the
+    /// pattern. For aggregate projections these are the output columns
+    /// (group keys and aliases).
+    pub fn projected_vars(&self) -> Vec<String> {
+        match &self.selection {
+            Selection::All => self.pattern.vars(),
+            Selection::Vars(vs) => vs.clone(),
+            Selection::Items(items) => items
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Var(v) => v.clone(),
+                    SelectItem::Aggregate { alias, .. } => alias.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// True if the query uses aggregation (aggregate projection or GROUP
+    /// BY).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty() || matches!(self.selection, Selection::Items(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: &str) -> TermPattern {
+        TermPattern::Var(v.to_string())
+    }
+
+    fn iri(i: &str) -> TermPattern {
+        TermPattern::Term(Term::iri(i))
+    }
+
+    #[test]
+    fn triple_pattern_vars_dedup() {
+        let tp = TriplePattern::new(var("x"), iri("p"), var("x"));
+        assert_eq!(tp.vars(), vec!["x"]);
+        assert_eq!(tp.bound_count(), 1);
+    }
+
+    #[test]
+    fn pattern_vars_first_occurrence_order() {
+        let bgp = GraphPattern::Bgp(vec![
+            TriplePattern::new(var("b"), iri("p"), var("a")),
+            TriplePattern::new(var("a"), iri("q"), var("c")),
+        ]);
+        assert_eq!(bgp.vars(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn select_star_resolves_vars() {
+        let q = Query {
+            selection: Selection::All,
+            distinct: false,
+            pattern: GraphPattern::Bgp(vec![TriplePattern::new(var("x"), iri("p"), var("y"))]),
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        assert_eq!(q.projected_vars(), vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,575 @@
+//! Tokenizer for the SPARQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<iri>`
+    IriRef(String),
+    /// `prefix:local` (either part may be empty).
+    PName(String, String),
+    /// `?name` (or `$name`).
+    Var(String),
+    /// A quoted string with optional `@lang` or datatype reference.
+    StringLit {
+        /// Lexical form (unescaped).
+        lexical: String,
+        /// Language tag, if any.
+        lang: Option<String>,
+        /// Datatype: either a full IRI or a prefixed name to resolve later.
+        datatype: Option<DatatypeRef>,
+    },
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal/double literal (kept as text for lossless round-trips).
+    Decimal(String),
+    /// A bare word: keyword, `a`, `true`, `false`, or a function name.
+    Word(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+}
+
+/// A datatype annotation on a string literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatatypeRef {
+    /// `^^<iri>`
+    Iri(String),
+    /// `^^prefix:local`
+    PName(String, String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::IriRef(i) => write!(f, "<{i}>"),
+            Token::PName(p, l) => write!(f, "{p}:{l}"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::StringLit { lexical, .. } => write!(f, "\"{lexical}\""),
+            Token::Integer(n) => write!(f, "{n}"),
+            Token::Decimal(d) => write!(f, "{d}"),
+            Token::Word(w) => write!(f, "{w}"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A lexer error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes a query string. `#` starts a comment to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "expected &&".into() });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "expected ||".into() });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                // IRIREF if a '>' appears before any whitespace; otherwise a
+                // comparison operator.
+                let rest = &src[i + 1..];
+                let close = rest.find('>');
+                let ws = rest.find(char::is_whitespace);
+                match (close, ws) {
+                    (Some(c_idx), w) if w.is_none_or(|w_idx| c_idx < w_idx) => {
+                        tokens.push(Token::IriRef(rest[..c_idx].to_string()));
+                        i += c_idx + 2;
+                    }
+                    _ => {
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            tokens.push(Token::Le);
+                            i += 2;
+                        } else {
+                            tokens.push(Token::Lt);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            '?' | '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_name_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { offset: i, message: "empty variable name".into() });
+                }
+                tokens.push(Token::Var(src[start..j].to_string()));
+                i = j;
+            }
+            '"' => {
+                let (lit, next) = lex_string(src, i)?;
+                tokens.push(lit);
+                i = next;
+            }
+            '-' => {
+                // Negative number or bare minus.
+                if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (tok, next) = lex_number(src, i);
+                    tokens.push(tok);
+                    i = next;
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(src, i);
+                tokens.push(tok);
+                i = next;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            c if is_name_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_name_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b':') {
+                    // Prefixed name: prefix ':' local
+                    let prefix = src[start..j].to_string();
+                    let mut k = j + 1;
+                    while k < bytes.len() && is_name_char(bytes[k] as char) {
+                        k += 1;
+                    }
+                    // Local names must not end with '.': the trailing dot is
+                    // the triple terminator.
+                    let mut end = k;
+                    while end > j + 1 && bytes[end - 1] == b'.' {
+                        end -= 1;
+                    }
+                    tokens.push(Token::PName(prefix, src[j + 1..end].to_string()));
+                    i = end;
+                } else {
+                    // Bare word; strip trailing dots (triple terminator).
+                    let mut end = j;
+                    while end > start && bytes[end - 1] == b'.' {
+                        end -= 1;
+                    }
+                    tokens.push(Token::Word(src[start..end].to_string()));
+                    i = end;
+                }
+            }
+            ':' => {
+                // PName with empty prefix.
+                let mut k = i + 1;
+                while k < bytes.len() && is_name_char(bytes[k] as char) {
+                    k += 1;
+                }
+                let mut end = k;
+                while end > i + 1 && bytes[end - 1] == b'.' {
+                    end -= 1;
+                }
+                tokens.push(Token::PName(String::new(), src[i + 1..end].to_string()));
+                i = end;
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_number(src: &str, start: usize) -> (Token, usize) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    if bytes[j] == b'-' {
+        j += 1;
+    }
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    // A '.' only belongs to the number if followed by a digit (otherwise it
+    // terminates a triple).
+    if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        return (Token::Decimal(src[start..j].to_string()), j);
+    }
+    let text = &src[start..j];
+    match text.parse::<i64>() {
+        Ok(n) => (Token::Integer(n), j),
+        Err(_) => (Token::Decimal(text.to_string()), j),
+    }
+}
+
+fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut j = start + 1;
+    let mut lexical = String::new();
+    loop {
+        match bytes.get(j) {
+            None => {
+                return Err(LexError { offset: start, message: "unterminated string".into() })
+            }
+            Some(b'"') => break,
+            Some(b'\\') => {
+                match bytes.get(j + 1) {
+                    Some(b'n') => lexical.push('\n'),
+                    Some(b't') => lexical.push('\t'),
+                    Some(b'r') => lexical.push('\r'),
+                    Some(&c) => lexical.push(c as char),
+                    None => {
+                        return Err(LexError {
+                            offset: j,
+                            message: "dangling escape".into(),
+                        })
+                    }
+                }
+                j += 2;
+            }
+            Some(_) => {
+                // Advance one UTF-8 character.
+                let ch = src[j..].chars().next().unwrap();
+                lexical.push(ch);
+                j += ch.len_utf8();
+            }
+        }
+    }
+    j += 1; // closing quote
+    // Optional @lang
+    if bytes.get(j) == Some(&b'@') {
+        let start_lang = j + 1;
+        let mut k = start_lang;
+        while k < bytes.len() && ((bytes[k] as char).is_ascii_alphanumeric() || bytes[k] == b'-') {
+            k += 1;
+        }
+        return Ok((
+            Token::StringLit {
+                lexical,
+                lang: Some(src[start_lang..k].to_string()),
+                datatype: None,
+            },
+            k,
+        ));
+    }
+    // Optional ^^datatype
+    if src[j..].starts_with("^^") {
+        let k = j + 2;
+        if bytes.get(k) == Some(&b'<') {
+            let close = src[k + 1..].find('>').ok_or(LexError {
+                offset: k,
+                message: "unterminated datatype IRI".into(),
+            })?;
+            let iri = src[k + 1..k + 1 + close].to_string();
+            return Ok((
+                Token::StringLit { lexical, lang: None, datatype: Some(DatatypeRef::Iri(iri)) },
+                k + close + 2,
+            ));
+        }
+        // prefixed datatype
+        let mut m = k;
+        while m < bytes.len() && is_name_char(bytes[m] as char) {
+            m += 1;
+        }
+        if bytes.get(m) != Some(&b':') {
+            return Err(LexError { offset: k, message: "bad datatype".into() });
+        }
+        let prefix = src[k..m].to_string();
+        let mut n = m + 1;
+        while n < bytes.len() && is_name_char(bytes[n] as char) {
+            n += 1;
+        }
+        let mut end = n;
+        while end > m + 1 && bytes[end - 1] == b'.' {
+            end -= 1;
+        }
+        return Ok((
+            Token::StringLit {
+                lexical,
+                lang: None,
+                datatype: Some(DatatypeRef::PName(prefix, src[m + 1..end].to_string())),
+            },
+            end,
+        ));
+    }
+    Ok((Token::StringLit { lexical, lang: None, datatype: None }, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT * WHERE { ?x <p> ?y . }").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Star,
+                Token::Word("WHERE".into()),
+                Token::LBrace,
+                Token::Var("x".into()),
+                Token::IriRef("p".into()),
+                Token::Var("y".into()),
+                Token::Dot,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names_and_trailing_dot() {
+        let toks = tokenize("?v0 wsdbm:follows wsdbm:User123 .").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Var("v0".into()),
+                Token::PName("wsdbm".into(), "follows".into()),
+                Token::PName("wsdbm".into(), "User123".into()),
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        let toks = tokenize("FILTER(?x < 5 && ?y <= <http://e/x>)").unwrap();
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::IriRef("http://e/x".into())));
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = tokenize(r#""plain" "tagged"@en-GB "typed"^^xsd:integer"#).unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(
+            toks[1],
+            Token::StringLit {
+                lexical: "tagged".into(),
+                lang: Some("en-GB".into()),
+                datatype: None
+            }
+        );
+        assert_eq!(
+            toks[2],
+            Token::StringLit {
+                lexical: "typed".into(),
+                lang: None,
+                datatype: Some(DatatypeRef::PName("xsd".into(), "integer".into()))
+            }
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("5 -3 2.5 10.").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Integer(5),
+                Token::Integer(-3),
+                Token::Decimal("2.5".into()),
+                Token::Integer(10),
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let toks = tokenize("?x # comment with <junk> ?y\n?z").unwrap();
+        assert_eq!(toks, vec![Token::Var("x".into()), Token::Var("z".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= != ! && || > >= + - / *").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Bang,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Slash,
+                Token::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("@@").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("? ").is_err());
+        assert!(tokenize("&x").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! SPARQL 1.0 subset: lexer, parser, algebra and algebraic optimizations.
+//!
+//! The supported fragment is the one S2RDF implements (paper §6.1): basic
+//! graph patterns, FILTER, OPTIONAL, UNION, DISTINCT, ORDER BY,
+//! LIMIT/OFFSET, and PREFIX declarations. SPARQL 1.1 features (subqueries,
+//! aggregation, property paths) are out of scope, exactly as in the paper.
+//!
+//! Parsing produces a [`Query`] whose [`GraphPattern`] mirrors the SPARQL
+//! algebra (BGP / Filter / LeftJoin / Union / Join); the
+//! [`optimizer`] applies the algebraic rewrites the paper mentions
+//! (filter splitting and pushdown).
+
+pub mod ast;
+pub mod expr;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod render;
+pub mod shape;
+
+pub use ast::{
+    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern,
+    TriplePattern,
+};
+pub use expr::{EvalError, Expression, Value};
+pub use parser::{parse_query, ParseError};

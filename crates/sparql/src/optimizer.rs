@@ -1,0 +1,305 @@
+//! Algebraic optimizations applied before compilation.
+//!
+//! S2RDF parses queries with Jena ARQ and applies "some basic algebraic
+//! optimizations, e.g. filter pushing" (paper §6). This module implements
+//! the equivalents:
+//!
+//! 1. **BGP merging** — adjacent joined BGPs collapse into one, so the
+//!    join-order optimizer (paper Alg. 4) sees the full set of triple
+//!    patterns at once,
+//! 2. **filter splitting** — conjunctive filters split into one filter per
+//!    conjunct, and
+//! 3. **filter pushdown** — each filter moves to the smallest subpattern
+//!    that binds all its variables.
+
+use crate::ast::{GraphPattern, Query};
+use crate::expr::Expression;
+
+/// Optimizes a query in place.
+pub fn optimize(query: &mut Query) {
+    let pattern = std::mem::replace(&mut query.pattern, GraphPattern::Bgp(Vec::new()));
+    query.pattern = optimize_pattern(pattern);
+}
+
+/// Optimizes a graph pattern.
+pub fn optimize_pattern(pattern: GraphPattern) -> GraphPattern {
+    let merged = merge_bgps(pattern);
+    let split = split_filters(merged);
+    push_filters(split)
+}
+
+/// Collapses `Join(Bgp, Bgp)` into a single BGP, bottom-up.
+fn merge_bgps(pattern: GraphPattern) -> GraphPattern {
+    match pattern {
+        GraphPattern::Bgp(tps) => GraphPattern::Bgp(tps),
+        GraphPattern::Filter { expr, inner } => GraphPattern::Filter {
+            expr,
+            inner: Box::new(merge_bgps(*inner)),
+        },
+        GraphPattern::Join(l, r) => {
+            let l = merge_bgps(*l);
+            let r = merge_bgps(*r);
+            match (l, r) {
+                (GraphPattern::Bgp(mut a), GraphPattern::Bgp(b)) => {
+                    a.extend(b);
+                    GraphPattern::Bgp(a)
+                }
+                // An empty BGP is the join identity.
+                (GraphPattern::Bgp(a), other) if a.is_empty() => other,
+                (other, GraphPattern::Bgp(b)) if b.is_empty() => other,
+                (l, r) => GraphPattern::Join(Box::new(l), Box::new(r)),
+            }
+        }
+        GraphPattern::LeftJoin(l, r) => {
+            GraphPattern::LeftJoin(Box::new(merge_bgps(*l)), Box::new(merge_bgps(*r)))
+        }
+        GraphPattern::Union(l, r) => {
+            GraphPattern::Union(Box::new(merge_bgps(*l)), Box::new(merge_bgps(*r)))
+        }
+    }
+}
+
+/// Splits `Filter(a && b, p)` into `Filter(a, Filter(b, p))`, recursively.
+fn split_filters(pattern: GraphPattern) -> GraphPattern {
+    match pattern {
+        GraphPattern::Filter { expr, inner } => {
+            let mut inner = split_filters(*inner);
+            for conjunct in conjuncts(expr) {
+                inner = GraphPattern::Filter { expr: conjunct, inner: Box::new(inner) };
+            }
+            inner
+        }
+        GraphPattern::Join(l, r) => {
+            GraphPattern::Join(Box::new(split_filters(*l)), Box::new(split_filters(*r)))
+        }
+        GraphPattern::LeftJoin(l, r) => {
+            GraphPattern::LeftJoin(Box::new(split_filters(*l)), Box::new(split_filters(*r)))
+        }
+        GraphPattern::Union(l, r) => {
+            GraphPattern::Union(Box::new(split_filters(*l)), Box::new(split_filters(*r)))
+        }
+        p => p,
+    }
+}
+
+fn conjuncts(expr: Expression) -> Vec<Expression> {
+    match expr {
+        Expression::And(a, b) => {
+            let mut out = conjuncts(*a);
+            out.extend(conjuncts(*b));
+            out
+        }
+        e => vec![e],
+    }
+}
+
+/// Pushes each filter into the deepest join branch that binds all its
+/// variables. `BOUND` filters stay put: their meaning depends on OPTIONAL
+/// scope.
+fn push_filters(pattern: GraphPattern) -> GraphPattern {
+    match pattern {
+        GraphPattern::Filter { expr, inner } => {
+            let inner = push_filters(*inner);
+            push_one_filter(expr, inner)
+        }
+        GraphPattern::Join(l, r) => {
+            GraphPattern::Join(Box::new(push_filters(*l)), Box::new(push_filters(*r)))
+        }
+        GraphPattern::LeftJoin(l, r) => {
+            GraphPattern::LeftJoin(Box::new(push_filters(*l)), Box::new(push_filters(*r)))
+        }
+        GraphPattern::Union(l, r) => {
+            GraphPattern::Union(Box::new(push_filters(*l)), Box::new(push_filters(*r)))
+        }
+        p => p,
+    }
+}
+
+fn uses_bound(expr: &Expression) -> bool {
+    match expr {
+        Expression::Bound(_) => true,
+        Expression::Var(_) | Expression::Const(_) => false,
+        Expression::And(a, b)
+        | Expression::Or(a, b)
+        | Expression::Eq(a, b)
+        | Expression::Ne(a, b)
+        | Expression::Lt(a, b)
+        | Expression::Le(a, b)
+        | Expression::Gt(a, b)
+        | Expression::Ge(a, b)
+        | Expression::Add(a, b)
+        | Expression::Sub(a, b)
+        | Expression::Mul(a, b)
+        | Expression::Div(a, b) => uses_bound(a) || uses_bound(b),
+        Expression::Not(e)
+        | Expression::IsIri(e)
+        | Expression::IsLiteral(e)
+        | Expression::IsBlank(e)
+        | Expression::Str(e)
+        | Expression::Lang(e) => uses_bound(e),
+    }
+}
+
+fn covers(pattern: &GraphPattern, vars: &[String]) -> bool {
+    let pv = pattern.vars();
+    vars.iter().all(|v| pv.contains(v))
+}
+
+fn push_one_filter(expr: Expression, pattern: GraphPattern) -> GraphPattern {
+    if uses_bound(&expr) {
+        return GraphPattern::Filter { expr, inner: Box::new(pattern) };
+    }
+    let vars = expr.vars();
+    match pattern {
+        GraphPattern::Join(l, r) => {
+            if covers(&l, &vars) {
+                GraphPattern::Join(Box::new(push_one_filter(expr, *l)), r)
+            } else if covers(&r, &vars) {
+                GraphPattern::Join(l, Box::new(push_one_filter(expr, *r)))
+            } else {
+                GraphPattern::Filter {
+                    expr,
+                    inner: Box::new(GraphPattern::Join(l, r)),
+                }
+            }
+        }
+        // A filter over OPTIONAL may only move into the required (left)
+        // side.
+        GraphPattern::LeftJoin(l, r) => {
+            if covers(&l, &vars) {
+                GraphPattern::LeftJoin(Box::new(push_one_filter(expr, *l)), r)
+            } else {
+                GraphPattern::Filter {
+                    expr,
+                    inner: Box::new(GraphPattern::LeftJoin(l, r)),
+                }
+            }
+        }
+        p => GraphPattern::Filter { expr, inner: Box::new(p) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{TermPattern, TriplePattern};
+    use s2rdf_model::Term;
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let part = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermPattern::Var(v.to_string())
+            } else {
+                TermPattern::Term(Term::iri(x))
+            }
+        };
+        TriplePattern::new(part(s), part(p), part(o))
+    }
+
+    fn bgp(tps: Vec<TriplePattern>) -> GraphPattern {
+        GraphPattern::Bgp(tps)
+    }
+
+    #[test]
+    fn merges_joined_bgps() {
+        let pattern = GraphPattern::Join(
+            Box::new(bgp(vec![tp("?x", "p", "?y")])),
+            Box::new(GraphPattern::Join(
+                Box::new(bgp(vec![tp("?y", "q", "?z")])),
+                Box::new(bgp(vec![tp("?z", "r", "?w")])),
+            )),
+        );
+        match optimize_pattern(pattern) {
+            GraphPattern::Bgp(tps) => assert_eq!(tps.len(), 3),
+            other => panic!("expected merged BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_bgp_is_join_identity() {
+        let pattern = GraphPattern::Join(
+            Box::new(bgp(vec![])),
+            Box::new(GraphPattern::Union(
+                Box::new(bgp(vec![tp("?x", "p", "?y")])),
+                Box::new(bgp(vec![tp("?x", "q", "?y")])),
+            )),
+        );
+        assert!(matches!(optimize_pattern(pattern), GraphPattern::Union(_, _)));
+    }
+
+    #[test]
+    fn splits_conjunctions() {
+        let expr = Expression::And(
+            Box::new(Expression::Bound("a".into())),
+            Box::new(Expression::Bound("b".into())),
+        );
+        let pattern = GraphPattern::Filter {
+            expr,
+            inner: Box::new(bgp(vec![tp("?a", "p", "?b")])),
+        };
+        let out = optimize_pattern(pattern);
+        let GraphPattern::Filter { inner, .. } = out else { panic!("outer filter") };
+        assert!(matches!(*inner, GraphPattern::Filter { .. }));
+    }
+
+    #[test]
+    fn pushes_filter_into_covering_branch() {
+        let join = GraphPattern::Join(
+            Box::new(bgp(vec![tp("?x", "p", "?y")])),
+            Box::new(GraphPattern::Union(
+                Box::new(bgp(vec![tp("?z", "q", "?w")])),
+                Box::new(bgp(vec![tp("?z", "r", "?w")])),
+            )),
+        );
+        let pattern = GraphPattern::Filter {
+            expr: Expression::Eq(
+                Box::new(Expression::Var("x".into())),
+                Box::new(Expression::Var("y".into())),
+            ),
+            inner: Box::new(join),
+        };
+        match optimize_pattern(pattern) {
+            GraphPattern::Join(l, _) => {
+                assert!(matches!(*l, GraphPattern::Filter { .. }))
+            }
+            other => panic!("filter not pushed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_spanning_both_sides_stays() {
+        let join = GraphPattern::Join(
+            Box::new(bgp(vec![tp("?x", "p", "?y")])),
+            Box::new(GraphPattern::Union(
+                Box::new(bgp(vec![tp("?z", "q", "?w")])),
+                Box::new(bgp(vec![tp("?z", "r", "?w")])),
+            )),
+        );
+        let pattern = GraphPattern::Filter {
+            expr: Expression::Eq(
+                Box::new(Expression::Var("x".into())),
+                Box::new(Expression::Var("z".into())),
+            ),
+            inner: Box::new(join),
+        };
+        assert!(matches!(optimize_pattern(pattern), GraphPattern::Filter { .. }));
+    }
+
+    #[test]
+    fn bound_filter_not_pushed() {
+        let pattern = GraphPattern::Filter {
+            expr: Expression::Not(Box::new(Expression::Bound("z".into()))),
+            inner: Box::new(GraphPattern::LeftJoin(
+                Box::new(bgp(vec![tp("?x", "p", "?y")])),
+                Box::new(bgp(vec![tp("?y", "q", "?z")])),
+            )),
+        };
+        // Must remain a filter over the LeftJoin, not move inside.
+        match optimize_pattern(pattern) {
+            GraphPattern::Filter { inner, .. } => {
+                assert!(matches!(*inner, GraphPattern::LeftJoin(_, _)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

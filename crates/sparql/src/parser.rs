@@ -1,0 +1,740 @@
+//! Recursive-descent parser producing [`Query`] values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use s2rdf_model::Term;
+
+use crate::ast::{
+    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern,
+    TriplePattern,
+};
+use crate::expr::Expression;
+use crate::lexer::{tokenize, DatatypeRef, LexError, Token};
+
+/// The `rdf:type` IRI (the meaning of the keyword `a`).
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+const XSD: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError(e.to_string())
+    }
+}
+
+/// Parses a SELECT query from its textual form.
+///
+/// ```
+/// use s2rdf_sparql::{parse_query, GraphPattern};
+///
+/// let q = parse_query("SELECT ?x WHERE { ?x <likes> ?y . ?y <likes> ?z }").unwrap();
+/// assert_eq!(q.projected_vars(), vec!["x"]);
+/// assert!(matches!(q.pattern, GraphPattern::Bgp(ref tps) if tps.len() == 2));
+/// ```
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let q = p.parse_query()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError(format!(
+            "unexpected trailing token {}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        let t = self.next()?;
+        if &t != expected {
+            return Err(ParseError(format!("expected {expected}, found {t}")));
+        }
+        Ok(())
+    }
+
+    /// Consumes a keyword case-insensitively; returns whether it was there.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(t) => Err(ParseError(format!("expected {kw}, found {t}"))),
+                None => Err(ParseError(format!("expected {kw}, found end of query"))),
+            }
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<String, ParseError> {
+        let base = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| ParseError(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(format!("{base}{local}"))
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        // Prologue: PREFIX declarations.
+        while self.eat_keyword("PREFIX") {
+            let (prefix, local) = match self.next()? {
+                Token::PName(p, l) => (p, l),
+                t => return Err(ParseError(format!("expected prefix name, found {t}"))),
+            };
+            if !local.is_empty() {
+                return Err(ParseError(format!(
+                    "prefix declaration must end with ':', got {prefix}:{local}"
+                )));
+            }
+            let iri = match self.next()? {
+                Token::IriRef(i) => i,
+                t => return Err(ParseError(format!("expected IRI, found {t}"))),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        if !distinct {
+            // REDUCED is accepted and treated as plain (allowed by spec).
+            self.eat_keyword("REDUCED");
+        }
+
+        let selection = if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            Selection::All
+        } else {
+            let mut items: Vec<SelectItem> = Vec::new();
+            let mut has_aggregate = false;
+            loop {
+                match self.peek() {
+                    Some(Token::Var(v)) => {
+                        items.push(SelectItem::Var(v.clone()));
+                        self.pos += 1;
+                    }
+                    Some(Token::LParen) => {
+                        self.pos += 1;
+                        items.push(self.parse_aggregate_item()?);
+                        has_aggregate = true;
+                    }
+                    _ => break,
+                }
+            }
+            if items.is_empty() {
+                return Err(ParseError("SELECT needs '*' or variables".into()));
+            }
+            if has_aggregate {
+                Selection::Items(items)
+            } else {
+                Selection::Vars(
+                    items
+                        .into_iter()
+                        .map(|i| match i {
+                            SelectItem::Var(v) => v,
+                            SelectItem::Aggregate { .. } => unreachable!(),
+                        })
+                        .collect(),
+                )
+            }
+        };
+
+        // WHERE is optional in the grammar.
+        self.eat_keyword("WHERE");
+        let pattern = self.parse_group()?;
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            while let Some(Token::Var(v)) = self.peek() {
+                group_by.push(v.clone());
+                self.pos += 1;
+            }
+            if group_by.is_empty() {
+                return Err(ParseError("GROUP BY needs at least one variable".into()));
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                match self.peek() {
+                    Some(Token::Var(v)) => {
+                        order_by.push(OrderCondition {
+                            expr: Expression::Var(v.clone()),
+                            descending: false,
+                        });
+                        self.pos += 1;
+                    }
+                    Some(Token::Word(w))
+                        if w.eq_ignore_ascii_case("ASC") || w.eq_ignore_ascii_case("DESC") =>
+                    {
+                        let descending = w.eq_ignore_ascii_case("DESC");
+                        self.pos += 1;
+                        self.expect(&Token::LParen)?;
+                        let expr = self.parse_expression()?;
+                        self.expect(&Token::RParen)?;
+                        order_by.push(OrderCondition { expr, descending });
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(ParseError("ORDER BY needs at least one condition".into()));
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = None;
+        // LIMIT and OFFSET may come in either order.
+        for _ in 0..2 {
+            if self.eat_keyword("LIMIT") {
+                match self.next()? {
+                    Token::Integer(n) if n >= 0 => limit = Some(n as usize),
+                    t => return Err(ParseError(format!("bad LIMIT {t}"))),
+                }
+            } else if self.eat_keyword("OFFSET") {
+                match self.next()? {
+                    Token::Integer(n) if n >= 0 => offset = Some(n as usize),
+                    t => return Err(ParseError(format!("bad OFFSET {t}"))),
+                }
+            }
+        }
+
+        Ok(Query { selection, distinct, pattern, group_by, order_by, limit, offset })
+    }
+
+    /// `(<FUNC>([DISTINCT] <expr>|*) AS ?alias)` — the leading '(' is
+    /// already consumed.
+    fn parse_aggregate_item(&mut self) -> Result<SelectItem, ParseError> {
+        let func = match self.next()? {
+            Token::Word(w) => match w.to_ascii_uppercase().as_str() {
+                "COUNT" => AggFunc::Count,
+                "SUM" => AggFunc::Sum,
+                "AVG" => AggFunc::Avg,
+                "MIN" => AggFunc::Min,
+                "MAX" => AggFunc::Max,
+                other => {
+                    return Err(ParseError(format!("unsupported aggregate {other}()")))
+                }
+            },
+            t => return Err(ParseError(format!("expected aggregate function, found {t}"))),
+        };
+        self.expect(&Token::LParen)?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let arg = if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            if func != AggFunc::Count {
+                return Err(ParseError(format!("{}(*) is not valid", func.keyword())));
+            }
+            None
+        } else {
+            Some(self.parse_expression()?)
+        };
+        self.expect(&Token::RParen)?;
+        self.expect_keyword("AS")?;
+        let alias = match self.next()? {
+            Token::Var(v) => v,
+            t => return Err(ParseError(format!("expected ?alias after AS, found {t}"))),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(SelectItem::Aggregate { func, arg, distinct, alias })
+    }
+
+    /// GroupGraphPattern := '{' … '}' with SPARQL's left-to-right algebra
+    /// translation: group elements fold with Join, OPTIONAL folds with
+    /// LeftJoin, and the group's FILTERs apply to the whole group.
+    fn parse_group(&mut self) -> Result<GraphPattern, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut current: Option<GraphPattern> = None;
+        let mut bgp: Vec<TriplePattern> = Vec::new();
+        let mut filters: Vec<Expression> = Vec::new();
+
+        fn flush(current: &mut Option<GraphPattern>, bgp: &mut Vec<TriplePattern>) {
+            if !bgp.is_empty() {
+                let pat = GraphPattern::Bgp(std::mem::take(bgp));
+                *current = Some(match current.take() {
+                    None => pat,
+                    Some(prev) => GraphPattern::Join(Box::new(prev), Box::new(pat)),
+                });
+            }
+        }
+
+        loop {
+            match self.peek() {
+                None => return Err(ParseError("unterminated group".into())),
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                }
+                Some(Token::LBrace) => {
+                    flush(&mut current, &mut bgp);
+                    let sub = self.parse_group_or_union()?;
+                    current = Some(match current.take() {
+                        None => sub,
+                        Some(prev) => GraphPattern::Join(Box::new(prev), Box::new(sub)),
+                    });
+                }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.pos += 1;
+                    self.expect(&Token::LParen)?;
+                    let expr = self.parse_expression()?;
+                    self.expect(&Token::RParen)?;
+                    filters.push(expr);
+                }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    self.pos += 1;
+                    flush(&mut current, &mut bgp);
+                    let right = self.parse_group()?;
+                    let left = current
+                        .take()
+                        .unwrap_or(GraphPattern::Bgp(Vec::new()));
+                    current = Some(GraphPattern::LeftJoin(Box::new(left), Box::new(right)));
+                }
+                Some(_) => {
+                    // Triples block.
+                    self.parse_triples_same_subject(&mut bgp)?;
+                }
+            }
+        }
+        flush(&mut current, &mut bgp);
+        let mut pattern = current.unwrap_or(GraphPattern::Bgp(Vec::new()));
+        for expr in filters {
+            pattern = GraphPattern::Filter { expr, inner: Box::new(pattern) };
+        }
+        Ok(pattern)
+    }
+
+    /// GroupOrUnion := GroupGraphPattern ('UNION' GroupGraphPattern)*
+    fn parse_group_or_union(&mut self) -> Result<GraphPattern, ParseError> {
+        let mut pattern = self.parse_group()?;
+        while self.eat_keyword("UNION") {
+            let right = self.parse_group()?;
+            pattern = GraphPattern::Union(Box::new(pattern), Box::new(right));
+        }
+        Ok(pattern)
+    }
+
+    /// TriplesSameSubject := Subject (Verb ObjectList (';' Verb ObjectList)*)
+    fn parse_triples_same_subject(
+        &mut self,
+        bgp: &mut Vec<TriplePattern>,
+    ) -> Result<(), ParseError> {
+        let subject = self.parse_term_pattern("subject")?;
+        loop {
+            let predicate = self.parse_verb()?;
+            loop {
+                let object = self.parse_term_pattern("object")?;
+                bgp.push(TriplePattern::new(subject.clone(), predicate.clone(), object));
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), Some(Token::Semicolon)) {
+                self.pos += 1;
+                // Allow a dangling ';' before '.' or '}'.
+                if matches!(self.peek(), Some(Token::Dot) | Some(Token::RBrace)) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_verb(&mut self) -> Result<TermPattern, ParseError> {
+        if let Some(Token::Word(w)) = self.peek() {
+            if w == "a" {
+                self.pos += 1;
+                return Ok(TermPattern::Term(Term::iri(RDF_TYPE)));
+            }
+        }
+        self.parse_term_pattern("predicate")
+    }
+
+    fn parse_term_pattern(&mut self, what: &str) -> Result<TermPattern, ParseError> {
+        match self.next()? {
+            Token::Var(v) => Ok(TermPattern::Var(v)),
+            Token::IriRef(i) => Ok(TermPattern::Term(Term::iri(i))),
+            Token::PName(p, l) => Ok(TermPattern::Term(Term::iri(self.resolve_pname(&p, &l)?))),
+            Token::StringLit { lexical, lang, datatype } => {
+                Ok(TermPattern::Term(self.make_literal(lexical, lang, datatype)?))
+            }
+            Token::Integer(n) => Ok(TermPattern::Term(Term::integer(n))),
+            Token::Decimal(d) => Ok(TermPattern::Term(Term::typed_literal(
+                d,
+                format!("{XSD}decimal"),
+            ))),
+            t => Err(ParseError(format!("expected {what}, found {t}"))),
+        }
+    }
+
+    fn make_literal(
+        &self,
+        lexical: String,
+        lang: Option<String>,
+        datatype: Option<DatatypeRef>,
+    ) -> Result<Term, ParseError> {
+        if let Some(lang) = lang {
+            return Ok(Term::lang_literal(lexical, lang));
+        }
+        match datatype {
+            None => Ok(Term::literal(lexical)),
+            Some(DatatypeRef::Iri(i)) => Ok(Term::typed_literal(lexical, i)),
+            Some(DatatypeRef::PName(p, l)) => {
+                Ok(Term::typed_literal(lexical, self.resolve_pname(&p, &l)?))
+            }
+        }
+    }
+
+    // ---- Expression parsing (precedence climbing) ----
+
+    fn parse_expression(&mut self) -> Result<Expression, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Some(Token::OrOr)) {
+            self.pos += 1;
+            let right = self.parse_and()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_relational()?;
+        while matches!(self.peek(), Some(Token::AndAnd)) {
+            self.pos += 1;
+            let right = self.parse_relational()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expression, ParseError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Expression::Eq as fn(_, _) -> _,
+            Some(Token::Ne) => Expression::Ne,
+            Some(Token::Lt) => Expression::Lt,
+            Some(Token::Le) => Expression::Le,
+            Some(Token::Gt) => Expression::Gt,
+            Some(Token::Ge) => Expression::Ge,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(op(Box::new(left), Box::new(right)))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => Expression::Add as fn(_, _) -> _,
+                Some(Token::Minus) => Expression::Sub,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = op(Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => Expression::Mul as fn(_, _) -> _,
+                Some(Token::Slash) => Expression::Div,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = op(Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expression, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Expression::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.parse_unary()?;
+                Ok(Expression::Sub(
+                    Box::new(Expression::Const(Term::integer(0))),
+                    Box::new(inner),
+                ))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expression, ParseError> {
+        match self.next()? {
+            Token::LParen => {
+                let e = self.parse_expression()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Var(v) => Ok(Expression::Var(v)),
+            Token::IriRef(i) => Ok(Expression::Const(Term::iri(i))),
+            Token::PName(p, l) => {
+                Ok(Expression::Const(Term::iri(self.resolve_pname(&p, &l)?)))
+            }
+            Token::Integer(n) => Ok(Expression::Const(Term::integer(n))),
+            Token::Decimal(d) => Ok(Expression::Const(Term::typed_literal(
+                d,
+                format!("{XSD}decimal"),
+            ))),
+            Token::StringLit { lexical, lang, datatype } => {
+                Ok(Expression::Const(self.make_literal(lexical, lang, datatype)?))
+            }
+            Token::Word(w) => self.parse_builtin(&w),
+            t => Err(ParseError(format!("expected expression, found {t}"))),
+        }
+    }
+
+    fn parse_builtin(&mut self, name: &str) -> Result<Expression, ParseError> {
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "TRUE" => {
+                return Ok(Expression::Const(Term::typed_literal(
+                    "true",
+                    format!("{XSD}boolean"),
+                )))
+            }
+            "FALSE" => {
+                return Ok(Expression::Const(Term::typed_literal(
+                    "false",
+                    format!("{XSD}boolean"),
+                )))
+            }
+            _ => {}
+        }
+        self.expect(&Token::LParen)?;
+        let expr = match upper.as_str() {
+            "BOUND" => match self.next()? {
+                Token::Var(v) => Expression::Bound(v),
+                t => return Err(ParseError(format!("BOUND needs a variable, found {t}"))),
+            },
+            "ISIRI" | "ISURI" => Expression::IsIri(Box::new(self.parse_expression()?)),
+            "ISLITERAL" => Expression::IsLiteral(Box::new(self.parse_expression()?)),
+            "ISBLANK" => Expression::IsBlank(Box::new(self.parse_expression()?)),
+            "STR" => Expression::Str(Box::new(self.parse_expression()?)),
+            "LANG" => Expression::Lang(Box::new(self.parse_expression()?)),
+            other => return Err(ParseError(format!("unsupported function {other}()"))),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example query Q1.
+    const Q1: &str = "SELECT * WHERE {
+        ?x <likes> ?w . ?x <follows> ?y .
+        ?y <follows> ?z . ?z <likes> ?w
+    }";
+
+    #[test]
+    fn parse_q1() {
+        let q = parse_query(Q1).unwrap();
+        assert_eq!(q.selection, Selection::All);
+        match &q.pattern {
+            GraphPattern::Bgp(tps) => {
+                assert_eq!(tps.len(), 4);
+                assert_eq!(tps[0].s, TermPattern::Var("x".into()));
+                assert_eq!(tps[0].p, TermPattern::Term(Term::iri("likes")));
+            }
+            other => panic!("expected BGP, got {other:?}"),
+        }
+        assert_eq!(q.projected_vars(), vec!["x", "w", "y", "z"]);
+    }
+
+    #[test]
+    fn parse_prefixes_and_a() {
+        let q = parse_query(
+            "PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+             PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+             SELECT ?v0 WHERE { ?v0 a wsdbm:Role2 . ?v0 rdf:type wsdbm:Role2 }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Bgp(tps) => {
+                assert_eq!(tps[0].p, TermPattern::Term(Term::iri(RDF_TYPE)));
+                assert_eq!(tps[0].p, tps[1].p);
+                assert_eq!(
+                    tps[0].o,
+                    TermPattern::Term(Term::iri("http://db.uwaterloo.ca/~galuc/wsdbm/Role2"))
+                );
+            }
+            other => panic!("expected BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        assert!(parse_query("SELECT * WHERE { ?x wsdbm:likes ?y }").is_err());
+    }
+
+    #[test]
+    fn parse_filter() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <age> ?a . FILTER(?a >= 18 && ?a < 65) }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Filter { expr, inner } => {
+                assert!(matches!(**inner, GraphPattern::Bgp(_)));
+                assert!(matches!(expr, Expression::And(_, _)));
+            }
+            other => panic!("expected Filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_optional_and_union() {
+        let q = parse_query(
+            "SELECT * WHERE {
+                ?x <p> ?y .
+                OPTIONAL { ?y <q> ?z }
+                { ?x <r> ?w } UNION { ?x <s> ?w }
+            }",
+        )
+        .unwrap();
+        // Shape: Join(LeftJoin(Bgp, Bgp), Union(Bgp, Bgp))
+        match &q.pattern {
+            GraphPattern::Join(l, r) => {
+                assert!(matches!(**l, GraphPattern::LeftJoin(_, _)));
+                assert!(matches!(**r, GraphPattern::Union(_, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_modifiers() {
+        let q = parse_query(
+            "SELECT DISTINCT ?x WHERE { ?x <p> ?y } ORDER BY ?y DESC(?x) LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].descending);
+        assert!(q.order_by[1].descending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn parse_semicolon_and_comma_abbreviations() {
+        let q = parse_query(
+            "SELECT * WHERE { ?x <p> ?a , ?b ; <q> ?c . }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Bgp(tps) => {
+                assert_eq!(tps.len(), 3);
+                assert!(tps.iter().all(|tp| tp.s == TermPattern::Var("x".into())));
+                assert_eq!(tps[2].p, TermPattern::Term(Term::iri("q")));
+            }
+            other => panic!("expected BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_literals_in_patterns() {
+        let q = parse_query("SELECT * WHERE { ?x <age> 42 . ?x <name> \"Ann\"@en }").unwrap();
+        match &q.pattern {
+            GraphPattern::Bgp(tps) => {
+                assert_eq!(tps[0].o, TermPattern::Term(Term::integer(42)));
+                assert_eq!(tps[1].o, TermPattern::Term(Term::lang_literal("Ann", "en")));
+            }
+            other => panic!("expected BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_query("SELECT * WHERE { ?x <p> ?y FILTER(?y + 1 * 2 = 3 || ?y > 9) }")
+            .unwrap();
+        let GraphPattern::Filter { expr, .. } = &q.pattern else {
+            panic!("expected filter")
+        };
+        // Top must be Or; its left an Eq whose left is Add(y, Mul(1,2)).
+        let Expression::Or(l, _) = expr else { panic!("expected Or, got {expr:?}") };
+        let Expression::Eq(ll, _) = &**l else { panic!("expected Eq") };
+        assert!(matches!(&**ll, Expression::Add(_, m) if matches!(&**m, Expression::Mul(_, _))));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("SELECT WHERE { ?x <p> ?y }").is_err()); // no vars
+        assert!(parse_query("SELECT * { ?x <p> }").is_err()); // missing object
+        assert!(parse_query("SELECT * { ?x <p> ?y ").is_err()); // unterminated
+        assert!(parse_query("SELECT * { ?x <p> ?y } LIMIT ?x").is_err());
+        assert!(parse_query("ASK { ?x <p> ?y }").is_err()); // unsupported form
+    }
+
+    #[test]
+    fn empty_group_is_ok() {
+        let q = parse_query("SELECT * WHERE { }").unwrap();
+        assert_eq!(q.pattern, GraphPattern::Bgp(vec![]));
+    }
+}

@@ -1,0 +1,197 @@
+//! Rendering queries back to SPARQL text.
+//!
+//! The output is fully parenthesized/braced, so `parse(render(q))`
+//! reproduces the algebra exactly (round-trip tested). Used for debugging
+//! optimized queries and for tooling that needs to ship a query onward.
+
+use std::fmt;
+
+use crate::ast::{GraphPattern, Query, SelectItem, Selection, TermPattern, TriplePattern};
+use crate::expr::Expression;
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Var(v) => write!(f, "?{v}"),
+            TermPattern::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+impl fmt::Display for GraphPattern {
+    /// Renders the pattern as a group graph pattern (always braced).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphPattern::Bgp(tps) => {
+                write!(f, "{{ ")?;
+                for tp in tps {
+                    write!(f, "{tp} ")?;
+                }
+                write!(f, "}}")
+            }
+            GraphPattern::Filter { expr, inner } => {
+                write!(f, "{{ {inner} FILTER({expr}) }}")
+            }
+            GraphPattern::Join(l, r) => write!(f, "{{ {l} {r} }}"),
+            GraphPattern::LeftJoin(l, r) => write!(f, "{{ {l} OPTIONAL {r} }}"),
+            GraphPattern::Union(l, r) => write!(f, "{{ {l} UNION {r} }}"),
+        }
+    }
+}
+
+impl fmt::Display for Expression {
+    /// Fully parenthesized rendering (precedence-free round-trips).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bin = |f: &mut fmt::Formatter<'_>, a: &Expression, op: &str, b: &Expression| {
+            write!(f, "({a} {op} {b})")
+        };
+        match self {
+            Expression::Var(v) => write!(f, "?{v}"),
+            Expression::Const(t) => write!(f, "{t}"),
+            Expression::And(a, b) => bin(f, a, "&&", b),
+            Expression::Or(a, b) => bin(f, a, "||", b),
+            Expression::Not(e) => write!(f, "(!{e})"),
+            Expression::Eq(a, b) => bin(f, a, "=", b),
+            Expression::Ne(a, b) => bin(f, a, "!=", b),
+            Expression::Lt(a, b) => bin(f, a, "<", b),
+            Expression::Le(a, b) => bin(f, a, "<=", b),
+            Expression::Gt(a, b) => bin(f, a, ">", b),
+            Expression::Ge(a, b) => bin(f, a, ">=", b),
+            Expression::Add(a, b) => bin(f, a, "+", b),
+            Expression::Sub(a, b) => bin(f, a, "-", b),
+            Expression::Mul(a, b) => bin(f, a, "*", b),
+            Expression::Div(a, b) => bin(f, a, "/", b),
+            Expression::Bound(v) => write!(f, "BOUND(?{v})"),
+            Expression::IsIri(e) => write!(f, "isIRI({e})"),
+            Expression::IsLiteral(e) => write!(f, "isLITERAL({e})"),
+            Expression::IsBlank(e) => write!(f, "isBLANK({e})"),
+            Expression::Str(e) => write!(f, "STR({e})"),
+            Expression::Lang(e) => write!(f, "LANG({e})"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.selection {
+            Selection::All => write!(f, "*")?,
+            Selection::Vars(vars) => {
+                let rendered: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+                write!(f, "{}", rendered.join(" "))?;
+            }
+            Selection::Items(items) => {
+                let rendered: Vec<String> = items
+                    .iter()
+                    .map(|item| match item {
+                        SelectItem::Var(v) => format!("?{v}"),
+                        SelectItem::Aggregate { func, arg, distinct, alias } => {
+                            let inner = match arg {
+                                None => "*".to_string(),
+                                Some(e) => e.to_string(),
+                            };
+                            format!(
+                                "({}({}{}) AS ?{alias})",
+                                func.keyword(),
+                                if *distinct { "DISTINCT " } else { "" },
+                                inner
+                            )
+                        }
+                    })
+                    .collect();
+                write!(f, "{}", rendered.join(" "))?;
+            }
+        }
+        write!(f, " WHERE {}", self.pattern)?;
+        if !self.group_by.is_empty() {
+            let keys: Vec<String> = self.group_by.iter().map(|v| format!("?{v}")).collect();
+            write!(f, " GROUP BY {}", keys.join(" "))?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY")?;
+            for cond in &self.order_by {
+                if cond.descending {
+                    write!(f, " DESC({})", cond.expr)?;
+                } else {
+                    write!(f, " ASC({})", cond.expr)?;
+                }
+            }
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        if let Some(offset) = self.offset {
+            write!(f, " OFFSET {offset}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    fn roundtrip(q: &str) {
+        let parsed = parse_query(q).unwrap_or_else(|e| panic!("{e}\n{q}"));
+        let rendered = parsed.to_string();
+        let reparsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("rendered text unparseable: {e}\n{rendered}"));
+        assert_eq!(reparsed, parsed, "round-trip drift via\n{rendered}");
+    }
+
+    #[test]
+    fn roundtrip_bgp() {
+        roundtrip("SELECT * WHERE { ?x <likes> ?w . ?x <follows> ?y . ?y <follows> ?z }");
+    }
+
+    #[test]
+    fn roundtrip_modifiers() {
+        roundtrip(
+            "SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y } ORDER BY ?y DESC(?x) LIMIT 5 OFFSET 2",
+        );
+    }
+
+    #[test]
+    fn roundtrip_operators() {
+        roundtrip(
+            "SELECT ?x WHERE {
+                ?x <age> ?a . ?x <name> ?n
+                OPTIONAL { ?x <email> ?e }
+                FILTER(?a * 2 >= 18 && (!BOUND(?e) || isIRI(?x)))
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_union_and_literals() {
+        roundtrip(
+            "SELECT * WHERE {
+                { ?x <p> \"plain\" } UNION { ?x <q> \"tagged\"@en }
+                ?x <r> 42 .
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_bound_terms_and_a() {
+        roundtrip("SELECT ?t WHERE { <s> a ?t . <s> <p> <o> }");
+    }
+
+    #[test]
+    fn roundtrip_aggregates() {
+        roundtrip(
+            "SELECT ?a (COUNT(DISTINCT ?b) AS ?n) (SUM(?v + 1) AS ?s)
+             WHERE { ?a <p> ?b . ?a <v> ?v } GROUP BY ?a ORDER BY DESC(?n) LIMIT 3",
+        );
+        roundtrip("SELECT (COUNT(*) AS ?n) WHERE { ?a <p> ?b }");
+    }
+}

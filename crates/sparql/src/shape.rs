@@ -1,0 +1,295 @@
+//! Query-shape analysis (paper §2.1, Fig. 3).
+//!
+//! The paper distinguishes **star**, **linear**, **snowflake** and
+//! **complex** BGPs and defines the *diameter* as the longest connected
+//! sequence of triple patterns, ignoring edge direction. The shape drives
+//! the workload taxonomy of the evaluation (§7) and motivates ExtVP's
+//! shape-independence claim.
+//!
+//! The query graph has one node per distinct subject/object position
+//! (variable or term) and one undirected edge per triple pattern;
+//! predicates label the edges. The diameter is the longest *simple path*
+//! in that multigraph (exact DFS — BGPs are tiny).
+
+use rustc_hash::FxHashMap;
+
+use crate::ast::{TermPattern, TriplePattern};
+
+/// The BGP shape taxonomy of the paper's Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Single triple pattern.
+    Single,
+    /// All patterns share one subject (subject-subject joins only),
+    /// diameter 1.
+    Star,
+    /// The query graph is a simple path: object-subject chains.
+    Linear,
+    /// A tree combining at least one star with paths.
+    Snowflake,
+    /// Cyclic or disconnected pattern combinations.
+    Complex,
+}
+
+impl Shape {
+    /// The paper's one-letter category label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Shape::Single => "1",
+            Shape::Star => "S",
+            Shape::Linear => "L",
+            Shape::Snowflake => "F",
+            Shape::Complex => "C",
+        }
+    }
+}
+
+/// Structural summary of a BGP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeReport {
+    /// The classified shape.
+    pub shape: Shape,
+    /// Longest simple path in the query graph, in triple patterns. The
+    /// paper's star diameter of 1 corresponds to counting from the hub:
+    /// we report the hub-to-leaf convention (a pure star has diameter 1).
+    pub diameter: usize,
+    /// Number of triple patterns.
+    pub patterns: usize,
+    /// True if the query graph is connected (disconnected BGPs imply
+    /// cross joins).
+    pub connected: bool,
+}
+
+fn has_self_loop(edges: &[(usize, usize)]) -> bool {
+    edges.iter().any(|&(a, b)| a == b)
+}
+
+/// Node key: a variable name or a rendered term (subject/object position).
+fn node_key(tp: &TermPattern) -> String {
+    match tp {
+        TermPattern::Var(v) => format!("?{v}"),
+        TermPattern::Term(t) => t.to_string(),
+    }
+}
+
+/// Analyzes a BGP's query graph.
+///
+/// ```
+/// use s2rdf_sparql::{parse_query, GraphPattern};
+/// use s2rdf_sparql::shape::{analyze, Shape};
+///
+/// let q = parse_query("SELECT * WHERE { ?x <p> ?y . ?y <q> ?z . ?z <r> ?w }").unwrap();
+/// let GraphPattern::Bgp(tps) = q.pattern else { unreachable!() };
+/// let report = analyze(&tps);
+/// assert_eq!(report.shape, Shape::Linear);
+/// assert_eq!(report.diameter, 3);
+/// ```
+pub fn analyze(bgp: &[TriplePattern]) -> ShapeReport {
+    if bgp.is_empty() {
+        return ShapeReport { shape: Shape::Single, diameter: 0, patterns: 0, connected: true };
+    }
+    if bgp.len() == 1 {
+        return ShapeReport { shape: Shape::Single, diameter: 1, patterns: 1, connected: true };
+    }
+
+    // Build the undirected multigraph: nodes = s/o positions.
+    let mut ids: FxHashMap<String, usize> = FxHashMap::default();
+    let mut id_of = |key: String| {
+        let next = ids.len();
+        *ids.entry(key).or_insert(next)
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for tp in bgp {
+        let s = id_of(node_key(&tp.s));
+        let o = id_of(node_key(&tp.o));
+        edges.push((s, o));
+    }
+    let n = ids.len();
+    let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (neighbor, edge idx)
+    for (ei, &(a, b)) in edges.iter().enumerate() {
+        adjacency[a].push((b, ei));
+        if a != b {
+            adjacency[b].push((a, ei));
+        }
+    }
+
+    // Connectivity over edges.
+    let connected = {
+        let mut seen = vec![false; n];
+        let mut stack = vec![edges[0].0];
+        seen[edges[0].0] = true;
+        while let Some(v) = stack.pop() {
+            for &(w, _) in &adjacency[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    };
+
+    // Longest simple path (edge count) by DFS over edges; BGPs have ≤ ~10
+    // patterns so the exponential worst case is irrelevant.
+    let mut used = vec![false; edges.len()];
+    let mut best = 0usize;
+    fn dfs(
+        v: usize,
+        depth: usize,
+        adjacency: &[Vec<(usize, usize)>],
+        used: &mut [bool],
+        best: &mut usize,
+    ) {
+        *best = (*best).max(depth);
+        for &(w, ei) in &adjacency[v] {
+            if !used[ei] {
+                used[ei] = true;
+                dfs(w, depth + 1, adjacency, used, best);
+                used[ei] = false;
+            }
+        }
+    }
+    for v in 0..n {
+        dfs(v, 0, &adjacency, &mut used, &mut best);
+    }
+
+    // Star: every pattern shares the hub as *subject* (the classic
+    // subject-subject star), or — for three or more patterns — every
+    // pattern is at least *incident* to one hub (the paper's S queries
+    // include patterns pointing into the hub, e.g. S1's `%retailer%
+    // gr:offers ?v0`). Two-pattern chains that merely share an object
+    // stay Linear. No self-loops. Diameter convention: 1.
+    let subject_star = {
+        let first_subject = node_key(&bgp[0].s);
+        bgp.iter()
+            .all(|tp| node_key(&tp.s) == first_subject && node_key(&tp.o) != first_subject)
+    };
+    let incident_star = bgp.len() >= 3
+        && !has_self_loop(&edges)
+        && (0..n).any(|hub| edges.iter().all(|&(a, b)| a == hub || b == hub));
+    let star = subject_star || incident_star;
+    if star {
+        return ShapeReport {
+            shape: Shape::Star,
+            diameter: 1,
+            patterns: bgp.len(),
+            connected,
+        };
+    }
+
+    // Cycle detection: a connected graph with E ≥ N edges has a cycle
+    // (self-loops count as cycles).
+    let cyclic = has_self_loop(&edges) || edges.len() >= n;
+
+    let degrees: Vec<usize> = adjacency.iter().map(Vec::len).collect();
+    let shape = if !connected || cyclic {
+        Shape::Complex
+    } else if degrees.iter().all(|&d| d <= 2) {
+        Shape::Linear
+    } else {
+        Shape::Snowflake
+    };
+    ShapeReport { shape, diameter: best, patterns: bgp.len(), connected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2rdf_model::Term;
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let part = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermPattern::Var(v.to_string())
+            } else {
+                TermPattern::Term(Term::iri(x))
+            }
+        };
+        TriplePattern::new(part(s), part(p), part(o))
+    }
+
+    /// The three BGPs of the paper's Fig. 3.
+    #[test]
+    fn fig3_shapes() {
+        // Star: ?x likes ?y1 . ?x likes ?y2 . ?x follows ?y3
+        let star = vec![
+            tp("?x", "likes", "?y1"),
+            tp("?x", "likes", "?y2"),
+            tp("?x", "follows", "?y3"),
+        ];
+        let r = analyze(&star);
+        assert_eq!(r.shape, Shape::Star);
+        assert_eq!(r.diameter, 1);
+
+        // Linear: ?x follows ?y . ?y follows ?z . ?z likes ?w
+        let linear = vec![
+            tp("?x", "follows", "?y"),
+            tp("?y", "follows", "?z"),
+            tp("?z", "likes", "?w"),
+        ];
+        let r = analyze(&linear);
+        assert_eq!(r.shape, Shape::Linear);
+        assert_eq!(r.diameter, 3); // "diameter corresponds to the number of
+                                   // triple patterns" (§2.1)
+
+        // Snowflake: two stars bridged by follows.
+        let snowflake = vec![
+            tp("?x", "likes", "?z1"),
+            tp("?x", "likes", "?z2"),
+            tp("?x", "follows", "?y"),
+            tp("?y", "likes", "?z3"),
+            tp("?y", "likes", "?z4"),
+        ];
+        let r = analyze(&snowflake);
+        assert_eq!(r.shape, Shape::Snowflake);
+        assert_eq!(r.diameter, 3); // z1 — x — y — z3
+    }
+
+    /// The paper's Q1 is cyclic → complex.
+    #[test]
+    fn q1_is_complex() {
+        let q1 = vec![
+            tp("?x", "likes", "?w"),
+            tp("?x", "follows", "?y"),
+            tp("?y", "follows", "?z"),
+            tp("?z", "likes", "?w"),
+        ];
+        let r = analyze(&q1);
+        assert_eq!(r.shape, Shape::Complex);
+        assert!(r.connected);
+        assert_eq!(r.diameter, 4); // the full cycle opened at one node
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(analyze(&[]).shape, Shape::Single);
+        let r = analyze(&[tp("?a", "p", "?b")]);
+        assert_eq!(r.shape, Shape::Single);
+        assert_eq!(r.diameter, 1);
+    }
+
+    #[test]
+    fn disconnected_is_complex() {
+        let bgp = vec![tp("?a", "p", "?b"), tp("?c", "q", "?d")];
+        let r = analyze(&bgp);
+        assert_eq!(r.shape, Shape::Complex);
+        assert!(!r.connected);
+    }
+
+    #[test]
+    fn self_loop_is_complex() {
+        let bgp = vec![tp("?a", "p", "?a"), tp("?a", "q", "?b")];
+        assert_eq!(analyze(&bgp).shape, Shape::Complex);
+    }
+
+    #[test]
+    fn shared_constants_join_patterns() {
+        // Two patterns meeting in a constant object form a 2-path, not a
+        // disconnected pair.
+        let bgp = vec![tp("?a", "p", "c0"), tp("?b", "q", "c0")];
+        let r = analyze(&bgp);
+        assert!(r.connected);
+        assert_eq!(r.shape, Shape::Linear);
+        assert_eq!(r.diameter, 2);
+    }
+}

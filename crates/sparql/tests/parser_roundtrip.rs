@@ -1,0 +1,97 @@
+//! Property test: rendering a random query AST to SPARQL text and parsing
+//! it back yields the same AST (modulo the identity normalizations the
+//! parser applies).
+
+use proptest::prelude::*;
+
+use s2rdf_model::Term;
+use s2rdf_sparql::{
+    parse_query, GraphPattern, Query, Selection, TermPattern, TriplePattern,
+};
+
+fn arb_term_pattern() -> impl Strategy<Value = TermPattern> {
+    prop_oneof![
+        (0u8..6).prop_map(|v| TermPattern::Var(format!("v{v}"))),
+        (0u8..8).prop_map(|c| TermPattern::Term(Term::iri(format!("http://x/e{c}")))),
+        (0i64..100).prop_map(|n| TermPattern::Term(Term::integer(n))),
+        "[a-z]{1,8}".prop_map(|s| TermPattern::Term(Term::literal(s))),
+    ]
+}
+
+fn arb_tp() -> impl Strategy<Value = TriplePattern> {
+    (
+        arb_term_pattern(),
+        prop_oneof![
+            3 => (0u8..4).prop_map(|p| TermPattern::Term(Term::iri(format!("http://x/p{p}")))),
+            1 => (0u8..6).prop_map(|v| TermPattern::Var(format!("v{v}"))),
+        ],
+        arb_term_pattern(),
+    )
+        .prop_map(|(s, p, o)| TriplePattern::new(s, p, o))
+}
+
+fn arb_bgp() -> impl Strategy<Value = Vec<TriplePattern>> {
+    proptest::collection::vec(arb_tp(), 1..5)
+}
+
+fn render_term_pattern(tp: &TermPattern) -> String {
+    match tp {
+        TermPattern::Var(v) => format!("?{v}"),
+        TermPattern::Term(t) => t.to_string(),
+    }
+}
+
+fn render(bgp: &[TriplePattern], distinct: bool, limit: Option<usize>) -> String {
+    let mut body = String::new();
+    for tp in bgp {
+        body.push_str(&format!(
+            "{} {} {} . ",
+            render_term_pattern(&tp.s),
+            render_term_pattern(&tp.p),
+            render_term_pattern(&tp.o)
+        ));
+    }
+    let mut q = format!(
+        "SELECT {}* WHERE {{ {body}}}",
+        if distinct { "DISTINCT " } else { "" }
+    );
+    if let Some(l) = limit {
+        q.push_str(&format!(" LIMIT {l}"));
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bgp_roundtrip(bgp in arb_bgp(), distinct in any::<bool>(), limit in proptest::option::of(0usize..50)) {
+        let text = render(&bgp, distinct, limit);
+        let parsed: Query = parse_query(&text)
+            .unwrap_or_else(|e| panic!("render produced unparseable text: {e}\n{text}"));
+        prop_assert_eq!(parsed.selection, Selection::All);
+        prop_assert_eq!(parsed.distinct, distinct);
+        prop_assert_eq!(parsed.limit, limit);
+        match parsed.pattern {
+            GraphPattern::Bgp(parsed_tps) => prop_assert_eq!(parsed_tps, bgp),
+            other => prop_assert!(false, "expected BGP, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn filter_expression_numbers_roundtrip(a in -50i64..50, b in 1i64..50) {
+        let text = format!(
+            "SELECT * WHERE {{ ?x <http://x/p> ?y FILTER(?y > {a} && ?y < {b} * 2) }}"
+        );
+        let parsed = parse_query(&text).unwrap();
+        let GraphPattern::Filter { expr, .. } = parsed.pattern else {
+            panic!("expected filter");
+        };
+        // The filter evaluates consistently with direct arithmetic.
+        let y = Term::integer(a + 1);
+        let lookup = |v: &str| (v == "y").then_some(&y);
+        let expected = (a + 1) > a && (a + 1) < b * 2;
+        let got = expr.eval(&lookup).unwrap().ebv().unwrap();
+        prop_assert_eq!(got, expected);
+    }
+}

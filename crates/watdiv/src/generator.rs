@@ -1,0 +1,774 @@
+//! Deterministic WatDiv-style data generator.
+//!
+//! Entity counts scale linearly with the scale factor (≈ 100 K triples per
+//! unit, mirroring WatDiv's ≈ 109 K per unit in the paper's Table 2);
+//! vocabulary entities (countries, topics, genres, …) stay constant like
+//! in WatDiv. Pool memberships (who has friends, who follows, who
+//! reviews, …) are index-based and coverage probabilities are drawn from a
+//! seeded RNG, so a given `(scale, seed)` always produces the same graph.
+//!
+//! The proportions are tuned to the selectivities the paper reports for
+//! its Selectivity Testing workload (Appendix B), e.g. `|VP_friendOf| ≈
+//! 0.4·|G|`, `SF(ExtVP_OS_friendOf|email) ≈ 0.9`,
+//! `SF(ExtVP_OS_friendOf|jobTitle) ≈ 0.05`, and structural zeros like
+//! `ExtVP_OS_friendOf|language = 0` (users never have `sorg:language`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use s2rdf_model::{Graph, Term};
+
+use crate::vocab::{entity, pred, DC, FOAF, GN, GR, MO, OG, RDF, REV, SORG, WSDBM};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Scale factor (≥ 1). One unit ≈ 100 K triples.
+    pub scale: u32,
+    /// RNG seed; same seed + scale ⇒ identical dataset.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { scale: 1, seed: 42 }
+    }
+}
+
+/// Entity population sizes of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Scaling entities.
+    pub users: usize,
+    /// Products.
+    pub products: usize,
+    /// Offers.
+    pub offers: usize,
+    /// Reviews.
+    pub reviews: usize,
+    /// Purchases.
+    pub purchases: usize,
+    /// Websites.
+    pub websites: usize,
+    /// Retailers.
+    pub retailers: usize,
+    /// Cities (constant).
+    pub cities: usize,
+    /// Countries (constant).
+    pub countries: usize,
+    /// Topics (constant).
+    pub topics: usize,
+    /// Sub-genres (constant).
+    pub subgenres: usize,
+    /// Languages (constant).
+    pub languages: usize,
+    /// Age groups (constant).
+    pub age_groups: usize,
+    /// User roles (constant).
+    pub roles: usize,
+    /// Product categories (constant).
+    pub categories: usize,
+}
+
+impl Counts {
+    fn for_scale(scale: u32) -> Counts {
+        let sf = scale as usize;
+        Counts {
+            users: 1000 * sf,
+            products: 250 * sf,
+            offers: 900 * sf,
+            reviews: 500 * sf,
+            purchases: 450 * sf,
+            websites: 50 * sf,
+            retailers: 5 * sf.max(1),
+            cities: 240,
+            countries: 25,
+            topics: 250,
+            subgenres: 145,
+            languages: 25,
+            age_groups: 9,
+            roles: 3,
+            categories: 15,
+        }
+    }
+}
+
+/// Entity kinds the query templates draw `#mapping` placeholders from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityType {
+    /// `wsdbm:User`
+    User,
+    /// `wsdbm:Retailer`
+    Retailer,
+    /// `wsdbm:Website`
+    Website,
+    /// `wsdbm:City`
+    City,
+    /// `wsdbm:Country`
+    Country,
+    /// `wsdbm:Topic`
+    Topic,
+    /// `wsdbm:ProductCategory`
+    ProductCategory,
+    /// `wsdbm:AgeGroup`
+    AgeGroup,
+    /// `wsdbm:SubGenre`
+    SubGenre,
+}
+
+/// A generated dataset: the graph plus its population sizes.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The RDF graph.
+    pub graph: Graph,
+    /// Population sizes (for query instantiation).
+    pub counts: Counts,
+}
+
+impl Dataset {
+    /// A uniformly random entity of the given type (for `#mapping v%N%
+    /// <type> uniform` instantiation).
+    pub fn random_entity<R: Rng>(&self, ty: EntityType, rng: &mut R) -> Term {
+        let (kind, n) = match ty {
+            EntityType::User => ("User", self.counts.users),
+            EntityType::Retailer => ("Retailer", self.counts.retailers),
+            EntityType::Website => ("Website", self.counts.websites),
+            EntityType::City => ("City", self.counts.cities),
+            EntityType::Country => ("Country", self.counts.countries),
+            EntityType::Topic => ("Topic", self.counts.topics),
+            EntityType::ProductCategory => ("ProductCategory", self.counts.categories),
+            EntityType::AgeGroup => ("AgeGroup", self.counts.age_groups),
+            EntityType::SubGenre => ("SubGenre", self.counts.subgenres),
+        };
+        entity(kind, rng.gen_range(0..n))
+    }
+}
+
+/// Exponentially distributed degree with the given mean, at least 1.
+fn degree<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean * u.ln()).round().max(1.0) as usize
+}
+
+// User pool memberships (index-based, see module docs):
+// ~89% of users can be followed. Modulus 9 is coprime to the moduli of the
+// other pools, so the exclusion hits friend-havers/likers uniformly and
+// SF(ExtVP_SO_friendOf|follows) lands at ≈ 8/9 ≈ 0.9 (ST-3-1).
+fn followable(u: usize) -> bool {
+    !u.is_multiple_of(9)
+}
+// 40% of users have friendOf out-edges.
+fn has_friends(u: usize) -> bool {
+    u % 5 < 2
+}
+// 77% of users follow others.
+fn follower(u: usize) -> bool {
+    u % 100 < 77
+}
+// 25% of users like products.
+fn liker(u: usize) -> bool {
+    u % 4 == 1
+}
+// 35% of users write reviews.
+fn reviewer(u: usize) -> bool {
+    u % 20 < 7
+}
+// 1% of users are artists (chosen inside the friend-haver pool so that
+// ExtVP_SO_friendOf|artist is small but non-zero, ST-7-2). Referenced from
+// a debug assertion where the pool is sampled.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+fn artist(u: usize) -> bool {
+    u % 100 == 1
+}
+// 5% of users have a job title; the same users have personal homepages
+// (keeps C2's jobTitle ∧ homepage ∧ makesPurchase conjunction satisfiable).
+fn professional(u: usize) -> bool {
+    u % 20 == 7
+}
+
+/// Generates a dataset.
+pub fn generate(config: &Config) -> Dataset {
+    let counts = Counts::for_scale(config.scale.max(1));
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (config.scale as u64) << 32);
+    let mut g = Graph::new();
+
+    let user = |i: usize| entity("User", i);
+    let product = |i: usize| entity("Product", i);
+    let website = |i: usize| entity("Website", i);
+    let city = |i: usize| entity("City", i);
+    let country = |i: usize| entity("Country", i);
+    let topic = |i: usize| entity("Topic", i);
+    let subgenre = |i: usize| entity("SubGenre", i);
+    let language = |i: usize| entity("Language", i);
+
+    let rdf_type = pred(RDF, "type");
+
+    // ---- Geography ----
+    let parent_country = pred(GN, "parentCountry");
+    for c in 0..counts.cities {
+        g.insert(&t(city(c), parent_country.clone(), country(c % counts.countries)));
+    }
+
+    // ---- Sub-genres: tagged and typed (F1 navigates hasGenre → og:tag) --
+    let og_tag = pred(OG, "tag");
+    for s in 0..counts.subgenres {
+        g.insert(&t(subgenre(s), og_tag.clone(), topic(s % counts.topics)));
+        g.insert(&t(subgenre(s), rdf_type.clone(), Term::iri(format!("{WSDBM}Genre"))));
+    }
+
+    // ---- Websites ----
+    for w in 0..counts.websites {
+        g.insert(&t(
+            website(w),
+            pred(SORG, "url"),
+            Term::literal(format!("http://www.website{w}.example.org/")),
+        ));
+        if rng.gen_bool(0.8) {
+            g.insert(&t(
+                website(w),
+                pred(WSDBM, "hits"),
+                Term::integer(rng.gen_range(1..1_000_000)),
+            ));
+        }
+        if rng.gen_bool(0.5) {
+            g.insert(&t(
+                website(w),
+                pred(SORG, "language"),
+                language(rng.gen_range(0..counts.languages)),
+            ));
+        }
+    }
+
+    // ---- Retailers ----
+    for r in 0..counts.retailers {
+        g.insert(&t(
+            entity("Retailer", r),
+            pred(SORG, "legalName"),
+            Term::literal(format!("Retailer {r} Inc.")),
+        ));
+    }
+
+    // ---- Users ----
+    let friend_of = pred(WSDBM, "friendOf");
+    let follows = pred(WSDBM, "follows");
+    let likes = pred(WSDBM, "likes");
+    // Mean out-degrees chosen so friendOf ≈ 0.41·|G| and follows ≈ 0.31·|G|.
+    let friend_mean = 107.0;
+    let follow_mean = 41.5;
+    for u in 0..counts.users {
+        let me = user(u);
+        g.insert(&t(
+            me.clone(),
+            rdf_type.clone(),
+            entity("Role", u % counts.roles),
+        ));
+        if rng.gen_bool(0.9) {
+            g.insert(&t(
+                me.clone(),
+                pred(SORG, "email"),
+                Term::literal(format!("user{u}@example.org")),
+            ));
+        }
+        if rng.gen_bool(0.5) {
+            g.insert(&t(
+                me.clone(),
+                pred(FOAF, "age"),
+                entity("AgeGroup", rng.gen_range(0..counts.age_groups)),
+            ));
+        }
+        if professional(u) {
+            g.insert(&t(
+                me.clone(),
+                pred(SORG, "jobTitle"),
+                Term::literal(JOB_TITLES[u % JOB_TITLES.len()]),
+            ));
+            g.insert(&t(
+                me.clone(),
+                pred(FOAF, "homepage"),
+                website(rng.gen_range(0..counts.websites)),
+            ));
+        }
+        if u % 100 == 13 {
+            g.insert(&t(
+                me.clone(),
+                pred(SORG, "faxNumber"),
+                Term::literal(format!("+1-555-{u:07}")),
+            ));
+        }
+        if rng.gen_bool(0.4) {
+            g.insert(&t(
+                me.clone(),
+                pred(DC, "Location"),
+                city(rng.gen_range(0..counts.cities)),
+            ));
+        }
+        if rng.gen_bool(0.6) {
+            g.insert(&t(
+                me.clone(),
+                pred(SORG, "nationality"),
+                country(rng.gen_range(0..counts.countries)),
+            ));
+        }
+        if rng.gen_bool(0.7) {
+            g.insert(&t(me.clone(), pred(WSDBM, "gender"), entity("Gender", u % 2)));
+        }
+        if rng.gen_bool(0.7) {
+            g.insert(&t(
+                me.clone(),
+                pred(FOAF, "givenName"),
+                Term::literal(GIVEN_NAMES[u % GIVEN_NAMES.len()]),
+            ));
+        }
+        if rng.gen_bool(0.7) {
+            g.insert(&t(
+                me.clone(),
+                pred(FOAF, "familyName"),
+                Term::literal(FAMILY_NAMES[u % FAMILY_NAMES.len()]),
+            ));
+        }
+        for _ in 0..degree(&mut rng, 1.5).min(6) {
+            g.insert(&t(
+                me.clone(),
+                pred(WSDBM, "subscribes"),
+                website(rng.gen_range(0..counts.websites)),
+            ));
+        }
+        if has_friends(u) {
+            for _ in 0..degree(&mut rng, friend_mean) {
+                g.insert(&t(
+                    me.clone(),
+                    friend_of.clone(),
+                    user(rng.gen_range(0..counts.users)),
+                ));
+            }
+        }
+        if follower(u) {
+            for _ in 0..degree(&mut rng, follow_mean) {
+                // Targets restricted to the followable 90% so that
+                // SF(ExtVP_SO_friendOf|follows) ≈ 0.9 (ST-3-1).
+                let mut target = rng.gen_range(0..counts.users);
+                if !followable(target) {
+                    target = (target + 1) % counts.users;
+                }
+                g.insert(&t(me.clone(), follows.clone(), user(target)));
+            }
+        }
+        if liker(u) {
+            for _ in 0..degree(&mut rng, 4.4) {
+                g.insert(&t(
+                    me.clone(),
+                    likes.clone(),
+                    product(rng.gen_range(0..counts.products)),
+                ));
+            }
+        }
+    }
+
+    // ---- Products ----
+    for p in 0..counts.products {
+        let it = product(p);
+        let category = p % counts.categories;
+        g.insert(&t(it.clone(), rdf_type.clone(), entity("ProductCategory", category)));
+        if rng.gen_bool(0.5) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "caption"),
+                Term::literal(format!("Caption of product {p}")),
+            ));
+        }
+        if rng.gen_bool(0.7) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "description"),
+                Term::literal(format!("Description of product {p}")),
+            ));
+        }
+        if rng.gen_bool(0.5) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "keywords"),
+                Term::literal(format!("keyword{} keyword{}", p % 37, p % 11)),
+            ));
+        }
+        if rng.gen_bool(0.6) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "language"),
+                language(rng.gen_range(0..counts.languages)),
+            ));
+        }
+        if rng.gen_bool(0.4) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "contentRating"),
+                Term::literal(RATINGS[p % RATINGS.len()]),
+            ));
+        }
+        if rng.gen_bool(0.4) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "contentSize"),
+                Term::integer(rng.gen_range(1..10_000)),
+            ));
+        }
+        if rng.gen_bool(0.8) {
+            g.insert(&t(
+                it.clone(),
+                pred(OG, "title"),
+                Term::literal(format!("Product {p}")),
+            ));
+        }
+        if rng.gen_bool(0.3) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "text"),
+                Term::literal(format!("Text about product {p}")),
+            ));
+        }
+        if rng.gen_bool(0.4) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "publisher"),
+                Term::literal(format!("Publisher {}", p % 23)),
+            ));
+        }
+        // One deterministic tag guarantees every topic occurs (query
+        // instantiation draws topics uniformly), plus random extras.
+        g.insert(&t(it.clone(), og_tag.clone(), topic(p % counts.topics)));
+        for _ in 0..degree(&mut rng, 1.0).min(4) {
+            g.insert(&t(it.clone(), og_tag.clone(), topic(rng.gen_range(0..counts.topics))));
+        }
+        for _ in 0..degree(&mut rng, 1.5).min(5) {
+            g.insert(&t(
+                it.clone(),
+                pred(WSDBM, "hasGenre"),
+                subgenre(rng.gen_range(0..counts.subgenres)),
+            ));
+        }
+        // Trailers only on category-2 products (movies): every 7th of
+        // them, ≈1% of all products — deterministic so the predicate
+        // exists at every scale. Gives SF(ExtVP_OS_likes|trailer) < 0.02
+        // (ST-6-1) and makes F1's ProductCategory2 constraint satisfiable.
+        if category == 2 && (p / counts.categories).is_multiple_of(7) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "trailer"),
+                website(rng.gen_range(0..counts.websites)),
+            ));
+        }
+        if rng.gen_bool(0.35) {
+            g.insert(&t(
+                it.clone(),
+                pred(FOAF, "homepage"),
+                website(rng.gen_range(0..counts.websites)),
+            ));
+        }
+        if rng.gen_bool(0.15) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "author"),
+                user(rng.gen_range(0..counts.users)),
+            ));
+        }
+        if rng.gen_bool(0.1) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "editor"),
+                user(rng.gen_range(0..counts.users)),
+            ));
+        }
+        if rng.gen_bool(0.1) {
+            g.insert(&t(
+                it.clone(),
+                pred(SORG, "director"),
+                user(rng.gen_range(0..counts.users)),
+            ));
+        }
+        for _ in 0..degree(&mut rng, 0.5).min(4) {
+            if rng.gen_bool(0.5) {
+                g.insert(&t(
+                    it.clone(),
+                    pred(SORG, "actor"),
+                    user(rng.gen_range(0..counts.users)),
+                ));
+            }
+        }
+        if rng.gen_bool(0.1) {
+            // Artists come from the small artist pool.
+            let who = rng.gen_range(0..counts.users / 100) * 100 + 1;
+            debug_assert!(artist(who));
+            g.insert(&t(it.clone(), pred(MO, "artist"), user(who)));
+        }
+        if rng.gen_bool(0.08) {
+            g.insert(&t(
+                it.clone(),
+                pred(MO, "conductor"),
+                user(rng.gen_range(0..counts.users)),
+            ));
+        }
+    }
+
+    // ---- Reviews ----
+    let has_review = pred(REV, "hasReview");
+    let rev_reviewer = pred(REV, "reviewer");
+    for r in 0..counts.reviews {
+        let review = entity("Review", r);
+        g.insert(&t(
+            product(rng.gen_range(0..counts.products)),
+            has_review.clone(),
+            review.clone(),
+        ));
+        // Reviewer drawn from the 35% reviewer pool.
+        let mut who = rng.gen_range(0..counts.users);
+        while !reviewer(who) {
+            who = (who + 1) % counts.users;
+        }
+        g.insert(&t(review.clone(), rev_reviewer.clone(), user(who)));
+        if rng.gen_bool(0.9) {
+            g.insert(&t(
+                review.clone(),
+                pred(REV, "title"),
+                Term::literal(format!("Review {r}")),
+            ));
+        }
+        if rng.gen_bool(0.5) {
+            g.insert(&t(
+                review,
+                pred(REV, "totalVotes"),
+                Term::integer(rng.gen_range(0..500)),
+            ));
+        }
+    }
+
+    // ---- Purchases ----
+    for pu in 0..counts.purchases {
+        let purchase = entity("Purchase", pu);
+        g.insert(&t(
+            user(rng.gen_range(0..counts.users)),
+            pred(WSDBM, "makesPurchase"),
+            purchase.clone(),
+        ));
+        g.insert(&t(
+            purchase.clone(),
+            pred(WSDBM, "purchaseFor"),
+            product(rng.gen_range(0..counts.products)),
+        ));
+        if rng.gen_bool(0.9) {
+            g.insert(&t(
+                purchase,
+                pred(WSDBM, "purchaseDate"),
+                Term::literal(format!(
+                    "2015-{:02}-{:02}",
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29)
+                )),
+            ));
+        }
+    }
+
+    // ---- Offers ----
+    for o in 0..counts.offers {
+        let offer = entity("Offer", o);
+        g.insert(&t(
+            entity("Retailer", rng.gen_range(0..counts.retailers)),
+            pred(GR, "offers"),
+            offer.clone(),
+        ));
+        g.insert(&t(
+            offer.clone(),
+            pred(GR, "includes"),
+            product(rng.gen_range(0..counts.products)),
+        ));
+        if rng.gen_bool(0.9) {
+            g.insert(&t(
+                offer.clone(),
+                pred(GR, "price"),
+                Term::typed_literal(
+                    format!("{}.{:02}", rng.gen_range(1..500), rng.gen_range(0..100)),
+                    "http://www.w3.org/2001/XMLSchema#decimal",
+                ),
+            ));
+        }
+        if rng.gen_bool(0.8) {
+            g.insert(&t(
+                offer.clone(),
+                pred(GR, "serialNumber"),
+                Term::literal(format!("SN-{o:08}")),
+            ));
+        }
+        if rng.gen_bool(0.6) {
+            g.insert(&t(
+                offer.clone(),
+                pred(GR, "validFrom"),
+                Term::literal(format!("2015-{:02}-01", rng.gen_range(1..13))),
+            ));
+        }
+        if rng.gen_bool(0.6) {
+            g.insert(&t(
+                offer.clone(),
+                pred(GR, "validThrough"),
+                Term::literal(format!("2016-{:02}-01", rng.gen_range(1..13))),
+            ));
+        }
+        if rng.gen_bool(0.5) {
+            g.insert(&t(
+                offer.clone(),
+                pred(SORG, "eligibleQuantity"),
+                Term::integer(rng.gen_range(1..100)),
+            ));
+        }
+        if rng.gen_bool(0.6) {
+            g.insert(&t(
+                offer.clone(),
+                pred(SORG, "eligibleRegion"),
+                country(rng.gen_range(0..counts.countries)),
+            ));
+        }
+        if rng.gen_bool(0.4) {
+            g.insert(&t(
+                offer,
+                pred(SORG, "priceValidUntil"),
+                Term::literal(format!("2016-{:02}-15", rng.gen_range(1..13))),
+            ));
+        }
+    }
+
+    Dataset { graph: g, counts }
+}
+
+fn t(s: Term, p: Term, o: Term) -> s2rdf_model::Triple {
+    s2rdf_model::Triple::new(s, p, o)
+}
+
+const JOB_TITLES: [&str; 12] = [
+    "Engineer", "Teacher", "Nurse", "Chef", "Architect", "Pilot",
+    "Librarian", "Designer", "Analyst", "Farmer", "Editor", "Translator",
+];
+const GIVEN_NAMES: [&str; 16] = [
+    "Alex", "Blake", "Casey", "Drew", "Emery", "Finley", "Gray", "Harper",
+    "Indigo", "Jules", "Kai", "Logan", "Morgan", "Noa", "Oakley", "Parker",
+];
+const FAMILY_NAMES: [&str; 16] = [
+    "Smith", "Jones", "Garcia", "Kim", "Nguyen", "Patel", "Sato", "Muller",
+    "Rossi", "Silva", "Ivanov", "Chen", "Dubois", "Haddad", "Okafor", "Novak",
+];
+const RATINGS: [&str; 5] = ["G", "PG", "PG-13", "R", "NC-17"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustc_hash::FxHashMap;
+
+    fn predicate_fractions(g: &Graph) -> FxHashMap<String, f64> {
+        let n = g.len() as f64;
+        g.predicate_counts()
+            .into_iter()
+            .map(|(p, c)| (g.dict().term(p).to_string(), c as f64 / n))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&Config { scale: 1, seed: 7 });
+        let b = generate(&Config { scale: 1, seed: 7 });
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert_eq!(a.graph.triples(), b.graph.triples());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&Config { scale: 1, seed: 7 });
+        let b = generate(&Config { scale: 1, seed: 8 });
+        assert_ne!(a.graph.triples(), b.graph.triples());
+    }
+
+    #[test]
+    fn scale_is_roughly_linear() {
+        let one = generate(&Config { scale: 1, seed: 1 }).graph.len() as f64;
+        let three = generate(&Config { scale: 3, seed: 1 }).graph.len() as f64;
+        assert!(one > 60_000.0, "SF1 too small: {one}");
+        assert!(one < 160_000.0, "SF1 too big: {one}");
+        let ratio = three / one;
+        assert!((2.4..3.6).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn predicate_proportions_match_paper() {
+        let d = generate(&Config::default());
+        let f = predicate_fractions(&d.graph);
+        let friend = f["<http://db.uwaterloo.ca/~galuc/wsdbm/friendOf>"];
+        let follows = f["<http://db.uwaterloo.ca/~galuc/wsdbm/follows>"];
+        let likes = f["<http://db.uwaterloo.ca/~galuc/wsdbm/likes>"];
+        // Paper: friendOf ≈ 0.41·|G|, follows ≈ 0.3·|G|, likes ≈ 0.01·|G|,
+        // friendOf + follows ≈ 0.7·|G| (§7.3).
+        assert!((0.30..0.50).contains(&friend), "friendOf fraction {friend}");
+        assert!((0.22..0.40).contains(&follows), "follows fraction {follows}");
+        assert!((0.005..0.02).contains(&likes), "likes fraction {likes}");
+        assert!((0.6..0.8).contains(&(friend + follows)));
+    }
+
+    #[test]
+    fn fixed_constants_exist() {
+        let d = generate(&Config::default());
+        let dict = d.graph.dict();
+        for name in [
+            "Product0",
+            "Country1",
+            "Country5",
+            "Language0",
+            "Role2",
+            "ProductCategory2",
+        ] {
+            assert!(
+                dict.id(&entity(name.trim_end_matches(char::is_numeric), {
+                    name.chars()
+                        .skip_while(|c| !c.is_numeric())
+                        .collect::<String>()
+                        .parse()
+                        .unwrap()
+                }))
+                .is_some(),
+                "{name} missing from the dataset"
+            );
+        }
+    }
+
+    #[test]
+    fn users_never_have_language() {
+        // The structural zero behind ST-8-x: ExtVP_OS_friendOf|language = 0.
+        let d = generate(&Config::default());
+        let g = &d.graph;
+        let lang = g.dict().id(&pred(SORG, "language")).unwrap();
+        let prefix = format!("{WSDBM}User");
+        for tr in g.triples() {
+            if tr.p == lang {
+                let s = g.dict().term(tr.s).to_string();
+                assert!(!s.contains(&prefix), "user with sorg:language: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_entities_are_in_range() {
+        let d = generate(&Config::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for ty in [
+            EntityType::User,
+            EntityType::Retailer,
+            EntityType::Website,
+            EntityType::City,
+            EntityType::Country,
+            EntityType::Topic,
+            EntityType::ProductCategory,
+            EntityType::AgeGroup,
+            EntityType::SubGenre,
+        ] {
+            let term = d.random_entity(ty, &mut rng);
+            // Every mapped entity occurs in the data (has a dictionary id).
+            assert!(
+                d.graph.dict().id(&term).is_some(),
+                "{term} not present in dataset"
+            );
+        }
+    }
+}

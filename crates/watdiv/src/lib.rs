@@ -1,0 +1,25 @@
+//! WatDiv-style benchmark data and query workloads.
+//!
+//! The paper evaluates S2RDF with the Waterloo SPARQL Diversity Test Suite
+//! (WatDiv): a synthetic e-commerce/social dataset plus query workloads
+//! covering all BGP shapes. This crate reproduces both sides at laptop
+//! scale:
+//!
+//! * [`generator`] — a deterministic generator for the WatDiv schema
+//!   (users, products, retailers, offers, reviews, purchases, websites,
+//!   geography) tuned to reproduce the predicate proportions and ExtVP
+//!   selectivities the paper annotates (`|VP_friendOf| ≈ 0.4·|G|`,
+//!   `SF(ExtVP_OS_friendOf|jobTitle) ≈ 0.05`, `ExtVP_OS_friendOf|language
+//!   = 0`, …),
+//! * [`workloads`] — the **Basic Testing** use case (L1–L5, S1–S7, F1–F5,
+//!   C1–C3, Appendix A), the **Selectivity Testing** workload (ST,
+//!   Appendix B) and the **Incremental Linear Testing** workload (IL,
+//!   Appendix C), with `%vN%` placeholder instantiation following the
+//!   `#mapping` directives.
+
+pub mod generator;
+pub mod vocab;
+pub mod workloads;
+
+pub use generator::{generate, Config, Counts, Dataset, EntityType};
+pub use workloads::{QueryCategory, QueryTemplate, Workload};

@@ -1,0 +1,72 @@
+//! The WatDiv vocabulary: namespaces, predicates and entity IRIs.
+
+use s2rdf_model::Term;
+
+/// `wsdbm:` namespace.
+pub const WSDBM: &str = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+/// `sorg:` (schema.org) namespace.
+pub const SORG: &str = "http://schema.org/";
+/// `foaf:` namespace.
+pub const FOAF: &str = "http://xmlns.com/foaf/";
+/// `gr:` (GoodRelations) namespace.
+pub const GR: &str = "http://purl.org/goodrelations/";
+/// `gn:` (GeoNames) namespace.
+pub const GN: &str = "http://www.geonames.org/ontology#";
+/// `og:` (Open Graph) namespace.
+pub const OG: &str = "http://ogp.me/ns#";
+/// `mo:` (Music Ontology) namespace.
+pub const MO: &str = "http://purl.org/ontology/mo/";
+/// `rev:` (RDF Review) namespace.
+pub const REV: &str = "http://purl.org/stuff/rev#";
+/// `dc:` (Dublin Core) namespace.
+pub const DC: &str = "http://purl.org/dc/terms/";
+/// `rdf:` namespace.
+pub const RDF: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+
+/// The PREFIX header every instantiated query carries.
+pub const PREFIX_HEADER: &str = "\
+PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+PREFIX sorg: <http://schema.org/>
+PREFIX foaf: <http://xmlns.com/foaf/>
+PREFIX gr: <http://purl.org/goodrelations/>
+PREFIX gn: <http://www.geonames.org/ontology#>
+PREFIX og: <http://ogp.me/ns#>
+PREFIX mo: <http://purl.org/ontology/mo/>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX dc: <http://purl.org/dc/terms/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+";
+
+/// Builds a `wsdbm:` entity IRI like `wsdbm:User42`.
+pub fn entity(kind: &str, index: usize) -> Term {
+    Term::iri(format!("{WSDBM}{kind}{index}"))
+}
+
+/// Builds a predicate IRI from a namespace and local name.
+pub fn pred(ns: &str, local: &str) -> Term {
+    Term::iri(format!("{ns}{local}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_naming_matches_queries() {
+        // The fixed constants referenced by the Basic Testing templates.
+        assert_eq!(
+            entity("Product", 0),
+            Term::iri("http://db.uwaterloo.ca/~galuc/wsdbm/Product0")
+        );
+        assert_eq!(
+            entity("Country", 5),
+            Term::iri("http://db.uwaterloo.ca/~galuc/wsdbm/Country5")
+        );
+    }
+
+    #[test]
+    fn prefix_header_parses() {
+        let q = format!("{PREFIX_HEADER}SELECT * WHERE {{ ?s wsdbm:likes ?o }}");
+        assert!(s2rdf_sparql::parse_query(&q).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! The Incremental Linear Testing workload (paper Appendix C): linear
+//! queries of growing diameter (5–10 triple patterns), bound by a user
+//! (IL-1), a retailer (IL-2), or unbound (IL-3). The paper contributed
+//! this use case to the official WatDiv suite.
+
+use crate::generator::EntityType;
+
+use super::{QueryCategory, QueryTemplate};
+
+/// All 18 IL templates: IL-{1,2,3}-{5..10}.
+pub fn templates() -> Vec<QueryTemplate> {
+    fn q(
+        name: &'static str,
+        mappings: &'static [(&'static str, EntityType)],
+        body: &'static str,
+    ) -> QueryTemplate {
+        QueryTemplate { name, category: QueryCategory::IncrementalLinear, body, mappings }
+    }
+    const USER: &[(&str, EntityType)] = &[("v0", EntityType::User)];
+    const RETAILER: &[(&str, EntityType)] = &[("v0", EntityType::Retailer)];
+    vec![
+        // C.1 Incremental user queries (type 1).
+        q("IL-1-5", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
+            %v0% wsdbm:follows ?v1 .
+            ?v1 wsdbm:likes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+        }"),
+        q("IL-1-6", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
+            %v0% wsdbm:follows ?v1 .
+            ?v1 wsdbm:likes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:makesPurchase ?v6 .
+        }"),
+        q("IL-1-7", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
+            %v0% wsdbm:follows ?v1 .
+            ?v1 wsdbm:likes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:makesPurchase ?v6 .
+            ?v6 wsdbm:purchaseFor ?v7 .
+        }"),
+        q("IL-1-8", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+            %v0% wsdbm:follows ?v1 .
+            ?v1 wsdbm:likes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:makesPurchase ?v6 .
+            ?v6 wsdbm:purchaseFor ?v7 .
+            ?v7 sorg:author ?v8 .
+        }"),
+        q("IL-1-9", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+            %v0% wsdbm:follows ?v1 .
+            ?v1 wsdbm:likes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:makesPurchase ?v6 .
+            ?v6 wsdbm:purchaseFor ?v7 .
+            ?v7 sorg:author ?v8 .
+            ?v8 dc:Location ?v9 .
+        }"),
+        q("IL-1-10", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
+            %v0% wsdbm:follows ?v1 .
+            ?v1 wsdbm:likes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:makesPurchase ?v6 .
+            ?v6 wsdbm:purchaseFor ?v7 .
+            ?v7 sorg:author ?v8 .
+            ?v8 dc:Location ?v9 .
+            ?v9 gn:parentCountry ?v10 .
+        }"),
+        // C.2 Incremental retailer queries (type 2).
+        q("IL-2-5", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
+            %v0% gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 sorg:director ?v3 .
+            ?v3 wsdbm:friendOf ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+        }"),
+        q("IL-2-6", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
+            %v0% gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 sorg:director ?v3 .
+            ?v3 wsdbm:friendOf ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+        }"),
+        q("IL-2-7", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
+            %v0% gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 sorg:director ?v3 .
+            ?v3 wsdbm:friendOf ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:editor ?v7 .
+        }"),
+        q("IL-2-8", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+            %v0% gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 sorg:director ?v3 .
+            ?v3 wsdbm:friendOf ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:editor ?v7 .
+            ?v7 wsdbm:makesPurchase ?v8 .
+        }"),
+        q("IL-2-9", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+            %v0% gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 sorg:director ?v3 .
+            ?v3 wsdbm:friendOf ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:editor ?v7 .
+            ?v7 wsdbm:makesPurchase ?v8 .
+            ?v8 wsdbm:purchaseFor ?v9 .
+        }"),
+        q("IL-2-10", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
+            %v0% gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 sorg:director ?v3 .
+            ?v3 wsdbm:friendOf ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:editor ?v7 .
+            ?v7 wsdbm:makesPurchase ?v8 .
+            ?v8 wsdbm:purchaseFor ?v9 .
+            ?v9 sorg:caption ?v10 .
+        }"),
+        // C.3 Incremental unbound queries (type 3).
+        q("IL-3-5", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
+            ?v0 gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+        }"),
+        q("IL-3-6", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
+            ?v0 gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+        }"),
+        q("IL-3-7", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
+            ?v0 gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:author ?v7 .
+        }"),
+        q("IL-3-8", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+            ?v0 gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:author ?v7 .
+            ?v7 wsdbm:follows ?v8 .
+        }"),
+        q("IL-3-9", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+            ?v0 gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:author ?v7 .
+            ?v7 wsdbm:follows ?v8 .
+            ?v8 foaf:homepage ?v9 .
+        }"),
+        q("IL-3-10", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
+            ?v0 gr:offers ?v1 .
+            ?v1 gr:includes ?v2 .
+            ?v2 rev:hasReview ?v3 .
+            ?v3 rev:reviewer ?v4 .
+            ?v4 wsdbm:friendOf ?v5 .
+            ?v5 wsdbm:likes ?v6 .
+            ?v6 sorg:author ?v7 .
+            ?v7 wsdbm:follows ?v8 .
+            ?v8 foaf:homepage ?v9 .
+            ?v9 sorg:language ?v10 .
+        }"),
+    ]
+}

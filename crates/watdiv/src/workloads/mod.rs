@@ -1,0 +1,164 @@
+//! The paper's three query workloads (Appendices A, B and C).
+
+pub mod basic;
+pub mod il;
+pub mod st;
+
+use rand::Rng;
+
+use crate::generator::{Dataset, EntityType};
+use crate::vocab::PREFIX_HEADER;
+
+/// Query shape/category, following the paper's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryCategory {
+    /// Basic Testing: linear (L).
+    Linear,
+    /// Basic Testing: star (S).
+    Star,
+    /// Basic Testing: snowflake (F).
+    Snowflake,
+    /// Basic Testing: complex (C).
+    Complex,
+    /// Selectivity Testing (ST).
+    Selectivity,
+    /// Incremental Linear Testing (IL).
+    IncrementalLinear,
+}
+
+impl QueryCategory {
+    /// One-letter label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryCategory::Linear => "L",
+            QueryCategory::Star => "S",
+            QueryCategory::Snowflake => "F",
+            QueryCategory::Complex => "C",
+            QueryCategory::Selectivity => "ST",
+            QueryCategory::IncrementalLinear => "IL",
+        }
+    }
+}
+
+/// A query template with `%vN%` placeholders and their `#mapping`
+/// directives.
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    /// Query name as the paper uses it (e.g. `L1`, `ST-3-2`, `IL-1-7`).
+    pub name: &'static str,
+    /// Shape category.
+    pub category: QueryCategory,
+    /// The SPARQL body, placeholders included, without prefixes.
+    pub body: &'static str,
+    /// `#mapping` directives: placeholder variable → entity type drawn
+    /// uniformly.
+    pub mappings: &'static [(&'static str, EntityType)],
+}
+
+impl QueryTemplate {
+    /// Instantiates the template against a dataset: every `%vN%`
+    /// placeholder is replaced by a uniformly drawn entity of its mapped
+    /// type, and the standard prefix header is prepended.
+    pub fn instantiate<R: Rng>(&self, data: &Dataset, rng: &mut R) -> String {
+        let mut body = self.body.to_string();
+        for (var, ty) in self.mappings {
+            let term = data.random_entity(*ty, rng);
+            body = body.replace(&format!("%{var}%"), &term.to_string());
+        }
+        debug_assert!(!body.contains('%'), "unreplaced placeholder in {}", self.name);
+        format!("{PREFIX_HEADER}{body}")
+    }
+}
+
+/// A named collection of templates.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name ("Basic Testing", …).
+    pub name: &'static str,
+    /// The templates, in the paper's order.
+    pub templates: Vec<QueryTemplate>,
+}
+
+impl Workload {
+    /// The Basic Testing use case (Appendix A): L1–L5, S1–S7, F1–F5,
+    /// C1–C3.
+    pub fn basic_testing() -> Workload {
+        Workload { name: "Basic Testing", templates: basic::templates() }
+    }
+
+    /// The Selectivity Testing workload (Appendix B): ST-1-1 … ST-8-2.
+    pub fn selectivity_testing() -> Workload {
+        Workload { name: "Selectivity Testing", templates: st::templates() }
+    }
+
+    /// The Incremental Linear Testing workload (Appendix C): IL-1/2/3 with
+    /// diameters 5–10.
+    pub fn incremental_linear() -> Workload {
+        Workload { name: "Incremental Linear Testing", templates: il::templates() }
+    }
+
+    /// Looks a template up by name.
+    pub fn get(&self, name: &str) -> Option<&QueryTemplate> {
+        self.templates.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, Config};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_sizes_match_paper() {
+        assert_eq!(Workload::basic_testing().templates.len(), 20);
+        assert_eq!(Workload::selectivity_testing().templates.len(), 20);
+        assert_eq!(Workload::incremental_linear().templates.len(), 18);
+    }
+
+    #[test]
+    fn every_template_instantiates_and_parses() {
+        let data = generate(&Config::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        for workload in [
+            Workload::basic_testing(),
+            Workload::selectivity_testing(),
+            Workload::incremental_linear(),
+        ] {
+            for template in &workload.templates {
+                let q = template.instantiate(&data, &mut rng);
+                assert!(!q.contains('%'), "{}: unreplaced placeholder", template.name);
+                s2rdf_sparql::parse_query(&q).unwrap_or_else(|e| {
+                    panic!("{} does not parse: {e}\n{q}", template.name)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let basic = Workload::basic_testing();
+        assert!(basic.get("S3").is_some());
+        assert!(basic.get("Z9").is_none());
+        assert_eq!(basic.get("C1").unwrap().category, QueryCategory::Complex);
+    }
+
+    #[test]
+    fn categories_are_consistent() {
+        let basic = Workload::basic_testing();
+        for t in &basic.templates {
+            let expected = match t.name.chars().next().unwrap() {
+                'L' => QueryCategory::Linear,
+                'S' => QueryCategory::Star,
+                'F' => QueryCategory::Snowflake,
+                'C' => QueryCategory::Complex,
+                other => panic!("unexpected name initial {other}"),
+            };
+            assert_eq!(t.category, expected, "{}", t.name);
+        }
+        for t in &Workload::incremental_linear().templates {
+            assert_eq!(t.category, QueryCategory::IncrementalLinear);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Structural shape analysis of the Basic Testing templates against the
+//! paper's L/S/F/C grouping (Fig. 3 / §7.2).
+//!
+//! The paper's letters are workload labels; most coincide with the pure
+//! structural classification, with documented exceptions: L3/L4 are
+//! two-pattern subject-subject joins (structurally stars) and C3 is a
+//! six-pattern star the paper files under "complex".
+
+use s2rdf_sparql::shape::{analyze, Shape};
+use s2rdf_sparql::GraphPattern;
+use s2rdf_watdiv::{QueryCategory, Workload};
+
+fn shape_of(body: &str) -> (Shape, usize) {
+    // Replace placeholders with a constant so the template parses.
+    let mut text = body.to_string();
+    for v in 0..10 {
+        text = text.replace(&format!("%v{v}%"), "<urn:x>");
+    }
+    let query = s2rdf_sparql::parse_query(&format!(
+        "{}{}",
+        s2rdf_watdiv::vocab::PREFIX_HEADER,
+        text
+    ))
+    .expect("template parses");
+    match query.pattern {
+        GraphPattern::Bgp(tps) => {
+            let report = analyze(&tps);
+            (report.shape, report.diameter)
+        }
+        other => panic!("expected plain BGP, got {other:?}"),
+    }
+}
+
+#[test]
+fn basic_templates_classify_as_labeled() {
+    let basic = Workload::basic_testing();
+    for template in &basic.templates {
+        let (shape, diameter) = shape_of(template.body);
+        let expected: &[Shape] = match template.name {
+            // Two-pattern SS joins: the paper files them under L, the
+            // structure is a 2-star.
+            "L3" | "L4" => &[Shape::Star],
+            "L1" | "L2" | "L5" => &[Shape::Linear],
+            // All S queries are stars (S1 includes an edge *into* the hub).
+            name if name.starts_with('S') => &[Shape::Star],
+            // Snowflakes are star-trees.
+            name if name.starts_with('F') => &[Shape::Snowflake],
+            // C1/C2 are tree-shaped compositions, C3 is a pure star the
+            // paper groups as complex for workload reasons.
+            "C1" | "C2" => &[Shape::Snowflake, Shape::Complex],
+            "C3" => &[Shape::Star],
+            other => panic!("unknown template {other}"),
+        };
+        assert!(
+            expected.contains(&shape),
+            "{}: classified {shape:?} (diameter {diameter}), expected one of {expected:?}",
+            template.name
+        );
+        match template.category {
+            QueryCategory::Star => assert_eq!(diameter, 1, "{}", template.name),
+            // L3/L4 collapse to stars (diameter 1); the true linear
+            // templates must span at least two hops.
+            QueryCategory::Linear if shape == Shape::Linear => {
+                assert!(diameter >= 2, "{}", template.name)
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn il_templates_are_linear_with_growing_diameter() {
+    let il = Workload::incremental_linear();
+    for template in &il.templates {
+        let (shape, diameter) = shape_of(template.body);
+        assert_eq!(shape, Shape::Linear, "{}", template.name);
+        // IL-<type>-<len>: the diameter equals the pattern count (the
+        // paper's definition of linear-query diameter, §2.1).
+        let len: usize = template.name.rsplit('-').next().unwrap().parse().unwrap();
+        assert_eq!(diameter, len, "{}", template.name);
+    }
+}
+
+#[test]
+fn paper_claim_only_two_basic_queries_exceed_diameter_3() {
+    // §7.3: "there are only two queries with a diameter larger than 3
+    // (C1 and C2)".
+    let basic = Workload::basic_testing();
+    let big: Vec<&str> = basic
+        .templates
+        .iter()
+        .filter(|t| shape_of(t.body).1 > 3)
+        .map(|t| t.name)
+        .collect();
+    assert_eq!(big, vec!["C1", "C2"]);
+}
+
+#[test]
+fn every_template_renders_and_roundtrips() {
+    // parse → Display → parse must be the identity for every workload
+    // query (exercises the renderer across the full template corpus).
+    for workload in [
+        Workload::basic_testing(),
+        Workload::selectivity_testing(),
+        Workload::incremental_linear(),
+    ] {
+        for template in &workload.templates {
+            let mut text = template.body.to_string();
+            for v in 0..10 {
+                text = text.replace(&format!("%v{v}%"), "<urn:x>");
+            }
+            let q = format!("{}{}", s2rdf_watdiv::vocab::PREFIX_HEADER, text);
+            let parsed = s2rdf_sparql::parse_query(&q).unwrap();
+            let rendered = parsed.to_string();
+            let reparsed = s2rdf_sparql::parse_query(&rendered).unwrap_or_else(|e| {
+                panic!("{}: rendered text unparseable: {e}\n{rendered}", template.name)
+            });
+            assert_eq!(reparsed, parsed, "{}", template.name);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based tests of the paper's formal claims:
+//!
+//! * the semi-join decomposition identity `T1 ⋈ T2 = (T1 ⋉ T2) ⋈ (T2 ⋉ T1)`
+//!   that justifies ExtVP (§5.2),
+//! * ExtVP partitions equal their defining semi-joins on arbitrary graphs,
+//! * BGP evaluation over ExtVP, VP, the triples table, the property table
+//!   and the centralized indexes all match a naive pattern-matching
+//!   reference on random graphs and random BGPs (§2.1 semantics).
+
+use proptest::prelude::*;
+
+use s2rdf_columnar::exec::row_multiset;
+use s2rdf_columnar::ops::{natural_join, semi_join_on};
+use s2rdf_columnar::{Schema, Table};
+use s2rdf_core::engines::centralized::CentralizedEngine;
+use s2rdf_core::engines::property_table::PropertyTableEngine;
+use s2rdf_core::engines::triples_table::TriplesTableEngine;
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::layout::vp::build_vp;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_model::{Graph, Term, TermId, Triple};
+
+// ---------- strategies ----------
+
+fn arb_table(cols: &'static [&'static str]) -> impl Strategy<Value = Table> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..16, cols.len()),
+        0..40,
+    )
+    .prop_map(move |rows| Table::from_rows(Schema::new(cols.iter().map(|c| c.to_string())), &rows))
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0usize..12, 0usize..5, 0usize..12), 1..60).prop_map(|triples| {
+        Graph::from_triples(triples.into_iter().map(|(s, p, o)| {
+            Triple::new(
+                Term::iri(format!("e{s}")),
+                Term::iri(format!("p{p}")),
+                Term::iri(format!("e{o}")),
+            )
+        }))
+    })
+}
+
+/// A triple-pattern position: variable index (0..4 → ?x ?y ?z ?w) or
+/// constant entity/predicate index.
+#[derive(Debug, Clone)]
+enum Pos {
+    Var(u8),
+    Const(u8),
+}
+
+fn arb_pos(const_range: u8) -> impl Strategy<Value = Pos> {
+    prop_oneof![
+        3 => (0u8..4).prop_map(Pos::Var),
+        1 => (0u8..const_range).prop_map(Pos::Const),
+    ]
+}
+
+fn arb_bgp() -> impl Strategy<Value = Vec<(Pos, Pos, Pos)>> {
+    proptest::collection::vec(
+        (
+            arb_pos(12),
+            // Predicates are mostly bound, as in real SPARQL (§5.2).
+            prop_oneof![5 => (0u8..5).prop_map(Pos::Const), 1 => (0u8..4).prop_map(Pos::Var)],
+            arb_pos(12),
+        ),
+        1..4,
+    )
+}
+
+fn render_query(bgp: &[(Pos, Pos, Pos)]) -> String {
+    const VARS: [&str; 4] = ["x", "y", "z", "w"];
+    let mut body = String::new();
+    for (s, p, o) in bgp {
+        let part = |pos: &Pos, kind: &str| match pos {
+            Pos::Var(v) => format!("?{}", VARS[*v as usize]),
+            Pos::Const(c) => format!("<{kind}{c}>"),
+        };
+        body.push_str(&format!(
+            "{} {} {} . ",
+            part(s, "e"),
+            part(p, "p"),
+            part(o, "e")
+        ));
+    }
+    format!("SELECT * WHERE {{ {body}}}")
+}
+
+/// Naive reference: enumerate solution mappings by backtracking over the
+/// graph's triples (the definitional semantics of §2.1), then canonicalize
+/// identically to `Solutions::canonical`.
+fn reference_solutions(graph: &Graph, bgp: &[(Pos, Pos, Pos)]) -> Vec<String> {
+    // Which variables occur (canonical output includes only those).
+    let mut used = [false; 4];
+    for (s, p, o) in bgp {
+        for pos in [s, p, o] {
+            if let Pos::Var(v) = pos {
+                used[*v as usize] = true;
+            }
+        }
+    }
+    let decoded: Vec<Triple> = graph.iter_decoded().collect();
+    let mut out = Vec::new();
+    let mut binding: [Option<Term>; 4] = [None, None, None, None];
+
+    fn recurse(
+        depth: usize,
+        bgp: &[(Pos, Pos, Pos)],
+        triples: &[Triple],
+        binding: &mut [Option<Term>; 4],
+        used: &[bool; 4],
+        out: &mut Vec<String>,
+    ) {
+        if depth == bgp.len() {
+            const VARS: [&str; 4] = ["x", "y", "z", "w"];
+            let mut parts = Vec::new();
+            for v in 0..4 {
+                if used[v] {
+                    parts.push(format!(
+                        "{}={}",
+                        VARS[v],
+                        binding[v].as_ref().expect("bound at leaf")
+                    ));
+                }
+            }
+            // Canonical form sorts variables by name; w < x < y < z.
+            parts.sort();
+            out.push(parts.join(" "));
+            return;
+        }
+        let (s, p, o) = &bgp[depth];
+        for t in triples {
+            let mut local: Vec<(usize, Term)> = Vec::new();
+            let mut ok = true;
+            for (pos, term, kind) in [(s, &t.s, "e"), (p, &t.p, "p"), (o, &t.o, "e")] {
+                match pos {
+                    Pos::Const(c) => {
+                        if term != &Term::iri(format!("{kind}{c}")) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Pos::Var(v) => {
+                        let vi = *v as usize;
+                        let bound = binding[vi]
+                            .as_ref()
+                            .or_else(|| local.iter().find(|(i, _)| *i == vi).map(|(_, t)| t));
+                        match bound {
+                            Some(existing) if existing != term => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => local.push((vi, term.clone())),
+                        }
+                    }
+                }
+            }
+            if ok {
+                for (vi, term) in &local {
+                    binding[*vi] = Some(term.clone());
+                }
+                recurse(depth + 1, bgp, triples, binding, used, out);
+                for (vi, _) in &local {
+                    binding[*vi] = None;
+                }
+            }
+        }
+    }
+    recurse(0, bgp, &decoded, &mut binding, &used, &mut out);
+    out.sort();
+    out
+}
+
+// ---------- properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §5.2: `T1 ⋈ T2 = (T1 ⋉ T2) ⋈ (T2 ⋉ T1)` — the decomposition that
+    /// makes precomputed semi-join reductions lossless.
+    #[test]
+    fn join_decomposition_identity(
+        t1 in arb_table(&["a", "j"]),
+        t2 in arb_table(&["j", "b"]),
+    ) {
+        let direct = natural_join(&t1, &t2);
+        let r1 = semi_join_on(&t1, 1, &t2, 0);
+        let r2 = semi_join_on(&t2, 0, &t1, 1);
+        let via_semi = natural_join(&r1, &r2);
+        prop_assert_eq!(row_multiset(&direct), row_multiset(&via_semi));
+    }
+
+    /// Semi-join reductions are subsets of their base table.
+    #[test]
+    fn semi_join_is_a_reduction(
+        t1 in arb_table(&["a", "j"]),
+        t2 in arb_table(&["j", "b"]),
+    ) {
+        let reduced = semi_join_on(&t1, 1, &t2, 0);
+        prop_assert!(reduced.num_rows() <= t1.num_rows());
+        let base = row_multiset(&t1);
+        for row in row_multiset(&reduced) {
+            prop_assert!(base.contains(&row));
+        }
+    }
+
+    /// Every materialized ExtVP partition of a random graph equals the
+    /// semi-join in its definition, and its SF bookkeeping is exact.
+    #[test]
+    fn extvp_matches_definition(graph in arb_graph()) {
+        let vp = build_vp(&graph);
+        let store = S2rdfStore::build(&graph, &BuildOptions::default());
+        let mut materialized = 0;
+        for (key, stat) in store.catalog().extvp_stats() {
+            let vp1 = &vp[&TermId(key.p1)];
+            let vp2 = &vp[&TermId(key.p2)];
+            let (lk, rk) = s2rdf_core::layout::extvp::semi_join_columns(key.corr);
+            let expected = semi_join_on(vp1, lk, vp2, rk);
+            prop_assert_eq!(stat.count, expected.num_rows(), "{:?}", key);
+            let sf = expected.num_rows() as f64 / vp1.num_rows() as f64;
+            prop_assert!((stat.sf - sf).abs() < 1e-12);
+            if let Some(table) = store.extvp_table(key) {
+                materialized += 1;
+                prop_assert_eq!(row_multiset(&table), row_multiset(&expected));
+                prop_assert!(stat.sf < 1.0);
+            }
+        }
+        prop_assert_eq!(materialized, store.num_extvp_tables());
+    }
+
+    /// BGP evaluation agrees with the naive reference across all layouts.
+    #[test]
+    fn engines_match_reference(graph in arb_graph(), bgp in arb_bgp()) {
+        let expected = reference_solutions(&graph, &bgp);
+        let query = render_query(&bgp);
+
+        let store = S2rdfStore::build(&graph, &BuildOptions::default());
+        let engines: Vec<(&str, Box<dyn SparqlEngine>)> = vec![
+            ("tt", Box::new(TriplesTableEngine::new(&graph))),
+            ("pt", Box::new(PropertyTableEngine::new(&graph))),
+            ("central", Box::new(CentralizedEngine::new(&graph))),
+        ];
+        for (label, engine) in &engines {
+            let got = engine.query(&query)
+                .unwrap_or_else(|e| panic!("{label}: {e}\n{query}"));
+            prop_assert_eq!(got.canonical(), expected.clone(), "{} on {}", label, query);
+        }
+        for use_extvp in [true, false] {
+            let got = store.engine(use_extvp).query(&query)
+                .unwrap_or_else(|e| panic!("s2rdf({use_extvp}): {e}\n{query}"));
+            prop_assert_eq!(
+                got.canonical(), expected.clone(),
+                "s2rdf(extvp={}) on {}", use_extvp, query
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Store persistence: save/load round-trips, disk-size accounting, and the
+//! monotonicity of the SF-threshold knob (paper Tables 2 and 6).
+
+use std::path::PathBuf;
+
+use s2rdf_bench::dataset;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("s2rdf-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_store_roundtrip_on_watdiv_data() {
+    let data = dataset(1);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let dir = tmp("roundtrip");
+    store.save(&dir).unwrap();
+    let loaded = S2rdfStore::load(&dir).unwrap();
+
+    assert_eq!(loaded.vp_tuples(), store.vp_tuples());
+    assert_eq!(loaded.extvp_tuples(), store.extvp_tuples());
+    assert_eq!(loaded.num_extvp_tables(), store.num_extvp_tables());
+    assert_eq!(
+        loaded.catalog().num_predicates(),
+        store.catalog().num_predicates()
+    );
+    assert_eq!(loaded.catalog().total_triples, store.catalog().total_triples);
+
+    // Every ExtVP stat survives (including non-materialized ones).
+    for (key, stat) in store.catalog().extvp_stats() {
+        let back = loaded.catalog().extvp_stat(key).unwrap();
+        assert_eq!(back.count, stat.count, "{key:?}");
+        assert_eq!(back.materialized, stat.materialized, "{key:?}");
+    }
+
+    // Queries agree between the original and the loaded store.
+    let queries = [
+        "PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+         SELECT * WHERE { ?u wsdbm:follows ?v . ?v wsdbm:likes ?p }",
+        "PREFIX sorg: <http://schema.org/>
+         PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+         SELECT ?u ?t WHERE { ?u sorg:jobTitle ?t . ?u wsdbm:friendOf ?f }",
+    ];
+    for q in queries {
+        assert_eq!(
+            loaded.query(q).unwrap().canonical(),
+            store.query(q).unwrap().canonical()
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn disk_sizes_are_attributed_by_family() {
+    let data = dataset(1);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let dir = tmp("sizes");
+    store.save(&dir).unwrap();
+    let (tt, vp, extvp) = S2rdfStore::disk_sizes(&dir).unwrap();
+    assert!(tt > 0 && vp > 0 && extvp > 0);
+    // ExtVP holds several times the VP tuples, so its bytes must dominate.
+    assert!(extvp > vp, "extvp {extvp} vs vp {vp}");
+    // VP stores the same tuples as TT minus the predicate column; with
+    // per-predicate RLE-friendly layout it must not be drastically larger.
+    assert!(vp < tt * 2, "vp {vp} vs tt {tt}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn threshold_monotonicity() {
+    // Table 6: tables, tuples and bytes grow monotonically with SF_TH, and
+    // SF_TH = 0 stores nothing beyond VP.
+    let data = dataset(1);
+    let thresholds = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+    let mut prev: Option<(usize, usize, u64)> = None;
+    for th in thresholds {
+        let store = S2rdfStore::build(
+            &data.graph,
+            &BuildOptions {  threshold: th, build_extvp: true, ..Default::default() },
+        );
+        let dir = tmp(&format!("th{}", (th * 100.0) as u32));
+        store.save(&dir).unwrap();
+        let (_, _, extvp_bytes) = S2rdfStore::disk_sizes(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let current = (store.num_extvp_tables(), store.extvp_tuples(), extvp_bytes);
+        if th == 0.0 {
+            assert_eq!(current.0, 0);
+            assert_eq!(current.1, 0);
+        }
+        if let Some(p) = prev {
+            assert!(current.0 >= p.0, "tables must grow with threshold");
+            assert!(current.1 >= p.1, "tuples must grow with threshold");
+            assert!(current.2 >= p.2, "bytes must grow with threshold");
+        }
+        // Materialized tables always respect the threshold.
+        for (key, stat) in store.catalog().extvp_stats() {
+            if stat.materialized {
+                assert!(stat.sf < th.max(f64::MIN_POSITIVE), "{key:?} violates SF_TH");
+                assert!(store.extvp_table(key).is_some());
+            } else {
+                assert!(store.extvp_table(key).is_none());
+            }
+        }
+        prev = Some(current);
+    }
+}
+
+#[test]
+fn vp_only_store_roundtrip() {
+    let data = dataset(1);
+    let store = S2rdfStore::build(
+        &data.graph,
+        &BuildOptions {  threshold: 1.0, build_extvp: false, ..Default::default() },
+    );
+    let dir = tmp("vponly");
+    store.save(&dir).unwrap();
+    let loaded = S2rdfStore::load(&dir).unwrap();
+    assert!(!loaded.catalog().extvp_built);
+    assert_eq!(loaded.num_extvp_tables(), 0);
+    let q = "PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+             SELECT * WHERE { ?u wsdbm:likes wsdbm:Product0 }";
+    assert_eq!(
+        loaded.query(q).unwrap().canonical(),
+        store.query(q).unwrap().canonical()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
