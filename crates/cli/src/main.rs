@@ -7,6 +7,7 @@
 //! s2rdf stats    --store ./db
 //! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
 //!                [--explain] [--no-extvp]
+//! s2rdf verify   --store ./db [--repair]
 //! ```
 
 use std::io::Read;
@@ -30,7 +31,8 @@ const USAGE: &str = "usage:
                  [--mode rows|bits|lazy] [--no-extvp] [--oo]
   s2rdf stats    --store <dir>
   s2rdf query    --store <dir> (--query <sparql> | --file <q.rq>)
-                 [--explain] [--no-extvp] [--intersect] [--max-print <N>]";
+                 [--explain] [--no-extvp] [--intersect] [--max-print <N>]
+  s2rdf verify   --store <dir> [--repair]";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         Some("load") => cmd_load(&args),
         Some("stats") => cmd_stats(&args),
         Some("query") => cmd_query(&args),
+        Some("verify") => cmd_verify(&args),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -163,6 +166,18 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "-- naive join comparisons: {}",
             explain.naive_join_comparisons
         );
+        for step in &explain.degraded_steps {
+            println!(
+                "-- DEGRADED: {} unavailable after {} attempt(s) ({}); used {}",
+                step.planned, step.attempts, step.reason, step.fallback
+            );
+        }
+        for err in &explain.recovered_errors {
+            println!("-- recovered: {err}");
+        }
+        if !explain.fully_healthy() {
+            println!("-- results are exact; degraded steps only affect cost");
+        }
     }
     println!("{} solutions in {elapsed:.2?} [{}]", solutions.len(), engine.name());
     if !solutions.is_empty() {
@@ -180,6 +195,57 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let store_dir = args.value("store")?;
+    let dir = Path::new(&store_dir);
+    if args.flag("repair") {
+        let report = S2rdfStore::verify_and_repair(dir).map_err(|e| e.to_string())?;
+        println!("scanned {} tables", report.scanned);
+        for name in &report.repaired {
+            println!("  rebuilt {name} from its VP base tables");
+        }
+        for orphan in &report.removed_orphans {
+            println!("  removed orphaned file {orphan}");
+        }
+        for (name, why) in &report.unrecoverable {
+            println!("  UNRECOVERABLE {name}: {why}");
+        }
+        if report.clean_after {
+            println!("store is clean");
+            Ok(())
+        } else {
+            Err("store is still damaged after repair".to_string())
+        }
+    } else {
+        let tables =
+            s2rdf_columnar::TableStore::open(dir.join("tables")).map_err(|e| e.to_string())?;
+        let report = tables.verify_all();
+        println!(
+            "scanned {} tables: {} ok, {} corrupt, {} missing, {} orphaned files",
+            report.ok.len() + report.corrupt.len() + report.missing.len(),
+            report.ok.len(),
+            report.corrupt.len(),
+            report.missing.len(),
+            report.orphans.len()
+        );
+        for (name, why) in &report.corrupt {
+            println!("  CORRUPT {name}: {why}");
+        }
+        for name in &report.missing {
+            println!("  MISSING {name}");
+        }
+        for orphan in &report.orphans {
+            println!("  orphan  {orphan}");
+        }
+        if report.is_clean() {
+            println!("store is clean");
+            Ok(())
+        } else {
+            Err("integrity scan found damage (run with --repair to rebuild)".to_string())
+        }
+    }
 }
 
 fn read_query_text(args: &Args) -> Result<String, String> {

@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) implemented in-crate.
+//!
+//! The build environment is offline, so rather than pulling in a checksum
+//! crate we carry the classic table-driven implementation. This is the same
+//! polynomial Parquet uses for its optional page-level CRC field, which the
+//! v2 table footer emulates (see DESIGN.md, "Fault tolerance").
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 checksum of `data`.
+///
+/// Matches the standard zlib/`crc32fast` output: initial value `!0`, final
+/// XOR `!0`, reflected input and output.
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+/// Streaming update: feed a raw (pre-final-XOR) state through more bytes.
+fn update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn detects_single_byte_changes() {
+        let base = b"hello columnar world".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut m = base.clone();
+                m[i] ^= flip;
+                assert_ne!(crc32(&m), c0, "flip {flip:#x} at {i} undetected");
+            }
+        }
+    }
+}

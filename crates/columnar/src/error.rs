@@ -11,6 +11,15 @@ pub enum ColumnarError {
     SchemaMismatch(String),
     /// A persisted table file is corrupt or has an unsupported version.
     CorruptFile(String),
+    /// A v2 table file's CRC-32 footer does not match its body: the file
+    /// was bit-flipped, truncated or otherwise damaged at rest or in
+    /// transit.
+    ChecksumMismatch {
+        /// Checksum recorded in the file footer.
+        expected: u32,
+        /// Checksum recomputed over the file body.
+        actual: u32,
+    },
     /// A named table does not exist in the store.
     NoSuchTable(String),
     /// Underlying I/O failure.
@@ -23,6 +32,10 @@ impl fmt::Display for ColumnarError {
             ColumnarError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             ColumnarError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             ColumnarError::CorruptFile(m) => write!(f, "corrupt table file: {m}"),
+            ColumnarError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: footer {expected:#010x}, body {actual:#010x}"
+            ),
             ColumnarError::NoSuchTable(n) => write!(f, "no such table: {n}"),
             ColumnarError::Io(e) => write!(f, "I/O error: {e}"),
         }

@@ -6,21 +6,57 @@
 //! standing in for Parquet's RLE + snappy, see DESIGN.md). A `manifest.tsv`
 //! maps logical table names (which contain characters like `|` that the
 //! ExtVP naming scheme uses) to on-disk file names.
+//!
+//! # Durability (format v2)
+//!
+//! Version 2 of the file format appends a CRC-32 footer over the entire
+//! table body, mirroring Parquet's page-level CRC: any bit flip or
+//! truncation of a stored table surfaces as
+//! [`ColumnarError::ChecksumMismatch`] instead of silently decoding to wrong
+//! data (or worse, decoding "successfully"). Version 1 files (no footer)
+//! remain readable for stores written by earlier builds.
+//!
+//! All writes — table files and the manifest — go through a
+//! temp-file-then-rename sequence, so a crash mid-save leaves either the old
+//! or the new content, never a torn file. Table files are written before the
+//! manifest that references them; a crash between the two leaves an
+//! unreferenced `t*.col` file, which [`TableStore::open`] detects and
+//! reports via [`TableStore::orphans`]. Stale `*.tmp` files are cleaned up
+//! on open.
+//!
+//! A [`FaultInjector`] can be attached to exercise all of those paths
+//! deterministically; see [`crate::fault`].
 
 use std::fs;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rustc_hash::FxHashMap;
 
+use crate::crc32::crc32;
 use crate::error::ColumnarError;
+use crate::fault::FaultInjector;
 use crate::schema::Schema;
 use crate::table::Table;
 
 const MAGIC: &[u8; 4] = b"S2CT";
-const VERSION: u8 = 1;
+/// Current format version: CRC-32 footer over the body.
+const VERSION: u8 = 2;
+/// Legacy format without a checksum footer; still readable.
+const VERSION_V1: u8 = 1;
+/// Footer: little-endian CRC-32 of all preceding bytes.
+const FOOTER_LEN: usize = 4;
 const ENC_PLAIN: u8 = 0;
 const ENC_RLE: u8 = 1;
+
+/// Upper bound on `nrows * ncols` accepted from untrusted bytes (2^28 cells
+/// = 1 GiB of u32 values). Prevents a corrupted header from driving huge
+/// allocations before the row-count cross-checks can fire.
+const MAX_CELLS: u64 = 1 << 28;
+/// Cap on speculative `Vec::with_capacity` hints while decoding, so a
+/// corrupt row count cannot pre-allocate unbounded memory.
+const MAX_CAPACITY_HINT: usize = 1 << 22;
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -106,11 +142,13 @@ fn decode_column(data: &[u8], pos: &mut usize, nrows: usize) -> Result<Vec<u32>,
         .ok_or_else(|| ColumnarError::CorruptFile("missing column tag".into()))?;
     *pos += 1;
     let body_len = read_varint(data, pos)? as usize;
-    let end = *pos + body_len;
+    let end = pos
+        .checked_add(body_len)
+        .ok_or_else(|| ColumnarError::CorruptFile("column body length overflow".into()))?;
     if end > data.len() {
         return Err(ColumnarError::CorruptFile("truncated column body".into()));
     }
-    let mut col = Vec::with_capacity(nrows);
+    let mut col = Vec::with_capacity(nrows.min(MAX_CAPACITY_HINT));
     match tag {
         ENC_PLAIN => {
             while *pos < end {
@@ -120,8 +158,15 @@ fn decode_column(data: &[u8], pos: &mut usize, nrows: usize) -> Result<Vec<u32>,
         ENC_RLE => {
             while *pos < end {
                 let value = read_varint(data, pos)? as u32;
-                let run = read_varint(data, pos)? as usize;
-                col.extend(std::iter::repeat_n(value, run));
+                let run = read_varint(data, pos)?;
+                // Bound before extending: a corrupt run length must not
+                // drive an allocation past the declared row count.
+                if run > nrows as u64 - col.len() as u64 {
+                    return Err(ColumnarError::CorruptFile(format!(
+                        "RLE run of {run} overflows {nrows}-row column"
+                    )));
+                }
+                col.extend(std::iter::repeat_n(value, run as usize));
             }
         }
         other => {
@@ -139,7 +184,8 @@ fn decode_column(data: &[u8], pos: &mut usize, nrows: usize) -> Result<Vec<u32>,
     Ok(col)
 }
 
-/// Serializes a table into the columnar file format.
+/// Serializes a table into the columnar file format (v2, with checksum
+/// footer).
 pub fn serialize_table(table: &Table) -> Vec<u8> {
     let mut out = Vec::with_capacity(table.byte_size() / 2 + 64);
     out.extend_from_slice(MAGIC);
@@ -153,26 +199,58 @@ pub fn serialize_table(table: &Table) -> Vec<u8> {
     for col in table.columns() {
         encode_column(col, &mut out);
     }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
 /// Deserializes a table from the columnar file format.
+///
+/// Accepts both the current v2 format (checksum-verified; a mismatch yields
+/// [`ColumnarError::ChecksumMismatch`]) and legacy v1 files without a
+/// footer. Designed to be total over arbitrary input bytes: corrupt data of
+/// any shape produces an `Err`, never a panic or unbounded allocation.
 pub fn deserialize_table(data: &[u8]) -> Result<Table, ColumnarError> {
     if data.len() < 5 || &data[..4] != MAGIC {
         return Err(ColumnarError::CorruptFile("bad magic".into()));
     }
-    if data[4] != VERSION {
-        return Err(ColumnarError::CorruptFile(format!(
-            "unsupported version {}",
-            data[4]
-        )));
-    }
+    let body_end = match data[4] {
+        VERSION_V1 => data.len(),
+        VERSION => {
+            if data.len() < 5 + FOOTER_LEN {
+                return Err(ColumnarError::CorruptFile("truncated checksum footer".into()));
+            }
+            let body_end = data.len() - FOOTER_LEN;
+            let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
+            let actual = crc32(&data[..body_end]);
+            if actual != expected {
+                return Err(ColumnarError::ChecksumMismatch { expected, actual });
+            }
+            body_end
+        }
+        other => {
+            return Err(ColumnarError::CorruptFile(format!(
+                "unsupported version {other}"
+            )))
+        }
+    };
+    let data = &data[..body_end];
     let mut pos = 5;
     let ncols = read_varint(data, &mut pos)? as usize;
+    // Each column needs at least a 1-byte name length in the header, so a
+    // column count beyond the file size is structurally impossible.
+    if ncols > data.len() {
+        return Err(ColumnarError::CorruptFile(format!(
+            "implausible column count {ncols} for {}-byte file",
+            data.len()
+        )));
+    }
     let mut names = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         let len = read_varint(data, &mut pos)? as usize;
-        let end = pos + len;
+        let end = pos
+            .checked_add(len)
+            .ok_or_else(|| ColumnarError::CorruptFile("column name length overflow".into()))?;
         let bytes = data
             .get(pos..end)
             .ok_or_else(|| ColumnarError::CorruptFile("truncated column name".into()))?;
@@ -184,11 +262,58 @@ pub fn deserialize_table(data: &[u8]) -> Result<Table, ColumnarError> {
         pos = end;
     }
     let nrows = read_varint(data, &mut pos)? as usize;
+    let cells = (nrows as u64)
+        .checked_mul(ncols.max(1) as u64)
+        .ok_or_else(|| ColumnarError::CorruptFile("table dimensions overflow".into()))?;
+    if cells > MAX_CELLS {
+        return Err(ColumnarError::CorruptFile(format!(
+            "table dimensions {nrows}x{ncols} exceed cell limit"
+        )));
+    }
     let mut cols = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         cols.push(decode_column(data, &mut pos, nrows)?);
     }
+    // Reject trailing bytes. Besides catching garbage appended to a file,
+    // this closes a downgrade hole: flipping the version byte of a v2 file
+    // to v1 would otherwise skip checksum verification and parse cleanly,
+    // with the orphaned footer silently ignored.
+    if pos != data.len() {
+        return Err(ColumnarError::CorruptFile(format!(
+            "{} trailing bytes after table body",
+            data.len() - pos
+        )));
+    }
     Ok(Table::from_columns(Schema::new(names), cols))
+}
+
+/// Outcome of a full-store integrity scan ([`TableStore::verify_all`]).
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Tables that decoded and checksum-verified cleanly.
+    pub ok: Vec<String>,
+    /// Tables whose file failed to read or decode, with the error text.
+    /// These are the quarantine candidates for repair.
+    pub corrupt: Vec<(String, String)>,
+    /// Tables referenced by the manifest whose file is missing entirely.
+    pub missing: Vec<String>,
+    /// `t*.col` files present on disk but referenced by no manifest entry
+    /// (e.g. from a crash between writing a table and its manifest).
+    pub orphans: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when every manifest entry verified and no orphans exist.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.missing.is_empty() && self.orphans.is_empty()
+    }
+}
+
+/// Extracts the sequence number from a store-managed file name (`t%06d.col`).
+fn table_file_seq(file: &str) -> Option<u64> {
+    file.strip_prefix('t')
+        .and_then(|f| f.strip_suffix(".col"))
+        .and_then(|n| n.parse::<u64>().ok())
 }
 
 /// A directory of persisted tables with a name manifest.
@@ -198,47 +323,103 @@ pub struct TableStore {
     /// logical name -> file name
     manifest: FxHashMap<String, String>,
     next_file: u64,
+    /// Unreferenced `t*.col` files found on open (crash leftovers).
+    orphans: Vec<String>,
+    /// Optional deterministic fault injection; `None` costs one branch.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl TableStore {
     /// Creates (or opens, if it already exists) a store rooted at `root`.
+    ///
+    /// Cleans up stale `*.tmp` files from interrupted writes and records any
+    /// orphaned table files (see [`TableStore::orphans`]).
     pub fn open(root: impl Into<PathBuf>) -> Result<TableStore, ColumnarError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        let mut store = TableStore { root, manifest: FxHashMap::default(), next_file: 0 };
+        let mut store = TableStore {
+            root,
+            manifest: FxHashMap::default(),
+            next_file: 0,
+            orphans: Vec::new(),
+            faults: None,
+        };
         let manifest_path = store.manifest_path();
         if manifest_path.exists() {
             let mut content = String::new();
             BufReader::new(fs::File::open(&manifest_path)?).read_to_string(&mut content)?;
             for line in content.lines() {
                 if let Some((name, file)) = line.split_once('\t') {
-                    if let Some(num) = file
-                        .strip_prefix('t')
-                        .and_then(|f| f.strip_suffix(".col"))
-                        .and_then(|n| n.parse::<u64>().ok())
-                    {
+                    if let Some(num) = table_file_seq(file) {
                         store.next_file = store.next_file.max(num + 1);
                     }
                     store.manifest.insert(name.to_string(), file.to_string());
                 }
             }
         }
+        store.scan_directory()?;
         Ok(store)
+    }
+
+    /// Removes stale temp files and records orphaned table files, advancing
+    /// the file counter past them so they are never silently overwritten.
+    fn scan_directory(&mut self) -> Result<(), ColumnarError> {
+        let referenced: std::collections::HashSet<&str> =
+            self.manifest.values().map(String::as_str).collect();
+        let mut orphans = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // Leftover from an interrupted atomic write; the rename
+                // never happened so this content was never visible.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(num) = table_file_seq(&name) {
+                self.next_file = self.next_file.max(num + 1);
+                if !referenced.contains(name.as_str()) {
+                    orphans.push(name);
+                }
+            }
+        }
+        orphans.sort();
+        self.orphans = orphans;
+        Ok(())
     }
 
     fn manifest_path(&self) -> PathBuf {
         self.root.join("manifest.tsv")
     }
 
+    /// Writes `data` to `root/file` atomically: temp file in the same
+    /// directory, fsync, then rename over the target.
+    fn write_atomic(&self, file: &str, data: &[u8]) -> Result<(), ColumnarError> {
+        let tmp = self.root.join(format!("{file}.tmp"));
+        let target = self.root.join(file);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        if let Err(e) = fs::rename(&tmp, &target) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
     fn flush_manifest(&self) -> Result<(), ColumnarError> {
         let mut entries: Vec<_> = self.manifest.iter().collect();
         entries.sort();
-        let mut out = BufWriter::new(fs::File::create(self.manifest_path())?);
+        let mut out = String::new();
         for (name, file) in entries {
-            writeln!(out, "{name}\t{file}")?;
+            out.push_str(name);
+            out.push('\t');
+            out.push_str(file);
+            out.push('\n');
         }
-        out.flush()?;
-        Ok(())
+        self.write_atomic("manifest.tsv", out.as_bytes())
     }
 
     /// The store's root directory.
@@ -246,8 +427,31 @@ impl TableStore {
         &self.root
     }
 
+    /// Attaches (or with `None`, detaches) a deterministic fault injector
+    /// applied to subsequent loads and saves.
+    pub fn set_fault_injector(&mut self, faults: Option<Arc<FaultInjector>>) {
+        self.faults = faults;
+    }
+
+    /// The currently attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Orphaned `t*.col` files discovered when the store was opened: present
+    /// on disk but referenced by no manifest entry. A non-empty list
+    /// indicates an interrupted save (the table file landed but its manifest
+    /// update did not).
+    pub fn orphans(&self) -> &[String] {
+        &self.orphans
+    }
+
     /// Persists a table under a logical name, replacing any previous
     /// version.
+    ///
+    /// The table file is written atomically first, the manifest second; a
+    /// crash in between leaves an orphan file, never a manifest entry
+    /// pointing at missing or torn data.
     pub fn save(&mut self, name: &str, table: &Table) -> Result<(), ColumnarError> {
         assert!(
             !name.contains(['\t', '\n']),
@@ -261,7 +465,14 @@ impl TableStore {
                 f
             }
         };
-        fs::write(self.root.join(&file), serialize_table(table))?;
+        let mut data = serialize_table(table);
+        if let Some(faults) = &self.faults {
+            faults.before_write(name)?;
+            // Media-side corruption: the store writes what it was handed,
+            // silently damaged. The checksum footer catches it at read time.
+            faults.mutate(&mut data);
+        }
+        self.write_atomic(&file, &data)?;
         self.manifest.insert(name.to_string(), file);
         self.flush_manifest()
     }
@@ -272,8 +483,42 @@ impl TableStore {
             .manifest
             .get(name)
             .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
-        let data = fs::read(self.root.join(file))?;
+        let mut data = {
+            if let Some(faults) = &self.faults {
+                faults.before_read(name)?;
+            }
+            fs::read(self.root.join(file))?
+        };
+        if let Some(faults) = &self.faults {
+            faults.mutate(&mut data);
+        }
         deserialize_table(&data)
+    }
+
+    /// Verifies every table in the manifest by reading and fully decoding
+    /// it (which checks the v2 CRC footer), reporting corrupt entries,
+    /// missing files and orphans.
+    ///
+    /// Reads the files directly, bypassing any attached fault injector:
+    /// verification must observe the actual on-disk state so that a repair
+    /// pass can converge.
+    pub fn verify_all(&self) -> VerifyReport {
+        let mut report = VerifyReport { orphans: self.orphans.clone(), ..VerifyReport::default() };
+        let mut entries: Vec<_> = self.manifest.iter().collect();
+        entries.sort();
+        for (name, file) in entries {
+            match fs::read(self.root.join(file)) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    report.missing.push(name.clone());
+                }
+                Err(e) => report.corrupt.push((name.clone(), e.to_string())),
+                Ok(data) => match deserialize_table(&data) {
+                    Ok(_) => report.ok.push(name.clone()),
+                    Err(e) => report.corrupt.push((name.clone(), e.to_string())),
+                },
+            }
+        }
+        report
     }
 
     /// True if a table with this name exists.
@@ -331,6 +576,7 @@ impl TableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use proptest::prelude::*;
 
     fn sample() -> Table {
@@ -371,6 +617,58 @@ mod tests {
     }
 
     #[test]
+    fn checksum_detects_body_corruption() {
+        let bytes = serialize_table(&sample());
+        // Flip every body byte in turn (skip magic/version so the error is
+        // specifically the checksum, and skip the footer itself).
+        for i in 5..bytes.len() - FOOTER_LEN {
+            let mut m = bytes.clone();
+            m[i] ^= 0x40;
+            match deserialize_table(&m) {
+                Err(ColumnarError::ChecksumMismatch { .. }) => {}
+                other => panic!("byte {i}: expected checksum mismatch, got {other:?}"),
+            }
+        }
+        // Corrupting the footer itself must also fail.
+        let mut m = bytes.clone();
+        let last = m.len() - 1;
+        m[last] ^= 0xff;
+        assert!(matches!(
+            deserialize_table(&m),
+            Err(ColumnarError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_files_without_footer_still_load() {
+        // Hand-build a v1 image: the v2 body minus footer, version byte 1.
+        let t = sample();
+        let v2 = serialize_table(&t);
+        let mut v1 = v2[..v2.len() - FOOTER_LEN].to_vec();
+        v1[4] = VERSION_V1;
+        assert_eq!(deserialize_table(&v1).unwrap(), t);
+    }
+
+    #[test]
+    fn hostile_dimensions_rejected_not_allocated() {
+        // Header claiming u64::MAX rows must fail fast, not abort on OOM.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION_V1); // v1: no footer needed for a hand-built image
+        write_varint(&mut bytes, 1); // 1 column
+        write_varint(&mut bytes, 1);
+        bytes.push(b'c');
+        write_varint(&mut bytes, u64::MAX); // absurd row count
+        bytes.push(ENC_RLE);
+        let mut body = Vec::new();
+        write_varint(&mut body, 7);
+        write_varint(&mut body, u64::MAX); // absurd run length
+        write_varint(&mut bytes, body.len() as u64);
+        bytes.extend_from_slice(&body);
+        assert!(deserialize_table(&bytes).is_err());
+    }
+
+    #[test]
     fn store_save_load_cycle() {
         let dir = std::env::temp_dir().join(format!("s2ct-store-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
@@ -386,6 +684,7 @@ mod tests {
             // Re-open and read back.
             let mut store = TableStore::open(&dir).unwrap();
             assert_eq!(store.len(), 2);
+            assert!(store.orphans().is_empty());
             assert_eq!(store.load("ExtVP_OS/follows|likes").unwrap(), sample());
             store.remove("VP/follows").unwrap();
             assert!(!store.contains("VP/follows"));
@@ -406,6 +705,110 @@ mod tests {
         assert!(store.file_size("t").unwrap() > before);
         assert_eq!(store.len(), 1);
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 2); // table + manifest
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_files_detected_and_not_overwritten() {
+        let dir = std::env::temp_dir().join(format!("s2ct-orphan-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut store = TableStore::open(&dir).unwrap();
+            store.save("keep", &sample()).unwrap();
+        }
+        // Simulate a crash between table write and manifest update: a table
+        // file lands with no manifest entry.
+        fs::write(dir.join("t000007.col"), serialize_table(&sample())).unwrap();
+        // And an interrupted atomic write leaves a temp file.
+        fs::write(dir.join("t000008.col.tmp"), b"partial").unwrap();
+        let mut store = TableStore::open(&dir).unwrap();
+        assert_eq!(store.orphans(), ["t000007.col"]);
+        assert!(!dir.join("t000008.col.tmp").exists(), "stale tmp cleaned");
+        // New saves must not reuse the orphan's file name.
+        store.save("new", &sample()).unwrap();
+        assert_eq!(store.load("new").unwrap(), sample());
+        assert!(dir.join("t000007.col").exists());
+        let report = store.verify_all();
+        assert_eq!(report.orphans, ["t000007.col"]);
+        assert_eq!(report.ok.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_all_flags_corrupt_and_missing() {
+        let dir = std::env::temp_dir().join(format!("s2ct-verify-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        store.save("good", &sample()).unwrap();
+        store.save("bad", &sample()).unwrap();
+        store.save("gone", &sample()).unwrap();
+        // Corrupt "bad" in place, delete "gone"'s file.
+        let bad_file = store.manifest.get("bad").unwrap().clone();
+        let mut data = fs::read(dir.join(&bad_file)).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x10;
+        fs::write(dir.join(&bad_file), &data).unwrap();
+        let gone_file = store.manifest.get("gone").unwrap().clone();
+        fs::remove_file(dir.join(&gone_file)).unwrap();
+
+        let report = store.verify_all();
+        assert_eq!(report.ok, ["good"]);
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].0, "bad");
+        assert!(report.corrupt[0].1.contains("checksum"), "{}", report.corrupt[0].1);
+        assert_eq!(report.missing, ["gone"]);
+        assert!(!report.is_clean());
+        assert!(matches!(
+            store.load("bad"),
+            Err(ColumnarError::ChecksumMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_injector_write_errors_surface() {
+        let dir = std::env::temp_dir().join(format!("s2ct-fault-w-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        let inj = Arc::new(FaultInjector::new(FaultConfig {
+            seed: 3,
+            write_error: 1.0,
+            ..FaultConfig::default()
+        }));
+        store.set_fault_injector(Some(inj.clone()));
+        assert!(store.save("t", &sample()).is_err());
+        assert_eq!(inj.stats().write_errors, 1);
+        // The failed save must not have registered the table.
+        store.set_fault_injector(None);
+        assert!(!store.contains("t"));
+        assert!(store.verify_all().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_injector_bit_flips_caught_by_checksum() {
+        let dir = std::env::temp_dir().join(format!("s2ct-fault-r-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        store.save("t", &sample()).unwrap();
+        let inj = Arc::new(FaultInjector::new(FaultConfig {
+            seed: 11,
+            bit_flip: 1.0,
+            ..FaultConfig::default()
+        }));
+        store.set_fault_injector(Some(inj.clone()));
+        let err = store.load("t").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ColumnarError::ChecksumMismatch { .. } | ColumnarError::CorruptFile(_)
+            ),
+            "bit flip must not decode silently: {err:?}"
+        );
+        assert_eq!(inj.stats().bit_flips, 1);
+        // Detaching the injector restores clean reads: the disk was fine.
+        store.set_fault_injector(None);
+        assert_eq!(store.load("t").unwrap(), sample());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -12,8 +12,10 @@
 //! by OPTIONAL's left outer join).
 
 pub mod bitmap;
+pub mod crc32;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod io;
 pub mod ops;
 pub mod schema;
@@ -21,6 +23,7 @@ pub mod table;
 
 pub use bitmap::Bitmap;
 pub use error::ColumnarError;
-pub use io::TableStore;
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
+pub use io::{TableStore, VerifyReport};
 pub use schema::{ColName, Schema};
 pub use table::{Table, NULL_ID};

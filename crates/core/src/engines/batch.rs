@@ -194,7 +194,7 @@ impl BgpEvaluator for BatchEngine {
                     None => scanned,
                     Some(prev) => {
                         let joined = natural_join(&prev, &scanned);
-                        ctx.note_join(prev.num_rows(), scanned.num_rows(), joined.num_rows());
+                        ctx.note_join(prev.num_rows(), scanned.num_rows(), joined.num_rows())?;
                         joined
                     }
                 });

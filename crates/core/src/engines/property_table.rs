@@ -290,7 +290,7 @@ impl BgpEvaluator for PropertyTableEngine {
                 });
             let part = remaining.swap_remove(next);
             let joined = natural_join_auto(&result, &part);
-            ctx.note_join(result.num_rows(), part.num_rows(), joined.num_rows());
+            ctx.note_join(result.num_rows(), part.num_rows(), joined.num_rows())?;
             result = joined;
         }
         Ok(result)

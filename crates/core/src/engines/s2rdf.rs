@@ -3,13 +3,16 @@
 use rustc_hash::FxHashSet;
 use s2rdf_columnar::exec::natural_join_auto;
 use s2rdf_columnar::Table;
-use s2rdf_model::Dictionary;
+use s2rdf_model::{Dictionary, TermId};
 use s2rdf_sparql::TriplePattern;
 
+use crate::catalog::ExtVpKey;
 use crate::compiler::bgp::{compile_bgp, CompileOptions};
 use crate::compiler::{TableSource, TpPlan};
 use crate::error::CoreError;
-use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, StepExplain};
+use crate::exec::{
+    BgpEvaluator, DegradedStep, ExecContext, Explain, QueryOptions, Solutions, StepExplain,
+};
 use crate::layout::{extvp_table_name, vp_table_name, TT_NAME};
 use crate::store::S2rdfStore;
 
@@ -39,33 +42,59 @@ impl<'a> S2rdfEngine<'a> {
 
     fn exec_step(&self, step: &TpPlan, ctx: &mut ExecContext<'_>) -> Result<Table, CoreError> {
         let dict = self.store.dict();
-        let out = match step.source {
-            TableSource::TriplesTable => scan_pattern(
-                self.store.triples_table(),
-                &[(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)],
-                dict,
-            ),
+        let (out, name, sf) = match step.source {
+            TableSource::TriplesTable => {
+                let out = scan_pattern(
+                    self.store.triples_table(),
+                    &[(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)],
+                    dict,
+                );
+                (out, TT_NAME.to_string(), step.sf)
+            }
             TableSource::Vp(p) => {
                 let table =
                     self.store.vp_table(p).expect("compiler selected an existing VP table");
                 let table = self.apply_intersection(table, step, ctx);
-                scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict)
+                let out = scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
+                (out, vp_table_name(dict, p), step.sf)
             }
             TableSource::ExtVp(key) => {
-                let table = self
-                    .store
-                    .extvp_table(&key)
-                    .expect("compiler selected a materialized ExtVP table");
-                let table = self.apply_intersection(table, step, ctx);
-                scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict)
+                let planned = extvp_table_name(dict, &key);
+                match self.load_extvp_with_retry(&key, &planned, ctx) {
+                    Ok(table) => {
+                        let table = self.apply_intersection(table, step, ctx);
+                        let out =
+                            scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
+                        (out, planned, step.sf)
+                    }
+                    Err((attempts, reason)) => {
+                        // Degraded execution: every ExtVP partition is a
+                        // subset of its VP table that contains all rows
+                        // which can survive the join, so scanning the VP
+                        // table instead changes cost, never results (the
+                        // shared-memory analogue of Spark recomputing a
+                        // lost partition from lineage).
+                        let p1 = TermId(key.p1);
+                        let fallback = vp_table_name(dict, p1);
+                        let table = self.store.vp_table(p1).ok_or_else(|| {
+                            CoreError::Catalog(format!(
+                                "VP table {fallback} missing; cannot degrade {planned}"
+                            ))
+                        })?;
+                        ctx.explain.degraded_steps.push(DegradedStep {
+                            planned,
+                            fallback: fallback.clone(),
+                            reason,
+                            attempts,
+                        });
+                        let table = self.apply_intersection(table, step, ctx);
+                        let out =
+                            scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
+                        (out, format!("{fallback} (degraded)"), 1.0)
+                    }
+                }
             }
             TableSource::Empty => unreachable!("empty plans short-circuit earlier"),
-        };
-        let name = match step.source {
-            TableSource::TriplesTable => TT_NAME.to_string(),
-            TableSource::Vp(p) => vp_table_name(dict, p),
-            TableSource::ExtVp(key) => extvp_table_name(dict, &key),
-            TableSource::Empty => unreachable!(),
         };
         let intersected = ctx.options.intersect_correlations && !step.extra_reducers.is_empty();
         ctx.explain.bgp_steps.push(StepExplain {
@@ -75,9 +104,53 @@ impl<'a> S2rdfEngine<'a> {
                 name
             },
             rows: out.num_rows(),
-            sf: step.sf,
+            sf,
         });
         Ok(out)
+    }
+
+    /// Loads an ExtVP partition with bounded retries
+    /// ([`QueryOptions::max_retries`], exponential backoff from
+    /// [`QueryOptions::retry_backoff_ms`]). Transient failures are recorded
+    /// in [`Explain::recovered_errors`]; on exhaustion (or a non-retryable
+    /// miss, e.g. a quarantined partition) returns `Err((attempts,
+    /// reason))` so the caller can degrade to the VP table.
+    fn load_extvp_with_retry(
+        &self,
+        key: &ExtVpKey,
+        planned: &str,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<std::sync::Arc<Table>, (u32, String)> {
+        let max_attempts = ctx.options.max_retries.saturating_add(1);
+        let mut backoff_ms = ctx.options.retry_backoff_ms;
+        for attempt in 1..=max_attempts {
+            match self.store.try_extvp_table(key) {
+                Ok(Some(table)) => {
+                    if attempt > 1 {
+                        ctx.explain.recovered_errors.push(format!(
+                            "{planned}: recovered on attempt {attempt}"
+                        ));
+                    }
+                    return Ok(table);
+                }
+                Ok(None) => {
+                    return Err((
+                        attempt,
+                        "partition not materialized or quarantined".to_string(),
+                    ))
+                }
+                Err(e) => {
+                    ctx.explain
+                        .recovered_errors
+                        .push(format!("{planned}: attempt {attempt} failed: {e}"));
+                    if attempt < max_attempts && backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                        backoff_ms = backoff_ms.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        Err((max_attempts, format!("all {max_attempts} load attempts failed")))
     }
 
     /// The §8 future-work "unification" optimization: every materialized
@@ -150,7 +223,12 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                 None => scanned,
                 Some(acc) => {
                     let joined = natural_join_auto(&acc, &scanned);
-                    ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows());
+                    ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows())?;
+                    // Re-check after the join as well: a single large join can
+                    // dominate the step time, and checking only at step entry
+                    // would let the engine overrun the deadline by one full
+                    // join before noticing.
+                    ctx.check_deadline()?;
                     joined
                 }
             });
@@ -307,6 +385,51 @@ mod tests {
             inter.1.bgp_steps
         );
         assert!(rows(&inter.1) < rows(&plain.1));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_timeout() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        for use_extvp in [true, false] {
+            let err = store
+                .engine(use_extvp)
+                .query_opt(
+                    Q1,
+                    &QueryOptions {
+                        deadline: Some(std::time::Instant::now()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap_err();
+            assert!(matches!(err, CoreError::Timeout), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn intermediate_row_budget_aborts_with_resource_exhausted() {
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        // Q1 on G1 needs at least one non-empty intermediate join, so a
+        // zero-row budget must trip on the VP engine.
+        let err = store
+            .engine(false)
+            .query_opt(
+                Q1,
+                &QueryOptions { max_intermediate_rows: Some(0), ..Default::default() },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ResourceExhausted(_)), "got {err:?}");
+        // A generous budget changes nothing.
+        let (s, _) = store
+            .engine(false)
+            .query_opt(
+                Q1,
+                &QueryOptions {
+                    max_intermediate_rows: Some(1_000_000),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

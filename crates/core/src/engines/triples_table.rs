@@ -81,7 +81,7 @@ impl BgpEvaluator for TriplesTableEngine {
                 None => scanned,
                 Some(acc) => {
                     let joined = natural_join_auto(&acc, &scanned);
-                    ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows());
+                    ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows())?;
                     joined
                 }
             });

@@ -20,6 +20,11 @@ pub enum CoreError {
     /// The query exceeded its deadline (used by the benchmark harness for
     /// engines that cannot finish, mirroring the paper's "F" entries).
     Timeout,
+    /// The query exceeded a configured resource bound
+    /// ([`crate::exec::QueryOptions::max_intermediate_rows`]) and was
+    /// aborted before exhausting memory — the shared-memory analogue of a
+    /// Spark job killed by the cluster manager.
+    ResourceExhausted(String),
     /// Catalog (statistics) persistence failure.
     Catalog(String),
 }
@@ -32,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::Columnar(e) => write!(f, "{e}"),
             CoreError::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
             CoreError::Timeout => write!(f, "query timed out"),
+            CoreError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
             CoreError::Catalog(m) => write!(f, "catalog error: {m}"),
         }
     }

@@ -37,6 +37,18 @@ pub struct QueryOptions {
     /// the chosen table (the paper proposes precomputing the unification;
     /// the input reduction achieved is the same).
     pub intersect_correlations: bool,
+    /// Number of retries after a failed ExtVP partition load before the
+    /// engine degrades to the VP table (Spark's `spark.task.maxFailures`
+    /// analogue; retries use bounded exponential backoff starting at
+    /// [`QueryOptions::retry_backoff_ms`]).
+    pub max_retries: u32,
+    /// Initial backoff between partition-load retries, in milliseconds
+    /// (doubled per attempt). `0` retries immediately.
+    pub retry_backoff_ms: u64,
+    /// Abort with [`CoreError::ResourceExhausted`] if any intermediate join
+    /// result exceeds this many rows — a guard against runaway queries on a
+    /// shared store, akin to a cluster manager killing an over-budget job.
+    pub max_intermediate_rows: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -45,6 +57,9 @@ impl Default for QueryOptions {
             deadline: None,
             optimize_join_order: true,
             intersect_correlations: false,
+            max_retries: 2,
+            retry_backoff_ms: 0,
+            max_intermediate_rows: None,
         }
     }
 }
@@ -60,6 +75,24 @@ pub struct StepExplain {
     pub sf: f64,
 }
 
+/// Record of one BGP step that executed in degraded mode: the planned ExtVP
+/// partition could not be loaded and the engine fell back to the base VP
+/// table. Because every ExtVP partition is a subset of its VP table
+/// containing all join-surviving rows, the fallback changes cost, never
+/// results — the shared-memory analogue of Spark recomputing a lost
+/// partition from lineage.
+#[derive(Debug, Clone)]
+pub struct DegradedStep {
+    /// The table the compiler selected (e.g. `ExtVP_OS/<follows>|<likes>`).
+    pub planned: String,
+    /// The table actually scanned instead (e.g. `VP/<follows>`).
+    pub fallback: String,
+    /// Why the planned table was unavailable.
+    pub reason: String,
+    /// Load attempts made (1 + retries) before degrading.
+    pub attempts: u32,
+}
+
 /// Execution trace collected alongside a query result.
 #[derive(Debug, Clone, Default)]
 pub struct Explain {
@@ -72,6 +105,20 @@ pub struct Explain {
     pub intermediate_rows: Vec<usize>,
     /// True if statistics alone proved the result empty (§6.1).
     pub statically_empty: bool,
+    /// Steps that fell back from a planned ExtVP partition to its VP table.
+    /// Empty on a healthy store.
+    pub degraded_steps: Vec<DegradedStep>,
+    /// Transient partition-load errors that a retry or fallback absorbed;
+    /// the query still produced exact results despite them.
+    pub recovered_errors: Vec<String>,
+}
+
+impl Explain {
+    /// True if every step ran on the planned table with no recovered
+    /// faults.
+    pub fn fully_healthy(&self) -> bool {
+        self.degraded_steps.is_empty() && self.recovered_errors.is_empty()
+    }
 }
 
 /// Shared evaluation state threaded through pattern evaluation.
@@ -100,10 +147,26 @@ impl<'a> ExecContext<'a> {
         Ok(())
     }
 
-    /// Records a pairwise join for the comparison counter.
-    pub fn note_join(&mut self, left_rows: usize, right_rows: usize, out_rows: usize) {
+    /// Records a pairwise join for the comparison counter and enforces the
+    /// intermediate-result budget: returns
+    /// [`CoreError::ResourceExhausted`] if `out_rows` exceeds
+    /// [`QueryOptions::max_intermediate_rows`].
+    pub fn note_join(
+        &mut self,
+        left_rows: usize,
+        right_rows: usize,
+        out_rows: usize,
+    ) -> Result<(), CoreError> {
         self.explain.naive_join_comparisons += left_rows as u64 * right_rows as u64;
         self.explain.intermediate_rows.push(out_rows);
+        if let Some(limit) = self.options.max_intermediate_rows {
+            if out_rows > limit {
+                return Err(CoreError::ResourceExhausted(format!(
+                    "intermediate join result of {out_rows} rows exceeds limit {limit}"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -62,7 +62,7 @@ pub fn eval_pattern(
             } else {
                 natural_join_auto(&left, &right)
             };
-            ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows());
+            ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
             Ok(out)
         }
         GraphPattern::LeftJoin(l, r) => {
@@ -70,7 +70,7 @@ pub fn eval_pattern(
             let right = eval_pattern(ev, r, ctx)?;
             ctx.check_deadline()?;
             let out = ops::left_outer_join(&left, &right);
-            ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows());
+            ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
             Ok(out)
         }
         GraphPattern::Union(l, r) => {

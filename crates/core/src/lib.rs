@@ -51,5 +51,5 @@ pub mod store;
 pub use catalog::{Catalog, Correlation, ExtVpStat};
 pub use layout::extvp::ExtVpMode;
 pub use error::CoreError;
-pub use exec::{Explain, Solutions};
-pub use store::{BuildOptions, S2rdfStore};
+pub use exec::{DegradedStep, Explain, Solutions};
+pub use store::{BuildOptions, RepairReport, S2rdfStore};

@@ -6,9 +6,9 @@ use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
-use s2rdf_columnar::{Bitmap, Table, TableStore};
+use s2rdf_columnar::{Bitmap, FaultInjector, Table, TableStore};
 use s2rdf_model::{Dictionary, Graph, Term, TermId};
 
 use crate::catalog::{Catalog, Correlation, ExtVpKey};
@@ -63,6 +63,14 @@ pub struct S2rdfStore {
     /// Cache for lazily computed partitions (the "pay as you go" mode).
     lazy_cache: RwLock<FxHashMap<ExtVpKey, Arc<Table>>>,
     catalog: Catalog,
+    /// ExtVP partitions whose persisted form failed to load (checksum
+    /// mismatch, corrupt file, I/O error). Queries transparently fall back
+    /// to the VP tables for these; [`S2rdfStore::verify_and_repair`]
+    /// rebuilds them.
+    quarantine: FxHashSet<ExtVpKey>,
+    /// Optional deterministic fault injection on the partition access path
+    /// (see [`s2rdf_columnar::fault`]).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl S2rdfStore {
@@ -98,6 +106,8 @@ impl S2rdfStore {
             extvp,
             lazy_cache: RwLock::new(FxHashMap::default()),
             catalog,
+            quarantine: FxHashSet::default(),
+            faults: None,
         }
     }
 
@@ -130,11 +140,36 @@ impl S2rdfStore {
         self.vp.get(&p).cloned()
     }
 
+    /// Attaches (or detaches) a deterministic fault injector on the ExtVP
+    /// partition access path, for resilience testing.
+    pub fn set_fault_injector(&mut self, faults: Option<Arc<FaultInjector>>) {
+        self.faults = faults;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// ExtVP partitions quarantined at load time because their persisted
+    /// form was corrupt, sorted for stable output.
+    pub fn quarantined(&self) -> Vec<ExtVpKey> {
+        let mut keys: Vec<ExtVpKey> = self.quarantine.iter().copied().collect();
+        keys.sort();
+        keys
+    }
+
     /// Resolves an ExtVP partition to a queryable table, whatever the
     /// storage mode: materialized tables are shared, bitmaps are gathered
     /// on access, and lazy partitions are computed by semi-join on first
     /// use and cached (paper §7's "pay as you go" deployment).
+    ///
+    /// Returns `None` for quarantined partitions (corrupt at load time);
+    /// callers fall back to the VP table, which is always a superset.
     pub fn extvp_table(&self, key: &ExtVpKey) -> Option<Arc<Table>> {
+        if self.quarantine.contains(key) {
+            return None;
+        }
         match &self.extvp {
             ExtVpStorage::None => None,
             ExtVpStorage::Rows(tables) => tables.get(key).cloned(),
@@ -159,6 +194,22 @@ impl S2rdfStore {
                 Some(computed)
             }
         }
+    }
+
+    /// Fallible variant of [`S2rdfStore::extvp_table`] exercised by the
+    /// query engine: an attached fault injector can fail the access
+    /// (modelling a lost partition read), which the engine retries with
+    /// backoff before degrading to the VP table.
+    ///
+    /// `Ok(None)` is *non-retryable* (the partition is not materialized or
+    /// is quarantined); `Err` is a transient access failure worth retrying.
+    pub fn try_extvp_table(&self, key: &ExtVpKey) -> Result<Option<Arc<Table>>, CoreError> {
+        if let Some(faults) = &self.faults {
+            faults
+                .before_read(&extvp_table_name(&self.dict, key))
+                .map_err(|e| CoreError::Columnar(e.into()))?;
+        }
+        Ok(self.extvp_table(key))
     }
 
     /// Number of materialized (or materializable, for lazy stores) ExtVP
@@ -285,21 +336,24 @@ impl S2rdfStore {
     }
 
     /// Loads a store previously written by [`S2rdfStore::save`].
+    ///
+    /// Corruption of the triples table or a VP table is fatal (they are the
+    /// ground truth), but a corrupt ExtVP partition — a derived semi-join
+    /// reduction — is *quarantined* instead: the store loads, queries over
+    /// the damaged partition transparently degrade to the VP table with
+    /// identical results, and [`S2rdfStore::verify_and_repair`] can rebuild
+    /// the partition from its definition. This mirrors Spark recomputing a
+    /// lost RDD partition from lineage rather than failing the job.
     pub fn load(dir: &Path) -> Result<S2rdfStore, CoreError> {
         let catalog = Catalog::load(&dir.join("catalog.json"))?;
         let mode = ExtVpMode::from_label(&catalog.extvp_mode)
             .ok_or_else(|| CoreError::Catalog(format!("bad mode {}", catalog.extvp_mode)))?;
-        let file = std::fs::File::open(dir.join("dictionary.nt"))
-            .map_err(|e| CoreError::Catalog(e.to_string()))?;
-        let mut dict = Dictionary::new();
-        for line in BufReader::new(file).lines() {
-            let line = line.map_err(|e| CoreError::Catalog(e.to_string()))?;
-            dict.intern(&Term::parse_ntriples(&line)?);
-        }
+        let dict = load_dictionary(dir)?;
         let tables = TableStore::open(dir.join("tables"))?;
         let tt = tables.load(TT_NAME)?;
         let mut vp = FxHashMap::default();
         let mut extvp_rows = FxHashMap::default();
+        let mut quarantine = FxHashSet::default();
         for name in tables.names() {
             if let Some(term_text) = name.strip_prefix("VP/") {
                 let term = Term::parse_ntriples(term_text)?;
@@ -309,7 +363,14 @@ impl S2rdfStore {
                 vp.insert(p, Arc::new(tables.load(&name)?));
             } else if name.starts_with("ExtVP_") {
                 let key = parse_extvp_name(&name, &dict)?;
-                extvp_rows.insert(key, Arc::new(tables.load(&name)?));
+                match tables.load(&name) {
+                    Ok(table) => {
+                        extvp_rows.insert(key, Arc::new(table));
+                    }
+                    Err(_) => {
+                        quarantine.insert(key);
+                    }
+                }
             }
         }
         let extvp = if !catalog.extvp_built {
@@ -328,9 +389,17 @@ impl S2rdfStore {
                             CoreError::Catalog("bad bitmap manifest".to_string())
                         })?;
                         let key = parse_extvp_name(name, &dict)?;
-                        let data = std::fs::read(bm_dir.join(file))
-                            .map_err(|e| CoreError::Catalog(e.to_string()))?;
-                        bits.insert(key, Bitmap::from_bytes(&data)?);
+                        match std::fs::read(bm_dir.join(file))
+                            .map_err(|e| CoreError::Catalog(e.to_string()))
+                            .and_then(|data| Bitmap::from_bytes(&data).map_err(CoreError::from))
+                        {
+                            Ok(bitmap) => {
+                                bits.insert(key, bitmap);
+                            }
+                            Err(_) => {
+                                quarantine.insert(key);
+                            }
+                        }
                     }
                     ExtVpStorage::Bits(bits)
                 }
@@ -343,6 +412,8 @@ impl S2rdfStore {
             extvp,
             lazy_cache: RwLock::new(FxHashMap::default()),
             catalog,
+            quarantine,
+            faults: None,
         })
     }
 
@@ -376,6 +447,101 @@ impl S2rdfStore {
         }
         Ok((tt, vp, extvp))
     }
+
+    /// Scans a saved store for corrupt, missing or orphaned table files and
+    /// repairs what is derivable: ExtVP partitions are semi-join reductions
+    /// of the VP tables (paper §5.2), so a damaged partition is rebuilt
+    /// from its definition and atomically rewritten — the offline analogue
+    /// of Spark's lineage recovery. Orphaned files from interrupted saves
+    /// are deleted. Damage to the triples table or a VP table (the ground
+    /// truth) is reported as unrecoverable.
+    pub fn verify_and_repair(dir: &Path) -> Result<RepairReport, CoreError> {
+        let dict = load_dictionary(dir)?;
+        let mut tables = TableStore::open(dir.join("tables"))?;
+        let scan = tables.verify_all();
+        let mut report = RepairReport {
+            scanned: scan.ok.len() + scan.corrupt.len() + scan.missing.len(),
+            ..RepairReport::default()
+        };
+
+        // Base VP tables, for rebuilding reductions. Corrupt VP tables are
+        // themselves in the damage list and unrecoverable.
+        let mut vp: FxHashMap<TermId, Arc<Table>> = FxHashMap::default();
+        for name in &scan.ok {
+            if let Some(term_text) = name.strip_prefix("VP/") {
+                let term = Term::parse_ntriples(term_text)?;
+                let p = dict
+                    .id(&term)
+                    .ok_or_else(|| CoreError::Catalog(format!("unknown predicate {term}")))?;
+                vp.insert(p, Arc::new(tables.load(name)?));
+            }
+        }
+
+        let damaged = scan
+            .corrupt
+            .iter()
+            .cloned()
+            .chain(scan.missing.iter().map(|n| (n.clone(), "file missing".to_string())));
+        for (name, why) in damaged {
+            if !name.starts_with("ExtVP_") {
+                report.unrecoverable.push((name, why));
+                continue;
+            }
+            let rebuilt = parse_extvp_name(&name, &dict)
+                .ok()
+                .and_then(|key| compute_partition(&vp, &key));
+            match rebuilt {
+                Some(table) => {
+                    tables.save(&name, &table)?;
+                    report.repaired.push(name);
+                }
+                None => report
+                    .unrecoverable
+                    .push((name, format!("{why}; base VP tables unavailable for rebuild"))),
+            }
+        }
+
+        for orphan in &scan.orphans {
+            std::fs::remove_file(tables.root().join(orphan))
+                .map_err(|e| CoreError::Catalog(e.to_string()))?;
+            report.removed_orphans.push(orphan.clone());
+        }
+
+        // Re-open (clears the orphan list) and re-verify to confirm.
+        let tables = TableStore::open(dir.join("tables"))?;
+        report.clean_after = tables.verify_all().is_clean() && report.unrecoverable.is_empty();
+        Ok(report)
+    }
+}
+
+/// Outcome of [`S2rdfStore::verify_and_repair`].
+#[derive(Debug, Clone, Default)]
+pub struct RepairReport {
+    /// Manifest entries examined.
+    pub scanned: usize,
+    /// ExtVP partitions rebuilt from their VP base tables.
+    pub repaired: Vec<String>,
+    /// Damaged tables that could not be rebuilt (triples table, VP tables,
+    /// or reductions whose base tables are themselves damaged), with the
+    /// reason.
+    pub unrecoverable: Vec<(String, String)>,
+    /// Orphaned table files deleted.
+    pub removed_orphans: Vec<String>,
+    /// True if a final verification pass found the store fully clean.
+    pub clean_after: bool,
+}
+
+/// Reads the dictionary file of a saved store (one N-Triples term per line,
+/// id = line number).
+fn load_dictionary(dir: &Path) -> Result<Dictionary, CoreError> {
+    let file = std::fs::File::open(dir.join("dictionary.nt"))
+        .map_err(|e| CoreError::Catalog(e.to_string()))?;
+    let mut dict = Dictionary::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| CoreError::Catalog(e.to_string()))?;
+        dict.intern(&Term::parse_ntriples(&line)?);
+    }
+    Ok(dict)
 }
 
 /// Parses `ExtVP_<corr>/<p1>|<p2>` names back into keys. Predicates are
