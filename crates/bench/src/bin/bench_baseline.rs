@@ -1,0 +1,166 @@
+//! Writes `BENCH_pr2.json` — the operator-level benchmark baseline that the
+//! perf trajectory is measured against.
+//!
+//! Usage: `bench_baseline [--scale 1] [--instances 2] [--out BENCH_pr2.json]`
+//!
+//! The artifact records, for a fixed-seed WatDiv Basic Testing workload on
+//! the S2RDF (ExtVP) engine:
+//!
+//! * per-query wall time, result cardinality, join-comparison count and
+//!   per-step scan breakdown (table, rows, SF, wall µs, selection
+//!   rationale),
+//! * the global operator-metrics registry after the workload (join/scan
+//!   row counters, I/O bytes, latency histograms),
+//! * a join micro-benchmark run twice — metrics disabled and enabled — so
+//!   the overhead of the observability layer itself is part of the record.
+//!
+//! Everything is deterministic except wall times; comparisons across PRs
+//! should look at row/byte counters first and at times only directionally.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use s2rdf_bench::{dataset, Args};
+use s2rdf_columnar::exec::natural_join_auto;
+use s2rdf_columnar::{metrics, Schema, Table};
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::exec::QueryOptions;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let scale: u32 = args.get("scale", 1);
+    let instances: usize = args.get("instances", 2);
+    let out_path: String = args.get("out", "BENCH_pr2.json".to_string());
+
+    eprintln!("generating SF{scale} and building the S2RDF store…");
+    let data = dataset(scale);
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let build_start = Instant::now();
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let engine = store.engine(true);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut query_entries: Vec<String> = Vec::new();
+    for template in &Workload::basic_testing().templates {
+        for instance in 0..instances {
+            let q = template.instantiate(&data, &mut rng);
+            // Untimed warm-up absorbs first-touch allocator noise.
+            let _ = engine.query_opt(&q, &QueryOptions::default());
+            let options = QueryOptions { profile: true, ..Default::default() };
+            let start = Instant::now();
+            let entry = match engine.query_opt(&q, &options) {
+                Ok((solutions, explain)) => {
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let mut steps = String::new();
+                    for (i, s) in explain.bgp_steps.iter().enumerate() {
+                        if i > 0 {
+                            steps.push_str(", ");
+                        }
+                        let _ = write!(
+                            steps,
+                            "{{\"table\": \"{}\", \"rows\": {}, \"sf\": {:.4}, \
+                             \"wall_micros\": {}, \"rationale\": \"{}\"}}",
+                            metrics::json_escape(&s.table),
+                            s.rows,
+                            s.sf,
+                            s.wall_micros,
+                            metrics::json_escape(&s.rationale)
+                        );
+                    }
+                    format!(
+                        "{{\"query\": \"{}\", \"instance\": {instance}, \
+                         \"wall_ms\": {wall_ms:.3}, \"rows\": {}, \
+                         \"join_comparisons\": {}, \"steps\": [{steps}]}}",
+                        template.name,
+                        solutions.len(),
+                        explain.naive_join_comparisons
+                    )
+                }
+                Err(e) => format!(
+                    "{{\"query\": \"{}\", \"instance\": {instance}, \
+                     \"error\": \"{}\"}}",
+                    template.name,
+                    metrics::json_escape(&e.to_string())
+                ),
+            };
+            query_entries.push(entry);
+        }
+    }
+    let registry = metrics::snapshot().to_json();
+
+    // Join micro-benchmark: the same hash join with the metrics gate off
+    // and on. The disabled run is the number the <5%-overhead acceptance
+    // bar applies to; the ratio documents the cost of enabling.
+    let disabled_ms = join_microbench(false);
+    let enabled_ms = join_microbench(true);
+    let overhead_pct = (enabled_ms / disabled_ms - 1.0) * 100.0;
+    eprintln!(
+        "join microbench: disabled {disabled_ms:.2} ms, enabled {enabled_ms:.2} ms \
+         ({overhead_pct:+.1}% with metrics on)"
+    );
+
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr2\",");
+    let _ = writeln!(doc, "  \"workload\": \"watdiv-basic-testing\",");
+    let _ = writeln!(doc, "  \"scale\": {scale},");
+    let _ = writeln!(doc, "  \"instances\": {instances},");
+    let _ = writeln!(doc, "  \"engine\": \"{}\",", metrics::json_escape(&engine.name()));
+    let _ = writeln!(doc, "  \"triples\": {},", data.graph.len());
+    let _ = writeln!(doc, "  \"store_build_ms\": {build_ms:.1},");
+    let _ = writeln!(doc, "  \"extvp_partitions\": {},", store.num_extvp_tables());
+    let _ = writeln!(
+        doc,
+        "  \"join_microbench\": {{\"metrics_disabled_ms\": {disabled_ms:.3}, \
+         \"metrics_enabled_ms\": {enabled_ms:.3}, \"overhead_pct\": {overhead_pct:.2}}},"
+    );
+    let _ = writeln!(doc, "  \"queries\": [");
+    for (i, entry) in query_entries.iter().enumerate() {
+        let comma = if i + 1 < query_entries.len() { "," } else { "" };
+        let _ = writeln!(doc, "    {entry}{comma}");
+    }
+    let _ = writeln!(doc, "  ],");
+    let _ = writeln!(doc, "  \"operator_metrics\": {registry}");
+    doc.push_str("}\n");
+
+    std::fs::write(&out_path, doc).expect("write baseline artifact");
+    eprintln!("wrote {out_path}");
+}
+
+/// Times a fixed synthetic hash join (1 iteration warm-up + 5 timed) with
+/// the metrics gate set as given; returns the mean per-join milliseconds.
+fn join_microbench(enable_metrics: bool) -> f64 {
+    const ROWS: u32 = 200_000;
+    let left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
+    );
+    let right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..ROWS).map(|x| x / 2).collect(), (0..ROWS).collect()],
+    );
+    metrics::set_enabled(enable_metrics);
+    let mut total = 0.0;
+    let mut rows = 0usize;
+    for i in 0..6 {
+        let start = Instant::now();
+        let joined = natural_join_auto(&left, &right);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        rows = joined.num_rows();
+        if i > 0 {
+            total += elapsed;
+        }
+    }
+    metrics::set_enabled(true);
+    // Keys 0..ROWS/2 appear twice on the right, once on the left.
+    assert_eq!(rows, ROWS as usize);
+    total / 5.0
+}

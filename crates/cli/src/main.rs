@@ -4,9 +4,9 @@
 //! s2rdf generate --scale 1 [--seed 42] --out data.nt
 //! s2rdf load     --data data.nt --store ./db [--threshold 1.0]
 //!                [--mode rows|bits|lazy] [--no-extvp] [--oo]
-//! s2rdf stats    --store ./db
+//! s2rdf stats    --store ./db [--json]
 //! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
-//!                [--explain] [--no-extvp]
+//!                [--explain] [--profile] [--no-extvp]
 //! s2rdf verify   --store ./db [--repair]
 //! ```
 
@@ -29,9 +29,10 @@ const USAGE: &str = "usage:
   s2rdf generate --scale <N> [--seed <S>] --out <file.nt>
   s2rdf load     --data <file.nt> --store <dir> [--threshold <0..1>]
                  [--mode rows|bits|lazy] [--no-extvp] [--oo]
-  s2rdf stats    --store <dir>
+  s2rdf stats    --store <dir> [--json]
   s2rdf query    --store <dir> (--query <sparql> | --file <q.rq>)
-                 [--explain] [--no-extvp] [--intersect] [--max-print <N>]
+                 [--explain] [--profile] [--no-extvp] [--intersect]
+                 [--max-print <N>]
   s2rdf verify   --store <dir> [--repair]";
 
 fn main() -> ExitCode {
@@ -112,8 +113,39 @@ fn cmd_load(args: &Args) -> Result<(), String> {
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let store_dir = args.value("store")?;
+    // With --json, operator metrics are recorded while loading the store so
+    // the dump includes the I/O counters (tables read, bytes, checksum
+    // verifies) of the load itself.
+    if args.flag("json") {
+        s2rdf_columnar::metrics::set_enabled(true);
+        s2rdf_columnar::metrics::reset();
+    }
     let store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
     let catalog = store.catalog();
+    if args.flag("json") {
+        let summary = catalog.extvp_summary();
+        println!("{{");
+        println!(
+            "  \"store\": \"{}\",",
+            s2rdf_columnar::metrics::json_escape(&store_dir)
+        );
+        println!("  \"triples\": {},", catalog.total_triples);
+        println!("  \"predicates\": {},", catalog.num_predicates());
+        println!("  \"extvp_built\": {},", catalog.extvp_built);
+        println!("  \"extvp_mode\": \"{:?}\",", store.mode());
+        println!("  \"oo_built\": {},", catalog.oo_built);
+        println!("  \"threshold\": {},", catalog.threshold);
+        println!("  \"extvp_partitions\": {},", store.num_extvp_tables());
+        println!("  \"extvp_tuples\": {},", store.extvp_tuples());
+        println!("  \"sf_one_tables\": {},", summary.sf_one_tables);
+        println!("  \"over_threshold_tables\": {},", summary.over_threshold_tables);
+        println!(
+            "  \"metrics\": {}",
+            s2rdf_columnar::metrics::snapshot().to_json()
+        );
+        println!("}}");
+        return Ok(());
+    }
     println!("store: {store_dir}");
     println!("  triples (|G|):        {}", catalog.total_triples);
     println!("  predicates:           {}", catalog.num_predicates());
@@ -143,10 +175,17 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         s.parse().map_err(|_| "bad --max-print".to_string())
     })?;
 
+    let profile = args.flag("profile");
+    if profile {
+        // Operator-level counters for the profile report.
+        s2rdf_columnar::metrics::set_enabled(true);
+        s2rdf_columnar::metrics::reset();
+    }
     let store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
     let engine = store.engine(!args.flag("no-extvp"));
     let options = QueryOptions {
         intersect_correlations: args.flag("intersect"),
+        profile,
         ..Default::default()
     };
     let start = Instant::now();
@@ -155,12 +194,31 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
 
-    if args.flag("explain") {
+    if profile {
+        if let Some(trace) = &explain.trace {
+            println!("-- operator span tree:");
+            print!("{}", trace.render());
+        }
+        let snap = s2rdf_columnar::metrics::snapshot();
+        println!("-- operator metrics:");
+        println!("{}", snap.to_json());
+    }
+    if args.flag("explain") || profile {
         if explain.statically_empty {
             println!("-- proven empty from ExtVP statistics; nothing executed");
         }
         for step in &explain.bgp_steps {
-            println!("-- scan {} → {} rows (SF {:.2})", step.table, step.rows, step.sf);
+            if step.rationale.is_empty() {
+                println!(
+                    "-- scan {} → {} rows (SF {:.2})",
+                    step.table, step.rows, step.sf
+                );
+            } else {
+                println!(
+                    "-- scan {} → {} rows (SF {:.2}, {} µs) [{}]",
+                    step.table, step.rows, step.sf, step.wall_micros, step.rationale
+                );
+            }
         }
         println!(
             "-- naive join comparisons: {}",

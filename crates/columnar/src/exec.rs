@@ -10,9 +10,11 @@
 
 use std::cmp::Ordering;
 
+use crate::metrics::SpanTimer;
 use crate::ops;
 use crate::schema::Schema;
 use crate::table::Table;
+use crate::{metric_counter, metric_gauge, metric_histogram};
 
 /// Probe-side row count below which partitioning is not worth the copies.
 pub const PARALLEL_ROW_THRESHOLD: usize = 1 << 15;
@@ -44,15 +46,22 @@ fn split(table: &Table, keys: &[usize], parts: usize) -> Vec<Table> {
 }
 
 /// Concatenates tables with identical schemas.
+///
+/// Each input is appended with one bulk `extend_from_slice` per column
+/// (a memcpy), not row-by-row scalar pushes — this sits on the hot path of
+/// every partitioned parallel join, where the old O(rows × cols) scalar
+/// reassembly dominated. The `columnar.concat.bytes_copied` counter records
+/// exactly the payload bytes moved, so regressions are observable.
 pub fn concat(schema: Schema, tables: Vec<Table>) -> Table {
     let mut out = Table::empty(schema);
     out.reserve(tables.iter().map(Table::num_rows).sum());
+    let mut bytes = 0u64;
     for t in tables {
         debug_assert_eq!(t.schema(), out.schema());
-        for row in 0..t.num_rows() {
-            out.push_row_from(&t, row);
-        }
+        bytes += out.extend_from_table(&t) as u64;
     }
+    metric_counter!("columnar.concat.calls").inc();
+    metric_counter!("columnar.concat.bytes_copied").add(bytes);
     out
 }
 
@@ -69,6 +78,7 @@ pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
     if common.is_empty() || parts <= 1 {
         return ops::natural_join(left, right);
     }
+    let _span = SpanTimer::start(metric_histogram!("columnar.par_join.wall_micros"));
     let left_keys: Vec<usize> = common
         .iter()
         .map(|c| left.schema().index_of(c).unwrap())
@@ -80,6 +90,24 @@ pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
 
     let left_parts = split(left, &left_keys, parts);
     let right_parts = split(right, &right_keys, parts);
+
+    // Partition skew: Spark's stage timelines expose stragglers; here the
+    // high-watermark gauge of (largest partition × parts ÷ total rows) in
+    // percent plays that role (100 = perfectly balanced).
+    metric_counter!("columnar.par_join.calls").inc();
+    metric_counter!("columnar.par_join.partitions").add(parts as u64);
+    metric_counter!("columnar.par_join.build_rows").add(left.num_rows().min(right.num_rows()) as u64);
+    metric_counter!("columnar.par_join.probe_rows").add(left.num_rows().max(right.num_rows()) as u64);
+    let probe_total = left.num_rows().max(right.num_rows());
+    let (probe_parts, _) = if left.num_rows() >= right.num_rows() {
+        (&left_parts, &right_parts)
+    } else {
+        (&right_parts, &left_parts)
+    };
+    let largest = probe_parts.iter().map(Table::num_rows).max().unwrap_or(0);
+    if let Some(skew_pct) = (largest * parts * 100).checked_div(probe_total) {
+        metric_gauge!("columnar.par_join.max_skew_pct").set_max(skew_pct as u64);
+    }
 
     let results: Vec<Table> = std::thread::scope(|scope| {
         let handles: Vec<_> = left_parts
@@ -94,7 +122,9 @@ pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
         .first()
         .map(|t| t.schema().clone())
         .expect("at least one partition");
-    concat(schema, results)
+    let out = concat(schema, results);
+    metric_counter!("columnar.par_join.out_rows").add(out.num_rows() as u64);
+    out
 }
 
 /// Chooses between the serial and partitioned join based on input sizes.
@@ -179,6 +209,32 @@ mod tests {
         let schema = a.schema().clone();
         let c = concat(schema, vec![a, b]);
         assert_eq!(c.column(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn concat_copies_each_payload_byte_exactly_once() {
+        use crate::metrics;
+        // Exact-delta assertion on a global counter: serialize against the
+        // other metrics tests and enable recording only inside the lock
+        // (all other tests run with metrics disabled and cannot interfere).
+        let _guard = metrics::test_lock();
+        let a = random_table(&["a", "b", "c"], 500, 64, 7);
+        let b = random_table(&["a", "b", "c"], 300, 64, 8);
+        let schema = a.schema().clone();
+        let expected_rows = a.num_rows() + b.num_rows();
+        let expected_bytes = (a.byte_size() + b.byte_size()) as u64;
+
+        let counter = metrics::counter("columnar.concat.bytes_copied");
+        metrics::set_enabled(true);
+        let before = counter.get();
+        let c = concat(schema, vec![a, b]);
+        let delta = counter.get() - before;
+        metrics::set_enabled(false);
+
+        assert_eq!(c.num_rows(), expected_rows);
+        // One memcpy per column, each payload byte moved exactly once — the
+        // old push_row_from path did rows×cols scalar pushes instead.
+        assert_eq!(delta, expected_bytes);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use rustc_hash::FxHashMap;
 use crate::crc32::crc32;
 use crate::error::ColumnarError;
 use crate::fault::FaultInjector;
+use crate::metric_counter;
 use crate::schema::Schema;
 use crate::table::Table;
 
@@ -224,8 +225,10 @@ pub fn deserialize_table(data: &[u8]) -> Result<Table, ColumnarError> {
             let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
             let actual = crc32(&data[..body_end]);
             if actual != expected {
+                metric_counter!("columnar.io.checksum_failures").inc();
                 return Err(ColumnarError::ChecksumMismatch { expected, actual });
             }
+            metric_counter!("columnar.io.checksum_verifies").inc();
             body_end
         }
         other => {
@@ -467,11 +470,16 @@ impl TableStore {
         };
         let mut data = serialize_table(table);
         if let Some(faults) = &self.faults {
-            faults.before_write(name)?;
+            if let Err(e) = faults.before_write(name) {
+                metric_counter!("columnar.io.fault_write_errors").inc();
+                return Err(e.into());
+            }
             // Media-side corruption: the store writes what it was handed,
             // silently damaged. The checksum footer catches it at read time.
             faults.mutate(&mut data);
         }
+        metric_counter!("columnar.io.tables_written").inc();
+        metric_counter!("columnar.io.bytes_written").add(data.len() as u64);
         self.write_atomic(&file, &data)?;
         self.manifest.insert(name.to_string(), file);
         self.flush_manifest()
@@ -485,13 +493,18 @@ impl TableStore {
             .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
         let mut data = {
             if let Some(faults) = &self.faults {
-                faults.before_read(name)?;
+                if let Err(e) = faults.before_read(name) {
+                    metric_counter!("columnar.io.fault_read_errors").inc();
+                    return Err(e.into());
+                }
             }
             fs::read(self.root.join(file))?
         };
         if let Some(faults) = &self.faults {
             faults.mutate(&mut data);
         }
+        metric_counter!("columnar.io.tables_read").inc();
+        metric_counter!("columnar.io.bytes_read").add(data.len() as u64);
         deserialize_table(&data)
     }
 

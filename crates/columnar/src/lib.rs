@@ -17,6 +17,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod io;
+pub mod metrics;
 pub mod ops;
 pub mod schema;
 pub mod table;
@@ -25,5 +26,6 @@ pub use bitmap::Bitmap;
 pub use error::ColumnarError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use io::{TableStore, VerifyReport};
+pub use metrics::{MetricsSnapshot, SpanTimer};
 pub use schema::{ColName, Schema};
 pub use table::{Table, NULL_ID};

@@ -1,0 +1,590 @@
+//! Zero-dependency observability primitives.
+//!
+//! Spark hands S2RDF per-stage input sizes, shuffle volumes and task times
+//! through its UI and accumulator system; the paper's whole evaluation
+//! (Tables 3–6) is built on those numbers. This module is the shared-memory
+//! port's equivalent: a process-global registry of atomic counters, gauges
+//! and fixed-bucket latency histograms, plus lightweight span timers.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Every mutation first checks one
+//!    relaxed atomic bool; call sites increment once per *operator call*,
+//!    never per row, so the disabled path is a load + branch per operator.
+//! 2. **Zero dependencies.** Hand-rolled JSON, std-only atomics.
+//! 3. **Callsite caching.** The [`metric_counter!`]/[`metric_gauge!`]/
+//!    [`metric_histogram!`] macros stash the `Arc` handle in a per-callsite
+//!    `OnceLock`, so the registry mutex is touched once per site, ever.
+//!
+//! Metrics are *global and cumulative* (like Spark's executor metrics);
+//! per-query breakdowns are the job of the `Trace` span tree in
+//! `s2rdf-core`, which snapshots deltas around operators instead.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enable or disable metric recording. Disabled is the default;
+/// handles stay valid either way, mutations become no-ops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether metric recording is currently on.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` when metrics are enabled.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one when metrics are enabled.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge with a high-watermark variant.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Stores `v` when metrics are enabled.
+    #[inline(always)]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-watermark).
+    #[inline(always)]
+    pub fn set_max(&self, v: u64) {
+        if enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ latency buckets. Bucket `i` holds samples with
+/// `2^(i-1) ≤ µs < 2^i` (bucket 0 is `0 µs`); the last bucket is open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Fixed-bucket (log₂ microsecond) latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a microsecond sample: `0 → 0`, otherwise
+/// `min(bit_length(µs), HISTOGRAM_BUCKETS-1)`.
+#[inline]
+pub fn bucket_of(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        ((64 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample (in microseconds) when metrics are enabled.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0..=1) from the buckets.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper edge of bucket i.
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max_micros()
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.max_micros.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII timer that records its elapsed wall time into a [`Histogram`] on
+/// drop. When metrics are disabled at `start` time it holds nothing and
+/// drop is free.
+#[must_use = "a SpanTimer records on drop; binding it to _ discards the span"]
+pub struct SpanTimer {
+    inner: Option<(Instant, Arc<Histogram>)>,
+}
+
+impl SpanTimer {
+    /// Starts timing into `hist` (no-op handle if metrics are disabled).
+    #[inline]
+    pub fn start(hist: &Arc<Histogram>) -> Self {
+        Self {
+            inner: enabled().then(|| (Instant::now(), Arc::clone(hist))),
+        }
+    }
+
+    /// A timer that records nowhere (for conditional instrumentation).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.inner.take() {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Default)]
+struct Registry {
+    map: Mutex<BTreeMap<String, Metric>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn lock_map() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().map.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Gets or registers the counter named `name`.
+///
+/// Prefer [`metric_counter!`] on hot paths — it caches the handle per
+/// callsite instead of taking the registry lock every call.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut map = lock_map();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => Arc::clone(c),
+        other => panic!("metric {name:?} already registered as {other:?}"),
+    }
+}
+
+/// Gets or registers the gauge named `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut map = lock_map();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+    {
+        Metric::Gauge(g) => Arc::clone(g),
+        other => panic!("metric {name:?} already registered as {other:?}"),
+    }
+}
+
+/// Gets or registers the histogram named `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut map = lock_map();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => Arc::clone(h),
+        other => panic!("metric {name:?} already registered as {other:?}"),
+    }
+}
+
+/// Zeroes every registered metric (handles remain valid).
+pub fn reset() {
+    for metric in lock_map().values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// One registry entry at snapshot time.
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    pub name: String,
+    pub value: SnapshotValue,
+}
+
+/// Point-in-time value of a metric.
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(u64),
+    Histogram {
+        count: u64,
+        sum_micros: u64,
+        max_micros: u64,
+        p50_micros: u64,
+        p95_micros: u64,
+        p99_micros: u64,
+        /// Non-empty log₂ buckets as `(bucket_index, count)`.
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+/// Consistent-enough view of the whole registry (each metric is read
+/// atomically; cross-metric skew is possible, as in Spark's UI).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// Captures every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let entries = lock_map()
+        .iter()
+        .map(|(name, metric)| SnapshotEntry {
+            name: name.clone(),
+            value: match metric {
+                Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                Metric::Histogram(h) => SnapshotValue::Histogram {
+                    count: h.count(),
+                    sum_micros: h.sum_micros(),
+                    max_micros: h.max_micros(),
+                    p50_micros: h.quantile_micros(0.50),
+                    p95_micros: h.quantile_micros(0.95),
+                    p99_micros: h.quantile_micros(0.99),
+                    buckets: h
+                        .bucket_counts()
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(_, n)| n > 0)
+                        .collect(),
+                },
+            },
+        })
+        .collect();
+    MetricsSnapshot { entries }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{}\": ", json_escape(&e.name));
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {v}}}");
+                }
+                SnapshotValue::Histogram {
+                    count,
+                    sum_micros,
+                    max_micros,
+                    p50_micros,
+                    p95_micros,
+                    p99_micros,
+                    buckets,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {count}, \
+                         \"sum_micros\": {sum_micros}, \"max_micros\": {max_micros}, \
+                         \"p50_micros\": {p50_micros}, \"p95_micros\": {p95_micros}, \
+                         \"p99_micros\": {p99_micros}, \"buckets\": {{"
+                    );
+                    for (j, (bucket, n)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "\"{bucket}\": {n}");
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Serializes tests that assert exact metric deltas. Such tests must hold
+/// this lock around `set_enabled(true) … set_enabled(false)` so concurrent
+/// tests (which run with metrics disabled) cannot perturb the counters.
+#[doc(hidden)]
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Counter handle cached per callsite in a `OnceLock`.
+#[macro_export]
+macro_rules! metric_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Gauge handle cached per callsite in a `OnceLock`.
+#[macro_export]
+macro_rules! metric_gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Histogram handle cached per callsite in a `OnceLock`.
+#[macro_export]
+macro_rules! metric_histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_noop() {
+        let _guard = test_lock();
+        set_enabled(false);
+        let c = counter("test.disabled.counter");
+        let before = c.get();
+        c.add(10);
+        assert_eq!(c.get(), before, "disabled counter must not move");
+        let h = histogram("test.disabled.hist");
+        let n = h.count();
+        h.record(123);
+        assert_eq!(h.count(), n);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let c = counter("test.rt.counter");
+        let g = gauge("test.rt.gauge");
+        let h = histogram("test.rt.hist");
+        let c0 = c.get();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), c0 + 4);
+        g.set(7);
+        g.set_max(5);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count() % 3, 0);
+        assert!(h.max_micros() >= 1000);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, upper edge 15
+        }
+        h.record(100_000); // bucket 17
+        assert_eq!(h.quantile_micros(0.5), 15);
+        assert!(h.quantile_micros(1.0) >= 100_000 - 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn span_timer_records() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let h = histogram("test.span.hist");
+        let before = h.count();
+        {
+            let _t = SpanTimer::start(&h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), before + 1);
+        assert!(h.sum_micros() >= 1000);
+        set_enabled(false);
+        let before = h.count();
+        {
+            let _t = SpanTimer::start(&h);
+        }
+        assert_eq!(h.count(), before, "disabled span must not record");
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let _guard = test_lock();
+        set_enabled(true);
+        counter("test.json.counter").add(2);
+        histogram("test.json.hist").record(5);
+        let json = snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"test.json.counter\""));
+        assert!(json.contains("\"type\": \"histogram\""));
+        // Balanced braces (no string values contain braces).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn macros_cache_handles() {
+        let a = metric_counter!("test.macro.counter");
+        let b = metric_counter!("test.macro.counter");
+        assert!(Arc::ptr_eq(a, b) || a.get() == b.get());
+        let h1 = metric_histogram!("test.macro.hist");
+        let h2 = metric_histogram!("test.macro.hist");
+        assert_eq!(h1.count(), h2.count());
+        let g = metric_gauge!("test.macro.gauge");
+        let _ = g.get();
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

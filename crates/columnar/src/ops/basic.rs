@@ -1,6 +1,7 @@
 //! Selections and projections.
 
 use crate::error::ColumnarError;
+use crate::metric_counter;
 use crate::schema::Schema;
 use crate::table::Table;
 
@@ -9,6 +10,9 @@ pub fn filter<F: Fn(&Table, usize) -> bool>(table: &Table, pred: F) -> Table {
     let indices: Vec<usize> = (0..table.num_rows())
         .filter(|&i| pred(table, i))
         .collect();
+    metric_counter!("columnar.filter.calls").inc();
+    metric_counter!("columnar.filter.in_rows").add(table.num_rows() as u64);
+    metric_counter!("columnar.filter.out_rows").add(indices.len() as u64);
     table.gather(&indices)
 }
 
@@ -21,6 +25,9 @@ pub fn select_eq(table: &Table, col: usize, value: u32) -> Table {
         .enumerate()
         .filter_map(|(i, &v)| (v == value).then_some(i))
         .collect();
+    metric_counter!("columnar.select_eq.calls").inc();
+    metric_counter!("columnar.select_eq.in_rows").add(table.num_rows() as u64);
+    metric_counter!("columnar.select_eq.out_rows").add(indices.len() as u64);
     table.gather(&indices)
 }
 
@@ -35,6 +42,8 @@ pub fn project(table: &Table, names: &[&str]) -> Result<Table, ColumnarError> {
 /// `π[s → x, o → y]` used when mapping a triple pattern's columns to its
 /// variable names (paper Alg. 2).
 pub fn project_rename(table: &Table, pairs: &[(&str, &str)]) -> Result<Table, ColumnarError> {
+    metric_counter!("columnar.project.calls").inc();
+    metric_counter!("columnar.project.in_rows").add(table.num_rows() as u64);
     let mut cols = Vec::with_capacity(pairs.len());
     for (src, _) in pairs {
         cols.push(table.column_by_name(src)?.to_vec());

@@ -3,12 +3,18 @@
 //! All joins build a hash table on the smaller input and probe with the
 //! larger one. Join keys of one or two columns are packed into a `u64`
 //! (the overwhelmingly common case in SPARQL BGPs); wider keys fall back to
-//! `Vec<u32>` keys.
+//! `Vec<u32>` keys reusing a single scratch buffer across probe rows.
+//!
+//! Every operator records once-per-call metrics (build/probe/output rows
+//! and wall time) into the global [`crate::metrics`] registry — the
+//! shared-memory analogue of Spark's per-stage shuffle read/write stats.
 
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
+use crate::metrics::SpanTimer;
 use crate::schema::Schema;
 use crate::table::{Table, NULL_ID};
+use crate::{metric_counter, metric_histogram};
 
 /// Hash map from packed key to the row indices holding it.
 enum KeyIndex {
@@ -53,7 +59,18 @@ fn build_index(table: &Table, keys: &[usize]) -> KeyIndex {
 }
 
 impl KeyIndex {
-    fn probe(&self, table: &Table, keys: &[usize], row: usize) -> Option<&[u32]> {
+    /// Looks up the build-side rows matching `row` of `table`.
+    ///
+    /// `scratch` is a caller-owned buffer reused across probe rows so the
+    /// wide-key path performs zero allocations per probe (it previously
+    /// built a fresh `Vec<u32>` per row).
+    fn probe<'a>(
+        &'a self,
+        table: &Table,
+        keys: &[usize],
+        row: usize,
+        scratch: &mut Vec<u32>,
+    ) -> Option<&'a [u32]> {
         match (self, keys) {
             (KeyIndex::Narrow(map), [k]) => {
                 map.get(&(table.value(row, *k) as u64)).map(Vec::as_slice)
@@ -62,10 +79,18 @@ impl KeyIndex {
                 .get(&pack2(table.value(row, *k1), table.value(row, *k2)))
                 .map(Vec::as_slice),
             (KeyIndex::Wide(map), keys) => {
-                let key: Vec<u32> = keys.iter().map(|&k| table.value(row, k)).collect();
-                map.get(&key).map(Vec::as_slice)
+                scratch.clear();
+                scratch.extend(keys.iter().map(|&k| table.value(row, k)));
+                map.get(scratch.as_slice()).map(Vec::as_slice)
             }
             _ => unreachable!("index arity mismatch"),
+        }
+    }
+
+    fn num_keys(&self) -> usize {
+        match self {
+            KeyIndex::Narrow(map) => map.len(),
+            KeyIndex::Wide(map) => map.len(),
         }
     }
 }
@@ -95,31 +120,42 @@ fn join_schema(left: &Table, right: &Table, right_keys: &[usize]) -> (Schema, Ve
 /// The output contains every left column followed by the right non-key
 /// columns.
 pub fn hash_join_on(left: &Table, right: &Table, keys: &[(usize, usize)]) -> Table {
+    let _span = SpanTimer::start(metric_histogram!("columnar.join.wall_micros"));
     let left_keys: Vec<usize> = keys.iter().map(|&(l, _)| l).collect();
     let right_keys: Vec<usize> = keys.iter().map(|&(_, r)| r).collect();
     let (schema, right_payload) = join_schema(left, right, &right_keys);
     let mut out = Table::empty(schema);
+    let mut scratch: Vec<u32> = Vec::new();
 
     // Build on the smaller side, probe with the larger.
+    let (build_rows, probe_rows);
     if left.num_rows() <= right.num_rows() {
+        (build_rows, probe_rows) = (left.num_rows(), right.num_rows());
         let index = build_index(left, &left_keys);
+        metric_counter!("columnar.join.build_distinct_keys").add(index.num_keys() as u64);
         for probe_row in 0..right.num_rows() {
-            if let Some(matches) = index.probe(right, &right_keys, probe_row) {
+            if let Some(matches) = index.probe(right, &right_keys, probe_row, &mut scratch) {
                 for &build_row in matches {
                     push_joined(&mut out, left, build_row as usize, right, probe_row, &right_payload);
                 }
             }
         }
     } else {
+        (build_rows, probe_rows) = (right.num_rows(), left.num_rows());
         let index = build_index(right, &right_keys);
+        metric_counter!("columnar.join.build_distinct_keys").add(index.num_keys() as u64);
         for probe_row in 0..left.num_rows() {
-            if let Some(matches) = index.probe(left, &left_keys, probe_row) {
+            if let Some(matches) = index.probe(left, &left_keys, probe_row, &mut scratch) {
                 for &build_row in matches {
                     push_joined(&mut out, left, probe_row, right, build_row as usize, &right_payload);
                 }
             }
         }
     }
+    metric_counter!("columnar.join.calls").inc();
+    metric_counter!("columnar.join.build_rows").add(build_rows as u64);
+    metric_counter!("columnar.join.probe_rows").add(probe_rows as u64);
+    metric_counter!("columnar.join.out_rows").add(out.num_rows() as u64);
     out
 }
 
@@ -172,6 +208,7 @@ pub fn natural_join(left: &Table, right: &Table) -> Table {
 }
 
 fn cross_join(left: &Table, right: &Table) -> Table {
+    metric_counter!("columnar.cross_join.calls").inc();
     let names: Vec<String> = left
         .schema()
         .names()
@@ -194,23 +231,27 @@ fn cross_join(left: &Table, right: &Table) -> Table {
 /// whose key value appears in `right`'s key column. This is the primitive
 /// that materializes ExtVP partitions (paper §5.2).
 pub fn semi_join_on(left: &Table, left_key: usize, right: &Table, right_key: usize) -> Table {
-    let mut probe: FxHashMap<u64, ()> = FxHashMap::default();
+    let _span = SpanTimer::start(metric_histogram!("columnar.semi_join.wall_micros"));
+    let mut probe: FxHashSet<u32> = FxHashSet::default();
     probe.reserve(right.num_rows());
-    for &v in right.column(right_key) {
-        probe.insert(v as u64, ());
-    }
+    probe.extend(right.column(right_key).iter().copied());
     let col = left.column(left_key);
     let indices: Vec<usize> = col
         .iter()
         .enumerate()
-        .filter_map(|(i, &v)| probe.contains_key(&(v as u64)).then_some(i))
+        .filter_map(|(i, &v)| probe.contains(&v).then_some(i))
         .collect();
+    metric_counter!("columnar.semi_join.calls").inc();
+    metric_counter!("columnar.semi_join.in_rows").add(left.num_rows() as u64);
+    metric_counter!("columnar.semi_join.out_rows").add(indices.len() as u64);
     left.gather(&indices)
 }
 
 /// Natural left outer join (SPARQL OPTIONAL): left rows without a match are
 /// emitted once with the right-only columns set to [`NULL_ID`].
 pub fn left_outer_join(left: &Table, right: &Table) -> Table {
+    let _span = SpanTimer::start(metric_histogram!("columnar.left_outer.wall_micros"));
+    metric_counter!("columnar.left_outer.calls").inc();
     let common = left.schema().common_columns(right.schema());
     let left_keys: Vec<usize> = common
         .iter()
@@ -240,8 +281,10 @@ pub fn left_outer_join(left: &Table, right: &Table) -> Table {
     }
 
     let index = build_index(right, &right_keys);
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut padded = 0u64;
     for l in 0..left.num_rows() {
-        match index.probe(left, &left_keys, l) {
+        match index.probe(left, &left_keys, l, &mut scratch) {
             Some(matches) => {
                 for &r in matches {
                     push_joined(&mut out, left, l, right, r as usize, &right_payload);
@@ -251,9 +294,12 @@ pub fn left_outer_join(left: &Table, right: &Table) -> Table {
                 let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(l, c)).collect();
                 row.extend(std::iter::repeat_n(NULL_ID, right_payload.len()));
                 out.push_row(&row);
+                padded += 1;
             }
         }
     }
+    metric_counter!("columnar.left_outer.padded_rows").add(padded);
+    metric_counter!("columnar.left_outer.out_rows").add(out.num_rows() as u64);
     out
 }
 

@@ -2,6 +2,7 @@
 
 use rustc_hash::FxHashSet;
 
+use crate::metric_counter;
 use crate::schema::Schema;
 use crate::table::{Table, NULL_ID};
 
@@ -42,6 +43,8 @@ pub fn union(left: &Table, right: &Table) -> Table {
             out.push_row(&row);
         }
     }
+    metric_counter!("columnar.union.calls").inc();
+    metric_counter!("columnar.union.out_rows").add(out.num_rows() as u64);
     out
 }
 
@@ -58,6 +61,9 @@ pub fn distinct(table: &Table) -> Table {
             indices.push(i);
         }
     }
+    metric_counter!("columnar.distinct.calls").inc();
+    metric_counter!("columnar.distinct.in_rows").add(table.num_rows() as u64);
+    metric_counter!("columnar.distinct.out_rows").add(indices.len() as u64);
     table.gather(&indices)
 }
 

@@ -2,12 +2,17 @@
 
 use std::cmp::Ordering;
 
+use crate::metrics::SpanTimer;
 use crate::table::Table;
+use crate::{metric_counter, metric_histogram};
 
 /// Stable sort by a caller-supplied row comparator. The comparator receives
 /// two row indices of `table`; callers decode dictionary ids to terms to
 /// implement SPARQL value ordering.
 pub fn sort_by<F: FnMut(usize, usize) -> Ordering>(table: &Table, mut cmp: F) -> Table {
+    let _span = SpanTimer::start(metric_histogram!("columnar.sort.wall_micros"));
+    metric_counter!("columnar.sort.calls").inc();
+    metric_counter!("columnar.sort.rows").add(table.num_rows() as u64);
     let mut indices: Vec<usize> = (0..table.num_rows()).collect();
     indices.sort_by(|&a, &b| cmp(a, b));
     table.gather(&indices)

@@ -109,6 +109,20 @@ impl Table {
         }
     }
 
+    /// Appends every row of `src` to this table with one bulk
+    /// `extend_from_slice` (memcpy) per column. Both tables must have the
+    /// same arity (names may differ). Returns the number of payload bytes
+    /// copied.
+    pub fn extend_from_table(&mut self, src: &Table) -> usize {
+        debug_assert_eq!(self.cols.len(), src.cols.len());
+        let mut bytes = 0;
+        for (dst, s) in self.cols.iter_mut().zip(&src.cols) {
+            dst.extend_from_slice(s);
+            bytes += s.len() * std::mem::size_of::<u32>();
+        }
+        bytes
+    }
+
     /// Materializes row `row` into `buf` (cleared first).
     pub fn read_row(&self, row: usize, buf: &mut Vec<u32>) {
         buf.clear();
@@ -200,5 +214,22 @@ mod tests {
     #[test]
     fn byte_size_counts_payload() {
         assert_eq!(sample().byte_size(), 3 * 2 * 4);
+    }
+
+    #[test]
+    fn extend_from_table_bulk_copies() {
+        let mut t = sample();
+        let other = Table::from_rows(Schema::new(["s", "o"]), &[[7, 8], [9, 10]]);
+        let bytes = t.extend_from_table(&other);
+        assert_eq!(bytes, 2 * 2 * 4);
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.row_vec(3), vec![7, 8]);
+        assert_eq!(t.row_vec(4), vec![9, 10]);
+        // Matches the row-by-row path exactly.
+        let mut rowwise = sample();
+        for r in 0..other.num_rows() {
+            rowwise.push_row_from(&other, r);
+        }
+        assert_eq!(t, rowwise);
     }
 }

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 
 use s2rdf_columnar::exec::{par_natural_join, row_multiset};
-use s2rdf_columnar::ops::{distinct, hash_join_on, left_outer_join, natural_join, union};
+use s2rdf_columnar::ops::{
+    distinct, hash_join_on, left_outer_join, natural_join, semi_join_on, union,
+};
 use s2rdf_columnar::{Schema, Table, NULL_ID};
 
 fn table(cols: &'static [&'static str], rows: Vec<Vec<u32>>) -> Table {
@@ -102,5 +104,63 @@ proptest! {
         let mut set: Vec<Vec<u32>> = row_multiset(&u);
         set.dedup();
         prop_assert_eq!(row_multiset(&d), set);
+    }
+
+    /// The wide-key (3+ shared columns, `Vec<u32>` keys with a reused probe
+    /// scratch buffer) join path agrees with the narrow-key (`u64`-packed)
+    /// path on the same data, with the composite key packed bijectively
+    /// into a single column.
+    #[test]
+    fn wide_key_join_matches_narrow_key_join(
+        l in arb_rows(4, 4),
+        r in arb_rows(4, 4),
+    ) {
+        // Shared columns j1,j2,j3 → the Wide KeyIndex arm.
+        let left = table(&["a", "j1", "j2", "j3"], l.clone());
+        let right = table(&["j1", "j2", "j3", "b"], r.clone());
+        let wide = natural_join(&left, &right);
+
+        // Same join with (j1,j2,j3) packed into one key column k = j1·16+j2·4+j3
+        // (cardinality 4 makes the packing bijective) → the Narrow arm.
+        let pack = |j1: u32, j2: u32, j3: u32| j1 * 16 + j2 * 4 + j3;
+        let left_packed = table(
+            &["a", "k"],
+            l.iter().map(|row| vec![row[0], pack(row[1], row[2], row[3])]).collect(),
+        );
+        let right_packed = table(
+            &["k", "b"],
+            r.iter().map(|row| vec![pack(row[0], row[1], row[2]), row[3]]).collect(),
+        );
+        let narrow = natural_join(&left_packed, &right_packed);
+
+        // Project the wide result to (a, packed-key, b) and compare multisets.
+        let wide_as_narrow: Vec<Vec<u32>> = (0..wide.num_rows())
+            .map(|i| {
+                let row = wide.row_vec(i);
+                vec![row[0], pack(row[1], row[2], row[3]), row[4]]
+            })
+            .collect();
+        let mut wide_sorted = wide_as_narrow;
+        wide_sorted.sort_unstable();
+        prop_assert_eq!(wide_sorted, row_multiset(&narrow));
+    }
+
+    /// `semi_join_on` (hash-set probe) equals the definitional filter.
+    #[test]
+    fn semi_join_matches_filter_reference(
+        l in arb_rows(2, 10),
+        r in arb_rows(2, 10),
+    ) {
+        let left = table(&["s", "o"], l.clone());
+        let right = table(&["s", "o"], r.clone());
+        let reduced = semi_join_on(&left, 1, &right, 0);
+        let expected: Vec<Vec<u32>> = l
+            .iter()
+            .filter(|row| r.iter().any(|rr| rr[0] == row[1]))
+            .cloned()
+            .collect();
+        let mut expected_sorted = expected;
+        expected_sorted.sort_unstable();
+        prop_assert_eq!(row_multiset(&reduced), expected_sorted);
     }
 }

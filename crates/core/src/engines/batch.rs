@@ -167,6 +167,7 @@ impl BgpEvaluator for BatchEngine {
         let mut intermediate_path: Option<PathBuf> = None;
         for (job_idx, job) in jobs.iter().enumerate() {
             ctx.check_deadline()?;
+            let job_span = ctx.span_open("job");
             // 1. Job startup latency.
             if !self.job_overhead.is_zero() {
                 std::thread::sleep(self.job_overhead);
@@ -183,17 +184,30 @@ impl BgpEvaluator for BatchEngine {
                 None => None,
             };
             for tp in job {
+                let started = std::time::Instant::now();
                 let scanned =
                     scan_pattern(&tt, &[(0, &tp.s), (1, &tp.p), (2, &tp.o)], &self.dict);
                 ctx.explain.bgp_steps.push(StepExplain {
                     table: format!("TT (job {})", job_idx + 1),
                     rows: scanned.num_rows(),
                     sf: 1.0,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                    rationale: "MapReduce job rescans the full TT from disk".to_string(),
                 });
                 acc = Some(match acc {
                     None => scanned,
                     Some(prev) => {
+                        let span = ctx.span_open("join");
                         let joined = natural_join(&prev, &scanned);
+                        ctx.span_close(
+                            span,
+                            format!(
+                                "build={} probe={}",
+                                prev.num_rows().min(scanned.num_rows()),
+                                prev.num_rows().max(scanned.num_rows())
+                            ),
+                            Some(joined.num_rows()),
+                        );
                         ctx.note_join(prev.num_rows(), scanned.num_rows(), joined.num_rows())?;
                         joined
                     }
@@ -204,6 +218,11 @@ impl BgpEvaluator for BatchEngine {
             let out_path = tmp(job_idx);
             std::fs::write(&out_path, serialize_table(&result))
                 .map_err(s2rdf_columnar::ColumnarError::from)?;
+            ctx.span_close(
+                job_span,
+                format!("job {} of {}: {} pattern(s), HDFS round-trip", job_idx + 1, jobs.len(), job.len()),
+                Some(result.num_rows()),
+            );
             if let Some(prev) = intermediate_path.replace(out_path) {
                 let _ = std::fs::remove_file(prev);
             }

@@ -14,7 +14,7 @@ use s2rdf_sparql::{TermPattern, TriplePattern};
 
 use crate::compiler::bgp::order_patterns_by;
 use crate::error::CoreError;
-use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions};
+use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, StepExplain};
 
 use super::{run_query, SparqlEngine};
 
@@ -282,7 +282,33 @@ impl BgpEvaluator for CentralizedEngine {
         if unit {
             binding[0] = Some(0); // unit column value
         }
-        inlj.recurse(0, &mut binding, ctx)?;
+        // One explain step per pattern, in plan order: the INLJ touches
+        // each pattern's index range once per outer binding, so we report
+        // the estimated range length (the cost driver) as the row count.
+        let started = std::time::Instant::now();
+        for tp in &inlj.plan {
+            ctx.explain.bgp_steps.push(StepExplain {
+                table: "PermIndex".to_string(),
+                rows: self.estimate(tp),
+                sf: 1.0,
+                wall_micros: 0,
+                rationale: "index-nested-loop: sorted permutation range scan".to_string(),
+            });
+        }
+        let span = ctx.span_open("inlj");
+        let result = inlj.recurse(0, &mut binding, ctx);
+        let detail = format!(
+            "{} pattern(s), {} index probes",
+            inlj.plan.len(),
+            inlj.visited
+        );
+        ctx.span_close(span, detail, Some(inlj.out.num_rows()));
+        // Fold the total INLJ wall time into the last step: the recursion
+        // interleaves all patterns, so per-pattern attribution is moot.
+        if let Some(step) = ctx.explain.bgp_steps.last_mut() {
+            step.wall_micros = started.elapsed().as_micros() as u64;
+        }
+        result?;
         Ok(inlj.out)
     }
 }

@@ -53,7 +53,9 @@ pub(crate) fn run_query(
 ) -> Result<(Solutions, Explain), CoreError> {
     let query = s2rdf_sparql::parse_query(sparql)?;
     let mut ctx = ExecContext::new(ev.dict(), *options);
+    let span = ctx.span_open("query");
     let solutions = eval_query(ev, &query, &mut ctx)?;
+    ctx.span_close(span, String::new(), Some(solutions.len()));
     Ok((solutions, ctx.explain))
 }
 

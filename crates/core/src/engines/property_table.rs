@@ -51,6 +51,7 @@ impl PropertyTableEngine {
         star: &[(TermId, &TermPattern)],
         ctx: &mut ExecContext<'_>,
     ) -> Result<Table, CoreError> {
+        let started = std::time::Instant::now();
         // Output schema: subject variable (if any) then object variables in
         // first-occurrence order.
         let mut var_names: Vec<&str> = Vec::new();
@@ -95,6 +96,7 @@ impl PropertyTableEngine {
             }
         };
 
+        let span = ctx.span_open("star_scan");
         let mut row: Vec<u32> = Vec::with_capacity(out.schema().len());
         for (i, &s) in candidates.iter().enumerate() {
             if i % 4096 == 0 {
@@ -108,10 +110,17 @@ impl PropertyTableEngine {
             }
             self.expand_subject(s, star, subject, &mut row, 0, &mut out);
         }
+        let rationale = format!(
+            "property table star: {} pattern(s) answered join-free, candidates from rarest column",
+            star.len()
+        );
+        ctx.span_close(span, rationale.clone(), Some(out.num_rows()));
         ctx.explain.bgp_steps.push(StepExplain {
             table: "PropertyTable".to_string(),
             rows: out.num_rows(),
             sf: 1.0,
+            wall_micros: started.elapsed().as_micros() as u64,
+            rationale,
         });
         Ok(out)
     }
@@ -289,7 +298,17 @@ impl BgpEvaluator for PropertyTableEngine {
                         .unwrap()
                 });
             let part = remaining.swap_remove(next);
+            let span = ctx.span_open("join");
             let joined = natural_join_auto(&result, &part);
+            ctx.span_close(
+                span,
+                format!(
+                    "build={} probe={}",
+                    result.num_rows().min(part.num_rows()),
+                    result.num_rows().max(part.num_rows())
+                ),
+                Some(joined.num_rows()),
+            );
             ctx.note_join(result.num_rows(), part.num_rows(), joined.num_rows())?;
             result = joined;
         }

@@ -42,21 +42,29 @@ impl<'a> S2rdfEngine<'a> {
 
     fn exec_step(&self, step: &TpPlan, ctx: &mut ExecContext<'_>) -> Result<Table, CoreError> {
         let dict = self.store.dict();
-        let (out, name, sf) = match step.source {
+        let started = std::time::Instant::now();
+        let span = ctx.span_open("scan");
+        let (out, name, sf, rationale) = match step.source {
             TableSource::TriplesTable => {
                 let out = scan_pattern(
                     self.store.triples_table(),
                     &[(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)],
                     dict,
                 );
-                (out, TT_NAME.to_string(), step.sf)
+                let rationale = "triples table: predicate unbound, no VP candidate".to_string();
+                (out, TT_NAME.to_string(), step.sf, rationale)
             }
             TableSource::Vp(p) => {
                 let table =
                     self.store.vp_table(p).expect("compiler selected an existing VP table");
                 let table = self.apply_intersection(table, step, ctx);
                 let out = scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
-                (out, vp_table_name(dict, p), step.sf)
+                let rationale = if self.use_extvp {
+                    "VP: no ExtVP reduction under threshold for this pattern".to_string()
+                } else {
+                    "VP: ExtVP disabled for this engine".to_string()
+                };
+                (out, vp_table_name(dict, p), step.sf, rationale)
             }
             TableSource::ExtVp(key) => {
                 let planned = extvp_table_name(dict, &key);
@@ -65,7 +73,11 @@ impl<'a> S2rdfEngine<'a> {
                         let table = self.apply_intersection(table, step, ctx);
                         let out =
                             scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
-                        (out, planned, step.sf)
+                        let rationale = format!(
+                            "ExtVP: most selective correlation (SF {:.3} ≤ threshold)",
+                            step.sf
+                        );
+                        (out, planned, step.sf, rationale)
                     }
                     Err((attempts, reason)) => {
                         // Degraded execution: every ExtVP partition is a
@@ -82,7 +94,7 @@ impl<'a> S2rdfEngine<'a> {
                             ))
                         })?;
                         ctx.explain.degraded_steps.push(DegradedStep {
-                            planned,
+                            planned: planned.clone(),
                             fallback: fallback.clone(),
                             reason,
                             attempts,
@@ -90,21 +102,27 @@ impl<'a> S2rdfEngine<'a> {
                         let table = self.apply_intersection(table, step, ctx);
                         let out =
                             scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
-                        (out, format!("{fallback} (degraded)"), 1.0)
+                        let rationale =
+                            format!("degraded: {planned} unavailable, VP base table used");
+                        (out, format!("{fallback} (degraded)"), 1.0, rationale)
                     }
                 }
             }
             TableSource::Empty => unreachable!("empty plans short-circuit earlier"),
         };
         let intersected = ctx.options.intersect_correlations && !step.extra_reducers.is_empty();
+        let table_label = if intersected {
+            format!("{name} ∩ {} reducers", step.extra_reducers.len())
+        } else {
+            name
+        };
+        ctx.span_close(span, format!("{table_label}: {rationale}"), Some(out.num_rows()));
         ctx.explain.bgp_steps.push(StepExplain {
-            table: if intersected {
-                format!("{name} ∩ {} reducers", step.extra_reducers.len())
-            } else {
-                name
-            },
+            table: table_label,
             rows: out.num_rows(),
             sf,
+            wall_micros: started.elapsed().as_micros() as u64,
+            rationale,
         });
         Ok(out)
     }
@@ -222,7 +240,17 @@ impl BgpEvaluator for S2rdfEngine<'_> {
             result = Some(match result {
                 None => scanned,
                 Some(acc) => {
+                    let span = ctx.span_open("join");
                     let joined = natural_join_auto(&acc, &scanned);
+                    ctx.span_close(
+                        span,
+                        format!(
+                            "build={} probe={}",
+                            acc.num_rows().min(scanned.num_rows()),
+                            acc.num_rows().max(scanned.num_rows())
+                        ),
+                        Some(joined.num_rows()),
+                    );
                     ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows())?;
                     // Re-check after the join as well: a single large join can
                     // dominate the step time, and checking only at step entry

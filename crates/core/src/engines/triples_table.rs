@@ -71,16 +71,32 @@ impl BgpEvaluator for TriplesTableEngine {
         let mut result: Option<Table> = None;
         for tp in &ordered {
             ctx.check_deadline()?;
+            let span = ctx.span_open("scan");
+            let started = std::time::Instant::now();
             let scanned = scan_pattern(&self.tt, &[(0, &tp.s), (1, &tp.p), (2, &tp.o)], &self.dict);
+            let rationale = "single triples table: the only physical layout".to_string();
+            ctx.span_close(span, format!("{TT_NAME}: {rationale}"), Some(scanned.num_rows()));
             ctx.explain.bgp_steps.push(StepExplain {
                 table: TT_NAME.to_string(),
                 rows: scanned.num_rows(),
                 sf: 1.0,
+                wall_micros: started.elapsed().as_micros() as u64,
+                rationale,
             });
             result = Some(match result {
                 None => scanned,
                 Some(acc) => {
+                    let span = ctx.span_open("join");
                     let joined = natural_join_auto(&acc, &scanned);
+                    ctx.span_close(
+                        span,
+                        format!(
+                            "build={} probe={}",
+                            acc.num_rows().min(scanned.num_rows()),
+                            acc.num_rows().max(scanned.num_rows())
+                        ),
+                        Some(joined.num_rows()),
+                    );
                     ctx.note_join(acc.num_rows(), scanned.num_rows(), joined.num_rows())?;
                     joined
                 }

@@ -9,6 +9,7 @@
 pub mod aggregate;
 pub mod pattern;
 pub mod solution;
+pub mod trace;
 
 use std::time::Instant;
 
@@ -18,8 +19,9 @@ use s2rdf_sparql::TriplePattern;
 
 use crate::error::CoreError;
 
-pub use pattern::{eval_pattern, eval_query, unit_table};
+pub use pattern::{compat_join, compat_left_outer_join, eval_pattern, eval_query, unit_table};
 pub use solution::Solutions;
+pub use trace::{SpanId, Trace, TraceNode};
 
 /// Per-query evaluation options shared by all engines.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +51,10 @@ pub struct QueryOptions {
     /// result exceeds this many rows — a guard against runaway queries on a
     /// shared store, akin to a cluster manager killing an over-budget job.
     pub max_intermediate_rows: Option<usize>,
+    /// Collect a per-operator span tree ([`Trace`]) for this query,
+    /// returned in [`Explain::trace`] — the `s2rdf query --profile` path
+    /// and the analogue of inspecting a job in Spark's UI.
+    pub profile: bool,
 }
 
 impl Default for QueryOptions {
@@ -60,6 +66,7 @@ impl Default for QueryOptions {
             max_retries: 2,
             retry_backoff_ms: 0,
             max_intermediate_rows: None,
+            profile: false,
         }
     }
 }
@@ -73,6 +80,27 @@ pub struct StepExplain {
     pub rows: usize,
     /// Selectivity factor of the chosen table (1.0 for VP/TT).
     pub sf: f64,
+    /// Wall time spent scanning (and, for engines that fold the join into
+    /// the step, joining) this step, in microseconds.
+    pub wall_micros: u64,
+    /// Why this table was selected (e.g. "smallest ExtVP among 3
+    /// candidates", "VP fallback: no correlated pattern"). Mirrors the
+    /// table-selection argument of paper Alg. 2.
+    pub rationale: String,
+}
+
+impl StepExplain {
+    /// Step record with timing/rationale defaults (filled in by engines
+    /// that track them; older call sites get zero/empty values).
+    pub fn new(table: impl Into<String>, rows: usize, sf: f64) -> StepExplain {
+        StepExplain {
+            table: table.into(),
+            rows,
+            sf,
+            wall_micros: 0,
+            rationale: String::new(),
+        }
+    }
 }
 
 /// Record of one BGP step that executed in degraded mode: the planned ExtVP
@@ -111,6 +139,9 @@ pub struct Explain {
     /// Transient partition-load errors that a retry or fallback absorbed;
     /// the query still produced exact results despite them.
     pub recovered_errors: Vec<String>,
+    /// Per-operator span tree, collected when [`QueryOptions::profile`] is
+    /// set (otherwise `None`).
+    pub trace: Option<Trace>,
 }
 
 impl Explain {
@@ -132,9 +163,33 @@ pub struct ExecContext<'a> {
 }
 
 impl<'a> ExecContext<'a> {
-    /// Creates a context.
+    /// Creates a context. When [`QueryOptions::profile`] is set, the
+    /// context carries a [`Trace`] sink that operators append spans to via
+    /// [`ExecContext::span_open`]/[`ExecContext::span_close`].
     pub fn new(dict: &'a Dictionary, options: QueryOptions) -> ExecContext<'a> {
-        ExecContext { dict, options, explain: Explain::default() }
+        let mut explain = Explain::default();
+        if options.profile {
+            explain.trace = Some(Trace::new());
+        }
+        ExecContext { dict, options, explain }
+    }
+
+    /// Opens a trace span (no-op returning [`SpanId::NONE`] when profiling
+    /// is off).
+    #[inline]
+    pub fn span_open(&mut self, label: &str) -> SpanId {
+        match &mut self.explain.trace {
+            Some(trace) => trace.open(label),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Closes a trace span with a detail string and output cardinality.
+    #[inline]
+    pub fn span_close(&mut self, id: SpanId, detail: String, rows_out: Option<usize>) {
+        if let Some(trace) = &mut self.explain.trace {
+            trace.close(id, detail, rows_out);
+        }
     }
 
     /// Returns `Err(Timeout)` if the deadline has passed.

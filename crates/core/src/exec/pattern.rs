@@ -35,14 +35,26 @@ pub fn eval_pattern(
             if tps.is_empty() {
                 Ok(unit_table())
             } else {
-                ev.eval_bgp(tps, ctx)
+                let span = ctx.span_open("bgp");
+                let out = ev.eval_bgp(tps, ctx)?;
+                ctx.span_close(
+                    span,
+                    format!("{} triple pattern(s)", tps.len()),
+                    Some(out.num_rows()),
+                );
+                Ok(out)
             }
         }
         GraphPattern::Filter { expr, inner } => {
+            let span = ctx.span_open("filter");
             let table = eval_pattern(ev, inner, ctx)?;
-            filter_table(&table, expr, ctx)
+            let rows_in = table.num_rows();
+            let out = filter_table(&table, expr, ctx)?;
+            ctx.span_close(span, format!("in={rows_in}"), Some(out.num_rows()));
+            Ok(out)
         }
         GraphPattern::Join(l, r) => {
+            let span = ctx.span_open("join");
             let left = eval_pattern(ev, l, ctx)?;
             let right = eval_pattern(ev, r, ctx)?;
             ctx.check_deadline()?;
@@ -50,44 +62,95 @@ pub fn eval_pattern(
             // (possible under UNION/OPTIONAL inputs) joins with anything.
             // Hash joins treat NULL_ID as a value, so fall back to the
             // compatibility join when shared columns contain NULLs.
-            let shared = left.schema().common_columns(right.schema());
-            let has_nulls = |t: &Table| {
-                shared.iter().any(|c| {
-                    t.column(t.schema().index_of(c).unwrap())
-                        .contains(&NULL_ID)
-                })
-            };
-            let out = if !shared.is_empty() && (has_nulls(&left) || has_nulls(&right)) {
+            let compat = needs_compat_join(&left, &right);
+            let out = if compat {
                 compat_join(&left, &right)
             } else {
                 natural_join_auto(&left, &right)
             };
             ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
+            ctx.span_close(
+                span,
+                format!(
+                    "left={} right={}{}",
+                    left.num_rows(),
+                    right.num_rows(),
+                    if compat { " compat(NULL-joinable)" } else { "" }
+                ),
+                Some(out.num_rows()),
+            );
             Ok(out)
         }
         GraphPattern::LeftJoin(l, r) => {
+            let span = ctx.span_open("left_join");
             let left = eval_pattern(ev, l, ctx)?;
             let right = eval_pattern(ev, r, ctx)?;
             ctx.check_deadline()?;
-            let out = ops::left_outer_join(&left, &right);
+            // Same NULL-compatibility guard as Join above: an OPTIONAL
+            // whose left input already contains unbound shared variables
+            // (OPTIONAL after UNION / nested OPTIONAL) must not hash-join
+            // NULL_ID as a literal value.
+            let compat = needs_compat_join(&left, &right);
+            let out = if compat {
+                compat_left_outer_join(&left, &right)
+            } else {
+                ops::left_outer_join(&left, &right)
+            };
             ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
+            ctx.span_close(
+                span,
+                format!(
+                    "left={} right={}{}",
+                    left.num_rows(),
+                    right.num_rows(),
+                    if compat { " compat(NULL-joinable)" } else { "" }
+                ),
+                Some(out.num_rows()),
+            );
             Ok(out)
         }
         GraphPattern::Union(l, r) => {
+            let span = ctx.span_open("union");
             let left = eval_pattern(ev, l, ctx)?;
             let right = eval_pattern(ev, r, ctx)?;
-            Ok(ops::union(&left, &right))
+            let out = ops::union(&left, &right);
+            ctx.span_close(
+                span,
+                format!("left={} right={}", left.num_rows(), right.num_rows()),
+                Some(out.num_rows()),
+            );
+            Ok(out)
         }
     }
 }
 
-/// Join under full SPARQL compatibility semantics (§2.1: two mappings are
-/// compatible iff they agree on the variables *bound in both*): a
-/// nested-loop join where NULL on either side of a shared column matches
-/// anything and the merged value is the bound one. Only used when shared
-/// columns actually contain NULLs — after UNION branches with disjoint
-/// variables — so inputs are small.
-fn compat_join(left: &Table, right: &Table) -> Table {
+/// True when the pair must use compatibility-join semantics: the inputs
+/// share columns and at least one shared column contains [`NULL_ID`]
+/// (unbound values), which hash joins would treat as an ordinary value.
+fn needs_compat_join(left: &Table, right: &Table) -> bool {
+    let shared = left.schema().common_columns(right.schema());
+    if shared.is_empty() {
+        return false;
+    }
+    let has_nulls = |t: &Table| {
+        shared.iter().any(|c| {
+            t.column(t.schema().index_of(c).unwrap())
+                .contains(&NULL_ID)
+        })
+    };
+    has_nulls(left) || has_nulls(right)
+}
+
+/// Column bookkeeping shared by the compatibility joins: shared-column
+/// index pairs, the merged output schema, and the right-only column
+/// indices.
+struct CompatShape {
+    shared_idx: Vec<(usize, usize)>,
+    schema: Schema,
+    right_extra: Vec<usize>,
+}
+
+fn compat_shape(left: &Table, right: &Table) -> CompatShape {
     let shared = left.schema().common_columns(right.schema());
     let shared_idx: Vec<(usize, usize)> = shared
         .iter()
@@ -110,30 +173,89 @@ fn compat_join(left: &Table, right: &Table) -> Table {
             i
         })
         .collect();
-    let mut out = Table::empty(Schema::new(names));
-    for lr in 0..left.num_rows() {
-        'rows: for rr in 0..right.num_rows() {
-            for &(lc, rc) in &shared_idx {
-                let (lv, rv) = (left.value(lr, lc), right.value(rr, rc));
-                if lv != NULL_ID && rv != NULL_ID && lv != rv {
-                    continue 'rows;
-                }
+    CompatShape { shared_idx, schema: Schema::new(names), right_extra }
+}
+
+/// SPARQL §2.1 compatibility: mappings agree on the variables *bound in
+/// both*; NULL (unbound) on either side of a shared column matches
+/// anything.
+fn rows_compatible(left: &Table, lr: usize, right: &Table, rr: usize, shape: &CompatShape) -> bool {
+    shape.shared_idx.iter().all(|&(lc, rc)| {
+        let (lv, rv) = (left.value(lr, lc), right.value(rr, rc));
+        lv == NULL_ID || rv == NULL_ID || lv == rv
+    })
+}
+
+/// Merges a compatible row pair: left bindings win where bound, unbound
+/// shared columns take the right side's binding, right-only columns append.
+fn push_compat_row(
+    out: &mut Table,
+    left: &Table,
+    lr: usize,
+    right: &Table,
+    rr: usize,
+    shape: &CompatShape,
+) {
+    let mut row: Vec<u32> = (0..left.schema().len())
+        .map(|c| {
+            let lv = left.value(lr, c);
+            if lv != NULL_ID {
+                return lv;
             }
-            let mut row: Vec<u32> = (0..left.schema().len())
-                .map(|c| {
-                    let lv = left.value(lr, c);
-                    if lv != NULL_ID {
-                        return lv;
-                    }
-                    // Take the right side's binding for shared columns the
-                    // left leaves unbound.
-                    match shared_idx.iter().find(|&&(lc, _)| lc == c) {
-                        Some(&(_, rc)) => right.value(rr, rc),
-                        None => NULL_ID,
-                    }
-                })
-                .collect();
-            row.extend(right_extra.iter().map(|&c| right.value(rr, c)));
+            // Take the right side's binding for shared columns the left
+            // leaves unbound.
+            match shape.shared_idx.iter().find(|&&(lc, _)| lc == c) {
+                Some(&(_, rc)) => right.value(rr, rc),
+                None => NULL_ID,
+            }
+        })
+        .collect();
+    row.extend(shape.right_extra.iter().map(|&c| right.value(rr, c)));
+    out.push_row(&row);
+}
+
+/// Join under full SPARQL compatibility semantics (§2.1: two mappings are
+/// compatible iff they agree on the variables *bound in both*): a
+/// nested-loop join where NULL on either side of a shared column matches
+/// anything and the merged value is the bound one. Only used when shared
+/// columns actually contain NULLs — after UNION branches with disjoint
+/// variables — so inputs are small.
+pub fn compat_join(left: &Table, right: &Table) -> Table {
+    let shape = compat_shape(left, right);
+    let mut out = Table::empty(shape.schema.clone());
+    for lr in 0..left.num_rows() {
+        for rr in 0..right.num_rows() {
+            if rows_compatible(left, lr, right, rr, &shape) {
+                push_compat_row(&mut out, left, lr, right, rr, &shape);
+            }
+        }
+    }
+    out
+}
+
+/// Left outer join under full SPARQL compatibility semantics: like
+/// [`compat_join`], but a left row with no compatible right row survives
+/// once, with right-only columns padded to [`NULL_ID`].
+///
+/// This is the OPTIONAL counterpart of the NULL-compatibility fallback:
+/// `ops::left_outer_join` hash-joins shared columns and would treat an
+/// unbound (`NULL_ID`) shared variable on the left — possible when the
+/// OPTIONAL's left input comes from UNION or a nested OPTIONAL — as a
+/// literal key, silently dropping or mismatching rows.
+pub fn compat_left_outer_join(left: &Table, right: &Table) -> Table {
+    let shape = compat_shape(left, right);
+    let mut out = Table::empty(shape.schema.clone());
+    for lr in 0..left.num_rows() {
+        let mut matched = false;
+        for rr in 0..right.num_rows() {
+            if rows_compatible(left, lr, right, rr, &shape) {
+                push_compat_row(&mut out, left, lr, right, rr, &shape);
+                matched = true;
+            }
+        }
+        if !matched {
+            let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(lr, c)).collect();
+            row.extend(std::iter::repeat_n(NULL_ID, shape.right_extra.len()));
             out.push_row(&row);
         }
     }
@@ -434,6 +556,96 @@ mod tests {
         // And the right-branch rows carry ?z bindings.
         let with_z = (0..s.len()).filter(|&i| s.binding(i, "z").is_some()).count();
         assert_eq!(with_z, 9);
+    }
+
+    #[test]
+    fn optional_after_union_uses_compatibility_semantics() {
+        // Regression test for the OPTIONAL NULL-join bug: LeftJoin used to
+        // call ops::left_outer_join unconditionally, so a left input whose
+        // shared variable ?x is unbound (the right UNION branch binds only
+        // ?z/?w) hash-joined NULL_ID as a literal key and the unbound rows
+        // never inherited the OPTIONAL's bindings. With the pre-fix path
+        // this query returns 6 solutions (3 of them padded); the
+        // compatibility semantics require 12, all with ?v bound.
+        let f = fixture();
+        let s = run(
+            "SELECT * WHERE { { ?x <p> ?y } UNION { ?z <p> ?w } OPTIONAL { ?x <p> ?v } }",
+            &f,
+        );
+        // Left branch: 3 rows, each ?x matches exactly one (x, v) row → 3.
+        // Right branch: 3 rows with ?x unbound, compatible with all 3
+        // OPTIONAL rows → 9.
+        assert_eq!(s.len(), 12);
+        for i in 0..s.len() {
+            assert!(
+                s.binding(i, "v").is_some(),
+                "row {i}: OPTIONAL must bind ?v for every compatible row"
+            );
+        }
+        let with_z = (0..s.len()).filter(|&i| s.binding(i, "z").is_some()).count();
+        assert_eq!(with_z, 9);
+    }
+
+    #[test]
+    fn compat_left_outer_join_matches_definition_and_differs_from_hash_path() {
+        use s2rdf_columnar::exec::row_multiset;
+        const N: u32 = NULL_ID;
+        let left = Table::from_rows(
+            Schema::new(["x", "y"]),
+            &[[1, 10], [N, 11], [2, 12]],
+        );
+        let right = Table::from_rows(Schema::new(["x", "v"]), &[[1, 20], [3, 21]]);
+        let out = compat_left_outer_join(&left, &right);
+        let expected = vec![
+            vec![1, 10, 20], // bound match
+            vec![1, 11, 20], // unbound ?x: compatible with both right rows,
+            vec![3, 11, 21], //   inheriting the right side's ?x binding
+            vec![2, 12, N],  // no compatible right row: padded
+        ];
+        let mut expected_sorted = expected;
+        expected_sorted.sort_unstable();
+        assert_eq!(row_multiset(&out), expected_sorted);
+        // The plain hash-based left outer join gives a different (wrong)
+        // answer on this input — the bug this path guards against.
+        let buggy = ops::left_outer_join(&left, &right);
+        assert_ne!(row_multiset(&buggy), row_multiset(&out));
+        assert_eq!(buggy.num_rows(), 3, "hash path drops the NULL-x matches");
+    }
+
+    #[test]
+    fn compat_left_outer_equals_hash_left_outer_without_nulls() {
+        let left = Table::from_rows(Schema::new(["x", "y"]), &[[1, 10], [2, 12], [9, 13]]);
+        let right = Table::from_rows(Schema::new(["x", "v"]), &[[1, 20], [1, 21], [3, 22]]);
+        use s2rdf_columnar::exec::row_multiset;
+        assert_eq!(
+            row_multiset(&compat_left_outer_join(&left, &right)),
+            row_multiset(&ops::left_outer_join(&left, &right))
+        );
+    }
+
+    #[test]
+    fn profile_collects_span_tree() {
+        let f = fixture();
+        let query = s2rdf_sparql::parse_query(
+            "SELECT * WHERE { { ?x <p> ?y } UNION { ?z <p> ?w } ?x <p> ?y }",
+        )
+        .unwrap();
+        let mut ctx = ExecContext::new(
+            &f.dict,
+            QueryOptions { profile: true, ..Default::default() },
+        );
+        eval_query(&f, &query, &mut ctx).unwrap();
+        let trace = ctx.explain.trace.as_ref().expect("profiling enabled");
+        let labels: Vec<&str> = trace.nodes().iter().map(|n| n.label.as_str()).collect();
+        assert!(labels.contains(&"join"), "{labels:?}");
+        assert!(labels.contains(&"union"), "{labels:?}");
+        assert!(labels.contains(&"bgp"), "{labels:?}");
+        let rendered = trace.render();
+        assert!(rendered.contains("µs"), "{rendered}");
+        // Without profiling, no trace is collected.
+        let mut ctx = ExecContext::new(&f.dict, QueryOptions::default());
+        eval_query(&f, &query, &mut ctx).unwrap();
+        assert!(ctx.explain.trace.is_none());
     }
 
     #[test]

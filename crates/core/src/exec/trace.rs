@@ -1,0 +1,253 @@
+//! Per-query span tracing: the shared-memory analogue of Spark's UI stage
+//! timeline.
+//!
+//! A [`Trace`] is an arena of spans forming a tree that mirrors the algebra
+//! evaluation: the root `query` span contains pattern-operator spans
+//! (`join`, `left_join`, `union`, `filter`, …), which contain the engine's
+//! per-step `scan`/`join` spans. Each span records wall time, output rows
+//! and a free-form detail string (input sizes, table-selection rationale).
+//!
+//! Tracing is opt-in per query ([`super::QueryOptions::profile`]); when off,
+//! [`super::ExecContext::span_open`] returns a sentinel and costs one
+//! branch. Unlike the global [`s2rdf_columnar::metrics`] registry, which
+//! accumulates across queries, a `Trace` is scoped to a single execution
+//! and travels with the query's [`super::Explain`].
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use s2rdf_columnar::metrics::json_escape;
+
+/// Handle to an open span. [`SpanId::NONE`] is returned when tracing is
+/// disabled; closing it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+impl SpanId {
+    /// The disabled-tracing sentinel.
+    pub const NONE: SpanId = SpanId(usize::MAX);
+}
+
+/// One node of the span tree.
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    /// Operator label (`query`, `join`, `scan`, …).
+    pub label: String,
+    /// Detail set when the span closes: input row counts, chosen table,
+    /// selection rationale.
+    pub detail: String,
+    /// Output cardinality, if the operator produces rows.
+    pub rows_out: Option<usize>,
+    /// Wall time between open and close.
+    pub wall_micros: u64,
+    /// Child span indices, in open order.
+    pub children: Vec<usize>,
+    /// Whether the span was closed (spans abandoned by an error unwind
+    /// render as unclosed).
+    pub closed: bool,
+    started: Instant,
+}
+
+/// A tree of timed spans collected during one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    nodes: Vec<TraceNode>,
+    /// Open-span stack; new spans attach to the innermost open span.
+    stack: Vec<usize>,
+    /// Indices of root spans (normally exactly one `query` span).
+    roots: Vec<usize>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Opens a span under the innermost open span.
+    pub fn open(&mut self, label: &str) -> SpanId {
+        let id = self.nodes.len();
+        self.nodes.push(TraceNode {
+            label: label.to_string(),
+            detail: String::new(),
+            rows_out: None,
+            wall_micros: 0,
+            children: Vec::new(),
+            closed: false,
+            started: Instant::now(),
+        });
+        match self.stack.last() {
+            Some(&parent) => self.nodes[parent].children.push(id),
+            None => self.roots.push(id),
+        }
+        self.stack.push(id);
+        SpanId(id)
+    }
+
+    /// Closes a span, recording its detail and output cardinality. Also
+    /// closes (abandons) any spans opened after it that were never closed,
+    /// so an error unwind cannot corrupt the stack.
+    pub fn close(&mut self, id: SpanId, detail: String, rows_out: Option<usize>) {
+        if id == SpanId::NONE {
+            return;
+        }
+        while let Some(top) = self.stack.pop() {
+            if top == id.0 {
+                break;
+            }
+            // Abandoned inner span: record its elapsed time as-is.
+            self.nodes[top].wall_micros = self.nodes[top].started.elapsed().as_micros() as u64;
+        }
+        let node = &mut self.nodes[id.0];
+        node.wall_micros = node.started.elapsed().as_micros() as u64;
+        node.detail = detail;
+        node.rows_out = rows_out;
+        node.closed = true;
+    }
+
+    /// All nodes, in open order (parents before children).
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.nodes
+    }
+
+    /// Total wall time of the root spans.
+    pub fn total_micros(&self) -> u64 {
+        self.roots.iter().map(|&r| self.nodes[r].wall_micros).sum()
+    }
+
+    /// Renders the span tree as indented ASCII, one span per line:
+    ///
+    /// ```text
+    /// query                          1234 µs → 42 rows
+    /// ├─ join                         900 µs → 42 rows  left=10 right=99
+    /// │  ├─ scan                       12 µs → 10 rows  ExtVP_SS/…
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &root in &self.roots {
+            self.render_node(root, "", true, true, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, id: usize, prefix: &str, last: bool, root: bool, out: &mut String) {
+        let node = &self.nodes[id];
+        let connector = if root {
+            String::new()
+        } else if last {
+            format!("{prefix}└─ ")
+        } else {
+            format!("{prefix}├─ ")
+        };
+        let rows = match node.rows_out {
+            Some(n) => format!(" → {n} rows"),
+            None => String::new(),
+        };
+        let detail = if node.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", node.detail)
+        };
+        let open = if node.closed { "" } else { "  (unclosed)" };
+        let _ = writeln!(
+            out,
+            "{connector}{:<12} {:>9} µs{rows}{detail}{open}",
+            node.label, node.wall_micros
+        );
+        let child_prefix = if root {
+            String::new()
+        } else if last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        for (i, &c) in node.children.iter().enumerate() {
+            self.render_node(c, &child_prefix, i + 1 == node.children.len(), false, out);
+        }
+    }
+
+    /// Serializes the span tree as nested JSON (zero-dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, &root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.json_node(root, &mut out);
+        }
+        out.push(']');
+        out
+    }
+
+    fn json_node(&self, id: usize, out: &mut String) {
+        let node = &self.nodes[id];
+        let _ = write!(
+            out,
+            "{{\"label\": \"{}\", \"wall_micros\": {}, \"detail\": \"{}\"",
+            json_escape(&node.label),
+            node.wall_micros,
+            json_escape(&node.detail)
+        );
+        if let Some(rows) = node.rows_out {
+            let _ = write!(out, ", \"rows_out\": {rows}");
+        }
+        out.push_str(", \"children\": [");
+        for (i, &c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.json_node(c, out);
+        }
+        out.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_render() {
+        let mut t = Trace::new();
+        let q = t.open("query");
+        let j = t.open("join");
+        let s = t.open("scan");
+        t.close(s, "VP/<p>".into(), Some(10));
+        t.close(j, "left=10 right=3".into(), Some(5));
+        t.close(q, String::new(), Some(5));
+
+        assert_eq!(t.nodes().len(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("query"), "{rendered}");
+        assert!(rendered.contains("└─ join"), "{rendered}");
+        assert!(rendered.contains("scan"), "{rendered}");
+        assert!(rendered.contains("→ 5 rows"), "{rendered}");
+        assert!(!rendered.contains("unclosed"), "{rendered}");
+
+        let json = t.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"label\": \"join\""));
+        assert!(json.contains("\"rows_out\": 10"));
+    }
+
+    #[test]
+    fn error_unwind_abandons_inner_spans() {
+        let mut t = Trace::new();
+        let q = t.open("query");
+        let _inner = t.open("join"); // never closed: simulated `?` unwind
+        t.close(q, String::new(), None);
+        assert!(t.render().contains("(unclosed)"));
+        // Stack is empty again; a new root span works.
+        let r = t.open("query2");
+        t.close(r, String::new(), None);
+        assert_eq!(t.nodes().len(), 3);
+    }
+
+    #[test]
+    fn none_span_is_ignored() {
+        let mut t = Trace::new();
+        t.close(SpanId::NONE, "x".into(), Some(1));
+        assert!(t.nodes().is_empty());
+        assert_eq!(t.total_micros(), 0);
+    }
+}
