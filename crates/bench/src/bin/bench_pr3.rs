@@ -1,0 +1,211 @@
+//! Writes `BENCH_pr3.json` — the demand-driven-storage + partition-native-
+//! join artifact for the lazy-loading PR.
+//!
+//! Usage: `bench_pr3 [--scale 1] [--out BENCH_pr3.json]`
+//!
+//! Three scenarios, each with a before/after pair:
+//!
+//! 1. **Lazy loading** — an eager loader decodes every table body at open;
+//!    the demand-driven `S2rdfStore::load` decodes manifest + TT only, and
+//!    a two-predicate query then touches exactly the tables its plan
+//!    selects. Recorded as `io.tables_read` before (= total table count,
+//!    what eager decoding cost) vs. after load and after the query.
+//! 2. **Partition-native join** — `columnar.concat.bytes_copied` must be 0
+//!    across a parallel join: workers write disjoint slices of one
+//!    pre-sized output instead of concatenating per-worker tables.
+//! 3. **Skew-aware splitting** — the crafted 90 %-hot-key join; gauges
+//!    `par_join.presplit_skew_pct` (before mitigation) vs.
+//!    `par_join.{max_skew_pct,straggler_pct}` (after the hot-key
+//!    broadcast), with the straggler ≤ 1.5× the median partition.
+//!
+//! Row/byte/table counters are deterministic; wall times directional.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use s2rdf_bench::{dataset, Args};
+use s2rdf_columnar::exec::{par_natural_join, row_multiset};
+use s2rdf_columnar::ops::natural_join;
+use s2rdf_columnar::{metrics, Schema, Table, TableStore};
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::exec::QueryOptions;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+
+const WSDBM: &str = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+
+fn main() {
+    let args = Args::parse();
+    let scale: u32 = args.get("scale", 1);
+    let out_path: String = args.get("out", "BENCH_pr3.json".to_string());
+    metrics::set_enabled(true);
+
+    // ---- Scenario 1: demand-driven loading --------------------------------
+    eprintln!("generating SF{scale}, building and saving the store…");
+    let data = dataset(scale);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let dir = std::env::temp_dir().join(format!("s2rdf-bench-pr3-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store.save(&dir).expect("save store");
+
+    // What an eager loader would decode at open time: every table body.
+    let total_tables = TableStore::open(dir.join("tables"))
+        .expect("open saved tables")
+        .names()
+        .len();
+
+    metrics::reset();
+    let load_start = Instant::now();
+    let loaded = S2rdfStore::load(&dir).expect("load store");
+    let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+    let reads_after_load = metrics::counter("columnar.io.tables_read").get();
+
+    let query = format!(
+        "SELECT * WHERE {{ ?x <{WSDBM}follows> ?y . ?y <{WSDBM}likes> ?z }}"
+    );
+    let engine = loaded.engine(true);
+    let options = QueryOptions { profile: true, ..Default::default() };
+    let query_start = Instant::now();
+    let (solutions, explain) = engine.query_opt(&query, &options).expect("2-predicate query");
+    let query_ms = query_start.elapsed().as_secs_f64() * 1e3;
+    let reads_after_query = metrics::counter("columnar.io.tables_read").get();
+    let planned: Vec<String> = explain.bgp_steps.iter().map(|s| s.table.clone()).collect();
+    // Bound: TT (decoded at load) + one body per compiler-selected table.
+    let bound = reads_after_load + planned.len() as u64;
+    assert!(
+        reads_after_query <= bound,
+        "lazy load read {reads_after_query} bodies, plan only names {bound}"
+    );
+    eprintln!(
+        "lazy load: {total_tables} tables on disk, {reads_after_load} decoded at load, \
+         {reads_after_query} after the 2-predicate query ({} rows)",
+        solutions.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Scenario 2: zero-copy partition-native join ----------------------
+    const ROWS: u32 = 200_000;
+    let left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..ROWS).map(|x| x % 4096).collect(), (0..ROWS).collect()],
+    );
+    let right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
+    );
+    metrics::reset();
+    let join_start = Instant::now();
+    let joined = par_natural_join(&left, &right, 8);
+    let par_join_ms = join_start.elapsed().as_secs_f64() * 1e3;
+    let concat_bytes = metrics::counter("columnar.concat.bytes_copied").get();
+    assert_eq!(concat_bytes, 0, "partition-native join path copied bytes via concat");
+    eprintln!(
+        "par join: {} rows out in {par_join_ms:.1} ms, concat.bytes_copied = {concat_bytes}",
+        joined.num_rows()
+    );
+
+    // ---- Scenario 3: 90 %-hot-key skew ------------------------------------
+    // 90 % of the 20k probe rows and 90 % of the 2k build rows share one
+    // key: ~32M output rows concentrated in a single hash bucket.
+    let skew_left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        cols2(&skewed_rows(20_000, 42, 90, 0x5EED)),
+    );
+    let skew_right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        cols2(&skewed_rows(2_000, 42, 90, 0xF00D)),
+    );
+    metrics::reset();
+    let skew_start = Instant::now();
+    let skew_joined = par_natural_join(&skew_left, &skew_right, 8);
+    let skew_ms = skew_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        row_multiset(&skew_joined),
+        row_multiset(&natural_join(&skew_left, &skew_right)),
+        "skewed parallel join diverged from the serial join"
+    );
+    let presplit = metrics::gauge("columnar.par_join.presplit_skew_pct").get();
+    let max_skew = metrics::gauge("columnar.par_join.max_skew_pct").get();
+    let straggler = metrics::gauge("columnar.par_join.straggler_pct").get();
+    assert!(
+        straggler <= 150,
+        "straggler partition at {straggler}% of median exceeds the 1.5x bound"
+    );
+    eprintln!(
+        "skew join: presplit {presplit}% -> max_skew {max_skew}%, straggler {straggler}% \
+         of median ({} rows in {skew_ms:.1} ms)",
+        skew_joined.num_rows()
+    );
+    let registry = metrics::snapshot().to_json();
+
+    // ---- Artifact ---------------------------------------------------------
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr3\",");
+    let _ = writeln!(doc, "  \"scale\": {scale},");
+    let _ = writeln!(doc, "  \"triples\": {},", data.graph.len());
+    let _ = writeln!(doc, "  \"lazy_loading\": {{");
+    let _ = writeln!(doc, "    \"query\": \"{}\",", metrics::json_escape(&query));
+    let _ = writeln!(doc, "    \"tables_on_disk\": {total_tables},");
+    let _ = writeln!(doc, "    \"eager_tables_read_before\": {total_tables},");
+    let _ = writeln!(doc, "    \"tables_read_after_load\": {reads_after_load},");
+    let _ = writeln!(doc, "    \"tables_read_after_query\": {reads_after_query},");
+    let _ = writeln!(
+        doc,
+        "    \"planned_tables\": [{}],",
+        planned
+            .iter()
+            .map(|t| format!("\"{}\"", metrics::json_escape(t)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(doc, "    \"result_rows\": {},", solutions.len());
+    let _ = writeln!(doc, "    \"load_ms\": {load_ms:.3},");
+    let _ = writeln!(doc, "    \"query_ms\": {query_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"par_join\": {{");
+    let _ = writeln!(doc, "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS}, \"partitions\": 8,");
+    let _ = writeln!(doc, "    \"rows_out\": {},", joined.num_rows());
+    let _ = writeln!(doc, "    \"concat_bytes_copied\": {concat_bytes},");
+    let _ = writeln!(doc, "    \"wall_ms\": {par_join_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"skew_join\": {{");
+    let _ = writeln!(doc, "    \"hot_key_pct\": 90, \"partitions\": 8,");
+    let _ = writeln!(doc, "    \"presplit_skew_pct_before\": {presplit},");
+    let _ = writeln!(doc, "    \"max_skew_pct_after\": {max_skew},");
+    let _ = writeln!(doc, "    \"straggler_pct_of_median\": {straggler},");
+    let _ = writeln!(doc, "    \"straggler_bound_pct\": 150,");
+    let _ = writeln!(doc, "    \"rows_out\": {},", skew_joined.num_rows());
+    let _ = writeln!(doc, "    \"wall_ms\": {skew_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"operator_metrics\": {registry}");
+    doc.push_str("}\n");
+
+    std::fs::write(&out_path, doc).expect("write BENCH_pr3 artifact");
+    eprintln!("wrote {out_path}");
+}
+
+/// Deterministic xorshift rows with `skew_pct`% of keys pinned to
+/// `hot_key` — the straggler shape a hash splitter alone cannot balance.
+fn skewed_rows(n: usize, hot_key: u32, skew_pct: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = if (state >> 33) as u32 % 100 < skew_pct {
+                hot_key
+            } else {
+                (state >> 11) as u32 % 64
+            };
+            (key, i as u32)
+        })
+        .collect()
+}
+
+fn cols2(rows: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    vec![
+        rows.iter().map(|r| r.0).collect(),
+        rows.iter().map(|r| r.1).collect(),
+    ]
+}

@@ -27,19 +27,20 @@
 //! A [`FaultInjector`] can be attached to exercise all of those paths
 //! deterministically; see [`crate::fault`].
 
+use std::fmt::Write as _;
 use std::fs;
 use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rustc_hash::FxHashMap;
 
 use crate::crc32::crc32;
 use crate::error::ColumnarError;
 use crate::fault::FaultInjector;
-use crate::metric_counter;
 use crate::schema::Schema;
 use crate::table::Table;
+use crate::{metric_counter, metric_gauge};
 
 const MAGIC: &[u8; 4] = b"S2CT";
 /// Current format version: CRC-32 footer over the body.
@@ -319,24 +320,132 @@ fn table_file_seq(file: &str) -> Option<u64> {
         .and_then(|n| n.parse::<u64>().ok())
 }
 
-/// A directory of persisted tables with a name manifest.
+/// One manifest entry: the backing file plus its cached on-disk size.
+///
+/// The size is recorded in the manifest itself (a `#size` line) so that
+/// [`TableStore::file_size`]/[`TableStore::total_size`] answer without a
+/// `stat` per call — the analogue of Parquet footers carrying file-level
+/// stats that planners consult without touching row groups.
+#[derive(Debug, Clone)]
+struct ManifestEntry {
+    file: String,
+    /// On-disk bytes; `None` only for legacy manifests whose file vanished
+    /// before the open-time directory scan could observe it.
+    bytes: Option<u64>,
+}
+
+/// A decoded table body held by the demand cache.
+#[derive(Debug)]
+struct CachedBody {
+    table: Arc<Table>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Interior-mutable cache of decoded table bodies, keyed by logical name.
+///
+/// `load` fills it on first touch (which is also where checksum
+/// verification happens); an optional byte budget evicts
+/// least-recently-used bodies. Handed-out `Arc`s keep evicted tables alive
+/// for their users — eviction only drops the cache's reference.
+#[derive(Debug, Default)]
+struct BodyCache {
+    map: FxHashMap<String, CachedBody>,
+    clock: u64,
+    total_bytes: u64,
+    budget: Option<u64>,
+}
+
+impl BodyCache {
+    fn touch(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(name).map(|e| {
+            e.last_used = clock;
+            e.table.clone()
+        })
+    }
+
+    fn insert(&mut self, name: String, table: Arc<Table>) {
+        let bytes = table.byte_size() as u64;
+        self.clock += 1;
+        let entry = CachedBody { table, bytes, last_used: self.clock };
+        if let Some(old) = self.map.insert(name, entry) {
+            self.total_bytes -= old.bytes;
+        }
+        self.total_bytes += bytes;
+        self.evict_to_budget();
+        metric_gauge!("columnar.io.cache_bytes").set(self.total_bytes);
+    }
+
+    fn remove(&mut self, name: &str) {
+        if let Some(old) = self.map.remove(name) {
+            self.total_bytes -= old.bytes;
+            metric_gauge!("columnar.io.cache_bytes").set(self.total_bytes);
+        }
+    }
+
+    /// Evicts least-recently-used bodies until the cache fits its budget.
+    /// The most recent entry always survives (a single over-budget table
+    /// stays resident until something else displaces it).
+    fn evict_to_budget(&mut self) {
+        let Some(budget) = self.budget else { return };
+        while self.total_bytes > budget && self.map.len() > 1 {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(n, _)| n.clone())
+                .expect("cache checked non-empty");
+            self.remove(&victim);
+            metric_counter!("columnar.io.cache_evictions").inc();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.total_bytes = 0;
+        metric_gauge!("columnar.io.cache_bytes").set(0);
+    }
+}
+
+/// Auxiliary manifest line carrying a file's size: `#size\t<file>\t<bytes>`.
+const SIZE_PREFIX: &str = "#size\t";
+/// Trailing manifest integrity line: `#crc\t<hex crc32 of entry+size lines>`.
+const CRC_PREFIX: &str = "#crc\t";
+
+/// A directory of persisted tables with an eagerly-read, checksummed
+/// manifest and on-demand (lazy) table bodies.
+///
+/// Opening a store reads **only** the manifest: table bodies are read,
+/// checksum-verified and decoded on first [`TableStore::load`], then shared
+/// as [`Arc<Table>`] handles through an interior-mutability cache with an
+/// optional byte-budget LRU eviction policy
+/// ([`TableStore::set_cache_budget`]). This is the shared-memory analogue of
+/// Spark SQL reading Parquet footers at planning time and column chunks
+/// on demand during execution.
 #[derive(Debug)]
 pub struct TableStore {
     root: PathBuf,
-    /// logical name -> file name
-    manifest: FxHashMap<String, String>,
+    /// logical name -> backing file + cached size
+    manifest: FxHashMap<String, ManifestEntry>,
     next_file: u64,
     /// Unreferenced `t*.col` files found on open (crash leftovers).
     orphans: Vec<String>,
     /// Optional deterministic fault injection; `None` costs one branch.
     faults: Option<Arc<FaultInjector>>,
+    /// Demand cache of decoded bodies (interior mutability: `load` takes
+    /// `&self` so engines can share the store behind an `Arc`).
+    cache: Mutex<BodyCache>,
 }
 
 impl TableStore {
     /// Creates (or opens, if it already exists) a store rooted at `root`.
     ///
-    /// Cleans up stale `*.tmp` files from interrupted writes and records any
-    /// orphaned table files (see [`TableStore::orphans`]).
+    /// Reads and integrity-checks the manifest (a corrupt manifest fails
+    /// the open), cleans up stale `*.tmp` files from interrupted writes and
+    /// records any orphaned table files (see [`TableStore::orphans`]).
+    /// Table bodies are **not** read here — they load on demand.
     pub fn open(root: impl Into<PathBuf>) -> Result<TableStore, ColumnarError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
@@ -346,30 +455,69 @@ impl TableStore {
             next_file: 0,
             orphans: Vec::new(),
             faults: None,
+            cache: Mutex::new(BodyCache::default()),
         };
         let manifest_path = store.manifest_path();
         if manifest_path.exists() {
             let mut content = String::new();
             BufReader::new(fs::File::open(&manifest_path)?).read_to_string(&mut content)?;
-            for line in content.lines() {
-                if let Some((name, file)) = line.split_once('\t') {
-                    if let Some(num) = table_file_seq(file) {
-                        store.next_file = store.next_file.max(num + 1);
-                    }
-                    store.manifest.insert(name.to_string(), file.to_string());
-                }
-            }
+            store.parse_manifest(&content)?;
         }
         store.scan_directory()?;
         Ok(store)
     }
 
-    /// Removes stale temp files and records orphaned table files, advancing
-    /// the file counter past them so they are never silently overwritten.
+    /// Parses manifest content: entry lines (`name\tfile`), `#size` lines
+    /// and an optional trailing `#crc` line. When the checksum line is
+    /// present it must match the CRC-32 of the canonical re-serialization
+    /// of the parsed entries; legacy manifests without it still load.
+    fn parse_manifest(&mut self, content: &str) -> Result<(), ColumnarError> {
+        let mut sizes: FxHashMap<String, u64> = FxHashMap::default();
+        let mut declared_crc: Option<u32> = None;
+        for line in content.lines() {
+            if let Some(rest) = line.strip_prefix(SIZE_PREFIX) {
+                if let Some((file, bytes)) = rest.split_once('\t') {
+                    if let Ok(bytes) = bytes.parse::<u64>() {
+                        sizes.insert(file.to_string(), bytes);
+                    }
+                }
+            } else if let Some(hex) = line.strip_prefix(CRC_PREFIX) {
+                declared_crc = u32::from_str_radix(hex.trim(), 16).ok();
+            } else if line.starts_with('#') {
+                // Unknown annotation from a future version: ignore.
+            } else if let Some((name, file)) = line.split_once('\t') {
+                if let Some(num) = table_file_seq(file) {
+                    self.next_file = self.next_file.max(num + 1);
+                }
+                self.manifest.insert(
+                    name.to_string(),
+                    ManifestEntry { file: file.to_string(), bytes: None },
+                );
+            }
+        }
+        for entry in self.manifest.values_mut() {
+            entry.bytes = sizes.get(&entry.file).copied();
+        }
+        if let Some(expected) = declared_crc {
+            let actual = crc32(self.manifest_body().as_bytes());
+            if actual != expected {
+                metric_counter!("columnar.io.checksum_failures").inc();
+                return Err(ColumnarError::ChecksumMismatch { expected, actual });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes stale temp files, records orphaned table files (advancing
+    /// the file counter past them so they are never silently overwritten),
+    /// and backfills manifest sizes for legacy manifests from the same
+    /// directory walk — no per-table `stat` calls afterwards.
     fn scan_directory(&mut self) -> Result<(), ColumnarError> {
         let referenced: std::collections::HashSet<&str> =
-            self.manifest.values().map(String::as_str).collect();
+            self.manifest.values().map(|e| e.file.as_str()).collect();
         let mut orphans = Vec::new();
+        let mut observed_sizes: FxHashMap<String, u64> = FxHashMap::default();
+        let needs_sizes = self.manifest.values().any(|e| e.bytes.is_none());
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
@@ -381,8 +529,20 @@ impl TableStore {
             }
             if let Some(num) = table_file_seq(&name) {
                 self.next_file = self.next_file.max(num + 1);
+                if needs_sizes {
+                    if let Ok(meta) = entry.metadata() {
+                        observed_sizes.insert(name.clone(), meta.len());
+                    }
+                }
                 if !referenced.contains(name.as_str()) {
                     orphans.push(name);
+                }
+            }
+        }
+        if needs_sizes {
+            for entry in self.manifest.values_mut() {
+                if entry.bytes.is_none() {
+                    entry.bytes = observed_sizes.get(&entry.file).copied();
                 }
             }
         }
@@ -393,6 +553,10 @@ impl TableStore {
 
     fn manifest_path(&self) -> PathBuf {
         self.root.join("manifest.tsv")
+    }
+
+    fn cache_lock(&self) -> MutexGuard<'_, BodyCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Writes `data` to `root/file` atomically: temp file in the same
@@ -412,16 +576,32 @@ impl TableStore {
         Ok(())
     }
 
-    fn flush_manifest(&self) -> Result<(), ColumnarError> {
+    /// The canonical entry + `#size` section of the manifest (the bytes the
+    /// `#crc` integrity line covers). Entry lines stay exactly
+    /// `name\tfile` for compatibility with v1 manifests and external
+    /// tooling; sizes ride on `#size\tfile\tbytes` annotation lines.
+    fn manifest_body(&self) -> String {
         let mut entries: Vec<_> = self.manifest.iter().collect();
-        entries.sort();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
         let mut out = String::new();
-        for (name, file) in entries {
+        for (name, entry) in &entries {
             out.push_str(name);
             out.push('\t');
-            out.push_str(file);
+            out.push_str(&entry.file);
             out.push('\n');
         }
+        for (_, entry) in &entries {
+            if let Some(bytes) = entry.bytes {
+                let _ = writeln!(out, "{SIZE_PREFIX}{}\t{bytes}", entry.file);
+            }
+        }
+        out
+    }
+
+    fn flush_manifest(&self) -> Result<(), ColumnarError> {
+        let mut out = self.manifest_body();
+        let crc = crc32(out.as_bytes());
+        let _ = writeln!(out, "{CRC_PREFIX}{crc:08x}");
         self.write_atomic("manifest.tsv", out.as_bytes())
     }
 
@@ -432,8 +612,13 @@ impl TableStore {
 
     /// Attaches (or with `None`, detaches) a deterministic fault injector
     /// applied to subsequent loads and saves.
+    ///
+    /// Also clears the body cache: cached bodies would otherwise satisfy
+    /// loads without touching the (now fault-injected) read path, making
+    /// injected faults fire nondeterministically depending on cache state.
     pub fn set_fault_injector(&mut self, faults: Option<Arc<FaultInjector>>) {
         self.faults = faults;
+        self.cache_lock().clear();
     }
 
     /// The currently attached fault injector, if any.
@@ -461,7 +646,7 @@ impl TableStore {
             "table names must not contain tabs or newlines"
         );
         let file = match self.manifest.get(name) {
-            Some(f) => f.clone(),
+            Some(e) => e.file.clone(),
             None => {
                 let f = format!("t{:06}.col", self.next_file);
                 self.next_file += 1;
@@ -481,16 +666,31 @@ impl TableStore {
         metric_counter!("columnar.io.tables_written").inc();
         metric_counter!("columnar.io.bytes_written").add(data.len() as u64);
         self.write_atomic(&file, &data)?;
-        self.manifest.insert(name.to_string(), file);
+        self.manifest
+            .insert(name.to_string(), ManifestEntry { file, bytes: Some(data.len() as u64) });
+        // The cached body (if any) no longer reflects disk.
+        self.cache_lock().remove(name);
         self.flush_manifest()
     }
 
-    /// Loads a table by logical name.
-    pub fn load(&self, name: &str) -> Result<Table, ColumnarError> {
-        let file = self
+    /// Loads a table by logical name, sharing the decoded body.
+    ///
+    /// First touch reads, checksum-verifies and decodes the file; repeat
+    /// loads return the cached `Arc` without I/O. An optional byte budget
+    /// ([`TableStore::set_cache_budget`]) bounds resident bodies with LRU
+    /// eviction. `columnar.io.{tables_read,bytes_read}` therefore count
+    /// *demanded* tables, not store size — the quantity the ExtVP design
+    /// optimizes.
+    pub fn load(&self, name: &str) -> Result<Arc<Table>, ColumnarError> {
+        let entry = self
             .manifest
             .get(name)
             .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
+        if let Some(hit) = self.cache_lock().touch(name) {
+            metric_counter!("columnar.io.cache_hits").inc();
+            return Ok(hit);
+        }
+        metric_counter!("columnar.io.cache_misses").inc();
         let mut data = {
             if let Some(faults) = &self.faults {
                 if let Err(e) = faults.before_read(name) {
@@ -498,14 +698,57 @@ impl TableStore {
                     return Err(e.into());
                 }
             }
-            fs::read(self.root.join(file))?
+            fs::read(self.root.join(&entry.file))?
         };
         if let Some(faults) = &self.faults {
             faults.mutate(&mut data);
         }
         metric_counter!("columnar.io.tables_read").inc();
         metric_counter!("columnar.io.bytes_read").add(data.len() as u64);
-        deserialize_table(&data)
+        let table = Arc::new(deserialize_table(&data)?);
+        self.cache_lock().insert(name.to_string(), table.clone());
+        Ok(table)
+    }
+
+    /// Fast integrity probe of one table's on-disk bytes: verifies the v2
+    /// CRC footer over the raw file **without decoding** (v1 files, having
+    /// no footer, fall back to a full decode). Reads the actual disk state,
+    /// bypassing any attached fault injector — this is a diagnostic for
+    /// sweeps (quarantine scans, `verify`), not a data access, and is
+    /// counted separately from `columnar.io.tables_read`.
+    pub fn verify_checksum(&self, name: &str) -> Result<(), ColumnarError> {
+        let entry = self
+            .manifest
+            .get(name)
+            .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
+        let data = fs::read(self.root.join(&entry.file))?;
+        metric_counter!("columnar.io.sweep_files").inc();
+        metric_counter!("columnar.io.sweep_bytes").add(data.len() as u64);
+        verify_raw_checksum(&data)
+    }
+
+    /// Sets (or with `None`, removes) the byte budget for cached decoded
+    /// bodies. Shrinking below current residency evicts LRU bodies
+    /// immediately; handed-out `Arc`s stay valid.
+    pub fn set_cache_budget(&self, bytes: Option<u64>) {
+        let mut cache = self.cache_lock();
+        cache.budget = bytes;
+        cache.evict_to_budget();
+    }
+
+    /// Total decoded bytes currently resident in the body cache.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cache_lock().total_bytes
+    }
+
+    /// Number of table bodies currently resident in the body cache.
+    pub fn cached_tables(&self) -> usize {
+        self.cache_lock().map.len()
+    }
+
+    /// Drops all cached bodies (handed-out `Arc`s stay valid).
+    pub fn clear_cache(&self) {
+        self.cache_lock().clear();
     }
 
     /// Verifies every table in the manifest by reading and fully decoding
@@ -518,9 +761,9 @@ impl TableStore {
     pub fn verify_all(&self) -> VerifyReport {
         let mut report = VerifyReport { orphans: self.orphans.clone(), ..VerifyReport::default() };
         let mut entries: Vec<_> = self.manifest.iter().collect();
-        entries.sort();
-        for (name, file) in entries {
-            match fs::read(self.root.join(file)) {
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, entry) in entries {
+            match fs::read(self.root.join(&entry.file)) {
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                     report.missing.push(name.clone());
                 }
@@ -556,33 +799,69 @@ impl TableStore {
         self.manifest.is_empty()
     }
 
-    /// On-disk size of one table in bytes.
+    /// On-disk size of one table in bytes, answered from the manifest's
+    /// cached size (no `stat`). Falls back to one `stat` only for legacy
+    /// manifests whose size annotation is absent.
     pub fn file_size(&self, name: &str) -> Result<u64, ColumnarError> {
-        let file = self
+        let entry = self
             .manifest
             .get(name)
             .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
-        Ok(fs::metadata(self.root.join(file))?.len())
+        match entry.bytes {
+            Some(bytes) => Ok(bytes),
+            None => Ok(fs::metadata(self.root.join(&entry.file))?.len()),
+        }
     }
 
     /// Total on-disk size of all tables (the "HDFS size" of paper Tables 2
-    /// and 6).
+    /// and 6), summed from manifest-cached sizes — O(tables) map reads, not
+    /// O(tables) `stat` syscalls per call.
     pub fn total_size(&self) -> Result<u64, ColumnarError> {
         let mut total = 0;
-        for file in self.manifest.values() {
-            total += fs::metadata(self.root.join(file))?.len();
+        for entry in self.manifest.values() {
+            total += match entry.bytes {
+                Some(bytes) => bytes,
+                None => fs::metadata(self.root.join(&entry.file))?.len(),
+            };
         }
         Ok(total)
     }
 
-    /// Removes a table.
+    /// Removes a table, invalidating its cached body and size.
     pub fn remove(&mut self, name: &str) -> Result<(), ColumnarError> {
-        let file = self
+        let entry = self
             .manifest
             .remove(name)
             .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
-        fs::remove_file(self.root.join(file))?;
+        self.cache_lock().remove(name);
+        fs::remove_file(self.root.join(&entry.file))?;
         self.flush_manifest()
+    }
+}
+
+/// Checks a raw serialized table image's integrity without decoding it:
+/// magic, version, and (for v2) the CRC-32 footer. v1 images carry no
+/// footer, so the only verification possible is a full decode.
+fn verify_raw_checksum(data: &[u8]) -> Result<(), ColumnarError> {
+    if data.len() < 5 || &data[..4] != MAGIC {
+        return Err(ColumnarError::CorruptFile("bad magic".into()));
+    }
+    match data[4] {
+        VERSION => {
+            if data.len() < 5 + FOOTER_LEN {
+                return Err(ColumnarError::CorruptFile("truncated checksum footer".into()));
+            }
+            let body_end = data.len() - FOOTER_LEN;
+            let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
+            let actual = crc32(&data[..body_end]);
+            if actual != expected {
+                metric_counter!("columnar.io.checksum_failures").inc();
+                return Err(ColumnarError::ChecksumMismatch { expected, actual });
+            }
+            Ok(())
+        }
+        VERSION_V1 => deserialize_table(data).map(|_| ()),
+        other => Err(ColumnarError::CorruptFile(format!("unsupported version {other}"))),
     }
 }
 
@@ -698,7 +977,7 @@ mod tests {
             let mut store = TableStore::open(&dir).unwrap();
             assert_eq!(store.len(), 2);
             assert!(store.orphans().is_empty());
-            assert_eq!(store.load("ExtVP_OS/follows|likes").unwrap(), sample());
+            assert_eq!(*store.load("ExtVP_OS/follows|likes").unwrap(), sample());
             store.remove("VP/follows").unwrap();
             assert!(!store.contains("VP/follows"));
             assert!(store.load("VP/follows").is_err());
@@ -739,7 +1018,7 @@ mod tests {
         assert!(!dir.join("t000008.col.tmp").exists(), "stale tmp cleaned");
         // New saves must not reuse the orphan's file name.
         store.save("new", &sample()).unwrap();
-        assert_eq!(store.load("new").unwrap(), sample());
+        assert_eq!(*store.load("new").unwrap(), sample());
         assert!(dir.join("t000007.col").exists());
         let report = store.verify_all();
         assert_eq!(report.orphans, ["t000007.col"]);
@@ -756,12 +1035,12 @@ mod tests {
         store.save("bad", &sample()).unwrap();
         store.save("gone", &sample()).unwrap();
         // Corrupt "bad" in place, delete "gone"'s file.
-        let bad_file = store.manifest.get("bad").unwrap().clone();
+        let bad_file = store.manifest.get("bad").unwrap().file.clone();
         let mut data = fs::read(dir.join(&bad_file)).unwrap();
         let mid = data.len() / 2;
         data[mid] ^= 0x10;
         fs::write(dir.join(&bad_file), &data).unwrap();
-        let gone_file = store.manifest.get("gone").unwrap().clone();
+        let gone_file = store.manifest.get("gone").unwrap().file.clone();
         fs::remove_file(dir.join(&gone_file)).unwrap();
 
         let report = store.verify_all();
@@ -821,7 +1100,172 @@ mod tests {
         assert_eq!(inj.stats().bit_flips, 1);
         // Detaching the injector restores clean reads: the disk was fine.
         store.set_fault_injector(None);
-        assert_eq!(store.load("t").unwrap(), sample());
+        assert_eq!(*store.load("t").unwrap(), sample());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_open_reads_no_bodies_and_caches_loads() {
+        use crate::metrics;
+        let dir = std::env::temp_dir().join(format!("s2ct-lazy-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut store = TableStore::open(&dir).unwrap();
+            for i in 0..20 {
+                store.save(&format!("t{i}"), &sample()).unwrap();
+            }
+        }
+        let _guard = metrics::test_lock();
+        let reads = metrics::counter("columnar.io.tables_read");
+        let hits = metrics::counter("columnar.io.cache_hits");
+        metrics::set_enabled(true);
+        let reads0 = reads.get();
+        let hits0 = hits.get();
+        let store = TableStore::open(&dir).unwrap();
+        assert_eq!(reads.get(), reads0, "open must not read table bodies");
+        assert_eq!(store.cached_tables(), 0);
+        // First touch reads + decodes once; repeats are cache hits sharing
+        // the same body.
+        let a = store.load("t3").unwrap();
+        let b = store.load("t3").unwrap();
+        metrics::set_enabled(false);
+        assert!(Arc::ptr_eq(&a, &b), "cache must share one body");
+        assert_eq!(reads.get() - reads0, 1, "one physical read for two loads");
+        assert_eq!(hits.get() - hits0, 1);
+        assert_eq!(store.cached_tables(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_bodies() {
+        let dir = std::env::temp_dir().join(format!("s2ct-evict-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        let body = Table::from_columns(
+            Schema::new(["a"]),
+            vec![(0..1000u32).collect()], // 4000 payload bytes
+        );
+        for i in 0..4 {
+            store.save(&format!("t{i}"), &body).unwrap();
+        }
+        store.set_cache_budget(Some(2 * body.byte_size() as u64));
+        let keep = store.load("t0").unwrap();
+        store.load("t1").unwrap();
+        assert_eq!(store.cached_tables(), 2);
+        store.load("t2").unwrap(); // evicts t0 (LRU)
+        assert_eq!(store.cached_tables(), 2);
+        assert!(store.cached_bytes() <= 2 * body.byte_size() as u64);
+        // The evicted body's Arc handle stays usable.
+        assert_eq!(keep.num_rows(), 1000);
+        // Touch order matters: reload t1 (hit), then t3 must evict t2.
+        store.load("t1").unwrap();
+        store.load("t3").unwrap();
+        assert_eq!(store.cached_tables(), 2);
+        // Budget removal stops eviction.
+        store.set_cache_budget(None);
+        store.load("t0").unwrap();
+        store.load("t2").unwrap();
+        assert_eq!(store.cached_tables(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sizes_come_from_manifest_not_stat() {
+        let dir = std::env::temp_dir().join(format!("s2ct-sizes-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        store.save("a", &sample()).unwrap();
+        store.save("b", &sample()).unwrap();
+        let a_size = store.file_size("a").unwrap();
+        assert_eq!(a_size, serialize_table(&sample()).len() as u64);
+        assert_eq!(store.total_size().unwrap(), 2 * a_size);
+        // Delete a backing file behind the store's back: sizes must still
+        // answer (from the manifest), proving no per-call stat.
+        let a_file = store.manifest.get("a").unwrap().file.clone();
+        fs::remove_file(dir.join(&a_file)).unwrap();
+        assert_eq!(store.file_size("a").unwrap(), a_size);
+        assert_eq!(store.total_size().unwrap(), 2 * a_size);
+        // Invalidation on save: a replacement updates the cached size…
+        let bigger =
+            Table::from_columns(Schema::new(["s", "o"]), vec![(0..999).collect(), (0..999).collect()]);
+        store.save("b", &bigger).unwrap();
+        let b_size = store.file_size("b").unwrap();
+        assert_eq!(b_size, serialize_table(&bigger).len() as u64);
+        assert_eq!(store.total_size().unwrap(), a_size + b_size);
+        // …and on remove the size disappears with the entry.
+        store.save("a", &sample()).unwrap(); // restore the deleted file first
+        store.remove("a").unwrap();
+        assert!(matches!(store.file_size("a"), Err(ColumnarError::NoSuchTable(_))));
+        assert_eq!(store.total_size().unwrap(), b_size);
+        // Cached sizes persist in the manifest across a reopen.
+        let reopened = TableStore::open(&dir).unwrap();
+        assert_eq!(reopened.file_size("b").unwrap(), b_size);
+        assert_eq!(reopened.total_size().unwrap(), b_size);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_checksum_detects_tampering() {
+        let dir = std::env::temp_dir().join(format!("s2ct-mancrc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut store = TableStore::open(&dir).unwrap();
+            store.save("t", &sample()).unwrap();
+        }
+        let path = dir.join("manifest.tsv");
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("#crc\t"), "manifest must carry a checksum line");
+        // Tamper with an entry line without updating the checksum.
+        let tampered = content.replace("t\t", "u\t");
+        assert_ne!(tampered, content);
+        fs::write(&path, &tampered).unwrap();
+        assert!(matches!(
+            TableStore::open(&dir),
+            Err(ColumnarError::ChecksumMismatch { .. })
+        ));
+        // Legacy manifests without the checksum line still open.
+        let legacy: String =
+            content.lines().filter(|l| !l.starts_with('#')).fold(String::new(), |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            });
+        fs::write(&path, &legacy).unwrap();
+        let store = TableStore::open(&dir).unwrap();
+        assert_eq!(*store.load("t").unwrap(), sample());
+        assert!(store.file_size("t").unwrap() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_checksum_probes_without_decoding() {
+        use crate::metrics;
+        let dir = std::env::temp_dir().join(format!("s2ct-probe-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        store.save("ok", &sample()).unwrap();
+        store.save("bad", &sample()).unwrap();
+        let bad_file = store.manifest.get("bad").unwrap().file.clone();
+        let mut data = fs::read(dir.join(&bad_file)).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x20;
+        fs::write(dir.join(&bad_file), &data).unwrap();
+
+        let _guard = metrics::test_lock();
+        let reads = metrics::counter("columnar.io.tables_read");
+        metrics::set_enabled(true);
+        let reads0 = reads.get();
+        assert!(store.verify_checksum("ok").is_ok());
+        assert!(matches!(
+            store.verify_checksum("bad"),
+            Err(ColumnarError::ChecksumMismatch { .. })
+        ));
+        metrics::set_enabled(false);
+        assert_eq!(reads.get(), reads0, "sweeps must not count as table reads");
+        assert!(matches!(
+            store.verify_checksum("gone"),
+            Err(ColumnarError::NoSuchTable(_))
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -98,7 +98,7 @@ impl KeyIndex {
 /// Output schema of a join: all left columns plus the right columns that are
 /// not join keys. Panics on residual name collisions (the compiler never
 /// produces them).
-fn join_schema(left: &Table, right: &Table, right_keys: &[usize]) -> (Schema, Vec<usize>) {
+pub(crate) fn join_schema(left: &Table, right: &Table, right_keys: &[usize]) -> (Schema, Vec<usize>) {
     let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
     let mut right_payload = Vec::new();
     for (idx, name) in right.schema().names().iter().enumerate() {
@@ -113,6 +113,96 @@ fn join_schema(left: &Table, right: &Table, right_keys: &[usize]) -> (Schema, Ve
         right_payload.push(idx);
     }
     (Schema::new(names), right_payload)
+}
+
+/// A reusable build-side hash index for [`hash_join_probe`].
+///
+/// Engines evaluate left-deep BGP plans where consecutive triple patterns
+/// often share the same join variable (star-shaped queries around one
+/// subject are the common case in WatDiv and the paper's workloads). The
+/// build side of those joins can be indexed once and probed by every
+/// subsequent pattern — the shared-memory analogue of Spark reusing one
+/// broadcast relation across consecutive stages. The index remembers the
+/// key-column positions it was built on so stale reuse fails loudly.
+pub struct BuildIndex {
+    index: KeyIndex,
+    keys: Vec<usize>,
+}
+
+impl BuildIndex {
+    /// Key column positions (in the build-side table) the index covers.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.keys
+    }
+
+    /// Number of distinct join keys in the index.
+    pub fn num_keys(&self) -> usize {
+        self.index.num_keys()
+    }
+}
+
+/// Builds a hash index over `keys` of `table` for repeated probing with
+/// [`hash_join_probe`]. The caller is responsible for not mutating (or
+/// replacing) the build table between probes.
+pub fn build_join_index(table: &Table, keys: &[usize]) -> BuildIndex {
+    let index = build_index(table, keys);
+    metric_counter!("columnar.join.index_builds").inc();
+    metric_counter!("columnar.join.build_distinct_keys").add(index.num_keys() as u64);
+    BuildIndex {
+        index,
+        keys: keys.to_vec(),
+    }
+}
+
+/// Inner hash join probing a prebuilt [`BuildIndex`].
+///
+/// `build_is_left` fixes the output orientation: when `true` the result is
+/// the build columns followed by the probe non-key columns — identical to
+/// `hash_join_on(build, probe, ..)` — otherwise the probe columns followed
+/// by the build non-key columns. Probing an index built on a different
+/// table/key arity is a logic error (asserted).
+pub fn hash_join_probe(
+    build: &Table,
+    index: &BuildIndex,
+    probe: &Table,
+    probe_keys: &[usize],
+    build_is_left: bool,
+) -> Table {
+    assert_eq!(
+        index.keys.len(),
+        probe_keys.len(),
+        "probe key arity does not match the prebuilt index"
+    );
+    let _span = SpanTimer::start(metric_histogram!("columnar.join.wall_micros"));
+    let mut scratch: Vec<u32> = Vec::new();
+    let out = if build_is_left {
+        let (schema, right_payload) = join_schema(build, probe, probe_keys);
+        let mut out = Table::empty(schema);
+        for probe_row in 0..probe.num_rows() {
+            if let Some(matches) = index.index.probe(probe, probe_keys, probe_row, &mut scratch) {
+                for &b in matches {
+                    push_joined(&mut out, build, b as usize, probe, probe_row, &right_payload);
+                }
+            }
+        }
+        out
+    } else {
+        let (schema, right_payload) = join_schema(probe, build, &index.keys);
+        let mut out = Table::empty(schema);
+        for probe_row in 0..probe.num_rows() {
+            if let Some(matches) = index.index.probe(probe, probe_keys, probe_row, &mut scratch) {
+                for &b in matches {
+                    push_joined(&mut out, probe, probe_row, build, b as usize, &right_payload);
+                }
+            }
+        }
+        out
+    };
+    metric_counter!("columnar.join.calls").inc();
+    metric_counter!("columnar.join.build_rows").add(build.num_rows() as u64);
+    metric_counter!("columnar.join.probe_rows").add(probe.num_rows() as u64);
+    metric_counter!("columnar.join.out_rows").add(out.num_rows() as u64);
+    out
 }
 
 /// Inner hash join on explicit key-column pairs `(left_col, right_col)`.
@@ -404,6 +494,43 @@ mod tests {
         let j = left_outer_join(&l, &r);
         assert_eq!(j.num_rows(), 1);
         assert_eq!(j.row_vec(0), vec![1, NULL_ID, NULL_ID]);
+    }
+
+    #[test]
+    fn prebuilt_index_matches_hash_join_on_both_orientations() {
+        let acc = follows().with_schema(Schema::new(["x", "j"]));
+        let pat = likes().with_schema(Schema::new(["j", "w"]));
+        let j = acc.schema().index_of("j").unwrap();
+        let pj = pat.schema().index_of("j").unwrap();
+        let index = build_join_index(&acc, &[j]);
+        assert_eq!(index.key_positions(), &[j]);
+
+        // build-as-left matches hash_join_on(acc, pat, ..) exactly.
+        let via_index = hash_join_probe(&acc, &index, &pat, &[pj], true);
+        let direct = hash_join_on(&acc, &pat, &[(j, pj)]);
+        assert_eq!(via_index, direct);
+
+        // build-as-right matches hash_join_on(pat, acc, ..) exactly.
+        let via_index = hash_join_probe(&acc, &index, &pat, &[pj], false);
+        let direct = hash_join_on(&pat, &acc, &[(pj, j)]);
+        assert_eq!(via_index, direct);
+    }
+
+    #[test]
+    fn prebuilt_index_is_reusable_across_probes() {
+        // One build, two probes — the star-query pattern the engine cache
+        // exploits for consecutive patterns sharing a join variable.
+        let acc = Table::from_rows(Schema::new(["s", "a"]), &[[1, 10], [2, 20], [2, 21]]);
+        let s = 0;
+        let index = build_join_index(&acc, &[s]);
+        let p1 = Table::from_rows(Schema::new(["s", "b"]), &[[2, 30]]);
+        let p2 = Table::from_rows(Schema::new(["s", "c"]), &[[1, 40], [2, 41]]);
+        let j1 = hash_join_probe(&acc, &index, &p1, &[0], true);
+        assert_eq!(j1, hash_join_on(&acc, &p1, &[(s, 0)]));
+        let j2 = hash_join_probe(&acc, &index, &p2, &[0], true);
+        assert_eq!(j2, hash_join_on(&acc, &p2, &[(s, 0)]));
+        assert_eq!(j1.num_rows(), 2);
+        assert_eq!(j2.num_rows(), 3);
     }
 
     #[test]

@@ -12,6 +12,10 @@ mod set;
 mod sort;
 
 pub use basic::{filter, project, project_rename, select_eq};
-pub use join::{hash_join_on, left_outer_join, natural_join, semi_join_on};
+pub(crate) use join::join_schema;
+pub use join::{
+    build_join_index, hash_join_on, hash_join_probe, left_outer_join, natural_join, semi_join_on,
+    BuildIndex,
+};
 pub use set::{distinct, union};
-pub use sort::{slice, sort_by};
+pub use sort::{slice, sort_by, sort_by_key_radix};

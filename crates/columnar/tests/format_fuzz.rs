@@ -80,7 +80,7 @@ fn torn_write_reopen_loads_or_fails_cleanly() {
         std::fs::write(dir.join(&victim_file), &original[..cut]).unwrap();
         let store = TableStore::open(&dir).unwrap();
         // The untouched table always survives the reopen…
-        assert_eq!(store.load("VP/likes").unwrap(), sample());
+        assert_eq!(*store.load("VP/likes").unwrap(), sample());
         // …and the torn one fails loudly rather than decoding garbage.
         match store.load("VP/follows") {
             Err(
@@ -93,7 +93,7 @@ fn torn_write_reopen_loads_or_fails_cleanly() {
     // Restoring the full bytes restores the table: detection is stateless.
     std::fs::write(dir.join(&victim_file), &original).unwrap();
     let store = TableStore::open(&dir).unwrap();
-    assert_eq!(store.load("VP/follows").unwrap(), sample());
+    assert_eq!(*store.load("VP/follows").unwrap(), sample());
     assert!(store.verify_all().is_clean());
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,10 +1,10 @@
 //! The S2RDF engine: ExtVP-aware BGP evaluation (paper §6).
 
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 use s2rdf_columnar::exec::natural_join_auto;
-use s2rdf_columnar::Table;
+use s2rdf_columnar::{ops, Table};
 use s2rdf_model::{Dictionary, TermId};
-use s2rdf_sparql::TriplePattern;
+use s2rdf_sparql::{TermPattern, TriplePattern};
 
 use crate::catalog::ExtVpKey;
 use crate::compiler::bgp::{compile_bgp, CompileOptions};
@@ -40,44 +40,62 @@ impl<'a> S2rdfEngine<'a> {
         self.use_extvp
     }
 
-    fn exec_step(&self, step: &TpPlan, ctx: &mut ExecContext<'_>) -> Result<Table, CoreError> {
+    /// Executes one scan step. Returns the scanned table plus, when the
+    /// scan is a *pure rename* of a stored table (every pattern position a
+    /// distinct variable, no bound constants, no correlation
+    /// intersection), the stored table's name: successive scans of the
+    /// same source are then row-identical, so `eval_bgp` can reuse a join
+    /// hash index built over one of them for the others.
+    fn exec_step(
+        &self,
+        step: &TpPlan,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<(Table, Option<String>), CoreError> {
         let dict = self.store.dict();
         let started = std::time::Instant::now();
         let span = ctx.span_open("scan");
-        let (out, name, sf, rationale) = match step.source {
+        let intersected = ctx.options.intersect_correlations && !step.extra_reducers.is_empty();
+        let (out, name, sf, rationale, source) = match step.source {
             TableSource::TriplesTable => {
-                let out = scan_pattern(
-                    self.store.triples_table(),
-                    &[(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)],
-                    dict,
-                );
+                let cols = [(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)];
+                let out = scan_pattern(self.store.triples_table(), &cols, dict);
+                let source = (!intersected && distinct_vars(&cols))
+                    .then(|| TT_NAME.to_string());
                 let rationale = "triples table: predicate unbound, no VP candidate".to_string();
-                (out, TT_NAME.to_string(), step.sf, rationale)
+                (out, TT_NAME.to_string(), step.sf, rationale, source)
             }
             TableSource::Vp(p) => {
-                let table =
-                    self.store.vp_table(p).expect("compiler selected an existing VP table");
+                let name = vp_table_name(dict, p);
+                let table = self.store.try_vp_table(p)?.ok_or_else(|| {
+                    CoreError::Catalog(format!(
+                        "VP table {name} missing though the compiler selected it"
+                    ))
+                })?;
                 let table = self.apply_intersection(table, step, ctx);
-                let out = scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
+                let cols = [(0, &step.tp.s), (1, &step.tp.o)];
+                let out = scan_pattern(&table, &cols, dict);
+                let source = (!intersected && distinct_vars(&cols)).then(|| name.clone());
                 let rationale = if self.use_extvp {
                     "VP: no ExtVP reduction under threshold for this pattern".to_string()
                 } else {
                     "VP: ExtVP disabled for this engine".to_string()
                 };
-                (out, vp_table_name(dict, p), step.sf, rationale)
+                (out, name, step.sf, rationale, source)
             }
             TableSource::ExtVp(key) => {
                 let planned = extvp_table_name(dict, &key);
                 match self.load_extvp_with_retry(&key, &planned, ctx) {
                     Ok(table) => {
                         let table = self.apply_intersection(table, step, ctx);
-                        let out =
-                            scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
+                        let cols = [(0, &step.tp.s), (1, &step.tp.o)];
+                        let out = scan_pattern(&table, &cols, dict);
+                        let source =
+                            (!intersected && distinct_vars(&cols)).then(|| planned.clone());
                         let rationale = format!(
                             "ExtVP: most selective correlation (SF {:.3} ≤ threshold)",
                             step.sf
                         );
-                        (out, planned, step.sf, rationale)
+                        (out, planned, step.sf, rationale, source)
                     }
                     Err((attempts, reason)) => {
                         // Degraded execution: every ExtVP partition is a
@@ -88,7 +106,7 @@ impl<'a> S2rdfEngine<'a> {
                         // lost partition from lineage).
                         let p1 = TermId(key.p1);
                         let fallback = vp_table_name(dict, p1);
-                        let table = self.store.vp_table(p1).ok_or_else(|| {
+                        let table = self.store.try_vp_table(p1)?.ok_or_else(|| {
                             CoreError::Catalog(format!(
                                 "VP table {fallback} missing; cannot degrade {planned}"
                             ))
@@ -100,17 +118,18 @@ impl<'a> S2rdfEngine<'a> {
                             attempts,
                         });
                         let table = self.apply_intersection(table, step, ctx);
-                        let out =
-                            scan_pattern(&table, &[(0, &step.tp.s), (1, &step.tp.o)], dict);
+                        let cols = [(0, &step.tp.s), (1, &step.tp.o)];
+                        let out = scan_pattern(&table, &cols, dict);
+                        let source =
+                            (!intersected && distinct_vars(&cols)).then(|| fallback.clone());
                         let rationale =
                             format!("degraded: {planned} unavailable, VP base table used");
-                        (out, format!("{fallback} (degraded)"), 1.0, rationale)
+                        (out, format!("{fallback} (degraded)"), 1.0, rationale, source)
                     }
                 }
             }
             TableSource::Empty => unreachable!("empty plans short-circuit earlier"),
         };
-        let intersected = ctx.options.intersect_correlations && !step.extra_reducers.is_empty();
         let table_label = if intersected {
             format!("{name} ∩ {} reducers", step.extra_reducers.len())
         } else {
@@ -124,7 +143,7 @@ impl<'a> S2rdfEngine<'a> {
             wall_micros: started.elapsed().as_micros() as u64,
             rationale,
         });
-        Ok(out)
+        Ok((out, source))
     }
 
     /// Loads an ExtVP partition with bounded retries
@@ -233,21 +252,66 @@ impl BgpEvaluator for S2rdfEngine<'_> {
             ctx.explain.statically_empty = true;
             return Ok(empty_bgp_table(bgp));
         }
+        // Build-side hash indexes keyed by (stored table name, key column
+        // positions). A star query scans the same VP/ExtVP table for
+        // several patterns with the same join variable; the scans are pure
+        // renames of the stored table, so one build pass serves them all.
+        let mut index_cache: FxHashMap<(String, Vec<usize>), ops::BuildIndex> =
+            FxHashMap::default();
         let mut result: Option<Table> = None;
         for step in &plan.steps {
             ctx.check_deadline()?;
-            let scanned = self.exec_step(step, ctx)?;
+            let (scanned, source) = self.exec_step(step, ctx)?;
             result = Some(match result {
                 None => scanned,
                 Some(acc) => {
                     let span = ctx.span_open("join");
-                    let joined = natural_join_auto(&acc, &scanned);
+                    // Natural-join key columns, paired by variable name.
+                    let mut scan_keys = Vec::new();
+                    let mut acc_keys = Vec::new();
+                    for (i, name) in scanned.schema().names().iter().enumerate() {
+                        if let Some(j) = acc.schema().index_of(name.as_ref()) {
+                            scan_keys.push(i);
+                            acc_keys.push(j);
+                        }
+                    }
+                    let mut reused = false;
+                    let joined = match source {
+                        Some(src) if !scan_keys.is_empty() => {
+                            let cache_key = (src, scan_keys.clone());
+                            if let Some(index) = index_cache.get(&cache_key) {
+                                // The cached index was built over a
+                                // row-identical scan of the same source,
+                                // so its row ids address `scanned`
+                                // directly (which supplies this step's
+                                // column names).
+                                reused = true;
+                                ctx.explain.index_reuses += 1;
+                                s2rdf_columnar::metrics::counter(
+                                    "columnar.join.index_reuses",
+                                )
+                                .inc();
+                                ops::hash_join_probe(&scanned, index, &acc, &acc_keys, false)
+                            } else if scanned.num_rows() <= acc.num_rows() {
+                                let index = ops::build_join_index(&scanned, &scan_keys);
+                                let out = ops::hash_join_probe(
+                                    &scanned, &index, &acc, &acc_keys, false,
+                                );
+                                index_cache.insert(cache_key, index);
+                                out
+                            } else {
+                                natural_join_auto(&acc, &scanned)
+                            }
+                        }
+                        _ => natural_join_auto(&acc, &scanned),
+                    };
                     ctx.span_close(
                         span,
                         format!(
-                            "build={} probe={}",
+                            "build={} probe={}{}",
                             acc.num_rows().min(scanned.num_rows()),
-                            acc.num_rows().max(scanned.num_rows())
+                            acc.num_rows().max(scanned.num_rows()),
+                            if reused { ", index reused" } else { "" }
                         ),
                         Some(joined.num_rows()),
                     );
@@ -263,6 +327,21 @@ impl BgpEvaluator for S2rdfEngine<'_> {
         }
         Ok(result.expect("eval_bgp called with non-empty BGP"))
     }
+}
+
+/// True when every pattern position is a variable and no variable repeats
+/// — exactly the case where [`scan_pattern`] is a pure column rename of
+/// the stored table (same rows, same order), making its hash index
+/// shareable across scans of the same source.
+fn distinct_vars(cols: &[(usize, &TermPattern)]) -> bool {
+    let mut names: Vec<&str> = Vec::new();
+    for (_, pat) in cols {
+        match pat.as_var() {
+            Some(v) if !names.contains(&v) => names.push(v),
+            _ => return false,
+        }
+    }
+    true
 }
 
 impl SparqlEngine for S2rdfEngine<'_> {
@@ -458,6 +537,29 @@ mod tests {
             )
             .unwrap();
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn star_query_reuses_join_index_across_patterns() {
+        // Three patterns share the object variable ?x and (with OO not
+        // built) all scan the same VP table as pure renames, so the third
+        // join can probe the hash index built for the second.
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let q = "SELECT * WHERE { ?a <likes> ?x . ?b <likes> ?x . ?c <likes> ?x }";
+        let (ext, ex_ext) = store.engine(true).query_opt(q, &Default::default()).unwrap();
+        let (vp, ex_vp) = store.engine(false).query_opt(q, &Default::default()).unwrap();
+        assert_eq!(ext.canonical(), vp.canonical());
+        // likes = {(A,I1),(A,I2),(C,I2)}: I1 contributes 1³, I2 2³.
+        assert_eq!(ext.len(), 9);
+        assert!(
+            ex_ext.index_reuses >= 1 && ex_vp.index_reuses >= 1,
+            "expected index reuse, got ext={} vp={}",
+            ex_ext.index_reuses,
+            ex_vp.index_reuses
+        );
+        // Non-star queries never reuse (every source is scanned once).
+        let (_, ex_q1) = store.engine(true).query_opt(Q1, &Default::default()).unwrap();
+        assert_eq!(ex_q1.index_reuses, 0);
     }
 
     #[test]

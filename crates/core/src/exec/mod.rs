@@ -139,6 +139,10 @@ pub struct Explain {
     /// Transient partition-load errors that a retry or fallback absorbed;
     /// the query still produced exact results despite them.
     pub recovered_errors: Vec<String>,
+    /// BGP joins that reused a previously built hash index because the
+    /// build side was a repeated pure-rename scan of the same stored table
+    /// (star patterns sharing a join variable).
+    pub index_reuses: usize,
     /// Per-operator span tree, collected when [`QueryOptions::profile`] is
     /// set (otherwise `None`).
     pub trace: Option<Trace>,

@@ -2,9 +2,10 @@
 
 use std::cmp::Ordering;
 
+use rustc_hash::FxHashMap;
 use s2rdf_columnar::exec::natural_join_auto;
 use s2rdf_columnar::{ops, Schema, Table, NULL_ID};
-use s2rdf_model::{Term, TermId};
+use s2rdf_model::{Dictionary, Term, TermId};
 use s2rdf_sparql::{optimizer, Expression, GraphPattern, Query, Value};
 
 use crate::error::CoreError;
@@ -353,6 +354,17 @@ fn order_table(
 ) -> Result<Table, CoreError> {
     ctx.check_deadline()?;
     let dict = ctx.dict;
+    // Fast path: `ORDER BY ?v` / `ORDER BY DESC(?v)` over a bound column
+    // sorts one u32 column under a per-id rank, so the O(n) radix sort
+    // replaces the O(n log n) comparison sort. Multi-key and expression
+    // conditions fall through to the general path below.
+    if let [cond] = conditions {
+        if let Expression::Var(v) = &cond.expr {
+            if let Some(col) = table.schema().index_of(v) {
+                return Ok(radix_order_by_var(table, col, cond.descending, dict));
+            }
+        }
+    }
     let mut keys: Vec<Vec<Option<Term>>> = Vec::with_capacity(table.num_rows());
     for row in 0..table.num_rows() {
         let lookup = |var: &str| -> Option<&Term> {
@@ -385,6 +397,42 @@ fn order_table(
         }
         Ordering::Equal
     }))
+}
+
+/// Single-variable ORDER BY via [`ops::sort_by_key_radix`]: the column's
+/// distinct ids are ranked by SPARQL value order (unbound first), with
+/// value-equal terms collapsed onto one rank so ties keep input order
+/// exactly as the stable comparison sort would; DESC negates the ranks,
+/// which reverses the total order while preserving stability.
+fn radix_order_by_var(table: &Table, col: usize, descending: bool, dict: &Dictionary) -> Table {
+    let column = table.column(col);
+    let mut distinct: Vec<u32> = column.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let term_of =
+        |id: u32| -> Option<&Term> { if id == NULL_ID { None } else { dict.get(TermId(id)) } };
+    let cmp = |a: Option<&Term>, b: Option<&Term>| match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => x.value_cmp(y),
+    };
+    distinct.sort_by(|&a, &b| cmp(term_of(a), term_of(b)));
+    let mut rank_of: FxHashMap<u32, u32> = FxHashMap::default();
+    rank_of.reserve(distinct.len());
+    let mut rank = 0u32;
+    let mut prev: Option<u32> = None;
+    for &id in &distinct {
+        if let Some(p) = prev {
+            if cmp(term_of(p), term_of(id)) != Ordering::Equal {
+                rank += 1;
+            }
+        }
+        rank_of.insert(id, if descending { !rank } else { rank });
+        prev = Some(id);
+    }
+    let keys: Vec<u32> = column.iter().map(|v| rank_of[v]).collect();
+    ops::sort_by_key_radix(table, &keys)
 }
 
 fn format_number(n: f64) -> String {

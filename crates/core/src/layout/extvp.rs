@@ -138,10 +138,17 @@ impl ExtVpMode {
 /// The built ExtVP payloads, shaped by [`ExtVpMode`].
 #[derive(Debug, Default)]
 pub enum ExtVpStorage {
-    /// Materialized tuple tables.
+    /// Materialized tuple tables, resident in memory (freshly built
+    /// stores).
     Rows(FxHashMap<ExtVpKey, std::sync::Arc<Table>>),
     /// Row bitmaps over the VP tables.
     Bits(FxHashMap<ExtVpKey, Bitmap>),
+    /// Materialized tuple tables served on demand from the store's
+    /// [`s2rdf_columnar::TableStore`] — the representation a
+    /// [`crate::store::S2rdfStore::load`]ed store uses so that opening a
+    /// database reads the manifest, not every table body (Spark reading
+    /// Parquet footers up front but column chunks per query).
+    Disk,
     /// Nothing materialized; resolve via semi-joins on demand.
     Lazy,
     /// ExtVP disabled entirely.
@@ -286,10 +293,20 @@ pub fn compute_partition(
     vp: &FxHashMap<TermId, std::sync::Arc<Table>>,
     key: &ExtVpKey,
 ) -> Option<Table> {
-    let vp1 = vp.get(&TermId(key.p1))?;
-    let vp2 = vp.get(&TermId(key.p2))?;
+    compute_partition_with(|p| vp.get(&p).cloned(), key)
+}
+
+/// Closure-based variant of [`compute_partition`]: the VP lookup may load
+/// a table body on demand (e.g. from a lazily-opened
+/// [`s2rdf_columnar::TableStore`]) rather than index an in-memory map.
+pub fn compute_partition_with(
+    mut vp: impl FnMut(TermId) -> Option<std::sync::Arc<Table>>,
+    key: &ExtVpKey,
+) -> Option<Table> {
+    let vp1 = vp(TermId(key.p1))?;
+    let vp2 = vp(TermId(key.p2))?;
     let (lk, rk) = semi_join_columns(key.corr);
-    Some(s2rdf_columnar::ops::semi_join_on(vp1, lk, vp2, rk))
+    Some(s2rdf_columnar::ops::semi_join_on(&vp1, lk, &vp2, rk))
 }
 
 /// The `(left, right)` key columns of the semi-join defining a

@@ -3,12 +3,13 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use s2rdf_columnar::{Bitmap, FaultInjector, Table, TableStore};
+use s2rdf_columnar::{Bitmap, ColumnarError, FaultInjector, Table, TableStore};
 use s2rdf_model::{Dictionary, Graph, Term, TermId};
 
 use crate::catalog::{Catalog, Correlation, ExtVpKey};
@@ -17,7 +18,8 @@ use crate::engines::SparqlEngine;
 use crate::error::CoreError;
 use crate::exec::{Explain, QueryOptions, Solutions};
 use crate::layout::extvp::{
-    build_extvp, compute_partition, ExtVpBuildOptions, ExtVpMode, ExtVpStorage,
+    build_extvp, compute_partition, compute_partition_with, ExtVpBuildOptions, ExtVpMode,
+    ExtVpStorage,
 };
 use crate::layout::{
     extvp_table_name, triples_table::build_triples_table, vp::build_vp, vp_table_name, TT_NAME,
@@ -54,20 +56,37 @@ impl Default for BuildOptions {
 }
 
 /// An S2RDF store over one RDF dataset.
+///
+/// Freshly [`build`](S2rdfStore::build)-t stores hold every table in
+/// memory. [`load`](S2rdfStore::load)-ed stores are *demand-driven*: only
+/// the manifest, catalog and dictionary are read eagerly (plus a raw CRC
+/// sweep over the ground-truth triples/VP files); table bodies stay on
+/// disk behind `disk` and are decoded — and checksum-verified — on first
+/// access, the shared-memory analogue of Spark reading Parquet column
+/// chunks per query rather than at session start.
 #[derive(Debug)]
 pub struct S2rdfStore {
     dict: Dictionary,
-    tt: Table,
+    tt: Arc<Table>,
+    /// In-memory VP tables (built stores). Empty for loaded stores, which
+    /// serve VP bodies on demand from `disk`.
     vp: FxHashMap<TermId, Arc<Table>>,
     extvp: ExtVpStorage,
+    /// Backing table store of a loaded database: serves VP and ExtVP
+    /// bodies lazily, with an internal `Arc<Table>` cache.
+    disk: Option<TableStore>,
     /// Cache for lazily computed partitions (the "pay as you go" mode).
     lazy_cache: RwLock<FxHashMap<ExtVpKey, Arc<Table>>>,
     catalog: Catalog,
-    /// ExtVP partitions whose persisted form failed to load (checksum
-    /// mismatch, corrupt file, I/O error). Queries transparently fall back
-    /// to the VP tables for these; [`S2rdfStore::verify_and_repair`]
-    /// rebuilds them.
-    quarantine: FxHashSet<ExtVpKey>,
+    /// ExtVP partitions whose persisted form failed verification (checksum
+    /// mismatch, corrupt file). Discovered on first touch under lazy
+    /// loading (or by the sweep in [`S2rdfStore::quarantined`]); queries
+    /// transparently fall back to the VP tables for these and
+    /// [`S2rdfStore::verify_and_repair`] rebuilds them.
+    quarantine: RwLock<FxHashSet<ExtVpKey>>,
+    /// One-shot flag for the corruption sweep behind
+    /// [`S2rdfStore::quarantined`].
+    swept: AtomicBool,
     /// Optional deterministic fault injection on the partition access path
     /// (see [`s2rdf_columnar::fault`]).
     faults: Option<Arc<FaultInjector>>,
@@ -101,12 +120,14 @@ impl S2rdfStore {
         };
         S2rdfStore {
             dict: graph.dict().clone(),
-            tt,
+            tt: Arc::new(tt),
             vp,
             extvp,
+            disk: None,
             lazy_cache: RwLock::new(FxHashMap::default()),
             catalog,
-            quarantine: FxHashSet::default(),
+            quarantine: RwLock::new(FxHashSet::default()),
+            swept: AtomicBool::new(true), // nothing on disk to sweep
             faults: None,
         }
     }
@@ -124,7 +145,9 @@ impl S2rdfStore {
     /// The ExtVP storage mode of this store.
     pub fn mode(&self) -> ExtVpMode {
         match &self.extvp {
-            ExtVpStorage::Rows(_) | ExtVpStorage::None => ExtVpMode::Materialized,
+            ExtVpStorage::Rows(_) | ExtVpStorage::Disk | ExtVpStorage::None => {
+                ExtVpMode::Materialized
+            }
             ExtVpStorage::Bits(_) => ExtVpMode::BitVector,
             ExtVpStorage::Lazy => ExtVpMode::Lazy,
         }
@@ -135,9 +158,27 @@ impl S2rdfStore {
         &self.tt
     }
 
-    /// A VP table by predicate id.
+    /// A VP table by predicate id. Infallible convenience over
+    /// [`S2rdfStore::try_vp_table`]: transient read errors surface as
+    /// `None` (callers that must distinguish use the fallible variant).
     pub fn vp_table(&self, p: TermId) -> Option<Arc<Table>> {
-        self.vp.get(&p).cloned()
+        self.try_vp_table(p).ok().flatten()
+    }
+
+    /// A VP table by predicate id, loading the body from disk on first
+    /// access for [`S2rdfStore::load`]-ed stores. `Ok(None)` means the
+    /// predicate has no VP table; `Err` is a read failure worth
+    /// surfacing/retrying.
+    pub fn try_vp_table(&self, p: TermId) -> Result<Option<Arc<Table>>, CoreError> {
+        if let Some(table) = self.vp.get(&p) {
+            return Ok(Some(table.clone()));
+        }
+        let Some(disk) = &self.disk else { return Ok(None) };
+        let name = vp_table_name(&self.dict, p);
+        if !disk.contains(&name) {
+            return Ok(None);
+        }
+        Ok(Some(disk.load(&name)?))
     }
 
     /// Attaches (or detaches) a deterministic fault injector on the ExtVP
@@ -151,12 +192,39 @@ impl S2rdfStore {
         self.faults.as_ref()
     }
 
-    /// ExtVP partitions quarantined at load time because their persisted
-    /// form was corrupt, sorted for stable output.
+    /// ExtVP partitions quarantined because their persisted form was
+    /// corrupt, sorted for stable output.
+    ///
+    /// Under demand-driven loading corruption is normally discovered on
+    /// first touch; this accessor additionally runs a one-time raw CRC
+    /// sweep over the on-disk ExtVP files (no decode, no caching) so that
+    /// administrative callers see the full damage set without having to
+    /// query every partition first.
     pub fn quarantined(&self) -> Vec<ExtVpKey> {
-        let mut keys: Vec<ExtVpKey> = self.quarantine.iter().copied().collect();
+        self.ensure_quarantine_sweep();
+        let mut keys: Vec<ExtVpKey> = self.quarantine.read().iter().copied().collect();
         keys.sort();
         keys
+    }
+
+    /// One-shot raw-CRC sweep of on-disk ExtVP bodies feeding the
+    /// quarantine set (see [`S2rdfStore::quarantined`]).
+    fn ensure_quarantine_sweep(&self) {
+        if self.swept.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let Some(disk) = &self.disk else { return };
+        if !matches!(self.extvp, ExtVpStorage::Disk) {
+            return;
+        }
+        let mut quarantine = self.quarantine.write();
+        for name in disk.names() {
+            if name.starts_with("ExtVP_") && disk.verify_checksum(&name).is_err() {
+                if let Ok(key) = parse_extvp_name(&name, &self.dict) {
+                    quarantine.insert(key);
+                }
+            }
+        }
     }
 
     /// Resolves an ExtVP partition to a queryable table, whatever the
@@ -167,16 +235,17 @@ impl S2rdfStore {
     /// Returns `None` for quarantined partitions (corrupt at load time);
     /// callers fall back to the VP table, which is always a superset.
     pub fn extvp_table(&self, key: &ExtVpKey) -> Option<Arc<Table>> {
-        if self.quarantine.contains(key) {
+        if self.quarantine.read().contains(key) {
             return None;
         }
         match &self.extvp {
             ExtVpStorage::None => None,
             ExtVpStorage::Rows(tables) => tables.get(key).cloned(),
+            ExtVpStorage::Disk => self.disk_extvp(key).ok().flatten(),
             ExtVpStorage::Bits(bits) => {
                 let bitmap = bits.get(key)?;
-                let base = self.vp.get(&TermId(key.p1))?;
-                Some(Arc::new(bitmap.gather(base)))
+                let base = self.vp_table(TermId(key.p1))?;
+                Some(Arc::new(bitmap.gather(&base)))
             }
             ExtVpStorage::Lazy => {
                 let eligible = self.catalog.extvp_stat(key)?.materialized;
@@ -186,13 +255,37 @@ impl S2rdfStore {
                 if let Some(hit) = self.lazy_cache.read().get(key) {
                     return Some(hit.clone());
                 }
-                let computed = Arc::new(compute_partition(&self.vp, key)?);
+                let computed =
+                    Arc::new(compute_partition_with(|p| self.vp_table(p), key)?);
                 self.lazy_cache
                     .write()
                     .entry(*key)
                     .or_insert_with(|| computed.clone());
                 Some(computed)
             }
+        }
+    }
+
+    /// Demand-loads an on-disk ExtVP body. `Ok(None)` when the partition
+    /// was never materialized *or* its body is corrupt (the partition is
+    /// quarantined as a side effect — non-retryable, the engine degrades
+    /// to VP); `Err` for transient I/O failures worth retrying.
+    fn disk_extvp(&self, key: &ExtVpKey) -> Result<Option<Arc<Table>>, CoreError> {
+        let Some(disk) = &self.disk else { return Ok(None) };
+        let name = extvp_table_name(&self.dict, key);
+        if !disk.contains(&name) {
+            return Ok(None);
+        }
+        match disk.load(&name) {
+            Ok(table) => Ok(Some(table)),
+            Err(ColumnarError::ChecksumMismatch { .. } | ColumnarError::CorruptFile(_)) => {
+                // Derived data failed verification on first touch: a
+                // permanent fault. Quarantine so the planner's fallback is
+                // stable, never an error the engine keeps retrying.
+                self.quarantine.write().insert(*key);
+                Ok(None)
+            }
+            Err(e) => Err(CoreError::Columnar(e)),
         }
     }
 
@@ -209,6 +302,12 @@ impl S2rdfStore {
                 .before_read(&extvp_table_name(&self.dict, key))
                 .map_err(|e| CoreError::Columnar(e.into()))?;
         }
+        if matches!(self.extvp, ExtVpStorage::Disk) && !self.quarantine.read().contains(key) {
+            // Preserve the transient/permanent distinction of demand
+            // loading: I/O errors are retryable `Err`s, corruption
+            // quarantines and returns `Ok(None)`.
+            return self.disk_extvp(key);
+        }
         Ok(self.extvp_table(key))
     }
 
@@ -219,6 +318,12 @@ impl S2rdfStore {
             ExtVpStorage::None => 0,
             ExtVpStorage::Rows(tables) => tables.len(),
             ExtVpStorage::Bits(bits) => bits.len(),
+            // Counted from the manifest — no body is decoded for this.
+            ExtVpStorage::Disk => self
+                .disk
+                .as_ref()
+                .map(|d| d.names().iter().filter(|n| n.starts_with("ExtVP_")).count())
+                .unwrap_or(0),
             ExtVpStorage::Lazy => self
                 .catalog
                 .extvp_stats()
@@ -227,18 +332,21 @@ impl S2rdfStore {
         }
     }
 
-    /// Total tuples across VP tables (= |G|).
+    /// Total tuples across VP tables (= |G|). Answered from the catalog so
+    /// that demand-driven stores need not load any VP body for statistics.
     pub fn vp_tuples(&self) -> usize {
-        self.vp.values().map(|t| t.num_rows()).sum()
+        self.catalog.vp_sizes().map(|(_, n)| n).sum()
     }
 
     /// Total (logical) tuples across materialized ExtVP partitions.
+    /// Statistics-only: answered from catalog/bitmap metadata, never by
+    /// decoding table bodies.
     pub fn extvp_tuples(&self) -> usize {
         match &self.extvp {
             ExtVpStorage::None => 0,
             ExtVpStorage::Rows(tables) => tables.values().map(|t| t.num_rows()).sum(),
             ExtVpStorage::Bits(bits) => bits.values().map(Bitmap::count_ones).sum(),
-            ExtVpStorage::Lazy => self
+            ExtVpStorage::Disk | ExtVpStorage::Lazy => self
                 .catalog
                 .extvp_stats()
                 .filter(|(_, s)| s.materialized)
@@ -248,13 +356,19 @@ impl S2rdfStore {
     }
 
     /// In-memory bytes the ExtVP representation occupies (8 B/tuple for
-    /// tables, one bit per VP row for bitmaps, cache contents for lazy) —
-    /// the quantity the paper's §8 bit-vector idea targets.
+    /// tables, one bit per VP row for bitmaps, cache contents for lazy and
+    /// disk-backed stores) — the quantity the paper's §8 bit-vector idea
+    /// targets.
     pub fn extvp_payload_bytes(&self) -> usize {
         match &self.extvp {
             ExtVpStorage::None => 0,
             ExtVpStorage::Rows(tables) => tables.values().map(|t| t.byte_size()).sum(),
             ExtVpStorage::Bits(bits) => bits.values().map(Bitmap::byte_size).sum(),
+            // Approximation: the bodies resident in the demand-load cache
+            // (includes TT/VP bodies cached by the same store).
+            ExtVpStorage::Disk => {
+                self.disk.as_ref().map(|d| d.cached_bytes() as usize).unwrap_or(0)
+            }
             ExtVpStorage::Lazy => self
                 .lazy_cache
                 .read()
@@ -291,17 +405,34 @@ impl S2rdfStore {
         std::fs::create_dir_all(dir).map_err(|e| CoreError::Catalog(e.to_string()))?;
         let mut tables = TableStore::open(dir.join("tables"))?;
         tables.save(TT_NAME, &self.tt)?;
-        for (&p, table) in &self.vp {
+        // Catalog-driven so demand-driven stores (empty in-memory VP map)
+        // round-trip too: each body is pulled — possibly from disk — and
+        // re-persisted.
+        let preds: Vec<TermId> = self.catalog.vp_sizes().map(|(p, _)| p).collect();
+        for p in preds {
             debug_assert!(
                 self.dict.term(p).is_iri(),
                 "predicates must be IRIs for name round-tripping"
             );
-            tables.save(&vp_table_name(&self.dict, p), table)?;
+            let table = self.try_vp_table(p)?.ok_or_else(|| {
+                CoreError::Catalog(format!("VP table for predicate {} missing", p.0))
+            })?;
+            tables.save(&vp_table_name(&self.dict, p), &table)?;
         }
         match &self.extvp {
             ExtVpStorage::Rows(rows) => {
                 for (key, table) in rows {
                     tables.save(&extvp_table_name(&self.dict, key), table)?;
+                }
+            }
+            ExtVpStorage::Disk => {
+                if let Some(disk) = &self.disk {
+                    for name in disk.names() {
+                        if name.starts_with("ExtVP_") {
+                            let table = disk.load(&name)?;
+                            tables.save(&name, &table)?;
+                        }
+                    }
                 }
             }
             ExtVpStorage::Bits(bits) => {
@@ -350,34 +481,24 @@ impl S2rdfStore {
             .ok_or_else(|| CoreError::Catalog(format!("bad mode {}", catalog.extvp_mode)))?;
         let dict = load_dictionary(dir)?;
         let tables = TableStore::open(dir.join("tables"))?;
-        let tt = tables.load(TT_NAME)?;
-        let mut vp = FxHashMap::default();
-        let mut extvp_rows = FxHashMap::default();
-        let mut quarantine = FxHashSet::default();
+        // The ground truth (triples table + VP tables) must be intact for
+        // the store to be usable at all, so sweep its raw CRCs up front —
+        // a footer check per file, no body is decoded or cached. Derived
+        // ExtVP partitions are *not* swept here: they are verified on
+        // first touch and quarantined then (demand-driven loading).
+        tables.verify_checksum(TT_NAME)?;
         for name in tables.names() {
-            if let Some(term_text) = name.strip_prefix("VP/") {
-                let term = Term::parse_ntriples(term_text)?;
-                let p = dict
-                    .id(&term)
-                    .ok_or_else(|| CoreError::Catalog(format!("unknown predicate {term}")))?;
-                vp.insert(p, Arc::new(tables.load(&name)?));
-            } else if name.starts_with("ExtVP_") {
-                let key = parse_extvp_name(&name, &dict)?;
-                match tables.load(&name) {
-                    Ok(table) => {
-                        extvp_rows.insert(key, Arc::new(table));
-                    }
-                    Err(_) => {
-                        quarantine.insert(key);
-                    }
-                }
+            if name.starts_with("VP/") {
+                tables.verify_checksum(&name)?;
             }
         }
+        let tt = tables.load(TT_NAME)?;
+        let mut quarantine = FxHashSet::default();
         let extvp = if !catalog.extvp_built {
             ExtVpStorage::None
         } else {
             match mode {
-                ExtVpMode::Materialized => ExtVpStorage::Rows(extvp_rows),
+                ExtVpMode::Materialized => ExtVpStorage::Disk,
                 ExtVpMode::Lazy => ExtVpStorage::Lazy,
                 ExtVpMode::BitVector => {
                     let bm_dir = dir.join("bitmaps");
@@ -408,11 +529,13 @@ impl S2rdfStore {
         Ok(S2rdfStore {
             dict,
             tt,
-            vp,
+            vp: FxHashMap::default(),
             extvp,
+            disk: Some(tables),
             lazy_cache: RwLock::new(FxHashMap::default()),
             catalog,
-            quarantine,
+            quarantine: RwLock::new(quarantine),
+            swept: AtomicBool::new(false),
             faults: None,
         })
     }
@@ -473,7 +596,7 @@ impl S2rdfStore {
                 let p = dict
                     .id(&term)
                     .ok_or_else(|| CoreError::Catalog(format!("unknown predicate {term}")))?;
-                vp.insert(p, Arc::new(tables.load(name)?));
+                vp.insert(p, tables.load(name)?);
             }
         }
 

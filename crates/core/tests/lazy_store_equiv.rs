@@ -1,0 +1,166 @@
+//! Property tests for demand-driven store loading: a store served lazily
+//! from disk (manifest eagerly, table bodies on first touch) must be
+//! observationally equivalent to the eagerly built store it was saved
+//! from — same solutions (row multisets via canonicalization), same
+//! statistics — for every storage mode, under injected transient read
+//! faults, and under on-disk corruption of derived partitions.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use s2rdf_columnar::{FaultConfig, FaultInjector};
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::exec::QueryOptions;
+use s2rdf_core::{BuildOptions, ExtVpMode, S2rdfStore};
+use s2rdf_model::{Graph, Term, Triple};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "s2rdf-lazyeq-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+}
+
+/// Decodes `(s, p, o)` index triples into a graph. Objects with small
+/// indices alias the subject space so OS/SO correlations actually occur;
+/// three fixed triples guarantee every queried predicate exists in the
+/// dictionary.
+fn graph_from(indices: &[(u8, u8, u8)]) -> Graph {
+    let mut triples = vec![
+        t("s0", "p0", "s1"),
+        t("s1", "p1", "o9"),
+        t("s2", "p2", "o8"),
+    ];
+    for &(s, p, o) in indices {
+        let object = if o < 4 { format!("s{o}") } else { format!("o{o}") };
+        triples.push(t(&format!("s{}", s % 6), &format!("p{}", p % 3), &object));
+    }
+    Graph::from_triples(triples)
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT * WHERE { ?x <p0> ?y . ?y <p1> ?z }",
+    "SELECT * WHERE { ?a <p0> ?x . ?b <p1> ?x . ?c <p2> ?x }",
+    "SELECT * WHERE { ?s <p2> ?o }",
+    "SELECT * WHERE { ?x <p0> ?y . ?y <p0> ?z . ?z <p1> ?w }",
+];
+
+fn triples_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..6, 0u8..3, 0u8..10), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Save → load must preserve every query answer and statistic in all
+    /// three storage modes, without the loaded store being eager.
+    #[test]
+    fn loaded_store_equals_built_store(indices in triples_strategy()) {
+        let g = graph_from(&indices);
+        for mode in [ExtVpMode::Materialized, ExtVpMode::BitVector, ExtVpMode::Lazy] {
+            let built = S2rdfStore::build(&g, &BuildOptions { mode, ..Default::default() });
+            let dir = temp_store("mode");
+            built.save(&dir).unwrap();
+            let loaded = S2rdfStore::load(&dir).unwrap();
+            prop_assert_eq!(loaded.vp_tuples(), built.vp_tuples());
+            prop_assert_eq!(loaded.extvp_tuples(), built.extvp_tuples());
+            prop_assert_eq!(loaded.num_extvp_tables(), built.num_extvp_tables());
+            prop_assert!(loaded.quarantined().is_empty());
+            for q in QUERIES {
+                prop_assert_eq!(
+                    loaded.query(q).unwrap().canonical(),
+                    built.query(q).unwrap().canonical(),
+                    "{:?} {}", mode, q
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    /// Injected transient read faults on the partition access path change
+    /// retries/degradations, never answers; detaching the injector
+    /// restores fully healthy execution.
+    #[test]
+    fn injected_faults_never_change_answers(
+        indices in triples_strategy(),
+        read_error_pct in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let read_error = f64::from(read_error_pct) / 100.0;
+        let g = graph_from(&indices);
+        let built = S2rdfStore::build(&g, &BuildOptions::default());
+        let dir = temp_store("faults");
+        built.save(&dir).unwrap();
+        let mut loaded = S2rdfStore::load(&dir).unwrap();
+        loaded.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed,
+            read_error,
+            ..FaultConfig::default()
+        }))));
+        let options = QueryOptions { max_retries: 2, ..QueryOptions::default() };
+        for q in QUERIES {
+            let (faulty, _) = loaded.engine(true).query_opt(q, &options).unwrap();
+            prop_assert_eq!(
+                faulty.canonical(),
+                built.query(q).unwrap().canonical(),
+                "under faults: {}", q
+            );
+        }
+        loaded.set_fault_injector(None);
+        for q in QUERIES {
+            let (clean, explain) = loaded.engine(true).query_opt(q, &options).unwrap();
+            prop_assert!(explain.fully_healthy(), "{}: {:?}", q, explain.degraded_steps);
+            prop_assert_eq!(clean.canonical(), built.query(q).unwrap().canonical());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Corrupting every persisted ExtVP body after the save: the loaded
+    /// store quarantines them on first touch (checksum failure under lazy
+    /// loading) and every answer still matches the eager store via the VP
+    /// fallback.
+    #[test]
+    fn corrupt_extvp_bodies_degrade_without_wrong_answers(indices in triples_strategy()) {
+        let g = graph_from(&indices);
+        let built = S2rdfStore::build(&g, &BuildOptions::default());
+        let dir = temp_store("corrupt");
+        built.save(&dir).unwrap();
+        // Flip a byte in the middle of every ExtVP table file.
+        let manifest = std::fs::read_to_string(dir.join("tables/manifest.tsv")).unwrap();
+        let mut damaged = 0;
+        for line in manifest.lines() {
+            let (name, file) = line.split_once('\t').unwrap();
+            if !name.starts_with("ExtVP_") {
+                continue;
+            }
+            let path = dir.join("tables").join(file.split('\t').next().unwrap());
+            let mut data = std::fs::read(&path).unwrap();
+            let mid = data.len() / 2;
+            data[mid] ^= 0xFF;
+            std::fs::write(&path, data).unwrap();
+            damaged += 1;
+        }
+        let loaded = S2rdfStore::load(&dir).unwrap();
+        for q in QUERIES {
+            prop_assert_eq!(
+                loaded.query(q).unwrap().canonical(),
+                built.query(q).unwrap().canonical(),
+                "after corruption: {}", q
+            );
+        }
+        // The administrative sweep sees every damaged partition.
+        prop_assert_eq!(loaded.quarantined().len(), damaged);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
