@@ -1,0 +1,361 @@
+//! Writes `BENCH_pr5.json` — the adaptive-join-planner artifact.
+//!
+//! Usage: `bench_pr5 [--scale 1] [--out BENCH_pr5.json] [--baseline BENCH_pr3.json]`
+//!
+//! Four scenarios:
+//!
+//! 1. **Broadcast vs partitioned** — a small build side joined against a
+//!    large probe side; the broadcast-hash path must beat the partitioned
+//!    path (it skips the hash split of both inputs entirely), and the
+//!    planner must pick it from the default thresholds.
+//! 2. **Adaptive partition count** — sweep fixed partition counts, then
+//!    run the cardinality-derived count from [`adaptive_partitions`]; the
+//!    derived count must land within tolerance of the best fixed count.
+//! 3. **Skew** — the 90 %-hot-key join from BENCH_pr3, now through the
+//!    adaptive planner with runtime re-splitting; the post-mitigation
+//!    straggler must stay ≤ 1.5× the median partition.
+//! 4. **PR-3 comparable** — the exact BENCH_pr3 `par_join` workload, old
+//!    fixed-count path vs the adaptive planner. With `--baseline`, the new
+//!    medians are diffed against the committed BENCH_pr3 wall times and the
+//!    run fails on a >20 % regression (plus a 25 ms absolute floor, so
+//!    micro-workload jitter cannot fail the gate).
+//!
+//! Wall times are medians of 3 runs; counters are deterministic.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use s2rdf_bench::{dataset, Args};
+use s2rdf_columnar::exec::{
+    adaptive_partitions, broadcast_natural_join, default_parallelism, natural_join_adaptive,
+    par_natural_join, partitioned_natural_join, JoinConfig, JoinStrategy,
+};
+use s2rdf_columnar::{metrics, Schema, Table};
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::{BuildOptions, S2rdfStore};
+
+const WSDBM: &str = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+
+/// Regression tolerance against the committed baseline: 20 % relative plus
+/// a 25 ms absolute floor.
+const BASELINE_REL_PCT: f64 = 20.0;
+const BASELINE_ABS_FLOOR_MS: f64 = 25.0;
+
+fn main() {
+    let args = Args::parse();
+    let scale: u32 = args.get("scale", 1);
+    let out_path: String = args.get("out", "BENCH_pr5.json".to_string());
+    let baseline_path: String = args.get("baseline", String::new());
+    metrics::set_enabled(true);
+
+    // ---- Scenario 1: broadcast vs partitioned on a small build side ------
+    const BUILD_ROWS: u32 = 4_096;
+    const PROBE_ROWS: u32 = 600_000;
+    let build = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..BUILD_ROWS).collect(), (0..BUILD_ROWS).collect()],
+    );
+    let probe = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..PROBE_ROWS).map(|x| x % BUILD_ROWS).collect(), (0..PROBE_ROWS).collect()],
+    );
+    let parts = default_parallelism().clamp(2, 8);
+    let cfg = JoinConfig::default();
+    let (bcast_ms, bcast_rows) =
+        median3(|| broadcast_natural_join(&build, &probe, parts).num_rows());
+    let (parted_ms, parted_rows) =
+        median3(|| partitioned_natural_join(&build, &probe, parts, &cfg).0.num_rows());
+    assert_eq!(bcast_rows, parted_rows, "broadcast and partitioned joins disagree");
+    let (_, planner) = natural_join_adaptive(&build, &probe, &cfg);
+    assert_eq!(
+        planner.strategy,
+        JoinStrategy::Broadcast,
+        "planner must broadcast a {BUILD_ROWS}-row build side under default thresholds"
+    );
+    // Directional bound with slack for CI timer noise.
+    assert!(
+        bcast_ms <= parted_ms * 1.2,
+        "broadcast ({bcast_ms:.1} ms) not faster than partitioned ({parted_ms:.1} ms) \
+         on a small build side"
+    );
+    eprintln!(
+        "broadcast vs partitioned: {bcast_ms:.1} ms vs {parted_ms:.1} ms \
+         ({bcast_rows} rows, {parts} parts, planner chose {})",
+        planner.strategy
+    );
+
+    // ---- Scenario 2: cardinality-derived partition count ------------------
+    const SWEEP_PROBE: u32 = 786_432; // 48 × 16384-row targets
+    const SWEEP_KEYS: u32 = 65_536; // build side too big to broadcast
+    let sweep_build = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..SWEEP_KEYS).collect(), (0..SWEEP_KEYS).collect()],
+    );
+    let sweep_probe = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..SWEEP_PROBE).map(|x| x % SWEEP_KEYS).collect(), (0..SWEEP_PROBE).collect()],
+    );
+    // Benches pin the executor width (as BENCH_pr3 pinned 8 partitions) so
+    // wall times stay comparable across runners; the CLI default instead
+    // caps at the local core count.
+    let pinned_cfg = JoinConfig { max_partitions: 8, ..cfg };
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    for fixed in [1usize, 2, 4, 8, 16] {
+        let (ms, _) = median3(|| {
+            partitioned_natural_join(&sweep_build, &sweep_probe, fixed, &cfg).0.num_rows()
+        });
+        sweep.push((fixed, ms));
+    }
+    let derived = adaptive_partitions(sweep_probe.num_rows(), &pinned_cfg);
+    let (adaptive_ms, _) =
+        median3(|| partitioned_natural_join(&sweep_build, &sweep_probe, derived, &cfg).0.num_rows());
+    let &(best_parts, best_ms) = sweep
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+        .expect("non-empty sweep");
+    let ratio_pct = adaptive_ms / best_ms * 100.0;
+    // Target is within 10 % of the best fixed count; asserted with extra
+    // headroom (plus a 5 ms floor) so shared-runner jitter cannot flake.
+    assert!(
+        adaptive_ms <= best_ms * 1.25 + 5.0,
+        "adaptive partition count {derived} ({adaptive_ms:.1} ms) too far from best \
+         fixed count {best_parts} ({best_ms:.1} ms)"
+    );
+    eprintln!(
+        "partition sweep: best fixed {best_parts} parts at {best_ms:.1} ms; \
+         adaptive picked {derived} parts at {adaptive_ms:.1} ms ({ratio_pct:.0}% of best)"
+    );
+
+    // ---- Scenario 3: 90 %-hot-key skew through the adaptive planner -------
+    let skew_left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        cols2(&skewed_rows(20_000, 42, 90, 0x5EED)),
+    );
+    let skew_right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        cols2(&skewed_rows(2_000, 42, 90, 0xF00D)),
+    );
+    let skew_cfg = JoinConfig {
+        serial_row_threshold: 0,
+        broadcast_rows: 0,
+        broadcast_bytes: 0,
+        target_partition_rows: 2_500, // 20k probe rows → 8 partitions
+        max_partitions: 8,
+        ..JoinConfig::default()
+    };
+    metrics::reset();
+    let mut skew_decision = None;
+    let (skew_ms, skew_out_rows) = median3(|| {
+        let (out, decision) = natural_join_adaptive(&skew_left, &skew_right, &skew_cfg);
+        skew_decision = Some(decision);
+        out.num_rows()
+    });
+    let skew_decision = skew_decision.expect("median3 ran");
+    let presplit = metrics::gauge("columnar.par_join.presplit_skew_pct").get();
+    let straggler = metrics::gauge("columnar.par_join.straggler_pct").get();
+    assert!(
+        straggler <= 150,
+        "straggler partition at {straggler}% of median exceeds the 1.5x bound"
+    );
+    eprintln!(
+        "skew join: presplit {presplit}% -> straggler {straggler}% of median, \
+         {} resplits [{}] in {skew_ms:.1} ms",
+        skew_decision.resplits,
+        skew_decision.summary()
+    );
+
+    // ---- Scenario 4: the BENCH_pr3 par_join workload, old vs adaptive -----
+    const ROWS: u32 = 200_000;
+    let left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..ROWS).map(|x| x % 4096).collect(), (0..ROWS).collect()],
+    );
+    let right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
+    );
+    let (fixed8_ms, _) = median3(|| par_natural_join(&left, &right, 8).num_rows());
+    let pr3_cfg = JoinConfig { max_partitions: 8, ..cfg };
+    let (planned_ms, _) =
+        median3(|| natural_join_adaptive(&left, &right, &pr3_cfg).0.num_rows());
+    eprintln!("pr3 workload: fixed-8 {fixed8_ms:.1} ms, adaptive planner {planned_ms:.1} ms");
+
+    // ---- End-to-end: planner decisions surfaced through Explain -----------
+    eprintln!("generating SF{scale} and querying through the engine…");
+    let data = dataset(scale);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let engine = store.engine(true);
+    // Multi-condition ORDER BY so the composite-key radix path shows up in
+    // the artifact's sort metrics (`columnar.sort.{radix_calls,wall_micros}`).
+    let query = format!(
+        "SELECT * WHERE {{ ?x <{WSDBM}follows> ?y . ?y <{WSDBM}likes> ?z }} \
+         ORDER BY ?y DESC(?x)"
+    );
+    let (solutions, explain) = engine.query_opt(&query, &Default::default()).expect("query");
+    let decisions: Vec<String> = explain
+        .join_steps
+        .iter()
+        .map(|j| format!("{}: {}", j.context, j.decision.summary()))
+        .collect();
+    assert!(
+        !decisions.is_empty(),
+        "engine query produced no join decisions in Explain"
+    );
+    let radix_calls = metrics::counter("columnar.sort.radix_calls").get();
+    assert!(
+        radix_calls >= 1,
+        "multi-key ORDER BY did not take the radix fast path"
+    );
+    eprintln!(
+        "query ({} rows, {radix_calls} radix sort calls): {}",
+        solutions.len(),
+        decisions.join("; ")
+    );
+    let registry = metrics::snapshot().to_json();
+
+    // ---- Baseline diff -----------------------------------------------------
+    let mut baseline_json = String::new();
+    if !baseline_path.is_empty() {
+        let doc = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let base_par = extract_wall_ms(&doc, "\"par_join\"")
+            .expect("baseline has no par_join.wall_ms");
+        let base_skew = extract_wall_ms(&doc, "\"skew_join\"")
+            .expect("baseline has no skew_join.wall_ms");
+        check_regression("par_join", planned_ms, base_par);
+        check_regression("skew_join", skew_ms, base_skew);
+        let _ = write!(
+            baseline_json,
+            "  \"baseline\": {{\n    \"path\": \"{}\",\n    \
+             \"par_join_base_ms\": {base_par:.3}, \"par_join_new_ms\": {planned_ms:.3},\n    \
+             \"skew_join_base_ms\": {base_skew:.3}, \"skew_join_new_ms\": {skew_ms:.3},\n    \
+             \"rel_tolerance_pct\": {BASELINE_REL_PCT}, \"abs_floor_ms\": {BASELINE_ABS_FLOOR_MS}\n  }},\n",
+            metrics::json_escape(&baseline_path)
+        );
+    }
+
+    // ---- Artifact ----------------------------------------------------------
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr5\",");
+    let _ = writeln!(doc, "  \"scale\": {scale},");
+    let _ = writeln!(doc, "  \"broadcast_vs_partitioned\": {{");
+    let _ = writeln!(doc, "    \"build_rows\": {BUILD_ROWS}, \"probe_rows\": {PROBE_ROWS},");
+    let _ = writeln!(doc, "    \"partitions\": {parts},");
+    let _ = writeln!(doc, "    \"broadcast_ms\": {bcast_ms:.3},");
+    let _ = writeln!(doc, "    \"partitioned_ms\": {parted_ms:.3},");
+    let _ = writeln!(doc, "    \"rows_out\": {bcast_rows},");
+    let _ = writeln!(doc, "    \"planner_strategy\": \"{}\"", planner.strategy);
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"adaptive_partitions\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"probe_rows\": {SWEEP_PROBE}, \"build_rows\": {SWEEP_KEYS},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"fixed_sweep\": [{}],",
+        sweep
+            .iter()
+            .map(|(p, ms)| format!("{{\"parts\": {p}, \"ms\": {ms:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(doc, "    \"best_fixed_parts\": {best_parts}, \"best_fixed_ms\": {best_ms:.3},");
+    let _ = writeln!(doc, "    \"adaptive_parts\": {derived}, \"adaptive_ms\": {adaptive_ms:.3},");
+    let _ = writeln!(doc, "    \"pct_of_best\": {ratio_pct:.1}");
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"skew_join\": {{");
+    let _ = writeln!(doc, "    \"hot_key_pct\": 90, \"partitions\": {},", skew_decision.partitions);
+    let _ = writeln!(doc, "    \"presplit_skew_pct_before\": {presplit},");
+    let _ = writeln!(doc, "    \"straggler_pct_of_median\": {straggler},");
+    let _ = writeln!(doc, "    \"straggler_bound_pct\": 150,");
+    let _ = writeln!(doc, "    \"resplits\": {},", skew_decision.resplits);
+    let _ = writeln!(doc, "    \"rows_out\": {skew_out_rows},");
+    let _ = writeln!(doc, "    \"wall_ms\": {skew_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"par_join\": {{");
+    let _ = writeln!(doc, "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS},");
+    let _ = writeln!(doc, "    \"fixed8_ms\": {fixed8_ms:.3},");
+    let _ = writeln!(doc, "    \"wall_ms\": {planned_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    doc.push_str(&baseline_json);
+    let _ = writeln!(
+        doc,
+        "  \"query_decisions\": [{}],",
+        decisions
+            .iter()
+            .map(|d| format!("\"{}\"", metrics::json_escape(d)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(doc, "  \"operator_metrics\": {registry}");
+    doc.push_str("}\n");
+
+    std::fs::write(&out_path, doc).expect("write BENCH_pr5 artifact");
+    eprintln!("wrote {out_path}");
+}
+
+/// Fails the run when `new_ms` regresses past the relative tolerance plus
+/// the absolute floor.
+fn check_regression(name: &str, new_ms: f64, base_ms: f64) {
+    let bound = base_ms * (1.0 + BASELINE_REL_PCT / 100.0) + BASELINE_ABS_FLOOR_MS;
+    assert!(
+        new_ms <= bound,
+        "{name} regressed: {new_ms:.1} ms vs baseline {base_ms:.1} ms \
+         (bound {bound:.1} ms = +{BASELINE_REL_PCT}% +{BASELINE_ABS_FLOOR_MS} ms)"
+    );
+    eprintln!("baseline {name}: {new_ms:.1} ms vs {base_ms:.1} ms (bound {bound:.1} ms) — ok");
+}
+
+/// Extracts `"wall_ms": <number>` from the named JSON section of a
+/// BENCH_pr3-style artifact (both artifacts are written by this crate, so
+/// a positional scan is reliable).
+fn extract_wall_ms(doc: &str, section: &str) -> Option<f64> {
+    let start = doc.find(section)?;
+    let tail = &doc[start..];
+    let key = tail.find("\"wall_ms\": ")?;
+    let num = &tail[key + "\"wall_ms\": ".len()..];
+    let end = num.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    num[..end].parse().ok()
+}
+
+/// Median-of-3 wall time in milliseconds; returns the last run's row count.
+fn median3(mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(3);
+    let mut rows = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        rows = run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (times[1], rows)
+}
+
+/// Deterministic xorshift rows with `skew_pct`% of keys pinned to
+/// `hot_key` — identical to the BENCH_pr3 generator so the skew scenarios
+/// stay comparable.
+fn skewed_rows(n: usize, hot_key: u32, skew_pct: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = if (state >> 33) as u32 % 100 < skew_pct {
+                hot_key
+            } else {
+                (state >> 11) as u32 % 64
+            };
+            (key, i as u32)
+        })
+        .collect()
+}
+
+fn cols2(rows: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    vec![
+        rows.iter().map(|r| r.0).collect(),
+        rows.iter().map(|r| r.1).collect(),
+    ]
+}

@@ -7,6 +7,8 @@
 //! s2rdf stats    --store ./db [--json]
 //! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
 //!                [--explain] [--profile] [--no-extvp]
+//!                [--broadcast-threshold <rows>] [--target-partition-rows <N>]
+//!                [--max-partitions <N>]
 //! s2rdf verify   --store ./db [--repair]
 //! ```
 
@@ -32,7 +34,8 @@ const USAGE: &str = "usage:
   s2rdf stats    --store <dir> [--json]
   s2rdf query    --store <dir> (--query <sparql> | --file <q.rq>)
                  [--explain] [--profile] [--no-extvp] [--intersect]
-                 [--max-print <N>]
+                 [--max-print <N>] [--broadcast-threshold <rows>]
+                 [--target-partition-rows <N>] [--max-partitions <N>]
   s2rdf verify   --store <dir> [--repair]";
 
 fn main() -> ExitCode {
@@ -183,9 +186,21 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     }
     let store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
     let engine = store.engine(!args.flag("no-extvp"));
+    let mut join = s2rdf_columnar::exec::JoinConfig::default();
+    if let Some(s) = args.opt_value("broadcast-threshold") {
+        join.broadcast_rows = s.parse().map_err(|_| "bad --broadcast-threshold")?;
+    }
+    if let Some(s) = args.opt_value("target-partition-rows") {
+        join.target_partition_rows =
+            s.parse().map_err(|_| "bad --target-partition-rows")?;
+    }
+    if let Some(s) = args.opt_value("max-partitions") {
+        join.max_partitions = s.parse().map_err(|_| "bad --max-partitions")?;
+    }
     let options = QueryOptions {
         intersect_correlations: args.flag("intersect"),
         profile,
+        join,
         ..Default::default()
     };
     let start = Instant::now();
@@ -219,6 +234,14 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     step.table, step.rows, step.sf, step.wall_micros, step.rationale
                 );
             }
+        }
+        for join in &explain.join_steps {
+            println!(
+                "-- join [{}] {}{}",
+                join.context,
+                join.decision.summary(),
+                if join.reused_index { " (index reused)" } else { "" }
+            );
         }
         println!(
             "-- naive join comparisons: {}",

@@ -1,33 +1,58 @@
-//! Data-parallel execution: partition-native hash joins.
+//! Data-parallel execution: adaptive join planning over three strategies.
 //!
 //! Spark executes joins by shuffling both inputs into hash partitions and
 //! joining partitions in parallel across the cluster, each task writing its
 //! own shuffle partition of the output — the results are never reassembled
-//! into one buffer. This module is the shared-memory analogue, and it keeps
-//! that partition-native property: pass 1 collects the exact matching row
-//! pairs per partition on scoped threads, a prefix sum turns the pair counts
-//! into disjoint output ranges, and pass 2 writes every partition's rows
-//! directly into one pre-sized output table through non-overlapping column
-//! slices. The old concat-based reassembly (a full extra copy of every join
-//! result, measured by `columnar.concat.bytes_copied`) is gone from the join
-//! path entirely; small inputs still skip partitioning — the same "little
-//! setup overhead" property of Spark the paper's pre-evaluation leans on
-//! (§5).
+//! into one buffer. This module is the shared-memory analogue, and since the
+//! adaptive-execution PR it mirrors Spark's *strategy selection* too: like
+//! Spark choosing broadcast-hash vs shuffle-hash joins from statistics (and
+//! re-partitioning at runtime under AQE), [`natural_join_adaptive`] picks
+//! per join between
+//!
+//! 1. the **serial** hash join (small probe sides — Spark's "little setup
+//!    overhead" property the paper's pre-evaluation leans on, §5),
+//! 2. a **broadcast-hash join** ([`broadcast_natural_join`]): when the build
+//!    side fits under a byte/row threshold, one shared hash index replaces
+//!    the whole partitioning machinery and workers probe contiguous probe
+//!    chunks — Spark's `autoBroadcastJoinThreshold` analogue, and
+//! 3. the **partitioned** hash join ([`par_natural_join`]) with a partition
+//!    count derived from probe cardinality and core count instead of a
+//!    fixed constant.
+//!
+//! Every choice is returned as a [`JoinDecision`] so engines can surface it
+//! through `Explain`, and counted in the metrics registry
+//! (`columnar.join.{broadcast_joins,adaptive_partitions,resplits}`).
+//!
+//! The partitioned path keeps the partition-native property: pass 1 collects
+//! the exact matching row pairs per partition on scoped threads, a prefix
+//! sum turns the pair counts into disjoint output ranges, and pass 2 writes
+//! every partition's rows directly into one pre-sized output table through
+//! non-overlapping column slices (`columnar.concat.bytes_copied` stays 0).
 //!
 //! Skew: every row of one key hashes to one partition, so a hot key makes a
 //! straggler no matter how many threads run — the PRoST / Naacke et al.
 //! observation that partitioning strategy, not operator tuning, dominates
-//! SPARQL latency on Spark-style engines. When the pre-split histogram shows
-//! a partition above [`SKEW_TRIGGER_PCT`], hot keys (frequency above the
-//! ideal partition size on *either* side) are pulled out: their build rows
-//! go into a broadcast index shared by all partitions and their probe rows
-//! are dealt round-robin — the broadcast + redistribution hybrid of Spark
-//! AQE's skew-join handling. Gauges `columnar.par_join.presplit_skew_pct`
-//! (before mitigation), `columnar.par_join.max_skew_pct` (after), and
+//! SPARQL latency on Spark-style engines. Two mitigations stack:
+//!
+//! * **Hot-key broadcast** — when the pre-split histogram shows a partition
+//!   above [`SKEW_TRIGGER_PCT`], keys with frequency above the ideal
+//!   partition size on *either* side are pulled out: their build rows go
+//!   into a broadcast index shared by all partitions and their probe rows
+//!   are dealt round-robin.
+//! * **Runtime re-partitioning** — if the post-split `straggler_pct` still
+//!   exceeds [`JoinConfig::resplit_straggler_pct`] (skew spread over many
+//!   *distinct* keys that happen to co-hash, which no per-key cut can fix),
+//!   the straggler partition itself is dissolved: its build rows join the
+//!   broadcast index and its probe rows are dealt round-robin — Spark AQE's
+//!   `OptimizeSkewedJoin` splitting an oversized shuffle partition.
+//!
+//! Gauges `columnar.par_join.presplit_skew_pct` (before mitigation),
+//! `columnar.par_join.max_skew_pct` (after), and
 //! `columnar.par_join.straggler_pct` (largest ÷ median load) make the
 //! effect observable.
 
 use std::cmp::Ordering;
+use std::fmt;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -43,6 +68,125 @@ pub const PARALLEL_ROW_THRESHOLD: usize = 1 << 15;
 /// Pre-split skew percentage (largest partition × parts ÷ total rows; 100 =
 /// perfectly balanced) above which hot-key mitigation kicks in.
 pub const SKEW_TRIGGER_PCT: usize = 130;
+
+/// Tunable thresholds for adaptive join-strategy selection
+/// ([`natural_join_adaptive`]). The defaults mirror Spark's:
+/// `broadcast_bytes` plays `spark.sql.autoBroadcastJoinThreshold`,
+/// `target_partition_rows` plays AQE's `advisoryPartitionSizeInBytes`, and
+/// `resplit_straggler_pct` plays `skewedPartitionThresholdInBytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinConfig {
+    /// Probe-side row count below which the serial join runs (partitioning
+    /// and broadcasting are pure overhead there).
+    pub serial_row_threshold: usize,
+    /// Build sides with at most this many rows take the broadcast path.
+    /// `0` disables broadcasting by rows; `usize::MAX` forces it.
+    pub broadcast_rows: usize,
+    /// Build sides of at most this many payload bytes take the broadcast
+    /// path (either bound suffices). `0` disables broadcasting by bytes.
+    pub broadcast_bytes: usize,
+    /// Target probe rows per partition; the partition count is
+    /// `probe_rows / target_partition_rows`, clamped to
+    /// `[2, max_partitions]`.
+    pub target_partition_rows: usize,
+    /// Upper bound on the partition count. `0` means
+    /// [`default_parallelism`] (all cores).
+    pub max_partitions: usize,
+    /// `straggler_pct` bound (largest ÷ median partition load × 100) above
+    /// which the straggler partition is re-split at runtime.
+    pub resplit_straggler_pct: usize,
+    /// Maximum partition re-splits per join (a convergence backstop).
+    pub max_resplits: usize,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig {
+            serial_row_threshold: PARALLEL_ROW_THRESHOLD,
+            broadcast_rows: 1 << 13,
+            broadcast_bytes: 256 << 10,
+            target_partition_rows: 1 << 14,
+            max_partitions: 0,
+            resplit_straggler_pct: 150,
+            max_resplits: 4,
+        }
+    }
+}
+
+/// The join strategy an adaptive decision picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Single-threaded hash join (small probe side).
+    Serial,
+    /// Broadcast-hash join: one shared build index, chunked parallel probe.
+    Broadcast,
+    /// Partitioned (shuffle-style) hash join.
+    Partitioned,
+}
+
+impl fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinStrategy::Serial => "serial",
+            JoinStrategy::Broadcast => "broadcast",
+            JoinStrategy::Partitioned => "partitioned",
+        })
+    }
+}
+
+/// Which input of a join was chosen as the build side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    /// The left operand was built on.
+    Left,
+    /// The right operand was built on.
+    Right,
+}
+
+impl fmt::Display for BuildSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BuildSide::Left => "left",
+            BuildSide::Right => "right",
+        })
+    }
+}
+
+/// The auditable record of one adaptive join: which strategy ran, which
+/// side was built on (chosen by cardinality, not position), how many
+/// partitions were used and how many were re-split at runtime. Engines
+/// thread this into `Explain` so `query --profile` can show the policy.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinDecision {
+    /// Strategy that executed.
+    pub strategy: JoinStrategy,
+    /// Build side, chosen by smaller cardinality.
+    pub build_side: BuildSide,
+    /// Worker partitions used (1 for the serial path).
+    pub partitions: usize,
+    /// Straggler partitions dissolved by runtime re-partitioning.
+    pub resplits: usize,
+    /// Build-side input rows.
+    pub build_rows: usize,
+    /// Probe-side input rows.
+    pub probe_rows: usize,
+    /// Output rows.
+    pub out_rows: usize,
+}
+
+impl JoinDecision {
+    /// One-line human-readable form for Explain/trace output.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} build={}({} rows) probe={} rows parts={}",
+            self.strategy, self.build_side, self.build_rows, self.probe_rows, self.partitions
+        );
+        if self.resplits > 0 {
+            s.push_str(&format!(" resplits={}", self.resplits));
+        }
+        s
+    }
+}
 
 /// Fibonacci-hash a key value into one of `parts` partitions.
 #[inline]
@@ -99,6 +243,169 @@ pub fn concat(schema: Schema, tables: Vec<Table>) -> Table {
 /// How many worker threads to use for parallel joins.
 pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Derives a partition count from probe cardinality and core count
+/// (replacing the fixed constant callers used to pass): one partition per
+/// [`JoinConfig::target_partition_rows`] probe rows, clamped to the core
+/// count (or [`JoinConfig::max_partitions`] when set). Inputs below two
+/// targets degrade to 1, i.e. the serial path.
+pub fn adaptive_partitions(probe_rows: usize, cfg: &JoinConfig) -> usize {
+    let cap = if cfg.max_partitions == 0 {
+        default_parallelism()
+    } else {
+        cfg.max_partitions
+    };
+    (probe_rows / cfg.target_partition_rows.max(1)).clamp(1, cap.max(1))
+}
+
+/// Statistics-driven natural join: picks serial, broadcast-hash or
+/// partitioned execution per [`JoinConfig`], choosing the build side by
+/// cardinality, and returns the executed [`JoinDecision`] alongside the
+/// result — the shared-memory analogue of Spark planning broadcast vs
+/// shuffle-hash joins from table statistics.
+pub fn natural_join_adaptive(left: &Table, right: &Table, cfg: &JoinConfig) -> (Table, JoinDecision) {
+    let left_is_build = left.num_rows() <= right.num_rows();
+    let (build, probe) = if left_is_build { (left, right) } else { (right, left) };
+    let mut decision = JoinDecision {
+        strategy: JoinStrategy::Serial,
+        build_side: if left_is_build { BuildSide::Left } else { BuildSide::Right },
+        partitions: 1,
+        resplits: 0,
+        build_rows: build.num_rows(),
+        probe_rows: probe.num_rows(),
+        out_rows: 0,
+    };
+    let common = left.schema().common_columns(right.schema());
+    if common.is_empty()
+        || left.is_empty()
+        || right.is_empty()
+        || probe.num_rows() < cfg.serial_row_threshold
+    {
+        let out = ops::natural_join(left, right);
+        decision.out_rows = out.num_rows();
+        return (out, decision);
+    }
+    if build.num_rows() <= cfg.broadcast_rows || build.byte_size() <= cfg.broadcast_bytes {
+        let parts = adaptive_partitions(probe.num_rows(), cfg);
+        metric_counter!("columnar.join.broadcast_joins").inc();
+        let out = broadcast_natural_join(left, right, parts);
+        decision.strategy = JoinStrategy::Broadcast;
+        decision.partitions = parts;
+        decision.out_rows = out.num_rows();
+        return (out, decision);
+    }
+    let parts = adaptive_partitions(probe.num_rows(), cfg);
+    metric_gauge!("columnar.join.adaptive_partitions").set(parts as u64);
+    let (out, resplits) = partitioned_natural_join(left, right, parts, cfg);
+    decision.strategy = if parts <= 1 { JoinStrategy::Serial } else { JoinStrategy::Partitioned };
+    decision.partitions = parts.max(1);
+    decision.resplits = resplits;
+    decision.out_rows = out.num_rows();
+    (out, decision)
+}
+
+/// A shared build-side index for the broadcast join: exact `u64` folds for
+/// 1–2 key columns, exact `Vec<u32>` keys for wider ones.
+enum BcastIndex {
+    Narrow(FxHashMap<u64, Vec<u32>>),
+    Wide(FxHashMap<Vec<u32>, Vec<u32>>),
+}
+
+/// Broadcast-hash natural join: builds one hash index over the *entire*
+/// smaller side and probes contiguous chunks of the larger side on `parts`
+/// scoped threads — no hash split of either input, no per-row routing, and
+/// (chunks being equal-sized ranges) no possibility of probe-side skew.
+/// Each chunk's match pairs are written into disjoint slices of one
+/// pre-sized output, like the partitioned join's pass 2. Spark's
+/// broadcast-hash join, minus the network.
+pub fn broadcast_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
+    let common = left.schema().common_columns(right.schema());
+    if common.is_empty() || left.is_empty() || right.is_empty() {
+        return ops::natural_join(left, right);
+    }
+    let _span = SpanTimer::start(metric_histogram!("columnar.broadcast_join.wall_micros"));
+    let left_keys: Vec<usize> = common
+        .iter()
+        .map(|c| left.schema().index_of(c).unwrap())
+        .collect();
+    let right_keys: Vec<usize> = common
+        .iter()
+        .map(|c| right.schema().index_of(c).unwrap())
+        .collect();
+    let (schema, right_payload) = ops::join_schema(left, right, &right_keys);
+
+    let left_is_build = left.num_rows() <= right.num_rows();
+    let (build, probe) = if left_is_build { (left, right) } else { (right, left) };
+    let (build_keys, probe_keys) = if left_is_build {
+        (&left_keys, &right_keys)
+    } else {
+        (&right_keys, &left_keys)
+    };
+
+    metric_counter!("columnar.broadcast_join.calls").inc();
+    metric_counter!("columnar.broadcast_join.build_rows").add(build.num_rows() as u64);
+    metric_counter!("columnar.broadcast_join.probe_rows").add(probe.num_rows() as u64);
+
+    let index = if build_keys.len() <= 2 {
+        let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        map.reserve(build.num_rows());
+        for r in 0..build.num_rows() {
+            map.entry(fold_key(build, build_keys, r)).or_default().push(r as u32);
+        }
+        BcastIndex::Narrow(map)
+    } else {
+        let mut map: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+        for r in 0..build.num_rows() {
+            let key: Vec<u32> = build_keys.iter().map(|&c| build.value(r, c)).collect();
+            map.entry(key).or_default().push(r as u32);
+        }
+        BcastIndex::Wide(map)
+    };
+
+    // Contiguous probe chunks: trivially balanced, no routing pass.
+    let parts = parts.clamp(1, probe.num_rows());
+    let chunk = probe.num_rows().div_ceil(parts);
+    let orient = |b: u32, p: u32| if left_is_build { (b, p) } else { (p, b) };
+    let pair_lists: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..parts)
+            .map(|p| {
+                let (index, probe_keys) = (&index, probe_keys);
+                let range = p * chunk..((p + 1) * chunk).min(probe.num_rows());
+                scope.spawn(move || {
+                    let mut pairs: Vec<(u32, u32)> = Vec::new();
+                    match index {
+                        BcastIndex::Narrow(map) => {
+                            for r in range {
+                                if let Some(matches) = map.get(&fold_key(probe, probe_keys, r)) {
+                                    for &b in matches {
+                                        pairs.push(orient(b, r as u32));
+                                    }
+                                }
+                            }
+                        }
+                        BcastIndex::Wide(map) => {
+                            let mut scratch: Vec<u32> = Vec::new();
+                            for r in range {
+                                scratch.clear();
+                                scratch.extend(probe_keys.iter().map(|&c| probe.value(r, c)));
+                                if let Some(matches) = map.get(scratch.as_slice()) {
+                                    for &b in matches {
+                                        pairs.push(orient(b, r as u32));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    pairs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("broadcast worker panicked")).collect()
+    });
+    let out = write_pairs(schema, left, right, &right_payload, &pair_lists);
+    metric_counter!("columnar.broadcast_join.out_rows").add(out.num_rows() as u64);
+    out
 }
 
 /// Collects the exact matching `(left_row, right_row)` pairs of one
@@ -166,16 +473,76 @@ fn collect_pairs(
     pairs
 }
 
+/// Pass 2 of the partition-native joins: each pair list writes its rows
+/// into disjoint slices of one pre-sized output table (chained
+/// `split_at_mut`) — zero reassembly, zero `concat` bytes. Pairs are in
+/// `(left_row, right_row)` orientation.
+fn write_pairs(
+    schema: Schema,
+    left: &Table,
+    right: &Table,
+    right_payload: &[usize],
+    pair_lists: &[Vec<(u32, u32)>],
+) -> Table {
+    let total: usize = pair_lists.iter().map(Vec::len).sum();
+    let ncols = schema.len();
+    let left_ncols = left.schema().len();
+    let parts = pair_lists.len();
+    let mut cols: Vec<Vec<u32>> = (0..ncols).map(|_| vec![0u32; total]).collect();
+    let mut per_part: Vec<Vec<&mut [u32]>> = (0..parts).map(|_| Vec::with_capacity(ncols)).collect();
+    for col in &mut cols {
+        let mut rest: &mut [u32] = col.as_mut_slice();
+        for (p, pairs) in pair_lists.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(pairs.len());
+            per_part[p].push(head);
+            rest = tail;
+        }
+    }
+    std::thread::scope(|scope| {
+        for (slices, pairs) in per_part.into_iter().zip(pair_lists) {
+            scope.spawn(move || {
+                for (c, out_col) in slices.into_iter().enumerate() {
+                    if c < left_ncols {
+                        let src = left.column(c);
+                        for (j, &(lr, _)) in pairs.iter().enumerate() {
+                            out_col[j] = src[lr as usize];
+                        }
+                    } else {
+                        let src = right.column(right_payload[c - left_ncols]);
+                        for (j, &(_, rr)) in pairs.iter().enumerate() {
+                            out_col[j] = src[rr as usize];
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Table::from_columns(schema, cols)
+}
+
 /// Natural join that partitions both sides by join-key hash, collects match
 /// pairs on scoped threads, and writes each partition's output directly into
 /// disjoint slices of one pre-sized result table (no reassembly copy). Row
 /// order of the result is partition-major (a permutation of the serial
 /// join's bag). Hot keys are broadcast when the hash split would produce a
-/// straggler partition.
+/// straggler partition, and a partition that is still a straggler after
+/// hot-key mitigation is re-split at runtime (default [`JoinConfig`]
+/// bounds).
 pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
+    partitioned_natural_join(left, right, parts, &JoinConfig::default()).0
+}
+
+/// [`par_natural_join`] with explicit re-split bounds; returns the number
+/// of straggler partitions dissolved by runtime re-partitioning.
+pub fn partitioned_natural_join(
+    left: &Table,
+    right: &Table,
+    parts: usize,
+    cfg: &JoinConfig,
+) -> (Table, usize) {
     let common = left.schema().common_columns(right.schema());
     if common.is_empty() || parts <= 1 || left.is_empty() || right.is_empty() {
-        return ops::natural_join(left, right);
+        return (ops::natural_join(left, right), 0);
     }
     let _span = SpanTimer::start(metric_histogram!("columnar.par_join.wall_micros"));
     let left_keys: Vec<usize> = common
@@ -266,6 +633,41 @@ pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
             probe_parts[partition_of(k, parts)].push(r as u32);
         }
     }
+
+    // AQE-style runtime re-partitioning: hot-key broadcasting cannot fix a
+    // straggler made of many *distinct* keys that co-hash (each under the
+    // per-key threshold). If the post-split straggler bound is still
+    // exceeded, dissolve the largest partition: its build rows join the
+    // broadcast index and its probe rows are dealt round-robin — each
+    // (probe, build) pair still produced exactly once because a build row
+    // lives in exactly one partition or the broadcast list.
+    let mut resplits = 0usize;
+    if narrow && cfg.max_resplits > 0 {
+        loop {
+            let loads: Vec<usize> =
+                (0..parts).map(|p| probe_parts[p].len() + hot_probe_parts[p].len()).collect();
+            let (worst, &largest) =
+                loads.iter().enumerate().max_by_key(|&(_, l)| *l).expect("parts >= 1");
+            let mut sorted = loads.clone();
+            sorted.sort_unstable();
+            let median = sorted[parts / 2].max(1);
+            if largest * 100 / median <= cfg.resplit_straggler_pct
+                || resplits >= cfg.max_resplits
+                || probe_parts[worst].is_empty()
+            {
+                break;
+            }
+            for r in std::mem::take(&mut build_parts[worst]) {
+                bcast_rows.push(r);
+            }
+            for r in std::mem::take(&mut probe_parts[worst]) {
+                hot_probe_parts[deal % parts].push(r);
+                deal += 1;
+            }
+            resplits += 1;
+        }
+    }
+    metric_counter!("columnar.join.resplits").add(resplits as u64);
     metric_counter!("columnar.par_join.broadcast_rows").add(bcast_rows.len() as u64);
 
     let mut bcast_index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
@@ -304,56 +706,19 @@ pub fn par_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
         handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
     });
 
-    // Exact output size is now known; pre-size the result once.
+    // Exact output size is now known; pass 2 pre-sizes the result once and
+    // writes disjoint slices.
     let total: usize = pair_lists.iter().map(Vec::len).sum();
     metric_counter!("columnar.par_join.out_rows").add(total as u64);
-
-    // Pass 2: each partition writes its rows into disjoint slices of the
-    // pre-sized output columns (chained `split_at_mut`) — zero reassembly,
-    // zero `concat` bytes.
-    let ncols = schema.len();
-    let left_ncols = left.schema().len();
-    let mut cols: Vec<Vec<u32>> = (0..ncols).map(|_| vec![0u32; total]).collect();
-    let mut per_part: Vec<Vec<&mut [u32]>> = (0..parts).map(|_| Vec::with_capacity(ncols)).collect();
-    for col in &mut cols {
-        let mut rest: &mut [u32] = col.as_mut_slice();
-        for (p, pairs) in pair_lists.iter().enumerate() {
-            let (head, tail) = rest.split_at_mut(pairs.len());
-            per_part[p].push(head);
-            rest = tail;
-        }
-    }
-    std::thread::scope(|scope| {
-        for (slices, pairs) in per_part.into_iter().zip(&pair_lists) {
-            let right_payload = &right_payload;
-            scope.spawn(move || {
-                for (c, out_col) in slices.into_iter().enumerate() {
-                    if c < left_ncols {
-                        let src = left.column(c);
-                        for (j, &(lr, _)) in pairs.iter().enumerate() {
-                            out_col[j] = src[lr as usize];
-                        }
-                    } else {
-                        let src = right.column(right_payload[c - left_ncols]);
-                        for (j, &(_, rr)) in pairs.iter().enumerate() {
-                            out_col[j] = src[rr as usize];
-                        }
-                    }
-                }
-            });
-        }
-    });
-    Table::from_columns(schema, cols)
+    (write_pairs(schema, left, right, &right_payload, &pair_lists), resplits)
 }
 
-/// Chooses between the serial and partitioned join based on input sizes.
+/// Chooses between the serial, broadcast and partitioned join based on
+/// input statistics (default [`JoinConfig`] thresholds), discarding the
+/// decision record. Engines that surface decisions call
+/// [`natural_join_adaptive`] directly.
 pub fn natural_join_auto(left: &Table, right: &Table) -> Table {
-    let probe = left.num_rows().max(right.num_rows());
-    if probe >= PARALLEL_ROW_THRESHOLD {
-        par_natural_join(left, right, default_parallelism())
-    } else {
-        ops::natural_join(left, right)
-    }
+    natural_join_adaptive(left, right, &JoinConfig::default()).0
 }
 
 /// Canonical multiset form of a table's rows (sorted row vectors) — used by
@@ -438,6 +803,87 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_matches_serial() {
+        let l = random_table(&["a", "k"], 400, 64, 21);
+        let r = random_table(&["k", "b"], 6000, 64, 22);
+        let serial = ops::natural_join(&l, &r);
+        for parts in [1, 3, 8] {
+            let bc = broadcast_natural_join(&l, &r, parts);
+            assert_eq!(bc.schema(), serial.schema());
+            assert_eq!(row_multiset(&bc), row_multiset(&serial), "parts={parts}");
+        }
+        // Orientation-independent (build side flips).
+        let bc = broadcast_natural_join(&r, &l, 4);
+        assert_eq!(row_multiset(&bc), row_multiset(&ops::natural_join(&r, &l)));
+    }
+
+    #[test]
+    fn broadcast_wide_key_matches_serial() {
+        let l = random_table(&["k1", "k2", "k3", "a"], 300, 4, 23);
+        let r = random_table(&["k1", "k2", "k3", "b"], 2500, 4, 24);
+        let serial = ops::natural_join(&l, &r);
+        let bc = broadcast_natural_join(&l, &r, 4);
+        assert_eq!(row_multiset(&bc), row_multiset(&serial));
+    }
+
+    #[test]
+    fn adaptive_picks_serial_for_small_inputs() {
+        let l = table(&["a", "k"], &[vec![1, 2]]);
+        let r = table(&["k", "b"], &[vec![2, 3]]);
+        let (j, d) = natural_join_adaptive(&l, &r, &JoinConfig::default());
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(d.strategy, JoinStrategy::Serial);
+        assert_eq!(d.partitions, 1);
+    }
+
+    #[test]
+    fn adaptive_picks_broadcast_for_small_build_side() {
+        let cfg = JoinConfig { serial_row_threshold: 1000, ..JoinConfig::default() };
+        let build = random_table(&["k", "b"], 200, 64, 25);
+        let probe = random_table(&["a", "k"], 5000, 64, 26);
+        let (j, d) = natural_join_adaptive(&probe, &build, &cfg);
+        assert_eq!(d.strategy, JoinStrategy::Broadcast);
+        assert_eq!(d.build_side, BuildSide::Right);
+        assert_eq!(d.build_rows, 200);
+        assert_eq!(row_multiset(&j), row_multiset(&ops::natural_join(&probe, &build)));
+        // Build side is positional-independent: flipped operands flip the label.
+        let (_, d) = natural_join_adaptive(&build, &probe, &cfg);
+        assert_eq!(d.build_side, BuildSide::Left);
+    }
+
+    #[test]
+    fn adaptive_picks_partitioned_above_thresholds() {
+        let cfg = JoinConfig {
+            serial_row_threshold: 1000,
+            broadcast_rows: 100,
+            broadcast_bytes: 100,
+            target_partition_rows: 1000,
+            max_partitions: 4,
+            ..JoinConfig::default()
+        };
+        let l = random_table(&["a", "k"], 4000, 64, 27);
+        let r = random_table(&["k", "b"], 4000, 64, 28);
+        let (j, d) = natural_join_adaptive(&l, &r, &cfg);
+        assert_eq!(d.strategy, JoinStrategy::Partitioned);
+        assert_eq!(d.partitions, 4); // 4000/1000 capped at 4
+        assert_eq!(row_multiset(&j), row_multiset(&ops::natural_join(&l, &r)));
+    }
+
+    #[test]
+    fn adaptive_partition_count_scales_and_clamps() {
+        let cfg = JoinConfig {
+            target_partition_rows: 1000,
+            max_partitions: 8,
+            ..JoinConfig::default()
+        };
+        assert_eq!(adaptive_partitions(10, &cfg), 1);
+        assert_eq!(adaptive_partitions(2500, &cfg), 2);
+        assert_eq!(adaptive_partitions(1_000_000, &cfg), 8);
+        let uncapped = JoinConfig { max_partitions: 0, ..cfg };
+        assert_eq!(adaptive_partitions(1_000_000, &uncapped), default_parallelism());
+    }
+
+    #[test]
     fn auto_dispatch_small_input() {
         let l = table(&["a", "k"], &[vec![1, 2]]);
         let r = table(&["k", "b"], &[vec![2, 3]]);
@@ -491,9 +937,11 @@ mod tests {
         metrics::set_enabled(true);
         let before = (bytes.get(), calls.get());
         let j = par_natural_join(&l, &r, 8);
+        let jb = broadcast_natural_join(&l, &r, 8);
         let delta = (bytes.get() - before.0, calls.get() - before.1);
         metrics::set_enabled(false);
         assert!(j.num_rows() > 0);
+        assert_eq!(j.num_rows(), jb.num_rows());
         // Partition-native writes: concat is never invoked on the join path.
         assert_eq!(delta, (0, 0));
     }
@@ -524,6 +972,59 @@ mod tests {
     }
 
     #[test]
+    fn resplit_flattens_partition_level_skew() {
+        use crate::metrics;
+        let _guard = metrics::test_lock();
+        const PARTS: usize = 8;
+        // Many *distinct* keys that all co-hash into partition 0, each under
+        // the hot-key threshold: per-key broadcasting cannot balance this,
+        // only dissolving the partition can.
+        let colliding: Vec<u32> = (0u32..)
+            .filter(|&k| partition_of(k as u64, PARTS) == 0)
+            .take(64)
+            .collect();
+        let n = 24_000;
+        let probe_rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                // 80% of rows cycle through the colliding keys, the rest
+                // spread over the full key space.
+                let k = if i % 5 != 0 { colliding[i % 64] } else { i as u32 % 797 };
+                vec![k, i as u32]
+            })
+            .collect();
+        let probe = table(&["k", "a"], &probe_rows);
+        let build_rows: Vec<Vec<u32>> = (0..797u32).map(|k| vec![k, k + 1]).collect();
+        let build = table(&["k", "b"], &build_rows);
+        let serial = ops::natural_join(&probe, &build);
+
+        metrics::set_enabled(true);
+        metrics::gauge("columnar.par_join.straggler_pct").set(0);
+        let resplit_counter = metrics::counter("columnar.join.resplits");
+        let before = resplit_counter.get();
+        let (par, resplits) =
+            partitioned_natural_join(&probe, &build, PARTS, &JoinConfig::default());
+        let straggler = metrics::gauge("columnar.par_join.straggler_pct").get();
+        let counted = resplit_counter.get() - before;
+        metrics::set_enabled(false);
+
+        assert_eq!(row_multiset(&par), row_multiset(&serial));
+        assert!(resplits >= 1, "partition-level skew should trigger a re-split");
+        assert_eq!(counted, resplits as u64);
+        assert!(straggler <= 150, "straggler {straggler}% > 150% after re-split");
+
+        // With re-splitting disabled the same input is a straggler.
+        metrics::set_enabled(true);
+        metrics::gauge("columnar.par_join.straggler_pct").set(0);
+        let cfg = JoinConfig { max_resplits: 0, ..JoinConfig::default() };
+        let (par, resplits) = partitioned_natural_join(&probe, &build, PARTS, &cfg);
+        let unsplit = metrics::gauge("columnar.par_join.straggler_pct").get();
+        metrics::set_enabled(false);
+        assert_eq!(resplits, 0);
+        assert_eq!(row_multiset(&par), row_multiset(&serial));
+        assert!(unsplit > 150, "expected an unmitigated straggler, got {unsplit}%");
+    }
+
+    #[test]
     fn build_side_hot_key_matches_serial() {
         // Hot on the *build* side: one key with huge multiplicity multiplies
         // output rows; the build-side histogram must broadcast it too.
@@ -541,6 +1042,9 @@ mod tests {
         let j = par_natural_join(&l, &r, 16);
         assert_eq!(j.num_rows(), 1);
         assert_eq!(j.row_vec(0), vec![1, 7, 9]);
+        let j = broadcast_natural_join(&l, &r, 16);
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.row_vec(0), vec![1, 7, 9]);
     }
 
     #[test]
@@ -549,5 +1053,7 @@ mod tests {
         let r = random_table(&["k", "b"], 100, 8, 15);
         assert_eq!(par_natural_join(&l, &r, 8).num_rows(), 0);
         assert_eq!(par_natural_join(&r, &l, 8).num_rows(), 0);
+        assert_eq!(broadcast_natural_join(&l, &r, 8).num_rows(), 0);
+        assert_eq!(broadcast_natural_join(&r, &l, 8).num_rows(), 0);
     }
 }

@@ -18,4 +18,4 @@ pub use join::{
     BuildIndex,
 };
 pub use set::{distinct, union};
-pub use sort::{slice, sort_by, sort_by_key_radix};
+pub use sort::{slice, sort_by, sort_by_key_radix, sort_by_keys_radix};

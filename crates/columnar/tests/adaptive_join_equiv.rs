@@ -1,0 +1,242 @@
+//! Property tests for the adaptive join planner: whatever strategy
+//! [`natural_join_adaptive`] picks — serial, broadcast-hash, or partitioned
+//! with runtime re-splitting — the result must be indistinguishable from the
+//! serial reference join up to row order (multiset semantics, identical
+//! schema), for *any* threshold configuration including the degenerate
+//! extremes 0 and `usize::MAX`, and for 90 %-hot-key skew inputs.
+
+use proptest::prelude::*;
+use s2rdf_columnar::exec::{
+    broadcast_natural_join, natural_join_adaptive, partitioned_natural_join, row_multiset,
+    BuildSide, JoinConfig, JoinStrategy,
+};
+use s2rdf_columnar::ops::natural_join;
+use s2rdf_columnar::{Schema, Table};
+
+fn mk2(names: [&str; 2], rows: &[(u32, u32)]) -> Table {
+    Table::from_columns(
+        Schema::new(names),
+        vec![
+            rows.iter().map(|r| r.0).collect(),
+            rows.iter().map(|r| r.1).collect(),
+        ],
+    )
+}
+
+/// Deterministic xorshift rows with `skew_pct`% of keys pinned to a hot
+/// value — the straggler shape the re-partitioning path exists for.
+fn skewed_rows(n: usize, hot_key: u32, skew_pct: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = if (state >> 33) as u32 % 100 < skew_pct {
+                hot_key
+            } else {
+                (state >> 11) as u32 % 64
+            };
+            (key, i as u32)
+        })
+        .collect()
+}
+
+/// A config that forces every join down the serial path.
+fn force_serial() -> JoinConfig {
+    JoinConfig {
+        serial_row_threshold: usize::MAX,
+        ..JoinConfig::default()
+    }
+}
+
+/// A config that forces every non-degenerate join down the broadcast path.
+fn force_broadcast(parts: usize) -> JoinConfig {
+    JoinConfig {
+        serial_row_threshold: 0,
+        broadcast_rows: usize::MAX,
+        broadcast_bytes: usize::MAX,
+        target_partition_rows: 1,
+        max_partitions: parts,
+        ..JoinConfig::default()
+    }
+}
+
+/// A config that forces every non-degenerate join down the partitioned path.
+fn force_partitioned(parts: usize) -> JoinConfig {
+    JoinConfig {
+        serial_row_threshold: 0,
+        broadcast_rows: 0,
+        broadcast_bytes: 0,
+        target_partition_rows: 1,
+        max_partitions: parts,
+        ..JoinConfig::default()
+    }
+}
+
+proptest! {
+    /// Threshold sweep including both extremes: whatever strategy the
+    /// config selects, the multiset equals the serial reference and the
+    /// decision record is internally consistent (build side = smaller
+    /// input, out_rows = actual output).
+    #[test]
+    fn adaptive_matches_serial_across_thresholds(
+        left in proptest::collection::vec((0u32..6, 0u32..1000), 0..200),
+        right in proptest::collection::vec((0u32..6, 0u32..1000), 0..200),
+        serial_row_threshold in prop_oneof![Just(0usize), Just(64usize), Just(usize::MAX)],
+        broadcast_rows in prop_oneof![Just(0usize), Just(32usize), Just(usize::MAX)],
+        broadcast_bytes in prop_oneof![Just(0usize), Just(usize::MAX)],
+        target_partition_rows in prop_oneof![Just(1usize), Just(16usize), Just(1usize << 14)],
+        max_partitions in 0usize..9,
+    ) {
+        let cfg = JoinConfig {
+            serial_row_threshold,
+            broadcast_rows,
+            broadcast_bytes,
+            target_partition_rows,
+            max_partitions,
+            ..JoinConfig::default()
+        };
+        let l = mk2(["k", "a"], &left);
+        let r = mk2(["k", "b"], &right);
+        let (out, decision) = natural_join_adaptive(&l, &r, &cfg);
+        let reference = natural_join(&l, &r);
+        prop_assert_eq!(out.schema(), reference.schema());
+        prop_assert_eq!(row_multiset(&out), row_multiset(&reference));
+        prop_assert_eq!(decision.out_rows, out.num_rows());
+        prop_assert!(decision.partitions >= 1);
+        let (expect_build, expect_probe) = if l.num_rows() <= r.num_rows() {
+            (BuildSide::Left, r.num_rows())
+        } else {
+            (BuildSide::Right, l.num_rows())
+        };
+        prop_assert_eq!(decision.build_side, expect_build);
+        prop_assert_eq!(decision.probe_rows, expect_probe);
+        prop_assert_eq!(
+            decision.build_rows,
+            l.num_rows().min(r.num_rows())
+        );
+    }
+
+    /// All three forced strategies agree pairwise on the same inputs.
+    #[test]
+    fn forced_strategies_agree(
+        left in proptest::collection::vec((0u32..8, 0u32..1000), 1..200),
+        right in proptest::collection::vec((0u32..8, 0u32..1000), 1..200),
+        parts in 2usize..9,
+    ) {
+        let l = mk2(["k", "a"], &left);
+        let r = mk2(["k", "b"], &right);
+        let (serial, d_serial) = natural_join_adaptive(&l, &r, &force_serial());
+        let (bcast, d_bcast) = natural_join_adaptive(&l, &r, &force_broadcast(parts));
+        let (parted, d_parted) = natural_join_adaptive(&l, &r, &force_partitioned(parts));
+        prop_assert_eq!(d_serial.strategy, JoinStrategy::Serial);
+        prop_assert_eq!(d_bcast.strategy, JoinStrategy::Broadcast);
+        // Partitioned degrades to serial only when the probe side has too
+        // few rows to fill two partitions.
+        if l.num_rows().max(r.num_rows()) >= 2 {
+            prop_assert_eq!(d_parted.strategy, JoinStrategy::Partitioned);
+        }
+        prop_assert_eq!(serial.schema(), bcast.schema());
+        prop_assert_eq!(serial.schema(), parted.schema());
+        let reference = row_multiset(&serial);
+        prop_assert_eq!(&row_multiset(&bcast), &reference);
+        prop_assert_eq!(&row_multiset(&parted), &reference);
+    }
+
+    /// The broadcast-hash join itself, across chunk counts, including a
+    /// two-column key (the wide-index path).
+    #[test]
+    fn broadcast_join_matches_serial(
+        left in proptest::collection::vec((0u32..6, 0u32..1000), 0..200),
+        right in proptest::collection::vec((0u32..6, 0u32..1000), 0..200),
+        parts in 1usize..17,
+    ) {
+        let l = mk2(["k", "a"], &left);
+        let r = mk2(["k", "b"], &right);
+        let out = broadcast_natural_join(&l, &r, parts);
+        let reference = natural_join(&l, &r);
+        prop_assert_eq!(out.schema(), reference.schema());
+        prop_assert_eq!(row_multiset(&out), row_multiset(&reference));
+    }
+
+    /// Forced runtime re-partitioning on 90 %-hot-key skew preserves the
+    /// result multiset for any straggler bound — including bounds tight
+    /// enough that the planner keeps dissolving partitions until the
+    /// re-split backstop.
+    #[test]
+    fn forced_resplit_preserves_results_on_skew(
+        n_left in 100usize..400,
+        n_right in 100usize..400,
+        parts in 2usize..9,
+        straggler_pct in prop_oneof![Just(50usize), Just(110usize), Just(150usize)],
+        seed in any::<u64>(),
+    ) {
+        let l = mk2(["k", "a"], &skewed_rows(n_left, 7, 90, seed));
+        let r = mk2(["k", "b"], &skewed_rows(n_right, 7, 90, seed ^ 0xDEAD_BEEF));
+        let cfg = JoinConfig {
+            resplit_straggler_pct: straggler_pct,
+            max_resplits: 8,
+            ..force_partitioned(parts)
+        };
+        let (out, decision) = natural_join_adaptive(&l, &r, &cfg);
+        prop_assert!(decision.resplits <= cfg.max_resplits);
+        let reference = natural_join(&l, &r);
+        prop_assert_eq!(out.schema(), reference.schema());
+        prop_assert_eq!(row_multiset(&out), row_multiset(&reference));
+    }
+}
+
+/// Build side is chosen by cardinality, not operand position: the smaller
+/// input builds whether it arrives on the left or the right.
+#[test]
+fn build_side_by_cardinality_not_position() {
+    let small = mk2(["k", "a"], &[(1, 10), (2, 20)]);
+    let big = mk2(["k", "b"], &(0..100).map(|i| (i % 5, i)).collect::<Vec<_>>());
+    let cfg = force_broadcast(4);
+    let (_, d) = natural_join_adaptive(&small, &big, &cfg);
+    assert_eq!(d.build_side, BuildSide::Left);
+    assert_eq!(d.build_rows, 2);
+    let (_, d) = natural_join_adaptive(&big, &small, &cfg);
+    assert_eq!(d.build_side, BuildSide::Right);
+    assert_eq!(d.build_rows, 2);
+}
+
+/// The degenerate threshold extremes, pinned: `usize::MAX` serial threshold
+/// always yields the serial plan; a zero serial threshold with zero
+/// broadcast bounds always yields the partitioned plan (given ≥2 probe
+/// rows); `usize::MAX` broadcast bounds always broadcast.
+#[test]
+fn threshold_extremes_pin_the_strategy() {
+    let l = mk2(["k", "a"], &skewed_rows(500, 3, 40, 0x5EED));
+    let r = mk2(["k", "b"], &skewed_rows(400, 3, 40, 0xF00D));
+    let (_, d) = natural_join_adaptive(&l, &r, &force_serial());
+    assert_eq!(d.strategy, JoinStrategy::Serial);
+    assert_eq!(d.partitions, 1);
+    let (_, d) = natural_join_adaptive(&l, &r, &force_broadcast(4));
+    assert_eq!(d.strategy, JoinStrategy::Broadcast);
+    assert!(d.partitions >= 2);
+    let (_, d) = natural_join_adaptive(&l, &r, &force_partitioned(4));
+    assert_eq!(d.strategy, JoinStrategy::Partitioned);
+    assert!(d.partitions >= 2);
+}
+
+/// A straggler bound below any achievable balance forces re-splits up to
+/// the backstop; the result is still exactly the serial multiset.
+#[test]
+fn impossible_straggler_bound_hits_resplit_backstop() {
+    let l = mk2(["k", "a"], &skewed_rows(2_000, 7, 90, 0xACE1));
+    let r = mk2(["k", "b"], &skewed_rows(1_500, 7, 90, 0xBEE5));
+    let cfg = JoinConfig {
+        resplit_straggler_pct: 50, // largest ≤ half the median: unsatisfiable
+        max_resplits: 3,
+        ..force_partitioned(8)
+    };
+    let ((out, resplits), reference) = (
+        partitioned_natural_join(&l, &r, 8, &cfg),
+        natural_join(&l, &r),
+    );
+    assert_eq!(resplits, 3, "unsatisfiable bound must exhaust the backstop");
+    assert_eq!(out.schema(), reference.schema());
+    assert_eq!(row_multiset(&out), row_multiset(&reference));
+}

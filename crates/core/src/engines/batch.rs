@@ -193,6 +193,7 @@ impl BgpEvaluator for BatchEngine {
                     sf: 1.0,
                     wall_micros: started.elapsed().as_micros() as u64,
                     rationale: "MapReduce job rescans the full TT from disk".to_string(),
+                    est_rows: 0,
                 });
                 acc = Some(match acc {
                     None => scanned,

@@ -287,12 +287,14 @@ impl BgpEvaluator for CentralizedEngine {
         // the estimated range length (the cost driver) as the row count.
         let started = std::time::Instant::now();
         for tp in &inlj.plan {
+            let estimate = self.estimate(tp);
             ctx.explain.bgp_steps.push(StepExplain {
                 table: "PermIndex".to_string(),
-                rows: self.estimate(tp),
+                rows: estimate,
                 sf: 1.0,
                 wall_micros: 0,
                 rationale: "index-nested-loop: sorted permutation range scan".to_string(),
+                est_rows: estimate,
             });
         }
         let span = ctx.span_open("inlj");

@@ -121,6 +121,7 @@ impl PropertyTableEngine {
             sf: 1.0,
             wall_micros: started.elapsed().as_micros() as u64,
             rationale,
+            est_rows: 0,
         });
         Ok(out)
     }

@@ -1,7 +1,7 @@
 //! The S2RDF engine: ExtVP-aware BGP evaluation (paper §6).
 
 use rustc_hash::{FxHashMap, FxHashSet};
-use s2rdf_columnar::exec::natural_join_auto;
+use s2rdf_columnar::exec::{natural_join_adaptive, BuildSide, JoinDecision, JoinStrategy};
 use s2rdf_columnar::{ops, Table};
 use s2rdf_model::{Dictionary, TermId};
 use s2rdf_sparql::{TermPattern, TriplePattern};
@@ -142,8 +142,36 @@ impl<'a> S2rdfEngine<'a> {
             sf,
             wall_micros: started.elapsed().as_micros() as u64,
             rationale,
+            est_rows: self.store.estimated_rows(&step.source),
         });
         Ok((out, source))
+    }
+
+    /// The stored-table name [`S2rdfEngine::exec_step`] would expose for
+    /// index reuse — computed from the plan alone, before any scan, so
+    /// `eval_bgp` can count how often each source repeats. Degraded
+    /// fallbacks can rename a source at runtime; the count is then merely
+    /// conservative (reuse caching is a pure optimization).
+    fn planned_source(&self, step: &TpPlan, ctx: &ExecContext<'_>) -> Option<String> {
+        let dict = self.store.dict();
+        if ctx.options.intersect_correlations && !step.extra_reducers.is_empty() {
+            return None;
+        }
+        match step.source {
+            TableSource::TriplesTable => {
+                let cols = [(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)];
+                distinct_vars(&cols).then(|| TT_NAME.to_string())
+            }
+            TableSource::Vp(p) => {
+                let cols = [(0, &step.tp.s), (1, &step.tp.o)];
+                distinct_vars(&cols).then(|| vp_table_name(dict, p))
+            }
+            TableSource::ExtVp(key) => {
+                let cols = [(0, &step.tp.s), (1, &step.tp.o)];
+                distinct_vars(&cols).then(|| extvp_table_name(dict, &key))
+            }
+            TableSource::Empty => None,
+        }
     }
 
     /// Loads an ExtVP partition with bounded retries
@@ -256,10 +284,23 @@ impl BgpEvaluator for S2rdfEngine<'_> {
         // positions). A star query scans the same VP/ExtVP table for
         // several patterns with the same join variable; the scans are pure
         // renames of the stored table, so one build pass serves them all.
+        // Count each source's planned occurrences up front: a source that
+        // repeats is worth building on even when the planner's
+        // cardinality rule would put the build on the other (smaller)
+        // side, because the cached index pays for itself on every later
+        // scan. (Keying the cache on the size-preferred build side alone
+        // broke reuse whenever the accumulator was smaller — e.g. a star
+        // whose first pattern has a bound subject.)
+        let mut source_uses: FxHashMap<String, usize> = FxHashMap::default();
+        for step in &plan.steps {
+            if let Some(src) = self.planned_source(step, ctx) {
+                *source_uses.entry(src).or_insert(0) += 1;
+            }
+        }
         let mut index_cache: FxHashMap<(String, Vec<usize>), ops::BuildIndex> =
             FxHashMap::default();
         let mut result: Option<Table> = None;
-        for step in &plan.steps {
+        for (step_no, step) in plan.steps.iter().enumerate() {
             ctx.check_deadline()?;
             let (scanned, source) = self.exec_step(step, ctx)?;
             result = Some(match result {
@@ -276,9 +317,29 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                         }
                     }
                     let mut reused = false;
-                    let joined = match source {
-                        Some(src) if !scan_keys.is_empty() => {
-                            let cache_key = (src, scan_keys.clone());
+                    // Serial index-join decision for the cache paths below:
+                    // one build index over `scanned`, probed by `acc`.
+                    let indexed_decision = |out_rows: usize| JoinDecision {
+                        strategy: JoinStrategy::Serial,
+                        build_side: BuildSide::Right,
+                        partitions: 1,
+                        resplits: 0,
+                        build_rows: scanned.num_rows(),
+                        probe_rows: acc.num_rows(),
+                        out_rows,
+                    };
+                    // The serial index-join (and its cross-step cache) only
+                    // competes in the serial regime: once the accumulator
+                    // is past the serial threshold, a parallel probe beats
+                    // even a cache hit — rebuilding an index over a stored
+                    // table costs milliseconds, while serially probing a
+                    // huge accumulator costs seconds — so large joins
+                    // always go through the adaptive planner.
+                    let serial_regime =
+                        acc.num_rows() < ctx.options.join.serial_row_threshold;
+                    let (joined, decision) = match source {
+                        Some(src) if !scan_keys.is_empty() && serial_regime => {
+                            let cache_key = (src.clone(), scan_keys.clone());
                             if let Some(index) = index_cache.get(&cache_key) {
                                 // The cached index was built over a
                                 // row-identical scan of the same source,
@@ -291,26 +352,33 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                                     "columnar.join.index_reuses",
                                 )
                                 .inc();
-                                ops::hash_join_probe(&scanned, index, &acc, &acc_keys, false)
-                            } else if scanned.num_rows() <= acc.num_rows() {
+                                let out = ops::hash_join_probe(
+                                    &scanned, index, &acc, &acc_keys, false,
+                                );
+                                let decision = indexed_decision(out.num_rows());
+                                (out, decision)
+                            } else if source_uses.get(&src).copied().unwrap_or(0) >= 2
+                                || scanned.num_rows() <= acc.num_rows()
+                            {
                                 let index = ops::build_join_index(&scanned, &scan_keys);
                                 let out = ops::hash_join_probe(
                                     &scanned, &index, &acc, &acc_keys, false,
                                 );
                                 index_cache.insert(cache_key, index);
-                                out
+                                let decision = indexed_decision(out.num_rows());
+                                (out, decision)
                             } else {
-                                natural_join_auto(&acc, &scanned)
+                                natural_join_adaptive(&acc, &scanned, &ctx.options.join)
                             }
                         }
-                        _ => natural_join_auto(&acc, &scanned),
+                        _ => natural_join_adaptive(&acc, &scanned, &ctx.options.join),
                     };
+                    ctx.note_join_decision(format!("bgp step {step_no}"), decision, reused);
                     ctx.span_close(
                         span,
                         format!(
-                            "build={} probe={}{}",
-                            acc.num_rows().min(scanned.num_rows()),
-                            acc.num_rows().max(scanned.num_rows()),
+                            "{}{}",
+                            decision.summary(),
                             if reused { ", index reused" } else { "" }
                         ),
                         Some(joined.num_rows()),
@@ -560,6 +628,32 @@ mod tests {
         // Non-star queries never reuse (every source is scanned once).
         let (_, ex_q1) = store.engine(true).query_opt(Q1, &Default::default()).unwrap();
         assert_eq!(ex_q1.index_reuses, 0);
+    }
+
+    #[test]
+    fn bound_star_reuses_index_after_build_side_flip() {
+        // Regression test for the build-side-selection bug in index reuse:
+        // a bound first pattern makes the accumulator the smaller join
+        // input, so the size-preferred build side is the accumulator — and
+        // the old code, which only cached when the scanned side happened
+        // to be smaller, never cached and never reused. The repeated
+        // source (VP likes, scanned by the ?b and ?c patterns) must be
+        // built on and reused regardless of which side is smaller.
+        let store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let q = "SELECT * WHERE { <A> <likes> ?x . ?b <likes> ?x . ?c <likes> ?x }";
+        for use_extvp in [true, false] {
+            let (s, ex) = store.engine(use_extvp).query_opt(q, &Default::default()).unwrap();
+            // A likes {I1, I2}; I1 has 1 liker, I2 has 2 → 1·1 + 2·2.
+            assert_eq!(s.len(), 5);
+            assert!(
+                ex.index_reuses >= 1,
+                "extvp={use_extvp}: expected index reuse, got {}",
+                ex.index_reuses
+            );
+            // Both joins record a planner decision, one of them a reuse.
+            assert_eq!(ex.join_steps.len(), 2, "{:?}", ex.join_steps);
+            assert!(ex.join_steps.iter().any(|j| j.reused_index));
+        }
     }
 
     #[test]

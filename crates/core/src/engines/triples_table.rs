@@ -82,6 +82,7 @@ impl BgpEvaluator for TriplesTableEngine {
                 sf: 1.0,
                 wall_micros: started.elapsed().as_micros() as u64,
                 rationale,
+                est_rows: 0,
             });
             result = Some(match result {
                 None => scanned,

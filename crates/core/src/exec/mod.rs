@@ -13,6 +13,7 @@ pub mod trace;
 
 use std::time::Instant;
 
+use s2rdf_columnar::exec::{JoinConfig, JoinDecision};
 use s2rdf_columnar::Table;
 use s2rdf_model::Dictionary;
 use s2rdf_sparql::TriplePattern;
@@ -55,6 +56,10 @@ pub struct QueryOptions {
     /// returned in [`Explain::trace`] — the `s2rdf query --profile` path
     /// and the analogue of inspecting a job in Spark's UI.
     pub profile: bool,
+    /// Thresholds for the adaptive join planner (broadcast vs partitioned
+    /// hash join, partition-count derivation, straggler re-partitioning) —
+    /// the analogues of Spark's `autoBroadcastJoinThreshold` and AQE knobs.
+    pub join: JoinConfig,
 }
 
 impl Default for QueryOptions {
@@ -67,6 +72,7 @@ impl Default for QueryOptions {
             retry_backoff_ms: 0,
             max_intermediate_rows: None,
             profile: false,
+            join: JoinConfig::default(),
         }
     }
 }
@@ -87,6 +93,10 @@ pub struct StepExplain {
     /// candidates", "VP fallback: no correlated pattern"). Mirrors the
     /// table-selection argument of paper Alg. 2.
     pub rationale: String,
+    /// Catalog cardinality estimate for the chosen table before scanning
+    /// (the number the adaptive join planner sees); `0` when the engine
+    /// has no estimate.
+    pub est_rows: usize,
 }
 
 impl StepExplain {
@@ -99,8 +109,23 @@ impl StepExplain {
             sf,
             wall_micros: 0,
             rationale: String::new(),
+            est_rows: 0,
         }
     }
+}
+
+/// Explain record for one executed join: the adaptive planner's decision
+/// (strategy, build side, partition count, re-splits) plus whether a cached
+/// hash index was reused for the build side.
+#[derive(Debug, Clone)]
+pub struct JoinExplain {
+    /// Where the join ran (e.g. `bgp step 3` or `pattern join`).
+    pub context: String,
+    /// The planner's decision record.
+    pub decision: JoinDecision,
+    /// True when the build-side hash index came from the star-pattern
+    /// index cache instead of being rebuilt.
+    pub reused_index: bool,
 }
 
 /// Record of one BGP step that executed in degraded mode: the planned ExtVP
@@ -143,6 +168,11 @@ pub struct Explain {
     /// build side was a repeated pure-rename scan of the same stored table
     /// (star patterns sharing a join variable).
     pub index_reuses: usize,
+    /// One entry per executed pairwise join, in execution order: the
+    /// adaptive planner's strategy, build side, partition count and
+    /// re-splits (Spark's broadcast-vs-shuffle choice plus AQE skew
+    /// handling, observable per join).
+    pub join_steps: Vec<JoinExplain>,
     /// Per-operator span tree, collected when [`QueryOptions::profile`] is
     /// set (otherwise `None`).
     pub trace: Option<Trace>,
@@ -226,6 +256,21 @@ impl<'a> ExecContext<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Records the adaptive planner's decision for one executed join in
+    /// [`Explain::join_steps`].
+    pub fn note_join_decision(
+        &mut self,
+        context: impl Into<String>,
+        decision: JoinDecision,
+        reused_index: bool,
+    ) {
+        self.explain.join_steps.push(JoinExplain {
+            context: context.into(),
+            decision,
+            reused_index,
+        });
     }
 }
 

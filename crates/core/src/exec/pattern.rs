@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 
 use rustc_hash::FxHashMap;
-use s2rdf_columnar::exec::natural_join_auto;
+use s2rdf_columnar::exec::{natural_join_adaptive, BuildSide, JoinDecision, JoinStrategy};
 use s2rdf_columnar::{ops, Schema, Table, NULL_ID};
 use s2rdf_model::{Dictionary, Term, TermId};
 use s2rdf_sparql::{optimizer, Expression, GraphPattern, Query, Value};
@@ -64,19 +64,38 @@ pub fn eval_pattern(
             // Hash joins treat NULL_ID as a value, so fall back to the
             // compatibility join when shared columns contain NULLs.
             let compat = needs_compat_join(&left, &right);
-            let out = if compat {
-                compat_join(&left, &right)
+            let (out, decision) = if compat {
+                // The nested-loop compatibility join has no planner choice
+                // to make; record it as a serial decision so join_steps
+                // stays one-entry-per-join.
+                let out = compat_join(&left, &right);
+                let decision = JoinDecision {
+                    strategy: JoinStrategy::Serial,
+                    build_side: BuildSide::Left,
+                    partitions: 1,
+                    resplits: 0,
+                    build_rows: left.num_rows(),
+                    probe_rows: right.num_rows(),
+                    out_rows: out.num_rows(),
+                };
+                (out, decision)
             } else {
-                natural_join_auto(&left, &right)
+                natural_join_adaptive(&left, &right, &ctx.options.join)
             };
             ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
+            ctx.note_join_decision(
+                if compat { "pattern join (compat)" } else { "pattern join" },
+                decision,
+                false,
+            );
             ctx.span_close(
                 span,
                 format!(
-                    "left={} right={}{}",
+                    "left={} right={}{} [{}]",
                     left.num_rows(),
                     right.num_rows(),
-                    if compat { " compat(NULL-joinable)" } else { "" }
+                    if compat { " compat(NULL-joinable)" } else { "" },
+                    decision.summary(),
                 ),
                 Some(out.num_rows()),
             );
@@ -354,16 +373,25 @@ fn order_table(
 ) -> Result<Table, CoreError> {
     ctx.check_deadline()?;
     let dict = ctx.dict;
-    // Fast path: `ORDER BY ?v` / `ORDER BY DESC(?v)` over a bound column
-    // sorts one u32 column under a per-id rank, so the O(n) radix sort
-    // replaces the O(n log n) comparison sort. Multi-key and expression
-    // conditions fall through to the general path below.
-    if let [cond] = conditions {
-        if let Expression::Var(v) = &cond.expr {
-            if let Some(col) = table.schema().index_of(v) {
-                return Ok(radix_order_by_var(table, col, cond.descending, dict));
-            }
-        }
+    // Fast path: when every condition is a plain variable bound by the
+    // pattern (`ORDER BY ?a DESC(?b) …`), each column sorts by a per-id
+    // rank, so the O(n·k) composite radix sort replaces the O(n log n)
+    // comparison sort. Expression conditions (and variables the pattern
+    // never binds, which need the unbound-first rule relative to
+    // expression results) fall through to the general path below.
+    let var_cols: Option<Vec<(usize, bool)>> = conditions
+        .iter()
+        .map(|cond| match &cond.expr {
+            Expression::Var(v) => table.schema().index_of(v).map(|col| (col, cond.descending)),
+            _ => None,
+        })
+        .collect();
+    if let Some(var_cols) = var_cols {
+        let keys: Vec<Vec<u32>> = var_cols
+            .iter()
+            .map(|&(col, descending)| rank_keys(table, col, descending, dict))
+            .collect();
+        return Ok(ops::sort_by_keys_radix(table, &keys));
     }
     let mut keys: Vec<Vec<Option<Term>>> = Vec::with_capacity(table.num_rows());
     for row in 0..table.num_rows() {
@@ -399,12 +427,13 @@ fn order_table(
     }))
 }
 
-/// Single-variable ORDER BY via [`ops::sort_by_key_radix`]: the column's
-/// distinct ids are ranked by SPARQL value order (unbound first), with
-/// value-equal terms collapsed onto one rank so ties keep input order
-/// exactly as the stable comparison sort would; DESC negates the ranks,
-/// which reverses the total order while preserving stability.
-fn radix_order_by_var(table: &Table, col: usize, descending: bool, dict: &Dictionary) -> Table {
+/// Per-row radix key for one ORDER BY variable: the column's distinct ids
+/// are ranked by SPARQL value order (unbound first), with value-equal terms
+/// collapsed onto one rank so ties keep input order exactly as the stable
+/// comparison sort would; DESC negates the ranks, which reverses the total
+/// order while preserving stability. One key vector per condition feeds
+/// [`ops::sort_by_keys_radix`].
+fn rank_keys(table: &Table, col: usize, descending: bool, dict: &Dictionary) -> Vec<u32> {
     let column = table.column(col);
     let mut distinct: Vec<u32> = column.to_vec();
     distinct.sort_unstable();
@@ -431,8 +460,7 @@ fn radix_order_by_var(table: &Table, col: usize, descending: bool, dict: &Dictio
         rank_of.insert(id, if descending { !rank } else { rank });
         prev = Some(id);
     }
-    let keys: Vec<u32> = column.iter().map(|v| rank_of[v]).collect();
-    ops::sort_by_key_radix(table, &keys)
+    column.iter().map(|v| rank_of[v]).collect()
 }
 
 fn format_number(n: f64) -> String {
@@ -550,6 +578,34 @@ mod tests {
             .map(|i| s.binding(i, "x").unwrap().numeric_value().unwrap() as i64)
             .collect();
         assert_eq!(xs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_by_multi_key_mixed_directions() {
+        // Primary-key ties force the secondary condition to decide, with
+        // opposite directions per key (the composite radix fast path).
+        let mut dict = Dictionary::new();
+        let ids: Vec<u32> = (0..4).map(|i| dict.intern(&Term::integer(i)).0).collect();
+        let table = Table::from_rows(
+            Schema::new(["x", "y"]),
+            &[
+                [ids[1], ids[0]],
+                [ids[0], ids[1]],
+                [ids[1], ids[2]],
+                [ids[0], ids[3]],
+            ],
+        );
+        let f = Fixed { dict, table };
+        let s = run("SELECT ?x ?y WHERE { ?x <p> ?y } ORDER BY ?x DESC(?y)", &f);
+        let pairs: Vec<(i64, i64)> = (0..s.len())
+            .map(|i| {
+                (
+                    s.binding(i, "x").unwrap().numeric_value().unwrap() as i64,
+                    s.binding(i, "y").unwrap().numeric_value().unwrap() as i64,
+                )
+            })
+            .collect();
+        assert_eq!(pairs, vec![(0, 3), (0, 1), (1, 2), (1, 0)]);
     }
 
     #[test]

@@ -142,6 +142,21 @@ impl S2rdfStore {
         &self.catalog
     }
 
+    /// Catalog cardinality estimate for a compiled table source, before
+    /// any scan: exactly the number the adaptive join planner would see.
+    /// Costs one catalog lookup — no table is touched.
+    pub fn estimated_rows(&self, source: &crate::compiler::TableSource) -> usize {
+        use crate::compiler::TableSource;
+        match source {
+            TableSource::TriplesTable => self.catalog.total_triples,
+            TableSource::Vp(p) => self.catalog.vp_size(*p),
+            TableSource::ExtVp(key) => {
+                self.catalog.extvp_stat(key).map(|s| s.count).unwrap_or(0)
+            }
+            TableSource::Empty => 0,
+        }
+    }
+
     /// The ExtVP storage mode of this store.
     pub fn mode(&self) -> ExtVpMode {
         match &self.extvp {

@@ -1,0 +1,183 @@
+//! Minimal in-tree `criterion`: wall-clock timing with median-of-samples
+//! reporting, API-compatible with the subset of criterion 0.5 this
+//! workspace's benches use. No statistical analysis, plots, or baselines.
+//! See `vendor/README.md`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The in-tree harness always
+/// runs one setup per routine call, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+    }
+
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { sample_size, samples: Vec::new() };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id}: median {} (min {}, max {}, {} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample. Criterion proper scales iteration
+    /// counts to a time budget; a fixed per-sample call keeps benches fast
+    /// and is accurate enough for the millisecond-scale routines here.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, excluded from samples
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` input per sample; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up, excluded from samples
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

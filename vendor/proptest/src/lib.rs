@@ -1,0 +1,811 @@
+//! Minimal in-tree `proptest`: deterministic random-input testing with the
+//! subset of the proptest 1.x API this workspace uses. No shrinking — a
+//! failing case reports its case number and seed, then re-panics.
+//! See `vendor/README.md`.
+
+pub mod test_runner {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// SplitMix64 generator: deterministic per test name + case index.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform integer in `lo..=hi` via i128 arithmetic (covers the
+        /// full u64 range without overflow).
+        pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo + 1) as u128;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one `proptest!`-generated test: `cases` deterministic runs,
+    /// reporting the case number and seed before re-raising any panic.
+    pub fn run_proptest<F: FnMut(&mut TestRng)>(name: &str, cfg: &ProptestConfig, mut body: F) {
+        let base = fnv1a(name);
+        for case in 0..cfg.cases {
+            let seed = base.wrapping_add((case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+            let mut rng = TestRng::new(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest `{name}`: failed at case {case}/{} (seed {seed:#x}); \
+                     no shrinking in the in-tree harness",
+                    cfg.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::string_gen;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Produces random values of `Value`. No shrinking.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy, used by `prop_oneof!` arms.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("proptest filter rejected 1000 candidates: {}", self.reason);
+        }
+    }
+
+    /// Weighted choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(arms.iter().any(|(w, _)| *w > 0), "prop_oneof! weights are all zero");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_i128(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range_i128(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.f64_unit() * (self.end - self.start)
+        }
+    }
+
+    /// A `&'static str` is interpreted as a regex-subset pattern and
+    /// generates matching strings (see `string_gen`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            string_gen::generate(self, rng)
+        }
+    }
+
+    impl<A: Strategy> Strategy for (A,) {
+        type Value = (A::Value,);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng),)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+mod string_gen {
+    //! Generator for the regex subset used by workspace tests: literals,
+    //! character classes (ranges, `\n`/`\t`-style escapes, trailing `-`),
+    //! groups, `.`, and the quantifiers `{n}` / `{m,n}` / `?` / `*` / `+`.
+
+    use crate::test_runner::TestRng;
+
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Piece>),
+    }
+
+    struct Piece {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let pieces = parse_seq(&chars, &mut pos, pattern);
+        if pos != chars.len() {
+            panic!("proptest: unsupported regex construct in {pattern:?} at {pos}");
+        }
+        let mut out = String::new();
+        emit_seq(&pieces, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for p in pieces {
+            let span = (p.max - p.min) as u64;
+            let n = p.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            for _ in 0..n {
+                match &p.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+                    Node::Group(inner) => emit_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+        let mut pick = rng.below(total);
+        for (lo, hi) in ranges {
+            let size = (*hi as u64) - (*lo as u64) + 1;
+            if pick < size {
+                return char::from_u32(*lo as u32 + pick as u32).expect("class range char");
+            }
+            pick -= size;
+        }
+        unreachable!("class pick out of range")
+    }
+
+    fn escape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parses pieces until end of input or a `)` (left for the caller).
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' => break,
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos, pattern))
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, pattern);
+                    if chars.get(*pos) != Some(&')') {
+                        panic!("proptest: unclosed group in {pattern:?}");
+                    }
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Class(vec![(' ', '~')])
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = *chars
+                        .get(*pos)
+                        .unwrap_or_else(|| panic!("proptest: dangling escape in {pattern:?}"));
+                    *pos += 1;
+                    Node::Lit(escape(c))
+                }
+                c @ ('|' | '^' | '$' | '*' | '+' | '?' | '{') => {
+                    panic!("proptest: unsupported regex construct {c:?} in {pattern:?}")
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos, pattern);
+            pieces.push(Piece { node, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(char, char)> {
+        if chars.get(*pos) == Some(&'^') {
+            panic!("proptest: negated classes unsupported in {pattern:?}");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match chars.get(*pos) {
+                None => panic!("proptest: unclosed class in {pattern:?}"),
+                Some(']') => {
+                    *pos += 1;
+                    return ranges;
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    let c = *chars
+                        .get(*pos)
+                        .unwrap_or_else(|| panic!("proptest: dangling escape in {pattern:?}"));
+                    *pos += 1;
+                    escape(c)
+                }
+                Some(&c) => {
+                    *pos += 1;
+                    c
+                }
+            };
+            // `a-z` range, unless the `-` is the literal just before `]`.
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|c| *c != ']') {
+                *pos += 1;
+                let hi = match chars.get(*pos) {
+                    Some('\\') => {
+                        *pos += 1;
+                        let c = *chars
+                            .get(*pos)
+                            .unwrap_or_else(|| panic!("proptest: dangling escape in {pattern:?}"));
+                        escape(c)
+                    }
+                    Some(&c) => c,
+                    None => panic!("proptest: unclosed class in {pattern:?}"),
+                };
+                *pos += 1;
+                assert!(lo <= hi, "proptest: inverted class range in {pattern:?}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = 0usize;
+                while let Some(c) = chars.get(*pos).filter(|c| c.is_ascii_digit()) {
+                    min = min * 10 + c.to_digit(10).unwrap() as usize;
+                    *pos += 1;
+                }
+                let max = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    let mut max = 0usize;
+                    while let Some(c) = chars.get(*pos).filter(|c| c.is_ascii_digit()) {
+                        max = max * 10 + c.to_digit(10).unwrap() as usize;
+                        *pos += 1;
+                    }
+                    max
+                } else {
+                    min
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    panic!("proptest: malformed quantifier in {pattern:?}");
+                }
+                *pos += 1;
+                assert!(min <= max, "proptest: inverted quantifier in {pattern:?}");
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty => $name:ident),* $(,)?) => {$(
+            pub struct $name;
+            impl Strategy for $name {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range_i128(<$t>::MIN as i128, <$t>::MAX as i128) as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = $name;
+                fn arbitrary() -> $name { $name }
+            }
+        )*};
+    }
+
+    arbitrary_int!(
+        u8 => AnyU8,
+        u16 => AnyU16,
+        u32 => AnyU32,
+        u64 => AnyU64,
+        usize => AnyUsize,
+        i8 => AnyI8,
+        i16 => AnyI16,
+        i32 => AnyI32,
+        i64 => AnyI64,
+        isize => AnyIsize,
+    );
+
+    pub struct AnyString;
+
+    impl Strategy for AnyString {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            // Mostly printable ASCII, with a tail of characters that stress
+            // escaping and multi-byte handling.
+            const SPICE: &[char] =
+                &['"', '\\', '\n', '\t', '\r', 'é', 'λ', '中', '\u{1F4A1}', '\u{0}'];
+            let len = rng.below(17) as usize;
+            let mut out = String::new();
+            for _ in 0..len {
+                if rng.below(5) == 0 {
+                    out.push(SPICE[rng.below(SPICE.len() as u64) as usize]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii"));
+                }
+            }
+            out
+        }
+    }
+
+    impl Arbitrary for String {
+        type Strategy = AnyString;
+        fn arbitrary() -> AnyString {
+            AnyString
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`], inclusive on both ends.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len =
+                self.size.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` one time in four, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            $crate::test_runner::run_proptest(
+                stringify!($name),
+                &cfg,
+                |rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, rng);)+
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($w as u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = (1u8..=255).generate(&mut rng);
+            assert!(v >= 1);
+            let v = (0u32..=95).generate(&mut rng);
+            assert!(v <= 95);
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_patterns_match_shape() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9:/._#~-]{1,30}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 30);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || ":/._#~-".contains(c)));
+
+            let lang = "[a-z]{2}(-[A-Z]{2})?".generate(&mut rng);
+            assert!(lang.len() == 2 || lang.len() == 5, "bad lang tag {lang:?}");
+
+            let lit = "[a-zA-Z0-9 \\\\\"\n\t]{0,20}".generate(&mut rng);
+            assert!(lit.chars().count() <= 20);
+            assert!(lit
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " \\\"\n\t".contains(c)));
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut rng = TestRng::new(3);
+        let strat = (0u32..100).prop_filter("even", |v| v % 2 == 0).prop_map(|v| v + 1);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weight() {
+        let mut rng = TestRng::new(9);
+        let strat = prop_oneof![0 => Just(1u8), 5 => Just(2u8)];
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_strategies() {
+        let mut rng = TestRng::new(5);
+        let strat = crate::collection::vec(any::<u8>(), 2..5);
+        let mut saw_none = false;
+        let opt = crate::option::of(Just(7u8));
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            saw_none |= opt.generate(&mut rng).is_none();
+        }
+        assert!(saw_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_smoke(a in 0u32..10, (b, c) in (0u8..4, any::<bool>())) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9, "a was {a}");
+            prop_assert_eq!(b as u32 * 0, 0);
+            prop_assert_ne!(c as u8, 2);
+        }
+    }
+}

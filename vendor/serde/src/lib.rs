@@ -1,0 +1,490 @@
+//! Minimal in-tree `serde`: serialization through an explicit [`Content`]
+//! tree (the JSON data model) instead of the full serde visitor machinery.
+//! The derive macros in `serde_derive` generate `to_content`/`from_content`
+//! implementations; `serde_json` prints and parses the tree. The generic
+//! `Serialize::serialize(&self, S)` / `Deserialize::deserialize(D)` entry
+//! points keep source compatibility with code written against real serde
+//! (custom `#[serde(with = ...)]` modules included). See `vendor/README.md`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (ordered field list; duplicate keys never produced).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Unwraps a map's entries, or errors with the expected type.
+    pub fn into_map_entries(self) -> Result<Vec<(String, Content)>, Error> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!("expected map, found {}", other.kind()))),
+        }
+    }
+
+    /// Unwraps a sequence, or errors with the expected type.
+    pub fn into_seq(self) -> Result<Vec<Content>, Error> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(Error::custom(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Content`] tree.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+
+    /// serde-compatible entry point: hands the content tree to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_content(self.to_content())
+    }
+}
+
+/// Consumes a [`Content`] tree produced by [`Serialize`].
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Error type.
+    type Error: fmt::Display;
+
+    /// Accepts the serialized content tree.
+    fn collect_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The identity serializer: returns the [`Content`] tree itself. Used by
+/// derived code to invoke `#[serde(with = ...)]` modules.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Error;
+
+    fn collect_content(self, content: Content) -> Result<Content, Error> {
+        Ok(content)
+    }
+}
+
+/// Error trait for [`Deserializer`] implementations.
+pub trait DeError: fmt::Display + Sized {
+    /// Creates an error from a message.
+    fn custom(msg: String) -> Self;
+}
+
+impl DeError for Error {
+    fn custom(msg: String) -> Error {
+        Error(msg)
+    }
+}
+
+/// A source of one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: DeError;
+
+    /// Produces the content tree to deserialize from.
+    fn into_content(self) -> Result<Content, Self::Error>;
+}
+
+/// The identity deserializer over an in-memory [`Content`] tree. Used by
+/// derived code to invoke `#[serde(with = ...)]` modules.
+pub struct ContentDeserializer(Content);
+
+impl ContentDeserializer {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> ContentDeserializer {
+        ContentDeserializer(content)
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = Error;
+
+    fn into_content(self) -> Result<Content, Error> {
+        Ok(self.0)
+    }
+}
+
+/// A type reconstructible from a [`Content`] tree.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds the value from a content tree.
+    fn from_content(content: Content) -> Result<Self, Error>;
+
+    /// serde-compatible entry point.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Self::from_content(deserializer.into_content()?)
+            .map_err(|e| D::Error::custom(e.to_string()))
+    }
+}
+
+// ---- derive support helpers (used by serde_derive expansions) ----
+
+/// Removes and returns the field `name` from a map entry list.
+#[doc(hidden)]
+pub fn __take_field(
+    entries: &mut Vec<(String, Content)>,
+    name: &str,
+) -> Option<Content> {
+    let idx = entries.iter().position(|(k, _)| k == name)?;
+    Some(entries.remove(idx).1)
+}
+
+/// Removes field `name`, erroring when absent (non-`default` fields).
+#[doc(hidden)]
+pub fn __require_field(
+    entries: &mut Vec<(String, Content)>,
+    name: &str,
+) -> Result<Content, Error> {
+    __take_field(entries, name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+// ---- primitive impls ----
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: Content) -> Result<$t, Error> {
+                let v = match content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    Error::custom(format!("integer {v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: Content) -> Result<$t, Error> {
+                let v = match content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(|_| {
+                        Error::custom(format!("integer {v} out of range for i64"))
+                    })?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    Error::custom(format!("integer {v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: Content) -> Result<$t, Error> {
+                match content {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: Content) -> Result<bool, Error> {
+        match content {
+            Content::Bool(b) => Ok(b),
+            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: Content) -> Result<String, Error> {
+        match content {
+            Content::Str(s) => Ok(s),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: Content) -> Result<Vec<T>, Error> {
+        content.into_seq()?.into_iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: Content) -> Result<Option<T>, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_content(content: Content) -> Result<(A, B), Error> {
+        let mut items = content.into_seq()?;
+        if items.len() != 2 {
+            return Err(Error::custom(format!("expected 2-tuple, found {} items", items.len())));
+        }
+        let b = B::from_content(items.pop().expect("len checked"))?;
+        let a = A::from_content(items.pop().expect("len checked"))?;
+        Ok((a, b))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content(), self.2.to_content()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_content(content: Content) -> Result<(A, B, C), Error> {
+        let mut items = content.into_seq()?;
+        if items.len() != 3 {
+            return Err(Error::custom(format!("expected 3-tuple, found {} items", items.len())));
+        }
+        let c = C::from_content(items.pop().expect("len checked"))?;
+        let b = B::from_content(items.pop().expect("len checked"))?;
+        let a = A::from_content(items.pop().expect("len checked"))?;
+        Ok((a, b, c))
+    }
+}
+
+/// Map keys, rendered as JSON object keys (strings). Integer keys are
+/// stringified, as real serde_json does.
+pub trait MapKey: Sized {
+    /// The key as a string.
+    fn to_key(&self) -> String;
+    /// Parses a key back.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<$t, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("invalid {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<String, Error> {
+        Ok(key.to_string())
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+    }
+}
+
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_content(content: Content) -> Result<BTreeMap<K, V>, Error> {
+        content
+            .into_map_entries()?
+            .into_iter()
+            .map(|(k, v)| Ok((K::from_key(&k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content((-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(0.25f64.to_content()).unwrap(), 0.25);
+        assert_eq!(bool::from_content(true.to_content()).unwrap(), true);
+        assert_eq!(
+            String::from_content("hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2usize), (3, 4)];
+        assert_eq!(Vec::<(u32, usize)>::from_content(v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(7u32, 9usize);
+        let c = m.to_content();
+        assert_eq!(c, Content::Map(vec![("7".to_string(), Content::U64(9))]));
+        assert_eq!(BTreeMap::<u32, usize>::from_content(c).unwrap(), m);
+    }
+
+    #[test]
+    fn float_accepts_integer_content() {
+        // JSON prints 1.0 as "1"; reading it back as f64 must work.
+        assert_eq!(f64::from_content(Content::U64(1)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let mut entries = vec![("a".to_string(), Content::U64(1))];
+        assert!(__require_field(&mut entries, "b").unwrap_err().to_string().contains("`b`"));
+        assert!(__require_field(&mut entries, "a").is_ok());
+    }
+}

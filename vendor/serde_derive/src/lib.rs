@@ -1,0 +1,282 @@
+//! Minimal in-tree `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for named-field structs and unit-variant enums, supporting the
+//! `#[serde(with = "module")]` and `#[serde(default)]` field attributes.
+//! Parses the token stream directly (no `syn`/`quote`) and emits impls of
+//! the Content-tree traits defined by the in-tree `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+    default: bool,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Extracts `with`/`default` from a `#[serde(...)]` attribute body.
+fn parse_serde_attr(group: &proc_macro::Group, with: &mut Option<String>, default: &mut bool) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Attribute shape: serde ( ... )
+    if inner.first().map(|t| t.to_string()) != Some("serde".to_string()) {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().clone().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                *default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "path"
+                if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                    let raw = lit.to_string();
+                    *with = Some(raw.trim_matches('"').to_string());
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skips attributes at `i`, collecting serde attrs; returns the new index.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    mut i: usize,
+    with: &mut Option<String>,
+    default: &mut bool,
+) -> usize {
+    while i < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_serde_attr(g, with, default);
+        }
+        i += 2;
+    }
+    i
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut with = None;
+        let mut default = false;
+        i = skip_attrs(&tokens, i, &mut with, &mut default);
+        if i >= tokens.len() {
+            break;
+        }
+        // Optional visibility: `pub` possibly followed by `(...)`.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with, default });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut with = None;
+        let mut default = false;
+        i = skip_attrs(&tokens, i, &mut with, &mut default);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde_derive: expected enum variant, found {other}"),
+        }
+        i += 1;
+        // Only unit variants are supported; any payload group is an error.
+        if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+            panic!("serde_derive: only unit enum variants are supported");
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip leading attributes (doc comments etc.) and visibility.
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let is_struct = tokens[i].to_string() == "struct";
+    let name = tokens[i + 1].to_string();
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("serde_derive: no braced body on `{name}` (named-field structs and unit enums only)"));
+    let kind = if is_struct {
+        Kind::Struct(parse_fields(body))
+    } else {
+        Kind::Enum(parse_variants(body))
+    };
+    Input { name, kind }
+}
+
+/// Derives the Content-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let value = match &f.with {
+                    Some(path) => format!(
+                        "match {path}::serialize(&self.{fname}, ::serde::ContentSerializer) {{ \
+                         Ok(c) => c, \
+                         Err(e) => ::serde::Content::Str(format!(\"<serialize error: {{e}}>\")) }}"
+                    ),
+                    None => format!("::serde::Serialize::to_content(&self.{fname})"),
+                };
+                pushes.push_str(&format!(
+                    "fields.push((String::from(\"{fname}\"), {value}));\n"
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Content::Map(fields)"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(String::from(\"{v}\")),\n"))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the Content-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let init = match (&f.with, f.default) {
+                    (Some(path), _) => format!(
+                        "{fname}: {path}::deserialize(::serde::ContentDeserializer::new(\
+                         ::serde::__require_field(&mut entries, \"{fname}\")?))?,\n"
+                    ),
+                    (None, true) => format!(
+                        "{fname}: match ::serde::__take_field(&mut entries, \"{fname}\") {{ \
+                         Some(c) => ::serde::Deserialize::from_content(c)?, \
+                         None => Default::default() }},\n"
+                    ),
+                    (None, false) => format!(
+                        "{fname}: ::serde::Deserialize::from_content(\
+                         ::serde::__require_field(&mut entries, \"{fname}\")?)?,\n"
+                    ),
+                };
+                inits.push_str(&init);
+            }
+            format!(
+                "let mut entries = content.into_map_entries()?;\n\
+                 let _ = &mut entries;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(String::from(\
+                 \"expected string for enum {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_content(content: ::serde::Content) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
