@@ -17,7 +17,11 @@ fn bench_load(c: &mut Criterion) {
         b.iter(|| {
             S2rdfStore::build(
                 &data.graph,
-                &BuildOptions {  threshold: 1.0, build_extvp: false, ..Default::default() },
+                &BuildOptions {
+                    threshold: 1.0,
+                    build_extvp: false,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -28,7 +32,11 @@ fn bench_load(c: &mut Criterion) {
         b.iter(|| {
             S2rdfStore::build(
                 &data.graph,
-                &BuildOptions {  threshold: 0.25, build_extvp: true, ..Default::default() },
+                &BuildOptions {
+                    threshold: 0.25,
+                    build_extvp: true,
+                    ..Default::default()
+                },
             )
         })
     });

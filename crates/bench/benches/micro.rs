@@ -29,11 +29,17 @@ fn bench_join_order_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_join_order");
     group.sample_size(10);
     group.bench_function("optimized", |b| {
-        let opts = QueryOptions { optimize_join_order: true, ..Default::default() };
+        let opts = QueryOptions {
+            optimize_join_order: true,
+            ..Default::default()
+        };
         b.iter(|| engine.query_opt(&query, &opts).unwrap())
     });
     group.bench_function("as_written", |b| {
-        let opts = QueryOptions { optimize_join_order: false, ..Default::default() };
+        let opts = QueryOptions {
+            optimize_join_order: false,
+            ..Default::default()
+        };
         b.iter(|| engine.query_opt(&query, &opts).unwrap())
     });
     group.finish();
@@ -103,13 +109,29 @@ fn bench_extvp_modes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("micro_extvp_modes");
     group.sample_size(10);
-    for mode in [ExtVpMode::Materialized, ExtVpMode::BitVector, ExtVpMode::Lazy] {
+    for mode in [
+        ExtVpMode::Materialized,
+        ExtVpMode::BitVector,
+        ExtVpMode::Lazy,
+    ] {
         group.bench_function(format!("build/{mode:?}"), |b| {
             b.iter(|| {
-                S2rdfStore::build(&data.graph, &BuildOptions { mode, ..Default::default() })
+                S2rdfStore::build(
+                    &data.graph,
+                    &BuildOptions {
+                        mode,
+                        ..Default::default()
+                    },
+                )
             })
         });
-        let store = S2rdfStore::build(&data.graph, &BuildOptions { mode, ..Default::default() });
+        let store = S2rdfStore::build(
+            &data.graph,
+            &BuildOptions {
+                mode,
+                ..Default::default()
+            },
+        );
         let engine = store.engine(true);
         engine.query(&query).unwrap(); // warm the lazy cache once
         group.bench_function(format!("query_f5/{mode:?}"), |b| {
@@ -133,8 +155,13 @@ fn bench_intersection_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_intersect_correlations");
     group.sample_size(10);
     for (label, on) in [("best_table_only", false), ("intersect_all", true)] {
-        let opts = QueryOptions { intersect_correlations: on, ..Default::default() };
-        group.bench_function(label, |b| b.iter(|| engine.query_opt(&query, &opts).unwrap()));
+        let opts = QueryOptions {
+            intersect_correlations: on,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| engine.query_opt(&query, &opts).unwrap())
+        });
     }
     group.finish();
 }

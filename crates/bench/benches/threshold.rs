@@ -20,7 +20,11 @@ fn bench_threshold(c: &mut Criterion) {
     for threshold in [0.0, 0.25, 1.0] {
         let store = S2rdfStore::build(
             &data.graph,
-            &BuildOptions {  threshold, build_extvp: true, ..Default::default() },
+            &BuildOptions {
+                threshold,
+                build_extvp: true,
+                ..Default::default()
+            },
         );
         let engine = store.engine(true);
         // One representative query per category.

@@ -54,7 +54,10 @@ fn main() {
             let q = template.instantiate(&data, &mut rng);
             // Untimed warm-up absorbs first-touch allocator noise.
             let _ = engine.query_opt(&q, &QueryOptions::default());
-            let options = QueryOptions { profile: true, ..Default::default() };
+            let options = QueryOptions {
+                profile: true,
+                ..Default::default()
+            };
             let start = Instant::now();
             let entry = match engine.query_opt(&q, &options) {
                 Ok((solutions, explain)) => {
@@ -113,7 +116,11 @@ fn main() {
     let _ = writeln!(doc, "  \"workload\": \"watdiv-basic-testing\",");
     let _ = writeln!(doc, "  \"scale\": {scale},");
     let _ = writeln!(doc, "  \"instances\": {instances},");
-    let _ = writeln!(doc, "  \"engine\": \"{}\",", metrics::json_escape(&engine.name()));
+    let _ = writeln!(
+        doc,
+        "  \"engine\": \"{}\",",
+        metrics::json_escape(&engine.name())
+    );
     let _ = writeln!(doc, "  \"triples\": {},", data.graph.len());
     let _ = writeln!(doc, "  \"store_build_ms\": {build_ms:.1},");
     let _ = writeln!(doc, "  \"extvp_partitions\": {},", store.num_extvp_tables());

@@ -59,13 +59,16 @@ fn main() {
     let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
     let reads_after_load = metrics::counter("columnar.io.tables_read").get();
 
-    let query = format!(
-        "SELECT * WHERE {{ ?x <{WSDBM}follows> ?y . ?y <{WSDBM}likes> ?z }}"
-    );
+    let query = format!("SELECT * WHERE {{ ?x <{WSDBM}follows> ?y . ?y <{WSDBM}likes> ?z }}");
     let engine = loaded.engine(true);
-    let options = QueryOptions { profile: true, ..Default::default() };
+    let options = QueryOptions {
+        profile: true,
+        ..Default::default()
+    };
     let query_start = Instant::now();
-    let (solutions, explain) = engine.query_opt(&query, &options).expect("2-predicate query");
+    let (solutions, explain) = engine
+        .query_opt(&query, &options)
+        .expect("2-predicate query");
     let query_ms = query_start.elapsed().as_secs_f64() * 1e3;
     let reads_after_query = metrics::counter("columnar.io.tables_read").get();
     let planned: Vec<String> = explain.bgp_steps.iter().map(|s| s.table.clone()).collect();
@@ -97,7 +100,10 @@ fn main() {
     let joined = par_natural_join(&left, &right, 8);
     let par_join_ms = join_start.elapsed().as_secs_f64() * 1e3;
     let concat_bytes = metrics::counter("columnar.concat.bytes_copied").get();
-    assert_eq!(concat_bytes, 0, "partition-native join path copied bytes via concat");
+    assert_eq!(
+        concat_bytes, 0,
+        "partition-native join path copied bytes via concat"
+    );
     eprintln!(
         "par join: {} rows out in {par_join_ms:.1} ms, concat.bytes_copied = {concat_bytes}",
         joined.num_rows()
@@ -163,7 +169,10 @@ fn main() {
     let _ = writeln!(doc, "    \"query_ms\": {query_ms:.3}");
     let _ = writeln!(doc, "  }},");
     let _ = writeln!(doc, "  \"par_join\": {{");
-    let _ = writeln!(doc, "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS}, \"partitions\": 8,");
+    let _ = writeln!(
+        doc,
+        "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS}, \"partitions\": 8,"
+    );
     let _ = writeln!(doc, "    \"rows_out\": {},", joined.num_rows());
     let _ = writeln!(doc, "    \"concat_bytes_copied\": {concat_bytes},");
     let _ = writeln!(doc, "    \"wall_ms\": {par_join_ms:.3}");

@@ -57,15 +57,24 @@ fn main() {
     );
     let probe = Table::from_columns(
         Schema::new(["k", "b"]),
-        vec![(0..PROBE_ROWS).map(|x| x % BUILD_ROWS).collect(), (0..PROBE_ROWS).collect()],
+        vec![
+            (0..PROBE_ROWS).map(|x| x % BUILD_ROWS).collect(),
+            (0..PROBE_ROWS).collect(),
+        ],
     );
     let parts = default_parallelism().clamp(2, 8);
     let cfg = JoinConfig::default();
     let (bcast_ms, bcast_rows) =
         median3(|| broadcast_natural_join(&build, &probe, parts).num_rows());
-    let (parted_ms, parted_rows) =
-        median3(|| partitioned_natural_join(&build, &probe, parts, &cfg).0.num_rows());
-    assert_eq!(bcast_rows, parted_rows, "broadcast and partitioned joins disagree");
+    let (parted_ms, parted_rows) = median3(|| {
+        partitioned_natural_join(&build, &probe, parts, &cfg)
+            .0
+            .num_rows()
+    });
+    assert_eq!(
+        bcast_rows, parted_rows,
+        "broadcast and partitioned joins disagree"
+    );
     let (_, planner) = natural_join_adaptive(&build, &probe, &cfg);
     assert_eq!(
         planner.strategy,
@@ -93,22 +102,33 @@ fn main() {
     );
     let sweep_probe = Table::from_columns(
         Schema::new(["k", "b"]),
-        vec![(0..SWEEP_PROBE).map(|x| x % SWEEP_KEYS).collect(), (0..SWEEP_PROBE).collect()],
+        vec![
+            (0..SWEEP_PROBE).map(|x| x % SWEEP_KEYS).collect(),
+            (0..SWEEP_PROBE).collect(),
+        ],
     );
     // Benches pin the executor width (as BENCH_pr3 pinned 8 partitions) so
     // wall times stay comparable across runners; the CLI default instead
     // caps at the local core count.
-    let pinned_cfg = JoinConfig { max_partitions: 8, ..cfg };
+    let pinned_cfg = JoinConfig {
+        max_partitions: 8,
+        ..cfg
+    };
     let mut sweep: Vec<(usize, f64)> = Vec::new();
     for fixed in [1usize, 2, 4, 8, 16] {
         let (ms, _) = median3(|| {
-            partitioned_natural_join(&sweep_build, &sweep_probe, fixed, &cfg).0.num_rows()
+            partitioned_natural_join(&sweep_build, &sweep_probe, fixed, &cfg)
+                .0
+                .num_rows()
         });
         sweep.push((fixed, ms));
     }
     let derived = adaptive_partitions(sweep_probe.num_rows(), &pinned_cfg);
-    let (adaptive_ms, _) =
-        median3(|| partitioned_natural_join(&sweep_build, &sweep_probe, derived, &cfg).0.num_rows());
+    let (adaptive_ms, _) = median3(|| {
+        partitioned_natural_join(&sweep_build, &sweep_probe, derived, &cfg)
+            .0
+            .num_rows()
+    });
     let &(best_parts, best_ms) = sweep
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
@@ -175,9 +195,11 @@ fn main() {
         vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
     );
     let (fixed8_ms, _) = median3(|| par_natural_join(&left, &right, 8).num_rows());
-    let pr3_cfg = JoinConfig { max_partitions: 8, ..cfg };
-    let (planned_ms, _) =
-        median3(|| natural_join_adaptive(&left, &right, &pr3_cfg).0.num_rows());
+    let pr3_cfg = JoinConfig {
+        max_partitions: 8,
+        ..cfg
+    };
+    let (planned_ms, _) = median3(|| natural_join_adaptive(&left, &right, &pr3_cfg).0.num_rows());
     eprintln!("pr3 workload: fixed-8 {fixed8_ms:.1} ms, adaptive planner {planned_ms:.1} ms");
 
     // ---- End-to-end: planner decisions surfaced through Explain -----------
@@ -191,7 +213,9 @@ fn main() {
         "SELECT * WHERE {{ ?x <{WSDBM}follows> ?y . ?y <{WSDBM}likes> ?z }} \
          ORDER BY ?y DESC(?x)"
     );
-    let (solutions, explain) = engine.query_opt(&query, &Default::default()).expect("query");
+    let (solutions, explain) = engine
+        .query_opt(&query, &Default::default())
+        .expect("query");
     let decisions: Vec<String> = explain
         .join_steps
         .iter()
@@ -218,10 +242,10 @@ fn main() {
     if !baseline_path.is_empty() {
         let doc = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        let base_par = extract_wall_ms(&doc, "\"par_join\"")
-            .expect("baseline has no par_join.wall_ms");
-        let base_skew = extract_wall_ms(&doc, "\"skew_join\"")
-            .expect("baseline has no skew_join.wall_ms");
+        let base_par =
+            extract_wall_ms(&doc, "\"par_join\"").expect("baseline has no par_join.wall_ms");
+        let base_skew =
+            extract_wall_ms(&doc, "\"skew_join\"").expect("baseline has no skew_join.wall_ms");
         check_regression("par_join", planned_ms, base_par);
         check_regression("skew_join", skew_ms, base_skew);
         let _ = write!(
@@ -240,7 +264,10 @@ fn main() {
     let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr5\",");
     let _ = writeln!(doc, "  \"scale\": {scale},");
     let _ = writeln!(doc, "  \"broadcast_vs_partitioned\": {{");
-    let _ = writeln!(doc, "    \"build_rows\": {BUILD_ROWS}, \"probe_rows\": {PROBE_ROWS},");
+    let _ = writeln!(
+        doc,
+        "    \"build_rows\": {BUILD_ROWS}, \"probe_rows\": {PROBE_ROWS},"
+    );
     let _ = writeln!(doc, "    \"partitions\": {parts},");
     let _ = writeln!(doc, "    \"broadcast_ms\": {bcast_ms:.3},");
     let _ = writeln!(doc, "    \"partitioned_ms\": {parted_ms:.3},");
@@ -261,12 +288,22 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let _ = writeln!(doc, "    \"best_fixed_parts\": {best_parts}, \"best_fixed_ms\": {best_ms:.3},");
-    let _ = writeln!(doc, "    \"adaptive_parts\": {derived}, \"adaptive_ms\": {adaptive_ms:.3},");
+    let _ = writeln!(
+        doc,
+        "    \"best_fixed_parts\": {best_parts}, \"best_fixed_ms\": {best_ms:.3},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"adaptive_parts\": {derived}, \"adaptive_ms\": {adaptive_ms:.3},"
+    );
     let _ = writeln!(doc, "    \"pct_of_best\": {ratio_pct:.1}");
     let _ = writeln!(doc, "  }},");
     let _ = writeln!(doc, "  \"skew_join\": {{");
-    let _ = writeln!(doc, "    \"hot_key_pct\": 90, \"partitions\": {},", skew_decision.partitions);
+    let _ = writeln!(
+        doc,
+        "    \"hot_key_pct\": 90, \"partitions\": {},",
+        skew_decision.partitions
+    );
     let _ = writeln!(doc, "    \"presplit_skew_pct_before\": {presplit},");
     let _ = writeln!(doc, "    \"straggler_pct_of_median\": {straggler},");
     let _ = writeln!(doc, "    \"straggler_bound_pct\": 150,");

@@ -60,8 +60,14 @@ fn main() {
 
         // VP-only build (paper's "load VP" row).
         let vp_start = Instant::now();
-        let vp_store =
-            S2rdfStore::build(&data.graph, &BuildOptions {  threshold: 1.0, build_extvp: false, ..Default::default() });
+        let vp_store = S2rdfStore::build(
+            &data.graph,
+            &BuildOptions {
+                threshold: 1.0,
+                build_extvp: false,
+                ..Default::default()
+            },
+        );
         let vp_time = vp_start.elapsed();
 
         // Full ExtVP build.

@@ -21,10 +21,18 @@ fn main() {
     let extvp = store.engine(true);
     let vp = store.engine(false);
 
-    println!("== Table 3 / Fig. 13: WatDiv Selectivity Testing (SF{scale}, AM of {runs} runs) ==\n");
+    println!(
+        "== Table 3 / Fig. 13: WatDiv Selectivity Testing (SF{scale}, AM of {runs} runs) ==\n"
+    );
     let widths = [8usize, 12, 12, 10, 10];
     print_row(
-        &["query".into(), "ExtVP ms".into(), "VP ms".into(), "speedup".into(), "rows".into()],
+        &[
+            "query".into(),
+            "ExtVP ms".into(),
+            "VP ms".into(),
+            "speedup".into(),
+            "rows".into(),
+        ],
         &widths,
     );
 
@@ -40,10 +48,12 @@ fn main() {
         // otherwise be billed to whichever engine runs first.
         let _ = time_query(&extvp, &query, timeout);
         let _ = time_query(&vp, &query, timeout);
-        let ext: Vec<Measurement> =
-            (0..runs).map(|_| time_query(&extvp, &query, timeout)).collect();
-        let base: Vec<Measurement> =
-            (0..runs).map(|_| time_query(&vp, &query, timeout)).collect();
+        let ext: Vec<Measurement> = (0..runs)
+            .map(|_| time_query(&extvp, &query, timeout))
+            .collect();
+        let base: Vec<Measurement> = (0..runs)
+            .map(|_| time_query(&vp, &query, timeout))
+            .collect();
         let rows = match ext[0] {
             Measurement::Ok(_, n) => n.to_string(),
             _ => "-".into(),

@@ -75,9 +75,9 @@ fn main() {
     for cat in ["L", "S", "F", "C"] {
         let mut row = vec![format!("AM-{cat}")];
         for (idx, _) in labels.iter().enumerate() {
-            let cell_value = per_category.get(&(idx, cat)).map(|v| {
-                v.iter().sum::<f64>() / v.len() as f64
-            });
+            let cell_value = per_category
+                .get(&(idx, cat))
+                .map(|v| v.iter().sum::<f64>() / v.len() as f64);
             row.push(cell(cell_value));
         }
         print_row(&row, &widths);

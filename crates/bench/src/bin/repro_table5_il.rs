@@ -63,8 +63,14 @@ fn main() {
                 .map(|q| time_query(engine, q, timeout))
                 .collect();
             let am = aggregate(&runs);
-            by_type.entry((engine_idx, ty.clone())).or_default().push(am);
-            by_type.entry((engine_idx, format!("len-{len}"))).or_default().push(am);
+            by_type
+                .entry((engine_idx, ty.clone()))
+                .or_default()
+                .push(am);
+            by_type
+                .entry((engine_idx, format!("len-{len}")))
+                .or_default()
+                .push(am);
             row.push(cell(am));
             engine_idx += 1;
         });

@@ -50,7 +50,11 @@ fn main() {
         eprintln!("building store with SF_TH = {threshold}…");
         let store = S2rdfStore::build(
             &data.graph,
-            &BuildOptions {  threshold, build_extvp: true, ..Default::default() },
+            &BuildOptions {
+                threshold,
+                build_extvp: true,
+                ..Default::default()
+            },
         );
         let engine = store.engine(true);
 
@@ -78,11 +82,20 @@ fn main() {
                 })
                 .collect();
             if let Some(ms) = aggregate(&runs) {
-                per_cat.entry(template.category.label()).or_default().push(ms);
+                per_cat
+                    .entry(template.category.label())
+                    .or_default()
+                    .push(ms);
                 per_cat.entry("T").or_default().push(ms);
             }
         }
-        let mut rel = [String::new(), String::new(), String::new(), String::new(), String::new()];
+        let mut rel = [
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ];
         for (i, cat) in ["L", "S", "F", "C", "T"].iter().enumerate() {
             let am = per_cat
                 .get(cat)

@@ -48,11 +48,7 @@ impl Measurement {
 }
 
 /// Runs one query with a deadline and wall-clock timing.
-pub fn time_query(
-    engine: &dyn SparqlEngine,
-    query: &str,
-    timeout: Duration,
-) -> Measurement {
+pub fn time_query(engine: &dyn SparqlEngine, query: &str, timeout: Duration) -> Measurement {
     let options = QueryOptions {
         deadline: Some(Instant::now() + timeout),
         ..Default::default()
@@ -205,7 +201,9 @@ pub struct Args {
 impl Args {
     /// Reads the process arguments.
     pub fn parse() -> Args {
-        Args { args: std::env::args().skip(1).collect() }
+        Args {
+            args: std::env::args().skip(1).collect(),
+        }
     }
 
     /// The value of `--name <v>`, or the default.

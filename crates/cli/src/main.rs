@@ -17,8 +17,8 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use s2rdf_core::exec::QueryOptions;
 use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::exec::QueryOptions;
 use s2rdf_core::layout::extvp::ExtVpMode;
 use s2rdf_core::{BuildOptions, S2rdfStore};
 use s2rdf_model::ntriples;
@@ -62,9 +62,9 @@ fn main() -> ExitCode {
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let scale: u32 = args.value("scale")?.parse().map_err(|_| "bad --scale")?;
-    let seed: u64 = args.opt_value("seed").map_or(Ok(42), |s| {
-        s.parse().map_err(|_| "bad --seed".to_string())
-    })?;
+    let seed: u64 = args
+        .opt_value("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed".to_string()))?;
     let out = args.value("out")?;
     eprintln!("generating WatDiv-style data at SF{scale} (seed {seed})…");
     let start = Instant::now();
@@ -97,8 +97,7 @@ fn cmd_load(args: &Args) -> Result<(), String> {
 
     eprintln!("reading {data_path}…");
     let file = std::fs::File::open(&data_path).map_err(|e| e.to_string())?;
-    let graph =
-        ntriples::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let graph = ntriples::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     eprintln!("{} triples; building store ({options:?})…", graph.len());
     let start = Instant::now();
     let store = S2rdfStore::build(&graph, &options);
@@ -109,7 +108,9 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         store.num_extvp_tables(),
         store.extvp_tuples()
     );
-    store.save(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    store
+        .save(Path::new(&store_dir))
+        .map_err(|e| e.to_string())?;
     eprintln!("saved to {store_dir}");
     Ok(())
 }
@@ -141,7 +142,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         println!("  \"extvp_partitions\": {},", store.num_extvp_tables());
         println!("  \"extvp_tuples\": {},", store.extvp_tuples());
         println!("  \"sf_one_tables\": {},", summary.sf_one_tables);
-        println!("  \"over_threshold_tables\": {},", summary.over_threshold_tables);
+        println!(
+            "  \"over_threshold_tables\": {},",
+            summary.over_threshold_tables
+        );
         println!(
             "  \"metrics\": {}",
             s2rdf_columnar::metrics::snapshot().to_json()
@@ -166,7 +170,12 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     sizes.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (p, n) in sizes.into_iter().take(10) {
         let share = n as f64 / catalog.total_triples as f64;
-        println!("  {:>9} ({:>5.1}%)  {}", n, 100.0 * share, store.dict().term(p));
+        println!(
+            "  {:>9} ({:>5.1}%)  {}",
+            n,
+            100.0 * share,
+            store.dict().term(p)
+        );
     }
     Ok(())
 }
@@ -191,8 +200,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         join.broadcast_rows = s.parse().map_err(|_| "bad --broadcast-threshold")?;
     }
     if let Some(s) = args.opt_value("target-partition-rows") {
-        join.target_partition_rows =
-            s.parse().map_err(|_| "bad --target-partition-rows")?;
+        join.target_partition_rows = s.parse().map_err(|_| "bad --target-partition-rows")?;
     }
     if let Some(s) = args.opt_value("max-partitions") {
         join.max_partitions = s.parse().map_err(|_| "bad --max-partitions")?;
@@ -240,7 +248,11 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 "-- join [{}] {}{}",
                 join.context,
                 join.decision.summary(),
-                if join.reused_index { " (index reused)" } else { "" }
+                if join.reused_index {
+                    " (index reused)"
+                } else {
+                    ""
+                }
             );
         }
         println!(
@@ -260,7 +272,11 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             println!("-- results are exact; degraded steps only affect cost");
         }
     }
-    println!("{} solutions in {elapsed:.2?} [{}]", solutions.len(), engine.name());
+    println!(
+        "{} solutions in {elapsed:.2?} [{}]",
+        solutions.len(),
+        engine.name()
+    );
     if !solutions.is_empty() {
         println!("{}", solutions.vars.join("\t"));
         for (i, row) in solutions.iter().enumerate() {

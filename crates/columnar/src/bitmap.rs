@@ -18,7 +18,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// An all-zero bitmap covering `len` rows.
     pub fn new(len: usize) -> Bitmap {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Builds a bitmap of length `len` with the given bits set.
@@ -111,7 +114,9 @@ impl Bitmap {
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
         if words.len() != len.div_ceil(64) {
-            return Err(ColumnarError::CorruptFile("bitmap word count mismatch".into()));
+            return Err(ColumnarError::CorruptFile(
+                "bitmap word count mismatch".into(),
+            ));
         }
         Ok(Bitmap { words, len })
     }

@@ -264,12 +264,24 @@ pub fn adaptive_partitions(probe_rows: usize, cfg: &JoinConfig) -> usize {
 /// cardinality, and returns the executed [`JoinDecision`] alongside the
 /// result — the shared-memory analogue of Spark planning broadcast vs
 /// shuffle-hash joins from table statistics.
-pub fn natural_join_adaptive(left: &Table, right: &Table, cfg: &JoinConfig) -> (Table, JoinDecision) {
+pub fn natural_join_adaptive(
+    left: &Table,
+    right: &Table,
+    cfg: &JoinConfig,
+) -> (Table, JoinDecision) {
     let left_is_build = left.num_rows() <= right.num_rows();
-    let (build, probe) = if left_is_build { (left, right) } else { (right, left) };
+    let (build, probe) = if left_is_build {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let mut decision = JoinDecision {
         strategy: JoinStrategy::Serial,
-        build_side: if left_is_build { BuildSide::Left } else { BuildSide::Right },
+        build_side: if left_is_build {
+            BuildSide::Left
+        } else {
+            BuildSide::Right
+        },
         partitions: 1,
         resplits: 0,
         build_rows: build.num_rows(),
@@ -298,7 +310,11 @@ pub fn natural_join_adaptive(left: &Table, right: &Table, cfg: &JoinConfig) -> (
     let parts = adaptive_partitions(probe.num_rows(), cfg);
     metric_gauge!("columnar.join.adaptive_partitions").set(parts as u64);
     let (out, resplits) = partitioned_natural_join(left, right, parts, cfg);
-    decision.strategy = if parts <= 1 { JoinStrategy::Serial } else { JoinStrategy::Partitioned };
+    decision.strategy = if parts <= 1 {
+        JoinStrategy::Serial
+    } else {
+        JoinStrategy::Partitioned
+    };
     decision.partitions = parts.max(1);
     decision.resplits = resplits;
     decision.out_rows = out.num_rows();
@@ -336,7 +352,11 @@ pub fn broadcast_natural_join(left: &Table, right: &Table, parts: usize) -> Tabl
     let (schema, right_payload) = ops::join_schema(left, right, &right_keys);
 
     let left_is_build = left.num_rows() <= right.num_rows();
-    let (build, probe) = if left_is_build { (left, right) } else { (right, left) };
+    let (build, probe) = if left_is_build {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let (build_keys, probe_keys) = if left_is_build {
         (&left_keys, &right_keys)
     } else {
@@ -351,7 +371,9 @@ pub fn broadcast_natural_join(left: &Table, right: &Table, parts: usize) -> Tabl
         let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         map.reserve(build.num_rows());
         for r in 0..build.num_rows() {
-            map.entry(fold_key(build, build_keys, r)).or_default().push(r as u32);
+            map.entry(fold_key(build, build_keys, r))
+                .or_default()
+                .push(r as u32);
         }
         BcastIndex::Narrow(map)
     } else {
@@ -401,7 +423,10 @@ pub fn broadcast_natural_join(left: &Table, right: &Table, parts: usize) -> Tabl
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("broadcast worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("broadcast worker panicked"))
+            .collect()
     });
     let out = write_pairs(schema, left, right, &right_payload, &pair_lists);
     metric_counter!("columnar.broadcast_join.out_rows").add(out.num_rows() as u64);
@@ -446,7 +471,10 @@ fn collect_pairs(
         // Wide keys: partitioned by the lossy fold, matched on exact values.
         let mut index: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
         for &r in build_rows {
-            let key: Vec<u32> = build_keys.iter().map(|&c| build.value(r as usize, c)).collect();
+            let key: Vec<u32> = build_keys
+                .iter()
+                .map(|&c| build.value(r as usize, c))
+                .collect();
             index.entry(key).or_default().push(r);
         }
         let mut scratch: Vec<u32> = Vec::new();
@@ -489,7 +517,8 @@ fn write_pairs(
     let left_ncols = left.schema().len();
     let parts = pair_lists.len();
     let mut cols: Vec<Vec<u32>> = (0..ncols).map(|_| vec![0u32; total]).collect();
-    let mut per_part: Vec<Vec<&mut [u32]>> = (0..parts).map(|_| Vec::with_capacity(ncols)).collect();
+    let mut per_part: Vec<Vec<&mut [u32]>> =
+        (0..parts).map(|_| Vec::with_capacity(ncols)).collect();
     for col in &mut cols {
         let mut rest: &mut [u32] = col.as_mut_slice();
         for (p, pairs) in pair_lists.iter().enumerate() {
@@ -557,7 +586,11 @@ pub fn partitioned_natural_join(
 
     // Build on the smaller side, probe with the larger.
     let left_is_build = left.num_rows() <= right.num_rows();
-    let (build, probe) = if left_is_build { (left, right) } else { (right, left) };
+    let (build, probe) = if left_is_build {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let (build_keys, probe_keys) = if left_is_build {
         (&left_keys, &right_keys)
     } else {
@@ -570,10 +603,12 @@ pub fn partitioned_natural_join(
     metric_counter!("columnar.par_join.build_rows").add(build.num_rows() as u64);
     metric_counter!("columnar.par_join.probe_rows").add(probe.num_rows() as u64);
 
-    let build_hash: Vec<u64> =
-        (0..build.num_rows()).map(|r| fold_key(build, build_keys, r)).collect();
-    let probe_hash: Vec<u64> =
-        (0..probe.num_rows()).map(|r| fold_key(probe, probe_keys, r)).collect();
+    let build_hash: Vec<u64> = (0..build.num_rows())
+        .map(|r| fold_key(build, build_keys, r))
+        .collect();
+    let probe_hash: Vec<u64> = (0..probe.num_rows())
+        .map(|r| fold_key(probe, probe_keys, r))
+        .collect();
 
     // Pre-split histogram: the partition loads a pure hash split would get.
     let presplit = |hashes: &[u64]| -> usize {
@@ -598,13 +633,20 @@ pub fn partitioned_natural_join(
         for &k in &probe_hash {
             *freq.entry(k).or_default() += 1;
         }
-        let mut hot: FxHashSet<u64> =
-            freq.iter().filter(|&(_, &c)| c > probe_ideal).map(|(&k, _)| k).collect();
+        let mut hot: FxHashSet<u64> = freq
+            .iter()
+            .filter(|&(_, &c)| c > probe_ideal)
+            .map(|(&k, _)| k)
+            .collect();
         freq.clear();
         for &k in &build_hash {
             *freq.entry(k).or_default() += 1;
         }
-        hot.extend(freq.iter().filter(|&(_, &c)| c > build_ideal).map(|(&k, _)| k));
+        hot.extend(
+            freq.iter()
+                .filter(|&(_, &c)| c > build_ideal)
+                .map(|(&k, _)| k),
+        );
         hot
     } else {
         FxHashSet::default()
@@ -644,10 +686,14 @@ pub fn partitioned_natural_join(
     let mut resplits = 0usize;
     if narrow && cfg.max_resplits > 0 {
         loop {
-            let loads: Vec<usize> =
-                (0..parts).map(|p| probe_parts[p].len() + hot_probe_parts[p].len()).collect();
-            let (worst, &largest) =
-                loads.iter().enumerate().max_by_key(|&(_, l)| *l).expect("parts >= 1");
+            let loads: Vec<usize> = (0..parts)
+                .map(|p| probe_parts[p].len() + hot_probe_parts[p].len())
+                .collect();
+            let (worst, &largest) = loads
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, l)| *l)
+                .expect("parts >= 1");
             let mut sorted = loads.clone();
             sorted.sort_unstable();
             let median = sorted[parts / 2].max(1);
@@ -672,13 +718,17 @@ pub fn partitioned_natural_join(
 
     let mut bcast_index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     for &r in &bcast_rows {
-        bcast_index.entry(build_hash[r as usize]).or_default().push(r);
+        bcast_index
+            .entry(build_hash[r as usize])
+            .or_default()
+            .push(r);
     }
 
     // Post-mitigation probe load per partition — what the skew-join
     // microbench asserts on (straggler ≤ 1.5× median).
-    let mut loads: Vec<usize> =
-        (0..parts).map(|p| probe_parts[p].len() + hot_probe_parts[p].len()).collect();
+    let mut loads: Vec<usize> = (0..parts)
+        .map(|p| probe_parts[p].len() + hot_probe_parts[p].len())
+        .collect();
     let largest = loads.iter().copied().max().unwrap_or(0);
     metric_gauge!("columnar.par_join.max_skew_pct")
         .set_max((largest * parts * 100 / probe.num_rows()) as u64);
@@ -697,20 +747,35 @@ pub fn partitioned_natural_join(
                 let (build_hash, probe_hash, bcast) = (&build_hash, &probe_hash, &bcast_index);
                 scope.spawn(move || {
                     collect_pairs(
-                        build, probe, build_keys, probe_keys, build_rows, probe_rows, hot_rows,
-                        build_hash, probe_hash, bcast, left_is_build,
+                        build,
+                        probe,
+                        build_keys,
+                        probe_keys,
+                        build_rows,
+                        probe_rows,
+                        hot_rows,
+                        build_hash,
+                        probe_hash,
+                        bcast,
+                        left_is_build,
                     )
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join worker panicked"))
+            .collect()
     });
 
     // Exact output size is now known; pass 2 pre-sizes the result once and
     // writes disjoint slices.
     let total: usize = pair_lists.iter().map(Vec::len).sum();
     metric_counter!("columnar.par_join.out_rows").add(total as u64);
-    (write_pairs(schema, left, right, &right_payload, &pair_lists), resplits)
+    (
+        write_pairs(schema, left, right, &right_payload, &pair_lists),
+        resplits,
+    )
 }
 
 /// Chooses between the serial, broadcast and partitioned join based on
@@ -749,7 +814,9 @@ mod tests {
         // Tiny deterministic LCG; avoids a dev-dependency in unit tests.
         let mut state = seed.wrapping_add(0x853c49e6748fea9b);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as u32) % card
         };
         let rows: Vec<Vec<u32>> = (0..n)
@@ -838,14 +905,20 @@ mod tests {
 
     #[test]
     fn adaptive_picks_broadcast_for_small_build_side() {
-        let cfg = JoinConfig { serial_row_threshold: 1000, ..JoinConfig::default() };
+        let cfg = JoinConfig {
+            serial_row_threshold: 1000,
+            ..JoinConfig::default()
+        };
         let build = random_table(&["k", "b"], 200, 64, 25);
         let probe = random_table(&["a", "k"], 5000, 64, 26);
         let (j, d) = natural_join_adaptive(&probe, &build, &cfg);
         assert_eq!(d.strategy, JoinStrategy::Broadcast);
         assert_eq!(d.build_side, BuildSide::Right);
         assert_eq!(d.build_rows, 200);
-        assert_eq!(row_multiset(&j), row_multiset(&ops::natural_join(&probe, &build)));
+        assert_eq!(
+            row_multiset(&j),
+            row_multiset(&ops::natural_join(&probe, &build))
+        );
         // Build side is positional-independent: flipped operands flip the label.
         let (_, d) = natural_join_adaptive(&build, &probe, &cfg);
         assert_eq!(d.build_side, BuildSide::Left);
@@ -879,8 +952,14 @@ mod tests {
         assert_eq!(adaptive_partitions(10, &cfg), 1);
         assert_eq!(adaptive_partitions(2500, &cfg), 2);
         assert_eq!(adaptive_partitions(1_000_000, &cfg), 8);
-        let uncapped = JoinConfig { max_partitions: 0, ..cfg };
-        assert_eq!(adaptive_partitions(1_000_000, &uncapped), default_parallelism());
+        let uncapped = JoinConfig {
+            max_partitions: 0,
+            ..cfg
+        };
+        assert_eq!(
+            adaptive_partitions(1_000_000, &uncapped),
+            default_parallelism()
+        );
     }
 
     #[test]
@@ -966,9 +1045,15 @@ mod tests {
         let straggler = metrics::gauge("columnar.par_join.straggler_pct").get();
         metrics::set_enabled(false);
         assert_eq!(row_multiset(&par), row_multiset(&serial));
-        assert!(presplit > SKEW_TRIGGER_PCT as u64, "input not actually skewed: {presplit}%");
+        assert!(
+            presplit > SKEW_TRIGGER_PCT as u64,
+            "input not actually skewed: {presplit}%"
+        );
         assert!(skew <= 150, "post-mitigation skew {skew}% > 150%");
-        assert!(straggler <= 150, "straggler partition {straggler}% > 150% of median");
+        assert!(
+            straggler <= 150,
+            "straggler partition {straggler}% > 150% of median"
+        );
     }
 
     #[test]
@@ -988,7 +1073,11 @@ mod tests {
             .map(|i| {
                 // 80% of rows cycle through the colliding keys, the rest
                 // spread over the full key space.
-                let k = if i % 5 != 0 { colliding[i % 64] } else { i as u32 % 797 };
+                let k = if i % 5 != 0 {
+                    colliding[i % 64]
+                } else {
+                    i as u32 % 797
+                };
                 vec![k, i as u32]
             })
             .collect();
@@ -1008,20 +1097,32 @@ mod tests {
         metrics::set_enabled(false);
 
         assert_eq!(row_multiset(&par), row_multiset(&serial));
-        assert!(resplits >= 1, "partition-level skew should trigger a re-split");
+        assert!(
+            resplits >= 1,
+            "partition-level skew should trigger a re-split"
+        );
         assert_eq!(counted, resplits as u64);
-        assert!(straggler <= 150, "straggler {straggler}% > 150% after re-split");
+        assert!(
+            straggler <= 150,
+            "straggler {straggler}% > 150% after re-split"
+        );
 
         // With re-splitting disabled the same input is a straggler.
         metrics::set_enabled(true);
         metrics::gauge("columnar.par_join.straggler_pct").set(0);
-        let cfg = JoinConfig { max_resplits: 0, ..JoinConfig::default() };
+        let cfg = JoinConfig {
+            max_resplits: 0,
+            ..JoinConfig::default()
+        };
         let (par, resplits) = partitioned_natural_join(&probe, &build, PARTS, &cfg);
         let unsplit = metrics::gauge("columnar.par_join.straggler_pct").get();
         metrics::set_enabled(false);
         assert_eq!(resplits, 0);
         assert_eq!(row_multiset(&par), row_multiset(&serial));
-        assert!(unsplit > 150, "expected an unmitigated straggler, got {unsplit}%");
+        assert!(
+            unsplit > 150,
+            "expected an unmitigated straggler, got {unsplit}%"
+        );
     }
 
     #[test]

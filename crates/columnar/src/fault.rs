@@ -228,7 +228,10 @@ mod tests {
                 failed += 1;
             }
         }
-        assert!((300..700).contains(&failed), "got {failed}/2000 failures at p=0.25");
+        assert!(
+            (300..700).contains(&failed),
+            "got {failed}/2000 failures at p=0.25"
+        );
         assert_eq!(inj.stats().read_errors, failed);
     }
 

@@ -220,7 +220,9 @@ pub fn deserialize_table(data: &[u8]) -> Result<Table, ColumnarError> {
         VERSION_V1 => data.len(),
         VERSION => {
             if data.len() < 5 + FOOTER_LEN {
-                return Err(ColumnarError::CorruptFile("truncated checksum footer".into()));
+                return Err(ColumnarError::CorruptFile(
+                    "truncated checksum footer".into(),
+                ));
             }
             let body_end = data.len() - FOOTER_LEN;
             let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
@@ -369,7 +371,11 @@ impl BodyCache {
     fn insert(&mut self, name: String, table: Arc<Table>) {
         let bytes = table.byte_size() as u64;
         self.clock += 1;
-        let entry = CachedBody { table, bytes, last_used: self.clock };
+        let entry = CachedBody {
+            table,
+            bytes,
+            last_used: self.clock,
+        };
         if let Some(old) = self.map.insert(name, entry) {
             self.total_bytes -= old.bytes;
         }
@@ -491,7 +497,10 @@ impl TableStore {
                 }
                 self.manifest.insert(
                     name.to_string(),
-                    ManifestEntry { file: file.to_string(), bytes: None },
+                    ManifestEntry {
+                        file: file.to_string(),
+                        bytes: None,
+                    },
                 );
             }
         }
@@ -666,8 +675,13 @@ impl TableStore {
         metric_counter!("columnar.io.tables_written").inc();
         metric_counter!("columnar.io.bytes_written").add(data.len() as u64);
         self.write_atomic(&file, &data)?;
-        self.manifest
-            .insert(name.to_string(), ManifestEntry { file, bytes: Some(data.len() as u64) });
+        self.manifest.insert(
+            name.to_string(),
+            ManifestEntry {
+                file,
+                bytes: Some(data.len() as u64),
+            },
+        );
         // The cached body (if any) no longer reflects disk.
         self.cache_lock().remove(name);
         self.flush_manifest()
@@ -759,7 +773,10 @@ impl TableStore {
     /// verification must observe the actual on-disk state so that a repair
     /// pass can converge.
     pub fn verify_all(&self) -> VerifyReport {
-        let mut report = VerifyReport { orphans: self.orphans.clone(), ..VerifyReport::default() };
+        let mut report = VerifyReport {
+            orphans: self.orphans.clone(),
+            ..VerifyReport::default()
+        };
         let mut entries: Vec<_> = self.manifest.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         for (name, entry) in entries {
@@ -849,7 +866,9 @@ fn verify_raw_checksum(data: &[u8]) -> Result<(), ColumnarError> {
     match data[4] {
         VERSION => {
             if data.len() < 5 + FOOTER_LEN {
-                return Err(ColumnarError::CorruptFile("truncated checksum footer".into()));
+                return Err(ColumnarError::CorruptFile(
+                    "truncated checksum footer".into(),
+                ));
             }
             let body_end = data.len() - FOOTER_LEN;
             let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
@@ -861,7 +880,9 @@ fn verify_raw_checksum(data: &[u8]) -> Result<(), ColumnarError> {
             Ok(())
         }
         VERSION_V1 => deserialize_table(data).map(|_| ()),
-        other => Err(ColumnarError::CorruptFile(format!("unsupported version {other}"))),
+        other => Err(ColumnarError::CorruptFile(format!(
+            "unsupported version {other}"
+        ))),
     }
 }
 
@@ -889,10 +910,7 @@ mod tests {
     #[test]
     fn rle_beats_plain_on_constant_columns() {
         let constant = Table::from_columns(Schema::new(["c"]), vec![vec![42; 10_000]]);
-        let varied = Table::from_columns(
-            Schema::new(["c"]),
-            vec![(0..10_000u32).collect()],
-        );
+        let varied = Table::from_columns(Schema::new(["c"]), vec![(0..10_000u32).collect()]);
         let small = serialize_table(&constant).len();
         let large = serialize_table(&varied).len();
         assert!(small * 100 < large, "RLE column {small}B vs plain {large}B");
@@ -992,7 +1010,10 @@ mod tests {
         let mut store = TableStore::open(&dir).unwrap();
         store.save("t", &sample()).unwrap();
         let before = store.file_size("t").unwrap();
-        let bigger = Table::from_columns(Schema::new(["s", "o"]), vec![(0..999).collect(), (0..999).collect()]);
+        let bigger = Table::from_columns(
+            Schema::new(["s", "o"]),
+            vec![(0..999).collect(), (0..999).collect()],
+        );
         store.save("t", &bigger).unwrap();
         assert!(store.file_size("t").unwrap() > before);
         assert_eq!(store.len(), 1);
@@ -1047,7 +1068,11 @@ mod tests {
         assert_eq!(report.ok, ["good"]);
         assert_eq!(report.corrupt.len(), 1);
         assert_eq!(report.corrupt[0].0, "bad");
-        assert!(report.corrupt[0].1.contains("checksum"), "{}", report.corrupt[0].1);
+        assert!(
+            report.corrupt[0].1.contains("checksum"),
+            "{}",
+            report.corrupt[0].1
+        );
         assert_eq!(report.missing, ["gone"]);
         assert!(!report.is_clean());
         assert!(matches!(
@@ -1186,8 +1211,10 @@ mod tests {
         assert_eq!(store.file_size("a").unwrap(), a_size);
         assert_eq!(store.total_size().unwrap(), 2 * a_size);
         // Invalidation on save: a replacement updates the cached size…
-        let bigger =
-            Table::from_columns(Schema::new(["s", "o"]), vec![(0..999).collect(), (0..999).collect()]);
+        let bigger = Table::from_columns(
+            Schema::new(["s", "o"]),
+            vec![(0..999).collect(), (0..999).collect()],
+        );
         store.save("b", &bigger).unwrap();
         let b_size = store.file_size("b").unwrap();
         assert_eq!(b_size, serialize_table(&bigger).len() as u64);
@@ -1195,7 +1222,10 @@ mod tests {
         // …and on remove the size disappears with the entry.
         store.save("a", &sample()).unwrap(); // restore the deleted file first
         store.remove("a").unwrap();
-        assert!(matches!(store.file_size("a"), Err(ColumnarError::NoSuchTable(_))));
+        assert!(matches!(
+            store.file_size("a"),
+            Err(ColumnarError::NoSuchTable(_))
+        ));
         assert_eq!(store.total_size().unwrap(), b_size);
         // Cached sizes persist in the manifest across a reopen.
         let reopened = TableStore::open(&dir).unwrap();
@@ -1214,7 +1244,10 @@ mod tests {
         }
         let path = dir.join("manifest.tsv");
         let content = fs::read_to_string(&path).unwrap();
-        assert!(content.contains("#crc\t"), "manifest must carry a checksum line");
+        assert!(
+            content.contains("#crc\t"),
+            "manifest must carry a checksum line"
+        );
         // Tamper with an entry line without updating the checksum.
         let tampered = content.replace("t\t", "u\t");
         assert_ne!(tampered, content);
@@ -1225,11 +1258,14 @@ mod tests {
         ));
         // Legacy manifests without the checksum line still open.
         let legacy: String =
-            content.lines().filter(|l| !l.starts_with('#')).fold(String::new(), |mut s, l| {
-                s.push_str(l);
-                s.push('\n');
-                s
-            });
+            content
+                .lines()
+                .filter(|l| !l.starts_with('#'))
+                .fold(String::new(), |mut s, l| {
+                    s.push_str(l);
+                    s.push('\n');
+                    s
+                });
         fs::write(&path, &legacy).unwrap();
         let store = TableStore::open(&dir).unwrap();
         assert_eq!(*store.load("t").unwrap(), sample());

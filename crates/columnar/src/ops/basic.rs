@@ -7,9 +7,7 @@ use crate::table::Table;
 
 /// Keeps the rows for which `pred(table, row_index)` returns true.
 pub fn filter<F: Fn(&Table, usize) -> bool>(table: &Table, pred: F) -> Table {
-    let indices: Vec<usize> = (0..table.num_rows())
-        .filter(|&i| pred(table, i))
-        .collect();
+    let indices: Vec<usize> = (0..table.num_rows()).filter(|&i| pred(table, i)).collect();
     metric_counter!("columnar.filter.calls").inc();
     metric_counter!("columnar.filter.in_rows").add(table.num_rows() as u64);
     metric_counter!("columnar.filter.out_rows").add(indices.len() as u64);
@@ -103,6 +101,9 @@ mod tests {
         // ?x p ?x patterns project the same source twice under two names.
         let t = sample();
         let p = project_rename(&t, &[("s", "a"), ("s", "b")]).unwrap();
-        assert_eq!(p.column_by_name("a").unwrap(), p.column_by_name("b").unwrap());
+        assert_eq!(
+            p.column_by_name("a").unwrap(),
+            p.column_by_name("b").unwrap()
+        );
     }
 }

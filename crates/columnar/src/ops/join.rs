@@ -98,8 +98,17 @@ impl KeyIndex {
 /// Output schema of a join: all left columns plus the right columns that are
 /// not join keys. Panics on residual name collisions (the compiler never
 /// produces them).
-pub(crate) fn join_schema(left: &Table, right: &Table, right_keys: &[usize]) -> (Schema, Vec<usize>) {
-    let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
+pub(crate) fn join_schema(
+    left: &Table,
+    right: &Table,
+    right_keys: &[usize],
+) -> (Schema, Vec<usize>) {
+    let mut names: Vec<String> = left
+        .schema()
+        .names()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     let mut right_payload = Vec::new();
     for (idx, name) in right.schema().names().iter().enumerate() {
         if right_keys.contains(&idx) {
@@ -179,9 +188,19 @@ pub fn hash_join_probe(
         let (schema, right_payload) = join_schema(build, probe, probe_keys);
         let mut out = Table::empty(schema);
         for probe_row in 0..probe.num_rows() {
-            if let Some(matches) = index.index.probe(probe, probe_keys, probe_row, &mut scratch) {
+            if let Some(matches) = index
+                .index
+                .probe(probe, probe_keys, probe_row, &mut scratch)
+            {
                 for &b in matches {
-                    push_joined(&mut out, build, b as usize, probe, probe_row, &right_payload);
+                    push_joined(
+                        &mut out,
+                        build,
+                        b as usize,
+                        probe,
+                        probe_row,
+                        &right_payload,
+                    );
                 }
             }
         }
@@ -190,9 +209,19 @@ pub fn hash_join_probe(
         let (schema, right_payload) = join_schema(probe, build, &index.keys);
         let mut out = Table::empty(schema);
         for probe_row in 0..probe.num_rows() {
-            if let Some(matches) = index.index.probe(probe, probe_keys, probe_row, &mut scratch) {
+            if let Some(matches) = index
+                .index
+                .probe(probe, probe_keys, probe_row, &mut scratch)
+            {
                 for &b in matches {
-                    push_joined(&mut out, probe, probe_row, build, b as usize, &right_payload);
+                    push_joined(
+                        &mut out,
+                        probe,
+                        probe_row,
+                        build,
+                        b as usize,
+                        &right_payload,
+                    );
                 }
             }
         }
@@ -226,7 +255,14 @@ pub fn hash_join_on(left: &Table, right: &Table, keys: &[(usize, usize)]) -> Tab
         for probe_row in 0..right.num_rows() {
             if let Some(matches) = index.probe(right, &right_keys, probe_row, &mut scratch) {
                 for &build_row in matches {
-                    push_joined(&mut out, left, build_row as usize, right, probe_row, &right_payload);
+                    push_joined(
+                        &mut out,
+                        left,
+                        build_row as usize,
+                        right,
+                        probe_row,
+                        &right_payload,
+                    );
                 }
             }
         }
@@ -237,7 +273,14 @@ pub fn hash_join_on(left: &Table, right: &Table, keys: &[(usize, usize)]) -> Tab
         for probe_row in 0..left.num_rows() {
             if let Some(matches) = index.probe(left, &left_keys, probe_row, &mut scratch) {
                 for &build_row in matches {
-                    push_joined(&mut out, left, probe_row, right, build_row as usize, &right_payload);
+                    push_joined(
+                        &mut out,
+                        left,
+                        probe_row,
+                        right,
+                        build_row as usize,
+                        &right_payload,
+                    );
                 }
             }
         }
@@ -361,7 +404,8 @@ pub fn left_outer_join(left: &Table, right: &Table) -> Table {
         // fully keyed, so pad all right columns).
         if right.is_empty() {
             for l in 0..left.num_rows() {
-                let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(l, c)).collect();
+                let mut row: Vec<u32> =
+                    (0..left.schema().len()).map(|c| left.value(l, c)).collect();
                 row.extend(std::iter::repeat_n(NULL_ID, right_payload.len()));
                 out.push_row(&row);
             }
@@ -381,7 +425,8 @@ pub fn left_outer_join(left: &Table, right: &Table) -> Table {
                 }
             }
             None => {
-                let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(l, c)).collect();
+                let mut row: Vec<u32> =
+                    (0..left.schema().len()).map(|c| left.value(l, c)).collect();
                 row.extend(std::iter::repeat_n(NULL_ID, right_payload.len()));
                 out.push_row(&row);
                 padded += 1;
@@ -434,8 +479,14 @@ mod tests {
 
     #[test]
     fn wide_key_join_falls_back() {
-        let l = Table::from_rows(Schema::new(["a", "b", "c", "x"]), &[[1, 2, 3, 10], [4, 5, 6, 11]]);
-        let r = Table::from_rows(Schema::new(["a", "b", "c", "y"]), &[[1, 2, 3, 20], [4, 5, 0, 21]]);
+        let l = Table::from_rows(
+            Schema::new(["a", "b", "c", "x"]),
+            &[[1, 2, 3, 10], [4, 5, 6, 11]],
+        );
+        let r = Table::from_rows(
+            Schema::new(["a", "b", "c", "y"]),
+            &[[1, 2, 3, 20], [4, 5, 0, 21]],
+        );
         let j = natural_join(&l, &r);
         assert_eq!(j.num_rows(), 1);
         assert_eq!(j.row_vec(0), vec![1, 2, 3, 10, 20]);

@@ -10,7 +10,12 @@ use crate::table::{Table, NULL_ID};
 /// left schema followed by right-only columns; a branch's missing columns
 /// are padded with [`NULL_ID`] (unbound).
 pub fn union(left: &Table, right: &Table) -> Table {
-    let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
+    let mut names: Vec<String> = left
+        .schema()
+        .names()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     for c in right.schema().names() {
         if !left.schema().contains(c) {
             names.push(c.to_string());

@@ -59,7 +59,10 @@ pub fn sort_by_key_radix(table: &Table, keys: &[u32]) -> Table {
 /// counting passes total. Descending conditions pass negated keys, as in
 /// the single-key variant.
 pub fn sort_by_keys_radix(table: &Table, keys: &[Vec<u32>]) -> Table {
-    assert!(!keys.is_empty(), "composite radix sort needs at least one key");
+    assert!(
+        !keys.is_empty(),
+        "composite radix sort needs at least one key"
+    );
     for key in keys {
         assert_eq!(
             key.len(),
@@ -176,7 +179,10 @@ mod tests {
         let t = Table::from_rows(Schema::new(["k"]), &rows);
         let keys: Vec<u32> = t.column(0).to_vec();
         let s = sort_by_key_radix(&t, &keys);
-        assert_eq!(s.column(0), &[0, 1, 0x0102_0004, 0x0102_0304, 0x8000_0001, 0xFFFF_FFFF]);
+        assert_eq!(
+            s.column(0),
+            &[0, 1, 0x0102_0004, 0x0102_0304, 0x8000_0001, 0xFFFF_FFFF]
+        );
     }
 
     #[test]
@@ -199,7 +205,11 @@ mod tests {
                 state ^= state << 13;
                 state ^= state >> 7;
                 state ^= state << 17;
-                [(state >> 33) as u32 % 7, (state >> 11) as u32 % 11, i as u32]
+                [
+                    (state >> 33) as u32 % 7,
+                    (state >> 11) as u32 % 11,
+                    i as u32,
+                ]
             })
             .collect();
         let t = Table::from_rows(Schema::new(["a", "b", "v"]), &rows);

@@ -98,8 +98,7 @@ mod tests {
     fn common_columns_in_left_order() {
         let a = Schema::new(["x", "y", "z"]);
         let b = Schema::new(["z", "w", "x"]);
-        let common: Vec<String> =
-            a.common_columns(&b).iter().map(|c| c.to_string()).collect();
+        let common: Vec<String> = a.common_columns(&b).iter().map(|c| c.to_string()).collect();
         assert_eq!(common, vec!["x", "z"]);
     }
 }

@@ -141,7 +141,10 @@ impl Table {
             .iter()
             .map(|c| indices.iter().map(|&i| c[i]).collect())
             .collect();
-        Table { schema: self.schema.clone(), cols }
+        Table {
+            schema: self.schema.clone(),
+            cols,
+        }
     }
 
     /// Renames the table's columns wholesale (arity-preserving).

@@ -192,7 +192,10 @@ proptest! {
 #[test]
 fn build_side_by_cardinality_not_position() {
     let small = mk2(["k", "a"], &[(1, 10), (2, 20)]);
-    let big = mk2(["k", "b"], &(0..100).map(|i| (i % 5, i)).collect::<Vec<_>>());
+    let big = mk2(
+        ["k", "b"],
+        &(0..100).map(|i| (i % 5, i)).collect::<Vec<_>>(),
+    );
     let cfg = force_broadcast(4);
     let (_, d) = natural_join_adaptive(&small, &big, &cfg);
     assert_eq!(d.build_side, BuildSide::Left);

@@ -20,9 +20,9 @@ fn sample() -> Table {
     Table::from_columns(
         Schema::new(["s", "p", "o"]),
         vec![
-            (0..64).collect(),                       // plain
-            std::iter::repeat_n(7, 64).collect(),    // RLE
-            (0..64).map(|i| i / 8).collect(),        // RLE runs of 8
+            (0..64).collect(),                    // plain
+            std::iter::repeat_n(7, 64).collect(), // RLE
+            (0..64).map(|i| i / 8).collect(),     // RLE runs of 8
         ],
     )
 }
@@ -83,9 +83,7 @@ fn torn_write_reopen_loads_or_fails_cleanly() {
         assert_eq!(*store.load("VP/likes").unwrap(), sample());
         // …and the torn one fails loudly rather than decoding garbage.
         match store.load("VP/follows") {
-            Err(
-                ColumnarError::ChecksumMismatch { .. } | ColumnarError::CorruptFile(_),
-            ) => {}
+            Err(ColumnarError::ChecksumMismatch { .. } | ColumnarError::CorruptFile(_)) => {}
             Err(other) => panic!("unexpected error class at cut {cut}: {other:?}"),
             Ok(t) => panic!("torn file decoded at cut {cut}: {} rows", t.num_rows()),
         }

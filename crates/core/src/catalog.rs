@@ -65,7 +65,11 @@ pub type TermIdRepr = u32;
 impl ExtVpKey {
     /// Creates a key from term ids.
     pub fn new(corr: Correlation, p1: TermId, p2: TermId) -> ExtVpKey {
-        ExtVpKey { corr, p1: p1.0, p2: p2.0 }
+        ExtVpKey {
+            corr,
+            p1: p1.0,
+            p2: p2.0,
+        }
     }
 }
 
@@ -147,8 +151,19 @@ impl Catalog {
     /// Records an ExtVP partition's statistics.
     pub fn set_extvp(&mut self, key: ExtVpKey, count: usize, materialized: bool) {
         let vp = self.vp_sizes.get(&key.p1).copied().unwrap_or(0);
-        let sf = if vp == 0 { 0.0 } else { count as f64 / vp as f64 };
-        self.extvp.insert(key, ExtVpStat { count, sf, materialized });
+        let sf = if vp == 0 {
+            0.0
+        } else {
+            count as f64 / vp as f64
+        };
+        self.extvp.insert(
+            key,
+            ExtVpStat {
+                count,
+                sf,
+                materialized,
+            },
+        );
     }
 
     /// Looks up an ExtVP partition's statistics.
@@ -196,8 +211,8 @@ impl Catalog {
 
     /// Serializes the catalog to a JSON file.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
-        let json = serde_json::to_vec_pretty(self)
-            .map_err(|e| CoreError::Catalog(e.to_string()))?;
+        let json =
+            serde_json::to_vec_pretty(self).map_err(|e| CoreError::Catalog(e.to_string()))?;
         std::fs::write(path, json).map_err(|e| CoreError::Catalog(e.to_string()))
     }
 
@@ -252,7 +267,11 @@ mod tests {
     fn sf_computation() {
         let mut c = Catalog::new(100, 1.0, true);
         c.set_vp_size(TermId(1), 40);
-        c.set_extvp(ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)), 10, true);
+        c.set_extvp(
+            ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)),
+            10,
+            true,
+        );
         let stat = c
             .extvp_stat(&ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)))
             .unwrap();
@@ -298,9 +317,21 @@ mod tests {
         let mut c = Catalog::new(100, 0.25, true);
         c.set_vp_size(TermId(1), 40);
         c.set_vp_size(TermId(2), 40);
-        c.set_extvp(ExtVpKey::new(Correlation::SS, TermId(1), TermId(2)), 5, true);
-        c.set_extvp(ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)), 40, false); // SF = 1
-        c.set_extvp(ExtVpKey::new(Correlation::SO, TermId(1), TermId(2)), 20, false); // over threshold
+        c.set_extvp(
+            ExtVpKey::new(Correlation::SS, TermId(1), TermId(2)),
+            5,
+            true,
+        );
+        c.set_extvp(
+            ExtVpKey::new(Correlation::OS, TermId(1), TermId(2)),
+            40,
+            false,
+        ); // SF = 1
+        c.set_extvp(
+            ExtVpKey::new(Correlation::SO, TermId(1), TermId(2)),
+            20,
+            false,
+        ); // over threshold
         let s = c.extvp_summary();
         assert_eq!(s.materialized_tables, 1);
         assert_eq!(s.materialized_tuples, 5);
@@ -313,7 +344,11 @@ mod tests {
     fn persistence_roundtrip() {
         let mut c = Catalog::new(7, 0.5, true);
         c.set_vp_size(TermId(3), 4);
-        c.set_extvp(ExtVpKey::new(Correlation::OS, TermId(3), TermId(3)), 2, true);
+        c.set_extvp(
+            ExtVpKey::new(Correlation::OS, TermId(3), TermId(3)),
+            2,
+            true,
+        );
         let dir = std::env::temp_dir().join(format!("s2rdf-cat-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("catalog.json");

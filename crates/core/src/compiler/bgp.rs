@@ -23,7 +23,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { use_extvp: true, optimize_join_order: true }
+        CompileOptions {
+            use_extvp: true,
+            optimize_join_order: true,
+        }
     }
 }
 
@@ -36,10 +39,12 @@ pub fn compile_bgp(
 ) -> BgpPlan {
     let mut steps: Vec<TpPlan> = Vec::with_capacity(bgp.len());
     for tp in bgp {
-        let (sel, candidates) =
-            select_with_candidates(tp, bgp, catalog, dict, options.use_extvp);
+        let (sel, candidates) = select_with_candidates(tp, bgp, catalog, dict, options.use_extvp);
         if sel.source == TableSource::Empty {
-            return BgpPlan { steps: Vec::new(), statically_empty: true };
+            return BgpPlan {
+                steps: Vec::new(),
+                statically_empty: true,
+            };
         }
         // Everything except the chosen table is an extra reducer.
         let extra_reducers = candidates
@@ -57,7 +62,10 @@ pub fn compile_bgp(
     if options.optimize_join_order {
         steps = order_steps(steps);
     }
-    BgpPlan { steps, statically_empty: false }
+    BgpPlan {
+        steps,
+        statically_empty: false,
+    }
 }
 
 /// Join-order optimization (Alg. 4): repeatedly pick, among the remaining
@@ -176,7 +184,10 @@ mod tests {
             &q1(),
             &cat,
             &dict,
-            CompileOptions { use_extvp: true, optimize_join_order: false },
+            CompileOptions {
+                use_extvp: true,
+                optimize_join_order: false,
+            },
         );
         let order: Vec<&TriplePattern> = plan.steps.iter().map(|s| &s.tp).collect();
         assert_eq!(order, q1().iter().collect::<Vec<_>>());
@@ -227,7 +238,12 @@ mod tests {
         let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
         // Whatever starts, each later step must share a variable with the
         // accumulated set.
-        let mut seen: Vec<String> = plan.steps[0].tp.vars().iter().map(|s| s.to_string()).collect();
+        let mut seen: Vec<String> = plan.steps[0]
+            .tp
+            .vars()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         for step in &plan.steps[1..] {
             assert!(
                 step.tp.vars().iter().any(|v| seen.contains(&v.to_string())),
@@ -254,9 +270,7 @@ mod tests {
             TriplePattern::new(v("a"), p("big"), v("b")),
             TriplePattern::new(v("b"), p("small"), v("c")),
         ];
-        let ordered = order_patterns_by(&bgp, |tp| {
-            if tp.p == p("big") { 1000 } else { 1 }
-        });
+        let ordered = order_patterns_by(&bgp, |tp| if tp.p == p("big") { 1000 } else { 1 });
         assert_eq!(ordered[0].p, p("small"));
     }
 }

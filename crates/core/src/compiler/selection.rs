@@ -56,7 +56,14 @@ pub fn select_with_candidates(
 ) -> (Selected, Vec<ExtVpKey>) {
     // Bound subject/object constants that are not in the dictionary make
     // the pattern unsatisfiable.
-    let empty = (Selected { source: TableSource::Empty, size: 0, sf: 0.0 }, Vec::new());
+    let empty = (
+        Selected {
+            source: TableSource::Empty,
+            size: 0,
+            sf: 0.0,
+        },
+        Vec::new(),
+    );
     for pos in [&tp_i.s, &tp_i.o] {
         if let Some(t) = pos.as_term() {
             if dict.id(t).is_none() {
@@ -86,7 +93,11 @@ pub fn select_with_candidates(
         return empty;
     }
 
-    let mut best = Selected { source: TableSource::Vp(p1), size: vp_size, sf: 1.0 };
+    let mut best = Selected {
+        source: TableSource::Vp(p1),
+        size: vp_size,
+        sf: 1.0,
+    };
     let mut materialized_candidates: Vec<ExtVpKey> = Vec::new();
     if !use_extvp || !catalog.extvp_built {
         return (best, materialized_candidates);
@@ -97,7 +108,9 @@ pub fn select_with_candidates(
             continue;
         }
         // ExtVP only covers correlations to patterns with a bound predicate.
-        let Some(p2_term) = tp.p.as_term() else { continue };
+        let Some(p2_term) = tp.p.as_term() else {
+            continue;
+        };
         let Some(p2) = dict.id(p2_term) else {
             // The other pattern's predicate does not occur at all: the BGP
             // is empty (that pattern will select Empty itself).
@@ -127,7 +140,14 @@ pub fn select_with_candidates(
         for (key, stat) in candidates.into_iter().flatten() {
             if stat.count == 0 {
                 // SF = 0: the whole BGP is empty, no execution needed.
-                return (Selected { source: TableSource::Empty, size: 0, sf: 0.0 }, Vec::new());
+                return (
+                    Selected {
+                        source: TableSource::Empty,
+                        size: 0,
+                        sf: 0.0,
+                    },
+                    Vec::new(),
+                );
             }
             if stat.materialized {
                 if !materialized_candidates.contains(&key) {

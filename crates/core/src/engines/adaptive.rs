@@ -57,7 +57,8 @@ impl AdaptiveEngine {
 
     /// True if the BGP will run on the centralized path.
     pub fn chooses_centralized(&self, bgp: &[TriplePattern]) -> bool {
-        bgp.iter().all(|tp| self.centralized.estimate(tp) <= self.central_budget)
+        bgp.iter()
+            .all(|tp| self.centralized.estimate(tp) <= self.central_budget)
     }
 }
 
@@ -120,10 +121,8 @@ mod tests {
     }
 
     fn engine(budget: usize) -> AdaptiveEngine {
-        let dir = std::env::temp_dir().join(format!(
-            "s2rdf-adaptive-{}-{budget}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("s2rdf-adaptive-{}-{budget}", std::process::id()));
         AdaptiveEngine::new(&graph(), dir, Duration::ZERO, budget).unwrap()
     }
 

@@ -19,11 +19,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use rustc_hash::FxHashMap;
 use s2rdf_columnar::io::{deserialize_table, serialize_table};
 use s2rdf_columnar::ops::natural_join;
 use s2rdf_columnar::Table;
 use s2rdf_model::{Dictionary, Graph, TermId};
-use rustc_hash::FxHashMap;
 use s2rdf_sparql::{TermPattern, TriplePattern};
 
 use crate::compiler::bgp::order_patterns_by;
@@ -114,8 +114,7 @@ impl BatchEngine {
                 let mut current: Vec<&TriplePattern> = Vec::new();
                 let mut common: Vec<String> = Vec::new();
                 for tp in ordered {
-                    let tp_vars: Vec<String> =
-                        tp.vars().iter().map(|v| v.to_string()).collect();
+                    let tp_vars: Vec<String> = tp.vars().iter().map(|v| v.to_string()).collect();
                     if current.is_empty() {
                         current.push(tp);
                         common = tp_vars;
@@ -177,16 +176,14 @@ impl BgpEvaluator for BatchEngine {
             // 3. Read the previous intermediate from disk, join everything.
             let mut acc: Option<Table> = match &intermediate_path {
                 Some(path) => {
-                    let data =
-                        std::fs::read(path).map_err(s2rdf_columnar::ColumnarError::from)?;
+                    let data = std::fs::read(path).map_err(s2rdf_columnar::ColumnarError::from)?;
                     Some(deserialize_table(&data)?)
                 }
                 None => None,
             };
             for tp in job {
                 let started = std::time::Instant::now();
-                let scanned =
-                    scan_pattern(&tt, &[(0, &tp.s), (1, &tp.p), (2, &tp.o)], &self.dict);
+                let scanned = scan_pattern(&tt, &[(0, &tp.s), (1, &tp.p), (2, &tp.o)], &self.dict);
                 ctx.explain.bgp_steps.push(StepExplain {
                     table: format!("TT (job {})", job_idx + 1),
                     rows: scanned.num_rows(),
@@ -221,7 +218,12 @@ impl BgpEvaluator for BatchEngine {
                 .map_err(s2rdf_columnar::ColumnarError::from)?;
             ctx.span_close(
                 job_span,
-                format!("job {} of {}: {} pattern(s), HDFS round-trip", job_idx + 1, jobs.len(), job.len()),
+                format!(
+                    "job {} of {}: {} pattern(s), HDFS round-trip",
+                    job_idx + 1,
+                    jobs.len(),
+                    job.len()
+                ),
                 Some(result.num_rows()),
             );
             if let Some(prev) = intermediate_path.replace(out_path) {
@@ -328,7 +330,8 @@ mod tests {
         )
         .unwrap();
         let start = std::time::Instant::now();
-        e.query("SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?w }").unwrap();
+        e.query("SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?w }")
+            .unwrap();
         // Two patterns ⇒ two jobs ⇒ ≥ 40 ms.
         assert!(start.elapsed() >= Duration::from_millis(40));
     }

@@ -56,7 +56,14 @@ impl Perm {
     }
 }
 
-const PERMS: [Perm; 6] = [Perm::Spo, Perm::Sop, Perm::Pso, Perm::Pos, Perm::Osp, Perm::Ops];
+const PERMS: [Perm; 6] = [
+    Perm::Spo,
+    Perm::Sop,
+    Perm::Pso,
+    Perm::Pos,
+    Perm::Osp,
+    Perm::Ops,
+];
 
 /// Centralized (Virtuoso-style) engine.
 #[derive(Debug)]
@@ -77,7 +84,10 @@ impl CentralizedEngine {
             }
             index.sort_unstable();
         }
-        CentralizedEngine { dict: graph.dict().clone(), indexes }
+        CentralizedEngine {
+            dict: graph.dict().clone(),
+            indexes,
+        }
     }
 
     /// Total index entries (6 · |G|), for the load/size report.
@@ -194,9 +204,7 @@ impl Inlj<'_> {
             }
             let mut newly = [usize::MAX; 3];
             let mut ok = true;
-            for (slot_idx, (slot, val)) in
-                slots.iter().zip([ms, mp, mo]).enumerate()
-            {
+            for (slot_idx, (slot, val)) in slots.iter().zip([ms, mp, mo]).enumerate() {
                 if let Slot::Var(v) = slot {
                     match binding[*v] {
                         Some(existing) if existing != val => {
@@ -252,9 +260,7 @@ impl BgpEvaluator for CentralizedEngine {
             .iter()
             .map(|tp| {
                 [&tp.s, &tp.p, &tp.o].map(|pat| match pat {
-                    TermPattern::Var(v) => {
-                        Slot::Var(vars.iter().position(|x| x == v).unwrap())
-                    }
+                    TermPattern::Var(v) => Slot::Var(vars.iter().position(|x| x == v).unwrap()),
                     TermPattern::Term(t) => match self.dict.id(t) {
                         Some(id) => Slot::Const(id.0),
                         None => Slot::Impossible,
@@ -277,8 +283,7 @@ impl BgpEvaluator for CentralizedEngine {
             out: Table::empty(schema),
             visited: 0,
         };
-        let mut binding: Vec<Option<u32>> =
-            vec![None; inlj.vars.len().max(usize::from(unit))];
+        let mut binding: Vec<Option<u32>> = vec![None; inlj.vars.len().max(usize::from(unit))];
         if unit {
             binding[0] = Some(0); // unit column value
         }
@@ -368,7 +373,8 @@ mod tests {
         assert_eq!(e.scan(Some(id("A")), None, Some(id("I1"))).count(), 1);
         assert_eq!(e.scan(None, Some(id("likes")), Some(id("I2"))).count(), 2);
         assert_eq!(
-            e.scan(Some(id("A")), Some(id("follows")), Some(id("B"))).count(),
+            e.scan(Some(id("A")), Some(id("follows")), Some(id("B")))
+                .count(),
             1
         );
     }
@@ -389,8 +395,16 @@ mod tests {
     #[test]
     fn fully_bound_and_unknown_constants() {
         let e = CentralizedEngine::new(&g1());
-        assert_eq!(e.query("SELECT * WHERE { <A> <follows> <B> }").unwrap().len(), 1);
-        assert!(e.query("SELECT * WHERE { <A> <follows> <Z9> }").unwrap().is_empty());
+        assert_eq!(
+            e.query("SELECT * WHERE { <A> <follows> <B> }")
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(e
+            .query("SELECT * WHERE { <A> <follows> <Z9> }")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub trait SparqlEngine {
 
     /// Runs a query with default options.
     fn query(&self, sparql: &str) -> Result<Solutions, CoreError> {
-        self.query_opt(sparql, &QueryOptions::default()).map(|(s, _)| s)
+        self.query_opt(sparql, &QueryOptions::default())
+            .map(|(s, _)| s)
     }
 }
 
@@ -104,7 +105,9 @@ pub(crate) fn scan_pattern(
     let mut result = current.unwrap_or_else(|| table.clone());
     if !eq_pairs.is_empty() {
         result = ops::filter(&result, |t, row| {
-            eq_pairs.iter().all(|&(a, b)| t.value(row, a) == t.value(row, b))
+            eq_pairs
+                .iter()
+                .all(|&(a, b)| t.value(row, a) == t.value(row, b))
         });
     }
     if proj.is_empty() {

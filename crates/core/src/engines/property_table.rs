@@ -207,7 +207,10 @@ impl PropertyTableEngine {
 /// `fallback`.
 fn star_groups(
     bgp: &[TriplePattern],
-) -> (Vec<(&TermPattern, Vec<&TriplePattern>)>, Vec<&TriplePattern>) {
+) -> (
+    Vec<(&TermPattern, Vec<&TriplePattern>)>,
+    Vec<&TriplePattern>,
+) {
     let mut groups: Vec<(&TermPattern, Vec<&TriplePattern>)> = Vec::new();
     let mut fallback = Vec::new();
     for tp in bgp {
@@ -241,7 +244,9 @@ impl BgpEvaluator for PropertyTableEngine {
             let mut star: Vec<(TermId, &TermPattern)> = Vec::with_capacity(members.len());
             let mut known = true;
             for tp in members {
-                let term = tp.p.as_term().expect("grouped patterns have bound predicates");
+                let term =
+                    tp.p.as_term()
+                        .expect("grouped patterns have bound predicates");
                 match self.dict.id(term) {
                     Some(p) => star.push((p, &tp.o)),
                     None => {
@@ -384,7 +389,9 @@ mod tests {
     #[test]
     fn bound_subject_star() {
         let e = PropertyTableEngine::new(&g1());
-        let s = e.query("SELECT ?w WHERE { <A> <likes> ?w . <A> <follows> ?y }").unwrap();
+        let s = e
+            .query("SELECT ?w WHERE { <A> <likes> ?w . <A> <follows> ?y }")
+            .unwrap();
         assert_eq!(s.len(), 2);
     }
 
@@ -393,7 +400,9 @@ mod tests {
         let e = PropertyTableEngine::new(&g1());
         // ?x likes ?w twice is the identity; with different predicates the
         // shared variable constrains.
-        let s = e.query("SELECT * WHERE { ?x <follows> ?w . ?x <likes> ?w }").unwrap();
+        let s = e
+            .query("SELECT * WHERE { ?x <follows> ?w . ?x <likes> ?w }")
+            .unwrap();
         assert!(s.is_empty()); // nobody follows what they like in G1
     }
 

@@ -59,8 +59,7 @@ impl<'a> S2rdfEngine<'a> {
             TableSource::TriplesTable => {
                 let cols = [(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)];
                 let out = scan_pattern(self.store.triples_table(), &cols, dict);
-                let source = (!intersected && distinct_vars(&cols))
-                    .then(|| TT_NAME.to_string());
+                let source = (!intersected && distinct_vars(&cols)).then(|| TT_NAME.to_string());
                 let rationale = "triples table: predicate unbound, no VP candidate".to_string();
                 (out, TT_NAME.to_string(), step.sf, rationale, source)
             }
@@ -124,7 +123,13 @@ impl<'a> S2rdfEngine<'a> {
                             (!intersected && distinct_vars(&cols)).then(|| fallback.clone());
                         let rationale =
                             format!("degraded: {planned} unavailable, VP base table used");
-                        (out, format!("{fallback} (degraded)"), 1.0, rationale, source)
+                        (
+                            out,
+                            format!("{fallback} (degraded)"),
+                            1.0,
+                            rationale,
+                            source,
+                        )
                     }
                 }
             }
@@ -135,7 +140,11 @@ impl<'a> S2rdfEngine<'a> {
         } else {
             name
         };
-        ctx.span_close(span, format!("{table_label}: {rationale}"), Some(out.num_rows()));
+        ctx.span_close(
+            span,
+            format!("{table_label}: {rationale}"),
+            Some(out.num_rows()),
+        );
         ctx.explain.bgp_steps.push(StepExplain {
             table: table_label,
             rows: out.num_rows(),
@@ -192,9 +201,9 @@ impl<'a> S2rdfEngine<'a> {
             match self.store.try_extvp_table(key) {
                 Ok(Some(table)) => {
                     if attempt > 1 {
-                        ctx.explain.recovered_errors.push(format!(
-                            "{planned}: recovered on attempt {attempt}"
-                        ));
+                        ctx.explain
+                            .recovered_errors
+                            .push(format!("{planned}: recovered on attempt {attempt}"));
                     }
                     return Ok(table);
                 }
@@ -215,7 +224,10 @@ impl<'a> S2rdfEngine<'a> {
                 }
             }
         }
-        Err((max_attempts, format!("all {max_attempts} load attempts failed")))
+        Err((
+            max_attempts,
+            format!("all {max_attempts} load attempts failed"),
+        ))
     }
 
     /// The §8 future-work "unification" optimization: every materialized
@@ -234,7 +246,9 @@ impl<'a> S2rdfEngine<'a> {
         }
         let mut keep: Option<Vec<bool>> = None;
         for key in &step.extra_reducers {
-            let Some(reducer) = self.store.extvp_table(key) else { continue };
+            let Some(reducer) = self.store.extvp_table(key) else {
+                continue;
+            };
             let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
             set.reserve(reducer.num_rows());
             for row in 0..reducer.num_rows() {
@@ -335,8 +349,7 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                     // table costs milliseconds, while serially probing a
                     // huge accumulator costs seconds — so large joins
                     // always go through the adaptive planner.
-                    let serial_regime =
-                        acc.num_rows() < ctx.options.join.serial_row_threshold;
+                    let serial_regime = acc.num_rows() < ctx.options.join.serial_row_threshold;
                     let (joined, decision) = match source {
                         Some(src) if !scan_keys.is_empty() && serial_regime => {
                             let cache_key = (src.clone(), scan_keys.clone());
@@ -348,22 +361,18 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                                 // column names).
                                 reused = true;
                                 ctx.explain.index_reuses += 1;
-                                s2rdf_columnar::metrics::counter(
-                                    "columnar.join.index_reuses",
-                                )
-                                .inc();
-                                let out = ops::hash_join_probe(
-                                    &scanned, index, &acc, &acc_keys, false,
-                                );
+                                s2rdf_columnar::metrics::counter("columnar.join.index_reuses")
+                                    .inc();
+                                let out =
+                                    ops::hash_join_probe(&scanned, index, &acc, &acc_keys, false);
                                 let decision = indexed_decision(out.num_rows());
                                 (out, decision)
                             } else if source_uses.get(&src).copied().unwrap_or(0) >= 2
                                 || scanned.num_rows() <= acc.num_rows()
                             {
                                 let index = ops::build_join_index(&scanned, &scan_keys);
-                                let out = ops::hash_join_probe(
-                                    &scanned, &index, &acc, &acc_keys, false,
-                                );
+                                let out =
+                                    ops::hash_join_probe(&scanned, &index, &acc, &acc_keys, false);
                                 index_cache.insert(cache_key, index);
                                 let decision = indexed_decision(out.num_rows());
                                 (out, decision)
@@ -414,7 +423,11 @@ fn distinct_vars(cols: &[(usize, &TermPattern)]) -> bool {
 
 impl SparqlEngine for S2rdfEngine<'_> {
     fn name(&self) -> String {
-        if self.use_extvp { "S2RDF ExtVP".to_string() } else { "S2RDF VP".to_string() }
+        if self.use_extvp {
+            "S2RDF ExtVP".to_string()
+        } else {
+            "S2RDF VP".to_string()
+        }
     }
 
     fn query_opt(
@@ -480,8 +493,14 @@ mod tests {
     fn fig8_join_comparisons() {
         let store = S2rdfStore::build(&g1(), &BuildOptions::default());
         let q = "SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?z }";
-        let (s_ext, ex_ext) = store.engine(true).query_opt(q, &Default::default()).unwrap();
-        let (s_vp, ex_vp) = store.engine(false).query_opt(q, &Default::default()).unwrap();
+        let (s_ext, ex_ext) = store
+            .engine(true)
+            .query_opt(q, &Default::default())
+            .unwrap();
+        let (s_vp, ex_vp) = store
+            .engine(false)
+            .query_opt(q, &Default::default())
+            .unwrap();
         assert_eq!(s_ext.canonical(), s_vp.canonical());
         assert_eq!(s_ext.len(), 1);
         assert_eq!(ex_vp.naive_join_comparisons, 12); // 4 × 3
@@ -497,7 +516,10 @@ mod tests {
         let (_, unopt) = engine
             .query_opt(
                 Q1,
-                &QueryOptions { optimize_join_order: false, ..Default::default() },
+                &QueryOptions {
+                    optimize_join_order: false,
+                    ..Default::default()
+                },
             )
             .unwrap();
         let (_, opt) = engine.query_opt(Q1, &QueryOptions::default()).unwrap();
@@ -510,13 +532,19 @@ mod tests {
         let store = S2rdfStore::build(&g1(), &BuildOptions::default());
         // likes → likes chains don't exist in G1 (ST-8-style query).
         let q = "SELECT * WHERE { ?a <likes> ?b . ?b <likes> ?c }";
-        let (s, explain) = store.engine(true).query_opt(q, &Default::default()).unwrap();
+        let (s, explain) = store
+            .engine(true)
+            .query_opt(q, &Default::default())
+            .unwrap();
         assert!(s.is_empty());
         assert!(explain.statically_empty);
         assert!(explain.bgp_steps.is_empty()); // nothing was executed
 
         // The VP engine cannot know statically.
-        let (s_vp, ex_vp) = store.engine(false).query_opt(q, &Default::default()).unwrap();
+        let (s_vp, ex_vp) = store
+            .engine(false)
+            .query_opt(q, &Default::default())
+            .unwrap();
         assert!(s_vp.is_empty());
         assert!(!ex_vp.statically_empty);
     }
@@ -544,7 +572,10 @@ mod tests {
         let inter = engine
             .query_opt(
                 Q1,
-                &QueryOptions { intersect_correlations: true, ..Default::default() },
+                &QueryOptions {
+                    intersect_correlations: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
         assert_eq!(plain.0.canonical(), inter.0.canonical());
@@ -589,10 +620,16 @@ mod tests {
             .engine(false)
             .query_opt(
                 Q1,
-                &QueryOptions { max_intermediate_rows: Some(0), ..Default::default() },
+                &QueryOptions {
+                    max_intermediate_rows: Some(0),
+                    ..Default::default()
+                },
             )
             .unwrap_err();
-        assert!(matches!(err, CoreError::ResourceExhausted(_)), "got {err:?}");
+        assert!(
+            matches!(err, CoreError::ResourceExhausted(_)),
+            "got {err:?}"
+        );
         // A generous budget changes nothing.
         let (s, _) = store
             .engine(false)
@@ -614,8 +651,14 @@ mod tests {
         // join can probe the hash index built for the second.
         let store = S2rdfStore::build(&g1(), &BuildOptions::default());
         let q = "SELECT * WHERE { ?a <likes> ?x . ?b <likes> ?x . ?c <likes> ?x }";
-        let (ext, ex_ext) = store.engine(true).query_opt(q, &Default::default()).unwrap();
-        let (vp, ex_vp) = store.engine(false).query_opt(q, &Default::default()).unwrap();
+        let (ext, ex_ext) = store
+            .engine(true)
+            .query_opt(q, &Default::default())
+            .unwrap();
+        let (vp, ex_vp) = store
+            .engine(false)
+            .query_opt(q, &Default::default())
+            .unwrap();
         assert_eq!(ext.canonical(), vp.canonical());
         // likes = {(A,I1),(A,I2),(C,I2)}: I1 contributes 1³, I2 2³.
         assert_eq!(ext.len(), 9);
@@ -626,7 +669,10 @@ mod tests {
             ex_vp.index_reuses
         );
         // Non-star queries never reuse (every source is scanned once).
-        let (_, ex_q1) = store.engine(true).query_opt(Q1, &Default::default()).unwrap();
+        let (_, ex_q1) = store
+            .engine(true)
+            .query_opt(Q1, &Default::default())
+            .unwrap();
         assert_eq!(ex_q1.index_reuses, 0);
     }
 
@@ -642,7 +688,10 @@ mod tests {
         let store = S2rdfStore::build(&g1(), &BuildOptions::default());
         let q = "SELECT * WHERE { <A> <likes> ?x . ?b <likes> ?x . ?c <likes> ?x }";
         for use_extvp in [true, false] {
-            let (s, ex) = store.engine(use_extvp).query_opt(q, &Default::default()).unwrap();
+            let (s, ex) = store
+                .engine(use_extvp)
+                .query_opt(q, &Default::default())
+                .unwrap();
             // A likes {I1, I2}; I1 has 1 liker, I2 has 2 → 1·1 + 2·2.
             assert_eq!(s.len(), 5);
             assert!(
@@ -662,7 +711,11 @@ mod tests {
         let full = S2rdfStore::build(&g1(), &BuildOptions::default());
         let th = S2rdfStore::build(
             &g1(),
-            &BuildOptions {  threshold: 0.3, build_extvp: true, ..Default::default() },
+            &BuildOptions {
+                threshold: 0.3,
+                build_extvp: true,
+                ..Default::default()
+            },
         );
         assert!(th.num_extvp_tables() < full.num_extvp_tables());
         assert_eq!(

@@ -75,7 +75,11 @@ impl BgpEvaluator for TriplesTableEngine {
             let started = std::time::Instant::now();
             let scanned = scan_pattern(&self.tt, &[(0, &tp.s), (1, &tp.p), (2, &tp.o)], &self.dict);
             let rationale = "single triples table: the only physical layout".to_string();
-            ctx.span_close(span, format!("{TT_NAME}: {rationale}"), Some(scanned.num_rows()));
+            ctx.span_close(
+                span,
+                format!("{TT_NAME}: {rationale}"),
+                Some(scanned.num_rows()),
+            );
             ctx.explain.bgp_steps.push(StepExplain {
                 table: TT_NAME.to_string(),
                 rows: scanned.num_rows(),

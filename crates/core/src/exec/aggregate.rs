@@ -106,10 +106,19 @@ pub fn aggregate_table(
         for item in &items {
             match item {
                 SelectItem::Var(v) => {
-                    let pos = query.group_by.iter().position(|g| g == v).expect("validated");
+                    let pos = query
+                        .group_by
+                        .iter()
+                        .position(|g| g == v)
+                        .expect("validated");
                     out_row.push(key.get(pos).and_then(|&id| decode(id)).cloned());
                 }
-                SelectItem::Aggregate { func, arg, distinct, alias: _ } => {
+                SelectItem::Aggregate {
+                    func,
+                    arg,
+                    distinct,
+                    alias: _,
+                } => {
                     // Collect the group's argument values as terms.
                     let mut values: Vec<Term> = Vec::new();
                     for &row in members {
@@ -202,16 +211,16 @@ pub fn apply_modifiers(solutions: &mut Solutions, query: &Query) {
                     row.get(i).cloned().flatten()
                 };
                 let (ka, kb) = match &cond.expr {
-                    s2rdf_sparql::Expression::Var(v) => {
-                        (lookup_in(a, v), lookup_in(b, v))
-                    }
+                    s2rdf_sparql::Expression::Var(v) => (lookup_in(a, v), lookup_in(b, v)),
                     expr => {
                         let eval = |row: &Vec<Option<Term>>| -> Option<Term> {
                             let lookup = |v: &str| -> Option<&Term> {
                                 let i = vars.iter().position(|x| x == v)?;
                                 row.get(i)?.as_ref()
                             };
-                            expr.eval(&lookup).ok().and_then(super::pattern::value_to_term)
+                            expr.eval(&lookup)
+                                .ok()
+                                .and_then(super::pattern::value_to_term)
                         };
                         (eval(a), eval(b))
                     }
@@ -283,7 +292,9 @@ mod tests {
 
     #[test]
     fn count_star_single_group() {
-        let s = store().query("SELECT (COUNT(*) AS ?n) WHERE { ?a <follows> ?b }").unwrap();
+        let s = store()
+            .query("SELECT (COUNT(*) AS ?n) WHERE { ?a <follows> ?b }")
+            .unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s.binding(0, "n"), Some(&Term::integer(4)));
     }

@@ -205,7 +205,11 @@ impl<'a> ExecContext<'a> {
         if options.profile {
             explain.trace = Some(Trace::new());
         }
-        ExecContext { dict, options, explain }
+        ExecContext {
+            dict,
+            options,
+            explain,
+        }
     }
 
     /// Opens a trace span (no-op returning [`SpanId::NONE`] when profiling

@@ -84,7 +84,11 @@ pub fn eval_pattern(
             };
             ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
             ctx.note_join_decision(
-                if compat { "pattern join (compat)" } else { "pattern join" },
+                if compat {
+                    "pattern join (compat)"
+                } else {
+                    "pattern join"
+                },
                 decision,
                 false,
             );
@@ -153,10 +157,9 @@ fn needs_compat_join(left: &Table, right: &Table) -> bool {
         return false;
     }
     let has_nulls = |t: &Table| {
-        shared.iter().any(|c| {
-            t.column(t.schema().index_of(c).unwrap())
-                .contains(&NULL_ID)
-        })
+        shared
+            .iter()
+            .any(|c| t.column(t.schema().index_of(c).unwrap()).contains(&NULL_ID))
     };
     has_nulls(left) || has_nulls(right)
 }
@@ -181,7 +184,12 @@ fn compat_shape(left: &Table, right: &Table) -> CompatShape {
             )
         })
         .collect();
-    let mut names: Vec<String> = left.schema().names().iter().map(|c| c.to_string()).collect();
+    let mut names: Vec<String> = left
+        .schema()
+        .names()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     let right_extra: Vec<usize> = right
         .schema()
         .names()
@@ -193,7 +201,11 @@ fn compat_shape(left: &Table, right: &Table) -> CompatShape {
             i
         })
         .collect();
-    CompatShape { shared_idx, schema: Schema::new(names), right_extra }
+    CompatShape {
+        shared_idx,
+        schema: Schema::new(names),
+        right_extra,
+    }
 }
 
 /// SPARQL §2.1 compatibility: mappings agree on the variables *bound in
@@ -274,7 +286,9 @@ pub fn compat_left_outer_join(left: &Table, right: &Table) -> Table {
             }
         }
         if !matched {
-            let mut row: Vec<u32> = (0..left.schema().len()).map(|c| left.value(lr, c)).collect();
+            let mut row: Vec<u32> = (0..left.schema().len())
+                .map(|c| left.value(lr, c))
+                .collect();
             row.extend(std::iter::repeat_n(NULL_ID, shape.right_extra.len()));
             out.push_row(&row);
         }
@@ -438,8 +452,13 @@ fn rank_keys(table: &Table, col: usize, descending: bool, dict: &Dictionary) -> 
     let mut distinct: Vec<u32> = column.to_vec();
     distinct.sort_unstable();
     distinct.dedup();
-    let term_of =
-        |id: u32| -> Option<&Term> { if id == NULL_ID { None } else { dict.get(TermId(id)) } };
+    let term_of = |id: u32| -> Option<&Term> {
+        if id == NULL_ID {
+            None
+        } else {
+            dict.get(TermId(id))
+        }
+    };
     let cmp = |a: Option<&Term>, b: Option<&Term>| match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => Ordering::Less,
@@ -548,11 +567,7 @@ mod tests {
         let ids: Vec<u32> = (0..4).map(|i| dict.intern(&Term::integer(i)).0).collect();
         let table = Table::from_rows(
             Schema::new(["x", "y"]),
-            &[
-                [ids[0], ids[3]],
-                [ids[1], ids[2]],
-                [ids[2], ids[1]],
-            ],
+            &[[ids[0], ids[3]], [ids[1], ids[2]], [ids[2], ids[1]]],
         );
         Fixed { dict, table }
     }
@@ -611,7 +626,10 @@ mod tests {
     #[test]
     fn limit_offset() {
         let f = fixture();
-        let s = run("SELECT ?x WHERE { ?x <p> ?y } ORDER BY ?x LIMIT 1 OFFSET 1", &f);
+        let s = run(
+            "SELECT ?x WHERE { ?x <p> ?y } ORDER BY ?x LIMIT 1 OFFSET 1",
+            &f,
+        );
         assert_eq!(s.len(), 1);
         assert_eq!(s.binding(0, "x").unwrap().numeric_value(), Some(1.0));
     }
@@ -658,7 +676,9 @@ mod tests {
             assert!(s.binding(i, "x").is_some());
         }
         // And the right-branch rows carry ?z bindings.
-        let with_z = (0..s.len()).filter(|&i| s.binding(i, "z").is_some()).count();
+        let with_z = (0..s.len())
+            .filter(|&i| s.binding(i, "z").is_some())
+            .count();
         assert_eq!(with_z, 9);
     }
 
@@ -686,7 +706,9 @@ mod tests {
                 "row {i}: OPTIONAL must bind ?v for every compatible row"
             );
         }
-        let with_z = (0..s.len()).filter(|&i| s.binding(i, "z").is_some()).count();
+        let with_z = (0..s.len())
+            .filter(|&i| s.binding(i, "z").is_some())
+            .count();
         assert_eq!(with_z, 9);
     }
 
@@ -694,10 +716,7 @@ mod tests {
     fn compat_left_outer_join_matches_definition_and_differs_from_hash_path() {
         use s2rdf_columnar::exec::row_multiset;
         const N: u32 = NULL_ID;
-        let left = Table::from_rows(
-            Schema::new(["x", "y"]),
-            &[[1, 10], [N, 11], [2, 12]],
-        );
+        let left = Table::from_rows(Schema::new(["x", "y"]), &[[1, 10], [N, 11], [2, 12]]);
         let right = Table::from_rows(Schema::new(["x", "v"]), &[[1, 20], [3, 21]]);
         let out = compat_left_outer_join(&left, &right);
         let expected = vec![
@@ -736,7 +755,10 @@ mod tests {
         .unwrap();
         let mut ctx = ExecContext::new(
             &f.dict,
-            QueryOptions { profile: true, ..Default::default() },
+            QueryOptions {
+                profile: true,
+                ..Default::default()
+            },
         );
         eval_query(&f, &query, &mut ctx).unwrap();
         let trace = ctx.explain.trace.as_ref().expect("profiling enabled");

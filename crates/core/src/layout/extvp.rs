@@ -42,7 +42,10 @@ enum PredSets {
     /// ≤ 128 predicates: one bit per predicate index.
     Bits { subj: Vec<u128>, obj: Vec<u128> },
     /// Arbitrary predicate counts: sorted, deduplicated index lists.
-    Lists { subj: Vec<Vec<u32>>, obj: Vec<Vec<u32>> },
+    Lists {
+        subj: Vec<Vec<u32>>,
+        obj: Vec<Vec<u32>>,
+    },
 }
 
 impl PredSets {
@@ -77,14 +80,22 @@ impl PredSets {
     fn for_each(&self, term: TermId, as_subject: bool, mut f: impl FnMut(u32)) {
         match self {
             PredSets::Bits { subj, obj } => {
-                let mut mask = if as_subject { subj[term.index()] } else { obj[term.index()] };
+                let mut mask = if as_subject {
+                    subj[term.index()]
+                } else {
+                    obj[term.index()]
+                };
                 while mask != 0 {
                     f(mask.trailing_zeros());
                     mask &= mask - 1;
                 }
             }
             PredSets::Lists { subj, obj } => {
-                let list = if as_subject { &subj[term.index()] } else { &obj[term.index()] };
+                let list = if as_subject {
+                    &subj[term.index()]
+                } else {
+                    &obj[term.index()]
+                };
                 for &p in list {
                     f(p);
                 }
@@ -267,8 +278,12 @@ pub fn build_extvp(
         match options.mode {
             ExtVpMode::Materialized => {
                 let base = &vp[&p1];
-                let idx: Vec<usize> =
-                    indices.as_ref().unwrap().iter().map(|&i| i as usize).collect();
+                let idx: Vec<usize> = indices
+                    .as_ref()
+                    .unwrap()
+                    .iter()
+                    .map(|&i| i as usize)
+                    .collect();
                 out_rows.insert(key, std::sync::Arc::new(base.gather(&idx)));
             }
             ExtVpMode::BitVector => {
@@ -367,15 +382,16 @@ mod tests {
             g,
             &vp,
             &mut catalog,
-            ExtVpBuildOptions { threshold, mode, include_oo },
+            ExtVpBuildOptions {
+                threshold,
+                mode,
+                include_oo,
+            },
         );
         (storage, catalog)
     }
 
-    fn build(
-        g: &Graph,
-        threshold: f64,
-    ) -> (FxHashMap<ExtVpKey, std::sync::Arc<Table>>, Catalog) {
+    fn build(g: &Graph, threshold: f64) -> (FxHashMap<ExtVpKey, std::sync::Arc<Table>>, Catalog) {
         let (storage, catalog) = build_mode(g, threshold, ExtVpMode::Materialized, false);
         match storage {
             ExtVpStorage::Rows(tables) => (tables, catalog),
@@ -411,10 +427,7 @@ mod tests {
 
         // ExtVP_SO follows|follows = {(B,C),(B,D),(C,D)}.
         let k = ExtVpKey::new(Correlation::SO, follows, follows);
-        assert_eq!(
-            names(&tables[&k]),
-            vec![vec![b, c], vec![b, d], vec![c, d]]
-        );
+        assert_eq!(names(&tables[&k]), vec![vec![b, c], vec![b, d], vec![c, d]]);
 
         // ExtVP_SO follows|likes: empty — not stored, catalog knows SF = 0.
         let k = ExtVpKey::new(Correlation::SO, follows, likes);
@@ -552,7 +565,9 @@ mod tests {
         let vp = arc_vp(&g);
         let (tables, catalog_rows) = build(&g, 1.0);
         let (storage, catalog_bits) = build_mode(&g, 1.0, ExtVpMode::BitVector, false);
-        let ExtVpStorage::Bits(bits) = storage else { panic!("expected bitmaps") };
+        let ExtVpStorage::Bits(bits) = storage else {
+            panic!("expected bitmaps")
+        };
         assert_eq!(bits.len(), tables.len());
         assert_eq!(catalog_bits.extvp_mode, "bits");
         for (key, bitmap) in &bits {
@@ -614,7 +629,9 @@ mod tests {
         let stat = catalog.extvp_stat(&key).unwrap();
         assert_eq!(stat.count, 1);
         assert!(stat.materialized);
-        let ExtVpStorage::Rows(tables) = storage else { panic!("rows expected") };
+        let ExtVpStorage::Rows(tables) = storage else {
+            panic!("rows expected")
+        };
         let table = &tables[&key];
         let expected = compute_partition(&arc_vp(&g), &key).unwrap();
         assert_eq!(row_multiset(table), row_multiset(&expected));

@@ -38,7 +38,10 @@ impl PropertyTable {
                 .or_default()
                 .push(t.o.0);
         }
-        PropertyTable { columns, tuples: graph.len() }
+        PropertyTable {
+            columns,
+            tuples: graph.len(),
+        }
     }
 
     /// The column for a predicate, if it occurs in the data.

@@ -18,7 +18,10 @@ pub fn build_vp(graph: &Graph) -> FxHashMap<TermId, Table> {
     partitions
         .into_iter()
         .map(|(p, (s, o))| {
-            (p, Table::from_columns(Schema::new([COL_S, COL_O]), vec![s, o]))
+            (
+                p,
+                Table::from_columns(Schema::new([COL_S, COL_O]), vec![s, o]),
+            )
         })
         .collect()
 }

@@ -49,7 +49,7 @@ pub mod layout;
 pub mod store;
 
 pub use catalog::{Catalog, Correlation, ExtVpStat};
-pub use layout::extvp::ExtVpMode;
 pub use error::CoreError;
 pub use exec::{DegradedStep, Explain, Solutions};
+pub use layout::extvp::ExtVpMode;
 pub use store::{BuildOptions, RepairReport, S2rdfStore};

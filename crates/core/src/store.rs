@@ -150,9 +150,7 @@ impl S2rdfStore {
         match source {
             TableSource::TriplesTable => self.catalog.total_triples,
             TableSource::Vp(p) => self.catalog.vp_size(*p),
-            TableSource::ExtVp(key) => {
-                self.catalog.extvp_stat(key).map(|s| s.count).unwrap_or(0)
-            }
+            TableSource::ExtVp(key) => self.catalog.extvp_stat(key).map(|s| s.count).unwrap_or(0),
             TableSource::Empty => 0,
         }
     }
@@ -188,7 +186,9 @@ impl S2rdfStore {
         if let Some(table) = self.vp.get(&p) {
             return Ok(Some(table.clone()));
         }
-        let Some(disk) = &self.disk else { return Ok(None) };
+        let Some(disk) = &self.disk else {
+            return Ok(None);
+        };
         let name = vp_table_name(&self.dict, p);
         if !disk.contains(&name) {
             return Ok(None);
@@ -270,8 +270,7 @@ impl S2rdfStore {
                 if let Some(hit) = self.lazy_cache.read().get(key) {
                     return Some(hit.clone());
                 }
-                let computed =
-                    Arc::new(compute_partition_with(|p| self.vp_table(p), key)?);
+                let computed = Arc::new(compute_partition_with(|p| self.vp_table(p), key)?);
                 self.lazy_cache
                     .write()
                     .entry(*key)
@@ -286,7 +285,9 @@ impl S2rdfStore {
     /// quarantined as a side effect — non-retryable, the engine degrades
     /// to VP); `Err` for transient I/O failures worth retrying.
     fn disk_extvp(&self, key: &ExtVpKey) -> Result<Option<Arc<Table>>, CoreError> {
-        let Some(disk) = &self.disk else { return Ok(None) };
+        let Some(disk) = &self.disk else {
+            return Ok(None);
+        };
         let name = extvp_table_name(&self.dict, key);
         if !disk.contains(&name) {
             return Ok(None);
@@ -381,15 +382,12 @@ impl S2rdfStore {
             ExtVpStorage::Bits(bits) => bits.values().map(Bitmap::byte_size).sum(),
             // Approximation: the bodies resident in the demand-load cache
             // (includes TT/VP bodies cached by the same store).
-            ExtVpStorage::Disk => {
-                self.disk.as_ref().map(|d| d.cached_bytes() as usize).unwrap_or(0)
-            }
-            ExtVpStorage::Lazy => self
-                .lazy_cache
-                .read()
-                .values()
-                .map(|t| t.byte_size())
-                .sum(),
+            ExtVpStorage::Disk => self
+                .disk
+                .as_ref()
+                .map(|d| d.cached_bytes() as usize)
+                .unwrap_or(0),
+            ExtVpStorage::Lazy => self.lazy_cache.read().values().map(|t| t.byte_size()).sum(),
         }
     }
 
@@ -452,8 +450,7 @@ impl S2rdfStore {
             }
             ExtVpStorage::Bits(bits) => {
                 let bm_dir = dir.join("bitmaps");
-                std::fs::create_dir_all(&bm_dir)
-                    .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                std::fs::create_dir_all(&bm_dir).map_err(|e| CoreError::Catalog(e.to_string()))?;
                 let mut manifest = BufWriter::new(
                     std::fs::File::create(bm_dir.join("manifest.tsv"))
                         .map_err(|e| CoreError::Catalog(e.to_string()))?,
@@ -465,7 +462,9 @@ impl S2rdfStore {
                     writeln!(manifest, "{}\t{}", extvp_table_name(&self.dict, key), file)
                         .map_err(|e| CoreError::Catalog(e.to_string()))?;
                 }
-                manifest.flush().map_err(|e| CoreError::Catalog(e.to_string()))?;
+                manifest
+                    .flush()
+                    .map_err(|e| CoreError::Catalog(e.to_string()))?;
             }
             ExtVpStorage::Lazy | ExtVpStorage::None => {}
         }
@@ -521,9 +520,9 @@ impl S2rdfStore {
                         .map_err(|e| CoreError::Catalog(e.to_string()))?;
                     let mut bits = FxHashMap::default();
                     for line in manifest.lines() {
-                        let (name, file) = line.split_once('\t').ok_or_else(|| {
-                            CoreError::Catalog("bad bitmap manifest".to_string())
-                        })?;
+                        let (name, file) = line
+                            .split_once('\t')
+                            .ok_or_else(|| CoreError::Catalog("bad bitmap manifest".to_string()))?;
                         let key = parse_extvp_name(name, &dict)?;
                         match std::fs::read(bm_dir.join(file))
                             .map_err(|e| CoreError::Catalog(e.to_string()))
@@ -615,11 +614,11 @@ impl S2rdfStore {
             }
         }
 
-        let damaged = scan
-            .corrupt
-            .iter()
-            .cloned()
-            .chain(scan.missing.iter().map(|n| (n.clone(), "file missing".to_string())));
+        let damaged = scan.corrupt.iter().cloned().chain(
+            scan.missing
+                .iter()
+                .map(|n| (n.clone(), "file missing".to_string())),
+        );
         for (name, why) in damaged {
             if !name.starts_with("ExtVP_") {
                 report.unrecoverable.push((name, why));
@@ -633,9 +632,10 @@ impl S2rdfStore {
                     tables.save(&name, &table)?;
                     report.repaired.push(name);
                 }
-                None => report
-                    .unrecoverable
-                    .push((name, format!("{why}; base VP tables unavailable for rebuild"))),
+                None => report.unrecoverable.push((
+                    name,
+                    format!("{why}; base VP tables unavailable for rebuild"),
+                )),
             }
         }
 
@@ -749,7 +749,10 @@ mod tests {
     fn vp_only_build() {
         let store = S2rdfStore::build(
             &g1(),
-            &BuildOptions { build_extvp: false, ..Default::default() },
+            &BuildOptions {
+                build_extvp: false,
+                ..Default::default()
+            },
         );
         assert_eq!(store.num_extvp_tables(), 0);
         assert!(!store.catalog().extvp_built);
@@ -763,10 +766,20 @@ mod tests {
         let reference = S2rdfStore::build(&g1(), &BuildOptions::default());
         let expected = reference.query(Q_CHAIN).unwrap().canonical();
         for mode in [ExtVpMode::BitVector, ExtVpMode::Lazy] {
-            let store = S2rdfStore::build(&g1(), &BuildOptions { mode, ..Default::default() });
+            let store = S2rdfStore::build(
+                &g1(),
+                &BuildOptions {
+                    mode,
+                    ..Default::default()
+                },
+            );
             assert_eq!(store.num_extvp_tables(), reference.num_extvp_tables());
             assert_eq!(store.extvp_tuples(), reference.extvp_tuples());
-            assert_eq!(store.query(Q_CHAIN).unwrap().canonical(), expected, "{mode:?}");
+            assert_eq!(
+                store.query(Q_CHAIN).unwrap().canonical(),
+                expected,
+                "{mode:?}"
+            );
         }
     }
 
@@ -776,7 +789,11 @@ mod tests {
         // tiny G1 the advantage is absent, so synthesize a wider graph.
         let mut triples = Vec::new();
         for i in 0..2000 {
-            triples.push(t(&format!("u{i}"), "follows", &format!("u{}", (i + 1) % 2000)));
+            triples.push(t(
+                &format!("u{i}"),
+                "follows",
+                &format!("u{}", (i + 1) % 2000),
+            ));
         }
         for i in 0..500 {
             triples.push(t(&format!("u{i}"), "likes", &format!("m{}", i % 50)));
@@ -785,7 +802,10 @@ mod tests {
         let rows = S2rdfStore::build(&g, &BuildOptions::default());
         let bits = S2rdfStore::build(
             &g,
-            &BuildOptions { mode: ExtVpMode::BitVector, ..Default::default() },
+            &BuildOptions {
+                mode: ExtVpMode::BitVector,
+                ..Default::default()
+            },
         );
         assert_eq!(rows.extvp_tuples(), bits.extvp_tuples());
         assert!(
@@ -800,13 +820,16 @@ mod tests {
     fn lazy_cache_fills_on_use() {
         let store = S2rdfStore::build(
             &g1(),
-            &BuildOptions { mode: ExtVpMode::Lazy, ..Default::default() },
+            &BuildOptions {
+                mode: ExtVpMode::Lazy,
+                ..Default::default()
+            },
         );
         assert_eq!(store.extvp_payload_bytes(), 0); // nothing materialized yet
         let s = store.query(Q_CHAIN).unwrap();
         assert_eq!(s.len(), 1);
         assert!(store.extvp_payload_bytes() > 0); // warm cache
-        // Second run hits the cache and still agrees.
+                                                  // Second run hits the cache and still agrees.
         assert_eq!(store.query(Q_CHAIN).unwrap().len(), 1);
     }
 
@@ -814,7 +837,10 @@ mod tests {
     fn oo_correlation_improves_oo_queries() {
         let store_oo = S2rdfStore::build(
             &g1(),
-            &BuildOptions { include_oo: true, ..Default::default() },
+            &BuildOptions {
+                include_oo: true,
+                ..Default::default()
+            },
         );
         let store_plain = S2rdfStore::build(&g1(), &BuildOptions::default());
         // ?a follows ?w . ?c likes ?w — an OO correlation.
@@ -826,12 +852,17 @@ mod tests {
         // (follows tuples whose object is liked: only (B,D)? — objects of
         // likes are I1/I2, no follows object is liked, so SF = 0 and the
         // query is answered from statistics).
-        let (_, explain) = store_oo.engine(true).query_opt(q, &Default::default()).unwrap();
+        let (_, explain) = store_oo
+            .engine(true)
+            .query_opt(q, &Default::default())
+            .unwrap();
         assert!(explain.statically_empty);
         assert!(a.is_empty());
         // Without OO the plain store must execute the join.
-        let (_, plain_explain) =
-            store_plain.engine(true).query_opt(q, &Default::default()).unwrap();
+        let (_, plain_explain) = store_plain
+            .engine(true)
+            .query_opt(q, &Default::default())
+            .unwrap();
         assert!(!plain_explain.statically_empty);
     }
 
@@ -839,15 +870,24 @@ mod tests {
     fn save_load_roundtrip_all_modes() {
         for (idx, options) in [
             BuildOptions::default(),
-            BuildOptions { mode: ExtVpMode::BitVector, ..Default::default() },
-            BuildOptions { mode: ExtVpMode::Lazy, ..Default::default() },
-            BuildOptions { include_oo: true, ..Default::default() },
+            BuildOptions {
+                mode: ExtVpMode::BitVector,
+                ..Default::default()
+            },
+            BuildOptions {
+                mode: ExtVpMode::Lazy,
+                ..Default::default()
+            },
+            BuildOptions {
+                include_oo: true,
+                ..Default::default()
+            },
         ]
         .iter()
         .enumerate()
         {
-            let dir = std::env::temp_dir()
-                .join(format!("s2rdf-store-{}-{idx}", std::process::id()));
+            let dir =
+                std::env::temp_dir().join(format!("s2rdf-store-{}-{idx}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             let store = S2rdfStore::build(&g1(), options);
             store.save(&dir).unwrap();

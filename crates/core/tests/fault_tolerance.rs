@@ -87,16 +87,35 @@ fn corrupted_extvp_partitions_degrade_to_exact_results() {
         .engine(true)
         .query_opt(Q1, &QueryOptions::default())
         .unwrap();
-    assert_eq!(solutions.canonical(), expected, "degraded results must be exact");
-    assert!(!explain.degraded_steps.is_empty(), "degradation must be traced");
+    assert_eq!(
+        solutions.canonical(),
+        expected,
+        "degraded results must be exact"
+    );
+    assert!(
+        !explain.degraded_steps.is_empty(),
+        "degradation must be traced"
+    );
     assert!(!explain.fully_healthy());
     for step in &explain.degraded_steps {
-        assert!(step.planned.starts_with("ExtVP_"), "planned {}", step.planned);
-        assert!(step.fallback.starts_with("VP/"), "fallback {}", step.fallback);
+        assert!(
+            step.planned.starts_with("ExtVP_"),
+            "planned {}",
+            step.planned
+        );
+        assert!(
+            step.fallback.starts_with("VP/"),
+            "fallback {}",
+            step.fallback
+        );
         assert!(step.attempts >= 1);
     }
     // Every degraded step runs at VP selectivity.
-    for step in explain.bgp_steps.iter().filter(|s| s.table.contains("degraded")) {
+    for step in explain
+        .bgp_steps
+        .iter()
+        .filter(|s| s.table.contains("degraded"))
+    {
         assert_eq!(step.sf, 1.0);
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -121,13 +140,19 @@ fn injected_read_faults_are_absorbed_by_vp_fallback() {
     }));
     store.set_fault_injector(Some(injector.clone()));
 
-    let options = QueryOptions { max_retries: 2, ..QueryOptions::default() };
+    let options = QueryOptions {
+        max_retries: 2,
+        ..QueryOptions::default()
+    };
     let (solutions, explain) = store.engine(true).query_opt(Q1, &options).unwrap();
     assert_eq!(solutions.canonical(), expected);
     assert!(!explain.degraded_steps.is_empty());
     // max_retries = 2 → three attempts per degraded partition.
     assert!(explain.degraded_steps.iter().all(|s| s.attempts == 3));
-    assert!(!explain.recovered_errors.is_empty(), "attempt failures must be logged");
+    assert!(
+        !explain.recovered_errors.is_empty(),
+        "attempt failures must be logged"
+    );
     assert!(injector.stats().read_errors > 0);
 
     // Healthy again once the injector is removed.
@@ -153,7 +178,11 @@ fn verify_and_repair_rebuilds_extvp_from_vp() {
     let damaged = corrupt_tables(&dir, "ExtVP_");
     let report = S2rdfStore::verify_and_repair(&dir).unwrap();
     assert_eq!(report.repaired.len(), damaged);
-    assert!(report.unrecoverable.is_empty(), "{:?}", report.unrecoverable);
+    assert!(
+        report.unrecoverable.is_empty(),
+        "{:?}",
+        report.unrecoverable
+    );
     assert!(report.clean_after, "repair must leave a clean store");
 
     // The repaired store loads without quarantine and runs fully healthy.

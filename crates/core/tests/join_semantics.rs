@@ -93,8 +93,9 @@ fn compat_oracle(left: &Table, right: &Table, outer: bool) -> Vec<Vec<u32>> {
             out.push(row);
         }
         if outer && !matched {
-            let mut row: Vec<u32> =
-                (0..left.schema().len()).map(|c| left.value(lr, c)).collect();
+            let mut row: Vec<u32> = (0..left.schema().len())
+                .map(|c| left.value(lr, c))
+                .collect();
             row.extend(std::iter::repeat_n(NULL_ID, right_extra.len()));
             out.push(row);
         }

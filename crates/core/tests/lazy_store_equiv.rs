@@ -43,7 +43,11 @@ fn graph_from(indices: &[(u8, u8, u8)]) -> Graph {
         t("s2", "p2", "o8"),
     ];
     for &(s, p, o) in indices {
-        let object = if o < 4 { format!("s{o}") } else { format!("o{o}") };
+        let object = if o < 4 {
+            format!("s{o}")
+        } else {
+            format!("o{o}")
+        };
         triples.push(t(&format!("s{}", s % 6), &format!("p{}", p % 3), &object));
     }
     Graph::from_triples(triples)

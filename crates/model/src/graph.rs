@@ -213,7 +213,11 @@ mod tests {
         let g = g1();
         let first = g.triples()[0];
         assert!(g.contains(first));
-        let bogus = EncodedTriple { s: first.s, p: first.p, o: first.s };
+        let bogus = EncodedTriple {
+            s: first.s,
+            p: first.p,
+            o: first.s,
+        };
         assert!(!g.contains(bogus));
     }
 }

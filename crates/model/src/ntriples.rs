@@ -18,10 +18,12 @@ pub fn parse_line(line: &str, lineno: usize) -> Result<Option<Triple>, ModelErro
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
-    let body = line.strip_suffix('.').ok_or_else(|| ModelError::InvalidLine {
-        line: lineno,
-        message: "missing trailing '.'".to_string(),
-    })?;
+    let body = line
+        .strip_suffix('.')
+        .ok_or_else(|| ModelError::InvalidLine {
+            line: lineno,
+            message: "missing trailing '.'".to_string(),
+        })?;
     let mut rest = body.trim();
 
     let mut take_term = |what: &str| -> Result<Term, ModelError> {
@@ -122,12 +124,17 @@ mod tests {
     #[test]
     fn parse_simple_line() {
         let t = parse_line("<a> <p> <b> .", 1).unwrap().unwrap();
-        assert_eq!(t, Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")));
+        assert_eq!(
+            t,
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b"))
+        );
     }
 
     #[test]
     fn parse_literal_object() {
-        let t = parse_line("<a> <p> \"v with spaces\"@en .", 1).unwrap().unwrap();
+        let t = parse_line("<a> <p> \"v with spaces\"@en .", 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.o, Term::lang_literal("v with spaces", "en"));
         let t = parse_line(
             "<a> <p> \"12\"^^<http://www.w3.org/2001/XMLSchema#integer> .",

@@ -46,17 +46,29 @@ impl Term {
 
     /// Creates a plain (untyped, untagged) literal.
     pub fn literal(lexical: impl Into<String>) -> Term {
-        Term::Literal { lexical: lexical.into(), lang: None, datatype: None }
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: None,
+        }
     }
 
     /// Creates a typed literal.
     pub fn typed_literal(lexical: impl Into<String>, datatype: impl Into<String>) -> Term {
-        Term::Literal { lexical: lexical.into(), lang: None, datatype: Some(datatype.into()) }
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
     }
 
     /// Creates a language-tagged literal.
     pub fn lang_literal(lexical: impl Into<String>, lang: impl Into<String>) -> Term {
-        Term::Literal { lexical: lexical.into(), lang: Some(lang.into()), datatype: None }
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: Some(lang.into()),
+            datatype: None,
+        }
     }
 
     /// Creates an `xsd:integer` literal.
@@ -207,7 +219,11 @@ impl fmt::Display for Term {
         match self {
             Term::Iri(iri) => write!(f, "<{iri}>"),
             Term::BlankNode(label) => write!(f, "_:{label}"),
-            Term::Literal { lexical, lang, datatype } => {
+            Term::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
                 write!(f, "\"{}\"", escape(lexical))?;
                 if let Some(lang) = lang {
                     write!(f, "@{lang}")?;
@@ -309,16 +325,15 @@ mod tests {
         // Lexicographic string ordering would say "10" < "2"; value order must not.
         assert_eq!(ten.value_cmp(&two), Ordering::Greater);
         // IRIs sort before literals.
-        assert_eq!(Term::iri("z").value_cmp(&Term::literal("a")), Ordering::Less);
+        assert_eq!(
+            Term::iri("z").value_cmp(&Term::literal("a")),
+            Ordering::Less
+        );
     }
 
     #[test]
     fn triple_display() {
-        let t = Triple::new(
-            Term::iri("s"),
-            Term::iri("p"),
-            Term::literal("o"),
-        );
+        let t = Triple::new(Term::iri("s"), Term::iri("p"), Term::literal("o"));
         assert_eq!(t.to_string(), "<s> <p> \"o\" .");
     }
 }

@@ -11,10 +11,12 @@ fn arb_term() -> impl Strategy<Value = Term> {
     let iri = "[a-zA-Z0-9:/._#~-]{1,30}".prop_map(Term::iri);
     let blank = "[a-zA-Z0-9]{1,10}".prop_map(Term::blank);
     let plain = any::<String>()
-        .prop_filter("no surrogates handled fine; keep sane sizes", |s| s.len() < 40)
+        .prop_filter("no surrogates handled fine; keep sane sizes", |s| {
+            s.len() < 40
+        })
         .prop_map(Term::literal);
-    let lang = ("[a-z]{2}(-[A-Z]{2})?", "[a-zA-Z0-9 ]{0,20}")
-        .prop_map(|(l, s)| Term::lang_literal(s, l));
+    let lang =
+        ("[a-z]{2}(-[A-Z]{2})?", "[a-zA-Z0-9 ]{0,20}").prop_map(|(l, s)| Term::lang_literal(s, l));
     let typed = ("[a-zA-Z0-9 \\\\\"\n\t]{0,20}", "[a-zA-Z0-9:/.#]{1,30}")
         .prop_map(|(s, d)| Term::typed_literal(s, d));
     prop_oneof![iri, blank, plain, lang, typed]

@@ -120,9 +120,7 @@ impl GraphPattern {
                 }
             }
             GraphPattern::Filter { inner, .. } => inner.collect_vars(out),
-            GraphPattern::Join(l, r)
-            | GraphPattern::LeftJoin(l, r)
-            | GraphPattern::Union(l, r) => {
+            GraphPattern::Join(l, r) | GraphPattern::LeftJoin(l, r) | GraphPattern::Union(l, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
             }

@@ -90,7 +90,11 @@ impl Value {
             Value::Bool(b) => Ok(*b),
             Value::Number(n) => Ok(*n != 0.0 && !n.is_nan()),
             Value::String(s) => Ok(!s.is_empty()),
-            Value::Term(Term::Literal { lexical, datatype, lang }) => {
+            Value::Term(Term::Literal {
+                lexical,
+                datatype,
+                lang,
+            }) => {
                 if lang.is_none() && datatype.is_none() {
                     return Ok(!lexical.is_empty());
                 }
@@ -282,9 +286,7 @@ where
     let r = b.eval(lookup)?;
     // Numeric comparison when both sides are numeric.
     if let (Some(x), Some(y)) = (l.as_number(), r.as_number()) {
-        let ord = x
-            .partial_cmp(&y)
-            .ok_or_else(|| err("NaN comparison"))?;
+        let ord = x.partial_cmp(&y).ok_or_else(|| err("NaN comparison"))?;
         return Ok(Value::Bool(accept(ord)));
     }
     // String comparison when both sides are stringable.
@@ -387,11 +389,15 @@ mod tests {
         let iri = Term::iri("i");
         let lookup = |v: &str| (v == "x").then_some(&iri);
         assert_eq!(
-            Expression::IsIri(Box::new(e_var("x"))).eval(&lookup).unwrap(),
+            Expression::IsIri(Box::new(e_var("x")))
+                .eval(&lookup)
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            Expression::IsLiteral(Box::new(e_var("x"))).eval(&lookup).unwrap(),
+            Expression::IsLiteral(Box::new(e_var("x")))
+                .eval(&lookup)
+                .unwrap(),
             Value::Bool(false)
         );
     }

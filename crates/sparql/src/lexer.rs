@@ -195,7 +195,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::AndAnd);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "expected &&".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected &&".into(),
+                    });
                 }
             }
             '|' => {
@@ -203,7 +206,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::OrOr);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "expected ||".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected ||".into(),
+                    });
                 }
             }
             '!' => {
@@ -253,7 +259,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { offset: i, message: "empty variable name".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "empty variable name".into(),
+                    });
                 }
                 tokens.push(Token::Var(src[start..j].to_string()));
                 i = j;
@@ -370,7 +379,10 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
     loop {
         match bytes.get(j) {
             None => {
-                return Err(LexError { offset: start, message: "unterminated string".into() })
+                return Err(LexError {
+                    offset: start,
+                    message: "unterminated string".into(),
+                })
             }
             Some(b'"') => break,
             Some(b'\\') => {
@@ -397,7 +409,7 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
         }
     }
     j += 1; // closing quote
-    // Optional @lang
+            // Optional @lang
     if bytes.get(j) == Some(&b'@') {
         let start_lang = j + 1;
         let mut k = start_lang;
@@ -423,7 +435,11 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
             })?;
             let iri = src[k + 1..k + 1 + close].to_string();
             return Ok((
-                Token::StringLit { lexical, lang: None, datatype: Some(DatatypeRef::Iri(iri)) },
+                Token::StringLit {
+                    lexical,
+                    lang: None,
+                    datatype: Some(DatatypeRef::Iri(iri)),
+                },
                 k + close + 2,
             ));
         }
@@ -433,7 +449,10 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
             m += 1;
         }
         if bytes.get(m) != Some(&b':') {
-            return Err(LexError { offset: k, message: "bad datatype".into() });
+            return Err(LexError {
+                offset: k,
+                message: "bad datatype".into(),
+            });
         }
         let prefix = src[k..m].to_string();
         let mut n = m + 1;
@@ -453,7 +472,14 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
             end,
         ));
     }
-    Ok((Token::StringLit { lexical, lang: None, datatype: None }, j))
+    Ok((
+        Token::StringLit {
+            lexical,
+            lang: None,
+            datatype: None,
+        },
+        j,
+    ))
 }
 
 #[cfg(test)]

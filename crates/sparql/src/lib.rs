@@ -19,8 +19,7 @@ pub mod render;
 pub mod shape;
 
 pub use ast::{
-    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern,
-    TriplePattern,
+    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern, TriplePattern,
 };
 pub use expr::{EvalError, Expression, Value};
 pub use parser::{parse_query, ParseError};

@@ -65,7 +65,10 @@ fn split_filters(pattern: GraphPattern) -> GraphPattern {
         GraphPattern::Filter { expr, inner } => {
             let mut inner = split_filters(*inner);
             for conjunct in conjuncts(expr) {
-                inner = GraphPattern::Filter { expr: conjunct, inner: Box::new(inner) };
+                inner = GraphPattern::Filter {
+                    expr: conjunct,
+                    inner: Box::new(inner),
+                };
             }
             inner
         }
@@ -147,7 +150,10 @@ fn covers(pattern: &GraphPattern, vars: &[String]) -> bool {
 
 fn push_one_filter(expr: Expression, pattern: GraphPattern) -> GraphPattern {
     if uses_bound(&expr) {
-        return GraphPattern::Filter { expr, inner: Box::new(pattern) };
+        return GraphPattern::Filter {
+            expr,
+            inner: Box::new(pattern),
+        };
     }
     let vars = expr.vars();
     match pattern {
@@ -175,7 +181,10 @@ fn push_one_filter(expr: Expression, pattern: GraphPattern) -> GraphPattern {
                 }
             }
         }
-        p => GraphPattern::Filter { expr, inner: Box::new(p) },
+        p => GraphPattern::Filter {
+            expr,
+            inner: Box::new(p),
+        },
     }
 }
 
@@ -224,7 +233,10 @@ mod tests {
                 Box::new(bgp(vec![tp("?x", "q", "?y")])),
             )),
         );
-        assert!(matches!(optimize_pattern(pattern), GraphPattern::Union(_, _)));
+        assert!(matches!(
+            optimize_pattern(pattern),
+            GraphPattern::Union(_, _)
+        ));
     }
 
     #[test]
@@ -238,7 +250,9 @@ mod tests {
             inner: Box::new(bgp(vec![tp("?a", "p", "?b")])),
         };
         let out = optimize_pattern(pattern);
-        let GraphPattern::Filter { inner, .. } = out else { panic!("outer filter") };
+        let GraphPattern::Filter { inner, .. } = out else {
+            panic!("outer filter")
+        };
         assert!(matches!(*inner, GraphPattern::Filter { .. }));
     }
 
@@ -282,7 +296,10 @@ mod tests {
             ),
             inner: Box::new(join),
         };
-        assert!(matches!(optimize_pattern(pattern), GraphPattern::Filter { .. }));
+        assert!(matches!(
+            optimize_pattern(pattern),
+            GraphPattern::Filter { .. }
+        ));
     }
 
     #[test]

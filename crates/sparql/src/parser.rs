@@ -6,8 +6,7 @@ use std::fmt;
 use s2rdf_model::Term;
 
 use crate::ast::{
-    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern,
-    TriplePattern,
+    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern, TriplePattern,
 };
 use crate::expr::Expression;
 use crate::lexer::{tokenize, DatatypeRef, LexError, Token};
@@ -45,7 +44,11 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse_query(src: &str) -> Result<Query, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
     let q = p.parse_query()?;
     if p.pos != p.tokens.len() {
         return Err(ParseError(format!(
@@ -242,7 +245,15 @@ impl Parser {
             }
         }
 
-        Ok(Query { selection, distinct, pattern, group_by, order_by, limit, offset })
+        Ok(Query {
+            selection,
+            distinct,
+            pattern,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     /// `(<FUNC>([DISTINCT] <expr>|*) AS ?alias)` — the leading '(' is
@@ -255,11 +266,13 @@ impl Parser {
                 "AVG" => AggFunc::Avg,
                 "MIN" => AggFunc::Min,
                 "MAX" => AggFunc::Max,
-                other => {
-                    return Err(ParseError(format!("unsupported aggregate {other}()")))
-                }
+                other => return Err(ParseError(format!("unsupported aggregate {other}()"))),
             },
-            t => return Err(ParseError(format!("expected aggregate function, found {t}"))),
+            t => {
+                return Err(ParseError(format!(
+                    "expected aggregate function, found {t}"
+                )))
+            }
         };
         self.expect(&Token::LParen)?;
         let distinct = self.eat_keyword("DISTINCT");
@@ -279,7 +292,12 @@ impl Parser {
             t => return Err(ParseError(format!("expected ?alias after AS, found {t}"))),
         };
         self.expect(&Token::RParen)?;
-        Ok(SelectItem::Aggregate { func, arg, distinct, alias })
+        Ok(SelectItem::Aggregate {
+            func,
+            arg,
+            distinct,
+            alias,
+        })
     }
 
     /// GroupGraphPattern := '{' … '}' with SPARQL's left-to-right algebra
@@ -330,9 +348,7 @@ impl Parser {
                     self.pos += 1;
                     flush(&mut current, &mut bgp);
                     let right = self.parse_group()?;
-                    let left = current
-                        .take()
-                        .unwrap_or(GraphPattern::Bgp(Vec::new()));
+                    let left = current.take().unwrap_or(GraphPattern::Bgp(Vec::new()));
                     current = Some(GraphPattern::LeftJoin(Box::new(left), Box::new(right)));
                 }
                 Some(_) => {
@@ -344,7 +360,10 @@ impl Parser {
         flush(&mut current, &mut bgp);
         let mut pattern = current.unwrap_or(GraphPattern::Bgp(Vec::new()));
         for expr in filters {
-            pattern = GraphPattern::Filter { expr, inner: Box::new(pattern) };
+            pattern = GraphPattern::Filter {
+                expr,
+                inner: Box::new(pattern),
+            };
         }
         Ok(pattern)
     }
@@ -369,7 +388,11 @@ impl Parser {
             let predicate = self.parse_verb()?;
             loop {
                 let object = self.parse_term_pattern("object")?;
-                bgp.push(TriplePattern::new(subject.clone(), predicate.clone(), object));
+                bgp.push(TriplePattern::new(
+                    subject.clone(),
+                    predicate.clone(),
+                    object,
+                ));
                 if matches!(self.peek(), Some(Token::Comma)) {
                     self.pos += 1;
                 } else {
@@ -404,9 +427,13 @@ impl Parser {
             Token::Var(v) => Ok(TermPattern::Var(v)),
             Token::IriRef(i) => Ok(TermPattern::Term(Term::iri(i))),
             Token::PName(p, l) => Ok(TermPattern::Term(Term::iri(self.resolve_pname(&p, &l)?))),
-            Token::StringLit { lexical, lang, datatype } => {
-                Ok(TermPattern::Term(self.make_literal(lexical, lang, datatype)?))
-            }
+            Token::StringLit {
+                lexical,
+                lang,
+                datatype,
+            } => Ok(TermPattern::Term(
+                self.make_literal(lexical, lang, datatype)?,
+            )),
             Token::Integer(n) => Ok(TermPattern::Term(Term::integer(n))),
             Token::Decimal(d) => Ok(TermPattern::Term(Term::typed_literal(
                 d,
@@ -531,17 +558,19 @@ impl Parser {
             }
             Token::Var(v) => Ok(Expression::Var(v)),
             Token::IriRef(i) => Ok(Expression::Const(Term::iri(i))),
-            Token::PName(p, l) => {
-                Ok(Expression::Const(Term::iri(self.resolve_pname(&p, &l)?)))
-            }
+            Token::PName(p, l) => Ok(Expression::Const(Term::iri(self.resolve_pname(&p, &l)?))),
             Token::Integer(n) => Ok(Expression::Const(Term::integer(n))),
             Token::Decimal(d) => Ok(Expression::Const(Term::typed_literal(
                 d,
                 format!("{XSD}decimal"),
             ))),
-            Token::StringLit { lexical, lang, datatype } => {
-                Ok(Expression::Const(self.make_literal(lexical, lang, datatype)?))
-            }
+            Token::StringLit {
+                lexical,
+                lang,
+                datatype,
+            } => Ok(Expression::Const(
+                self.make_literal(lexical, lang, datatype)?,
+            )),
             Token::Word(w) => self.parse_builtin(&w),
             t => Err(ParseError(format!("expected expression, found {t}"))),
         }
@@ -635,10 +664,8 @@ mod tests {
 
     #[test]
     fn parse_filter() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x <age> ?a . FILTER(?a >= 18 && ?a < 65) }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <age> ?a . FILTER(?a >= 18 && ?a < 65) }").unwrap();
         match &q.pattern {
             GraphPattern::Filter { expr, inner } => {
                 assert!(matches!(**inner, GraphPattern::Bgp(_)));
@@ -684,10 +711,7 @@ mod tests {
 
     #[test]
     fn parse_semicolon_and_comma_abbreviations() {
-        let q = parse_query(
-            "SELECT * WHERE { ?x <p> ?a , ?b ; <q> ?c . }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { ?x <p> ?a , ?b ; <q> ?c . }").unwrap();
         match &q.pattern {
             GraphPattern::Bgp(tps) => {
                 assert_eq!(tps.len(), 3);
@@ -712,14 +736,18 @@ mod tests {
 
     #[test]
     fn operator_precedence() {
-        let q = parse_query("SELECT * WHERE { ?x <p> ?y FILTER(?y + 1 * 2 = 3 || ?y > 9) }")
-            .unwrap();
+        let q =
+            parse_query("SELECT * WHERE { ?x <p> ?y FILTER(?y + 1 * 2 = 3 || ?y > 9) }").unwrap();
         let GraphPattern::Filter { expr, .. } = &q.pattern else {
             panic!("expected filter")
         };
         // Top must be Or; its left an Eq whose left is Add(y, Mul(1,2)).
-        let Expression::Or(l, _) = expr else { panic!("expected Or, got {expr:?}") };
-        let Expression::Eq(ll, _) = &**l else { panic!("expected Eq") };
+        let Expression::Or(l, _) = expr else {
+            panic!("expected Or, got {expr:?}")
+        };
+        let Expression::Eq(ll, _) = &**l else {
+            panic!("expected Eq")
+        };
         assert!(matches!(&**ll, Expression::Add(_, m) if matches!(&**m, Expression::Mul(_, _))));
     }
 

@@ -94,7 +94,12 @@ impl fmt::Display for Query {
                     .iter()
                     .map(|item| match item {
                         SelectItem::Var(v) => format!("?{v}"),
-                        SelectItem::Aggregate { func, arg, distinct, alias } => {
+                        SelectItem::Aggregate {
+                            func,
+                            arg,
+                            distinct,
+                            alias,
+                        } => {
                             let inner = match arg {
                                 None => "*".to_string(),
                                 Some(e) => e.to_string(),

@@ -86,10 +86,20 @@ fn node_key(tp: &TermPattern) -> String {
 /// ```
 pub fn analyze(bgp: &[TriplePattern]) -> ShapeReport {
     if bgp.is_empty() {
-        return ShapeReport { shape: Shape::Single, diameter: 0, patterns: 0, connected: true };
+        return ShapeReport {
+            shape: Shape::Single,
+            diameter: 0,
+            patterns: 0,
+            connected: true,
+        };
     }
     if bgp.len() == 1 {
-        return ShapeReport { shape: Shape::Single, diameter: 1, patterns: 1, connected: true };
+        return ShapeReport {
+            shape: Shape::Single,
+            diameter: 1,
+            patterns: 1,
+            connected: true,
+        };
     }
 
     // Build the undirected multigraph: nodes = s/o positions.
@@ -189,7 +199,12 @@ pub fn analyze(bgp: &[TriplePattern]) -> ShapeReport {
     } else {
         Shape::Snowflake
     };
-    ShapeReport { shape, diameter: best, patterns: bgp.len(), connected }
+    ShapeReport {
+        shape,
+        diameter: best,
+        patterns: bgp.len(),
+        connected,
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use s2rdf_model::Term;
-use s2rdf_sparql::{
-    parse_query, GraphPattern, Query, Selection, TermPattern, TriplePattern,
-};
+use s2rdf_sparql::{parse_query, GraphPattern, Query, Selection, TermPattern, TriplePattern};
 
 fn arb_term_pattern() -> impl Strategy<Value = TermPattern> {
     prop_oneof![

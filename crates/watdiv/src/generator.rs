@@ -206,14 +206,22 @@ pub fn generate(config: &Config) -> Dataset {
     // ---- Geography ----
     let parent_country = pred(GN, "parentCountry");
     for c in 0..counts.cities {
-        g.insert(&t(city(c), parent_country.clone(), country(c % counts.countries)));
+        g.insert(&t(
+            city(c),
+            parent_country.clone(),
+            country(c % counts.countries),
+        ));
     }
 
     // ---- Sub-genres: tagged and typed (F1 navigates hasGenre → og:tag) --
     let og_tag = pred(OG, "tag");
     for s in 0..counts.subgenres {
         g.insert(&t(subgenre(s), og_tag.clone(), topic(s % counts.topics)));
-        g.insert(&t(subgenre(s), rdf_type.clone(), Term::iri(format!("{WSDBM}Genre"))));
+        g.insert(&t(
+            subgenre(s),
+            rdf_type.clone(),
+            Term::iri(format!("{WSDBM}Genre")),
+        ));
     }
 
     // ---- Websites ----
@@ -310,7 +318,11 @@ pub fn generate(config: &Config) -> Dataset {
             ));
         }
         if rng.gen_bool(0.7) {
-            g.insert(&t(me.clone(), pred(WSDBM, "gender"), entity("Gender", u % 2)));
+            g.insert(&t(
+                me.clone(),
+                pred(WSDBM, "gender"),
+                entity("Gender", u % 2),
+            ));
         }
         if rng.gen_bool(0.7) {
             g.insert(&t(
@@ -368,7 +380,11 @@ pub fn generate(config: &Config) -> Dataset {
     for p in 0..counts.products {
         let it = product(p);
         let category = p % counts.categories;
-        g.insert(&t(it.clone(), rdf_type.clone(), entity("ProductCategory", category)));
+        g.insert(&t(
+            it.clone(),
+            rdf_type.clone(),
+            entity("ProductCategory", category),
+        ));
         if rng.gen_bool(0.5) {
             g.insert(&t(
                 it.clone(),
@@ -436,7 +452,11 @@ pub fn generate(config: &Config) -> Dataset {
         // instantiation draws topics uniformly), plus random extras.
         g.insert(&t(it.clone(), og_tag.clone(), topic(p % counts.topics)));
         for _ in 0..degree(&mut rng, 1.0).min(4) {
-            g.insert(&t(it.clone(), og_tag.clone(), topic(rng.gen_range(0..counts.topics))));
+            g.insert(&t(
+                it.clone(),
+                og_tag.clone(),
+                topic(rng.gen_range(0..counts.topics)),
+            ));
         }
         for _ in 0..degree(&mut rng, 1.5).min(5) {
             g.insert(&t(
@@ -641,16 +661,26 @@ fn t(s: Term, p: Term, o: Term) -> s2rdf_model::Triple {
 }
 
 const JOB_TITLES: [&str; 12] = [
-    "Engineer", "Teacher", "Nurse", "Chef", "Architect", "Pilot",
-    "Librarian", "Designer", "Analyst", "Farmer", "Editor", "Translator",
+    "Engineer",
+    "Teacher",
+    "Nurse",
+    "Chef",
+    "Architect",
+    "Pilot",
+    "Librarian",
+    "Designer",
+    "Analyst",
+    "Farmer",
+    "Editor",
+    "Translator",
 ];
 const GIVEN_NAMES: [&str; 16] = [
-    "Alex", "Blake", "Casey", "Drew", "Emery", "Finley", "Gray", "Harper",
-    "Indigo", "Jules", "Kai", "Logan", "Morgan", "Noa", "Oakley", "Parker",
+    "Alex", "Blake", "Casey", "Drew", "Emery", "Finley", "Gray", "Harper", "Indigo", "Jules",
+    "Kai", "Logan", "Morgan", "Noa", "Oakley", "Parker",
 ];
 const FAMILY_NAMES: [&str; 16] = [
-    "Smith", "Jones", "Garcia", "Kim", "Nguyen", "Patel", "Sato", "Muller",
-    "Rossi", "Silva", "Ivanov", "Chen", "Dubois", "Haddad", "Okafor", "Novak",
+    "Smith", "Jones", "Garcia", "Kim", "Nguyen", "Patel", "Sato", "Muller", "Rossi", "Silva",
+    "Ivanov", "Chen", "Dubois", "Haddad", "Okafor", "Novak",
 ];
 const RATINGS: [&str; 5] = ["G", "PG", "PG-13", "R", "NC-17"];
 
@@ -702,7 +732,10 @@ mod tests {
         // Paper: friendOf ≈ 0.41·|G|, follows ≈ 0.3·|G|, likes ≈ 0.01·|G|,
         // friendOf + follows ≈ 0.7·|G| (§7.3).
         assert!((0.30..0.50).contains(&friend), "friendOf fraction {friend}");
-        assert!((0.22..0.40).contains(&follows), "follows fraction {follows}");
+        assert!(
+            (0.22..0.40).contains(&follows),
+            "follows fraction {follows}"
+        );
         assert!((0.005..0.02).contains(&likes), "likes fraction {likes}");
         assert!((0.6..0.8).contains(&(friend + follows)));
     }

@@ -14,28 +14,44 @@ pub fn templates() -> Vec<QueryTemplate> {
         mappings: &'static [(&'static str, EntityType)],
         body: &'static str,
     ) -> QueryTemplate {
-        QueryTemplate { name, category: QueryCategory::IncrementalLinear, body, mappings }
+        QueryTemplate {
+            name,
+            category: QueryCategory::IncrementalLinear,
+            body,
+            mappings,
+        }
     }
     const USER: &[(&str, EntityType)] = &[("v0", EntityType::User)];
     const RETAILER: &[(&str, EntityType)] = &[("v0", EntityType::Retailer)];
     vec![
         // C.1 Incremental user queries (type 1).
-        q("IL-1-5", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
+        q(
+            "IL-1-5",
+            USER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
             %v0% wsdbm:follows ?v1 .
             ?v1 wsdbm:likes ?v2 .
             ?v2 rev:hasReview ?v3 .
             ?v3 rev:reviewer ?v4 .
             ?v4 wsdbm:friendOf ?v5 .
-        }"),
-        q("IL-1-6", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
+        }",
+        ),
+        q(
+            "IL-1-6",
+            USER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
             %v0% wsdbm:follows ?v1 .
             ?v1 wsdbm:likes ?v2 .
             ?v2 rev:hasReview ?v3 .
             ?v3 rev:reviewer ?v4 .
             ?v4 wsdbm:friendOf ?v5 .
             ?v5 wsdbm:makesPurchase ?v6 .
-        }"),
-        q("IL-1-7", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
+        }",
+        ),
+        q(
+            "IL-1-7",
+            USER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
             %v0% wsdbm:follows ?v1 .
             ?v1 wsdbm:likes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -43,8 +59,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v4 wsdbm:friendOf ?v5 .
             ?v5 wsdbm:makesPurchase ?v6 .
             ?v6 wsdbm:purchaseFor ?v7 .
-        }"),
-        q("IL-1-8", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+        }",
+        ),
+        q(
+            "IL-1-8",
+            USER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
             %v0% wsdbm:follows ?v1 .
             ?v1 wsdbm:likes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -53,8 +73,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v5 wsdbm:makesPurchase ?v6 .
             ?v6 wsdbm:purchaseFor ?v7 .
             ?v7 sorg:author ?v8 .
-        }"),
-        q("IL-1-9", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+        }",
+        ),
+        q(
+            "IL-1-9",
+            USER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
             %v0% wsdbm:follows ?v1 .
             ?v1 wsdbm:likes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -64,8 +88,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v6 wsdbm:purchaseFor ?v7 .
             ?v7 sorg:author ?v8 .
             ?v8 dc:Location ?v9 .
-        }"),
-        q("IL-1-10", USER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
+        }",
+        ),
+        q(
+            "IL-1-10",
+            USER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
             %v0% wsdbm:follows ?v1 .
             ?v1 wsdbm:likes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -76,24 +104,36 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v7 sorg:author ?v8 .
             ?v8 dc:Location ?v9 .
             ?v9 gn:parentCountry ?v10 .
-        }"),
+        }",
+        ),
         // C.2 Incremental retailer queries (type 2).
-        q("IL-2-5", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
+        q(
+            "IL-2-5",
+            RETAILER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
             %v0% gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 sorg:director ?v3 .
             ?v3 wsdbm:friendOf ?v4 .
             ?v4 wsdbm:friendOf ?v5 .
-        }"),
-        q("IL-2-6", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
+        }",
+        ),
+        q(
+            "IL-2-6",
+            RETAILER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
             %v0% gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 sorg:director ?v3 .
             ?v3 wsdbm:friendOf ?v4 .
             ?v4 wsdbm:friendOf ?v5 .
             ?v5 wsdbm:likes ?v6 .
-        }"),
-        q("IL-2-7", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
+        }",
+        ),
+        q(
+            "IL-2-7",
+            RETAILER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
             %v0% gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 sorg:director ?v3 .
@@ -101,8 +141,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v4 wsdbm:friendOf ?v5 .
             ?v5 wsdbm:likes ?v6 .
             ?v6 sorg:editor ?v7 .
-        }"),
-        q("IL-2-8", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+        }",
+        ),
+        q(
+            "IL-2-8",
+            RETAILER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
             %v0% gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 sorg:director ?v3 .
@@ -111,8 +155,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v5 wsdbm:likes ?v6 .
             ?v6 sorg:editor ?v7 .
             ?v7 wsdbm:makesPurchase ?v8 .
-        }"),
-        q("IL-2-9", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+        }",
+        ),
+        q(
+            "IL-2-9",
+            RETAILER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
             %v0% gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 sorg:director ?v3 .
@@ -122,8 +170,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v6 sorg:editor ?v7 .
             ?v7 wsdbm:makesPurchase ?v8 .
             ?v8 wsdbm:purchaseFor ?v9 .
-        }"),
-        q("IL-2-10", RETAILER, "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
+        }",
+        ),
+        q(
+            "IL-2-10",
+            RETAILER,
+            "SELECT ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
             %v0% gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 sorg:director ?v3 .
@@ -134,24 +186,36 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v7 wsdbm:makesPurchase ?v8 .
             ?v8 wsdbm:purchaseFor ?v9 .
             ?v9 sorg:caption ?v10 .
-        }"),
+        }",
+        ),
         // C.3 Incremental unbound queries (type 3).
-        q("IL-3-5", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
+        q(
+            "IL-3-5",
+            &[],
+            "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 WHERE {
             ?v0 gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 rev:hasReview ?v3 .
             ?v3 rev:reviewer ?v4 .
             ?v4 wsdbm:friendOf ?v5 .
-        }"),
-        q("IL-3-6", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
+        }",
+        ),
+        q(
+            "IL-3-6",
+            &[],
+            "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 WHERE {
             ?v0 gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 rev:hasReview ?v3 .
             ?v3 rev:reviewer ?v4 .
             ?v4 wsdbm:friendOf ?v5 .
             ?v5 wsdbm:likes ?v6 .
-        }"),
-        q("IL-3-7", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
+        }",
+        ),
+        q(
+            "IL-3-7",
+            &[],
+            "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {
             ?v0 gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -159,8 +223,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v4 wsdbm:friendOf ?v5 .
             ?v5 wsdbm:likes ?v6 .
             ?v6 sorg:author ?v7 .
-        }"),
-        q("IL-3-8", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+        }",
+        ),
+        q(
+            "IL-3-8",
+            &[],
+            "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
             ?v0 gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -169,8 +237,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v5 wsdbm:likes ?v6 .
             ?v6 sorg:author ?v7 .
             ?v7 wsdbm:follows ?v8 .
-        }"),
-        q("IL-3-9", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+        }",
+        ),
+        q(
+            "IL-3-9",
+            &[],
+            "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
             ?v0 gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -180,8 +252,12 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v6 sorg:author ?v7 .
             ?v7 wsdbm:follows ?v8 .
             ?v8 foaf:homepage ?v9 .
-        }"),
-        q("IL-3-10", &[], "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
+        }",
+        ),
+        q(
+            "IL-3-10",
+            &[],
+            "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 ?v10 WHERE {
             ?v0 gr:offers ?v1 .
             ?v1 gr:includes ?v2 .
             ?v2 rev:hasReview ?v3 .
@@ -192,6 +268,7 @@ pub fn templates() -> Vec<QueryTemplate> {
             ?v7 wsdbm:follows ?v8 .
             ?v8 foaf:homepage ?v9 .
             ?v9 sorg:language ?v10 .
-        }"),
+        }",
+        ),
     ]
 }

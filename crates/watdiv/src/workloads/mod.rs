@@ -65,7 +65,11 @@ impl QueryTemplate {
             let term = data.random_entity(*ty, rng);
             body = body.replace(&format!("%{var}%"), &term.to_string());
         }
-        debug_assert!(!body.contains('%'), "unreplaced placeholder in {}", self.name);
+        debug_assert!(
+            !body.contains('%'),
+            "unreplaced placeholder in {}",
+            self.name
+        );
         format!("{PREFIX_HEADER}{body}")
     }
 }
@@ -83,18 +87,27 @@ impl Workload {
     /// The Basic Testing use case (Appendix A): L1–L5, S1–S7, F1–F5,
     /// C1–C3.
     pub fn basic_testing() -> Workload {
-        Workload { name: "Basic Testing", templates: basic::templates() }
+        Workload {
+            name: "Basic Testing",
+            templates: basic::templates(),
+        }
     }
 
     /// The Selectivity Testing workload (Appendix B): ST-1-1 … ST-8-2.
     pub fn selectivity_testing() -> Workload {
-        Workload { name: "Selectivity Testing", templates: st::templates() }
+        Workload {
+            name: "Selectivity Testing",
+            templates: st::templates(),
+        }
     }
 
     /// The Incremental Linear Testing workload (Appendix C): IL-1/2/3 with
     /// diameters 5–10.
     pub fn incremental_linear() -> Workload {
-        Workload { name: "Incremental Linear Testing", templates: il::templates() }
+        Workload {
+            name: "Incremental Linear Testing",
+            templates: il::templates(),
+        }
     }
 
     /// Looks a template up by name.
@@ -128,10 +141,13 @@ mod tests {
         ] {
             for template in &workload.templates {
                 let q = template.instantiate(&data, &mut rng);
-                assert!(!q.contains('%'), "{}: unreplaced placeholder", template.name);
-                s2rdf_sparql::parse_query(&q).unwrap_or_else(|e| {
-                    panic!("{} does not parse: {e}\n{q}", template.name)
-                });
+                assert!(
+                    !q.contains('%'),
+                    "{}: unreplaced placeholder",
+                    template.name
+                );
+                s2rdf_sparql::parse_query(&q)
+                    .unwrap_or_else(|e| panic!("{} does not parse: {e}\n{q}", template.name));
             }
         }
     }

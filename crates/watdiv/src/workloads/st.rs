@@ -13,7 +13,12 @@ use super::{QueryCategory, QueryTemplate};
 /// All 20 Selectivity Testing queries (none take mappings).
 pub fn templates() -> Vec<QueryTemplate> {
     fn q(name: &'static str, body: &'static str) -> QueryTemplate {
-        QueryTemplate { name, category: QueryCategory::Selectivity, body, mappings: &[] }
+        QueryTemplate {
+            name,
+            category: QueryCategory::Selectivity,
+            body,
+            mappings: &[],
+        }
     }
     vec![
         // B.1 Varying OS selectivity over a large VP input (friendOf).

@@ -16,12 +16,9 @@ fn shape_of(body: &str) -> (Shape, usize) {
     for v in 0..10 {
         text = text.replace(&format!("%v{v}%"), "<urn:x>");
     }
-    let query = s2rdf_sparql::parse_query(&format!(
-        "{}{}",
-        s2rdf_watdiv::vocab::PREFIX_HEADER,
-        text
-    ))
-    .expect("template parses");
+    let query =
+        s2rdf_sparql::parse_query(&format!("{}{}", s2rdf_watdiv::vocab::PREFIX_HEADER, text))
+            .expect("template parses");
     match query.pattern {
         GraphPattern::Bgp(tps) => {
             let report = analyze(&tps);
@@ -113,7 +110,10 @@ fn every_template_renders_and_roundtrips() {
             let parsed = s2rdf_sparql::parse_query(&q).unwrap();
             let rendered = parsed.to_string();
             let reparsed = s2rdf_sparql::parse_query(&rendered).unwrap_or_else(|e| {
-                panic!("{}: rendered text unparseable: {e}\n{rendered}", template.name)
+                panic!(
+                    "{}: rendered text unparseable: {e}\n{rendered}",
+                    template.name
+                )
             });
             assert_eq!(reparsed, parsed, "{}", template.name);
         }

@@ -31,7 +31,10 @@ fn main() {
         }} ORDER BY ?price LIMIT 5"
     );
     let cheap = engine.query(&offers).unwrap();
-    println!("\ncheapest offers from Retailer0 ({} shown):\n{cheap}", cheap.len());
+    println!(
+        "\ncheapest offers from Retailer0 ({} shown):\n{cheap}",
+        cheap.len()
+    );
 
     // A snowflake (the paper's F5 shape) with an OPTIONAL: offered products
     // with their titles, review counts optional.
@@ -73,9 +76,12 @@ fn main() {
         }} GROUP BY ?r ORDER BY DESC(?n)"
     );
     let stats = engine.query(&per_retailer).unwrap();
-    println!("
+    println!(
+        "
 offers per retailer (top {}):
-{stats}", stats.len());
+{stats}",
+        stats.len()
+    );
 
     // The empty-result fast path (§6.1): offers never "like" anything, so
     // the statistics alone prove this query empty — no scan runs.

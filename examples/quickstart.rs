@@ -4,16 +4,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use s2rdf_core::exec::QueryOptions;
 use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::exec::QueryOptions;
 use s2rdf_core::{BuildOptions, S2rdfStore};
 use s2rdf_model::{Graph, Term, Triple};
 
 fn main() {
     // The RDF graph G1 of Fig. 1: a tiny social network.
-    let edge = |s: &str, p: &str, o: &str| {
-        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
-    };
+    let edge = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
     let graph = Graph::from_triples([
         edge("A", "follows", "B"),
         edge("B", "follows", "C"),
@@ -26,7 +24,11 @@ fn main() {
 
     // Build the store: VP tables + every ExtVP semi-join reduction.
     let store = S2rdfStore::build(&graph, &BuildOptions::default());
-    println!("G1: {} triples, {} predicates", graph.len(), store.catalog().num_predicates());
+    println!(
+        "G1: {} triples, {} predicates",
+        graph.len(),
+        store.catalog().num_predicates()
+    );
     println!(
         "VP tuples: {}, materialized ExtVP tables: {} ({} tuples)",
         store.vp_tuples(),
@@ -41,7 +43,11 @@ fn main() {
             store.dict().term(s2rdf_model::TermId(key.p1)),
             store.dict().term(s2rdf_model::TermId(key.p2)),
             stat.sf,
-            if stat.materialized { "" } else { "  (not stored)" },
+            if stat.materialized {
+                ""
+            } else {
+                "  (not stored)"
+            },
         );
     }
 
@@ -56,8 +62,14 @@ fn main() {
     // Fig. 8: ExtVP cuts the naive join comparisons of the 2-pattern chain
     // from 12 (VP) to 1.
     let chain = "SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?z }";
-    let (_, ext) = store.engine(true).query_opt(chain, &Default::default()).unwrap();
-    let (_, vp) = store.engine(false).query_opt(chain, &Default::default()).unwrap();
+    let (_, ext) = store
+        .engine(true)
+        .query_opt(chain, &Default::default())
+        .unwrap();
+    let (_, vp) = store
+        .engine(false)
+        .query_opt(chain, &Default::default())
+        .unwrap();
     println!(
         "Fig. 8 — chain join comparisons: VP = {}, ExtVP = {}",
         vp.naive_join_comparisons, ext.naive_join_comparisons
@@ -66,7 +78,13 @@ fn main() {
     // Fig. 12: join-order optimization cuts Q1 from 10 to 6 comparisons.
     let engine = store.engine(true);
     let (_, unopt) = engine
-        .query_opt(q1, &QueryOptions { optimize_join_order: false, ..Default::default() })
+        .query_opt(
+            q1,
+            &QueryOptions {
+                optimize_join_order: false,
+                ..Default::default()
+            },
+        )
         .unwrap();
     let (_, opt) = engine.query_opt(q1, &QueryOptions::default()).unwrap();
     println!(

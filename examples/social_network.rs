@@ -83,7 +83,10 @@ fn main() {
             vp_time
         );
         for step in &explain.bgp_steps {
-            println!("   scan {} → {} rows (SF {:.2})", step.table, step.rows, step.sf);
+            println!(
+                "   scan {} → {} rows (SF {:.2})",
+                step.table, step.rows, step.sf
+            );
         }
         println!();
     }

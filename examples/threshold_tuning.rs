@@ -35,7 +35,11 @@ fn main() {
         let build_start = Instant::now();
         let store = S2rdfStore::build(
             &data.graph,
-            &BuildOptions {  threshold, build_extvp: true, ..Default::default() },
+            &BuildOptions {
+                threshold,
+                build_extvp: true,
+                ..Default::default()
+            },
         );
         let build_time = build_start.elapsed();
         let engine = store.engine(true);

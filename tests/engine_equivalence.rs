@@ -44,8 +44,8 @@ fn assert_all_engines_agree(name: &str, query: &str) {
         ..Default::default()
     };
     let mut reference: Option<(String, Vec<String>)> = None;
-    f.engines.for_each(|label, engine| {
-        match engine.query_opt(query, &options) {
+    f.engines
+        .for_each(|label, engine| match engine.query_opt(query, &options) {
             Ok((solutions, _)) => match &reference {
                 None => reference = Some((label.to_string(), solutions.canonical())),
                 Some((ref_label, ref_canon)) => {
@@ -64,8 +64,7 @@ fn assert_all_engines_agree(name: &str, query: &str) {
                 eprintln!("{name}: {label} timed out (allowed, like the paper's F cells)");
             }
             Err(e) => panic!("{name}: {label} failed: {e}\nquery:\n{query}"),
-        }
-    });
+        });
     assert!(reference.is_some(), "{name}: no engine produced a result");
 }
 
@@ -180,11 +179,17 @@ fn correlation_intersection_is_semantics_preserving() {
     for workload in [Workload::basic_testing(), Workload::selectivity_testing()] {
         for template in &workload.templates {
             let query = template.instantiate(&f.data, &mut rng);
-            let plain = engine.query_opt(&query, &QueryOptions::default()).unwrap().0;
+            let plain = engine
+                .query_opt(&query, &QueryOptions::default())
+                .unwrap()
+                .0;
             let inter = engine
                 .query_opt(
                     &query,
-                    &QueryOptions { intersect_correlations: true, ..Default::default() },
+                    &QueryOptions {
+                        intersect_correlations: true,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
                 .0;
@@ -201,11 +206,23 @@ fn join_order_toggle_is_semantics_preserving() {
     for template in &Workload::basic_testing().templates {
         let query = template.instantiate(&f.data, &mut rng);
         let on = engine
-            .query_opt(&query, &QueryOptions { optimize_join_order: true, ..Default::default() })
+            .query_opt(
+                &query,
+                &QueryOptions {
+                    optimize_join_order: true,
+                    ..Default::default()
+                },
+            )
             .unwrap()
             .0;
         let off = engine
-            .query_opt(&query, &QueryOptions { optimize_join_order: false, ..Default::default() })
+            .query_opt(
+                &query,
+                &QueryOptions {
+                    optimize_join_order: false,
+                    ..Default::default()
+                },
+            )
             .unwrap()
             .0;
         assert_eq!(on.canonical(), off.canonical(), "{}", template.name);

@@ -23,11 +23,9 @@ use s2rdf_model::{Graph, Term, TermId, Triple};
 // ---------- strategies ----------
 
 fn arb_table(cols: &'static [&'static str]) -> impl Strategy<Value = Table> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..16, cols.len()),
-        0..40,
+    proptest::collection::vec(proptest::collection::vec(0u32..16, cols.len()), 0..40).prop_map(
+        move |rows| Table::from_rows(Schema::new(cols.iter().map(|c| c.to_string())), &rows),
     )
-    .prop_map(move |rows| Table::from_rows(Schema::new(cols.iter().map(|c| c.to_string())), &rows))
 }
 
 fn arb_graph() -> impl Strategy<Value = Graph> {

@@ -27,7 +27,10 @@ fn full_store_roundtrip_on_watdiv_data() {
         loaded.catalog().num_predicates(),
         store.catalog().num_predicates()
     );
-    assert_eq!(loaded.catalog().total_triples, store.catalog().total_triples);
+    assert_eq!(
+        loaded.catalog().total_triples,
+        store.catalog().total_triples
+    );
 
     // Every ExtVP stat survives (including non-materialized ones).
     for (key, stat) in store.catalog().extvp_stats() {
@@ -79,7 +82,11 @@ fn threshold_monotonicity() {
     for th in thresholds {
         let store = S2rdfStore::build(
             &data.graph,
-            &BuildOptions {  threshold: th, build_extvp: true, ..Default::default() },
+            &BuildOptions {
+                threshold: th,
+                build_extvp: true,
+                ..Default::default()
+            },
         );
         let dir = tmp(&format!("th{}", (th * 100.0) as u32));
         store.save(&dir).unwrap();
@@ -98,7 +105,10 @@ fn threshold_monotonicity() {
         // Materialized tables always respect the threshold.
         for (key, stat) in store.catalog().extvp_stats() {
             if stat.materialized {
-                assert!(stat.sf < th.max(f64::MIN_POSITIVE), "{key:?} violates SF_TH");
+                assert!(
+                    stat.sf < th.max(f64::MIN_POSITIVE),
+                    "{key:?} violates SF_TH"
+                );
                 assert!(store.extvp_table(key).is_some());
             } else {
                 assert!(store.extvp_table(key).is_none());
@@ -113,7 +123,11 @@ fn vp_only_store_roundtrip() {
     let data = dataset(1);
     let store = S2rdfStore::build(
         &data.graph,
-        &BuildOptions {  threshold: 1.0, build_extvp: false, ..Default::default() },
+        &BuildOptions {
+            threshold: 1.0,
+            build_extvp: false,
+            ..Default::default()
+        },
     );
     let dir = tmp("vponly");
     store.save(&dir).unwrap();

@@ -66,36 +66,116 @@ fn st_annotated_selectivities_hold() {
     use Correlation::*;
     let checks: Vec<(&str, f64, (f64, f64))> = vec![
         // ST-1-x: OS selectivity of friendOf w.r.t. user attributes.
-        ("OS friendOf|email ~0.9", sf(f, OS, friend, email), (0.8, 0.97)),
+        (
+            "OS friendOf|email ~0.9",
+            sf(f, OS, friend, email),
+            (0.8, 0.97),
+        ),
         ("OS friendOf|age ~0.5", sf(f, OS, friend, age), (0.4, 0.6)),
-        ("OS friendOf|jobTitle ~0.05", sf(f, OS, friend, job), (0.02, 0.1)),
+        (
+            "OS friendOf|jobTitle ~0.05",
+            sf(f, OS, friend, job),
+            (0.02, 0.1),
+        ),
         // ST-1-x annotation: SO of the attribute w.r.t. friendOf is ~1
         // (every attribute-holder is somebody's friend).
-        ("SO email|friendOf ~1", sf(f, SO, email, friend), (0.97, 1.0)),
+        (
+            "SO email|friendOf ~1",
+            sf(f, SO, email, friend),
+            (0.97, 1.0),
+        ),
         // ST-2-x: reviewer variants.
-        ("OS reviewer|email ~0.9", sf(f, OS, reviewer, email), (0.8, 0.97)),
-        ("OS reviewer|jobTitle ~0.05", sf(f, OS, reviewer, job), (0.0, 0.12)),
-        ("SO email|reviewer ~0.31", sf(f, SO, email, reviewer), (0.15, 0.45)),
+        (
+            "OS reviewer|email ~0.9",
+            sf(f, OS, reviewer, email),
+            (0.8, 0.97),
+        ),
+        (
+            "OS reviewer|jobTitle ~0.05",
+            sf(f, OS, reviewer, job),
+            (0.0, 0.12),
+        ),
+        (
+            "SO email|reviewer ~0.31",
+            sf(f, SO, email, reviewer),
+            (0.15, 0.45),
+        ),
         // ST-3-x: SO selectivity of friendOf.
-        ("SO friendOf|follows ~0.9", sf(f, SO, friend, follows), (0.8, 0.98)),
-        ("SO friendOf|reviewer ~0.31", sf(f, SO, friend, reviewer), (0.15, 0.45)),
-        ("SO friendOf|author ~0.04", sf(f, SO, friend, author), (0.005, 0.12)),
+        (
+            "SO friendOf|follows ~0.9",
+            sf(f, SO, friend, follows),
+            (0.8, 0.98),
+        ),
+        (
+            "SO friendOf|reviewer ~0.31",
+            sf(f, SO, friend, reviewer),
+            (0.15, 0.45),
+        ),
+        (
+            "SO friendOf|author ~0.04",
+            sf(f, SO, friend, author),
+            (0.005, 0.12),
+        ),
         // ST-4-x.
-        ("SO likes|follows ~0.9", sf(f, SO, likes, follows), (0.8, 1.0)),
-        ("OS follows|likes ~0.24", sf(f, OS, follows, likes), (0.12, 0.4)),
-        ("SO likes|author ~0.04", sf(f, SO, likes, author), (0.005, 0.15)),
+        (
+            "SO likes|follows ~0.9",
+            sf(f, SO, likes, follows),
+            (0.8, 1.0),
+        ),
+        (
+            "OS follows|likes ~0.24",
+            sf(f, OS, follows, likes),
+            (0.12, 0.4),
+        ),
+        (
+            "SO likes|author ~0.04",
+            sf(f, SO, likes, author),
+            (0.005, 0.15),
+        ),
         // ST-5-x: SS selectivities.
-        ("SS friendOf|email ~0.9", sf(f, SS, friend, email), (0.8, 0.97)),
-        ("SS friendOf|follows ~0.77", sf(f, SS, friend, follows), (0.65, 0.9)),
+        (
+            "SS friendOf|email ~0.9",
+            sf(f, SS, friend, email),
+            (0.8, 0.97),
+        ),
+        (
+            "SS friendOf|follows ~0.77",
+            sf(f, SS, friend, follows),
+            (0.65, 0.9),
+        ),
         // ST-6-1: trailer.
-        ("OS likes|trailer <0.03", sf(f, OS, likes, trailer), (0.0, 0.03)),
-        ("SO trailer|likes ~0.96", sf(f, SO, trailer, likes), (0.8, 1.0)),
+        (
+            "OS likes|trailer <0.03",
+            sf(f, OS, likes, trailer),
+            (0.0, 0.03),
+        ),
+        (
+            "SO trailer|likes ~0.96",
+            sf(f, SO, trailer, likes),
+            (0.8, 1.0),
+        ),
         // ST-7: OS vs SO choice.
-        ("OS follows|homepage ~0.05", sf(f, OS, follows, homepage), (0.02, 0.12)),
-        ("SO friendOf|artist ~0.01-0.03", sf(f, SO, friend, artist), (0.003, 0.06)),
+        (
+            "OS follows|homepage ~0.05",
+            sf(f, OS, follows, homepage),
+            (0.02, 0.12),
+        ),
+        (
+            "SO friendOf|artist ~0.01-0.03",
+            sf(f, SO, friend, artist),
+            (0.003, 0.06),
+        ),
         // ST-8: structural zeros.
-        ("OS friendOf|language = 0", sf(f, OS, friend, language), (0.0, 0.0)),
-        ("OS follows|language = 0", sf(f, OS, follows, language), (0.0, 0.0)),
+        (
+            "OS friendOf|language = 0",
+            sf(f, OS, friend, language),
+            (0.0, 0.0),
+        ),
+        (
+            "OS follows|language = 0",
+            sf(f, OS, follows, language),
+            (0.0, 0.0),
+        ),
     ];
     for (label, value, (lo, hi)) in checks {
         assert!(
@@ -116,8 +196,14 @@ fn st8_answered_from_statistics_alone() {
         let q = template.instantiate(&f.data, &mut rng);
         let (solutions, explain) = engine.query_opt(&q, &Default::default()).unwrap();
         assert!(solutions.is_empty(), "{name} must be empty");
-        assert!(explain.statically_empty, "{name} must be proven empty statically");
-        assert!(explain.bgp_steps.is_empty(), "{name} must not execute scans");
+        assert!(
+            explain.statically_empty,
+            "{name} must be proven empty statically"
+        );
+        assert!(
+            explain.bgp_steps.is_empty(),
+            "{name} must not execute scans"
+        );
         assert_eq!(explain.naive_join_comparisons, 0);
     }
 }
@@ -131,8 +217,16 @@ fn extvp_reduces_scanned_input() {
     let template = template.get("ST-1-3").unwrap();
     let mut rng = StdRng::seed_from_u64(2);
     let q = template.instantiate(&f.data, &mut rng);
-    let (_, ext) = f.store.engine(true).query_opt(&q, &Default::default()).unwrap();
-    let (_, vp) = f.store.engine(false).query_opt(&q, &Default::default()).unwrap();
+    let (_, ext) = f
+        .store
+        .engine(true)
+        .query_opt(&q, &Default::default())
+        .unwrap();
+    let (_, vp) = f
+        .store
+        .engine(false)
+        .query_opt(&q, &Default::default())
+        .unwrap();
     let ext_rows: usize = ext.bgp_steps.iter().map(|s| s.rows).sum();
     let vp_rows: usize = vp.bgp_steps.iter().map(|s| s.rows).sum();
     assert!(
