@@ -9,7 +9,10 @@
 //!                [--explain] [--profile] [--no-extvp]
 //!                [--broadcast-threshold <rows>] [--target-partition-rows <N>]
 //!                [--max-partitions <N>]
-//! s2rdf verify   --store ./db [--repair]
+//! s2rdf update   --store ./db [--insert add.nt] [--delete del.nt]
+//!                [--checkpoint]
+//! s2rdf checkpoint --store ./db
+//! s2rdf verify   --store ./db [--repair] [--json]
 //! ```
 
 use std::io::Read;
@@ -36,7 +39,10 @@ const USAGE: &str = "usage:
                  [--explain] [--profile] [--no-extvp] [--intersect]
                  [--max-print <N>] [--broadcast-threshold <rows>]
                  [--target-partition-rows <N>] [--max-partitions <N>]
-  s2rdf verify   --store <dir> [--repair]";
+  s2rdf update   --store <dir> [--insert <file.nt>] [--delete <file.nt>]
+                 [--checkpoint]
+  s2rdf checkpoint --store <dir>
+  s2rdf verify   --store <dir> [--repair] [--json]";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -45,6 +51,8 @@ fn main() -> ExitCode {
         Some("load") => cmd_load(&args),
         Some("stats") => cmd_stats(&args),
         Some("query") => cmd_query(&args),
+        Some("update") => cmd_update(&args),
+        Some("checkpoint") => cmd_checkpoint(&args),
         Some("verify") => cmd_verify(&args),
         _ => {
             eprintln!("{USAGE}");
@@ -294,9 +302,136 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads the triples of an N-Triples file named by `--<flag>`, or an empty
+/// batch when the flag is absent.
+fn read_delta_file(args: &Args, flag: &str) -> Result<Vec<s2rdf_model::Triple>, String> {
+    match args.opt_value(flag) {
+        None => Ok(Vec::new()),
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let graph =
+                ntriples::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+            Ok(graph.iter_decoded().collect())
+        }
+    }
+}
+
+fn cmd_update(args: &Args) -> Result<(), String> {
+    let store_dir = args.value("store")?;
+    let inserts = read_delta_file(args, "insert")?;
+    let deletes = read_delta_file(args, "delete")?;
+    if inserts.is_empty() && deletes.is_empty() {
+        return Err("need --insert and/or --delete".to_string());
+    }
+    let mut store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    if store.wal_replayed() > 0 {
+        eprintln!(
+            "recovered {} WAL record(s) from an earlier interrupted session",
+            store.wal_replayed()
+        );
+    }
+    let start = Instant::now();
+    let summary = store
+        .update_batch(&inserts, &deletes)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "applied in {:.2?}: +{} -{} triples ({} ExtVP partitions recomputed), {} total",
+        start.elapsed(),
+        summary.inserted,
+        summary.deleted,
+        summary.extvp_recomputed,
+        store.catalog().total_triples
+    );
+    if args.flag("checkpoint") {
+        let report = store.checkpoint().map_err(|e| e.to_string())?;
+        println!(
+            "checkpointed: {} tables flushed, {} removed, {} WAL record(s) truncated",
+            report.tables_flushed, report.tables_removed, report.wal_records_truncated
+        );
+    } else {
+        println!(
+            "{} WAL record(s) pending (run `s2rdf checkpoint` to flush)",
+            store.wal_pending()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_checkpoint(args: &Args) -> Result<(), String> {
+    let store_dir = args.value("store")?;
+    let mut store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    if store.wal_replayed() > 0 {
+        eprintln!(
+            "recovered {} WAL record(s) from an earlier interrupted session",
+            store.wal_replayed()
+        );
+    }
+    let start = Instant::now();
+    let report = store.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "checkpointed in {:.2?}: {} tables flushed, {} removed, {} orphan(s) swept, \
+         {} dictionary term(s) appended, {} WAL record(s) truncated",
+        start.elapsed(),
+        report.tables_flushed,
+        report.tables_removed,
+        report.orphans_removed,
+        report.dict_terms_appended,
+        report.wal_records_truncated
+    );
+    Ok(())
+}
+
 fn cmd_verify(args: &Args) -> Result<(), String> {
     let store_dir = args.value("store")?;
     let dir = Path::new(&store_dir);
+    // WAL state is part of the durability picture either way: pending
+    // records are uncheckpointed-but-durable updates, torn bytes are the
+    // residue of an append interrupted mid-write (truncated at next open).
+    let wal = S2rdfStore::wal_status(dir).map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        let (repaired, unrecoverable, clean) = if args.flag("repair") {
+            let report = S2rdfStore::verify_and_repair(dir).map_err(|e| e.to_string())?;
+            (
+                report.repaired.len(),
+                report.unrecoverable.len(),
+                report.clean_after,
+            )
+        } else {
+            let tables =
+                s2rdf_columnar::TableStore::open(dir.join("tables")).map_err(|e| e.to_string())?;
+            let report = tables.verify_all();
+            (
+                0,
+                report.corrupt.len() + report.missing.len(),
+                report.is_clean(),
+            )
+        };
+        let (wal_records, wal_torn) = wal.map_or((0, 0), |w| (w.records, w.torn_bytes));
+        println!(
+            "{{\"store\": \"{}\", \"clean\": {clean}, \"repaired\": {repaired}, \
+             \"unrecoverable\": {unrecoverable}, \"wal_pending_records\": {wal_records}, \
+             \"wal_torn_bytes\": {wal_torn}}}",
+            s2rdf_columnar::metrics::json_escape(&store_dir)
+        );
+        return if clean {
+            Ok(())
+        } else {
+            Err("integrity scan found damage".to_string())
+        };
+    }
+    match wal {
+        Some(w) if w.records > 0 || w.torn_bytes > 0 => println!(
+            "WAL: {} pending record(s), {} torn byte(s){}",
+            w.records,
+            w.torn_bytes,
+            if w.torn_bytes > 0 {
+                " (interrupted append; truncated at next open)"
+            } else {
+                ""
+            }
+        ),
+        _ => {}
+    }
     if args.flag("repair") {
         let report = S2rdfStore::verify_and_repair(dir).map_err(|e| e.to_string())?;
         println!("scanned {} tables", report.scanned);

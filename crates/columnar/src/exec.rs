@@ -241,8 +241,59 @@ pub fn concat(schema: Schema, tables: Vec<Table>) -> Table {
 }
 
 /// How many worker threads to use for parallel joins.
+///
+/// `std::thread::available_parallelism` respects the process affinity
+/// mask, which some container runtimes pin to a single CPU even when the
+/// cgroup v2 `cpu.max` quota grants several — leaving parallel joins
+/// serial on a multi-core box. The effective count is therefore probed
+/// **once** at first use: an explicit `S2RDF_THREADS` value wins, else the
+/// larger of the affinity-derived count and the cgroup quota ceiling.
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static PROBED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PROBED.get_or_init(|| {
+        probe_parallelism(
+            std::env::var("S2RDF_THREADS").ok().as_deref(),
+            std::fs::read_to_string("/sys/fs/cgroup/cpu.max")
+                .ok()
+                .as_deref(),
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        )
+    })
+}
+
+/// Pure probe logic behind [`default_parallelism`], separated for tests:
+/// a positive `S2RDF_THREADS`-style override wins outright; otherwise the
+/// result is `max(reported, cgroup quota ceiling)`, floored at 1.
+pub fn probe_parallelism(
+    env_override: Option<&str>,
+    cpu_max: Option<&str>,
+    reported: usize,
+) -> usize {
+    if let Some(n) = env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    let quota = cpu_max.and_then(parse_cpu_max).unwrap_or(0);
+    reported.max(quota).max(1)
+}
+
+/// Parses a cgroup v2 `cpu.max` file: `"<quota> <period>"` in
+/// microseconds, or `"max <period>"` for unlimited (which carries no
+/// signal and yields `None`). Returns `ceil(quota / period)`, the number
+/// of full CPUs the quota sustains.
+pub fn parse_cpu_max(contents: &str) -> Option<usize> {
+    let mut fields = contents.split_whitespace();
+    let quota = fields.next()?;
+    if quota == "max" {
+        return None;
+    }
+    let quota: u64 = quota.parse().ok()?;
+    let period: u64 = fields.next()?.parse().ok()?;
+    if quota == 0 || period == 0 {
+        return None;
+    }
+    Some(quota.div_ceil(period).max(1) as usize)
 }
 
 /// Derives a partition count from probe cardinality and core count
@@ -960,6 +1011,40 @@ mod tests {
             adaptive_partitions(1_000_000, &uncapped),
             default_parallelism()
         );
+    }
+
+    #[test]
+    fn cpu_max_parsing() {
+        // 4 full CPUs.
+        assert_eq!(parse_cpu_max("400000 100000\n"), Some(4));
+        // Fractional quotas round up: 2.5 CPUs sustain 3 busy threads.
+        assert_eq!(parse_cpu_max("250000 100000"), Some(3));
+        // Sub-CPU quotas still yield one thread.
+        assert_eq!(parse_cpu_max("20000 100000"), Some(1));
+        // Unlimited or malformed → no signal.
+        assert_eq!(parse_cpu_max("max 100000"), None);
+        assert_eq!(parse_cpu_max(""), None);
+        assert_eq!(parse_cpu_max("garbage here"), None);
+        assert_eq!(parse_cpu_max("100000 0"), None);
+        assert_eq!(parse_cpu_max("0 100000"), None);
+    }
+
+    #[test]
+    fn parallelism_probe_priorities() {
+        // Explicit override wins over everything.
+        assert_eq!(probe_parallelism(Some("6"), Some("400000 100000"), 1), 6);
+        assert_eq!(probe_parallelism(Some(" 2 "), None, 16), 2);
+        // A zero or malformed override is ignored.
+        assert_eq!(probe_parallelism(Some("0"), None, 5), 5);
+        assert_eq!(probe_parallelism(Some("lots"), None, 5), 5);
+        // The cgroup quota lifts an affinity-pinned underreport…
+        assert_eq!(probe_parallelism(None, Some("800000 100000"), 1), 8);
+        // …but never lowers a healthy report (quota may exceed the mask's
+        // cores, or the mask may exceed the quota — take the max).
+        assert_eq!(probe_parallelism(None, Some("200000 100000"), 12), 12);
+        // No signals at all: whatever the runtime reported, floored at 1.
+        assert_eq!(probe_parallelism(None, None, 4), 4);
+        assert_eq!(probe_parallelism(None, Some("max 100000"), 0), 1);
     }
 
     #[test]

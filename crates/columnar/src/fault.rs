@@ -34,6 +34,15 @@ pub struct FaultConfig {
     /// Probability that a payload passing through is truncated to a random
     /// prefix.
     pub truncate: f64,
+    /// Probability that a WAL append is *torn*: only a random proper prefix
+    /// of the record reaches the log before the append fails — the on-disk
+    /// image a process crash mid-`write` leaves behind.
+    pub torn_append: f64,
+    /// Deterministic crash switch: after this many write-side fault points
+    /// have been passed, every subsequent one fails — permanently, as a dead
+    /// process would. Enumerating `kill_after_ops = 0, 1, 2, …` visits every
+    /// crash point of an operation sequence exactly once.
+    pub kill_after_ops: Option<u64>,
     /// Fixed latency added to every read and write, in milliseconds.
     pub latency_ms: u64,
 }
@@ -46,6 +55,8 @@ impl Default for FaultConfig {
             write_error: 0.0,
             bit_flip: 0.0,
             truncate: 0.0,
+            torn_append: 0.0,
+            kill_after_ops: None,
             latency_ms: 0,
         }
     }
@@ -62,6 +73,10 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Payloads that were truncated.
     pub truncations: u64,
+    /// WAL appends that were torn (a prefix reached disk, then failure).
+    pub torn_appends: u64,
+    /// Operations failed by the `kill_after_ops` crash switch.
+    pub kills: u64,
 }
 
 /// Deterministic, seeded fault injector (see module docs).
@@ -73,6 +88,10 @@ pub struct FaultInjector {
     write_errors: AtomicU64,
     bit_flips: AtomicU64,
     truncations: AtomicU64,
+    torn_appends: AtomicU64,
+    kills: AtomicU64,
+    /// Write-side fault points passed so far (drives `kill_after_ops`).
+    ops: AtomicU64,
 }
 
 impl FaultInjector {
@@ -85,6 +104,9 @@ impl FaultInjector {
             write_errors: AtomicU64::new(0),
             bit_flips: AtomicU64::new(0),
             truncations: AtomicU64::new(0),
+            torn_appends: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
         }
     }
 
@@ -100,7 +122,16 @@ impl FaultInjector {
             write_errors: self.write_errors.load(Ordering::Relaxed),
             bit_flips: self.bit_flips.load(Ordering::Relaxed),
             truncations: self.truncations.load(Ordering::Relaxed),
+            torn_appends: self.torn_appends.load(Ordering::Relaxed),
+            kills: self.kills.load(Ordering::Relaxed),
         }
+    }
+
+    /// Write-side fault points passed so far. Running a workload once with
+    /// `kill_after_ops = None` and reading this counter tells a harness how
+    /// many distinct crash points there are to enumerate.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
     }
 
     /// Next value of the splitmix64 stream.
@@ -129,6 +160,39 @@ impl FaultInjector {
         }
     }
 
+    /// A write-side crash point (see [`FaultConfig::kill_after_ops`]): once
+    /// the configured number of points has been passed, this and every later
+    /// call fail — the process is "dead". Placed before each durable state
+    /// transition (table write, rename, WAL append, WAL truncate) so that
+    /// enumerating `kill_after_ops` covers every on-disk intermediate state.
+    pub fn crash_point(&self, what: &str) -> std::io::Result<()> {
+        let Some(kill_after) = self.cfg.kill_after_ops else {
+            self.ops.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        };
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if n >= kill_after {
+            self.kills.fetch_add(1, Ordering::Relaxed);
+            return Err(std::io::Error::other(format!(
+                "injected crash at op {n} ({what})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Called by the WAL before appending a record of `len` bytes. Besides
+    /// the crash gate, may declare the append *torn*: `Ok(Some(prefix))`
+    /// instructs the WAL to write only `prefix < len` bytes and then fail,
+    /// leaving the torn tail for replay to discover.
+    pub fn wal_append(&self, len: usize) -> std::io::Result<Option<usize>> {
+        self.crash_point("wal.append")?;
+        if len > 0 && self.roll(self.cfg.torn_append) {
+            self.torn_appends.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some((self.next_u64() % len as u64) as usize));
+        }
+        Ok(None)
+    }
+
     /// Called by the store before reading `name`; may fail the read.
     pub fn before_read(&self, name: &str) -> std::io::Result<()> {
         self.sleep();
@@ -144,6 +208,7 @@ impl FaultInjector {
     /// Called by the store before writing `name`; may fail the write.
     pub fn before_write(&self, name: &str) -> std::io::Result<()> {
         self.sleep();
+        self.crash_point(name)?;
         if self.roll(self.cfg.write_error) {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
             return Err(std::io::Error::other(format!(
@@ -233,6 +298,44 @@ mod tests {
             "got {failed}/2000 failures at p=0.25"
         );
         assert_eq!(inj.stats().read_errors, failed);
+    }
+
+    #[test]
+    fn kill_switch_is_permanent_once_tripped() {
+        let inj = FaultInjector::new(FaultConfig {
+            kill_after_ops: Some(3),
+            ..FaultConfig::default()
+        });
+        for i in 0..3 {
+            assert!(inj.crash_point("op").is_ok(), "op {i} should survive");
+        }
+        for _ in 0..5 {
+            assert!(inj.crash_point("op").is_err(), "dead processes stay dead");
+        }
+        assert_eq!(inj.stats().kills, 5);
+        assert_eq!(inj.op_count(), 8);
+    }
+
+    #[test]
+    fn disabled_kill_switch_still_counts_ops() {
+        let inj = FaultInjector::new(FaultConfig::default());
+        for _ in 0..4 {
+            inj.crash_point("op").unwrap();
+        }
+        assert_eq!(inj.op_count(), 4);
+        assert_eq!(inj.stats().kills, 0);
+    }
+
+    #[test]
+    fn torn_append_yields_proper_prefix() {
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 3,
+            torn_append: 1.0,
+            ..FaultConfig::default()
+        });
+        let prefix = inj.wal_append(64).unwrap().expect("append must tear");
+        assert!(prefix < 64);
+        assert_eq!(inj.stats().torn_appends, 1);
     }
 
     #[test]

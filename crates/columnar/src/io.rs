@@ -578,6 +578,12 @@ impl TableStore {
             f.write_all(data)?;
             f.sync_all()?;
         }
+        // Crash point between fsync and rename: an injected kill here leaves
+        // the synced temp file behind (exactly what a real crash would), so
+        // recovery and orphan handling can be exercised deterministically.
+        if let Some(faults) = &self.faults {
+            faults.crash_point(&format!("rename:{file}"))?;
+        }
         if let Err(e) = fs::rename(&tmp, &target) {
             let _ = fs::remove_file(&tmp);
             return Err(e.into());
@@ -845,14 +851,39 @@ impl TableStore {
     }
 
     /// Removes a table, invalidating its cached body and size.
+    ///
+    /// The manifest is flushed *before* the file is deleted: a crash in
+    /// between leaves an unreferenced file (an orphan, swept at the next
+    /// checkpoint), never a manifest entry pointing at missing data.
     pub fn remove(&mut self, name: &str) -> Result<(), ColumnarError> {
         let entry = self
             .manifest
             .remove(name)
             .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
         self.cache_lock().remove(name);
-        fs::remove_file(self.root.join(&entry.file))?;
-        self.flush_manifest()
+        self.flush_manifest()?;
+        match fs::remove_file(self.root.join(&entry.file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Deletes the orphaned table files recorded at open time (residue of a
+    /// save interrupted between table write and manifest update) and clears
+    /// the orphan list. Returns the deleted file names. Checkpoints call
+    /// this so a store that crashed mid-flush verifies clean again after
+    /// the next successful checkpoint.
+    pub fn sweep_orphans(&mut self) -> Result<Vec<String>, ColumnarError> {
+        let orphans = std::mem::take(&mut self.orphans);
+        for file in &orphans {
+            match fs::remove_file(self.root.join(file)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(orphans)
     }
 }
 

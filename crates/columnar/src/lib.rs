@@ -21,6 +21,7 @@ pub mod metrics;
 pub mod ops;
 pub mod schema;
 pub mod table;
+pub mod wal;
 
 pub use bitmap::Bitmap;
 pub use error::ColumnarError;
@@ -29,3 +30,4 @@ pub use io::{TableStore, VerifyReport};
 pub use metrics::{MetricsSnapshot, SpanTimer};
 pub use schema::{ColName, Schema};
 pub use table::{Table, NULL_ID};
+pub use wal::{Wal, WalStatus};

@@ -1,6 +1,7 @@
-//! Adversarial tests for the on-disk table format (v2, checksummed).
+//! Adversarial tests for the on-disk formats: the columnar table format
+//! (v2, checksummed) and the write-ahead log.
 //!
-//! Three properties the store depends on for fault tolerance:
+//! Properties the store depends on for fault tolerance:
 //!
 //! 1. `deserialize_table` is *total*: arbitrary input bytes produce an
 //!    `Err`, never a panic or an unbounded allocation.
@@ -10,10 +11,15 @@
 //!    data never decodes silently.
 //! 3. Legacy v1 files (no footer) written before the checksum existed
 //!    still load byte-for-byte identically, from a checked-in fixture.
+//! 4. WAL replay (`wal::scan_records`) is total too, and any damage —
+//!    truncation at an arbitrary offset, a bit flip, duplicated tail
+//!    bytes — recovers a *prefix* of the original records, never panics,
+//!    never fabricates a record.
 
 use proptest::prelude::*;
 use s2rdf_columnar::io::{deserialize_table, serialize_table, TableStore};
-use s2rdf_columnar::{ColumnarError, Schema, Table};
+use s2rdf_columnar::wal::{scan_records, WAL_MAGIC, WAL_VERSION};
+use s2rdf_columnar::{ColumnarError, Schema, Table, Wal};
 
 /// A small table exercising both plain and RLE column encodings.
 fn sample() -> Table {
@@ -96,11 +102,143 @@ fn torn_write_reopen_loads_or_fails_cleanly() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Builds a valid WAL image holding the given payloads.
+fn wal_image(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = WAL_MAGIC.to_vec();
+    out.push(WAL_VERSION);
+    for p in payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(&s2rdf_columnar::crc32::crc32(p).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// A duplicated tail record — the image a retried append could leave — is
+/// simply two valid records; replay returns both and idempotent apply
+/// makes the duplicate harmless.
+#[test]
+fn wal_duplicate_tail_record_is_tolerated() {
+    let payloads = vec![b"first".to_vec(), b"second".to_vec()];
+    let mut bytes = wal_image(&payloads);
+    let solo = wal_image(&payloads[1..]);
+    bytes.extend_from_slice(&solo[5..]); // append the second record again
+    let (records, valid) = scan_records(&bytes).unwrap();
+    assert_eq!(
+        records,
+        vec![b"first".to_vec(), b"second".to_vec(), b"second".to_vec()]
+    );
+    assert_eq!(valid, bytes.len());
+}
+
+/// End-to-end kill-and-reopen over the WAL file: tear it at every byte
+/// offset; `Wal::open` must recover the longest valid record prefix,
+/// truncate the residue, and accept new appends.
+#[test]
+fn wal_torn_at_every_offset_recovers_prefix() {
+    let dir = std::env::temp_dir().join(format!("s2wl-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wal.log");
+    let payloads = vec![b"one".to_vec(), vec![0xAB; 100], b"three".to_vec()];
+    let full = wal_image(&payloads);
+    // Full extents of each record, for computing the expected survivors.
+    let mut ends = vec![5usize];
+    for p in &payloads {
+        ends.push(ends.last().unwrap() + 8 + p.len());
+    }
+    for cut in 0..=full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        let expect = ends.iter().filter(|&&e| e > 5 && e <= cut).count();
+        assert_eq!(replayed.len(), expect, "cut {cut}");
+        assert_eq!(replayed, payloads[..expect].to_vec(), "cut {cut}");
+        // The recovered log keeps working.
+        wal.append(b"after recovery").unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), expect + 1);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 proptest! {
     /// Totality over arbitrary bytes.
     #[test]
     fn prop_arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
         let _ = deserialize_table(&data);
+    }
+
+    /// WAL replay is total over arbitrary bytes: it recovers some prefix
+    /// or rejects the file, but never panics and never over-reads.
+    #[test]
+    fn prop_wal_scan_is_total(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        if let Ok((records, valid)) = scan_records(&data) {
+            prop_assert!(valid <= data.len());
+            let replayed: usize =
+                records.iter().map(|r| 8 + r.len()).sum::<usize>() + 5;
+            prop_assert_eq!(replayed, valid.max(5));
+        }
+    }
+
+    /// Truncating a valid WAL image anywhere recovers exactly the records
+    /// that fit wholly inside the kept prefix.
+    #[test]
+    fn prop_wal_truncation_recovers_longest_prefix(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+        cut in any::<usize>(),
+    ) {
+        let full = wal_image(&payloads);
+        let cut = cut % (full.len() + 1);
+        let mut ends = vec![5usize];
+        for p in &payloads {
+            ends.push(ends.last().unwrap() + 8 + p.len());
+        }
+        match scan_records(&full[..cut]) {
+            Ok((records, valid)) => {
+                let expect = ends.iter().filter(|&&e| e > 5 && e <= cut).count();
+                prop_assert_eq!(records.len(), expect);
+                prop_assert_eq!(records, payloads[..expect].to_vec());
+                // A cut inside the header reads as "reinitialize" (valid
+                // length 0); past it, the longest whole-record prefix.
+                let expect_valid = if cut < 5 { 0 } else { *ends[..=expect].last().unwrap() };
+                prop_assert_eq!(valid, expect_valid);
+            }
+            // A cut inside the 5-byte header that still matches it is
+            // "reinitialize"; only a *mismatching* header may error, and
+            // a prefix of the true header never mismatches.
+            Err(_) => prop_assert!(false, "prefix of a valid WAL must scan"),
+        }
+    }
+
+    /// A single flipped bit anywhere in a WAL image never panics and never
+    /// corrupts the records *before* the flip.
+    #[test]
+    fn prop_wal_bit_flip_never_panics(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = wal_image(&payloads);
+        let idx = idx % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        if let Ok((records, _)) = scan_records(&bytes) {
+            // Records wholly before the flipped byte must survive intact.
+            let mut end = 5usize;
+            let mut intact = 0;
+            for p in &payloads {
+                end += 8 + p.len();
+                if end <= idx {
+                    intact += 1;
+                }
+            }
+            prop_assert!(records.len() >= intact.min(payloads.len()));
+            for (r, p) in records.iter().zip(&payloads).take(intact) {
+                prop_assert_eq!(r, p);
+            }
+        }
     }
 
     /// Totality over byte soup that passes the magic/version gate, so the

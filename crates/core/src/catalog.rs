@@ -128,8 +128,14 @@ impl Catalog {
         }
     }
 
-    /// Records the size of a VP table.
+    /// Records the size of a VP table. Size 0 removes the entry: a
+    /// predicate drained by deletes no longer occurs in the dataset, and
+    /// the catalog (like the build path) only records occurring predicates.
     pub fn set_vp_size(&mut self, p: TermId, size: usize) {
+        if size == 0 {
+            self.vp_sizes.remove(&p.0);
+            return;
+        }
         self.vp_sizes.insert(p.0, size);
     }
 
@@ -149,7 +155,17 @@ impl Catalog {
     }
 
     /// Records an ExtVP partition's statistics.
+    ///
+    /// A zero count *removes* the entry: the catalog's invariant is that
+    /// empty reductions are represented by absence (when `extvp_built`),
+    /// never stored — delta maintenance can drain a previously non-empty
+    /// pair and must not leave a count-0 entry polluting
+    /// [`Catalog::extvp_summary`]'s buckets.
     pub fn set_extvp(&mut self, key: ExtVpKey, count: usize, materialized: bool) {
+        if count == 0 {
+            self.extvp.remove(&key);
+            return;
+        }
         let vp = self.vp_sizes.get(&key.p1).copied().unwrap_or(0);
         let sf = if vp == 0 {
             0.0
@@ -209,11 +225,24 @@ impl Catalog {
         summary
     }
 
-    /// Serializes the catalog to a JSON file.
+    /// Serializes the catalog to a JSON file, atomically (temp file in the
+    /// same directory, fsync, rename) — a crash mid-checkpoint must never
+    /// leave a half-written catalog behind.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
         let json =
             serde_json::to_vec_pretty(self).map_err(|e| CoreError::Catalog(e.to_string()))?;
-        std::fs::write(path, json).map_err(|e| CoreError::Catalog(e.to_string()))
+        let tmp = path.with_extension("json.tmp");
+        let write = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&json)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::Catalog(e.to_string())
+        })
     }
 
     /// Loads a catalog from a JSON file.
@@ -338,6 +367,22 @@ mod tests {
         assert_eq!(s.sf_one_tables, 1);
         assert_eq!(s.over_threshold_tables, 1);
         assert_eq!(s.over_threshold_tuples, 20);
+    }
+
+    #[test]
+    fn zero_count_removes_entry() {
+        let mut c = Catalog::new(100, 1.0, true);
+        c.set_vp_size(TermId(1), 40);
+        let key = ExtVpKey::new(Correlation::OS, TermId(1), TermId(2));
+        c.set_extvp(key, 10, true);
+        assert_eq!(c.extvp_summary().materialized_tables, 1);
+        // A delta drains the pair: the entry vanishes instead of lingering
+        // as a count-0 row in a summary bucket.
+        c.set_extvp(key, 0, false);
+        assert_eq!(c.extvp_stats().count(), 0);
+        assert_eq!(c.extvp_summary(), ExtVpSummary::default());
+        // Absence still reads as SF = 0.
+        assert_eq!(c.extvp_stat(&key).unwrap().count, 0);
     }
 
     #[test]

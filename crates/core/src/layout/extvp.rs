@@ -324,6 +324,19 @@ pub fn compute_partition_with(
     Some(s2rdf_columnar::ops::semi_join_on(&vp1, lk, &vp2, rk))
 }
 
+/// Computes the surviving `vp1` row indices of one partition — the form
+/// delta maintenance needs, since the same index set feeds both a table
+/// `gather` (rows mode) and a bitmap rebuild (bits mode).
+pub fn compute_partition_indices(vp1: &Table, vp2: &Table, corr: Correlation) -> Vec<u32> {
+    let (lk, rk) = semi_join_columns(corr);
+    let probe: rustc_hash::FxHashSet<u32> = vp2.column(rk).iter().copied().collect();
+    vp1.column(lk)
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| probe.contains(v).then_some(i as u32))
+        .collect()
+}
+
 /// The `(left, right)` key columns of the semi-join defining a
 /// correlation (0 = subject, 1 = object).
 pub fn semi_join_columns(corr: Correlation) -> (usize, usize) {
@@ -481,6 +494,24 @@ mod tests {
                 row_multiset(table),
                 row_multiset(&expected),
                 "partition {key:?} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_indices_match_semi_join() {
+        let g = g1();
+        let vp = build_vp(&g);
+        let (tables, _) = build(&g, 1.0);
+        for (key, table) in &tables {
+            let vp1 = &vp[&TermId(key.p1)];
+            let vp2 = &vp[&TermId(key.p2)];
+            let indices = compute_partition_indices(vp1, vp2, key.corr);
+            let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+            assert_eq!(
+                row_multiset(&vp1.gather(&idx)),
+                row_multiset(table),
+                "{key:?}"
             );
         }
     }

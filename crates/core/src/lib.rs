@@ -52,4 +52,4 @@ pub use catalog::{Catalog, Correlation, ExtVpStat};
 pub use error::CoreError;
 pub use exec::{DegradedStep, Explain, Solutions};
 pub use layout::extvp::ExtVpMode;
-pub use store::{BuildOptions, RepairReport, S2rdfStore};
+pub use store::{BuildOptions, CheckpointReport, DeltaSummary, RepairReport, S2rdfStore};

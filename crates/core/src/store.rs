@@ -1,16 +1,19 @@
 //! The persistent S2RDF database: VP + ExtVP tables, the triples table,
 //! the dictionary, and the statistics catalog.
 
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use s2rdf_columnar::{Bitmap, ColumnarError, FaultInjector, Table, TableStore};
-use s2rdf_model::{Dictionary, Graph, Term, TermId};
+use s2rdf_columnar::{
+    metric_counter, Bitmap, ColumnarError, FaultInjector, Schema, Table, TableStore, Wal, WalStatus,
+};
+use s2rdf_model::{DeltaBatch, DeltaRecord, Dictionary, Graph, Term, TermId, Triple};
 
 use crate::catalog::{Catalog, Correlation, ExtVpKey};
 use crate::engines::s2rdf::S2rdfEngine;
@@ -18,11 +21,12 @@ use crate::engines::SparqlEngine;
 use crate::error::CoreError;
 use crate::exec::{Explain, QueryOptions, Solutions};
 use crate::layout::extvp::{
-    build_extvp, compute_partition, compute_partition_with, ExtVpBuildOptions, ExtVpMode,
-    ExtVpStorage,
+    build_extvp, compute_partition, compute_partition_indices, compute_partition_with,
+    ExtVpBuildOptions, ExtVpMode, ExtVpStorage,
 };
 use crate::layout::{
-    extvp_table_name, triples_table::build_triples_table, vp::build_vp, vp_table_name, TT_NAME,
+    extvp_table_name, triples_table::build_triples_table, vp::build_vp, vp_table_name, COL_O,
+    COL_P, COL_S, TT_NAME,
 };
 
 /// Options controlling store construction.
@@ -90,6 +94,71 @@ pub struct S2rdfStore {
     /// Optional deterministic fault injection on the partition access path
     /// (see [`s2rdf_columnar::fault`]).
     faults: Option<Arc<FaultInjector>>,
+    /// Durable-update bookkeeping: WAL handle, dirty sets, overlays (see
+    /// the update subsystem below).
+    update: UpdateState,
+}
+
+/// Mutable bookkeeping of the update subsystem.
+///
+/// Consistency note: every mutation (`insert`, `delete`, `checkpoint`)
+/// takes `&mut self` on the store, so the borrow checker guarantees no
+/// engine holds a snapshot across an update — an [`S2rdfEngine`] borrows
+/// the store immutably for its whole life. Tables an engine already
+/// resolved stay alive through their `Arc`s; the store swapping in new
+/// `Arc`s cannot tear a running query.
+#[derive(Debug, Default)]
+struct UpdateState {
+    /// The write-ahead log of a disk-backed store (absent for purely
+    /// in-memory built stores, whose updates are not durable).
+    wal: Option<Wal>,
+    /// Directory the store was loaded from (checkpoint target).
+    dir: Option<PathBuf>,
+    /// Dictionary length already persisted in `dictionary.nt`.
+    dict_persisted: usize,
+    /// Triples table changed since the last checkpoint.
+    tt_dirty: bool,
+    /// VP partitions changed since the last checkpoint.
+    vp_dirty: FxHashSet<TermId>,
+    /// ExtVP partitions changed since the last checkpoint.
+    extvp_dirty: FxHashSet<ExtVpKey>,
+    /// Overlay over on-disk ExtVP bodies (Disk storage only):
+    /// `Some(table)` is an updated body not yet flushed, `None` a partition
+    /// dematerialized by the delta (pending file removal). Consulted before
+    /// the table store on every access, so queries see updates immediately.
+    extvp_overlay: FxHashMap<ExtVpKey, Option<Arc<Table>>>,
+    /// Membership index over the triples table, built on first update and
+    /// maintained since: makes replay idempotent (RDF graphs are sets).
+    membership: Option<FxHashSet<(u32, u32, u32)>>,
+    /// WAL records replayed when the store was opened.
+    replayed: u64,
+}
+
+/// Outcome of one [`S2rdfStore::insert`]/[`S2rdfStore::delete`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Triples actually added (duplicates of existing triples are no-ops).
+    pub inserted: usize,
+    /// Triples actually removed (absent triples are no-ops).
+    pub deleted: usize,
+    /// ExtVP partitions recomputed delta-wise.
+    pub extvp_recomputed: usize,
+}
+
+/// Outcome of one [`S2rdfStore::checkpoint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Dirty tables flushed through the temp+rename path.
+    pub tables_flushed: usize,
+    /// Tables removed from disk (drained VP partitions, dematerialized
+    /// ExtVP reductions).
+    pub tables_removed: usize,
+    /// Orphaned table files from interrupted earlier flushes deleted.
+    pub orphans_removed: usize,
+    /// New dictionary terms persisted.
+    pub dict_terms_appended: usize,
+    /// WAL records dropped by the final truncation.
+    pub wal_records_truncated: u64,
 }
 
 impl S2rdfStore {
@@ -129,6 +198,7 @@ impl S2rdfStore {
             quarantine: RwLock::new(FxHashSet::default()),
             swept: AtomicBool::new(true), // nothing on disk to sweep
             faults: None,
+            update: UpdateState::default(),
         }
     }
 
@@ -200,6 +270,23 @@ impl S2rdfStore {
     /// partition access path, for resilience testing.
     pub fn set_fault_injector(&mut self, faults: Option<Arc<FaultInjector>>) {
         self.faults = faults;
+    }
+
+    /// Attaches one fault injector to *every* fault point of the store —
+    /// the ExtVP access path (like [`S2rdfStore::set_fault_injector`]),
+    /// the backing table store's read/write/rename points, and the WAL's
+    /// append/truncate points. Sharing a single injector gives one global
+    /// op counter, which is what lets a kill-and-recover harness enumerate
+    /// `kill_after_ops = 0, 1, 2, …` and visit every crash point of an
+    /// update + checkpoint sequence deterministically.
+    pub fn set_fault_injector_deep(&mut self, faults: Option<Arc<FaultInjector>>) {
+        self.faults = faults.clone();
+        if let Some(disk) = &mut self.disk {
+            disk.set_fault_injector(faults.clone());
+        }
+        if let Some(wal) = &mut self.update.wal {
+            wal.set_fault_injector(faults);
+        }
     }
 
     /// The attached fault injector, if any.
@@ -285,6 +372,11 @@ impl S2rdfStore {
     /// quarantined as a side effect — non-retryable, the engine degrades
     /// to VP); `Err` for transient I/O failures worth retrying.
     fn disk_extvp(&self, key: &ExtVpKey) -> Result<Option<Arc<Table>>, CoreError> {
+        // Un-checkpointed updates shadow the on-disk body: `Some` is the
+        // recomputed partition, `None` says the delta dematerialized it.
+        if let Some(entry) = self.update.extvp_overlay.get(key) {
+            return Ok(entry.clone());
+        }
         let Some(disk) = &self.disk else {
             return Ok(None);
         };
@@ -334,12 +426,25 @@ impl S2rdfStore {
             ExtVpStorage::None => 0,
             ExtVpStorage::Rows(tables) => tables.len(),
             ExtVpStorage::Bits(bits) => bits.len(),
-            // Counted from the manifest — no body is decoded for this.
-            ExtVpStorage::Disk => self
-                .disk
-                .as_ref()
-                .map(|d| d.names().iter().filter(|n| n.starts_with("ExtVP_")).count())
-                .unwrap_or(0),
+            // Counted from the manifest (no body is decoded), adjusted by
+            // the un-checkpointed overlay.
+            ExtVpStorage::Disk => {
+                let Some(disk) = &self.disk else { return 0 };
+                let mut names: FxHashSet<String> = disk
+                    .names()
+                    .into_iter()
+                    .filter(|n| n.starts_with("ExtVP_"))
+                    .collect();
+                for (key, entry) in &self.update.extvp_overlay {
+                    let name = extvp_table_name(&self.dict, key);
+                    if entry.is_some() {
+                        names.insert(name);
+                    } else {
+                        names.remove(&name);
+                    }
+                }
+                names.len()
+            }
             ExtVpStorage::Lazy => self
                 .catalog
                 .extvp_stats()
@@ -439,9 +544,20 @@ impl S2rdfStore {
                 }
             }
             ExtVpStorage::Disk => {
+                // The un-checkpointed overlay takes precedence over the
+                // backing store: updated bodies are written from memory,
+                // dematerialized partitions are skipped entirely.
+                let mut handled: FxHashSet<String> = FxHashSet::default();
+                for (key, entry) in &self.update.extvp_overlay {
+                    let name = extvp_table_name(&self.dict, key);
+                    if let Some(table) = entry {
+                        tables.save(&name, table)?;
+                    }
+                    handled.insert(name);
+                }
                 if let Some(disk) = &self.disk {
                     for name in disk.names() {
-                        if name.starts_with("ExtVP_") {
+                        if name.starts_with("ExtVP_") && !handled.contains(&name) {
                             let table = disk.load(&name)?;
                             tables.save(&name, &table)?;
                         }
@@ -449,22 +565,7 @@ impl S2rdfStore {
                 }
             }
             ExtVpStorage::Bits(bits) => {
-                let bm_dir = dir.join("bitmaps");
-                std::fs::create_dir_all(&bm_dir).map_err(|e| CoreError::Catalog(e.to_string()))?;
-                let mut manifest = BufWriter::new(
-                    std::fs::File::create(bm_dir.join("manifest.tsv"))
-                        .map_err(|e| CoreError::Catalog(e.to_string()))?,
-                );
-                for (i, (key, bitmap)) in bits.iter().enumerate() {
-                    let file = format!("b{i:06}.bits");
-                    std::fs::write(bm_dir.join(&file), bitmap.to_bytes())
-                        .map_err(|e| CoreError::Catalog(e.to_string()))?;
-                    writeln!(manifest, "{}\t{}", extvp_table_name(&self.dict, key), file)
-                        .map_err(|e| CoreError::Catalog(e.to_string()))?;
-                }
-                manifest
-                    .flush()
-                    .map_err(|e| CoreError::Catalog(e.to_string()))?;
+                self.save_bitmaps(dir, bits)?;
             }
             ExtVpStorage::Lazy | ExtVpStorage::None => {}
         }
@@ -477,6 +578,87 @@ impl S2rdfStore {
             writeln!(out, "{term}").map_err(|e| CoreError::Catalog(e.to_string()))?;
         }
         out.flush().map_err(|e| CoreError::Catalog(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Writes the bitmap sidecar directory of a bit-vector store: one file
+    /// per partition plus a name→file manifest. Crash safety rests on two
+    /// rules: every body file is named by a hash of its *table name* (so a
+    /// surviving old manifest can only ever point at content computed for
+    /// that same partition, possibly a newer version of it — never at a
+    /// different partition's bits), and every write is temp + fsync +
+    /// rename, the manifest last. Bodies a stale manifest then mispoints
+    /// at are additionally caught by the length check on load and
+    /// quarantined, never served. Files no new manifest references are
+    /// swept after the rename commits.
+    fn save_bitmaps(
+        &self,
+        dir: &Path,
+        bits: &FxHashMap<ExtVpKey, Bitmap>,
+    ) -> Result<(), CoreError> {
+        let bm_dir = dir.join("bitmaps");
+        std::fs::create_dir_all(&bm_dir).map_err(|e| CoreError::Catalog(e.to_string()))?;
+        // Deterministic order: sorted by table name (stable fault-point
+        // enumeration for the kill harness).
+        let mut entries: Vec<(String, &Bitmap)> = bits
+            .iter()
+            .map(|(key, bm)| (extvp_table_name(&self.dict, key), bm))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut manifest = String::new();
+        let mut live: FxHashSet<String> = FxHashSet::default();
+        for (name, bitmap) in &entries {
+            let file = format!("b{:016x}.bits", {
+                use std::hash::{Hash, Hasher};
+                let mut h = rustc_hash::FxHasher::default();
+                name.hash(&mut h);
+                h.finish()
+            });
+            let tmp = bm_dir.join(format!("{file}.tmp"));
+            let write = || -> std::io::Result<()> {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(&bitmap.to_bytes())?;
+                f.sync_all()?;
+                if let Some(faults) = &self.faults {
+                    faults.crash_point(&format!("bitmap:{file}"))?;
+                }
+                std::fs::rename(&tmp, bm_dir.join(&file))
+            };
+            write().map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                CoreError::Catalog(e.to_string())
+            })?;
+            manifest.push_str(name);
+            manifest.push('\t');
+            manifest.push_str(&file);
+            manifest.push('\n');
+            live.insert(file);
+        }
+        let tmp = bm_dir.join("manifest.tsv.tmp");
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(manifest.as_bytes())?;
+            f.sync_all()?;
+            if let Some(faults) = &self.faults {
+                faults.crash_point("bitmaps/manifest.tsv")?;
+            }
+            std::fs::rename(&tmp, bm_dir.join("manifest.tsv"))
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::Catalog(e.to_string())
+        })?;
+        // The manifest committed: sweep body files it no longer references
+        // (left by dropped partitions or interrupted earlier saves). A
+        // crash mid-sweep only leaves unreferenced files for next time.
+        if let Ok(dirents) = std::fs::read_dir(&bm_dir) {
+            for entry in dirents.flatten() {
+                let fname = entry.file_name().to_string_lossy().into_owned();
+                if fname.ends_with(".bits") && !live.contains(&fname) || fname.ends_with(".tmp") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
         Ok(())
     }
 
@@ -493,7 +675,25 @@ impl S2rdfStore {
         let catalog = Catalog::load(&dir.join("catalog.json"))?;
         let mode = ExtVpMode::from_label(&catalog.extvp_mode)
             .ok_or_else(|| CoreError::Catalog(format!("bad mode {}", catalog.extvp_mode)))?;
-        let dict = load_dictionary(dir)?;
+        let mut dict = load_dictionary(dir)?;
+        // Only the terms read from dictionary.nt are durable; WAL-recovered
+        // growth below must still count as unpersisted so the next
+        // checkpoint rewrites the dictionary before truncating the log.
+        let dict_persisted = dict.len();
+        // Table and bitmap names on disk may already use terms whose
+        // dictionary rewrite a crashed checkpoint never reached; their ids
+        // live in the WAL's `new_terms`, so recover that growth before any
+        // name is parsed (replay below re-interns them — a no-op).
+        if let Ok(bytes) = std::fs::read(dir.join("wal.log")) {
+            if let Ok((records, _)) = s2rdf_columnar::wal::scan_records(&bytes) {
+                for payload in &records {
+                    for term in &DeltaBatch::decode(payload)?.new_terms {
+                        dict.intern(term);
+                    }
+                }
+            }
+        }
+        let dict = dict;
         let tables = TableStore::open(dir.join("tables"))?;
         // The ground truth (triples table + VP tables) must be intact for
         // the store to be usable at all, so sweep its raw CRCs up front —
@@ -528,10 +728,14 @@ impl S2rdfStore {
                             .map_err(|e| CoreError::Catalog(e.to_string()))
                             .and_then(|data| Bitmap::from_bytes(&data).map_err(CoreError::from))
                         {
-                            Ok(bitmap) => {
+                            // A bitmap must be exactly one bit per base-VP
+                            // row; a torn body that still decodes (e.g. a
+                            // file a crashed rewrite half-replaced) is
+                            // quarantined, not served.
+                            Ok(bitmap) if bitmap.len() == catalog.vp_size(TermId(key.p1)) => {
                                 bits.insert(key, bitmap);
                             }
-                            Err(_) => {
+                            Ok(_) | Err(_) => {
                                 quarantine.insert(key);
                             }
                         }
@@ -540,7 +744,7 @@ impl S2rdfStore {
                 }
             }
         };
-        Ok(S2rdfStore {
+        let mut store = S2rdfStore {
             dict,
             tt,
             vp: FxHashMap::default(),
@@ -551,7 +755,46 @@ impl S2rdfStore {
             quarantine: RwLock::new(quarantine),
             swept: AtomicBool::new(false),
             faults: None,
-        })
+            update: UpdateState {
+                dir: Some(dir.to_path_buf()),
+                dict_persisted,
+                ..UpdateState::default()
+            },
+        };
+        // Crash recovery: replay whatever the WAL still holds through the
+        // same apply path live updates use. Replay is conservative (every
+        // predicate a record *mentions* is recomputed, effective or not):
+        // a crash mid-checkpoint can leave the triples table flushed but a
+        // VP or ExtVP partition stale, and only the mention set still
+        // names the partitions that must be reconciled against the
+        // replayed triples table.
+        let (wal, payloads) = Wal::open(&dir.join("wal.log"))?;
+        store.update.wal = Some(wal);
+        for payload in &payloads {
+            let batch = DeltaBatch::decode(payload)?;
+            store.apply_batch(&batch, true)?;
+            store.update.replayed += 1;
+        }
+        Ok(store)
+    }
+
+    /// Number of WAL records replayed when this store was opened (0 for a
+    /// cleanly checkpointed store).
+    pub fn wal_replayed(&self) -> u64 {
+        self.update.replayed
+    }
+
+    /// Number of WAL records currently pending (durable but not yet
+    /// checkpointed).
+    pub fn wal_pending(&self) -> u64 {
+        self.update.wal.as_ref().map(Wal::records).unwrap_or(0)
+    }
+
+    /// Read-only WAL probe of a saved store directory, for `verify`-style
+    /// reporting without opening the store. `Ok(None)` when the store has
+    /// no WAL file.
+    pub fn wal_status(dir: &Path) -> Result<Option<WalStatus>, CoreError> {
+        Ok(Wal::inspect(&dir.join("wal.log"))?)
     }
 
     /// On-disk byte sizes by table family, for Tables 2 and 6. Returns
@@ -593,7 +836,21 @@ impl S2rdfStore {
     /// are deleted. Damage to the triples table or a VP table (the ground
     /// truth) is reported as unrecoverable.
     pub fn verify_and_repair(dir: &Path) -> Result<RepairReport, CoreError> {
-        let dict = load_dictionary(dir)?;
+        let mut dict = load_dictionary(dir)?;
+        // A checkpoint that crashed after flushing tables but before the
+        // dictionary rewrite leaves table names whose terms only exist in
+        // the WAL; recover that growth the same way `load` does (read-only
+        // — torn-residue truncation is left to the next real open).
+        if let Ok(bytes) = std::fs::read(dir.join("wal.log")) {
+            if let Ok((records, _)) = s2rdf_columnar::wal::scan_records(&bytes) {
+                for payload in &records {
+                    for term in &DeltaBatch::decode(payload)?.new_terms {
+                        dict.intern(term);
+                    }
+                }
+            }
+        }
+        let dict = dict;
         let mut tables = TableStore::open(dir.join("tables"))?;
         let scan = tables.verify_all();
         let mut report = RepairReport {
@@ -648,6 +905,454 @@ impl S2rdfStore {
         // Re-open (clears the orphan list) and re-verify to confirm.
         let tables = TableStore::open(dir.join("tables"))?;
         report.clean_after = tables.verify_all().is_clean() && report.unrecoverable.is_empty();
+        Ok(report)
+    }
+}
+
+/// The durable-update subsystem (WAL + delta-wise ExtVP maintenance).
+///
+/// An update batch is (1) appended to the write-ahead log — one CRC-32
+/// checksummed record holding the dictionary growth and the encoded triple
+/// ops — and fsynced, (2) applied in memory: the triples table and the VP
+/// tables of the touched predicates are rebuilt (VP is a pure function of
+/// the triples table), and every ExtVP reduction one of those predicates
+/// participates in is recomputed delta-wise, (3) eventually flushed by
+/// [`S2rdfStore::checkpoint`], whose last step truncates the WAL. A crash
+/// anywhere before that truncation is recovered on the next
+/// [`S2rdfStore::load`] by replaying the surviving records through the
+/// same apply path, conservatively: every predicate a record *mentions* is
+/// reconciled against the replayed triples table, effective or not,
+/// because a crash mid-checkpoint can leave the triples table flushed
+/// while a VP or ExtVP body is still stale.
+impl S2rdfStore {
+    /// Inserts a batch of triples durably (triples already present are
+    /// no-ops). See [`S2rdfStore::update_batch`].
+    pub fn insert(&mut self, triples: &[Triple]) -> Result<DeltaSummary, CoreError> {
+        self.update_batch(triples, &[])
+    }
+
+    /// Deletes a batch of triples durably (absent triples are no-ops).
+    /// See [`S2rdfStore::update_batch`].
+    pub fn delete(&mut self, triples: &[Triple]) -> Result<DeltaSummary, CoreError> {
+        self.update_batch(&[], triples)
+    }
+
+    /// Applies one insert+delete batch: WAL first (durability), then the
+    /// in-memory tables and statistics. Inserts are applied before
+    /// deletes. On a [`S2rdfStore::build`]-t store (no backing directory)
+    /// the update is applied in memory only and is *not* durable.
+    pub fn update_batch(
+        &mut self,
+        inserts: &[Triple],
+        deletes: &[Triple],
+    ) -> Result<DeltaSummary, CoreError> {
+        let dict_before = self.dict.len();
+        let mut ops = Vec::with_capacity(inserts.len() + deletes.len());
+        for t in inserts {
+            let (s, p, o) = (
+                self.dict.intern(&t.s),
+                self.dict.intern(&t.p),
+                self.dict.intern(&t.o),
+            );
+            ops.push(DeltaRecord {
+                insert: true,
+                s: s.0,
+                p: p.0,
+                o: o.0,
+            });
+        }
+        for t in deletes {
+            // A term the dictionary has never seen cannot occur in any
+            // triple, so the delete is a no-op — and must not grow the
+            // dictionary.
+            let (Some(s), Some(p), Some(o)) =
+                (self.dict.id(&t.s), self.dict.id(&t.p), self.dict.id(&t.o))
+            else {
+                continue;
+            };
+            ops.push(DeltaRecord {
+                insert: false,
+                s: s.0,
+                p: p.0,
+                o: o.0,
+            });
+        }
+        let new_terms: Vec<Term> = (dict_before..self.dict.len())
+            .map(|i| self.dict.term(TermId(i as u32)).clone())
+            .collect();
+        let batch = DeltaBatch { new_terms, ops };
+        if batch.is_empty() {
+            return Ok(DeltaSummary::default());
+        }
+        // Durability first: the record is on disk (fsynced) before any
+        // table changes. A crash from here on replays it at next open.
+        if let Some(wal) = &mut self.update.wal {
+            wal.append(&batch.encode())?;
+        }
+        self.apply_batch(&batch, false)
+    }
+
+    /// Applies a decoded batch to the in-memory store. `conservative` is
+    /// the replay mode: rebuild every predicate the batch *mentions* even
+    /// if its ops turn out to be no-ops against the current triples table
+    /// (the triples table on disk may already include them while VP/ExtVP
+    /// bodies do not — only the mention set still names what to
+    /// reconcile). Live updates pass `false` and rebuild only effectively
+    /// changed predicates.
+    fn apply_batch(
+        &mut self,
+        batch: &DeltaBatch,
+        conservative: bool,
+    ) -> Result<DeltaSummary, CoreError> {
+        // Replay re-interns the batch's dictionary growth: `new_terms` is
+        // in id order, so a recovering store reproduces identical ids;
+        // for a live store these terms are already interned (no-op).
+        for term in &batch.new_terms {
+            self.dict.intern(term);
+        }
+        // Membership index over the triples table, built on first update:
+        // RDF graphs are sets, and set semantics is what makes replay
+        // idempotent.
+        if self.update.membership.is_none() {
+            let (s, p, o) = (self.tt.column(0), self.tt.column(1), self.tt.column(2));
+            self.update.membership = Some(
+                (0..self.tt.num_rows())
+                    .map(|i| (s[i], p[i], o[i]))
+                    .collect(),
+            );
+        }
+        let membership = self.update.membership.as_mut().expect("just built");
+
+        let mut summary = DeltaSummary::default();
+        let mut mentioned: BTreeSet<u32> = BTreeSet::new();
+        let mut effective: BTreeSet<u32> = BTreeSet::new();
+        // First-time inserts in op order (deduplicated, delete-aware), for
+        // the triples-table append below.
+        let mut added_order: Vec<(u32, u32, u32)> = Vec::new();
+        let mut added_set: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+        for op in &batch.ops {
+            let key = (op.s, op.p, op.o);
+            mentioned.insert(op.p);
+            if op.insert {
+                if membership.insert(key) {
+                    summary.inserted += 1;
+                    effective.insert(op.p);
+                    if added_set.insert(key) {
+                        added_order.push(key);
+                    }
+                }
+            } else if membership.remove(&key) {
+                summary.deleted += 1;
+                effective.insert(op.p);
+                if added_set.remove(&key) {
+                    added_order.retain(|k| k != &key);
+                }
+            }
+        }
+
+        // Rebuild the triples table when the delta changed it: survivors
+        // keep their original order, first-time inserts append. Keys both
+        // deleted and re-inserted within the batch survive in place.
+        if !effective.is_empty() {
+            let n = self.tt.num_rows();
+            let mut old_keys: FxHashSet<(u32, u32, u32)> =
+                FxHashSet::with_capacity_and_hasher(n, Default::default());
+            let (mut ns, mut np, mut no) = (Vec::new(), Vec::new(), Vec::new());
+            {
+                let (s, p, o) = (self.tt.column(0), self.tt.column(1), self.tt.column(2));
+                for i in 0..n {
+                    let key = (s[i], p[i], o[i]);
+                    if membership.contains(&key) {
+                        ns.push(s[i]);
+                        np.push(p[i]);
+                        no.push(o[i]);
+                    }
+                    old_keys.insert(key);
+                }
+            }
+            for &(s, p, o) in added_order.iter().filter(|k| !old_keys.contains(*k)) {
+                ns.push(s);
+                np.push(p);
+                no.push(o);
+            }
+            self.tt = Arc::new(Table::from_columns(
+                Schema::new([COL_S, COL_P, COL_O]),
+                vec![ns, np, no],
+            ));
+            self.update.tt_dirty = true;
+            self.catalog.total_triples = self.tt.num_rows();
+        }
+        if conservative {
+            // A checkpoint that crashed after flushing the triples table
+            // but before the catalog leaves the statistic stale while every
+            // replayed op reads as a no-op; resync it from the table.
+            self.catalog.total_triples = self.tt.num_rows();
+        }
+
+        let touched: BTreeSet<u32> = if conservative { mentioned } else { effective };
+        if touched.is_empty() {
+            return Ok(summary);
+        }
+
+        // Rebuild the VP tables of every touched predicate from one pass
+        // over the (post-apply) triples table. VP is recomputed from the
+        // triples table — never patched incrementally — so that replay
+        // converges to the rebuild-from-scratch state no matter which
+        // tables an interrupted checkpoint already flushed.
+        let mut per_pred: FxHashMap<u32, (Vec<u32>, Vec<u32>)> = touched
+            .iter()
+            .map(|&p| (p, (Vec::new(), Vec::new())))
+            .collect();
+        {
+            let (s, p, o) = (self.tt.column(0), self.tt.column(1), self.tt.column(2));
+            for i in 0..self.tt.num_rows() {
+                if let Some((vs, vo)) = per_pred.get_mut(&p[i]) {
+                    vs.push(s[i]);
+                    vo.push(o[i]);
+                }
+            }
+        }
+        for &pred in &touched {
+            let (vs, vo) = per_pred.remove(&pred).expect("seeded above");
+            let table = Table::from_columns(Schema::new([COL_S, COL_O]), vec![vs, vo]);
+            self.catalog.set_vp_size(TermId(pred), table.num_rows());
+            // Kept in the in-memory map even when drained empty: it
+            // shadows the stale disk body until checkpoint removes the
+            // file.
+            self.vp.insert(TermId(pred), Arc::new(table));
+            self.update.vp_dirty.insert(TermId(pred));
+        }
+
+        // Delta-wise ExtVP maintenance: only reductions a touched
+        // predicate participates in — on either side — can change.
+        // Partners include already-drained predicates so stale entries are
+        // cleaned, and correlations follow what the store precomputes.
+        if self.catalog.extvp_built {
+            let mut partners: BTreeSet<u32> = self.catalog.vp_sizes().map(|(p, _)| p.0).collect();
+            partners.extend(touched.iter().copied());
+            let mut corrs = vec![Correlation::SS, Correlation::OS, Correlation::SO];
+            if self.catalog.oo_built {
+                corrs.push(Correlation::OO);
+            }
+            let mut candidates: BTreeSet<ExtVpKey> = BTreeSet::new();
+            for &p in &touched {
+                for &q in &partners {
+                    for &corr in &corrs {
+                        // SS/OO self-correlations are the identity and
+                        // never stored (OS/SO self-pairs are real).
+                        if matches!(corr, Correlation::SS | Correlation::OO) && p == q {
+                            continue;
+                        }
+                        candidates.insert(ExtVpKey { corr, p1: p, p2: q });
+                        candidates.insert(ExtVpKey { corr, p1: q, p2: p });
+                    }
+                }
+            }
+            for key in candidates {
+                self.recompute_extvp(&key)?;
+                summary.extvp_recomputed += 1;
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Recomputes one ExtVP reduction from the current VP tables and
+    /// routes the result into whatever representation the store uses,
+    /// updating catalog statistics (including draining to absence) and
+    /// lifting any quarantine — a fresh recompute supersedes a corrupt
+    /// on-disk body.
+    fn recompute_extvp(&mut self, key: &ExtVpKey) -> Result<(), CoreError> {
+        metric_counter!("core.extvp.delta_recomputes").inc();
+        let vp1 = self.try_vp_table(TermId(key.p1))?;
+        let vp2 = self.try_vp_table(TermId(key.p2))?;
+        let indices = match (&vp1, &vp2) {
+            (Some(a), Some(b)) => compute_partition_indices(a, b, key.corr),
+            _ => Vec::new(),
+        };
+        let count = indices.len();
+        let vp_size = self.catalog.vp_size(TermId(key.p1));
+        let sf = if vp_size == 0 {
+            0.0
+        } else {
+            count as f64 / vp_size as f64
+        };
+        // Same materialization rule as the initial build: proper (SF < 1)
+        // and selective enough (SF < threshold) — and non-empty.
+        let materialized = count > 0 && sf < 1.0 && sf < self.catalog.threshold;
+        self.catalog.set_extvp(*key, count, materialized);
+        self.quarantine.write().remove(key);
+        let gathered = || -> Arc<Table> {
+            let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+            Arc::new(vp1.as_ref().expect("materialized implies vp1").gather(&idx))
+        };
+        match &mut self.extvp {
+            ExtVpStorage::None => {}
+            ExtVpStorage::Rows(tables) => {
+                if materialized {
+                    tables.insert(*key, gathered());
+                    self.update.extvp_dirty.insert(*key);
+                } else if tables.remove(key).is_some() {
+                    self.update.extvp_dirty.insert(*key);
+                }
+            }
+            ExtVpStorage::Bits(bits) => {
+                if materialized {
+                    bits.insert(*key, Bitmap::from_indices(vp_size, &indices));
+                    self.update.extvp_dirty.insert(*key);
+                } else if bits.remove(key).is_some() {
+                    self.update.extvp_dirty.insert(*key);
+                }
+            }
+            ExtVpStorage::Disk => {
+                let stored = self.update.extvp_overlay.contains_key(key)
+                    || self
+                        .disk
+                        .as_ref()
+                        .is_some_and(|d| d.contains(&extvp_table_name(&self.dict, key)));
+                if materialized {
+                    self.update.extvp_overlay.insert(*key, Some(gathered()));
+                    self.update.extvp_dirty.insert(*key);
+                } else if stored {
+                    // `None` overlays the on-disk body until checkpoint
+                    // deletes the file.
+                    self.update.extvp_overlay.insert(*key, None);
+                    self.update.extvp_dirty.insert(*key);
+                }
+            }
+            ExtVpStorage::Lazy => {
+                // Statistics above are the source of truth; just drop a
+                // stale cached materialization.
+                self.lazy_cache.write().remove(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every un-checkpointed update to disk and truncates the WAL.
+    ///
+    /// Protocol (each table write is itself temp + fsync + rename):
+    /// 1. sweep orphan files an interrupted earlier flush left behind,
+    /// 2. flush the dirty triples table, then dirty VP tables (drained
+    ///    ones are deleted), then dirty ExtVP state per representation,
+    /// 3. write the catalog, then the dictionary (atomic rewrites),
+    /// 4. truncate the WAL — the commit point.
+    ///
+    /// A crash anywhere before step 4 leaves the WAL intact; the next
+    /// [`S2rdfStore::load`] replays it conservatively and converges. The
+    /// order is deterministic (sorted), so a kill-switch harness can
+    /// enumerate every crash point.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, CoreError> {
+        let Some(dir) = self.update.dir.clone() else {
+            return Err(CoreError::Unsupported(
+                "checkpoint requires a store with a backing directory (use save + load)"
+                    .to_string(),
+            ));
+        };
+        let mut report = CheckpointReport::default();
+        if let Some(disk) = &mut self.disk {
+            report.orphans_removed = disk.sweep_orphans()?.len();
+        }
+        if self.update.tt_dirty {
+            let disk = self.disk.as_mut().expect("loaded store has a table store");
+            disk.save(TT_NAME, &self.tt)?;
+            report.tables_flushed += 1;
+        }
+        let mut preds: Vec<TermId> = self.update.vp_dirty.iter().copied().collect();
+        preds.sort_by_key(|p| p.0);
+        for p in preds {
+            let name = vp_table_name(&self.dict, p);
+            let table = self.vp.get(&p).cloned().expect("dirty VP is resident");
+            let disk = self.disk.as_mut().expect("loaded store has a table store");
+            if table.num_rows() > 0 {
+                disk.save(&name, &table)?;
+                report.tables_flushed += 1;
+            } else if disk.contains(&name) {
+                disk.remove(&name)?;
+                report.tables_removed += 1;
+            }
+        }
+        let mut keys: Vec<ExtVpKey> = self.update.extvp_dirty.iter().copied().collect();
+        keys.sort();
+        match &self.extvp {
+            ExtVpStorage::Rows(tables) => {
+                for key in &keys {
+                    let name = extvp_table_name(&self.dict, key);
+                    let disk = self.disk.as_mut().expect("loaded store has a table store");
+                    if let Some(table) = tables.get(key) {
+                        disk.save(&name, table)?;
+                        report.tables_flushed += 1;
+                    } else if disk.contains(&name) {
+                        disk.remove(&name)?;
+                        report.tables_removed += 1;
+                    }
+                }
+            }
+            ExtVpStorage::Disk => {
+                for key in &keys {
+                    let name = extvp_table_name(&self.dict, key);
+                    let entry = self.update.extvp_overlay.get(key).cloned();
+                    let disk = self.disk.as_mut().expect("loaded store has a table store");
+                    match entry {
+                        Some(Some(table)) => {
+                            disk.save(&name, &table)?;
+                            report.tables_flushed += 1;
+                        }
+                        Some(None) if disk.contains(&name) => {
+                            disk.remove(&name)?;
+                            report.tables_removed += 1;
+                        }
+                        Some(None) | None => {}
+                    }
+                }
+            }
+            ExtVpStorage::Bits(bits) => {
+                if !keys.is_empty() {
+                    self.save_bitmaps(&dir, bits)?;
+                    report.tables_flushed += keys.len();
+                }
+            }
+            ExtVpStorage::Lazy | ExtVpStorage::None => {}
+        }
+        if let Some(faults) = &self.faults {
+            faults
+                .crash_point("catalog.json")
+                .map_err(|e| CoreError::Columnar(e.into()))?;
+        }
+        self.catalog.save(&dir.join("catalog.json"))?;
+        let new_terms = self.dict.len().saturating_sub(self.update.dict_persisted);
+        if new_terms > 0 {
+            let tmp = dir.join("dictionary.nt.tmp");
+            let write = || -> std::io::Result<()> {
+                let mut out = BufWriter::new(std::fs::File::create(&tmp)?);
+                for (_, term) in self.dict.iter() {
+                    writeln!(out, "{term}")?;
+                }
+                let f = out
+                    .into_inner()
+                    .map_err(std::io::IntoInnerError::into_error)?;
+                f.sync_all()?;
+                if let Some(faults) = &self.faults {
+                    faults.crash_point("dictionary.nt")?;
+                }
+                std::fs::rename(&tmp, dir.join("dictionary.nt"))
+            };
+            write().map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                CoreError::Catalog(e.to_string())
+            })?;
+            report.dict_terms_appended = new_terms;
+            self.update.dict_persisted = self.dict.len();
+        }
+        // The commit point: dropping the WAL records declares everything
+        // above durable. Dirty state is cleared only after it succeeds.
+        if let Some(wal) = &mut self.update.wal {
+            report.wal_records_truncated = wal.records();
+            wal.truncate()?;
+        }
+        self.update.tt_dirty = false;
+        self.update.vp_dirty.clear();
+        self.update.extvp_dirty.clear();
+        self.update.extvp_overlay.clear();
         Ok(report)
     }
 }
@@ -864,6 +1569,262 @@ mod tests {
             .query_opt(q, &Default::default())
             .unwrap();
         assert!(!plain_explain.statically_empty);
+    }
+
+    /// Queries that together cover VP scans, ExtVP reductions and the
+    /// statically-empty path.
+    const PROBES: [&str; 3] = [
+        Q_CHAIN,
+        "SELECT * WHERE { ?x <follows> ?y }",
+        "SELECT * WHERE { ?x <likes> ?y . ?y <follows> ?z }",
+    ];
+
+    /// Asserts a store answers every probe exactly like a from-scratch
+    /// build over `expected` would.
+    fn assert_matches_rebuild(store: &S2rdfStore, expected: &Graph, options: &BuildOptions) {
+        let fresh = S2rdfStore::build(expected, options);
+        for q in PROBES {
+            assert_eq!(
+                store.query(q).unwrap().canonical(),
+                fresh.query(q).unwrap().canonical(),
+                "{q}"
+            );
+        }
+        assert_eq!(store.catalog().total_triples, expected.len());
+        assert_eq!(store.vp_tuples(), expected.len());
+        assert_eq!(store.extvp_tuples(), fresh.extvp_tuples());
+        assert_eq!(store.num_extvp_tables(), fresh.num_extvp_tables());
+    }
+
+    #[test]
+    fn in_memory_updates_match_rebuild_all_modes() {
+        for mode in [
+            ExtVpMode::Materialized,
+            ExtVpMode::BitVector,
+            ExtVpMode::Lazy,
+        ] {
+            let options = BuildOptions {
+                mode,
+                ..Default::default()
+            };
+            let mut store = S2rdfStore::build(&g1(), &options);
+            // Insert: D likes I1 (new subject for likes, new ExtVP links).
+            let summary = store.insert(&[t("D", "likes", "I1")]).unwrap();
+            assert_eq!(summary.inserted, 1, "{mode:?}");
+            assert!(summary.extvp_recomputed > 0);
+            // Duplicate insert is a no-op.
+            assert_eq!(
+                store.insert(&[t("D", "likes", "I1")]).unwrap(),
+                DeltaSummary::default()
+            );
+            // Delete one follows edge; deleting an absent triple no-ops.
+            let summary = store
+                .delete(&[t("B", "follows", "C"), t("B", "follows", "nope")])
+                .unwrap();
+            assert_eq!(summary.deleted, 1);
+            let mut expected = g1();
+            expected.insert(&t("D", "likes", "I1"));
+            expected.remove(&t("B", "follows", "C"));
+            assert_matches_rebuild(&store, &expected, &options);
+        }
+    }
+
+    #[test]
+    fn update_drains_predicate_and_statistics() {
+        let mut store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let likes: Vec<Triple> = [
+            t("A", "likes", "I1"),
+            t("A", "likes", "I2"),
+            t("C", "likes", "I2"),
+        ]
+        .to_vec();
+        store.delete(&likes).unwrap();
+        assert_eq!(store.catalog().num_predicates(), 1);
+        assert_eq!(store.query(Q_CHAIN).unwrap().len(), 0);
+        let mut expected = g1();
+        for tr in &likes {
+            expected.remove(tr);
+        }
+        assert_matches_rebuild(&store, &expected, &BuildOptions::default());
+        // Re-inserting brings everything back.
+        store.insert(&likes).unwrap();
+        assert_matches_rebuild(&store, &g1(), &BuildOptions::default());
+    }
+
+    #[test]
+    fn estimated_rows_follow_deltas() {
+        use crate::compiler::TableSource;
+        let mut store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let follows = store.dict().id(&Term::iri("follows")).unwrap();
+        assert_eq!(store.estimated_rows(&TableSource::Vp(follows)), 4);
+        assert_eq!(store.estimated_rows(&TableSource::TriplesTable), 7);
+        store
+            .insert(&[t("D", "follows", "A"), t("E", "follows", "A")])
+            .unwrap();
+        assert_eq!(store.estimated_rows(&TableSource::Vp(follows)), 6);
+        assert_eq!(store.estimated_rows(&TableSource::TriplesTable), 9);
+        store.delete(&[t("A", "follows", "B")]).unwrap();
+        assert_eq!(store.estimated_rows(&TableSource::Vp(follows)), 5);
+        let key = ExtVpKey::new(
+            Correlation::OS,
+            follows,
+            store.dict().id(&Term::iri("likes")).unwrap(),
+        );
+        // OS follows|likes grew: D follows A and A likes things.
+        let fresh_count = store.catalog().extvp_stat(&key).unwrap().count;
+        assert_eq!(store.estimated_rows(&TableSource::ExtVp(key)), fresh_count);
+        assert!(fresh_count > 1);
+    }
+
+    /// Catalog statistics drive the adaptive join planner, so they must
+    /// track deltas: a join that broadcasts its small build side flips to
+    /// the partitioned strategy once a large delta grows that side past
+    /// the broadcast threshold — without rebuilding the store.
+    #[test]
+    fn join_strategy_flips_after_large_delta() {
+        use s2rdf_columnar::exec::{JoinConfig, JoinStrategy};
+        let mut triples = Vec::new();
+        for i in 0..8 {
+            triples.push(t(&format!("s{i}"), "p", &format!("m{i}")));
+            triples.push(t(&format!("m{i}"), "q", &format!("o{i}")));
+        }
+        let mut store = S2rdfStore::build(&Graph::from_triples(triples), &BuildOptions::default());
+        let options = QueryOptions {
+            join: JoinConfig {
+                serial_row_threshold: 4,
+                broadcast_rows: 64,
+                broadcast_bytes: 0,
+                // Pin the partition knobs so the flip does not depend on
+                // the machine's core count.
+                target_partition_rows: 64,
+                max_partitions: 4,
+                ..JoinConfig::default()
+            },
+            ..QueryOptions::default()
+        };
+        let q = "SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }";
+        let (solutions, explain) = store.query_opt(q, &options).unwrap();
+        assert_eq!(solutions.len(), 8);
+        assert!(
+            explain
+                .join_steps
+                .iter()
+                .any(|j| j.decision.strategy == JoinStrategy::Broadcast),
+            "small build side must broadcast: {:?}",
+            explain.join_steps
+        );
+
+        let mut delta = Vec::new();
+        for i in 0..500 {
+            delta.push(t(&format!("S{i}"), "p", &format!("M{i}")));
+            delta.push(t(&format!("M{i}"), "q", &format!("O{i}")));
+        }
+        store.insert(&delta).unwrap();
+        let (solutions, explain) = store.query_opt(q, &options).unwrap();
+        assert_eq!(solutions.len(), 508);
+        assert!(
+            explain
+                .join_steps
+                .iter()
+                .any(|j| j.decision.strategy == JoinStrategy::Partitioned),
+            "grown build side must flip to partitioned: {:?}",
+            explain.join_steps
+        );
+        assert!(
+            explain
+                .join_steps
+                .iter()
+                .all(|j| j.decision.strategy != JoinStrategy::Broadcast),
+            "no join should still broadcast a 500-row build side: {:?}",
+            explain.join_steps
+        );
+    }
+
+    #[test]
+    fn durable_update_recovers_without_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("s2rdf-wal-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        S2rdfStore::build(&g1(), &BuildOptions::default())
+            .save(&dir)
+            .unwrap();
+        let mut store = S2rdfStore::load(&dir).unwrap();
+        assert_eq!(store.wal_replayed(), 0);
+        store.insert(&[t("D", "likes", "I1")]).unwrap();
+        store.delete(&[t("B", "follows", "C")]).unwrap();
+        assert_eq!(store.wal_pending(), 2);
+        let expected: Vec<_> = PROBES
+            .iter()
+            .map(|q| store.query(q).unwrap().canonical())
+            .collect();
+        drop(store); // "crash": no checkpoint, WAL survives
+        let reopened = S2rdfStore::load(&dir).unwrap();
+        assert_eq!(reopened.wal_replayed(), 2);
+        for (q, want) in PROBES.iter().zip(&expected) {
+            assert_eq!(&reopened.query(q).unwrap().canonical(), want, "{q}");
+        }
+        let mut graph = g1();
+        graph.insert(&t("D", "likes", "I1"));
+        graph.remove(&t("B", "follows", "C"));
+        assert_matches_rebuild(&reopened, &graph, &BuildOptions::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_persists() {
+        let dir = std::env::temp_dir().join(format!("s2rdf-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        S2rdfStore::build(&g1(), &BuildOptions::default())
+            .save(&dir)
+            .unwrap();
+        let mut store = S2rdfStore::load(&dir).unwrap();
+        store.insert(&[t("D", "likes", "I1")]).unwrap();
+        store.delete(&[t("A", "likes", "I1")]).unwrap();
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.wal_records_truncated, 2);
+        assert!(report.tables_flushed > 0);
+        assert_eq!(report.dict_terms_appended, 0); // D, I1 already interned
+        assert_eq!(store.wal_pending(), 0);
+        // A second checkpoint with nothing dirty is a no-op.
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.tables_flushed, 0);
+        let expected: Vec<_> = PROBES
+            .iter()
+            .map(|q| store.query(q).unwrap().canonical())
+            .collect();
+        drop(store);
+        let reopened = S2rdfStore::load(&dir).unwrap();
+        assert_eq!(reopened.wal_replayed(), 0);
+        for (q, want) in PROBES.iter().zip(&expected) {
+            assert_eq!(&reopened.query(q).unwrap().canonical(), want, "{q}");
+        }
+        // The checkpointed store verifies clean.
+        let report = S2rdfStore::verify_and_repair(&dir).unwrap();
+        assert!(report.clean_after, "{report:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_persists_new_dictionary_terms() {
+        let dir = std::env::temp_dir().join(format!("s2rdf-dict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        S2rdfStore::build(&g1(), &BuildOptions::default())
+            .save(&dir)
+            .unwrap();
+        let mut store = S2rdfStore::load(&dir).unwrap();
+        store.insert(&[t("E", "knows", "F")]).unwrap();
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.dict_terms_appended, 3);
+        drop(store);
+        let reopened = S2rdfStore::load(&dir).unwrap();
+        let q = "SELECT * WHERE { ?x <knows> ?y }";
+        assert_eq!(reopened.query(q).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_backing_directory() {
+        let mut store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        assert!(store.checkpoint().is_err());
     }
 
     #[test]

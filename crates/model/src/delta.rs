@@ -1,0 +1,237 @@
+//! Dictionary-encoded triple deltas — the payload of one WAL record.
+//!
+//! A [`DeltaBatch`] captures one `insert`/`delete` call against a store:
+//! the terms it interned for the first time (in id order, so replaying the
+//! batch re-interns them and reproduces the exact same dense ids — interning
+//! is idempotent) and the triple operations themselves, referencing terms by
+//! id. The binary encoding is self-contained and *total* to decode: any
+//! byte string either parses or returns an error, never panics — the WAL
+//! layer below guarantees integrity via CRC, but replay still refuses to
+//! trust lengths it cannot verify.
+//!
+//! ```text
+//! payload := [u8 version=1]
+//!            [varint n_terms] ( [varint len] [len bytes of N-Triples term] )*
+//!            [varint n_ops]   ( [u8 op] [varint s] [varint p] [varint o] )*
+//! ```
+
+use crate::error::ModelError;
+use crate::term::Term;
+
+/// Format version of the encoded batch.
+const DELTA_VERSION: u8 = 1;
+
+/// One triple operation, components as dictionary ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRecord {
+    /// True for insert, false for delete.
+    pub insert: bool,
+    /// Subject id.
+    pub s: u32,
+    /// Predicate id.
+    pub p: u32,
+    /// Object id.
+    pub o: u32,
+}
+
+/// A batch of triple operations plus the dictionary growth they caused.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    /// Terms first interned by this batch, in id order: replay interns them
+    /// in sequence and obtains identical ids.
+    pub new_terms: Vec<Term>,
+    /// The operations, in application order.
+    pub ops: Vec<DeltaRecord>,
+}
+
+impl DeltaBatch {
+    /// True if the batch neither grows the dictionary nor touches triples.
+    pub fn is_empty(&self) -> bool {
+        self.new_terms.is_empty() && self.ops.is_empty()
+    }
+
+    /// Serializes the batch (see module docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![DELTA_VERSION];
+        write_varint(&mut out, self.new_terms.len() as u64);
+        for term in &self.new_terms {
+            let text = term.to_string();
+            write_varint(&mut out, text.len() as u64);
+            out.extend_from_slice(text.as_bytes());
+        }
+        write_varint(&mut out, self.ops.len() as u64);
+        for op in &self.ops {
+            out.push(if op.insert { 1 } else { 0 });
+            write_varint(&mut out, op.s as u64);
+            write_varint(&mut out, op.p as u64);
+            write_varint(&mut out, op.o as u64);
+        }
+        out
+    }
+
+    /// Decodes a batch. Total: malformed input yields an error, not a
+    /// panic, and trailing bytes are rejected.
+    pub fn decode(bytes: &[u8]) -> Result<DeltaBatch, ModelError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let version = cur.byte()?;
+        if version != DELTA_VERSION {
+            return Err(ModelError::InvalidDelta(format!(
+                "unsupported delta version {version}"
+            )));
+        }
+        let n_terms = cur.varint()?;
+        let mut new_terms = Vec::new();
+        for _ in 0..n_terms {
+            let len = cur.varint()? as usize;
+            let raw = cur.slice(len)?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| ModelError::InvalidDelta("term is not UTF-8".to_string()))?;
+            new_terms.push(Term::parse_ntriples(text)?);
+        }
+        let n_ops = cur.varint()?;
+        let mut ops = Vec::new();
+        for _ in 0..n_ops {
+            let tag = cur.byte()?;
+            let insert = match tag {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ModelError::InvalidDelta(format!("bad op tag {other}")));
+                }
+            };
+            let s = cur.id()?;
+            let p = cur.id()?;
+            let o = cur.id()?;
+            ops.push(DeltaRecord { insert, s, p, o });
+        }
+        if cur.pos != bytes.len() {
+            return Err(ModelError::InvalidDelta(format!(
+                "{} trailing bytes after batch",
+                bytes.len() - cur.pos
+            )));
+        }
+        Ok(DeltaBatch { new_terms, ops })
+    }
+}
+
+/// LEB128 variable-length encoding, least-significant group first.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Bounds-checked reader over the encoded bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn byte(&mut self) -> Result<u8, ModelError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| ModelError::InvalidDelta("unexpected end of batch".to_string()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn slice(&mut self, len: usize) -> Result<&[u8], ModelError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ModelError::InvalidDelta("unexpected end of batch".to_string()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, ModelError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(ModelError::InvalidDelta("varint too long".to_string()))
+    }
+
+    fn id(&mut self) -> Result<u32, ModelError> {
+        u32::try_from(self.varint()?)
+            .map_err(|_| ModelError::InvalidDelta("term id exceeds u32".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeltaBatch {
+        DeltaBatch {
+            new_terms: vec![
+                Term::iri("http://example.org/a"),
+                Term::lang_literal("héllo", "en"),
+                Term::blank("n0"),
+            ],
+            ops: vec![
+                DeltaRecord {
+                    insert: true,
+                    s: 0,
+                    p: 1,
+                    o: 2,
+                },
+                DeltaRecord {
+                    insert: false,
+                    s: 300,
+                    p: 70000,
+                    o: u32::MAX,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let batch = sample();
+        assert_eq!(DeltaBatch::decode(&batch.encode()).unwrap(), batch);
+        let empty = DeltaBatch::default();
+        assert!(empty.is_empty());
+        assert_eq!(DeltaBatch::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_is_total() {
+        let encoded = sample().encode();
+        // Every truncation either errors or (never) panics.
+        for cut in 0..encoded.len() {
+            let _ = DeltaBatch::decode(&encoded[..cut]);
+        }
+        // Every single-byte corruption is survived too.
+        for i in 0..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[i] ^= 0x55;
+            let _ = DeltaBatch::decode(&bad);
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(DeltaBatch::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn rejects_structurally_bad_input() {
+        assert!(DeltaBatch::decode(&[]).is_err());
+        assert!(DeltaBatch::decode(&[9]).is_err()); // bad version
+        assert!(DeltaBatch::decode(&[1, 0, 1, 7, 0, 0, 0]).is_err()); // bad op tag
+    }
+}

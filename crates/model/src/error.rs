@@ -10,6 +10,8 @@ pub enum ModelError {
     /// An N-Triples line is malformed. Carries the 1-based line number and a
     /// description of the problem.
     InvalidLine { line: usize, message: String },
+    /// An encoded delta batch is malformed (see [`crate::delta`]).
+    InvalidDelta(String),
     /// An I/O error occurred while reading or writing a document.
     Io(String),
 }
@@ -21,6 +23,7 @@ impl fmt::Display for ModelError {
             ModelError::InvalidLine { line, message } => {
                 write!(f, "invalid N-Triples line {line}: {message}")
             }
+            ModelError::InvalidDelta(m) => write!(f, "invalid delta batch: {m}"),
             ModelError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

@@ -140,6 +140,31 @@ impl Graph {
     pub fn contains(&self, t: EncodedTriple) -> bool {
         self.seen.contains(&t)
     }
+
+    /// Removes a decoded triple. Returns true if it was present. The
+    /// dictionary is never shrunk — ids stay stable across deletions, which
+    /// WAL replay relies on.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id(&triple.s),
+            self.dict.id(&triple.p),
+            self.dict.id(&triple.o),
+        ) else {
+            return false;
+        };
+        self.remove_encoded(EncodedTriple { s, p, o })
+    }
+
+    /// Removes an already-encoded triple, preserving the insertion order of
+    /// the survivors. Returns true if it was present.
+    pub fn remove_encoded(&mut self, t: EncodedTriple) -> bool {
+        if self.seen.remove(&t) {
+            self.triples.retain(|x| *x != t);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +231,24 @@ mod tests {
             };
             assert!(g2.contains(enc));
         }
+    }
+
+    #[test]
+    fn remove_keeps_order_and_dictionary() {
+        let mut g = g1();
+        let dict_len = g.dict().len();
+        assert!(g.remove(&t("B", "follows", "C")));
+        assert!(!g.remove(&t("B", "follows", "C")), "already gone");
+        assert!(!g.remove(&t("B", "follows", "nope")), "unknown term");
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.dict().len(), dict_len, "ids stay stable");
+        // Survivors keep their relative order.
+        let decoded: Vec<_> = g.iter_decoded().collect();
+        assert_eq!(decoded[0], t("A", "follows", "B"));
+        assert_eq!(decoded[1], t("B", "follows", "D"));
+        // Re-inserting is a fresh insert.
+        assert!(g.insert(&t("B", "follows", "C")));
+        assert_eq!(g.len(), 7);
     }
 
     #[test]

@@ -8,15 +8,19 @@
 //!   [`TermId`]s (the analogue of Parquet's dictionary encoding in the
 //!   paper's storage layer),
 //! * [`Graph`] — a set of dictionary-encoded triples with per-predicate
-//!   access, and
+//!   access,
+//! * [`delta`] — encoded insert/delete batches, the unit of durable store
+//!   updates, and
 //! * [`ntriples`] — line-based N-Triples reading and writing.
 
+pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod graph;
 pub mod ntriples;
 pub mod term;
 
+pub use delta::{DeltaBatch, DeltaRecord};
 pub use dict::{Dictionary, TermId};
 pub use error::ModelError;
 pub use graph::{EncodedTriple, Graph};
