@@ -1,0 +1,390 @@
+//! Writes `BENCH_pr7.json` — the cost-based join-order planner artifact.
+//!
+//! Usage: `bench_pr7 [--scale 1] [--out BENCH_pr7.json] [--baseline BENCH_pr5.json]`
+//!
+//! Four scenarios:
+//!
+//! 1. **Join-order workload** — every Incremental Linear template (Fig. 12
+//!    / §7.3 shape) instantiated once, plus crafted queries whose greedy
+//!    order is provably suboptimal, each run through the ExtVP engine with
+//!    greedy ordering (`--dp-max-patterns 0`) and with the DP planner
+//!    (default). Results must agree; DP must differ from greedy on at
+//!    least one query without doing more naive join comparisons on it,
+//!    and must not do more total comparisons across the workload.
+//! 2. **Mid-query re-planning** — a star query whose bound-constant first
+//!    scan is underestimated 10× by the `size × 0.1` heuristic; with an
+//!    aggressive threshold the AQE loop must fire and preserve the result
+//!    multiset against a run with re-planning disabled.
+//! 3. **Cost-model calibration** — the `(build, probe, out, wall)` samples
+//!    collected from every join of scenario 1 are fed to
+//!    [`CostModel::calibrate`]; the fitted per-row constants are reported
+//!    in the artifact.
+//! 4. **PR-5 comparable** — the exact BENCH_pr5 `par_join` workload
+//!    through the adaptive planner. With `--baseline`, the new median is
+//!    diffed against the committed BENCH_pr5 wall time and the run fails
+//!    on a >20 % regression (plus a 25 ms absolute floor).
+//!
+//! Wall times are medians of 3 runs; comparison counters are deterministic.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use s2rdf_bench::{dataset, Args};
+use s2rdf_columnar::exec::{natural_join_adaptive, JoinConfig};
+use s2rdf_columnar::{metrics, Schema, Table};
+use s2rdf_core::compiler::cost::{CostModel, JoinSample};
+use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::exec::{Explain, QueryOptions};
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::Workload;
+
+const WSDBM: &str = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+
+/// Regression tolerance against the committed baseline: 20 % relative plus
+/// a 25 ms absolute floor.
+const BASELINE_REL_PCT: f64 = 20.0;
+const BASELINE_ABS_FLOOR_MS: f64 = 25.0;
+
+struct QueryResult {
+    name: String,
+    comparisons_greedy: u64,
+    comparisons_dp: u64,
+    wall_greedy_ms: f64,
+    wall_dp_ms: f64,
+    order_differs: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: u32 = args.get("scale", 1);
+    let out_path: String = args.get("out", "BENCH_pr7.json".to_string());
+    let baseline_path: String = args.get("baseline", String::new());
+    metrics::set_enabled(true);
+
+    eprintln!("generating SF{scale} and building the ExtVP store…");
+    let data = dataset(scale);
+    let store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let engine = store.engine(true);
+
+    // ---- Scenario 1: greedy vs DP over the IL workload --------------------
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut queries: Vec<(String, String)> = Workload::incremental_linear()
+        .templates
+        .iter()
+        .map(|t| (t.name.to_string(), t.instantiate(&data, &mut rng)))
+        .collect();
+    // Crafted shapes where Algorithm 4's most-bound-first start is a trap:
+    // the bound pattern sits on the biggest predicate (friendOf), while an
+    // unbound chain over small predicates is far more selective.
+    queries.push((
+        "crafted-bound-big".to_string(),
+        format!(
+            "SELECT * WHERE {{ ?x <{WSDBM}friendOf> <{WSDBM}User0> . \
+             ?x <{WSDBM}likes> ?p . ?q <{WSDBM}likes> ?p }}"
+        ),
+    ));
+    queries.push((
+        "crafted-bound-chain".to_string(),
+        format!(
+            "SELECT * WHERE {{ ?x <{WSDBM}friendOf> <{WSDBM}User3> . \
+             ?x <{WSDBM}subscribes> ?w . ?v <{WSDBM}subscribes> ?w . \
+             ?v <{WSDBM}likes> ?p }}"
+        ),
+    ));
+
+    let greedy_opts = QueryOptions {
+        dp_max_patterns: 0,
+        replan_threshold: 0.0,
+        ..Default::default()
+    };
+    let dp_opts = QueryOptions {
+        replan_threshold: 0.0,
+        ..Default::default()
+    };
+    let scan_order = |ex: &Explain| {
+        ex.bgp_steps
+            .iter()
+            .map(|s| s.table.clone())
+            .collect::<Vec<_>>()
+    };
+
+    let mut results: Vec<QueryResult> = Vec::new();
+    let mut samples: Vec<JoinSample> = Vec::new();
+    for (name, sparql) in &queries {
+        let (wall_greedy_ms, greedy) = median3_query(&engine, sparql, &greedy_opts);
+        let (wall_dp_ms, dp) = median3_query(&engine, sparql, &dp_opts);
+        let (g_sol, g_ex) = greedy;
+        let (d_sol, d_ex) = dp;
+        assert_eq!(
+            g_sol.canonical(),
+            d_sol.canonical(),
+            "{name}: greedy and DP orders disagree on results"
+        );
+        assert_eq!(g_ex.join_order_method, "greedy", "{name}");
+        if !d_ex.statically_empty {
+            assert_eq!(d_ex.join_order_method, "dp", "{name}");
+        }
+        samples.extend(d_ex.join_steps.iter().map(|j| JoinSample {
+            build_rows: j.decision.build_rows,
+            probe_rows: j.decision.probe_rows,
+            out_rows: j.decision.out_rows,
+            wall_micros: j.wall_micros,
+        }));
+        results.push(QueryResult {
+            name: name.clone(),
+            comparisons_greedy: g_ex.naive_join_comparisons,
+            comparisons_dp: d_ex.naive_join_comparisons,
+            wall_greedy_ms,
+            wall_dp_ms,
+            order_differs: scan_order(&g_ex) != scan_order(&d_ex),
+        });
+    }
+    let orders_differ = results.iter().filter(|r| r.order_differs).count();
+    let dp_wins = results
+        .iter()
+        .filter(|r| r.order_differs && r.comparisons_dp <= r.comparisons_greedy)
+        .count();
+    let total_greedy: u64 = results.iter().map(|r| r.comparisons_greedy).sum();
+    let total_dp: u64 = results.iter().map(|r| r.comparisons_dp).sum();
+    assert!(
+        dp_wins >= 1,
+        "DP never chose a different no-slower order than greedy \
+         ({orders_differ} orders differ)"
+    );
+    assert!(
+        total_dp <= total_greedy,
+        "DP did more naive comparisons than greedy across the workload: \
+         {total_dp} vs {total_greedy}"
+    );
+    eprintln!(
+        "join order: {}/{} queries re-ordered by DP ({dp_wins} no-slower), \
+         comparisons {total_dp} vs greedy {total_greedy}",
+        orders_differ,
+        results.len()
+    );
+
+    // ---- Scenario 2: AQE re-planning fires and preserves results ----------
+    // The bound-constant heuristic estimates `size × 0.1` for the first
+    // scan, but a single user's likes are a far smaller slice of VP_likes
+    // — the observed cardinality diverges well past the threshold.
+    let replan_query = format!(
+        "SELECT * WHERE {{ <{WSDBM}User125> <{WSDBM}likes> ?a . \
+         ?b <{WSDBM}likes> ?a . ?b <{WSDBM}follows> ?c }}"
+    );
+    let replan_opts = QueryOptions {
+        replan_threshold: 1.5,
+        ..Default::default()
+    };
+    let (r_sol, r_ex) = engine
+        .query_opt(&replan_query, &replan_opts)
+        .expect("query");
+    let (r0_sol, r0_ex) = engine
+        .query_opt(
+            &replan_query,
+            &QueryOptions {
+                replan_threshold: 0.0,
+                ..Default::default()
+            },
+        )
+        .expect("query");
+    assert_eq!(
+        r_sol.canonical(),
+        r0_sol.canonical(),
+        "re-planning changed the result multiset"
+    );
+    assert!(r0_ex.replans.is_empty());
+    assert!(
+        !r_ex.replans.is_empty(),
+        "the seeded mis-estimate did not trigger a re-plan at threshold {}",
+        replan_opts.replan_threshold
+    );
+    eprintln!(
+        "replan: {} re-plan(s) fired at threshold {}, {} rows unchanged",
+        r_ex.replans.len(),
+        replan_opts.replan_threshold,
+        r_sol.len()
+    );
+
+    // ---- Scenario 3: cost-model calibration from observed joins -----------
+    let fitted = CostModel::calibrate(&samples);
+    eprintln!(
+        "cost model: calibrated from {} joins → build {:.4}, probe {:.4}, out {:.4} µs/row",
+        samples.len(),
+        fitted.build_micros_per_row,
+        fitted.probe_micros_per_row,
+        fitted.out_micros_per_row
+    );
+
+    // ---- Scenario 4: the BENCH_pr5 par_join workload -----------------------
+    const ROWS: u32 = 200_000;
+    let left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..ROWS).map(|x| x % 4096).collect(), (0..ROWS).collect()],
+    );
+    let right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
+    );
+    let pr5_cfg = JoinConfig {
+        max_partitions: 8,
+        ..JoinConfig::default()
+    };
+    let (par_ms, _) = median3(|| natural_join_adaptive(&left, &right, &pr5_cfg).0.num_rows());
+    eprintln!("pr5 workload: adaptive planner {par_ms:.1} ms");
+
+    // ---- Baseline diff -----------------------------------------------------
+    let mut baseline_json = String::new();
+    if !baseline_path.is_empty() {
+        let doc = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let base_par =
+            extract_wall_ms(&doc, "\"par_join\"").expect("baseline has no par_join.wall_ms");
+        check_regression("par_join", par_ms, base_par);
+        let _ = write!(
+            baseline_json,
+            "  \"baseline\": {{\n    \"path\": \"{}\",\n    \
+             \"par_join_base_ms\": {base_par:.3}, \"par_join_new_ms\": {par_ms:.3},\n    \
+             \"rel_tolerance_pct\": {BASELINE_REL_PCT}, \"abs_floor_ms\": {BASELINE_ABS_FLOOR_MS}\n  }},\n",
+            metrics::json_escape(&baseline_path)
+        );
+    }
+
+    // ---- Artifact ----------------------------------------------------------
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr7\",");
+    let _ = writeln!(doc, "  \"scale\": {scale},");
+    let _ = writeln!(doc, "  \"join_order\": {{");
+    let _ = writeln!(doc, "    \"queries\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            doc,
+            "      {{\"name\": \"{}\", \"comparisons_greedy\": {}, \"comparisons_dp\": {}, \
+             \"wall_greedy_ms\": {:.3}, \"wall_dp_ms\": {:.3}, \"order_differs\": {}}}{}",
+            metrics::json_escape(&r.name),
+            r.comparisons_greedy,
+            r.comparisons_dp,
+            r.wall_greedy_ms,
+            r.wall_dp_ms,
+            r.order_differs,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(doc, "    ],");
+    let _ = writeln!(doc, "    \"orders_differ\": {orders_differ},");
+    let _ = writeln!(doc, "    \"dp_no_slower_wins\": {dp_wins},");
+    let _ = writeln!(
+        doc,
+        "    \"total_comparisons_greedy\": {total_greedy}, \"total_comparisons_dp\": {total_dp}"
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"replan\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"threshold\": {}, \"replans\": {}, \"rows\": {},",
+        replan_opts.replan_threshold,
+        r_ex.replans.len(),
+        r_sol.len()
+    );
+    let _ = writeln!(
+        doc,
+        "    \"results_unchanged\": true, \"replans_disabled_fired\": {}",
+        !r0_ex.replans.is_empty()
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"cost_model\": {{");
+    let _ = writeln!(doc, "    \"samples\": {},", samples.len());
+    let _ = writeln!(
+        doc,
+        "    \"build_micros_per_row\": {:.6},",
+        fitted.build_micros_per_row
+    );
+    let _ = writeln!(
+        doc,
+        "    \"probe_micros_per_row\": {:.6},",
+        fitted.probe_micros_per_row
+    );
+    let _ = writeln!(
+        doc,
+        "    \"out_micros_per_row\": {:.6}",
+        fitted.out_micros_per_row
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"par_join\": {{");
+    let _ = writeln!(doc, "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS},");
+    let _ = writeln!(doc, "    \"wall_ms\": {par_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    doc.push_str(&baseline_json);
+    let _ = writeln!(
+        doc,
+        "  \"operator_metrics\": {}",
+        metrics::snapshot().to_json()
+    );
+    doc.push_str("}\n");
+
+    std::fs::write(&out_path, doc).expect("write BENCH_pr7 artifact");
+    eprintln!("wrote {out_path}");
+}
+
+/// Median-of-3 wall time in milliseconds for one query/options pair; the
+/// solutions and explain of the last run are returned for the
+/// deterministic checks.
+fn median3_query(
+    engine: &dyn SparqlEngine,
+    sparql: &str,
+    options: &QueryOptions,
+) -> (
+    f64,
+    (s2rdf_core::exec::Solutions, s2rdf_core::exec::Explain),
+) {
+    let mut times = Vec::with_capacity(3);
+    let mut last = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let out = engine.query_opt(sparql, options).expect("query");
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (times[1], last.expect("ran"))
+}
+
+/// Fails the run when `new_ms` regresses past the relative tolerance plus
+/// the absolute floor.
+fn check_regression(name: &str, new_ms: f64, base_ms: f64) {
+    let bound = base_ms * (1.0 + BASELINE_REL_PCT / 100.0) + BASELINE_ABS_FLOOR_MS;
+    assert!(
+        new_ms <= bound,
+        "{name} regressed: {new_ms:.1} ms vs baseline {base_ms:.1} ms \
+         (bound {bound:.1} ms = +{BASELINE_REL_PCT}% +{BASELINE_ABS_FLOOR_MS} ms)"
+    );
+    eprintln!("baseline {name}: {new_ms:.1} ms vs {base_ms:.1} ms (bound {bound:.1} ms) — ok");
+}
+
+/// Extracts `"wall_ms": <number>` from the named JSON section of a
+/// BENCH_pr5-style artifact (both artifacts are written by this crate, so
+/// a positional scan is reliable).
+fn extract_wall_ms(doc: &str, section: &str) -> Option<f64> {
+    let start = doc.find(section)?;
+    let tail = &doc[start..];
+    let key = tail.find("\"wall_ms\": ")?;
+    let num = &tail[key + "\"wall_ms\": ".len()..];
+    let end = num.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    num[..end].parse().ok()
+}
+
+/// Median-of-3 wall time in milliseconds; returns the last run's row count.
+fn median3(mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(3);
+    let mut rows = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        rows = run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (times[1], rows)
+}

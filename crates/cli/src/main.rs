@@ -8,7 +8,8 @@
 //! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
 //!                [--explain] [--profile] [--no-extvp]
 //!                [--broadcast-threshold <rows>] [--target-partition-rows <N>]
-//!                [--max-partitions <N>]
+//!                [--max-partitions <N>] [--dp-max-patterns <N>]
+//!                [--replan-threshold <ratio>]
 //! s2rdf update   --store ./db [--insert add.nt] [--delete del.nt]
 //!                [--checkpoint]
 //! s2rdf checkpoint --store ./db
@@ -39,6 +40,7 @@ const USAGE: &str = "usage:
                  [--explain] [--profile] [--no-extvp] [--intersect]
                  [--max-print <N>] [--broadcast-threshold <rows>]
                  [--target-partition-rows <N>] [--max-partitions <N>]
+                 [--dp-max-patterns <N>] [--replan-threshold <ratio>]
   s2rdf update   --store <dir> [--insert <file.nt>] [--delete <file.nt>]
                  [--checkpoint]
   s2rdf checkpoint --store <dir>
@@ -213,12 +215,18 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     if let Some(s) = args.opt_value("max-partitions") {
         join.max_partitions = s.parse().map_err(|_| "bad --max-partitions")?;
     }
-    let options = QueryOptions {
+    let mut options = QueryOptions {
         intersect_correlations: args.flag("intersect"),
         profile,
         join,
         ..Default::default()
     };
+    if let Some(s) = args.opt_value("dp-max-patterns") {
+        options.dp_max_patterns = s.parse().map_err(|_| "bad --dp-max-patterns")?;
+    }
+    if let Some(s) = args.opt_value("replan-threshold") {
+        options.replan_threshold = s.parse().map_err(|_| "bad --replan-threshold")?;
+    }
     let start = Instant::now();
     let (solutions, explain) = engine
         .query_opt(&sparql, &options)
@@ -251,16 +259,38 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 );
             }
         }
+        if !explain.join_order_method.is_empty() {
+            println!("-- join order: {}", explain.join_order_method);
+        }
         for join in &explain.join_steps {
+            let est = join.est_out_rows.map_or(String::new(), |e| {
+                format!(", est {e} vs observed {} rows", join.decision.out_rows)
+            });
             println!(
-                "-- join [{}] {}{}",
+                "-- join [{}] {}{} ({} µs){}",
                 join.context,
                 join.decision.summary(),
+                est,
+                join.wall_micros,
                 if join.reused_index {
                     " (index reused)"
                 } else {
                     ""
                 }
+            );
+        }
+        for replan in &explain.replans {
+            println!(
+                "-- replan after step {}: est {:.0} vs observed {} rows → {}tail [{}]",
+                replan.after_step,
+                replan.estimated_rows,
+                replan.observed_rows,
+                if replan.changed {
+                    "re-ordered "
+                } else {
+                    "unchanged "
+                },
+                replan.new_order.join(", ")
             );
         }
         println!(

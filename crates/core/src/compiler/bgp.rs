@@ -1,4 +1,5 @@
-//! BGP compilation — the paper's Algorithms 3 and 4.
+//! BGP compilation — the paper's Algorithms 3 and 4, with cost-based join
+//! ordering layered on top (see [`super::cost`]).
 
 use rustc_hash::FxHashSet;
 
@@ -7,6 +8,7 @@ use s2rdf_sparql::TriplePattern;
 
 use crate::catalog::Catalog;
 
+use super::cost::{self, CostModel, JoinGraph, OrderMethod};
 use super::selection::select_with_candidates;
 use super::{BgpPlan, TableSource, TpPlan};
 
@@ -16,9 +18,13 @@ pub struct CompileOptions {
     /// Use ExtVP candidates in table selection (off = the paper's "S2RDF
     /// VP" configuration).
     pub use_extvp: bool,
-    /// Apply join-order optimization (Alg. 4). Off reproduces the naive
-    /// Alg. 3 ordering for the Fig. 12 ablation.
+    /// Apply join-order optimization (Alg. 4 / cost-based DP). Off
+    /// reproduces the naive Alg. 3 ordering for the Fig. 12 ablation.
     pub optimize_join_order: bool,
+    /// Largest BGP ordered by exact left-deep DP enumeration; larger BGPs
+    /// fall back to the greedy Algorithm 4 order. `0` disables DP
+    /// entirely (greedy-only, the pre-cost-model behaviour).
+    pub dp_max_patterns: usize,
 }
 
 impl Default for CompileOptions {
@@ -26,6 +32,7 @@ impl Default for CompileOptions {
         CompileOptions {
             use_extvp: true,
             optimize_join_order: true,
+            dp_max_patterns: 10,
         }
     }
 }
@@ -42,8 +49,8 @@ pub fn compile_bgp(
         let (sel, candidates) = select_with_candidates(tp, bgp, catalog, dict, options.use_extvp);
         if sel.source == TableSource::Empty {
             return BgpPlan {
-                steps: Vec::new(),
                 statically_empty: true,
+                ..BgpPlan::default()
             };
         }
         // Everything except the chosen table is an extra reducer.
@@ -59,51 +66,155 @@ pub fn compile_bgp(
             extra_reducers,
         });
     }
+    let stats = Some((catalog, dict));
     if options.optimize_join_order {
-        steps = order_steps(steps);
-    }
-    BgpPlan {
-        steps,
-        statically_empty: false,
+        let ordered =
+            order_steps_cost_based(steps, stats, &CostModel::default(), options.dp_max_patterns);
+        BgpPlan {
+            steps: ordered.steps,
+            statically_empty: false,
+            prefix_est: ordered.prefix_est,
+            order_method: ordered.method,
+            graph: ordered.graph,
+        }
+    } else {
+        // Keep the written order, but still build the join graph and its
+        // prefix estimates: the executor's estimated-vs-observed explain
+        // (and the AQE replan hook) work for the ablation configuration
+        // too.
+        let (graph, prefix_est) = graph_for_order(&steps, stats);
+        BgpPlan {
+            steps,
+            statically_empty: false,
+            prefix_est,
+            order_method: OrderMethod::Input,
+            graph,
+        }
     }
 }
 
-/// Join-order optimization (Alg. 4): repeatedly pick, among the remaining
-/// patterns that share a variable with the patterns chosen so far (to avoid
-/// cross joins), the one with the most bound positions, breaking ties by
-/// smallest selected-table cardinality. The first pick considers all
-/// patterns; a cross join is only accepted when no connected pattern
-/// remains.
-fn order_steps(mut remaining: Vec<TpPlan>) -> Vec<TpPlan> {
+/// An ordered step sequence plus the planner state the executor needs for
+/// estimated-vs-observed feedback.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedSteps {
+    /// Steps in execution order.
+    pub steps: Vec<TpPlan>,
+    /// Estimated accumulator cardinality after each prefix (aligned with
+    /// `steps`; empty when the BGP exceeds the planner's 64-pattern graph
+    /// limit).
+    pub prefix_est: Vec<f64>,
+    /// Which algorithm produced the order.
+    pub method: OrderMethod,
+    /// The join graph over `steps` (same indices), for mid-query
+    /// re-planning. Empty past the 64-pattern limit.
+    pub graph: JoinGraph,
+}
+
+/// The single ordering core behind every engine (tentpole of the
+/// cost-based-planning PR): canonicalize the input order, build the join
+/// graph, then let [`cost::plan_order`] choose DP or greedy.
+///
+/// Canonicalization sorts by the greedy criteria (bound count desc, table
+/// size asc) and finally by the pattern's text — so exact ties no longer
+/// depend on the order the query author wrote the patterns in, making
+/// compiled plans permutation-invariant.
+pub fn order_steps_cost_based(
+    mut steps: Vec<TpPlan>,
+    stats: Option<(&Catalog, &Dictionary)>,
+    cost_model: &CostModel,
+    dp_max: usize,
+) -> OrderedSteps {
+    steps.sort_by(|a, b| {
+        b.tp.bound_count()
+            .cmp(&a.tp.bound_count())
+            .then(a.size.cmp(&b.size))
+            .then_with(|| a.tp.to_string().cmp(&b.tp.to_string()))
+    });
+    if steps.len() > 64 {
+        // Beyond the graph's u64 adjacency masks: greedy over var sets,
+        // no selectivity model (and hence no replan estimates).
+        return OrderedSteps {
+            steps: order_steps_large(steps),
+            prefix_est: Vec::new(),
+            method: OrderMethod::Greedy,
+            graph: JoinGraph::default(),
+        };
+    }
+    let graph = JoinGraph::build(&steps, stats);
+    let planned = cost::plan_order(&graph, cost_model, dp_max);
+    let steps: Vec<TpPlan> = planned.order.iter().map(|&i| steps[i].clone()).collect();
+    // Rebuild the graph over the final order so the executor's node
+    // indices line up with step positions.
+    let graph = JoinGraph::build(&steps, stats);
+    OrderedSteps {
+        steps,
+        prefix_est: planned.prefix_est,
+        method: planned.method,
+        graph,
+    }
+}
+
+/// Builds the join graph over an externally fixed order and evaluates the
+/// prefix cardinality estimates along it.
+fn graph_for_order(
+    steps: &[TpPlan],
+    stats: Option<(&Catalog, &Dictionary)>,
+) -> (JoinGraph, Vec<f64>) {
+    if steps.len() > 64 {
+        return (JoinGraph::default(), Vec::new());
+    }
+    let graph = JoinGraph::build(steps, stats);
+    let mut prefix_est = Vec::with_capacity(steps.len());
+    let mut card = 0.0;
+    let mut mask = 0u64;
+    for i in 0..steps.len() {
+        card = if i == 0 {
+            graph.nodes[0].est_rows
+        } else {
+            graph.extend_card(card, mask, i)
+        };
+        mask |= 1u64 << i;
+        prefix_est.push(card);
+    }
+    (graph, prefix_est)
+}
+
+/// Greedy ordering for BGPs too large for the join graph (> 64 patterns):
+/// the paper's Algorithm 4 over variable sets, including this PR's
+/// cross-join fix (a forced cross join picks the smallest table, not the
+/// most-bound pattern — bound counts say nothing about a cross product's
+/// size).
+fn order_steps_large(mut remaining: Vec<TpPlan>) -> Vec<TpPlan> {
     let mut ordered = Vec::with_capacity(remaining.len());
     let mut bound_vars: FxHashSet<String> = FxHashSet::default();
     while !remaining.is_empty() {
-        let connected = |p: &TpPlan| {
-            bound_vars.is_empty() || p.tp.vars().iter().any(|v| bound_vars.contains(*v))
-        };
-        let candidate_set: Vec<usize> = {
+        let connected = |p: &TpPlan| p.tp.vars().iter().any(|v| bound_vars.contains(*v));
+        let (candidate_set, forced_cross): (Vec<usize>, bool) = {
             let conn: Vec<usize> = (0..remaining.len())
-                .filter(|&i| connected(&remaining[i]))
+                .filter(|&i| bound_vars.is_empty() || connected(&remaining[i]))
                 .collect();
             if conn.is_empty() {
-                (0..remaining.len()).collect() // forced cross join
+                ((0..remaining.len()).collect(), true)
             } else {
-                conn
+                (conn, false)
             }
         };
         // First minimum wins (manual loop: `Iterator::min_by` keeps the
-        // *last* of equal elements, which would make plans depend on input
-        // permutation).
+        // *last* of equal elements; with the canonical pre-sort in
+        // `order_steps_cost_based`, first-wins means canonical-wins).
         let mut best = candidate_set[0];
         for &i in &candidate_set[1..] {
             let (cur, cand) = (&remaining[best], &remaining[i]);
-            let better = cand
-                .tp
-                .bound_count()
-                .cmp(&cur.tp.bound_count()) // more bound values first
-                .reverse()
-                .then(cand.size.cmp(&cur.size)) // then smaller tables first
-                .is_lt();
+            let better = if forced_cross {
+                cand.size.cmp(&cur.size).is_lt()
+            } else {
+                cand.tp
+                    .bound_count()
+                    .cmp(&cur.tp.bound_count()) // more bound values first
+                    .reverse()
+                    .then(cand.size.cmp(&cur.size)) // then smaller tables first
+                    .is_lt()
+            };
             if better {
                 best = i;
             }
@@ -118,11 +229,14 @@ fn order_steps(mut remaining: Vec<TpPlan>) -> Vec<TpPlan> {
 }
 
 /// Orders raw triple patterns for engines without per-pattern table
-/// statistics (triples-table, centralized, batch baselines): same greedy
-/// strategy with a caller-provided size estimate.
+/// statistics (triples-table, centralized, batch baselines): the same
+/// ordering core as the S2RDF engine — cost-based DP up to `dp_max`
+/// patterns, greedy beyond — with a caller-provided size estimate and the
+/// containment default in place of ExtVP selectivities.
 pub fn order_patterns_by<F: Fn(&TriplePattern) -> usize>(
     bgp: &[TriplePattern],
     estimate: F,
+    dp_max: usize,
 ) -> Vec<TriplePattern> {
     let steps: Vec<TpPlan> = bgp
         .iter()
@@ -134,7 +248,11 @@ pub fn order_patterns_by<F: Fn(&TriplePattern) -> usize>(
             extra_reducers: Vec::new(),
         })
         .collect();
-    order_steps(steps).into_iter().map(|s| s.tp).collect()
+    order_steps_cost_based(steps, None, &CostModel::default(), dp_max)
+        .steps
+        .into_iter()
+        .map(|s| s.tp)
+        .collect()
 }
 
 #[cfg(test)]
@@ -185,16 +303,20 @@ mod tests {
             &cat,
             &dict,
             CompileOptions {
-                use_extvp: true,
                 optimize_join_order: false,
+                ..Default::default()
             },
         );
         let order: Vec<&TriplePattern> = plan.steps.iter().map(|s| &s.tp).collect();
         assert_eq!(order, q1().iter().collect::<Vec<_>>());
+        assert_eq!(plan.order_method, OrderMethod::Input);
+        // Prefix estimates are still computed for the ablation plan.
+        assert_eq!(plan.prefix_est.len(), 4);
     }
 
     /// The paper's Fig. 12: join-order optimization starts with the two
-    /// smallest tables (TP3 with SF 0.25, then TP4 with SF 0.33).
+    /// smallest tables (TP3 with SF 0.25, then TP4 with SF 0.33). The DP
+    /// planner agrees with the paper's greedy choice on this query.
     #[test]
     fn fig12_join_order() {
         let (dict, cat) = fig11();
@@ -202,6 +324,7 @@ mod tests {
         let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
         assert!(!plan.statically_empty);
         assert_eq!(plan.steps.len(), 4);
+        assert_eq!(plan.order_method, OrderMethod::Dp);
         // First step: TP3 (size 1).
         assert_eq!(plan.steps[0].tp, bgp[2]);
         assert_eq!(plan.steps[0].size, 1);
@@ -211,6 +334,29 @@ mod tests {
         assert_eq!(plan.steps[2].tp, bgp[1]);
         // Last: TP1 (size 3).
         assert_eq!(plan.steps[3].tp, bgp[0]);
+        // Every prefix carries a cardinality estimate for the executor's
+        // observed-vs-estimated feedback.
+        assert_eq!(plan.prefix_est.len(), 4);
+        assert!(plan.prefix_est.iter().all(|&e| e > 0.0));
+    }
+
+    /// Greedy (dp_max = 0) reproduces the paper's Algorithm 4 order.
+    #[test]
+    fn fig12_join_order_greedy() {
+        let (dict, cat) = fig11();
+        let bgp = q1();
+        let plan = compile_bgp(
+            &bgp,
+            &cat,
+            &dict,
+            CompileOptions {
+                dp_max_patterns: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plan.order_method, OrderMethod::Greedy);
+        let order: Vec<&TriplePattern> = plan.steps.iter().map(|s| &s.tp).collect();
+        assert_eq!(order, vec![&bgp[2], &bgp[3], &bgp[1], &bgp[0]]);
     }
 
     #[test]
@@ -235,22 +381,70 @@ mod tests {
             TriplePattern::new(v("x"), p("likes"), v("y")),
             TriplePattern::new(v("b"), p("follows"), v("x")),
         ];
-        let plan = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
-        // Whatever starts, each later step must share a variable with the
-        // accumulated set.
-        let mut seen: Vec<String> = plan.steps[0]
-            .tp
-            .vars()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        for step in &plan.steps[1..] {
-            assert!(
-                step.tp.vars().iter().any(|v| seen.contains(&v.to_string())),
-                "cross join in plan"
+        for dp_max in [0, 10] {
+            let plan = compile_bgp(
+                &bgp,
+                &cat,
+                &dict,
+                CompileOptions {
+                    dp_max_patterns: dp_max,
+                    ..Default::default()
+                },
             );
-            seen.extend(step.tp.vars().iter().map(|s| s.to_string()));
+            // Whatever starts, each later step must share a variable with
+            // the accumulated set.
+            let mut seen: Vec<String> = plan.steps[0]
+                .tp
+                .vars()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            for step in &plan.steps[1..] {
+                assert!(
+                    step.tp.vars().iter().any(|v| seen.contains(&v.to_string())),
+                    "cross join in plan (dp_max {dp_max})"
+                );
+                seen.extend(step.tp.vars().iter().map(|s| s.to_string()));
+            }
         }
+    }
+
+    /// Regression test for the forced-cross-join comparator: with a
+    /// two-component BGP, once the first component is exhausted the
+    /// planner must bridge with the *smallest* table of the next
+    /// component, not the most-bound pattern. The old comparator picked
+    /// the bound huge table and cross-joined it against the accumulator.
+    #[test]
+    fn forced_cross_join_prefers_smallest_table() {
+        // Component one: a single fully bound pattern (chosen first).
+        // Component two: a huge table with 2 bound positions vs a tiny one
+        // with 1.
+        let bgp = vec![
+            TriplePattern::new(p("A"), p("isa"), p("B")),
+            TriplePattern::new(p("C"), p("big"), v("x")),
+            TriplePattern::new(v("x"), p("small"), v("y")),
+        ];
+        let est = |tp: &TriplePattern| {
+            if tp.p == p("big") {
+                1_000_000
+            } else if tp.p == p("small") {
+                5
+            } else {
+                1
+            }
+        };
+        // Greedy path (dp_max 0): the fix under test.
+        let ordered = order_patterns_by(&bgp, est, 0);
+        assert_eq!(ordered[0], bgp[0]);
+        assert_eq!(
+            ordered[1], bgp[2],
+            "forced cross join must bridge with the smallest table"
+        );
+        assert_eq!(ordered[2], bgp[1]);
+        // DP path agrees: the cross product with 5 rows is cheaper than
+        // one with a million.
+        let dp = order_patterns_by(&bgp, est, 10);
+        assert_eq!(dp, ordered);
     }
 
     #[test]
@@ -270,7 +464,56 @@ mod tests {
             TriplePattern::new(v("a"), p("big"), v("b")),
             TriplePattern::new(v("b"), p("small"), v("c")),
         ];
-        let ordered = order_patterns_by(&bgp, |tp| if tp.p == p("big") { 1000 } else { 1 });
-        assert_eq!(ordered[0].p, p("small"));
+        for dp_max in [0, 10] {
+            let ordered =
+                order_patterns_by(&bgp, |tp| if tp.p == p("big") { 1000 } else { 1 }, dp_max);
+            assert_eq!(ordered[0].p, p("small"));
+        }
+    }
+
+    /// Compiled plans are permutation-invariant: shuffling the BGP's
+    /// written order never changes the chosen join order, even for
+    /// patterns that tie on every greedy criterion (the canonical
+    /// pattern-text tie-break).
+    #[test]
+    fn plans_are_permutation_invariant() {
+        let (dict, cat) = fig11();
+        let bgp = q1();
+        let reference = compile_bgp(&bgp, &cat, &dict, CompileOptions::default());
+        let ref_order: Vec<&TriplePattern> = reference.steps.iter().map(|s| &s.tp).collect();
+        // All 24 permutations of Q1.
+        let perms = permutations(&[0, 1, 2, 3]);
+        for perm in perms {
+            let shuffled: Vec<TriplePattern> = perm.iter().map(|&i| bgp[i].clone()).collect();
+            for dp_max in [0, 10] {
+                let plan = compile_bgp(
+                    &shuffled,
+                    &cat,
+                    &dict,
+                    CompileOptions {
+                        dp_max_patterns: dp_max,
+                        ..Default::default()
+                    },
+                );
+                let order: Vec<&TriplePattern> = plan.steps.iter().map(|s| &s.tp).collect();
+                assert_eq!(order, ref_order, "perm {perm:?} dp_max {dp_max}");
+            }
+        }
+    }
+
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        if items.len() <= 1 {
+            return vec![items.to_vec()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut tail in permutations(&rest) {
+                tail.insert(0, x);
+                out.push(tail);
+            }
+        }
+        out
     }
 }

@@ -6,9 +6,14 @@
 //! * [`bgp`] — Algorithms 3/4: compile a BGP into an ordered join plan,
 //!   short-circuiting to the empty result when any selected table has
 //!   `SF = 0` and optionally reordering joins by bound-value count and
-//!   table cardinality.
+//!   table cardinality,
+//! * [`cost`] — the cost-based join-order planner layered on top of
+//!   Algorithm 4: a join graph with ExtVP-derived selectivities, a
+//!   calibrated per-row cost model, exact left-deep DP enumeration for
+//!   small BGPs and the AQE-style mid-query re-planning hook.
 
 pub mod bgp;
+pub mod cost;
 pub mod selection;
 
 use s2rdf_sparql::TriplePattern;
@@ -49,7 +54,8 @@ pub struct TpPlan {
 }
 
 /// A compiled BGP: an ordered sequence of triple-pattern plans to be
-/// joined left-to-right.
+/// joined left-to-right, plus the planner state the executor needs to
+/// compare estimated against observed cardinalities and re-plan mid-query.
 #[derive(Debug, Clone, Default)]
 pub struct BgpPlan {
     /// Join steps in execution order.
@@ -59,4 +65,14 @@ pub struct BgpPlan {
     /// that does not exist in the dataset can be answered by using the
     /// statistics only").
     pub statically_empty: bool,
+    /// Estimated accumulator cardinality after each step prefix
+    /// (`prefix_est[0]` is the first scan's estimate). Empty when the BGP
+    /// exceeds the planner's 64-pattern join-graph limit.
+    pub prefix_est: Vec<f64>,
+    /// Which ordering algorithm produced `steps`.
+    pub order_method: cost::OrderMethod,
+    /// The join graph over `steps` (same indices), used by the executor's
+    /// AQE feedback loop to re-order the remaining steps when observed
+    /// cardinalities diverge from `prefix_est`.
+    pub graph: cost::JoinGraph,
 }

@@ -154,7 +154,7 @@ impl BgpEvaluator for BatchEngine {
         ctx: &mut ExecContext<'_>,
     ) -> Result<Table, CoreError> {
         let ordered = if ctx.options.optimize_join_order {
-            order_patterns_by(bgp, |tp| self.estimate(tp))
+            order_patterns_by(bgp, |tp| self.estimate(tp), ctx.options.dp_max_patterns)
         } else {
             bgp.to_vec()
         };

@@ -243,7 +243,7 @@ impl BgpEvaluator for CentralizedEngine {
         ctx: &mut ExecContext<'_>,
     ) -> Result<Table, CoreError> {
         let plan = if ctx.options.optimize_join_order {
-            order_patterns_by(bgp, |tp| self.estimate(tp))
+            order_patterns_by(bgp, |tp| self.estimate(tp), ctx.options.dp_max_patterns)
         } else {
             bgp.to_vec()
         };

@@ -8,10 +8,12 @@ use s2rdf_sparql::{TermPattern, TriplePattern};
 
 use crate::catalog::ExtVpKey;
 use crate::compiler::bgp::{compile_bgp, CompileOptions};
+use crate::compiler::cost::{self, CostModel};
 use crate::compiler::{TableSource, TpPlan};
 use crate::error::CoreError;
 use crate::exec::{
-    BgpEvaluator, DegradedStep, ExecContext, Explain, QueryOptions, Solutions, StepExplain,
+    BgpEvaluator, DegradedStep, ExecContext, Explain, QueryOptions, ReplanExplain, Solutions,
+    StepExplain,
 };
 use crate::layout::{extvp_table_name, vp_table_name, TT_NAME};
 use crate::store::S2rdfStore;
@@ -288,8 +290,10 @@ impl BgpEvaluator for S2rdfEngine<'_> {
         let options = CompileOptions {
             use_extvp: self.use_extvp,
             optimize_join_order: ctx.options.optimize_join_order,
+            dp_max_patterns: ctx.options.dp_max_patterns,
         };
         let plan = compile_bgp(bgp, self.store.catalog(), self.store.dict(), options);
+        ctx.explain.join_order_method = plan.order_method.label().to_string();
         if plan.statically_empty {
             ctx.explain.statically_empty = true;
             return Ok(empty_bgp_table(bgp));
@@ -314,7 +318,19 @@ impl BgpEvaluator for S2rdfEngine<'_> {
         let mut index_cache: FxHashMap<(String, Vec<usize>), ops::BuildIndex> =
             FxHashMap::default();
         let mut result: Option<Table> = None;
-        for (step_no, step) in plan.steps.iter().enumerate() {
+        // Execution worklist over `plan.steps` indices. The compiler fixed
+        // the initial order; the AQE feedback loop below may permute the
+        // not-yet-executed tail when the materialized cardinality after a
+        // step diverges from the planner's estimate. `prefix_est[pos]` is
+        // the planner's estimate for the accumulator after executing
+        // `sequence[pos]` (re-spliced on every re-plan).
+        let mut sequence: Vec<usize> = (0..plan.steps.len()).collect();
+        let mut prefix_est = plan.prefix_est.clone();
+        let mut executed: Vec<usize> = Vec::with_capacity(plan.steps.len());
+        let mut pos = 0;
+        while pos < sequence.len() {
+            let step_no = sequence[pos];
+            let step = &plan.steps[step_no];
             ctx.check_deadline()?;
             let (scanned, source) = self.exec_step(step, ctx)?;
             result = Some(match result {
@@ -350,6 +366,7 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                     // huge accumulator costs seconds — so large joins
                     // always go through the adaptive planner.
                     let serial_regime = acc.num_rows() < ctx.options.join.serial_row_threshold;
+                    let join_started = std::time::Instant::now();
                     let (joined, decision) = match source {
                         Some(src) if !scan_keys.is_empty() && serial_regime => {
                             let cache_key = (src.clone(), scan_keys.clone());
@@ -382,7 +399,13 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                         }
                         _ => natural_join_adaptive(&acc, &scanned, &ctx.options.join),
                     };
-                    ctx.note_join_decision(format!("bgp step {step_no}"), decision, reused);
+                    ctx.note_join_decision(
+                        format!("bgp step {step_no}"),
+                        decision,
+                        reused,
+                        prefix_est.get(pos).map(|e| e.round().max(0.0) as u64),
+                        join_started.elapsed().as_micros() as u64,
+                    );
                     ctx.span_close(
                         span,
                         format!(
@@ -401,6 +424,52 @@ impl BgpEvaluator for S2rdfEngine<'_> {
                     joined
                 }
             });
+            executed.push(step_no);
+            // AQE feedback (paper §8 "adaptive optimization" direction):
+            // when the materialized accumulator diverges from the estimate
+            // by more than `replan_threshold` (in either direction) and at
+            // least two steps remain — with one remaining step there is
+            // nothing to reorder — re-run ordering over the tail with the
+            // observed cardinality as the known start. The graph is empty
+            // when ordering was disabled or the BGP exceeded the planner's
+            // 64-pattern limit; replanning is off in both cases.
+            let remaining = sequence.len() - pos - 1;
+            if ctx.options.replan_threshold > 0.0
+                && remaining >= 2
+                && plan.graph.len() == plan.steps.len()
+            {
+                if let (Some(est), Some(acc)) = (prefix_est.get(pos), result.as_ref()) {
+                    let observed = acc.num_rows();
+                    let lo = est.min(observed as f64).max(1.0);
+                    let hi = est.max(observed as f64).max(1.0);
+                    if hi / lo > ctx.options.replan_threshold {
+                        let new = cost::replan_remaining(
+                            &plan.graph,
+                            &executed,
+                            observed,
+                            &CostModel::default(),
+                            ctx.options.dp_max_patterns,
+                        );
+                        let changed = new.order != sequence[pos + 1..];
+                        ctx.explain.replans.push(ReplanExplain {
+                            after_step: pos,
+                            estimated_rows: *est,
+                            observed_rows: observed,
+                            changed,
+                            new_order: new
+                                .order
+                                .iter()
+                                .map(|&i| plan.steps[i].tp.to_string())
+                                .collect(),
+                        });
+                        sequence.truncate(pos + 1);
+                        sequence.extend(new.order);
+                        prefix_est.truncate(pos + 1);
+                        prefix_est.extend(new.prefix_est);
+                    }
+                }
+            }
+            pos += 1;
         }
         Ok(result.expect("eval_bgp called with non-empty BGP"))
     }
@@ -722,5 +791,74 @@ mod tests {
             th.query(Q1).unwrap().canonical(),
             full.query(Q1).unwrap().canonical()
         );
+    }
+
+    /// Seeded mis-estimate: a bound-subject star scan where the heuristic
+    /// (`size × 0.1`) underestimates the scan by 10× — every `p` triple
+    /// has subject `Hub`, so the bound constant filters nothing. The
+    /// divergence exceeds the default threshold (4.0), the AQE loop
+    /// re-plans the remaining two steps, and the result multiset is
+    /// unchanged against a run with re-planning disabled.
+    #[test]
+    fn replanning_fires_on_misestimate_and_preserves_results() {
+        let mut triples = Vec::new();
+        for i in 0..30 {
+            triples.push(t("Hub", "p", &format!("X{i}")));
+            triples.push(t(&format!("X{i}"), "q", &format!("Y{i}")));
+            triples.push(t(&format!("Y{i}"), "r", &format!("Z{i}")));
+        }
+        let store = S2rdfStore::build(&Graph::from_triples(triples), &BuildOptions::default());
+        let q = "SELECT * WHERE { <Hub> <p> ?a . ?a <q> ?b . ?b <r> ?c }";
+        let engine = store.engine(true);
+        let (with_replan, ex) = engine.query_opt(q, &QueryOptions::default()).unwrap();
+        let (without, ex_off) = engine
+            .query_opt(
+                q,
+                &QueryOptions {
+                    replan_threshold: 0.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(with_replan.canonical(), without.canonical());
+        assert_eq!(with_replan.len(), 30);
+        assert!(ex_off.replans.is_empty());
+        assert_eq!(ex.replans.len(), 1, "{:?}", ex.replans);
+        let replan = &ex.replans[0];
+        assert_eq!(replan.after_step, 0);
+        assert_eq!(replan.observed_rows, 30);
+        assert!(
+            replan.estimated_rows < 30.0 / 4.0,
+            "estimate {} should diverge beyond the threshold",
+            replan.estimated_rows
+        );
+        assert_eq!(replan.new_order.len(), 2);
+        // The join steps carry the (re-spliced) estimates for --profile.
+        assert!(ex.join_steps.iter().all(|j| j.est_out_rows.is_some()));
+    }
+
+    /// `StepExplain::est_rows` is resolved from the catalog at execution
+    /// time, so a delta applied between two runs of the same query must be
+    /// reflected in the second explain (regression guard for the PR 6
+    /// incremental-update path).
+    #[test]
+    fn explain_estimates_follow_deltas() {
+        let mut store = S2rdfStore::build(&g1(), &BuildOptions::default());
+        let q = "SELECT * WHERE { ?x <follows> ?y }";
+        let (_, before) = store
+            .engine(false)
+            .query_opt(q, &Default::default())
+            .unwrap();
+        assert_eq!(before.bgp_steps[0].est_rows, 4);
+        let inserts: Vec<Triple> = (0..20)
+            .map(|i| t(&format!("N{i}"), "follows", &format!("N{}", i + 1)))
+            .collect();
+        store.insert(&inserts).unwrap();
+        let (s, after) = store
+            .engine(false)
+            .query_opt(q, &Default::default())
+            .unwrap();
+        assert_eq!(s.len(), 24);
+        assert_eq!(after.bgp_steps[0].est_rows, 24);
     }
 }

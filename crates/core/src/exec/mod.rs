@@ -60,6 +60,17 @@ pub struct QueryOptions {
     /// hash join, partition-count derivation, straggler re-partitioning) —
     /// the analogues of Spark's `autoBroadcastJoinThreshold` and AQE knobs.
     pub join: JoinConfig,
+    /// Largest BGP whose join order is chosen by exact left-deep DP
+    /// enumeration over the ExtVP-derived cost model
+    /// ([`crate::compiler::cost`]); larger BGPs use the greedy Algorithm 4
+    /// order. `0` disables the DP planner entirely.
+    pub dp_max_patterns: usize,
+    /// AQE-style mid-query re-planning trigger: after each join
+    /// materializes, if observed/estimated cardinality (either direction)
+    /// exceeds this ratio and at least two steps remain, the remaining
+    /// join order is re-derived with the accumulator pinned to its
+    /// observed size. `0.0` disables re-planning.
+    pub replan_threshold: f64,
 }
 
 impl Default for QueryOptions {
@@ -73,6 +84,8 @@ impl Default for QueryOptions {
             max_intermediate_rows: None,
             profile: false,
             join: JoinConfig::default(),
+            dp_max_patterns: 10,
+            replan_threshold: 4.0,
         }
     }
 }
@@ -126,6 +139,34 @@ pub struct JoinExplain {
     /// True when the build-side hash index came from the star-pattern
     /// index cache instead of being rebuilt.
     pub reused_index: bool,
+    /// The cost model's estimated output cardinality for this join,
+    /// before it ran — compare against `decision.out_rows` (the observed
+    /// count) to see how far the statistics were off. `None` when the
+    /// engine had no estimate (baseline engines, pattern-level joins).
+    pub est_out_rows: Option<u64>,
+    /// Measured wall time of the join in microseconds — the per-join
+    /// sample the cost model is calibrated against
+    /// ([`crate::compiler::cost::CostModel::calibrate`]).
+    pub wall_micros: u64,
+}
+
+/// Record of one AQE-style mid-query re-plan: a join's observed
+/// cardinality diverged from the estimate beyond
+/// [`QueryOptions::replan_threshold`], so the remaining steps were
+/// re-ordered with the accumulator pinned to its observed size.
+#[derive(Debug, Clone)]
+pub struct ReplanExplain {
+    /// 0-based index of the BGP step whose join triggered the re-plan.
+    pub after_step: usize,
+    /// What the planner expected the join to produce.
+    pub estimated_rows: f64,
+    /// What it actually produced.
+    pub observed_rows: usize,
+    /// True when re-ordering actually changed the remaining sequence
+    /// (a triggered re-plan can confirm the current order is still best).
+    pub changed: bool,
+    /// The remaining steps' new execution order, as pattern text.
+    pub new_order: Vec<String>,
 }
 
 /// Record of one BGP step that executed in degraded mode: the planned ExtVP
@@ -173,6 +214,14 @@ pub struct Explain {
     /// re-splits (Spark's broadcast-vs-shuffle choice plus AQE skew
     /// handling, observable per join).
     pub join_steps: Vec<JoinExplain>,
+    /// How the BGP join order was chosen: `"dp"` (exact enumeration),
+    /// `"greedy"` (Algorithm 4) or `"input"` (ordering disabled / trivial
+    /// BGP). Empty when no BGP was compiled.
+    pub join_order_method: String,
+    /// Mid-query re-plans triggered by observed-vs-estimated cardinality
+    /// divergence, in execution order. Empty when re-planning is disabled
+    /// or estimates held up.
+    pub replans: Vec<ReplanExplain>,
     /// Per-operator span tree, collected when [`QueryOptions::profile`] is
     /// set (otherwise `None`).
     pub trace: Option<Trace>,
@@ -263,17 +312,22 @@ impl<'a> ExecContext<'a> {
     }
 
     /// Records the adaptive planner's decision for one executed join in
-    /// [`Explain::join_steps`].
+    /// [`Explain::join_steps`], together with the cost model's output
+    /// estimate (when one exists) and the measured wall time.
     pub fn note_join_decision(
         &mut self,
         context: impl Into<String>,
         decision: JoinDecision,
         reused_index: bool,
+        est_out_rows: Option<u64>,
+        wall_micros: u64,
     ) {
         self.explain.join_steps.push(JoinExplain {
             context: context.into(),
             decision,
             reused_index,
+            est_out_rows,
+            wall_micros,
         });
     }
 }

@@ -64,6 +64,7 @@ pub fn eval_pattern(
             // Hash joins treat NULL_ID as a value, so fall back to the
             // compatibility join when shared columns contain NULLs.
             let compat = needs_compat_join(&left, &right);
+            let join_started = std::time::Instant::now();
             let (out, decision) = if compat {
                 // The nested-loop compatibility join has no planner choice
                 // to make; record it as a serial decision so join_steps
@@ -83,6 +84,9 @@ pub fn eval_pattern(
                 natural_join_adaptive(&left, &right, &ctx.options.join)
             };
             ctx.note_join(left.num_rows(), right.num_rows(), out.num_rows())?;
+            // Pattern-level joins (between sub-patterns of JOIN/OPTIONAL
+            // groups) have no cost-model estimate: the planner works per
+            // BGP. Their wall time still feeds cost-model calibration.
             ctx.note_join_decision(
                 if compat {
                     "pattern join (compat)"
@@ -91,6 +95,8 @@ pub fn eval_pattern(
                 },
                 decision,
                 false,
+                None,
+                join_started.elapsed().as_micros() as u64,
             );
             ctx.span_close(
                 span,
