@@ -1,0 +1,313 @@
+//! Writes `BENCH_pr8.json` — the morsel-driven executor artifact.
+//!
+//! Usage: `bench_pr8 [--out BENCH_pr8.json] [--baseline BENCH_pr7.json]`
+//!
+//! Four scenarios:
+//!
+//! 1. **PR-7 comparable** — the exact BENCH_pr7 `par_join` workload
+//!    (200 k × 200 k adaptive join, 8 partitions) now running on the
+//!    persistent worker pool. With `--baseline`, the new median is diffed
+//!    against the committed BENCH_pr7 wall time — which was produced by
+//!    the scoped-thread executor — and the run fails on a >20 % regression
+//!    (plus a 25 ms absolute floor). This is the pool-vs-scoped gate.
+//! 2. **Morsel-size sweep** — the same join at `--morsel-rows`
+//!    1 k / 4 k / 16 k / 64 k; all sizes must agree on the output count.
+//! 3. **Pool vs scoped-thread microbench** — many batches of small tasks
+//!    through the shared pool versus a fresh `std::thread::scope` spawn
+//!    per batch, isolating the per-join thread-creation overhead the pool
+//!    amortizes away.
+//! 4. **Fused pipeline** — a filter→join→join chain through
+//!    [`fused_filter_join`] versus the materializing plan
+//!    (`select_eq` chain + serial joins). Results must agree as multisets;
+//!    the fused run must elide intermediate materialization
+//!    (`columnar.pipeline.bytes_elided` > 0) without copying concat bytes.
+//!
+//! Wall times are medians of 3 runs. Parallel speedups are NOT asserted —
+//! CI and small containers may expose a single core, where the pool runs
+//! inline; the correctness and materialization properties hold regardless.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use s2rdf_bench::Args;
+use s2rdf_columnar::exec::{natural_join_adaptive, row_multiset, JoinConfig};
+use s2rdf_columnar::ops::{natural_join, select_eq};
+use s2rdf_columnar::pipeline::{fused_filter_join, EqFilter};
+use s2rdf_columnar::{metrics, pool, Schema, Table};
+
+/// Regression tolerance against the committed baseline: 20 % relative plus
+/// a 25 ms absolute floor.
+const BASELINE_REL_PCT: f64 = 20.0;
+const BASELINE_ABS_FLOOR_MS: f64 = 25.0;
+
+fn main() {
+    let args = Args::parse();
+    let out_path: String = args.get("out", "BENCH_pr8.json".to_string());
+    let baseline_path: String = args.get("baseline", String::new());
+    metrics::set_enabled(true);
+
+    // ---- Scenario 1: the BENCH_pr7 par_join workload on the pool ----------
+    const ROWS: u32 = 200_000;
+    let left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..ROWS).map(|x| x % 4096).collect(), (0..ROWS).collect()],
+    );
+    let right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
+    );
+    let pr7_cfg = JoinConfig {
+        max_partitions: 8,
+        ..JoinConfig::default()
+    };
+    let before = pool::current().stats();
+    let (par_ms, par_rows) =
+        median3(|| natural_join_adaptive(&left, &right, &pr7_cfg).0.num_rows());
+    let after = pool::current().stats();
+    eprintln!(
+        "pr7 workload: {par_ms:.1} ms on the pool ({} workers, {} tasks, {} steals)",
+        after.workers,
+        after.tasks.saturating_sub(before.tasks),
+        after.steals.saturating_sub(before.steals),
+    );
+
+    // ---- Scenario 2: morsel-size sweep ------------------------------------
+    let sweep_sizes = [1usize << 10, 1 << 12, 1 << 14, 1 << 16];
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    for &morsel_rows in &sweep_sizes {
+        let cfg = JoinConfig {
+            max_partitions: 8,
+            morsel_rows,
+            ..JoinConfig::default()
+        };
+        let (ms, rows) = median3(|| natural_join_adaptive(&left, &right, &cfg).0.num_rows());
+        assert_eq!(
+            rows, par_rows,
+            "morsel size {morsel_rows} changed the output"
+        );
+        eprintln!("morsel sweep: {morsel_rows:>6} rows/morsel → {ms:.1} ms");
+        sweep.push((morsel_rows, ms));
+    }
+
+    // ---- Scenario 3: pool vs scoped-thread spawn --------------------------
+    // 200 batches × 8 small tasks: the shape of a query stream, where each
+    // join used to pay thread spawn+join. The pool reuses its workers; the
+    // scoped baseline pays OS thread creation per batch.
+    const BATCHES: usize = 200;
+    const TASKS: usize = 8;
+    let work = |seed: usize| {
+        let mut acc = seed as u64 | 1;
+        for i in 0..2_000u64 {
+            acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i;
+        }
+        acc
+    };
+    let (pool_ms, pool_sum) = median3(|| {
+        let mut total = 0u64;
+        for b in 0..BATCHES {
+            let tasks: Vec<_> = (0..TASKS)
+                .map(|t| move |_w: usize| work(b * TASKS + t))
+                .collect();
+            total = total.wrapping_add(pool::current().run(tasks).into_iter().sum::<u64>());
+        }
+        total as usize
+    });
+    let (scoped_ms, scoped_sum) = median3(|| {
+        let mut total = 0u64;
+        for b in 0..BATCHES {
+            let sum: u64 = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..TASKS)
+                    .map(|t| s.spawn(move || work(b * TASKS + t)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("task")).sum()
+            });
+            total = total.wrapping_add(sum);
+        }
+        total as usize
+    });
+    assert_eq!(pool_sum, scoped_sum, "pool and scoped runs disagree");
+    eprintln!(
+        "microbench: {BATCHES}×{TASKS} tasks — pool {pool_ms:.1} ms, \
+         scoped threads {scoped_ms:.1} ms"
+    );
+
+    // ---- Scenario 4: fused filter→join→join pipeline ----------------------
+    // probe(k, a, f) ⋈ dim1(k, b) ⋈ dim2(b, c) with the selection f = 3
+    // pushed into the first probe.
+    const P: u32 = 150_000;
+    let probe = Table::from_columns(
+        Schema::new(["k", "a", "f"]),
+        vec![
+            (0..P).map(|x| x % 1024).collect(),
+            (0..P).collect(),
+            (0..P).map(|x| x % 8).collect(),
+        ],
+    );
+    let dim1 = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![
+            (0..1024).collect(),
+            (0..1024).map(|x| (x * 2) % 512).collect(),
+        ],
+    );
+    let dim2 = Table::from_columns(
+        Schema::new(["b", "c"]),
+        vec![(0..512).collect(), (0..512).map(|x| x + 7).collect()],
+    );
+    let filters = [EqFilter { col: 2, value: 3 }];
+    let fuse_cfg = JoinConfig::default();
+
+    let elided_before = metrics::counter("columnar.pipeline.bytes_elided").get();
+    let concat_before = metrics::counter("columnar.concat.bytes_copied").get();
+    let (fused_ms, fused_rows) = median3(|| {
+        let t1 = fused_filter_join(&probe, &filters, &dim1, &fuse_cfg);
+        natural_join_adaptive(&t1, &dim2, &fuse_cfg).0.num_rows()
+    });
+    let elided = metrics::counter("columnar.pipeline.bytes_elided").get() - elided_before;
+    let concat_copied = metrics::counter("columnar.concat.bytes_copied").get() - concat_before;
+
+    let (mat_ms, mat_rows) = median3(|| {
+        let filtered = select_eq(&probe, 2, 3);
+        let t1 = natural_join(&filtered, &dim1);
+        natural_join(&t1, &dim2).num_rows()
+    });
+    assert_eq!(fused_rows, mat_rows, "fused pipeline changed the row count");
+    // Full multiset check once (outside timing).
+    let fused_t = {
+        let t1 = fused_filter_join(&probe, &filters, &dim1, &fuse_cfg);
+        natural_join_adaptive(&t1, &dim2, &fuse_cfg).0
+    };
+    let mat_t = {
+        let t1 = natural_join(&select_eq(&probe, 2, 3), &dim1);
+        natural_join(&t1, &dim2)
+    };
+    assert_eq!(
+        row_multiset(&fused_t),
+        row_multiset(&mat_t),
+        "fused pipeline changed the result multiset"
+    );
+    assert!(
+        elided > 0,
+        "fused pipeline elided no intermediate bytes (counter did not move)"
+    );
+    assert_eq!(
+        concat_copied, 0,
+        "fused pipeline copied {concat_copied} concat bytes; the sink must \
+         write result columns in place"
+    );
+    eprintln!(
+        "fused pipeline: {fused_ms:.1} ms vs materializing {mat_ms:.1} ms \
+         ({fused_rows} rows, {elided} intermediate bytes elided)"
+    );
+
+    // ---- Baseline diff -----------------------------------------------------
+    let mut baseline_json = String::new();
+    if !baseline_path.is_empty() {
+        let doc = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let base_par =
+            extract_wall_ms(&doc, "\"par_join\"").expect("baseline has no par_join.wall_ms");
+        check_regression("par_join", par_ms, base_par);
+        let _ = write!(
+            baseline_json,
+            "  \"baseline\": {{\n    \"path\": \"{}\",\n    \
+             \"par_join_base_ms\": {base_par:.3}, \"par_join_new_ms\": {par_ms:.3},\n    \
+             \"rel_tolerance_pct\": {BASELINE_REL_PCT}, \"abs_floor_ms\": {BASELINE_ABS_FLOOR_MS}\n  }},\n",
+            metrics::json_escape(&baseline_path)
+        );
+    }
+
+    // ---- Artifact ----------------------------------------------------------
+    let pool_stats = pool::current().stats();
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr8\",");
+    let _ = writeln!(doc, "  \"par_join\": {{");
+    let _ = writeln!(doc, "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS},");
+    let _ = writeln!(doc, "    \"wall_ms\": {par_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"morsel_sweep\": [");
+    for (i, (size, ms)) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            doc,
+            "    {{\"morsel_rows\": {size}, \"wall_ms\": {ms:.3}}}{}",
+            if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(doc, "  ],");
+    let _ = writeln!(doc, "  \"pool_vs_scoped\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"batches\": {BATCHES}, \"tasks_per_batch\": {TASKS},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"pool_wall_ms\": {pool_ms:.3}, \"scoped_wall_ms\": {scoped_ms:.3}"
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"fused_pipeline\": {{");
+    let _ = writeln!(doc, "    \"rows\": {fused_rows},");
+    let _ = writeln!(
+        doc,
+        "    \"fused_wall_ms\": {fused_ms:.3}, \"materializing_wall_ms\": {mat_ms:.3},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"bytes_elided\": {elided}, \"concat_bytes_copied\": {concat_copied}"
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"pool\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"workers\": {}, \"tasks\": {}, \"steals\": {}, \"max_queue_depth\": {}",
+        pool_stats.workers, pool_stats.tasks, pool_stats.steals, pool_stats.max_queue_depth
+    );
+    let _ = writeln!(doc, "  }},");
+    doc.push_str(&baseline_json);
+    let _ = writeln!(
+        doc,
+        "  \"operator_metrics\": {}",
+        metrics::snapshot().to_json()
+    );
+    doc.push_str("}\n");
+
+    std::fs::write(&out_path, doc).expect("write BENCH_pr8 artifact");
+    eprintln!("wrote {out_path}");
+}
+
+/// Fails the run when `new_ms` regresses past the relative tolerance plus
+/// the absolute floor.
+fn check_regression(name: &str, new_ms: f64, base_ms: f64) {
+    let bound = base_ms * (1.0 + BASELINE_REL_PCT / 100.0) + BASELINE_ABS_FLOOR_MS;
+    assert!(
+        new_ms <= bound,
+        "{name} regressed: {new_ms:.1} ms vs baseline {base_ms:.1} ms \
+         (bound {bound:.1} ms = +{BASELINE_REL_PCT}% +{BASELINE_ABS_FLOOR_MS} ms)"
+    );
+    eprintln!("baseline {name}: {new_ms:.1} ms vs {base_ms:.1} ms (bound {bound:.1} ms) — ok");
+}
+
+/// Extracts `"wall_ms": <number>` from the named JSON section of a
+/// BENCH_pr7-style artifact (both artifacts are written by this crate, so
+/// a positional scan is reliable).
+fn extract_wall_ms(doc: &str, section: &str) -> Option<f64> {
+    let start = doc.find(section)?;
+    let tail = &doc[start..];
+    let key = tail.find("\"wall_ms\": ")?;
+    let num = &tail[key + "\"wall_ms\": ".len()..];
+    let end = num.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    num[..end].parse().ok()
+}
+
+/// Median-of-3 wall time in milliseconds; returns the last run's count.
+fn median3(mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(3);
+    let mut rows = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        rows = run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (times[1], rows)
+}

@@ -8,8 +8,8 @@
 //! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
 //!                [--explain] [--profile] [--no-extvp]
 //!                [--broadcast-threshold <rows>] [--target-partition-rows <N>]
-//!                [--max-partitions <N>] [--dp-max-patterns <N>]
-//!                [--replan-threshold <ratio>]
+//!                [--max-partitions <N>] [--morsel-rows <N>]
+//!                [--dp-max-patterns <N>] [--replan-threshold <ratio>]
 //! s2rdf update   --store ./db [--insert add.nt] [--delete del.nt]
 //!                [--checkpoint]
 //! s2rdf checkpoint --store ./db
@@ -40,7 +40,8 @@ const USAGE: &str = "usage:
                  [--explain] [--profile] [--no-extvp] [--intersect]
                  [--max-print <N>] [--broadcast-threshold <rows>]
                  [--target-partition-rows <N>] [--max-partitions <N>]
-                 [--dp-max-patterns <N>] [--replan-threshold <ratio>]
+                 [--morsel-rows <N>] [--dp-max-patterns <N>]
+                 [--replan-threshold <ratio>]
   s2rdf update   --store <dir> [--insert <file.nt>] [--delete <file.nt>]
                  [--checkpoint]
   s2rdf checkpoint --store <dir>
@@ -215,6 +216,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     if let Some(s) = args.opt_value("max-partitions") {
         join.max_partitions = s.parse().map_err(|_| "bad --max-partitions")?;
     }
+    if let Some(s) = args.opt_value("morsel-rows") {
+        join.morsel_rows = s.parse().map_err(|_| "bad --morsel-rows")?;
+        if join.morsel_rows == 0 {
+            return Err("bad --morsel-rows (must be ≥ 1)".to_string());
+        }
+    }
     let mut options = QueryOptions {
         intersect_correlations: args.flag("intersect"),
         profile,
@@ -241,6 +248,14 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         let snap = s2rdf_columnar::metrics::snapshot();
         println!("-- operator metrics:");
         println!("{}", snap.to_json());
+        if let Some(pool) = &explain.pool {
+            let busy: u64 = pool.busy_micros.iter().sum();
+            println!(
+                "-- worker pool: {} workers, {} tasks ({} stolen), \
+                 max queue depth {}, {} µs busy total",
+                pool.workers, pool.tasks, pool.steals, pool.max_queue_depth, busy
+            );
+        }
     }
     if args.flag("explain") || profile {
         if explain.statically_empty {

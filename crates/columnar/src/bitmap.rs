@@ -58,6 +58,34 @@ impl Bitmap {
         self.words[i / 64] & (1 << (i % 64)) != 0
     }
 
+    /// The backing `u64` words (64 rows per word, LSB-first). Bits at or
+    /// beyond `len` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable word access for the comparison kernels
+    /// ([`crate::ops::kernels`]), which fill whole words at a time. Callers
+    /// must keep bits beyond `len` zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// An all-ones bitmap covering `len` rows (trailing bits zero).
+    pub fn full(len: usize) -> Bitmap {
+        let mut bm = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        if let Some(last) = bm.words.last_mut() {
+            let rem = len % 64;
+            if rem != 0 {
+                *last = (1u64 << rem) - 1;
+            }
+        }
+        bm
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

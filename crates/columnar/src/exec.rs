@@ -24,10 +24,18 @@
 //! (`columnar.join.{broadcast_joins,adaptive_partitions,resplits}`).
 //!
 //! The partitioned path keeps the partition-native property: pass 1 collects
-//! the exact matching row pairs per partition on scoped threads, a prefix
-//! sum turns the pair counts into disjoint output ranges, and pass 2 writes
-//! every partition's rows directly into one pre-sized output table through
-//! non-overlapping column slices (`columnar.concat.bytes_copied` stays 0).
+//! the exact matching row pairs per partition, a prefix sum turns the pair
+//! counts into disjoint output ranges, and pass 2 writes every partition's
+//! rows directly into one pre-sized output table through non-overlapping
+//! column slices (`columnar.concat.bytes_copied` stays 0).
+//!
+//! Since the morsel-driven executor PR, **no join spawns threads**: every
+//! parallel stage — broadcast probe morsels, pass-1 partition tasks, pass-2
+//! write chunks — is submitted to the persistent work-stealing
+//! [`crate::pool::WorkerPool`], and probe sides are cut into
+//! [`JoinConfig::morsel_rows`]-sized morsels rather than one monolithic
+//! chunk per thread, so stragglers are absorbed by stealing instead of
+//! re-spawning.
 //!
 //! Skew: every row of one key hashes to one partition, so a hot key makes a
 //! straggler no matter how many threads run — the PRoST / Naacke et al.
@@ -97,6 +105,11 @@ pub struct JoinConfig {
     pub resplit_straggler_pct: usize,
     /// Maximum partition re-splits per join (a convergence backstop).
     pub max_resplits: usize,
+    /// Rows per morsel — the unit of work submitted to the worker pool by
+    /// probe scans, fused pipelines and output writes. Smaller morsels
+    /// steal better under skew; larger ones amortize task overhead
+    /// (CLI `--morsel-rows`).
+    pub morsel_rows: usize,
 }
 
 impl Default for JoinConfig {
@@ -109,6 +122,7 @@ impl Default for JoinConfig {
             max_partitions: 0,
             resplit_straggler_pct: 150,
             max_resplits: 4,
+            morsel_rows: 1 << 14,
         }
     }
 }
@@ -303,7 +317,9 @@ pub fn parse_cpu_max(contents: &str) -> Option<usize> {
 /// targets degrade to 1, i.e. the serial path.
 pub fn adaptive_partitions(probe_rows: usize, cfg: &JoinConfig) -> usize {
     let cap = if cfg.max_partitions == 0 {
-        default_parallelism()
+        // The pool caches the parallelism probe at construction — hot paths
+        // read the cached count instead of re-probing env/cgroup state.
+        crate::pool::current().workers()
     } else {
         cfg.max_partitions
     };
@@ -352,7 +368,7 @@ pub fn natural_join_adaptive(
     if build.num_rows() <= cfg.broadcast_rows || build.byte_size() <= cfg.broadcast_bytes {
         let parts = adaptive_partitions(probe.num_rows(), cfg);
         metric_counter!("columnar.join.broadcast_joins").inc();
-        let out = broadcast_natural_join(left, right, parts);
+        let out = broadcast_join_morsels(left, right, parts, cfg.morsel_rows);
         decision.strategy = JoinStrategy::Broadcast;
         decision.partitions = parts;
         decision.out_rows = out.num_rows();
@@ -372,21 +388,90 @@ pub fn natural_join_adaptive(
     (out, decision)
 }
 
-/// A shared build-side index for the broadcast join: exact `u64` folds for
-/// 1–2 key columns, exact `Vec<u32>` keys for wider ones.
-enum BcastIndex {
+/// A shared build-side index for broadcast joins and fused pipelines:
+/// exact `u64` folds for 1–2 key columns, exact `Vec<u32>` keys for wider
+/// ones.
+pub(crate) enum BcastIndex {
     Narrow(FxHashMap<u64, Vec<u32>>),
     Wide(FxHashMap<Vec<u32>, Vec<u32>>),
 }
 
-/// Broadcast-hash natural join: builds one hash index over the *entire*
-/// smaller side and probes contiguous chunks of the larger side on `parts`
-/// scoped threads — no hash split of either input, no per-row routing, and
-/// (chunks being equal-sized ranges) no possibility of probe-side skew.
-/// Each chunk's match pairs are written into disjoint slices of one
-/// pre-sized output, like the partitioned join's pass 2. Spark's
-/// broadcast-hash join, minus the network.
+/// Builds a [`BcastIndex`] over every row of `build`.
+pub(crate) fn build_bcast_index(build: &Table, build_keys: &[usize]) -> BcastIndex {
+    if build_keys.len() <= 2 {
+        let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        map.reserve(build.num_rows());
+        for r in 0..build.num_rows() {
+            map.entry(fold_key(build, build_keys, r))
+                .or_default()
+                .push(r as u32);
+        }
+        BcastIndex::Narrow(map)
+    } else {
+        let mut map: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+        for r in 0..build.num_rows() {
+            let key: Vec<u32> = build_keys.iter().map(|&c| build.value(r, c)).collect();
+            map.entry(key).or_default().push(r as u32);
+        }
+        BcastIndex::Wide(map)
+    }
+}
+
+/// Probes `rows` of `probe` against a shared [`BcastIndex`], returning
+/// match pairs in `(left_row, right_row)` orientation. This is the
+/// per-morsel body shared by the broadcast join and the fused
+/// filter→probe pipeline ([`crate::pipeline`]).
+pub(crate) fn probe_bcast(
+    index: &BcastIndex,
+    probe: &Table,
+    probe_keys: &[usize],
+    rows: impl Iterator<Item = usize>,
+    left_is_build: bool,
+) -> Vec<(u32, u32)> {
+    let orient = |b: u32, p: u32| if left_is_build { (b, p) } else { (p, b) };
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    match index {
+        BcastIndex::Narrow(map) => {
+            for r in rows {
+                if let Some(matches) = map.get(&fold_key(probe, probe_keys, r)) {
+                    for &b in matches {
+                        pairs.push(orient(b, r as u32));
+                    }
+                }
+            }
+        }
+        BcastIndex::Wide(map) => {
+            let mut scratch: Vec<u32> = Vec::new();
+            for r in rows {
+                scratch.clear();
+                scratch.extend(probe_keys.iter().map(|&c| probe.value(r, c)));
+                if let Some(matches) = map.get(scratch.as_slice()) {
+                    for &b in matches {
+                        pairs.push(orient(b, r as u32));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Broadcast-hash natural join with the default morsel size. See
+/// [`broadcast_join_morsels`].
 pub fn broadcast_natural_join(left: &Table, right: &Table, parts: usize) -> Table {
+    broadcast_join_morsels(left, right, parts, JoinConfig::default().morsel_rows)
+}
+
+/// Broadcast-hash natural join: builds one hash index over the *entire*
+/// smaller side and probes morsel-sized contiguous chunks of the larger
+/// side on the shared worker pool — no hash split of either input, no
+/// per-row routing, and (morsels being equal-sized ranges picked up by
+/// whichever worker is free) no possibility of probe-side skew. Each
+/// morsel's match pairs are written into disjoint slices of one pre-sized
+/// output, like the partitioned join's pass 2. Spark's broadcast-hash
+/// join, minus the network. `parts` is a lower bound on the task count for
+/// small inputs; large probes are cut at `morsel_rows`.
+fn broadcast_join_morsels(left: &Table, right: &Table, parts: usize, morsel_rows: usize) -> Table {
     let common = left.schema().common_columns(right.schema());
     if common.is_empty() || left.is_empty() || right.is_empty() {
         return ops::natural_join(left, right);
@@ -418,68 +503,34 @@ pub fn broadcast_natural_join(left: &Table, right: &Table, parts: usize) -> Tabl
     metric_counter!("columnar.broadcast_join.build_rows").add(build.num_rows() as u64);
     metric_counter!("columnar.broadcast_join.probe_rows").add(probe.num_rows() as u64);
 
-    let index = if build_keys.len() <= 2 {
-        let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        map.reserve(build.num_rows());
-        for r in 0..build.num_rows() {
-            map.entry(fold_key(build, build_keys, r))
-                .or_default()
-                .push(r as u32);
-        }
-        BcastIndex::Narrow(map)
-    } else {
-        let mut map: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
-        for r in 0..build.num_rows() {
-            let key: Vec<u32> = build_keys.iter().map(|&c| build.value(r, c)).collect();
-            map.entry(key).or_default().push(r as u32);
-        }
-        BcastIndex::Wide(map)
-    };
+    let index = build_bcast_index(build, build_keys);
 
-    // Contiguous probe chunks: trivially balanced, no routing pass.
+    // Contiguous probe morsels: trivially balanced, no routing pass.
+    // `parts` floors the task count so small probes still spread; large
+    // probes are cut at `morsel_rows` so the pool can steal stragglers.
     let parts = parts.clamp(1, probe.num_rows());
-    let chunk = probe.num_rows().div_ceil(parts);
-    let orient = |b: u32, p: u32| if left_is_build { (b, p) } else { (p, b) };
-    let pair_lists: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..parts)
-            .map(|p| {
-                let (index, probe_keys) = (&index, probe_keys);
-                let range = p * chunk..((p + 1) * chunk).min(probe.num_rows());
-                scope.spawn(move || {
-                    let mut pairs: Vec<(u32, u32)> = Vec::new();
-                    match index {
-                        BcastIndex::Narrow(map) => {
-                            for r in range {
-                                if let Some(matches) = map.get(&fold_key(probe, probe_keys, r)) {
-                                    for &b in matches {
-                                        pairs.push(orient(b, r as u32));
-                                    }
-                                }
-                            }
-                        }
-                        BcastIndex::Wide(map) => {
-                            let mut scratch: Vec<u32> = Vec::new();
-                            for r in range {
-                                scratch.clear();
-                                scratch.extend(probe_keys.iter().map(|&c| probe.value(r, c)));
-                                if let Some(matches) = map.get(scratch.as_slice()) {
-                                    for &b in matches {
-                                        pairs.push(orient(b, r as u32));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    pairs
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("broadcast worker panicked"))
-            .collect()
-    });
-    let out = write_pairs(schema, left, right, &right_payload, &pair_lists);
+    let chunk = probe
+        .num_rows()
+        .div_ceil(parts)
+        .clamp(1, morsel_rows.max(1));
+    let n_morsels = probe.num_rows().div_ceil(chunk);
+    metric_counter!("columnar.pool.morsels").add(n_morsels as u64);
+    let tasks: Vec<_> = (0..n_morsels)
+        .map(|m| {
+            let (index, probe_keys) = (&index, probe_keys);
+            let range = m * chunk..((m + 1) * chunk).min(probe.num_rows());
+            move |_worker: usize| probe_bcast(index, probe, probe_keys, range, left_is_build)
+        })
+        .collect();
+    let pair_lists = crate::pool::current().run(tasks);
+    let out = write_pairs(
+        schema,
+        left,
+        right,
+        &right_payload,
+        &pair_lists,
+        morsel_rows,
+    );
     metric_counter!("columnar.broadcast_join.out_rows").add(out.num_rows() as u64);
     out
 }
@@ -552,35 +603,44 @@ fn collect_pairs(
     pairs
 }
 
-/// Pass 2 of the partition-native joins: each pair list writes its rows
-/// into disjoint slices of one pre-sized output table (chained
-/// `split_at_mut`) — zero reassembly, zero `concat` bytes. Pairs are in
+/// Pass 2 of the partition-native joins — the late-materialization sink.
+/// Payload columns are only touched here: every pair list is cut into
+/// `morsel_rows` chunks, each chunk owns disjoint slices of one pre-sized
+/// output table (chained `split_at_mut`), and the chunks gather on the
+/// worker pool — zero reassembly, zero `concat` bytes. Pairs are in
 /// `(left_row, right_row)` orientation.
-fn write_pairs(
+pub(crate) fn write_pairs(
     schema: Schema,
     left: &Table,
     right: &Table,
     right_payload: &[usize],
     pair_lists: &[Vec<(u32, u32)>],
+    morsel_rows: usize,
 ) -> Table {
     let total: usize = pair_lists.iter().map(Vec::len).sum();
     let ncols = schema.len();
     let left_ncols = left.schema().len();
-    let parts = pair_lists.len();
     let mut cols: Vec<Vec<u32>> = (0..ncols).map(|_| vec![0u32; total]).collect();
-    let mut per_part: Vec<Vec<&mut [u32]>> =
-        (0..parts).map(|_| Vec::with_capacity(ncols)).collect();
+    let chunks: Vec<&[(u32, u32)]> = pair_lists
+        .iter()
+        .flat_map(|p| p.chunks(morsel_rows.max(1)))
+        .collect();
+    let mut per_chunk: Vec<Vec<&mut [u32]>> =
+        chunks.iter().map(|_| Vec::with_capacity(ncols)).collect();
     for col in &mut cols {
         let mut rest: &mut [u32] = col.as_mut_slice();
-        for (p, pairs) in pair_lists.iter().enumerate() {
-            let (head, tail) = rest.split_at_mut(pairs.len());
-            per_part[p].push(head);
+        for (t, chunk) in chunks.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(chunk.len());
+            per_chunk[t].push(head);
             rest = tail;
         }
     }
-    std::thread::scope(|scope| {
-        for (slices, pairs) in per_part.into_iter().zip(pair_lists) {
-            scope.spawn(move || {
+    metric_counter!("columnar.pool.morsels").add(chunks.len() as u64);
+    let tasks: Vec<_> = per_chunk
+        .into_iter()
+        .zip(&chunks)
+        .map(|(slices, &pairs)| {
+            move |_worker: usize| {
                 for (c, out_col) in slices.into_iter().enumerate() {
                     if c < left_ncols {
                         let src = left.column(c);
@@ -594,14 +654,15 @@ fn write_pairs(
                         }
                     }
                 }
-            });
-        }
-    });
+            }
+        })
+        .collect();
+    crate::pool::current().run(tasks);
     Table::from_columns(schema, cols)
 }
 
 /// Natural join that partitions both sides by join-key hash, collects match
-/// pairs on scoped threads, and writes each partition's output directly into
+/// pairs as worker-pool tasks, and writes each partition's output directly into
 /// disjoint slices of one pre-sized result table (no reassembly copy). Row
 /// order of the result is partition-major (a permutation of the serial
 /// join's bag). Hot keys are broadcast when the hash split would produce a
@@ -787,44 +848,48 @@ pub fn partitioned_natural_join(
     let median = loads[parts / 2].max(1);
     metric_gauge!("columnar.par_join.straggler_pct").set_max((largest * 100 / median) as u64);
 
-    // Pass 1: per-partition exact match-pair collection on scoped threads.
+    // Pass 1: per-partition exact match-pair collection as pool tasks —
+    // partitions are already near `target_partition_rows` granularity, and
+    // work stealing (plus the re-split above) absorbs residual imbalance.
     // Pairs are stored in (left_row, right_row) orientation so pass 2 is
     // orientation-free.
-    let pair_lists: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..parts)
-            .map(|p| {
-                let (build_rows, probe_rows, hot_rows) =
-                    (&build_parts[p], &probe_parts[p], &hot_probe_parts[p]);
-                let (build_hash, probe_hash, bcast) = (&build_hash, &probe_hash, &bcast_index);
-                scope.spawn(move || {
-                    collect_pairs(
-                        build,
-                        probe,
-                        build_keys,
-                        probe_keys,
-                        build_rows,
-                        probe_rows,
-                        hot_rows,
-                        build_hash,
-                        probe_hash,
-                        bcast,
-                        left_is_build,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("join worker panicked"))
-            .collect()
-    });
+    let tasks: Vec<_> = (0..parts)
+        .map(|p| {
+            let (build_rows, probe_rows, hot_rows) =
+                (&build_parts[p], &probe_parts[p], &hot_probe_parts[p]);
+            let (build_hash, probe_hash, bcast) = (&build_hash, &probe_hash, &bcast_index);
+            move |_worker: usize| {
+                collect_pairs(
+                    build,
+                    probe,
+                    build_keys,
+                    probe_keys,
+                    build_rows,
+                    probe_rows,
+                    hot_rows,
+                    build_hash,
+                    probe_hash,
+                    bcast,
+                    left_is_build,
+                )
+            }
+        })
+        .collect();
+    let pair_lists = crate::pool::current().run(tasks);
 
     // Exact output size is now known; pass 2 pre-sizes the result once and
     // writes disjoint slices.
     let total: usize = pair_lists.iter().map(Vec::len).sum();
     metric_counter!("columnar.par_join.out_rows").add(total as u64);
     (
-        write_pairs(schema, left, right, &right_payload, &pair_lists),
+        write_pairs(
+            schema,
+            left,
+            right,
+            &right_payload,
+            &pair_lists,
+            cfg.morsel_rows,
+        ),
         resplits,
     )
 }

@@ -19,6 +19,8 @@ pub mod fault;
 pub mod io;
 pub mod metrics;
 pub mod ops;
+pub mod pipeline;
+pub mod pool;
 pub mod schema;
 pub mod table;
 pub mod wal;
@@ -28,6 +30,7 @@ pub use error::ColumnarError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use io::{TableStore, VerifyReport};
 pub use metrics::{MetricsSnapshot, SpanTimer};
+pub use pool::{PoolStats, WorkerPool};
 pub use schema::{ColName, Schema};
 pub use table::{Table, NULL_ID};
 pub use wal::{Wal, WalStatus};

@@ -15,18 +15,15 @@ pub fn filter<F: Fn(&Table, usize) -> bool>(table: &Table, pred: F) -> Table {
 }
 
 /// Fast-path selection `column = value` (the WHERE clauses emitted for bound
-/// subjects/objects in triple patterns).
+/// subjects/objects in triple patterns). The comparison runs through the
+/// chunked bitmap kernel ([`super::kernels::eq_const`]), so the scan
+/// auto-vectorizes.
 pub fn select_eq(table: &Table, col: usize, value: u32) -> Table {
-    let column = table.column(col);
-    let indices: Vec<usize> = column
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &v)| (v == value).then_some(i))
-        .collect();
+    let bm = super::kernels::eq_const(table.column(col), value);
     metric_counter!("columnar.select_eq.calls").inc();
     metric_counter!("columnar.select_eq.in_rows").add(table.num_rows() as u64);
-    metric_counter!("columnar.select_eq.out_rows").add(indices.len() as u64);
-    table.gather(&indices)
+    metric_counter!("columnar.select_eq.out_rows").add(bm.count_ones() as u64);
+    bm.gather(table)
 }
 
 /// Projects (and reorders) the named columns.

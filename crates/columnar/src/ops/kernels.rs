@@ -1,0 +1,180 @@
+//! SIMD-friendly chunked comparison kernels over `u32` dictionary-id
+//! columns.
+//!
+//! Every kernel walks a column in 64-element chunks and emits one `u64`
+//! bitmap word per chunk. The inner loops are branch-free over fixed-size
+//! `chunks_exact` slices, exactly the shape LLVM auto-vectorizes into
+//! `pcmpeqd`-style lanes at `opt-level ≥ 2` — no intrinsics, no `unsafe`,
+//! portable to any target. Selections, repeated-variable equality checks
+//! and the morsel pipeline's filter→probe fusion all sit on these kernels,
+//! replacing the per-row `filter_map` scans the operators used before.
+//!
+//! The convention throughout: bit `i` of word `w` corresponds to row
+//! `w * 64 + i` (LSB-first), matching [`Bitmap`]'s layout, and bits beyond
+//! the column length stay zero.
+
+use crate::bitmap::Bitmap;
+
+/// Rows per bitmap word — the kernel chunk width.
+pub const WORD_ROWS: usize = 64;
+
+/// One 64-lane equality chunk: compares `chunk` (exactly 64 values)
+/// against `value` and packs the results into a word.
+#[inline]
+fn eq_const_word(chunk: &[u32], value: u32) -> u64 {
+    let mut word = 0u64;
+    for (i, &v) in chunk.iter().enumerate() {
+        word |= ((v == value) as u64) << i;
+    }
+    word
+}
+
+/// One 64-lane column-equality chunk: `a[i] == b[i]` packed into a word.
+#[inline]
+fn eq_cols_word(a: &[u32], b: &[u32]) -> u64 {
+    let mut word = 0u64;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        word |= ((x == y) as u64) << i;
+    }
+    word
+}
+
+/// `col[i] == value` as a bitmap — the vectorized core of `select_eq`.
+pub fn eq_const(col: &[u32], value: u32) -> Bitmap {
+    let mut bm = Bitmap::new(col.len());
+    let words = bm.words_mut();
+    let mut chunks = col.chunks_exact(WORD_ROWS);
+    let mut wi = 0;
+    for chunk in &mut chunks {
+        words[wi] = eq_const_word(chunk, value);
+        wi += 1;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        words[wi] = eq_const_word(rem, value);
+    }
+    bm
+}
+
+/// Narrows `bm` to rows where additionally `col[i] == value`
+/// (`bm &= eq_const(col, value)` without allocating the intermediate).
+pub fn and_eq_const(bm: &mut Bitmap, col: &[u32], value: u32) {
+    assert_eq!(bm.len(), col.len(), "bitmap/column length mismatch");
+    let words = bm.words_mut();
+    let mut chunks = col.chunks_exact(WORD_ROWS);
+    let mut wi = 0;
+    for chunk in &mut chunks {
+        words[wi] &= eq_const_word(chunk, value);
+        wi += 1;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        words[wi] &= eq_const_word(rem, value);
+    }
+}
+
+/// Narrows `bm` to rows where `a[i] == b[i]` — the repeated-variable
+/// selection of paper Alg. 2 (`?x p ?x`), vectorized.
+pub fn and_eq_cols(bm: &mut Bitmap, a: &[u32], b: &[u32]) {
+    assert_eq!(a.len(), b.len(), "column length mismatch");
+    assert_eq!(bm.len(), a.len(), "bitmap/column length mismatch");
+    let words = bm.words_mut();
+    let mut pa = a.chunks_exact(WORD_ROWS);
+    let pb = b.chunks_exact(WORD_ROWS);
+    let mut wi = 0;
+    for (ca, cb) in (&mut pa).zip(pb) {
+        words[wi] &= eq_cols_word(ca, cb);
+        wi += 1;
+    }
+    let ra = pa.remainder();
+    if !ra.is_empty() {
+        let rb = &b[b.len() - ra.len()..];
+        words[wi] &= eq_cols_word(ra, rb);
+    }
+}
+
+/// Gathers `src[i]` for every set bit of `bm`, in row order — the
+/// late-materialization sink: columns are only touched here, once, after
+/// all selections have been folded into the bitmap.
+pub fn gather_column(src: &[u32], bm: &Bitmap) -> Vec<u32> {
+    assert_eq!(src.len(), bm.len(), "bitmap/column length mismatch");
+    let mut out = Vec::with_capacity(bm.count_ones());
+    for i in bm.iter_ones() {
+        out.push(src[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_eq_const(col: &[u32], value: u32) -> Vec<usize> {
+        col.iter()
+            .enumerate()
+            .filter_map(|(i, &v)| (v == value).then_some(i))
+            .collect()
+    }
+
+    fn lcg_column(n: usize, card: u32, mut state: u64) -> Vec<u32> {
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as u32) % card
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eq_const_matches_scalar_reference() {
+        for n in [0, 1, 63, 64, 65, 128, 1000] {
+            let col = lcg_column(n, 7, n as u64 + 1);
+            let bm = eq_const(&col, 3);
+            assert_eq!(
+                bm.iter_ones().collect::<Vec<_>>(),
+                reference_eq_const(&col, 3),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_eq_const_intersects() {
+        let a = lcg_column(500, 4, 9);
+        let b = lcg_column(500, 4, 10);
+        let mut bm = eq_const(&a, 1);
+        and_eq_const(&mut bm, &b, 2);
+        let expect: Vec<usize> = (0..500).filter(|&i| a[i] == 1 && b[i] == 2).collect();
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn and_eq_cols_matches_rowwise() {
+        for n in [65, 200, 640] {
+            let a = lcg_column(n, 3, 11);
+            let b = lcg_column(n, 3, 12);
+            let mut bm = Bitmap::full(n);
+            and_eq_cols(&mut bm, &a, &b);
+            let expect: Vec<usize> = (0..n).filter(|&i| a[i] == b[i]).collect();
+            assert_eq!(bm.iter_ones().collect::<Vec<_>>(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn full_bitmap_trailing_bits_zero() {
+        let bm = Bitmap::full(70);
+        assert_eq!(bm.count_ones(), 70);
+        let mut bm = Bitmap::full(70);
+        and_eq_const(&mut bm, &vec![5u32; 70], 5);
+        assert_eq!(bm.count_ones(), 70);
+    }
+
+    #[test]
+    fn gather_column_picks_set_rows() {
+        let src: Vec<u32> = (0..130).collect();
+        let bm = Bitmap::from_indices(130, &[0, 64, 129]);
+        assert_eq!(gather_column(&src, &bm), vec![0, 64, 129]);
+    }
+}

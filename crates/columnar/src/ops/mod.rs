@@ -8,6 +8,7 @@
 
 mod basic;
 mod join;
+pub mod kernels;
 mod set;
 mod sort;
 

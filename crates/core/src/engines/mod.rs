@@ -18,7 +18,7 @@ pub mod property_table;
 pub mod s2rdf;
 pub mod triples_table;
 
-use s2rdf_columnar::{ops, Schema, Table};
+use s2rdf_columnar::{Schema, Table};
 use s2rdf_model::Dictionary;
 use s2rdf_sparql::{GraphPattern, TermPattern, TriplePattern};
 
@@ -53,10 +53,27 @@ pub(crate) fn run_query(
     options: &QueryOptions,
 ) -> Result<(Solutions, Explain), CoreError> {
     let query = s2rdf_sparql::parse_query(sparql)?;
+    let pool = s2rdf_columnar::pool::current();
+    let before = pool.stats();
     let mut ctx = ExecContext::new(ev.dict(), *options);
     let span = ctx.span_open("query");
     let solutions = eval_query(ev, &query, &mut ctx)?;
     ctx.span_close(span, String::new(), Some(solutions.len()));
+    // Attribute the pool's activity delta to this query — every engine's
+    // joins and pipelines submit morsels to the same shared pool.
+    let after = pool.stats();
+    ctx.explain.pool = Some(crate::exec::PoolExplain {
+        workers: after.workers,
+        tasks: after.tasks.saturating_sub(before.tasks),
+        steals: after.steals.saturating_sub(before.steals),
+        max_queue_depth: after.max_queue_depth,
+        busy_micros: after
+            .busy_micros
+            .iter()
+            .zip(&before.busy_micros)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect(),
+    });
     Ok((solutions, ctx.explain))
 }
 
@@ -74,20 +91,28 @@ pub(crate) fn empty_bgp_table(bgp: &[TriplePattern]) -> Table {
 /// the triples table). Implements the paper's Algorithm 2: bound terms
 /// become selections, variables become projections-with-rename; a repeated
 /// variable adds a column-equality selection.
+///
+/// Since the morsel-driven executor PR this is a **fused** scan: every
+/// selection (all bound constants plus repeated-variable equalities) folds
+/// into one bitmap via the vectorized kernels, and only the *projected*
+/// columns are gathered, once, at the end — late materialization instead of
+/// one intermediate table per `select_eq`. Used by every engine.
 pub(crate) fn scan_pattern(
     table: &Table,
     cols: &[(usize, &TermPattern)],
     dict: &Dictionary,
 ) -> Table {
-    // Selections for bound terms.
-    let mut current: Option<Table> = None;
+    use s2rdf_columnar::ops::kernels;
+    use s2rdf_columnar::Bitmap;
+
+    // Resolve bound terms to dictionary ids (unknown term → empty scan).
+    let mut bounds: Vec<(usize, u32)> = Vec::new();
     for &(col, pat) in cols {
         if let Some(term) = pat.as_term() {
             let Some(id) = dict.id(term) else {
                 return Table::empty(scan_schema(cols));
             };
-            let source = current.as_ref().unwrap_or(table);
-            current = Some(ops::select_eq(source, col, id.0));
+            bounds.push((col, id.0));
         }
     }
 
@@ -102,27 +127,48 @@ pub(crate) fn scan_pattern(
             }
         }
     }
-    let mut result = current.unwrap_or_else(|| table.clone());
-    if !eq_pairs.is_empty() {
-        result = ops::filter(&result, |t, row| {
-            eq_pairs
-                .iter()
-                .all(|&(a, b)| t.value(row, a) == t.value(row, b))
-        });
-    }
+
+    // Fold every selection into one filter bitmap over the base table —
+    // no intermediate table per predicate.
+    let selection: Option<Bitmap> = if bounds.is_empty() && eq_pairs.is_empty() {
+        None
+    } else {
+        let mut bm = match bounds.split_first() {
+            Some((&(c, v), rest)) => {
+                let mut bm = kernels::eq_const(table.column(c), v);
+                for &(c, v) in rest {
+                    kernels::and_eq_const(&mut bm, table.column(c), v);
+                }
+                bm
+            }
+            None => Bitmap::full(table.num_rows()),
+        };
+        for &(a, b) in &eq_pairs {
+            kernels::and_eq_cols(&mut bm, table.column(a), table.column(b));
+        }
+        Some(bm)
+    };
+    let out_rows = selection
+        .as_ref()
+        .map_or(table.num_rows(), Bitmap::count_ones);
+
     if proj.is_empty() {
         // Fully bound pattern: solutions bind nothing, but their count
         // matters. Zero-column tables cannot carry a row count, so emit the
-        // unit column instead.
+        // unit column instead — without ever materializing the selection.
         return Table::from_columns(
             Schema::new([crate::exec::pattern::UNIT_COL]),
-            vec![vec![0; result.num_rows()]],
+            vec![vec![0; out_rows]],
         );
     }
+    // Late materialization: gather only the projected columns, once.
     let schema = Schema::new(proj.iter().map(|(_, v)| v.to_string()));
     let cols_out: Vec<Vec<u32>> = proj
         .iter()
-        .map(|&(c, _)| result.column(c).to_vec())
+        .map(|&(c, _)| match &selection {
+            Some(bm) => kernels::gather_column(table.column(c), bm),
+            None => table.column(c).to_vec(),
+        })
         .collect();
     Table::from_columns(schema, cols_out)
 }

@@ -169,6 +169,29 @@ pub struct ReplanExplain {
     pub new_order: Vec<String>,
 }
 
+/// Worker-pool activity attributed to one query: the delta of the shared
+/// [`s2rdf_columnar::pool::WorkerPool`] stats between query start and end.
+/// Tasks here are morsels/partitions/write chunks submitted by joins and
+/// fused pipelines; `steals` shows how much work stealing rebalanced them.
+/// Concurrent queries on the same process share the pool, so under
+/// contention the delta can include a neighbour's tasks — it is an
+/// attribution aid, not an exact ledger.
+#[derive(Debug, Clone, Default)]
+pub struct PoolExplain {
+    /// Pool execution slots (the cached parallelism probe,
+    /// `columnar.pool.workers`).
+    pub workers: usize,
+    /// Pool tasks executed during the query.
+    pub tasks: u64,
+    /// Tasks taken from another worker's queue.
+    pub steals: u64,
+    /// High-water queue depth (process lifetime, not per query).
+    pub max_queue_depth: u64,
+    /// Busy microseconds per worker slot during the query; the last slot
+    /// is the submitting (caller-helper) thread.
+    pub busy_micros: Vec<u64>,
+}
+
 /// Record of one BGP step that executed in degraded mode: the planned ExtVP
 /// partition could not be loaded and the engine fell back to the base VP
 /// table. Because every ExtVP partition is a subset of its VP table
@@ -225,6 +248,9 @@ pub struct Explain {
     /// Per-operator span tree, collected when [`QueryOptions::profile`] is
     /// set (otherwise `None`).
     pub trace: Option<Trace>,
+    /// Worker-pool activity during this query (always collected — reading
+    /// the pool counters is a handful of atomic loads).
+    pub pool: Option<PoolExplain>,
 }
 
 impl Explain {

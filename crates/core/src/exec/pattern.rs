@@ -304,6 +304,10 @@ pub fn compat_left_outer_join(left: &Table, right: &Table) -> Table {
 
 /// Applies a FILTER to a solution table. Rows whose condition errors (type
 /// error / unbound) are dropped, per SPARQL semantics.
+///
+/// Evaluation is split into morsels on the shared worker pool: expression
+/// evaluation is row-independent, so each morsel tests its row range in
+/// parallel and the survivors are gathered once at the end.
 pub fn filter_table(
     table: &Table,
     expr: &Expression,
@@ -311,18 +315,23 @@ pub fn filter_table(
 ) -> Result<Table, CoreError> {
     ctx.check_deadline()?;
     let dict = ctx.dict;
-    Ok(ops::filter(table, |t, row| {
-        let lookup = |var: &str| -> Option<&Term> {
-            let col = t.schema().index_of(var)?;
-            let v = t.value(row, col);
-            if v == NULL_ID {
-                None
-            } else {
-                dict.get(TermId(v))
-            }
-        };
-        matches!(expr.eval(&lookup).and_then(|v| v.ebv()), Ok(true))
-    }))
+    let morsel_rows = ctx.options.join.morsel_rows;
+    Ok(s2rdf_columnar::pipeline::parallel_filter(
+        table,
+        |t, row| {
+            let lookup = |var: &str| -> Option<&Term> {
+                let col = t.schema().index_of(var)?;
+                let v = t.value(row, col);
+                if v == NULL_ID {
+                    None
+                } else {
+                    dict.get(TermId(v))
+                }
+            };
+            matches!(expr.eval(&lookup).and_then(|v| v.ebv()), Ok(true))
+        },
+        morsel_rows,
+    ))
 }
 
 /// Evaluates a full SELECT query: optimize, evaluate the pattern, then
