@@ -5,7 +5,7 @@
 //! s2rdf load     --data data.nt --store ./db [--threshold 1.0]
 //!                [--mode rows|bits|lazy] [--no-extvp] [--oo]
 //! s2rdf stats    --store ./db [--json]
-//! s2rdf query    --store ./db --query 'SELECT …' | --file q.rq
+//! s2rdf query    --store ./db --query 'SELECT/ASK/CONSTRUCT/DESCRIBE …' | --file q.rq
 //!                [--explain] [--profile] [--no-extvp]
 //!                [--broadcast-threshold <rows>] [--target-partition-rows <N>]
 //!                [--max-partitions <N>] [--morsel-rows <N>]
@@ -21,7 +21,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use s2rdf_core::engines::SparqlEngine;
+use s2rdf_core::engines::{QueryResult, SparqlEngine};
 use s2rdf_core::exec::QueryOptions;
 use s2rdf_core::layout::extvp::ExtVpMode;
 use s2rdf_core::{BuildOptions, S2rdfStore};
@@ -235,8 +235,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         options.replan_threshold = s.parse().map_err(|_| "bad --replan-threshold")?;
     }
     let start = Instant::now();
-    let (solutions, explain) = engine
-        .query_opt(&sparql, &options)
+    let (result, explain) = engine
+        .query_result_opt(&sparql, &options)
         .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
 
@@ -260,6 +260,17 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     if args.flag("explain") || profile {
         if explain.statically_empty {
             println!("-- proven empty from ExtVP statistics; nothing executed");
+        }
+        for step in &explain.path_steps {
+            let deltas: Vec<String> = step.iteration_rows.iter().map(|n| n.to_string()).collect();
+            println!(
+                "-- path {} [{}]: {} iteration(s) ({}) → {} rows",
+                step.path,
+                step.mode,
+                step.iteration_rows.len(),
+                deltas.join(", "),
+                step.total_rows
+            );
         }
         for step in &explain.bgp_steps {
             if step.rationale.is_empty() {
@@ -325,23 +336,44 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             println!("-- results are exact; degraded steps only affect cost");
         }
     }
-    println!(
-        "{} solutions in {elapsed:.2?} [{}]",
-        solutions.len(),
-        engine.name()
-    );
-    if !solutions.is_empty() {
-        println!("{}", solutions.vars.join("\t"));
-        for (i, row) in solutions.iter().enumerate() {
-            if i >= max_print {
-                println!("… ({} more rows)", solutions.len() - max_print);
-                break;
+    match &result {
+        QueryResult::Solutions(solutions) => {
+            println!(
+                "{} solutions in {elapsed:.2?} [{}]",
+                solutions.len(),
+                engine.name()
+            );
+            if !solutions.is_empty() {
+                println!("{}", solutions.vars.join("\t"));
+                for (i, row) in solutions.iter().enumerate() {
+                    if i >= max_print {
+                        println!("… ({} more rows)", solutions.len() - max_print);
+                        break;
+                    }
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|(_, t)| t.map_or("∅".to_string(), |t| t.to_string()))
+                        .collect();
+                    println!("{}", cells.join("\t"));
+                }
             }
-            let cells: Vec<String> = row
-                .iter()
-                .map(|(_, t)| t.map_or("∅".to_string(), |t| t.to_string()))
-                .collect();
-            println!("{}", cells.join("\t"));
+        }
+        QueryResult::Bool(b) => {
+            println!("{b} in {elapsed:.2?} [{}]", engine.name());
+        }
+        QueryResult::Graph(triples) => {
+            println!(
+                "{} triples in {elapsed:.2?} [{}]",
+                triples.len(),
+                engine.name()
+            );
+            for (i, triple) in triples.iter().enumerate() {
+                if i >= max_print {
+                    println!("… ({} more triples)", triples.len() - max_print);
+                    break;
+                }
+                println!("{} {} {} .", triple.s, triple.p, triple.o);
+            }
         }
     }
     Ok(())

@@ -24,7 +24,7 @@ use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions};
 
 use super::batch::{BatchEngine, JobGranularity};
 use super::centralized::CentralizedEngine;
-use super::{run_query, SparqlEngine};
+use super::{run_query, run_query_result, QueryResult, SparqlEngine};
 
 /// Default per-pattern row budget for centralized execution.
 pub const DEFAULT_CENTRAL_BUDGET: usize = 50_000;
@@ -91,6 +91,14 @@ impl SparqlEngine for AdaptiveEngine {
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError> {
         run_query(self, sparql, options)
+    }
+
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError> {
+        run_query_result(self, sparql, options)
     }
 }
 

@@ -31,7 +31,7 @@ use crate::error::CoreError;
 use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, StepExplain};
 use crate::layout::triples_table::build_triples_table;
 
-use super::{run_query, scan_pattern, SparqlEngine};
+use super::{run_query, run_query_result, scan_pattern, QueryResult, SparqlEngine};
 
 /// How triple patterns map to jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,6 +252,14 @@ impl SparqlEngine for BatchEngine {
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError> {
         run_query(self, sparql, options)
+    }
+
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError> {
+        run_query_result(self, sparql, options)
     }
 }
 

@@ -16,7 +16,7 @@ use crate::compiler::bgp::order_patterns_by;
 use crate::error::CoreError;
 use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, StepExplain};
 
-use super::{run_query, SparqlEngine};
+use super::{run_query, run_query_result, QueryResult, SparqlEngine};
 
 /// Triple component order of one index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -331,6 +331,14 @@ impl SparqlEngine for CentralizedEngine {
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError> {
         run_query(self, sparql, options)
+    }
+
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError> {
+        run_query_result(self, sparql, options)
     }
 }
 

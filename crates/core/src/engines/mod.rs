@@ -18,12 +18,24 @@ pub mod property_table;
 pub mod s2rdf;
 pub mod triples_table;
 
+use rustc_hash::FxHashSet;
 use s2rdf_columnar::{Schema, Table};
-use s2rdf_model::Dictionary;
-use s2rdf_sparql::{GraphPattern, TermPattern, TriplePattern};
+use s2rdf_model::{Dictionary, Term, Triple};
+use s2rdf_sparql::{GraphPattern, QueryForm, Selection, TermPattern, TriplePattern};
 
 use crate::error::CoreError;
 use crate::exec::{eval_query, BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions};
+
+/// The result of a SPARQL query, shaped by its query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// `SELECT`: a solution sequence.
+    Solutions(Solutions),
+    /// `ASK`: whether the pattern has at least one solution.
+    Bool(bool),
+    /// `CONSTRUCT`/`DESCRIBE`: a deduplicated set of triples.
+    Graph(Vec<Triple>),
+}
 
 /// The common engine interface: parse + evaluate a SPARQL query.
 pub trait SparqlEngine {
@@ -31,34 +43,93 @@ pub trait SparqlEngine {
     fn name(&self) -> String;
 
     /// Runs a query with options, returning solutions and the execution
-    /// trace.
+    /// trace. Errors with [`CoreError::Unsupported`] on non-`SELECT` forms;
+    /// use [`SparqlEngine::query_result_opt`] for those.
     fn query_opt(
         &self,
         sparql: &str,
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError>;
 
+    /// Runs a query of any form (`SELECT`/`ASK`/`CONSTRUCT`/`DESCRIBE`)
+    /// with options, returning the form-shaped result and the trace.
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError>;
+
     /// Runs a query with default options.
     fn query(&self, sparql: &str) -> Result<Solutions, CoreError> {
         self.query_opt(sparql, &QueryOptions::default())
             .map(|(s, _)| s)
     }
+
+    /// Runs a query of any form with default options.
+    fn query_result(&self, sparql: &str) -> Result<QueryResult, CoreError> {
+        self.query_result_opt(sparql, &QueryOptions::default())
+            .map(|(r, _)| r)
+    }
 }
 
-/// Shared driver: every engine is a [`BgpEvaluator`]; this parses the query
-/// and runs the algebra evaluator on top of it.
+/// Shared `SELECT` driver: every engine is a [`BgpEvaluator`]; this parses
+/// the query and runs the algebra evaluator on top of it.
 pub(crate) fn run_query(
     ev: &dyn BgpEvaluator,
     sparql: &str,
     options: &QueryOptions,
 ) -> Result<(Solutions, Explain), CoreError> {
+    let (result, explain) = run_query_result(ev, sparql, options)?;
+    match result {
+        QueryResult::Solutions(s) => Ok((s, explain)),
+        _ => Err(CoreError::Unsupported(
+            "ASK/CONSTRUCT/DESCRIBE queries return no solution sequence; use query_result".into(),
+        )),
+    }
+}
+
+/// Shared driver for every query form.
+pub(crate) fn run_query_result(
+    ev: &dyn BgpEvaluator,
+    sparql: &str,
+    options: &QueryOptions,
+) -> Result<(QueryResult, Explain), CoreError> {
     let query = s2rdf_sparql::parse_query(sparql)?;
     let pool = s2rdf_columnar::pool::current();
     let before = pool.stats();
     let mut ctx = ExecContext::new(ev.dict(), *options);
     let span = ctx.span_open("query");
-    let solutions = eval_query(ev, &query, &mut ctx)?;
-    ctx.span_close(span, String::new(), Some(solutions.len()));
+    let result = match &query.form {
+        QueryForm::Select => QueryResult::Solutions(eval_query(ev, &query, &mut ctx)?),
+        QueryForm::Ask => {
+            // ASK only needs existence; evaluate the pattern as a SELECT *
+            // (modifiers cannot change emptiness except LIMIT 0, which is
+            // honored by eval_query's slicing).
+            let solutions = eval_query(ev, &as_select_all(&query), &mut ctx)?;
+            QueryResult::Bool(!solutions.is_empty())
+        }
+        QueryForm::Construct(template) => {
+            let solutions = eval_query(ev, &as_select_all(&query), &mut ctx)?;
+            QueryResult::Graph(instantiate_template(template, &solutions))
+        }
+        QueryForm::Describe(targets) => {
+            let solutions = if targets.iter().any(|t| matches!(t, TermPattern::Var(_))) {
+                eval_query(ev, &as_select_all(&query), &mut ctx)?
+            } else {
+                Solutions {
+                    vars: Vec::new(),
+                    rows: Vec::new(),
+                }
+            };
+            QueryResult::Graph(describe_terms(ev, targets, &solutions, &mut ctx)?)
+        }
+    };
+    let out_rows = match &result {
+        QueryResult::Solutions(s) => s.len(),
+        QueryResult::Bool(_) => 1,
+        QueryResult::Graph(g) => g.len(),
+    };
+    ctx.span_close(span, String::new(), Some(out_rows));
     // Attribute the pool's activity delta to this query — every engine's
     // joins and pipelines submit morsels to the same shared pool.
     let after = pool.stats();
@@ -74,7 +145,117 @@ pub(crate) fn run_query(
             .map(|(a, b)| a.saturating_sub(*b))
             .collect(),
     });
-    Ok((solutions, ctx.explain))
+    Ok((result, ctx.explain))
+}
+
+/// Reshapes an ASK/CONSTRUCT/DESCRIBE query into the `SELECT *` over the
+/// same pattern and modifiers, so the shared evaluator produces the binding
+/// sequence the form consumes.
+fn as_select_all(query: &s2rdf_sparql::Query) -> s2rdf_sparql::Query {
+    let mut q = query.clone();
+    q.form = QueryForm::Select;
+    q.selection = Selection::All;
+    q.distinct = false;
+    q
+}
+
+/// Instantiates a CONSTRUCT template once per solution; triples with an
+/// unbound or missing variable are skipped (SPARQL §16.2), duplicates are
+/// eliminated.
+fn instantiate_template(template: &[TriplePattern], solutions: &Solutions) -> Vec<Triple> {
+    let mut triples = Vec::new();
+    let mut seen: FxHashSet<Triple> = FxHashSet::default();
+    for row in 0..solutions.len() {
+        for tp in template {
+            let resolve = |p: &TermPattern| -> Option<Term> {
+                match p {
+                    TermPattern::Term(t) => Some(t.clone()),
+                    TermPattern::Var(v) => solutions.binding(row, v).cloned(),
+                }
+            };
+            if let (Some(s), Some(p), Some(o)) = (resolve(&tp.s), resolve(&tp.p), resolve(&tp.o)) {
+                let triple = Triple::new(s, p, o);
+                if seen.insert(triple.clone()) {
+                    triples.push(triple);
+                }
+            }
+        }
+    }
+    triples
+}
+
+/// DESCRIBE: for every target term (IRI targets directly, variable targets
+/// via their bindings in the pattern solutions), emit all triples where the
+/// term appears as subject or object.
+fn describe_terms(
+    ev: &dyn BgpEvaluator,
+    targets: &[TermPattern],
+    solutions: &Solutions,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Vec<Triple>, CoreError> {
+    let mut terms: Vec<Term> = Vec::new();
+    let mut seen_terms: FxHashSet<Term> = FxHashSet::default();
+    for target in targets {
+        match target {
+            TermPattern::Term(t) => {
+                if seen_terms.insert(t.clone()) {
+                    terms.push(t.clone());
+                }
+            }
+            TermPattern::Var(v) => {
+                for row in 0..solutions.len() {
+                    if let Some(t) = solutions.binding(row, v) {
+                        if seen_terms.insert(t.clone()) {
+                            terms.push(t.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut triples = Vec::new();
+    let mut seen: FxHashSet<Triple> = FxHashSet::default();
+    for term in terms {
+        // Triples with the term as subject, then as object. `#`-prefixed
+        // variable names keep these probes out of user-visible schemas.
+        for as_subject in [true, false] {
+            let (s, o) = if as_subject {
+                (
+                    TermPattern::Term(term.clone()),
+                    TermPattern::Var("#do".to_string()),
+                )
+            } else {
+                (
+                    TermPattern::Var("#ds".to_string()),
+                    TermPattern::Term(term.clone()),
+                )
+            };
+            let tp = TriplePattern::new(s, TermPattern::Var("#dp".to_string()), o);
+            let table = ev.eval_bgp(&[tp], ctx)?;
+            let pi = table.schema().index_of("#dp").expect("predicate column");
+            let vi = table
+                .schema()
+                .index_of(if as_subject { "#do" } else { "#ds" })
+                .expect("endpoint column");
+            for row in 0..table.num_rows() {
+                let (Some(p), Some(v)) = (
+                    ctx.term_of(table.value(row, pi)),
+                    ctx.term_of(table.value(row, vi)),
+                ) else {
+                    continue;
+                };
+                let triple = if as_subject {
+                    Triple::new(term.clone(), p.clone(), v.clone())
+                } else {
+                    Triple::new(v.clone(), p.clone(), term.clone())
+                };
+                if seen.insert(triple.clone()) {
+                    triples.push(triple);
+                }
+            }
+        }
+    }
+    Ok(triples)
 }
 
 /// An empty solution table with one column per BGP variable (used when

@@ -16,7 +16,7 @@ use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, S
 use crate::layout::property_table::PropertyTable;
 use crate::layout::triples_table::build_triples_table;
 
-use super::{run_query, scan_pattern, SparqlEngine};
+use super::{run_query, run_query_result, scan_pattern, QueryResult, SparqlEngine};
 
 /// Property-table (Sempala-style) engine.
 #[derive(Debug)]
@@ -333,6 +333,14 @@ impl SparqlEngine for PropertyTableEngine {
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError> {
         run_query(self, sparql, options)
+    }
+
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError> {
+        run_query_result(self, sparql, options)
     }
 }
 

@@ -18,7 +18,9 @@ use crate::exec::{
 use crate::layout::{extvp_table_name, vp_table_name, TT_NAME};
 use crate::store::S2rdfStore;
 
-use super::{empty_bgp_table, run_query, scan_pattern, SparqlEngine};
+use super::{
+    empty_bgp_table, run_query, run_query_result, scan_pattern, QueryResult, SparqlEngine,
+};
 
 /// The S2RDF query engine over a built store.
 ///
@@ -505,6 +507,14 @@ impl SparqlEngine for S2rdfEngine<'_> {
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError> {
         run_query(self, sparql, options)
+    }
+
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError> {
+        run_query_result(self, sparql, options)
     }
 }
 

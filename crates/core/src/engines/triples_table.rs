@@ -19,7 +19,7 @@ use crate::exec::{BgpEvaluator, ExecContext, Explain, QueryOptions, Solutions, S
 use crate::layout::triples_table::build_triples_table;
 use crate::layout::TT_NAME;
 
-use super::{run_query, scan_pattern, SparqlEngine};
+use super::{run_query, run_query_result, scan_pattern, QueryResult, SparqlEngine};
 
 /// Triples-table baseline engine.
 #[derive(Debug)]
@@ -122,6 +122,14 @@ impl SparqlEngine for TriplesTableEngine {
         options: &QueryOptions,
     ) -> Result<(Solutions, Explain), CoreError> {
         run_query(self, sparql, options)
+    }
+
+    fn query_result_opt(
+        &self,
+        sparql: &str,
+        options: &QueryOptions,
+    ) -> Result<(QueryResult, Explain), CoreError> {
+        run_query_result(self, sparql, options)
     }
 }
 

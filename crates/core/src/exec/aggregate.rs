@@ -13,7 +13,7 @@ use std::cmp::Ordering;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use s2rdf_columnar::{Table, NULL_ID};
-use s2rdf_model::{Term, TermId};
+use s2rdf_model::Term;
 use s2rdf_sparql::{AggFunc, Query, SelectItem, Selection};
 
 use crate::error::CoreError;
@@ -82,14 +82,7 @@ pub fn aggregate_table(
         groups.insert(Vec::new(), Vec::new());
     }
 
-    let dict = ctx.dict;
-    let decode = |id: u32| -> Option<&Term> {
-        if id == NULL_ID {
-            None
-        } else {
-            dict.get(TermId(id))
-        }
-    };
+    let decode = |id: u32| -> Option<&Term> { ctx.term_of(id) };
 
     let vars: Vec<String> = items
         .iter()

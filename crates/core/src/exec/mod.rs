@@ -7,15 +7,17 @@
 //! directly … to the appropriate counterparts in Spark SQL" (§6.1).
 
 pub mod aggregate;
+pub mod path;
 pub mod pattern;
 pub mod solution;
 pub mod trace;
 
 use std::time::Instant;
 
+use rustc_hash::FxHashMap;
 use s2rdf_columnar::exec::{JoinConfig, JoinDecision};
-use s2rdf_columnar::Table;
-use s2rdf_model::Dictionary;
+use s2rdf_columnar::{Table, NULL_ID};
+use s2rdf_model::{Dictionary, Term, TermId};
 use s2rdf_sparql::TriplePattern;
 
 use crate::error::CoreError;
@@ -192,6 +194,24 @@ pub struct PoolExplain {
     pub busy_micros: Vec<u64>,
 }
 
+/// Explain record for one evaluated property-path pattern: the fixpoint's
+/// shape and its per-iteration delta sizes (the Spark-iterative-job
+/// analogue — each entry is one "job" of the semi-join fixpoint).
+#[derive(Debug, Clone)]
+pub struct PathStepExplain {
+    /// The path expression, rendered.
+    pub path: String,
+    /// How it was evaluated: `"forward-bfs"`/`"backward-bfs"` (one endpoint
+    /// bound, bitmap-deduped frontier), `"closure"` (both endpoints open,
+    /// delta-set pair iteration), or `"relation"` (no fixpoint needed).
+    pub mode: String,
+    /// New pairs (or frontier nodes) discovered per fixpoint iteration;
+    /// empty for non-closure paths.
+    pub iteration_rows: Vec<usize>,
+    /// Rows in the path pattern's result table.
+    pub total_rows: usize,
+}
+
 /// Record of one BGP step that executed in degraded mode: the planned ExtVP
 /// partition could not be loaded and the engine fell back to the base VP
 /// table. Because every ExtVP partition is a subset of its VP table
@@ -245,6 +265,9 @@ pub struct Explain {
     /// divergence, in execution order. Empty when re-planning is disabled
     /// or estimates held up.
     pub replans: Vec<ReplanExplain>,
+    /// One entry per evaluated property-path pattern, with per-iteration
+    /// fixpoint row counts.
+    pub path_steps: Vec<PathStepExplain>,
     /// Per-operator span tree, collected when [`QueryOptions::profile`] is
     /// set (otherwise `None`).
     pub trace: Option<Trace>,
@@ -269,6 +292,12 @@ pub struct ExecContext<'a> {
     pub options: QueryOptions,
     /// Trace being collected.
     pub explain: Explain,
+    /// Query-local term overlay: terms introduced by the query itself
+    /// (VALUES data, BIND results) that are absent from the immutable store
+    /// dictionary. Overlay ids start at `dict.len()` so they never collide
+    /// with stored ids; [`ExecContext::term_of`] resolves both ranges.
+    extra_terms: Vec<Term>,
+    extra_ids: FxHashMap<Term, u32>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -284,6 +313,58 @@ impl<'a> ExecContext<'a> {
             dict,
             options,
             explain,
+            extra_terms: Vec::new(),
+            extra_ids: FxHashMap::default(),
+        }
+    }
+
+    /// Resolves an id to a term, consulting the store dictionary first and
+    /// the query-local overlay above it. `NULL_ID` (unbound) is `None`.
+    pub fn term_of(&self, id: u32) -> Option<&Term> {
+        if id == NULL_ID {
+            return None;
+        }
+        let base = self.dict.len() as u32;
+        if id < base {
+            self.dict.get(TermId(id))
+        } else {
+            self.extra_terms.get((id - base) as usize)
+        }
+    }
+
+    /// Returns an id for `term`, interning it into the query-local overlay
+    /// if the store dictionary does not know it.
+    pub fn intern_term(&mut self, term: &Term) -> u32 {
+        if let Some(id) = self.dict.id(term) {
+            return id.0;
+        }
+        if let Some(&id) = self.extra_ids.get(term) {
+            return id;
+        }
+        let id = (self.dict.len() + self.extra_terms.len()) as u32;
+        self.extra_terms.push(term.clone());
+        self.extra_ids.insert(term.clone(), id);
+        id
+    }
+
+    /// The query-local overlay terms (index 0 is id `dict.len()`), for
+    /// decode paths that only hold immutable borrows.
+    pub fn overlay(&self) -> &[Term] {
+        &self.extra_terms
+    }
+
+    /// Resolves an id against split dictionary/overlay borrows — for
+    /// closures (parallel filter predicates, sort key extraction) that
+    /// cannot capture the whole context.
+    pub fn term_at<'b>(dict: &'b Dictionary, overlay: &'b [Term], id: u32) -> Option<&'b Term> {
+        if id == NULL_ID {
+            return None;
+        }
+        let base = dict.len() as u32;
+        if id < base {
+            dict.get(TermId(id))
+        } else {
+            overlay.get((id - base) as usize)
         }
     }
 

@@ -1,0 +1,515 @@
+//! Property-path evaluation as an iterative fixpoint over ExtVP tables.
+//!
+//! S2RDF's Spark incarnation would evaluate `p+`/`p*` as an iterative
+//! sequence of semi-join jobs, each joining the previous iteration's delta
+//! against the predicate's VP/ExtVP table and unioning new pairs into the
+//! accumulator until no new pair appears. This module is the single-machine
+//! analogue: base edges come from the engine's own [`BgpEvaluator`] (so the
+//! ExtVP/VP table choice, the triples-table fallback, and the morsel pool
+//! are all reused), the per-iteration join runs through
+//! [`natural_join_adaptive`] on the worker pool, and dedup is dictionary-id
+//! based (a packed-u64 set for pair relations, a [`Bitmap`] over the id
+//! space for bound-endpoint BFS). Cycles terminate because the visited set
+//! grows monotonically and the id space is finite.
+//!
+//! Per-iteration delta sizes are recorded in
+//! [`PathStepExplain`](super::PathStepExplain) so `--explain` can show the
+//! fixpoint converging, mirroring how one would read the stage list of the
+//! iterative Spark job.
+//!
+//! Path results are sets of endpoint pairs (duplicates eliminated), which
+//! matches the SPARQL 1.1 arbitrary-length path semantics; fixed-length
+//! sub-paths inherit the set semantics, a simplification over the spec's
+//! bag semantics for `/` and `|` that keeps the fixpoint monotone.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use s2rdf_columnar::exec::natural_join_adaptive;
+use s2rdf_columnar::{Bitmap, Schema, Table};
+use s2rdf_model::Term;
+use s2rdf_sparql::{PropertyPath, TermPattern, TriplePattern};
+
+use crate::error::CoreError;
+
+use super::pattern::UNIT_COL;
+use super::{BgpEvaluator, ExecContext, PathStepExplain};
+
+/// Internal column names for path endpoints. The `#` prefix keeps them out
+/// of user-visible projections (decode skips `#` columns).
+const SRC: &str = "#path_s";
+const MID: &str = "#path_m";
+const DST: &str = "#path_o";
+
+fn pack(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+fn dedup_pairs(pairs: &mut Vec<(u32, u32)>) {
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(pairs.len());
+    pairs.retain(|&(a, b)| seen.insert(pack(a, b)));
+}
+
+/// Path evaluation state: the engine, the execution context, and a lazily
+/// computed node domain (all subjects ∪ objects of the graph) used for
+/// zero-length path steps.
+struct PathEval<'e, 'c, 'a> {
+    ev: &'e dyn BgpEvaluator,
+    ctx: &'c mut ExecContext<'a>,
+    nodes: Option<Vec<u32>>,
+    /// Rows produced per fixpoint iteration, across all closure/BFS steps
+    /// of this path expression (iteration 0 of a closure is its base-edge
+    /// count).
+    iterations: Vec<usize>,
+}
+
+impl PathEval<'_, '_, '_> {
+    /// All node ids of the graph (subjects ∪ objects), computed once from a
+    /// `?s ?p ?o` scan via the engine itself. This is the domain of the
+    /// zero-length path: `p?`/`p*` relate every graph node to itself.
+    fn nodes(&mut self) -> Result<&[u32], CoreError> {
+        if self.nodes.is_none() {
+            let tp = TriplePattern::new(
+                TermPattern::Var(SRC.to_string()),
+                TermPattern::Var(MID.to_string()),
+                TermPattern::Var(DST.to_string()),
+            );
+            let table = self.ev.eval_bgp(&[tp], self.ctx)?;
+            let si = table.schema().index_of(SRC).expect("subject column");
+            let oi = table.schema().index_of(DST).expect("object column");
+            let mut set: FxHashSet<u32> = FxHashSet::default();
+            set.extend(table.column(si).iter().copied());
+            set.extend(table.column(oi).iter().copied());
+            let mut nodes: Vec<u32> = set.into_iter().collect();
+            nodes.sort_unstable();
+            self.nodes = Some(nodes);
+        }
+        Ok(self.nodes.as_deref().unwrap())
+    }
+
+    /// Base edge pairs for one predicate, from the engine's own BGP
+    /// evaluator (which picks the VP/ExtVP table or the triples-table
+    /// fallback exactly as it would for a plain triple pattern).
+    fn base_edges(&mut self, pred: &Term) -> Result<Vec<(u32, u32)>, CoreError> {
+        let tp = TriplePattern::new(
+            TermPattern::Var(SRC.to_string()),
+            TermPattern::Term(pred.clone()),
+            TermPattern::Var(DST.to_string()),
+        );
+        let table = self.ev.eval_bgp(&[tp], self.ctx)?;
+        let si = table.schema().index_of(SRC).expect("subject column");
+        let oi = table.schema().index_of(DST).expect("object column");
+        let mut pairs: Vec<(u32, u32)> = table
+            .column(si)
+            .iter()
+            .zip(table.column(oi))
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        dedup_pairs(&mut pairs);
+        Ok(pairs)
+    }
+
+    /// The pair relation denoted by `path`, fully materialized and deduped.
+    fn rel(&mut self, path: &PropertyPath) -> Result<Vec<(u32, u32)>, CoreError> {
+        self.ctx.check_deadline()?;
+        match path {
+            PropertyPath::Iri(pred) => self.base_edges(pred),
+            PropertyPath::Inverse(inner) => {
+                let mut pairs = self.rel(inner)?;
+                for p in &mut pairs {
+                    *p = (p.1, p.0);
+                }
+                Ok(pairs)
+            }
+            PropertyPath::Sequence(a, b) => {
+                let ra = self.rel(a)?;
+                let rb = self.rel(b)?;
+                Ok(self.join_pairs(&ra, &rb))
+            }
+            PropertyPath::Alternative(a, b) => {
+                let mut pairs = self.rel(a)?;
+                pairs.extend(self.rel(b)?);
+                dedup_pairs(&mut pairs);
+                Ok(pairs)
+            }
+            PropertyPath::ZeroOrOne(inner) => {
+                let mut pairs = self.rel(inner)?;
+                for &n in self.nodes()? {
+                    pairs.push((n, n));
+                }
+                dedup_pairs(&mut pairs);
+                Ok(pairs)
+            }
+            PropertyPath::OneOrMore(inner) => {
+                let base = self.rel(inner)?;
+                self.closure(&base)
+            }
+            PropertyPath::ZeroOrMore(inner) => {
+                let base = self.rel(inner)?;
+                let mut pairs = self.closure(&base)?;
+                for &n in self.nodes()? {
+                    pairs.push((n, n));
+                }
+                dedup_pairs(&mut pairs);
+                Ok(pairs)
+            }
+        }
+    }
+
+    /// Joins two pair relations on the middle element (`a.1 == b.0`) via
+    /// the adaptive pool-backed hash join, deduped.
+    fn join_pairs(&mut self, a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let left = pairs_to_table(a, SRC, MID);
+        let right = pairs_to_table(b, MID, DST);
+        let (joined, _) = natural_join_adaptive(&left, &right, &self.ctx.options.join);
+        let si = joined.schema().index_of(SRC).unwrap();
+        let oi = joined.schema().index_of(DST).unwrap();
+        let mut pairs: Vec<(u32, u32)> = joined
+            .column(si)
+            .iter()
+            .zip(joined.column(oi))
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        dedup_pairs(&mut pairs);
+        pairs
+    }
+
+    /// Transitive closure of `base` by delta-set iteration: each round
+    /// joins the newly discovered pairs against the base edges on the
+    /// worker pool, keeps the pairs never seen before (packed-u64 dedup),
+    /// and stops when an iteration adds nothing. Terminates on cyclic
+    /// graphs because `seen` grows monotonically within a finite id space.
+    fn closure(&mut self, base: &[(u32, u32)]) -> Result<Vec<(u32, u32)>, CoreError> {
+        let mut seen: FxHashSet<u64> = base.iter().map(|&(a, b)| pack(a, b)).collect();
+        let mut result: Vec<(u32, u32)> = base.to_vec();
+        let mut delta: Vec<(u32, u32)> = base.to_vec();
+        self.iterations.push(delta.len());
+        let edges = pairs_to_table(base, MID, DST);
+        while !delta.is_empty() {
+            self.ctx.check_deadline()?;
+            let dt = pairs_to_table(&delta, SRC, MID);
+            let (joined, _) = natural_join_adaptive(&dt, &edges, &self.ctx.options.join);
+            let si = joined.schema().index_of(SRC).unwrap();
+            let oi = joined.schema().index_of(DST).unwrap();
+            let mut next: Vec<(u32, u32)> = Vec::new();
+            for (&x, &y) in joined.column(si).iter().zip(joined.column(oi)) {
+                if seen.insert(pack(x, y)) {
+                    next.push((x, y));
+                    result.push((x, y));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            self.iterations.push(next.len());
+            delta = next;
+        }
+        Ok(result)
+    }
+
+    /// Reachability BFS from a single bound endpoint over the relation of
+    /// `inner`, with a [`Bitmap`] over the dictionary-id space as the
+    /// visited set. Returns every node reachable via ≥1 application of
+    /// `inner`, plus the start itself when `include_zero` (the SPARQL ALP
+    /// procedure includes the start node for `*` even when it is absent
+    /// from the graph).
+    fn bfs(
+        &mut self,
+        inner: &PropertyPath,
+        start: u32,
+        include_zero: bool,
+    ) -> Result<Vec<u32>, CoreError> {
+        let edges = self.rel(inner)?;
+        let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        let mut max_id = start;
+        for &(a, b) in &edges {
+            adj.entry(a).or_default().push(b);
+            max_id = max_id.max(a).max(b);
+        }
+        let mut visited = Bitmap::new(max_id as usize + 1);
+        let mut frontier = vec![start];
+        loop {
+            self.ctx.check_deadline()?;
+            let mut next = Vec::new();
+            for &n in &frontier {
+                if let Some(succ) = adj.get(&n) {
+                    for &m in succ {
+                        if !visited.get(m as usize) {
+                            visited.set(m as usize);
+                            next.push(m);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            self.iterations.push(next.len());
+            frontier = next;
+        }
+        let mut reached: Vec<u32> = visited.iter_ones().map(|i| i as u32).collect();
+        if include_zero && !visited.get(start as usize) {
+            reached.push(start);
+        }
+        Ok(reached)
+    }
+}
+
+fn pairs_to_table(pairs: &[(u32, u32)], a: &str, b: &str) -> Table {
+    let ca: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+    let cb: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+    Table::from_columns(Schema::new([a, b]), vec![ca, cb])
+}
+
+/// Evaluates `subject path object` to a solution table.
+///
+/// Strategy selection:
+/// - a top-level `p*`/`p+` with a bound endpoint runs a **BFS** from that
+///   endpoint (`forward-bfs` from the subject, `backward-bfs` from the
+///   object over the inverted relation) — the semi-join-reduction analogue:
+///   only reachable nodes are ever touched;
+/// - a top-level `p*`/`p+` with both endpoints variable materializes the
+///   **closure** by delta-set iteration;
+/// - everything else materializes the path **relation** compositionally
+///   (nested closures still iterate) and filters by the bound endpoints.
+pub fn eval_path(
+    ev: &dyn BgpEvaluator,
+    subject: &TermPattern,
+    path: &PropertyPath,
+    object: &TermPattern,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Table, CoreError> {
+    let s_id = match subject {
+        TermPattern::Term(t) => Some(ctx.intern_term(t)),
+        TermPattern::Var(_) => None,
+    };
+    let o_id = match object {
+        TermPattern::Term(t) => Some(ctx.intern_term(t)),
+        TermPattern::Var(_) => None,
+    };
+
+    let mut pe = PathEval {
+        ev,
+        ctx,
+        nodes: None,
+        iterations: Vec::new(),
+    };
+
+    let (mode, mut pairs): (&str, Vec<(u32, u32)>) = match (s_id, o_id, path) {
+        (Some(s), _, PropertyPath::ZeroOrMore(inner) | PropertyPath::OneOrMore(inner)) => {
+            let zero = matches!(path, PropertyPath::ZeroOrMore(_));
+            let reached = pe.bfs(inner, s, zero)?;
+            ("forward-bfs", reached.into_iter().map(|n| (s, n)).collect())
+        }
+        (None, Some(o), PropertyPath::ZeroOrMore(inner) | PropertyPath::OneOrMore(inner)) => {
+            let zero = matches!(path, PropertyPath::ZeroOrMore(_));
+            let inverted = PropertyPath::Inverse(Box::new(inner.as_ref().clone()));
+            let reached = pe.bfs(&inverted, o, zero)?;
+            (
+                "backward-bfs",
+                reached.into_iter().map(|n| (n, o)).collect(),
+            )
+        }
+        (None, None, PropertyPath::ZeroOrMore(_) | PropertyPath::OneOrMore(_)) => {
+            ("closure", pe.rel(path)?)
+        }
+        _ => {
+            let mut pairs = pe.rel(path)?;
+            // A zero-length step must relate a bound endpoint to itself
+            // even when that term never appears in the graph (the node
+            // domain only covers graph terms).
+            if path.allows_zero_length() {
+                if let Some(s) = s_id {
+                    pairs.push((s, s));
+                }
+                if let Some(o) = o_id {
+                    pairs.push((o, o));
+                }
+                dedup_pairs(&mut pairs);
+            }
+            ("relation", pairs)
+        }
+    };
+    let iterations = std::mem::take(&mut pe.iterations);
+
+    if let Some(s) = s_id {
+        pairs.retain(|p| p.0 == s);
+    }
+    if let Some(o) = o_id {
+        pairs.retain(|p| p.1 == o);
+    }
+
+    let table = match (subject, object) {
+        (TermPattern::Var(sv), TermPattern::Var(ov)) if sv == ov => {
+            let col: Vec<u32> = pairs.iter().filter(|p| p.0 == p.1).map(|p| p.0).collect();
+            Table::from_columns(Schema::new([sv.as_str()]), vec![col])
+        }
+        (TermPattern::Var(sv), TermPattern::Var(ov)) => {
+            let ca: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let cb: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            Table::from_columns(Schema::new([sv.as_str(), ov.as_str()]), vec![ca, cb])
+        }
+        (TermPattern::Var(sv), TermPattern::Term(_)) => {
+            let col: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            Table::from_columns(Schema::new([sv.as_str()]), vec![col])
+        }
+        (TermPattern::Term(_), TermPattern::Var(ov)) => {
+            let col: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            Table::from_columns(Schema::new([ov.as_str()]), vec![col])
+        }
+        (TermPattern::Term(_), TermPattern::Term(_)) => {
+            Table::from_columns(Schema::new([UNIT_COL]), vec![vec![0; pairs.len()]])
+        }
+    };
+
+    ctx.explain.path_steps.push(PathStepExplain {
+        path: path.to_string(),
+        mode: mode.to_string(),
+        iteration_rows: iterations,
+        total_rows: table.num_rows(),
+    });
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engines::{QueryResult, SparqlEngine};
+    use crate::store::{BuildOptions, S2rdfStore};
+    use s2rdf_model::{Graph, Term, Triple};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// A → B → C → A cycle plus a tail D, and a `likes` edge off B.
+    fn store() -> S2rdfStore {
+        S2rdfStore::build(
+            &Graph::from_triples([
+                t("A", "follows", "B"),
+                t("B", "follows", "C"),
+                t("C", "follows", "A"),
+                t("C", "follows", "D"),
+                t("B", "likes", "I1"),
+            ]),
+            &BuildOptions::default(),
+        )
+    }
+
+    #[test]
+    fn one_or_more_terminates_on_cycle() {
+        let s = store()
+            .query("SELECT ?x ?y WHERE { ?x <follows>+ ?y }")
+            .unwrap();
+        // Closure of the 4 edges: every node of the cycle reaches A, B, C,
+        // and D (4 each = 12), D reaches nothing.
+        assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn zero_or_more_from_bound_subject() {
+        let s = store()
+            .query("SELECT ?y WHERE { <B> <follows>* ?y }")
+            .unwrap();
+        // B itself (zero length) plus C, A, D.
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn zero_or_more_includes_non_graph_start() {
+        // The start term never appears in the graph: `*` still relates it
+        // to itself (SPARQL ALP semantics).
+        let s = store()
+            .query("SELECT ?y WHERE { <Ghost> <follows>* ?y }")
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "y"), Some(&Term::iri("Ghost")));
+    }
+
+    #[test]
+    fn one_or_more_bound_subject_excludes_start_without_cycle() {
+        let s = store()
+            .query("SELECT ?y WHERE { <D> <follows>+ ?y }")
+            .unwrap();
+        assert_eq!(s.len(), 0);
+        // But a start on the cycle reaches itself via the cycle.
+        let s = store()
+            .query("SELECT ?y WHERE { <A> <follows>+ ?y } ORDER BY ?y")
+            .unwrap();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn backward_bfs_from_bound_object() {
+        let s = store()
+            .query("SELECT ?x WHERE { ?x <follows>+ <D> }")
+            .unwrap();
+        assert_eq!(s.len(), 3); // A, B, C all reach D
+    }
+
+    #[test]
+    fn sequence_alternative_inverse() {
+        let s = store()
+            .query("SELECT ?x WHERE { ?x <follows>/<likes> ?y }")
+            .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.binding(0, "x"), Some(&Term::iri("A")));
+
+        let s = store()
+            .query("SELECT ?x ?y WHERE { ?x <likes>|^<follows> ?y }")
+            .unwrap();
+        // likes: (B, I1); inverse follows: 4 edges reversed.
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn zero_or_one_relates_every_node_to_itself() {
+        let s = store()
+            .query("SELECT ?x ?y WHERE { ?x <likes>? ?y }")
+            .unwrap();
+        // Identity pairs for the 5 nodes (A, B, C, D, I1) plus the
+        // (B, I1) edge.
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn same_variable_both_ends_finds_cycle_members() {
+        let s = store()
+            .query("SELECT ?x WHERE { ?x <follows>+ ?x }")
+            .unwrap();
+        assert_eq!(s.len(), 3); // A, B, C are on the cycle; D is not
+    }
+
+    #[test]
+    fn both_ends_bound() {
+        let r = store().query_result("ASK { <A> <follows>+ <D> }").unwrap();
+        assert_eq!(r, QueryResult::Bool(true));
+        let r = store().query_result("ASK { <D> <follows>+ <A> }").unwrap();
+        assert_eq!(r, QueryResult::Bool(false));
+    }
+
+    #[test]
+    fn explain_records_fixpoint_iterations() {
+        let (_, explain) = store()
+            .engine(true)
+            .query_opt(
+                "SELECT ?x ?y WHERE { ?x <follows>+ ?y }",
+                &crate::exec::QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(explain.path_steps.len(), 1);
+        let step = &explain.path_steps[0];
+        assert_eq!(step.mode, "closure");
+        assert!(step.iteration_rows.len() >= 2, "{:?}", step.iteration_rows);
+        assert_eq!(step.iteration_rows[0], 4); // base edges
+        assert_eq!(step.total_rows, 12);
+    }
+
+    #[test]
+    fn path_joins_with_bgp() {
+        let s = store()
+            .query("SELECT ?x ?w WHERE { ?x <follows>+ ?y . ?y <likes> ?w }")
+            .unwrap();
+        // ?y must be B: reachable from A (A→B) and from the cycle members.
+        // Predecessors of B via + : A, C, B (cycle) — 3 rows.
+        assert_eq!(s.len(), 3);
+    }
+}

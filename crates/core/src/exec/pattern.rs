@@ -5,7 +5,7 @@ use std::cmp::Ordering;
 use rustc_hash::FxHashMap;
 use s2rdf_columnar::exec::{natural_join_adaptive, BuildSide, JoinDecision, JoinStrategy};
 use s2rdf_columnar::{ops, Schema, Table, NULL_ID};
-use s2rdf_model::{Dictionary, Term, TermId};
+use s2rdf_model::{Dictionary, Term};
 use s2rdf_sparql::{optimizer, Expression, GraphPattern, Query, Value};
 
 use crate::error::CoreError;
@@ -149,6 +149,76 @@ pub fn eval_pattern(
                 format!("left={} right={}", left.num_rows(), right.num_rows()),
                 Some(out.num_rows()),
             );
+            Ok(out)
+        }
+        GraphPattern::Path {
+            subject,
+            path,
+            object,
+        } => {
+            let span = ctx.span_open("path");
+            let out = super::path::eval_path(ev, subject, path, object, ctx)?;
+            ctx.span_close(
+                span,
+                format!("{subject} {path} {object}"),
+                Some(out.num_rows()),
+            );
+            Ok(out)
+        }
+        GraphPattern::Bind { expr, var, inner } => {
+            let span = ctx.span_open("bind");
+            let table = eval_pattern(ev, inner, ctx)?;
+            if table.schema().contains(var) {
+                return Err(CoreError::Unsupported(format!(
+                    "BIND would rebind already-bound variable ?{var}"
+                )));
+            }
+            // Evaluate the expression per row; errors bind nothing (SPARQL
+            // §10.1). New terms (arithmetic results, derived literals) are
+            // interned into the query-local overlay.
+            let mut ids: Vec<u32> = Vec::with_capacity(table.num_rows());
+            for row in 0..table.num_rows() {
+                let term: Option<Term> = {
+                    let lookup = |v: &str| -> Option<&Term> {
+                        let col = table.schema().index_of(v)?;
+                        ctx.term_of(table.value(row, col))
+                    };
+                    expr.eval(&lookup).ok().and_then(value_to_term)
+                };
+                ids.push(match &term {
+                    Some(t) => ctx.intern_term(t),
+                    None => NULL_ID,
+                });
+            }
+            let mut names: Vec<String> = table
+                .schema()
+                .names()
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            names.push(var.clone());
+            let mut cols: Vec<Vec<u32>> = table.columns().to_vec();
+            cols.push(ids);
+            let out = Table::from_columns(Schema::new(names), cols);
+            ctx.span_close(span, format!("?{var}"), Some(out.num_rows()));
+            Ok(out)
+        }
+        GraphPattern::Values { vars, rows } => {
+            if vars.is_empty() {
+                return Ok(unit_table());
+            }
+            let span = ctx.span_open("values");
+            let mut cols: Vec<Vec<u32>> = vec![Vec::with_capacity(rows.len()); vars.len()];
+            for row in rows {
+                for (i, cell) in row.iter().enumerate() {
+                    cols[i].push(match cell {
+                        Some(t) => ctx.intern_term(t),
+                        None => NULL_ID, // UNDEF joins with anything
+                    });
+                }
+            }
+            let out = Table::from_columns(Schema::new(vars.iter().cloned()), cols);
+            ctx.span_close(span, format!("{} row(s)", rows.len()), Some(out.num_rows()));
             Ok(out)
         }
     }
@@ -315,18 +385,14 @@ pub fn filter_table(
 ) -> Result<Table, CoreError> {
     ctx.check_deadline()?;
     let dict = ctx.dict;
+    let overlay = ctx.overlay();
     let morsel_rows = ctx.options.join.morsel_rows;
     Ok(s2rdf_columnar::pipeline::parallel_filter(
         table,
         |t, row| {
             let lookup = |var: &str| -> Option<&Term> {
                 let col = t.schema().index_of(var)?;
-                let v = t.value(row, col);
-                if v == NULL_ID {
-                    None
-                } else {
-                    dict.get(TermId(v))
-                }
+                ExecContext::term_at(dict, overlay, t.value(row, col))
             };
             matches!(expr.eval(&lookup).and_then(|v| v.ebv()), Ok(true))
         },
@@ -402,6 +468,7 @@ fn order_table(
 ) -> Result<Table, CoreError> {
     ctx.check_deadline()?;
     let dict = ctx.dict;
+    let overlay = ctx.overlay();
     // Fast path: when every condition is a plain variable bound by the
     // pattern (`ORDER BY ?a DESC(?b) …`), each column sorts by a per-id
     // rank, so the O(n·k) composite radix sort replaces the O(n log n)
@@ -418,7 +485,7 @@ fn order_table(
     if let Some(var_cols) = var_cols {
         let keys: Vec<Vec<u32>> = var_cols
             .iter()
-            .map(|&(col, descending)| rank_keys(table, col, descending, dict))
+            .map(|&(col, descending)| rank_keys(table, col, descending, dict, overlay))
             .collect();
         return Ok(ops::sort_by_keys_radix(table, &keys));
     }
@@ -426,12 +493,7 @@ fn order_table(
     for row in 0..table.num_rows() {
         let lookup = |var: &str| -> Option<&Term> {
             let col = table.schema().index_of(var)?;
-            let v = table.value(row, col);
-            if v == NULL_ID {
-                None
-            } else {
-                dict.get(TermId(v))
-            }
+            ExecContext::term_at(dict, overlay, table.value(row, col))
         };
         let row_keys = conditions
             .iter()
@@ -462,18 +524,18 @@ fn order_table(
 /// comparison sort would; DESC negates the ranks, which reverses the total
 /// order while preserving stability. One key vector per condition feeds
 /// [`ops::sort_by_keys_radix`].
-fn rank_keys(table: &Table, col: usize, descending: bool, dict: &Dictionary) -> Vec<u32> {
+fn rank_keys(
+    table: &Table,
+    col: usize,
+    descending: bool,
+    dict: &Dictionary,
+    overlay: &[Term],
+) -> Vec<u32> {
     let column = table.column(col);
     let mut distinct: Vec<u32> = column.to_vec();
     distinct.sort_unstable();
     distinct.dedup();
-    let term_of = |id: u32| -> Option<&Term> {
-        if id == NULL_ID {
-            None
-        } else {
-            dict.get(TermId(id))
-        }
-    };
+    let term_of = |id: u32| -> Option<&Term> { ExecContext::term_at(dict, overlay, id) };
     let cmp = |a: Option<&Term>, b: Option<&Term>| match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => Ordering::Less,
@@ -532,14 +594,7 @@ fn decode(table: &Table, ctx: &ExecContext<'_>) -> Solutions {
     let rows = (0..table.num_rows())
         .map(|row| {
             cols.iter()
-                .map(|&c| {
-                    let v = table.value(row, c);
-                    if v == NULL_ID {
-                        None
-                    } else {
-                        ctx.dict.get(TermId(v)).cloned()
-                    }
-                })
+                .map(|&c| ctx.term_of(table.value(row, c)).cloned())
                 .collect()
         })
         .collect();

@@ -49,7 +49,8 @@ pub mod layout;
 pub mod store;
 
 pub use catalog::{Catalog, Correlation, ExtVpStat};
+pub use engines::QueryResult;
 pub use error::CoreError;
-pub use exec::{DegradedStep, Explain, Solutions};
+pub use exec::{DegradedStep, Explain, PathStepExplain, Solutions};
 pub use layout::extvp::ExtVpMode;
 pub use store::{BuildOptions, CheckpointReport, DeltaSummary, RepairReport, S2rdfStore};

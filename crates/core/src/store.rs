@@ -517,6 +517,12 @@ impl S2rdfStore {
         self.engine(true).query_opt(sparql, options)
     }
 
+    /// Convenience: run a query of any form (SELECT/ASK/CONSTRUCT/DESCRIBE)
+    /// with default options on the best available layout.
+    pub fn query_result(&self, sparql: &str) -> Result<crate::engines::QueryResult, CoreError> {
+        self.engine(true).query_result(sparql)
+    }
+
     /// Persists the store into a directory (tables, bitmaps, dictionary,
     /// catalog).
     pub fn save(&self, dir: &Path) -> Result<(), CoreError> {

@@ -76,18 +76,81 @@ impl TriplePattern {
     }
 }
 
+/// A SPARQL 1.1 property path expression (the path grammar's algebra form).
+///
+/// A plain IRI in the verb position is parsed as an ordinary
+/// [`TriplePattern`]; only composite paths reach this type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PropertyPath {
+    /// A single predicate IRI (one edge step).
+    Iri(Term),
+    /// `^path`: follow edges object→subject.
+    Inverse(Box<PropertyPath>),
+    /// `a/b`: relation composition.
+    Sequence(Box<PropertyPath>, Box<PropertyPath>),
+    /// `a|b`: relation union.
+    Alternative(Box<PropertyPath>, Box<PropertyPath>),
+    /// `path*`: reflexive-transitive closure.
+    ZeroOrMore(Box<PropertyPath>),
+    /// `path+`: transitive closure.
+    OneOrMore(Box<PropertyPath>),
+    /// `path?`: zero-or-one step.
+    ZeroOrOne(Box<PropertyPath>),
+}
+
+impl PropertyPath {
+    /// True if the path can match a zero-length walk (endpoint = endpoint).
+    pub fn allows_zero_length(&self) -> bool {
+        match self {
+            PropertyPath::Iri(_) | PropertyPath::OneOrMore(_) => false,
+            PropertyPath::Inverse(p) => p.allows_zero_length(),
+            PropertyPath::Sequence(a, b) => a.allows_zero_length() && b.allows_zero_length(),
+            PropertyPath::Alternative(a, b) => a.allows_zero_length() || b.allows_zero_length(),
+            PropertyPath::ZeroOrMore(_) | PropertyPath::ZeroOrOne(_) => true,
+        }
+    }
+}
+
 /// A graph pattern in algebra form.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphPattern {
     /// A basic graph pattern: a set of triple patterns joined on shared
     /// variables.
     Bgp(Vec<TriplePattern>),
+    /// A property-path pattern `s path o` (SPARQL 1.1 §9).
+    Path {
+        /// Subject endpoint.
+        subject: TermPattern,
+        /// The path expression.
+        path: PropertyPath,
+        /// Object endpoint.
+        object: TermPattern,
+    },
     /// FILTER: keep solutions where the expression evaluates to true.
     Filter {
         /// The filter condition.
         expr: Expression,
         /// The filtered pattern.
         inner: Box<GraphPattern>,
+    },
+    /// `BIND(expr AS ?var)`: extend each inner solution with a computed
+    /// binding (an expression error leaves the variable unbound).
+    Bind {
+        /// The computed expression.
+        expr: Expression,
+        /// The new variable it binds.
+        var: String,
+        /// The pattern the binding extends (everything before the BIND in
+        /// its group).
+        inner: Box<GraphPattern>,
+    },
+    /// `VALUES`: an inline solution sequence, joined like any other table.
+    /// `None` cells are `UNDEF`.
+    Values {
+        /// The block's variables.
+        vars: Vec<String>,
+        /// One row per inline solution.
+        rows: Vec<Vec<Option<Term>>>,
     },
     /// Join of two group patterns (juxtaposition in the syntax).
     Join(Box<GraphPattern>, Box<GraphPattern>),
@@ -119,7 +182,27 @@ impl GraphPattern {
                     }
                 }
             }
+            GraphPattern::Path {
+                subject, object, ..
+            } => {
+                for pos in [subject, object] {
+                    if let Some(v) = pos.as_var() {
+                        add(v);
+                    }
+                }
+            }
             GraphPattern::Filter { inner, .. } => inner.collect_vars(out),
+            GraphPattern::Bind { var, inner, .. } => {
+                inner.collect_vars(out);
+                if !out.iter().any(|x| x == var) {
+                    out.push(var.clone());
+                }
+            }
+            GraphPattern::Values { vars, .. } => {
+                for v in vars {
+                    add(v);
+                }
+            }
             GraphPattern::Join(l, r) | GraphPattern::LeftJoin(l, r) | GraphPattern::Union(l, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
@@ -196,9 +279,27 @@ pub struct OrderCondition {
     pub descending: bool,
 }
 
-/// A parsed SELECT query.
+/// The query form: what the solution sequence is turned into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT`: project variables into a solution table.
+    Select,
+    /// `ASK`: a boolean — does the pattern have at least one solution?
+    Ask,
+    /// `CONSTRUCT { template }`: instantiate the template per solution into
+    /// an RDF graph.
+    Construct(Vec<TriplePattern>),
+    /// `DESCRIBE <target>… / ?var…`: emit all triples mentioning each
+    /// target resource.
+    Describe(Vec<TermPattern>),
+}
+
+/// A parsed query (any form; `SELECT` unless [`Query::form`] says
+/// otherwise).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// The query form (SELECT/ASK/CONSTRUCT/DESCRIBE).
+    pub form: QueryForm,
     /// Projected variables.
     pub selection: Selection,
     /// True if DISTINCT was given.
@@ -271,6 +372,7 @@ mod tests {
     #[test]
     fn select_star_resolves_vars() {
         let q = Query {
+            form: QueryForm::Select,
             selection: Selection::All,
             distinct: false,
             pattern: GraphPattern::Bgp(vec![TriplePattern::new(var("x"), iri("p"), var("y"))]),

@@ -66,6 +66,12 @@ pub enum Token {
     Minus,
     /// `/`
     Slash,
+    /// `|` (property-path alternative)
+    Pipe,
+    /// `^` (property-path inverse)
+    Caret,
+    /// A bare `?` not starting a variable (property-path zero-or-one).
+    Question,
 }
 
 /// A datatype annotation on a string literal.
@@ -107,26 +113,67 @@ impl fmt::Display for Token {
             Token::Plus => write!(f, "+"),
             Token::Minus => write!(f, "-"),
             Token::Slash => write!(f, "/"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Question => write!(f, "?"),
         }
     }
 }
 
-/// A lexer error with a byte offset into the input.
+/// A lexer error with a byte offset and 1-based line/column into the input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     /// Byte offset of the problem.
     pub offset: usize,
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// 1-based column (in characters) of the problem.
+    pub column: u32,
     /// Description.
     pub message: String,
 }
 
+impl LexError {
+    fn new(src: &str, offset: usize, message: impl Into<String>) -> Self {
+        let (line, column) = locate(src, offset);
+        LexError {
+            offset,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "lex error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
 impl std::error::Error for LexError {}
+
+/// Maps a byte offset to a 1-based (line, column) pair.
+pub fn locate(src: &str, offset: usize) -> (u32, u32) {
+    let mut line = 1u32;
+    let mut column = 1u32;
+    for (i, ch) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            column = 1;
+        } else {
+            column += 1;
+        }
+    }
+    (line, column)
+}
 
 fn is_name_char(c: char) -> bool {
     c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
@@ -138,213 +185,182 @@ fn is_name_start(c: char) -> bool {
 
 /// Tokenizes a query string. `#` starts a comment to end of line.
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
-    let bytes = src.as_bytes();
+    tokenize_spanned(src).map(|(tokens, _)| tokens)
+}
+
+/// Tokenizes a query string, also returning the byte offset each token
+/// starts at (for error positions; see [`locate`]).
+pub fn tokenize_spanned(src: &str) -> Result<(Vec<Token>, Vec<usize>), LexError> {
     let mut tokens = Vec::new();
-    let mut i = 0;
+    let mut offsets = Vec::new();
+    let mut i = skip_trivia(src, 0);
+    while i < src.len() {
+        let (tok, next) = next_token(src, i)?;
+        tokens.push(tok);
+        offsets.push(i);
+        i = skip_trivia(src, next);
+    }
+    Ok((tokens, offsets))
+}
+
+/// Advances past whitespace and `#`-to-end-of-line comments.
+fn skip_trivia(src: &str, mut i: usize) -> usize {
+    let bytes = src.as_bytes();
     while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            ' ' | '\t' | '\r' | '\n' => i += 1,
-            '#' => {
+        match bytes[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
             }
-            '{' => {
-                tokens.push(Token::LBrace);
-                i += 1;
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Lexes one token starting exactly at `i`, returning it and the offset of
+/// the first byte past it.
+fn next_token(src: &str, i: usize) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let c = bytes[i] as char;
+    match c {
+        '{' => Ok((Token::LBrace, i + 1)),
+        '}' => Ok((Token::RBrace, i + 1)),
+        '(' => Ok((Token::LParen, i + 1)),
+        ')' => Ok((Token::RParen, i + 1)),
+        ';' => Ok((Token::Semicolon, i + 1)),
+        ',' => Ok((Token::Comma, i + 1)),
+        '*' => Ok((Token::Star, i + 1)),
+        '+' => Ok((Token::Plus, i + 1)),
+        '/' => Ok((Token::Slash, i + 1)),
+        '=' => Ok((Token::Eq, i + 1)),
+        '^' => Ok((Token::Caret, i + 1)),
+        '&' => {
+            if bytes.get(i + 1) == Some(&b'&') {
+                Ok((Token::AndAnd, i + 2))
+            } else {
+                Err(LexError::new(src, i, "expected &&"))
             }
-            '}' => {
-                tokens.push(Token::RBrace);
-                i += 1;
+        }
+        '|' => {
+            if bytes.get(i + 1) == Some(&b'|') {
+                Ok((Token::OrOr, i + 2))
+            } else {
+                Ok((Token::Pipe, i + 1))
             }
-            '(' => {
-                tokens.push(Token::LParen);
-                i += 1;
+        }
+        '!' => {
+            if bytes.get(i + 1) == Some(&b'=') {
+                Ok((Token::Ne, i + 2))
+            } else {
+                Ok((Token::Bang, i + 1))
             }
-            ')' => {
-                tokens.push(Token::RParen);
-                i += 1;
+        }
+        '>' => {
+            if bytes.get(i + 1) == Some(&b'=') {
+                Ok((Token::Ge, i + 2))
+            } else {
+                Ok((Token::Gt, i + 1))
             }
-            ';' => {
-                tokens.push(Token::Semicolon);
-                i += 1;
-            }
-            ',' => {
-                tokens.push(Token::Comma);
-                i += 1;
-            }
-            '*' => {
-                tokens.push(Token::Star);
-                i += 1;
-            }
-            '+' => {
-                tokens.push(Token::Plus);
-                i += 1;
-            }
-            '/' => {
-                tokens.push(Token::Slash);
-                i += 1;
-            }
-            '=' => {
-                tokens.push(Token::Eq);
-                i += 1;
-            }
-            '&' => {
-                if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token::AndAnd);
-                    i += 2;
-                } else {
-                    return Err(LexError {
-                        offset: i,
-                        message: "expected &&".into(),
-                    });
+        }
+        '<' => {
+            // IRIREF if a '>' appears before any whitespace; otherwise a
+            // comparison operator.
+            let rest = &src[i + 1..];
+            let close = rest.find('>');
+            let ws = rest.find(char::is_whitespace);
+            match (close, ws) {
+                (Some(c_idx), w) if w.is_none_or(|w_idx| c_idx < w_idx) => {
+                    Ok((Token::IriRef(rest[..c_idx].to_string()), i + c_idx + 2))
                 }
-            }
-            '|' => {
-                if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token::OrOr);
-                    i += 2;
-                } else {
-                    return Err(LexError {
-                        offset: i,
-                        message: "expected ||".into(),
-                    });
-                }
-            }
-            '!' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Ne);
-                    i += 2;
-                } else {
-                    tokens.push(Token::Bang);
-                    i += 1;
-                }
-            }
-            '>' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Ge);
-                    i += 2;
-                } else {
-                    tokens.push(Token::Gt);
-                    i += 1;
-                }
-            }
-            '<' => {
-                // IRIREF if a '>' appears before any whitespace; otherwise a
-                // comparison operator.
-                let rest = &src[i + 1..];
-                let close = rest.find('>');
-                let ws = rest.find(char::is_whitespace);
-                match (close, ws) {
-                    (Some(c_idx), w) if w.is_none_or(|w_idx| c_idx < w_idx) => {
-                        tokens.push(Token::IriRef(rest[..c_idx].to_string()));
-                        i += c_idx + 2;
-                    }
-                    _ => {
-                        if bytes.get(i + 1) == Some(&b'=') {
-                            tokens.push(Token::Le);
-                            i += 2;
-                        } else {
-                            tokens.push(Token::Lt);
-                            i += 1;
-                        }
+                _ => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        Ok((Token::Le, i + 2))
+                    } else {
+                        Ok((Token::Lt, i + 1))
                     }
                 }
             }
-            '?' | '$' => {
-                let start = i + 1;
-                let mut j = start;
-                while j < bytes.len() && is_name_char(bytes[j] as char) {
-                    j += 1;
+        }
+        '?' | '$' => {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && is_name_char(bytes[j] as char) {
+                j += 1;
+            }
+            if j == start {
+                // A bare `?` is the zero-or-one path modifier; a bare `$` is
+                // never valid.
+                if c == '?' {
+                    return Ok((Token::Question, i + 1));
                 }
-                if j == start {
-                    return Err(LexError {
-                        offset: i,
-                        message: "empty variable name".into(),
-                    });
-                }
-                tokens.push(Token::Var(src[start..j].to_string()));
-                i = j;
+                return Err(LexError::new(src, i, "empty variable name"));
             }
-            '"' => {
-                let (lit, next) = lex_string(src, i)?;
-                tokens.push(lit);
-                i = next;
+            Ok((Token::Var(src[start..j].to_string()), j))
+        }
+        '"' => lex_string(src, i),
+        '-' => {
+            // Negative number or bare minus.
+            if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                Ok(lex_number(src, i))
+            } else {
+                Ok((Token::Minus, i + 1))
             }
-            '-' => {
-                // Negative number or bare minus.
-                if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
-                    let (tok, next) = lex_number(src, i);
-                    tokens.push(tok);
-                    i = next;
-                } else {
-                    tokens.push(Token::Minus);
-                    i += 1;
-                }
+        }
+        '0'..='9' => Ok(lex_number(src, i)),
+        '.' => Ok((Token::Dot, i + 1)),
+        c if is_name_start(c) => {
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() && is_name_char(bytes[j] as char) {
+                j += 1;
             }
-            '0'..='9' => {
-                let (tok, next) = lex_number(src, i);
-                tokens.push(tok);
-                i = next;
-            }
-            '.' => {
-                tokens.push(Token::Dot);
-                i += 1;
-            }
-            c if is_name_start(c) => {
-                let start = i;
-                let mut j = i;
-                while j < bytes.len() && is_name_char(bytes[j] as char) {
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b':') {
-                    // Prefixed name: prefix ':' local
-                    let prefix = src[start..j].to_string();
-                    let mut k = j + 1;
-                    while k < bytes.len() && is_name_char(bytes[k] as char) {
-                        k += 1;
-                    }
-                    // Local names must not end with '.': the trailing dot is
-                    // the triple terminator.
-                    let mut end = k;
-                    while end > j + 1 && bytes[end - 1] == b'.' {
-                        end -= 1;
-                    }
-                    tokens.push(Token::PName(prefix, src[j + 1..end].to_string()));
-                    i = end;
-                } else {
-                    // Bare word; strip trailing dots (triple terminator).
-                    let mut end = j;
-                    while end > start && bytes[end - 1] == b'.' {
-                        end -= 1;
-                    }
-                    tokens.push(Token::Word(src[start..end].to_string()));
-                    i = end;
-                }
-            }
-            ':' => {
-                // PName with empty prefix.
-                let mut k = i + 1;
+            if bytes.get(j) == Some(&b':') {
+                // Prefixed name: prefix ':' local
+                let prefix = src[start..j].to_string();
+                let mut k = j + 1;
                 while k < bytes.len() && is_name_char(bytes[k] as char) {
                     k += 1;
                 }
+                // Local names must not end with '.': the trailing dot is
+                // the triple terminator.
                 let mut end = k;
-                while end > i + 1 && bytes[end - 1] == b'.' {
+                while end > j + 1 && bytes[end - 1] == b'.' {
                     end -= 1;
                 }
-                tokens.push(Token::PName(String::new(), src[i + 1..end].to_string()));
-                i = end;
-            }
-            other => {
-                return Err(LexError {
-                    offset: i,
-                    message: format!("unexpected character {other:?}"),
-                })
+                Ok((Token::PName(prefix, src[j + 1..end].to_string()), end))
+            } else {
+                // Bare word; strip trailing dots (triple terminator).
+                let mut end = j;
+                while end > start && bytes[end - 1] == b'.' {
+                    end -= 1;
+                }
+                Ok((Token::Word(src[start..end].to_string()), end))
             }
         }
+        ':' => {
+            // PName with empty prefix.
+            let mut k = i + 1;
+            while k < bytes.len() && is_name_char(bytes[k] as char) {
+                k += 1;
+            }
+            let mut end = k;
+            while end > i + 1 && bytes[end - 1] == b'.' {
+                end -= 1;
+            }
+            Ok((
+                Token::PName(String::new(), src[i + 1..end].to_string()),
+                end,
+            ))
+        }
+        other => Err(LexError::new(
+            src,
+            i,
+            format!("unexpected character {other:?}"),
+        )),
     }
-    Ok(tokens)
 }
 
 fn lex_number(src: &str, start: usize) -> (Token, usize) {
@@ -378,12 +394,7 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
     let mut lexical = String::new();
     loop {
         match bytes.get(j) {
-            None => {
-                return Err(LexError {
-                    offset: start,
-                    message: "unterminated string".into(),
-                })
-            }
+            None => return Err(LexError::new(src, start, "unterminated string")),
             Some(b'"') => break,
             Some(b'\\') => {
                 match bytes.get(j + 1) {
@@ -391,12 +402,7 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
                     Some(b't') => lexical.push('\t'),
                     Some(b'r') => lexical.push('\r'),
                     Some(&c) => lexical.push(c as char),
-                    None => {
-                        return Err(LexError {
-                            offset: j,
-                            message: "dangling escape".into(),
-                        })
-                    }
+                    None => return Err(LexError::new(src, j, "dangling escape")),
                 }
                 j += 2;
             }
@@ -429,10 +435,9 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
     if src[j..].starts_with("^^") {
         let k = j + 2;
         if bytes.get(k) == Some(&b'<') {
-            let close = src[k + 1..].find('>').ok_or(LexError {
-                offset: k,
-                message: "unterminated datatype IRI".into(),
-            })?;
+            let close = src[k + 1..]
+                .find('>')
+                .ok_or_else(|| LexError::new(src, k, "unterminated datatype IRI"))?;
             let iri = src[k + 1..k + 1 + close].to_string();
             return Ok((
                 Token::StringLit {
@@ -449,10 +454,7 @@ fn lex_string(src: &str, start: usize) -> Result<(Token, usize), LexError> {
             m += 1;
         }
         if bytes.get(m) != Some(&b':') {
-            return Err(LexError {
-                offset: k,
-                message: "bad datatype".into(),
-            });
+            return Err(LexError::new(src, k, "bad datatype"));
         }
         let prefix = src[k..m].to_string();
         let mut n = m + 1;
@@ -592,10 +594,41 @@ mod tests {
     }
 
     #[test]
+    fn path_operators() {
+        // `|` alone is the path alternative, `^` the inverse, and a `?` not
+        // followed by a name char is the zero-or-one modifier.
+        let toks = tokenize("<a>|^<b> (<c>)? ").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::IriRef("a".into()),
+                Token::Pipe,
+                Token::Caret,
+                Token::IriRef("b".into()),
+                Token::LParen,
+                Token::IriRef("c".into()),
+                Token::RParen,
+                Token::Question,
+            ]
+        );
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(tokenize("@@").is_err());
         assert!(tokenize("\"unterminated").is_err());
-        assert!(tokenize("? ").is_err());
+        assert!(tokenize("$ ").is_err());
         assert!(tokenize("&x").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = tokenize("?x ?y\n  \"unterminated").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 3));
+        assert!(err.to_string().contains("line 2, column 3"));
+
+        let (_, offsets) = tokenize_spanned("?x\n?y").unwrap();
+        assert_eq!(offsets, vec![0, 3]);
+        assert_eq!(locate("?x\n?y", 3), (2, 1));
     }
 }

@@ -1,14 +1,17 @@
-//! SPARQL 1.0 subset: lexer, parser, algebra and algebraic optimizations.
+//! SPARQL lexer, parser, algebra and algebraic optimizations.
 //!
-//! The supported fragment is the one S2RDF implements (paper §6.1): basic
-//! graph patterns, FILTER, OPTIONAL, UNION, DISTINCT, ORDER BY,
-//! LIMIT/OFFSET, and PREFIX declarations. SPARQL 1.1 features (subqueries,
-//! aggregation, property paths) are out of scope, exactly as in the paper.
+//! The supported fragment starts from the one S2RDF implements (paper
+//! §6.1) — basic graph patterns, FILTER, OPTIONAL, UNION, DISTINCT, ORDER
+//! BY, LIMIT/OFFSET, and PREFIX declarations — and extends it with the
+//! SPARQL 1.1 breadth the paper leaves as future work: aggregation
+//! (GROUP BY + COUNT/SUM/AVG/MIN/MAX), property paths
+//! (`^`, `/`, `|`, `*`, `+`, `?`), BIND/VALUES, and the
+//! ASK/CONSTRUCT/DESCRIBE query forms.
 //!
 //! Parsing produces a [`Query`] whose [`GraphPattern`] mirrors the SPARQL
-//! algebra (BGP / Filter / LeftJoin / Union / Join); the
-//! [`optimizer`] applies the algebraic rewrites the paper mentions
-//! (filter splitting and pushdown).
+//! algebra (BGP / Path / Filter / Bind / Values / LeftJoin / Union /
+//! Join); the [`optimizer`] applies the algebraic rewrites the paper
+//! mentions (filter splitting and pushdown).
 
 pub mod ast;
 pub mod expr;
@@ -19,7 +22,8 @@ pub mod render;
 pub mod shape;
 
 pub use ast::{
-    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern, TriplePattern,
+    AggFunc, GraphPattern, OrderCondition, PropertyPath, Query, QueryForm, SelectItem, Selection,
+    TermPattern, TriplePattern,
 };
 pub use expr::{EvalError, Expression, Value};
 pub use parser::{parse_query, ParseError};

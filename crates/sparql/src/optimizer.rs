@@ -56,6 +56,13 @@ fn merge_bgps(pattern: GraphPattern) -> GraphPattern {
         GraphPattern::Union(l, r) => {
             GraphPattern::Union(Box::new(merge_bgps(*l)), Box::new(merge_bgps(*r)))
         }
+        GraphPattern::Bind { expr, var, inner } => GraphPattern::Bind {
+            expr,
+            var,
+            inner: Box::new(merge_bgps(*inner)),
+        },
+        // Paths and inline data are leaves for this pass.
+        p @ (GraphPattern::Path { .. } | GraphPattern::Values { .. }) => p,
     }
 }
 
@@ -81,6 +88,11 @@ fn split_filters(pattern: GraphPattern) -> GraphPattern {
         GraphPattern::Union(l, r) => {
             GraphPattern::Union(Box::new(split_filters(*l)), Box::new(split_filters(*r)))
         }
+        GraphPattern::Bind { expr, var, inner } => GraphPattern::Bind {
+            expr,
+            var,
+            inner: Box::new(split_filters(*inner)),
+        },
         p => p,
     }
 }
@@ -114,6 +126,11 @@ fn push_filters(pattern: GraphPattern) -> GraphPattern {
         GraphPattern::Union(l, r) => {
             GraphPattern::Union(Box::new(push_filters(*l)), Box::new(push_filters(*r)))
         }
+        GraphPattern::Bind { expr, var, inner } => GraphPattern::Bind {
+            expr,
+            var,
+            inner: Box::new(push_filters(*inner)),
+        },
         p => p,
     }
 }

@@ -6,16 +6,18 @@ use std::fmt;
 use s2rdf_model::Term;
 
 use crate::ast::{
-    AggFunc, GraphPattern, OrderCondition, Query, SelectItem, Selection, TermPattern, TriplePattern,
+    AggFunc, GraphPattern, OrderCondition, PropertyPath, Query, QueryForm, SelectItem, Selection,
+    TermPattern, TriplePattern,
 };
 use crate::expr::Expression;
-use crate::lexer::{tokenize, DatatypeRef, LexError, Token};
+use crate::lexer::{locate, tokenize_spanned, DatatypeRef, LexError, Token};
 
 /// The `rdf:type` IRI (the meaning of the keyword `a`).
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
 const XSD: &str = "http://www.w3.org/2001/XMLSchema#";
 
-/// A parse error with a human-readable message.
+/// A parse error with a human-readable message (including the 1-based
+/// line/column of the offending token where known).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
 
@@ -33,7 +35,8 @@ impl From<LexError> for ParseError {
     }
 }
 
-/// Parses a SELECT query from its textual form.
+/// Parses a query (SELECT, ASK, CONSTRUCT, or DESCRIBE) from its textual
+/// form.
 ///
 /// ```
 /// use s2rdf_sparql::{parse_query, GraphPattern};
@@ -43,29 +46,59 @@ impl From<LexError> for ParseError {
 /// assert!(matches!(q.pattern, GraphPattern::Bgp(ref tps) if tps.len() == 2));
 /// ```
 pub fn parse_query(src: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(src)?;
+    let (tokens, offsets) = tokenize_spanned(src)?;
     let mut p = Parser {
+        src,
         tokens,
+        offsets,
         pos: 0,
         prefixes: HashMap::new(),
     };
     let q = p.parse_query()?;
     if p.pos != p.tokens.len() {
-        return Err(ParseError(format!(
-            "unexpected trailing token {}",
-            p.tokens[p.pos]
-        )));
+        return Err(p.err(format!("unexpected trailing token {}", p.tokens[p.pos])));
     }
     Ok(q)
 }
 
-struct Parser {
+/// A verb position: a plain term pattern, or a composite property path.
+enum Verb {
+    Pattern(TermPattern),
+    Path(PropertyPath),
+}
+
+struct Parser<'s> {
+    src: &'s str,
     tokens: Vec<Token>,
+    /// Byte offset each token starts at (parallel to `tokens`).
+    offsets: Vec<usize>,
     pos: usize,
     prefixes: HashMap<String, String>,
 }
 
-impl Parser {
+impl Parser<'_> {
+    /// An error anchored at the token at `idx` (or "end of query").
+    fn err_at(&self, idx: usize, msg: impl Into<String>) -> ParseError {
+        let msg = msg.into();
+        match self.offsets.get(idx) {
+            Some(&off) => {
+                let (line, column) = locate(self.src, off);
+                ParseError(format!("{msg} at line {line}, column {column}"))
+            }
+            None => ParseError(format!("{msg} at end of query")),
+        }
+    }
+
+    /// An error anchored at the current (unconsumed) token.
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        self.err_at(self.pos, msg)
+    }
+
+    /// An error anchored at the most recently consumed token.
+    fn err_prev(&self, msg: impl Into<String>) -> ParseError {
+        self.err_at(self.pos.saturating_sub(1), msg)
+    }
+
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
@@ -75,7 +108,7 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| ParseError("unexpected end of query".into()))?;
+            .ok_or_else(|| self.err("unexpected end of query"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -83,7 +116,7 @@ impl Parser {
     fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
         let t = self.next()?;
         if &t != expected {
-            return Err(ParseError(format!("expected {expected}, found {t}")));
+            return Err(self.err_prev(format!("expected {expected}, found {t}")));
         }
         Ok(())
     }
@@ -104,8 +137,8 @@ impl Parser {
             Ok(())
         } else {
             match self.peek() {
-                Some(t) => Err(ParseError(format!("expected {kw}, found {t}"))),
-                None => Err(ParseError(format!("expected {kw}, found end of query"))),
+                Some(t) => Err(self.err(format!("expected {kw}, found {t}"))),
+                None => Err(self.err(format!("expected {kw}"))),
             }
         }
     }
@@ -114,7 +147,7 @@ impl Parser {
         let base = self
             .prefixes
             .get(prefix)
-            .ok_or_else(|| ParseError(format!("undeclared prefix '{prefix}:'")))?;
+            .ok_or_else(|| self.err_prev(format!("undeclared prefix '{prefix}:'")))?;
         Ok(format!("{base}{local}"))
     }
 
@@ -123,68 +156,56 @@ impl Parser {
         while self.eat_keyword("PREFIX") {
             let (prefix, local) = match self.next()? {
                 Token::PName(p, l) => (p, l),
-                t => return Err(ParseError(format!("expected prefix name, found {t}"))),
+                t => return Err(self.err_prev(format!("expected prefix name, found {t}"))),
             };
             if !local.is_empty() {
-                return Err(ParseError(format!(
+                return Err(self.err_prev(format!(
                     "prefix declaration must end with ':', got {prefix}:{local}"
                 )));
             }
             let iri = match self.next()? {
                 Token::IriRef(i) => i,
-                t => return Err(ParseError(format!("expected IRI, found {t}"))),
+                t => return Err(self.err_prev(format!("expected IRI, found {t}"))),
             };
             self.prefixes.insert(prefix, iri);
         }
 
-        self.expect_keyword("SELECT")?;
-        let distinct = self.eat_keyword("DISTINCT");
-        if !distinct {
-            // REDUCED is accepted and treated as plain (allowed by spec).
-            self.eat_keyword("REDUCED");
-        }
-
-        let selection = if matches!(self.peek(), Some(Token::Star)) {
-            self.pos += 1;
-            Selection::All
-        } else {
-            let mut items: Vec<SelectItem> = Vec::new();
-            let mut has_aggregate = false;
-            loop {
-                match self.peek() {
-                    Some(Token::Var(v)) => {
-                        items.push(SelectItem::Var(v.clone()));
-                        self.pos += 1;
-                    }
-                    Some(Token::LParen) => {
-                        self.pos += 1;
-                        items.push(self.parse_aggregate_item()?);
-                        has_aggregate = true;
-                    }
-                    _ => break,
-                }
+        let form;
+        let mut selection = Selection::All;
+        let mut distinct = false;
+        let pattern;
+        if self.eat_keyword("SELECT") {
+            distinct = self.eat_keyword("DISTINCT");
+            if !distinct {
+                // REDUCED is accepted and treated as plain (allowed by spec).
+                self.eat_keyword("REDUCED");
             }
-            if items.is_empty() {
-                return Err(ParseError("SELECT needs '*' or variables".into()));
-            }
-            if has_aggregate {
-                Selection::Items(items)
+            selection = self.parse_selection()?;
+            // WHERE is optional in the grammar.
+            self.eat_keyword("WHERE");
+            pattern = self.parse_group()?;
+            form = QueryForm::Select;
+        } else if self.eat_keyword("ASK") {
+            self.eat_keyword("WHERE");
+            pattern = self.parse_group()?;
+            form = QueryForm::Ask;
+        } else if self.eat_keyword("CONSTRUCT") {
+            let template = self.parse_construct_template()?;
+            self.eat_keyword("WHERE");
+            pattern = self.parse_group()?;
+            form = QueryForm::Construct(template);
+        } else if self.eat_keyword("DESCRIBE") {
+            let targets = self.parse_describe_targets()?;
+            let explicit_where = self.eat_keyword("WHERE");
+            pattern = if explicit_where || matches!(self.peek(), Some(Token::LBrace)) {
+                self.parse_group()?
             } else {
-                Selection::Vars(
-                    items
-                        .into_iter()
-                        .map(|i| match i {
-                            SelectItem::Var(v) => v,
-                            SelectItem::Aggregate { .. } => unreachable!(),
-                        })
-                        .collect(),
-                )
-            }
-        };
-
-        // WHERE is optional in the grammar.
-        self.eat_keyword("WHERE");
-        let pattern = self.parse_group()?;
+                GraphPattern::Bgp(Vec::new())
+            };
+            form = QueryForm::Describe(targets);
+        } else {
+            return Err(self.err("expected SELECT, ASK, CONSTRUCT, or DESCRIBE"));
+        }
 
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
@@ -194,7 +215,7 @@ impl Parser {
                 self.pos += 1;
             }
             if group_by.is_empty() {
-                return Err(ParseError("GROUP BY needs at least one variable".into()));
+                return Err(self.err("GROUP BY needs at least one variable"));
             }
         }
 
@@ -224,7 +245,7 @@ impl Parser {
                 }
             }
             if order_by.is_empty() {
-                return Err(ParseError("ORDER BY needs at least one condition".into()));
+                return Err(self.err("ORDER BY needs at least one condition"));
             }
         }
 
@@ -235,17 +256,18 @@ impl Parser {
             if self.eat_keyword("LIMIT") {
                 match self.next()? {
                     Token::Integer(n) if n >= 0 => limit = Some(n as usize),
-                    t => return Err(ParseError(format!("bad LIMIT {t}"))),
+                    t => return Err(self.err_prev(format!("bad LIMIT {t}"))),
                 }
             } else if self.eat_keyword("OFFSET") {
                 match self.next()? {
                     Token::Integer(n) if n >= 0 => offset = Some(n as usize),
-                    t => return Err(ParseError(format!("bad OFFSET {t}"))),
+                    t => return Err(self.err_prev(format!("bad OFFSET {t}"))),
                 }
             }
         }
 
         Ok(Query {
+            form,
             selection,
             distinct,
             pattern,
@@ -254,6 +276,97 @@ impl Parser {
             limit,
             offset,
         })
+    }
+
+    /// The SELECT clause's projection (after DISTINCT/REDUCED).
+    fn parse_selection(&mut self) -> Result<Selection, ParseError> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            return Ok(Selection::All);
+        }
+        let mut items: Vec<SelectItem> = Vec::new();
+        let mut has_aggregate = false;
+        loop {
+            match self.peek() {
+                Some(Token::Var(v)) => {
+                    items.push(SelectItem::Var(v.clone()));
+                    self.pos += 1;
+                }
+                Some(Token::LParen) => {
+                    self.pos += 1;
+                    items.push(self.parse_aggregate_item()?);
+                    has_aggregate = true;
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return Err(self.err("SELECT needs '*' or variables"));
+        }
+        if has_aggregate {
+            Ok(Selection::Items(items))
+        } else {
+            Ok(Selection::Vars(
+                items
+                    .into_iter()
+                    .map(|i| match i {
+                        SelectItem::Var(v) => v,
+                        SelectItem::Aggregate { .. } => unreachable!(),
+                    })
+                    .collect(),
+            ))
+        }
+    }
+
+    /// `{ TriplesTemplate }` — plain triple patterns only (no paths).
+    fn parse_construct_template(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut bgp = Vec::new();
+        let mut paths = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated CONSTRUCT template")),
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                }
+                Some(_) => self.parse_triples_same_subject(&mut bgp, &mut paths)?,
+            }
+        }
+        if !paths.is_empty() {
+            return Err(self.err_prev("property paths are not allowed in a CONSTRUCT template"));
+        }
+        Ok(bgp)
+    }
+
+    /// DESCRIBE targets: one or more variables/IRIs.
+    fn parse_describe_targets(&mut self) -> Result<Vec<TermPattern>, ParseError> {
+        let mut targets = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Var(v)) => {
+                    targets.push(TermPattern::Var(v.clone()));
+                    self.pos += 1;
+                }
+                Some(Token::IriRef(i)) => {
+                    targets.push(TermPattern::Term(Term::iri(i.clone())));
+                    self.pos += 1;
+                }
+                Some(Token::PName(p, l)) => {
+                    let (p, l) = (p.clone(), l.clone());
+                    self.pos += 1;
+                    targets.push(TermPattern::Term(Term::iri(self.resolve_pname(&p, &l)?)));
+                }
+                _ => break,
+            }
+        }
+        if targets.is_empty() {
+            return Err(self.err("DESCRIBE needs at least one variable or IRI"));
+        }
+        Ok(targets)
     }
 
     /// `(<FUNC>([DISTINCT] <expr>|*) AS ?alias)` — the leading '(' is
@@ -266,20 +379,16 @@ impl Parser {
                 "AVG" => AggFunc::Avg,
                 "MIN" => AggFunc::Min,
                 "MAX" => AggFunc::Max,
-                other => return Err(ParseError(format!("unsupported aggregate {other}()"))),
+                other => return Err(self.err_prev(format!("unsupported aggregate {other}()"))),
             },
-            t => {
-                return Err(ParseError(format!(
-                    "expected aggregate function, found {t}"
-                )))
-            }
+            t => return Err(self.err_prev(format!("expected aggregate function, found {t}"))),
         };
         self.expect(&Token::LParen)?;
         let distinct = self.eat_keyword("DISTINCT");
         let arg = if matches!(self.peek(), Some(Token::Star)) {
             self.pos += 1;
             if func != AggFunc::Count {
-                return Err(ParseError(format!("{}(*) is not valid", func.keyword())));
+                return Err(self.err_prev(format!("{}(*) is not valid", func.keyword())));
             }
             None
         } else {
@@ -289,7 +398,7 @@ impl Parser {
         self.expect_keyword("AS")?;
         let alias = match self.next()? {
             Token::Var(v) => v,
-            t => return Err(ParseError(format!("expected ?alias after AS, found {t}"))),
+            t => return Err(self.err_prev(format!("expected ?alias after AS, found {t}"))),
         };
         self.expect(&Token::RParen)?;
         Ok(SelectItem::Aggregate {
@@ -302,26 +411,38 @@ impl Parser {
 
     /// GroupGraphPattern := '{' … '}' with SPARQL's left-to-right algebra
     /// translation: group elements fold with Join, OPTIONAL folds with
-    /// LeftJoin, and the group's FILTERs apply to the whole group.
+    /// LeftJoin, BIND wraps everything before it, and the group's FILTERs
+    /// apply to the whole group.
     fn parse_group(&mut self) -> Result<GraphPattern, ParseError> {
         self.expect(&Token::LBrace)?;
         let mut current: Option<GraphPattern> = None;
         let mut bgp: Vec<TriplePattern> = Vec::new();
+        let mut paths: Vec<GraphPattern> = Vec::new();
         let mut filters: Vec<Expression> = Vec::new();
 
-        fn flush(current: &mut Option<GraphPattern>, bgp: &mut Vec<TriplePattern>) {
+        fn join_into(current: &mut Option<GraphPattern>, pat: GraphPattern) {
+            *current = Some(match current.take() {
+                None => pat,
+                Some(prev) => GraphPattern::Join(Box::new(prev), Box::new(pat)),
+            });
+        }
+
+        fn flush(
+            current: &mut Option<GraphPattern>,
+            bgp: &mut Vec<TriplePattern>,
+            paths: &mut Vec<GraphPattern>,
+        ) {
             if !bgp.is_empty() {
-                let pat = GraphPattern::Bgp(std::mem::take(bgp));
-                *current = Some(match current.take() {
-                    None => pat,
-                    Some(prev) => GraphPattern::Join(Box::new(prev), Box::new(pat)),
-                });
+                join_into(current, GraphPattern::Bgp(std::mem::take(bgp)));
+            }
+            for p in paths.drain(..) {
+                join_into(current, p);
             }
         }
 
         loop {
             match self.peek() {
-                None => return Err(ParseError("unterminated group".into())),
+                None => return Err(self.err("unterminated group")),
                 Some(Token::RBrace) => {
                     self.pos += 1;
                     break;
@@ -330,12 +451,9 @@ impl Parser {
                     self.pos += 1;
                 }
                 Some(Token::LBrace) => {
-                    flush(&mut current, &mut bgp);
+                    flush(&mut current, &mut bgp, &mut paths);
                     let sub = self.parse_group_or_union()?;
-                    current = Some(match current.take() {
-                        None => sub,
-                        Some(prev) => GraphPattern::Join(Box::new(prev), Box::new(sub)),
-                    });
+                    join_into(&mut current, sub);
                 }
                 Some(Token::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
                     self.pos += 1;
@@ -346,18 +464,42 @@ impl Parser {
                 }
                 Some(Token::Word(w)) if w.eq_ignore_ascii_case("OPTIONAL") => {
                     self.pos += 1;
-                    flush(&mut current, &mut bgp);
+                    flush(&mut current, &mut bgp, &mut paths);
                     let right = self.parse_group()?;
                     let left = current.take().unwrap_or(GraphPattern::Bgp(Vec::new()));
                     current = Some(GraphPattern::LeftJoin(Box::new(left), Box::new(right)));
                 }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("BIND") => {
+                    self.pos += 1;
+                    self.expect(&Token::LParen)?;
+                    let expr = self.parse_expression()?;
+                    self.expect_keyword("AS")?;
+                    let var = match self.next()? {
+                        Token::Var(v) => v,
+                        t => return Err(self.err_prev(format!("BIND needs ?var, found {t}"))),
+                    };
+                    self.expect(&Token::RParen)?;
+                    flush(&mut current, &mut bgp, &mut paths);
+                    let inner = current.take().unwrap_or(GraphPattern::Bgp(Vec::new()));
+                    current = Some(GraphPattern::Bind {
+                        expr,
+                        var,
+                        inner: Box::new(inner),
+                    });
+                }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("VALUES") => {
+                    self.pos += 1;
+                    let values = self.parse_values()?;
+                    flush(&mut current, &mut bgp, &mut paths);
+                    join_into(&mut current, values);
+                }
                 Some(_) => {
                     // Triples block.
-                    self.parse_triples_same_subject(&mut bgp)?;
+                    self.parse_triples_same_subject(&mut bgp, &mut paths)?;
                 }
             }
         }
-        flush(&mut current, &mut bgp);
+        flush(&mut current, &mut bgp, &mut paths);
         let mut pattern = current.unwrap_or(GraphPattern::Bgp(Vec::new()));
         for expr in filters {
             pattern = GraphPattern::Filter {
@@ -378,21 +520,102 @@ impl Parser {
         Ok(pattern)
     }
 
+    /// `VALUES ?v { t… }` or `VALUES (?v…) { (t…)… }` — the keyword is
+    /// already consumed.
+    fn parse_values(&mut self) -> Result<GraphPattern, ParseError> {
+        let mut vars = Vec::new();
+        let mut single = false;
+        match self.peek() {
+            Some(Token::Var(v)) => {
+                vars.push(v.clone());
+                self.pos += 1;
+                single = true;
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                while let Some(Token::Var(v)) = self.peek() {
+                    vars.push(v.clone());
+                    self.pos += 1;
+                }
+                self.expect(&Token::RParen)?;
+            }
+            _ => return Err(self.err("VALUES needs ?var or (?var …)")),
+        }
+        if vars.is_empty() {
+            return Err(self.err("VALUES needs at least one variable"));
+        }
+        self.expect(&Token::LBrace)?;
+        let mut rows = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated VALUES block")),
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                _ if single => rows.push(vec![self.parse_data_term()?]),
+                Some(Token::LParen) => {
+                    self.pos += 1;
+                    let mut row = Vec::new();
+                    while !matches!(self.peek(), Some(Token::RParen)) {
+                        if self.peek().is_none() {
+                            return Err(self.err("unterminated VALUES row"));
+                        }
+                        row.push(self.parse_data_term()?);
+                    }
+                    self.pos += 1;
+                    if row.len() != vars.len() {
+                        return Err(self.err_prev(format!(
+                            "VALUES row has {} terms, expected {}",
+                            row.len(),
+                            vars.len()
+                        )));
+                    }
+                    rows.push(row);
+                }
+                Some(t) => return Err(self.err(format!("expected '(' in VALUES, found {t}"))),
+            }
+        }
+        Ok(GraphPattern::Values { vars, rows })
+    }
+
+    /// One VALUES cell: a bound term or `UNDEF`.
+    fn parse_data_term(&mut self) -> Result<Option<Term>, ParseError> {
+        if self.eat_keyword("UNDEF") {
+            return Ok(None);
+        }
+        match self.parse_term_pattern("VALUES term")? {
+            TermPattern::Term(t) => Ok(Some(t)),
+            TermPattern::Var(v) => {
+                Err(self.err_prev(format!("variables (?{v}) are not allowed in VALUES data")))
+            }
+        }
+    }
+
     /// TriplesSameSubject := Subject (Verb ObjectList (';' Verb ObjectList)*)
+    ///
+    /// Plain-predicate triples go into `bgp`; composite property-path verbs
+    /// become [`GraphPattern::Path`] entries in `paths`.
     fn parse_triples_same_subject(
         &mut self,
         bgp: &mut Vec<TriplePattern>,
+        paths: &mut Vec<GraphPattern>,
     ) -> Result<(), ParseError> {
         let subject = self.parse_term_pattern("subject")?;
         loop {
-            let predicate = self.parse_verb()?;
+            let verb = self.parse_verb()?;
             loop {
                 let object = self.parse_term_pattern("object")?;
-                bgp.push(TriplePattern::new(
-                    subject.clone(),
-                    predicate.clone(),
-                    object,
-                ));
+                match &verb {
+                    Verb::Pattern(p) => {
+                        bgp.push(TriplePattern::new(subject.clone(), p.clone(), object));
+                    }
+                    Verb::Path(path) => paths.push(GraphPattern::Path {
+                        subject: subject.clone(),
+                        path: path.clone(),
+                        object,
+                    }),
+                }
                 if matches!(self.peek(), Some(Token::Comma)) {
                     self.pos += 1;
                 } else {
@@ -412,14 +635,85 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_verb(&mut self) -> Result<TermPattern, ParseError> {
-        if let Some(Token::Word(w)) = self.peek() {
-            if w == "a" {
-                self.pos += 1;
-                return Ok(TermPattern::Term(Term::iri(RDF_TYPE)));
-            }
+    /// A verb: a variable, or a property path (a single-IRI path collapses
+    /// back to a plain predicate).
+    fn parse_verb(&mut self) -> Result<Verb, ParseError> {
+        if matches!(self.peek(), Some(Token::Var(_))) {
+            return Ok(Verb::Pattern(self.parse_term_pattern("predicate")?));
         }
-        self.parse_term_pattern("predicate")
+        Ok(match self.parse_path()? {
+            PropertyPath::Iri(t) => Verb::Pattern(TermPattern::Term(t)),
+            path => Verb::Path(path),
+        })
+    }
+
+    // ---- Property-path parsing (SPARQL 1.1 §9 grammar) ----
+
+    /// Path := PathSequence ('|' PathSequence)*
+    fn parse_path(&mut self) -> Result<PropertyPath, ParseError> {
+        let mut p = self.parse_path_sequence()?;
+        while matches!(self.peek(), Some(Token::Pipe)) {
+            self.pos += 1;
+            let right = self.parse_path_sequence()?;
+            p = PropertyPath::Alternative(Box::new(p), Box::new(right));
+        }
+        Ok(p)
+    }
+
+    /// PathSequence := PathEltOrInverse ('/' PathEltOrInverse)*
+    fn parse_path_sequence(&mut self) -> Result<PropertyPath, ParseError> {
+        let mut p = self.parse_path_elt_or_inverse()?;
+        while matches!(self.peek(), Some(Token::Slash)) {
+            self.pos += 1;
+            let right = self.parse_path_elt_or_inverse()?;
+            p = PropertyPath::Sequence(Box::new(p), Box::new(right));
+        }
+        Ok(p)
+    }
+
+    /// PathEltOrInverse := PathElt | '^' PathElt
+    fn parse_path_elt_or_inverse(&mut self) -> Result<PropertyPath, ParseError> {
+        if matches!(self.peek(), Some(Token::Caret)) {
+            self.pos += 1;
+            let inner = self.parse_path_elt()?;
+            return Ok(PropertyPath::Inverse(Box::new(inner)));
+        }
+        self.parse_path_elt()
+    }
+
+    /// PathElt := PathPrimary ('*' | '+' | '?')?
+    fn parse_path_elt(&mut self) -> Result<PropertyPath, ParseError> {
+        let p = self.parse_path_primary()?;
+        match self.peek() {
+            Some(Token::Star) => {
+                self.pos += 1;
+                Ok(PropertyPath::ZeroOrMore(Box::new(p)))
+            }
+            Some(Token::Plus) => {
+                self.pos += 1;
+                Ok(PropertyPath::OneOrMore(Box::new(p)))
+            }
+            Some(Token::Question) => {
+                self.pos += 1;
+                Ok(PropertyPath::ZeroOrOne(Box::new(p)))
+            }
+            _ => Ok(p),
+        }
+    }
+
+    /// PathPrimary := iri | 'a' | '(' Path ')'
+    fn parse_path_primary(&mut self) -> Result<PropertyPath, ParseError> {
+        match self.next()? {
+            Token::IriRef(i) => Ok(PropertyPath::Iri(Term::iri(i))),
+            Token::PName(p, l) => Ok(PropertyPath::Iri(Term::iri(self.resolve_pname(&p, &l)?))),
+            Token::Word(w) if w == "a" => Ok(PropertyPath::Iri(Term::iri(RDF_TYPE))),
+            Token::LParen => {
+                let p = self.parse_path()?;
+                self.expect(&Token::RParen)?;
+                Ok(p)
+            }
+            t => Err(self.err_prev(format!("expected predicate or path, found {t}"))),
+        }
     }
 
     fn parse_term_pattern(&mut self, what: &str) -> Result<TermPattern, ParseError> {
@@ -439,7 +733,7 @@ impl Parser {
                 d,
                 format!("{XSD}decimal"),
             ))),
-            t => Err(ParseError(format!("expected {what}, found {t}"))),
+            t => Err(self.err_prev(format!("expected {what}, found {t}"))),
         }
     }
 
@@ -572,7 +866,7 @@ impl Parser {
                 self.make_literal(lexical, lang, datatype)?,
             )),
             Token::Word(w) => self.parse_builtin(&w),
-            t => Err(ParseError(format!("expected expression, found {t}"))),
+            t => Err(self.err_prev(format!("expected expression, found {t}"))),
         }
     }
 
@@ -597,14 +891,14 @@ impl Parser {
         let expr = match upper.as_str() {
             "BOUND" => match self.next()? {
                 Token::Var(v) => Expression::Bound(v),
-                t => return Err(ParseError(format!("BOUND needs a variable, found {t}"))),
+                t => return Err(self.err_prev(format!("BOUND needs a variable, found {t}"))),
             },
             "ISIRI" | "ISURI" => Expression::IsIri(Box::new(self.parse_expression()?)),
             "ISLITERAL" => Expression::IsLiteral(Box::new(self.parse_expression()?)),
             "ISBLANK" => Expression::IsBlank(Box::new(self.parse_expression()?)),
             "STR" => Expression::Str(Box::new(self.parse_expression()?)),
             "LANG" => Expression::Lang(Box::new(self.parse_expression()?)),
-            other => return Err(ParseError(format!("unsupported function {other}()"))),
+            other => return Err(self.err_prev(format!("unsupported function {other}()"))),
         };
         self.expect(&Token::RParen)?;
         Ok(expr)
@@ -625,6 +919,7 @@ mod tests {
     fn parse_q1() {
         let q = parse_query(Q1).unwrap();
         assert_eq!(q.selection, Selection::All);
+        assert_eq!(q.form, QueryForm::Select);
         match &q.pattern {
             GraphPattern::Bgp(tps) => {
                 assert_eq!(tps.len(), 4);
@@ -752,12 +1047,125 @@ mod tests {
     }
 
     #[test]
+    fn parse_property_paths() {
+        let q = parse_query("SELECT * WHERE { ?x <knows>+ ?y }").unwrap();
+        let GraphPattern::Path { path, .. } = &q.pattern else {
+            panic!("expected Path, got {:?}", q.pattern)
+        };
+        assert_eq!(
+            *path,
+            PropertyPath::OneOrMore(Box::new(PropertyPath::Iri(Term::iri("knows"))))
+        );
+
+        // A single-IRI path is a plain triple pattern.
+        let q = parse_query("SELECT * WHERE { ?x <knows> ?y }").unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Bgp(_)));
+
+        // Precedence: '|' binds loosest, then '/', then modifiers.
+        let q = parse_query("SELECT * WHERE { ?x <a>/<b>|^<c>* ?y }").unwrap();
+        let GraphPattern::Path { path, .. } = &q.pattern else {
+            panic!("expected Path")
+        };
+        let PropertyPath::Alternative(l, r) = path else {
+            panic!("expected Alternative at top, got {path:?}")
+        };
+        assert!(matches!(**l, PropertyPath::Sequence(_, _)));
+        let PropertyPath::Inverse(inv) = &**r else {
+            panic!("expected Inverse, got {r:?}")
+        };
+        assert!(matches!(**inv, PropertyPath::ZeroOrMore(_)));
+
+        // Grouping and zero-or-one.
+        let q = parse_query("SELECT * WHERE { ?x (<a>|<b>)? ?y }").unwrap();
+        let GraphPattern::Path { path, .. } = &q.pattern else {
+            panic!("expected Path")
+        };
+        assert!(matches!(path, PropertyPath::ZeroOrOne(p)
+            if matches!(**p, PropertyPath::Alternative(_, _))));
+    }
+
+    #[test]
+    fn parse_bind_and_values() {
+        let q = parse_query("SELECT * WHERE { ?x <p> ?y . BIND(?y + 1 AS ?z) }").unwrap();
+        let GraphPattern::Bind { var, inner, .. } = &q.pattern else {
+            panic!("expected Bind, got {:?}", q.pattern)
+        };
+        assert_eq!(var, "z");
+        assert!(matches!(**inner, GraphPattern::Bgp(_)));
+
+        let q = parse_query("SELECT * WHERE { VALUES (?x ?y) { (<a> 1) (<b> UNDEF) } }").unwrap();
+        let GraphPattern::Values { vars, rows } = &q.pattern else {
+            panic!("expected Values, got {:?}", q.pattern)
+        };
+        assert_eq!(vars, &["x", "y"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Some(Term::iri("a")));
+        assert_eq!(rows[1][1], None);
+
+        // Single-variable form.
+        let q = parse_query("SELECT * WHERE { ?x <p> ?y . VALUES ?x { <a> <b> } }").unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Join(_, _)));
+    }
+
+    #[test]
+    fn parse_ask_construct_describe() {
+        let q = parse_query("ASK { ?x <p> ?y }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+
+        let q = parse_query("CONSTRUCT { ?x <q> ?y . } WHERE { ?x <p> ?y }").unwrap();
+        let QueryForm::Construct(template) = &q.form else {
+            panic!("expected Construct, got {:?}", q.form)
+        };
+        assert_eq!(template.len(), 1);
+        assert_eq!(template[0].p, TermPattern::Term(Term::iri("q")));
+
+        let q = parse_query("DESCRIBE ?x <who> WHERE { ?x <p> ?y }").unwrap();
+        let QueryForm::Describe(targets) = &q.form else {
+            panic!("expected Describe, got {:?}", q.form)
+        };
+        assert_eq!(targets.len(), 2);
+
+        // DESCRIBE with no WHERE clause.
+        let q = parse_query("DESCRIBE <who>").unwrap();
+        assert_eq!(q.pattern, GraphPattern::Bgp(vec![]));
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(parse_query("SELECT WHERE { ?x <p> ?y }").is_err()); // no vars
         assert!(parse_query("SELECT * { ?x <p> }").is_err()); // missing object
         assert!(parse_query("SELECT * { ?x <p> ?y ").is_err()); // unterminated
         assert!(parse_query("SELECT * { ?x <p> ?y } LIMIT ?x").is_err());
-        assert!(parse_query("ASK { ?x <p> ?y }").is_err()); // unsupported form
+        assert!(parse_query("FOO { ?x <p> ?y }").is_err()); // unknown form
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // Malformed PREFIX: the bad token is at line 2, column 8.
+        let err = parse_query("PREFIX a: <http://a/>\nPREFIX broken <http://b/>\nSELECT * { }")
+            .unwrap_err();
+        assert!(
+            err.0.contains("line 2, column 8"),
+            "bad position in {err:?}"
+        );
+
+        // Unterminated string: reported by the lexer with its position.
+        let err = parse_query("SELECT * {\n  ?x <p> \"oops\n}").unwrap_err();
+        assert!(
+            err.0.contains("line 2, column 10"),
+            "bad position in {err:?}"
+        );
+
+        // Bad path syntax: dangling '/' with no following element.
+        let err = parse_query("SELECT * {\n  ?x <a>/ ?y\n}").unwrap_err();
+        assert!(
+            err.0.contains("line 2, column 11"),
+            "bad position in {err:?}"
+        );
+
+        // Errors at end of input say so.
+        let err = parse_query("SELECT * { ?x <p> ?y ").unwrap_err();
+        assert!(err.0.contains("end of query"), "bad position in {err:?}");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use std::fmt;
 
-use crate::ast::{GraphPattern, Query, SelectItem, Selection, TermPattern, TriplePattern};
+use crate::ast::{
+    GraphPattern, PropertyPath, Query, QueryForm, SelectItem, Selection, TermPattern, TriplePattern,
+};
 use crate::expr::Expression;
 
 impl fmt::Display for TermPattern {
@@ -24,6 +26,24 @@ impl fmt::Display for TriplePattern {
     }
 }
 
+impl fmt::Display for PropertyPath {
+    /// Fully parenthesized rendering: every composite operand is wrapped in
+    /// `(…)` so precedence never shifts on re-parse, and composite paths
+    /// stay composite (a bare IRI would collapse back to a plain triple
+    /// pattern).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyPath::Iri(t) => write!(f, "{t}"),
+            PropertyPath::Inverse(p) => write!(f, "^({p})"),
+            PropertyPath::Sequence(a, b) => write!(f, "({a})/({b})"),
+            PropertyPath::Alternative(a, b) => write!(f, "({a})|({b})"),
+            PropertyPath::ZeroOrMore(p) => write!(f, "({p})*"),
+            PropertyPath::OneOrMore(p) => write!(f, "({p})+"),
+            PropertyPath::ZeroOrOne(p) => write!(f, "({p})?"),
+        }
+    }
+}
+
 impl fmt::Display for GraphPattern {
     /// Renders the pattern as a group graph pattern (always braced).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -35,8 +55,40 @@ impl fmt::Display for GraphPattern {
                 }
                 write!(f, "}}")
             }
+            GraphPattern::Path {
+                subject,
+                path,
+                object,
+            } => write!(f, "{{ {subject} {path} {object} . }}"),
             GraphPattern::Filter { expr, inner } => {
                 write!(f, "{{ {inner} FILTER({expr}) }}")
+            }
+            GraphPattern::Bind { expr, var, inner } => {
+                write!(f, "{{ {inner} BIND({expr} AS ?{var}) }}")
+            }
+            GraphPattern::Values { vars, rows } => {
+                write!(f, "{{ VALUES (")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "?{v}")?;
+                }
+                write!(f, ") {{ ")?;
+                for row in rows {
+                    write!(f, "(")?;
+                    for (i, cell) in row.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        match cell {
+                            Some(t) => write!(f, "{t}")?,
+                            None => write!(f, "UNDEF")?,
+                        }
+                    }
+                    write!(f, ") ")?;
+                }
+                write!(f, "}} }}")
             }
             GraphPattern::Join(l, r) => write!(f, "{{ {l} {r} }}"),
             GraphPattern::LeftJoin(l, r) => write!(f, "{{ {l} OPTIONAL {r} }}"),
@@ -79,6 +131,29 @@ impl fmt::Display for Expression {
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.form {
+            QueryForm::Select => {}
+            QueryForm::Ask => {
+                write!(f, "ASK {}", self.pattern)?;
+                return self.fmt_modifiers(f);
+            }
+            QueryForm::Construct(template) => {
+                write!(f, "CONSTRUCT {{ ")?;
+                for tp in template {
+                    write!(f, "{tp} ")?;
+                }
+                write!(f, "}} WHERE {}", self.pattern)?;
+                return self.fmt_modifiers(f);
+            }
+            QueryForm::Describe(targets) => {
+                write!(f, "DESCRIBE")?;
+                for t in targets {
+                    write!(f, " {t}")?;
+                }
+                write!(f, " WHERE {}", self.pattern)?;
+                return self.fmt_modifiers(f);
+            }
+        }
         write!(f, "SELECT ")?;
         if self.distinct {
             write!(f, "DISTINCT ")?;
@@ -117,6 +192,13 @@ impl fmt::Display for Query {
             }
         }
         write!(f, " WHERE {}", self.pattern)?;
+        self.fmt_modifiers(f)
+    }
+}
+
+impl Query {
+    /// Renders the solution modifiers shared by all query forms.
+    fn fmt_modifiers(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if !self.group_by.is_empty() {
             let keys: Vec<String> = self.group_by.iter().map(|v| format!("?{v}")).collect();
             write!(f, " GROUP BY {}", keys.join(" "))?;
@@ -189,6 +271,30 @@ mod tests {
     #[test]
     fn roundtrip_bound_terms_and_a() {
         roundtrip("SELECT ?t WHERE { <s> a ?t . <s> <p> <o> }");
+    }
+
+    #[test]
+    fn roundtrip_property_paths() {
+        roundtrip("SELECT * WHERE { ?x <knows>+ ?y }");
+        roundtrip("SELECT * WHERE { ?x <a>/<b>|^<c>* ?y }");
+        roundtrip("SELECT * WHERE { ?x (<a>|<b>)? ?y . ?y ^(<c>/<d>)+ <end> }");
+        roundtrip("SELECT * WHERE { ?x (a/<sub>*)|^<e> ?y }");
+    }
+
+    #[test]
+    fn roundtrip_bind_and_values() {
+        roundtrip("SELECT * WHERE { ?x <p> ?y . BIND(?y + 1 AS ?z) }");
+        roundtrip("SELECT * WHERE { BIND(<c> AS ?k) }");
+        roundtrip("SELECT * WHERE { VALUES (?x ?y) { (<a> 1) (<b> UNDEF) } ?x <p> ?z }");
+        roundtrip("SELECT * WHERE { VALUES ?x { <a> \"lit\"@en 2.5 } }");
+    }
+
+    #[test]
+    fn roundtrip_query_forms() {
+        roundtrip("ASK { ?x <p> ?y . FILTER(?y > 3) }");
+        roundtrip("CONSTRUCT { ?x <q> ?y . ?y a <T> . } WHERE { ?x <p> ?y } LIMIT 4");
+        roundtrip("DESCRIBE <who>");
+        roundtrip("DESCRIBE ?x <other> WHERE { ?x <p> ?y }");
     }
 
     #[test]

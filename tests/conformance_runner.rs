@@ -1,0 +1,480 @@
+//! Manifest-driven SPARQL 1.1 conformance harness.
+//!
+//! Declarative test manifests live in `tests/conformance/manifests/`
+//! (shaped after the W3C/oxigraph test-suite idea, with a simple
+//! line-oriented format instead of RDF manifests): each entry names a
+//! feature, provides N-Triples data, a query, and the expected result —
+//! a solution multiset (or sequence, when `:ordered`), an `ASK` boolean,
+//! or a `CONSTRUCT`/`DESCRIBE` graph.
+//!
+//! Every entry runs against **all engines** (S2RDF ExtVP, S2RDF VP,
+//! TriplesTable, PropertyTable, Batch, Centralized, Adaptive); a per-feature
+//! pass/fail summary is printed either way, and the suite fails if any
+//! entry fails anywhere or if the entry count regresses below the
+//! checked-in baseline (`tests/conformance/BASELINE`).
+//!
+//! Manifest format, by example:
+//!
+//! ```text
+//! :test path-plus
+//! :feature paths
+//! :data
+//! <A> <follows> <B> .
+//! :query
+//! SELECT ?x ?y WHERE { ?x <follows>+ ?y }
+//! :expect
+//! ?x ?y
+//! <A> <B>
+//! :end
+//! ```
+//!
+//! `:expect-bool true|false` replaces `:expect` for ASK; `:expect-graph`
+//! (N-Triples lines) for CONSTRUCT/DESCRIBE; `:ordered` before `:end`
+//! makes the solution comparison order-sensitive. `UNDEF` in an expected
+//! row means the variable is unbound. Lines starting with `#` between
+//! tests are comments.
+
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use s2rdf_core::engines::adaptive::AdaptiveEngine;
+use s2rdf_core::engines::batch::{BatchEngine, JobGranularity};
+use s2rdf_core::engines::centralized::CentralizedEngine;
+use s2rdf_core::engines::property_table::PropertyTableEngine;
+use s2rdf_core::engines::triples_table::TriplesTableEngine;
+use s2rdf_core::engines::{QueryResult, SparqlEngine};
+use s2rdf_core::exec::QueryOptions;
+use s2rdf_core::{BuildOptions, S2rdfStore, Solutions};
+use s2rdf_model::{ntriples, Term, Triple};
+
+#[derive(Debug, Clone)]
+enum Expectation {
+    Solutions {
+        vars: Vec<String>,
+        rows: Vec<Vec<Option<Term>>>,
+        ordered: bool,
+    },
+    Bool(bool),
+    Graph(Vec<Triple>),
+}
+
+#[derive(Debug, Clone)]
+struct TestCase {
+    name: String,
+    feature: String,
+    manifest: String,
+    data: String,
+    query: String,
+    expect: Expectation,
+}
+
+/// Splits a manifest expectation row into N-Triples terms (IRIs, literals
+/// with optional `@lang`/`^^<datatype>` suffixes, or the bare `UNDEF`
+/// marker), honouring spaces inside quoted literals.
+fn split_row(line: &str) -> Vec<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if chars[i] == '<' {
+            while i < chars.len() && chars[i] != '>' {
+                i += 1;
+            }
+            i += 1;
+        } else if chars[i] == '"' {
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            while i < chars.len() && !chars[i].is_whitespace() {
+                i += 1;
+            }
+        } else {
+            while i < chars.len() && !chars[i].is_whitespace() {
+                i += 1;
+            }
+        }
+        out.push(chars[start..i.min(chars.len())].iter().collect());
+    }
+    out
+}
+
+fn parse_expect_rows(lines: &[String]) -> (Vec<String>, Vec<Vec<Option<Term>>>) {
+    let header = lines.first().expect(":expect needs a variable header");
+    let vars: Vec<String> = header
+        .split_whitespace()
+        .map(|v| v.trim_start_matches('?').to_string())
+        .collect();
+    let rows = lines[1..]
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let cells = split_row(line);
+            assert_eq!(
+                cells.len(),
+                vars.len(),
+                "row arity mismatch in expectation: {line}"
+            );
+            cells
+                .into_iter()
+                .map(|c| {
+                    if c == "UNDEF" {
+                        None
+                    } else {
+                        Some(Term::parse_ntriples(&c).unwrap_or_else(|e| panic!("{c}: {e}")))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (vars, rows)
+}
+
+fn parse_manifest(path: &Path) -> Vec<TestCase> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let manifest = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut cases = Vec::new();
+
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Data,
+        Query,
+        Expect,
+        ExpectGraph,
+    }
+    let mut section = Section::None;
+    let mut name = String::new();
+    let mut feature = String::new();
+    let mut data: Vec<String> = Vec::new();
+    let mut query: Vec<String> = Vec::new();
+    let mut expect_lines: Vec<String> = Vec::new();
+    let mut expect_bool: Option<bool> = None;
+    let mut ordered = false;
+    let mut graph_expected = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw;
+        let directive = line.trim_start();
+        if directive.starts_with(':') {
+            let mut parts = directive.splitn(2, char::is_whitespace);
+            let key = parts.next().unwrap();
+            let arg = parts.next().unwrap_or("").trim().to_string();
+            match key {
+                ":test" => {
+                    name = arg;
+                    feature.clear();
+                    data.clear();
+                    query.clear();
+                    expect_lines.clear();
+                    expect_bool = None;
+                    ordered = false;
+                    graph_expected = false;
+                    section = Section::None;
+                }
+                ":feature" => feature = arg,
+                ":data" => section = Section::Data,
+                ":query" => section = Section::Query,
+                ":expect" => section = Section::Expect,
+                ":expect-graph" => {
+                    section = Section::ExpectGraph;
+                    graph_expected = true;
+                }
+                ":expect-bool" => {
+                    expect_bool = Some(match arg.as_str() {
+                        "true" => true,
+                        "false" => false,
+                        other => panic!("{manifest}:{lineno}: bad :expect-bool {other}"),
+                    });
+                    section = Section::None;
+                }
+                ":ordered" => ordered = true,
+                ":end" => {
+                    assert!(!name.is_empty(), "{manifest}:{lineno}: :end without :test");
+                    assert!(!feature.is_empty(), "{manifest}:{name}: missing :feature");
+                    let expect = if let Some(b) = expect_bool {
+                        Expectation::Bool(b)
+                    } else if graph_expected {
+                        let text = expect_lines.join("\n");
+                        let graph = ntriples::read_graph(Cursor::new(text))
+                            .unwrap_or_else(|e| panic!("{manifest}:{name}: bad graph: {e}"));
+                        Expectation::Graph(graph.iter_decoded().collect())
+                    } else {
+                        let (vars, rows) = parse_expect_rows(&expect_lines);
+                        Expectation::Solutions {
+                            vars,
+                            rows,
+                            ordered,
+                        }
+                    };
+                    cases.push(TestCase {
+                        name: std::mem::take(&mut name),
+                        feature: feature.clone(),
+                        manifest: manifest.clone(),
+                        data: data.join("\n"),
+                        query: query.join("\n"),
+                        expect,
+                    });
+                    section = Section::None;
+                }
+                other => panic!("{manifest}:{lineno}: unknown directive {other}"),
+            }
+            continue;
+        }
+        match section {
+            Section::Data => data.push(line.to_string()),
+            Section::Query => query.push(line.to_string()),
+            Section::Expect | Section::ExpectGraph => expect_lines.push(line.to_string()),
+            Section::None => {
+                let t = line.trim();
+                assert!(
+                    t.is_empty() || t.starts_with('#'),
+                    "{manifest}:{lineno}: stray content outside sections: {line}"
+                );
+            }
+        }
+    }
+    cases
+}
+
+fn manifests_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/conformance/manifests")
+}
+
+fn load_all_cases() -> Vec<TestCase> {
+    let dir = manifests_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{dir:?}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "manifest"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::new();
+    for path in paths {
+        cases.extend(parse_manifest(&path));
+    }
+    cases
+}
+
+/// Normalizes a solution row into sorted `(var, rendered-term)` pairs so
+/// comparison is independent of projection order.
+type NormRow = Vec<(String, Option<String>)>;
+
+fn normalize(vars: &[String], rows: &[Vec<Option<Term>>], ordered: bool) -> Vec<NormRow> {
+    let mut out: Vec<NormRow> = rows
+        .iter()
+        .map(|row| {
+            let mut pairs: NormRow = vars
+                .iter()
+                .cloned()
+                .zip(row.iter().map(|t| t.as_ref().map(Term::to_string)))
+                .collect();
+            pairs.sort();
+            pairs
+        })
+        .collect();
+    if !ordered {
+        out.sort();
+    }
+    out
+}
+
+fn normalize_solutions(s: &Solutions, ordered: bool) -> Vec<NormRow> {
+    normalize(&s.vars, &s.rows, ordered)
+}
+
+fn normalize_graph(triples: &[Triple]) -> Vec<String> {
+    let mut out: Vec<String> = triples
+        .iter()
+        .map(|t| format!("{} {} {}", t.s, t.p, t.o))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Checks one engine's result against the expectation; `None` = pass.
+fn check(result: &QueryResult, expect: &Expectation) -> Option<String> {
+    match (result, expect) {
+        (
+            QueryResult::Solutions(actual),
+            Expectation::Solutions {
+                vars,
+                rows,
+                ordered,
+            },
+        ) => {
+            let mut expected_vars = vars.clone();
+            let mut actual_vars = actual.vars.clone();
+            expected_vars.sort();
+            actual_vars.sort();
+            if expected_vars != actual_vars {
+                return Some(format!(
+                    "variables differ: expected {expected_vars:?}, got {actual_vars:?}"
+                ));
+            }
+            let expected = normalize(vars, rows, *ordered);
+            let got = normalize_solutions(actual, *ordered);
+            if expected != got {
+                return Some(format!("expected {expected:?}\n        got {got:?}"));
+            }
+            None
+        }
+        (QueryResult::Bool(actual), Expectation::Bool(expected)) => {
+            (actual != expected).then(|| format!("expected {expected}, got {actual}"))
+        }
+        (QueryResult::Graph(actual), Expectation::Graph(expected)) => {
+            let expected = normalize_graph(expected);
+            let got = normalize_graph(actual);
+            (expected != got).then(|| format!("expected {expected:?}\n        got {got:?}"))
+        }
+        (got, _) => Some(format!("result shape mismatch: got {got:?}")),
+    }
+}
+
+/// Runs one case against every engine; returns failure descriptions.
+fn run_case(case: &TestCase, work_dir: &Path) -> Vec<String> {
+    let graph = ntriples::read_graph(Cursor::new(case.data.clone()))
+        .unwrap_or_else(|e| panic!("{}:{}: bad data: {e}", case.manifest, case.name));
+    let store = S2rdfStore::build(&graph, &BuildOptions::default());
+    let triples_table = TriplesTableEngine::new(&graph);
+    let property_table = PropertyTableEngine::new(&graph);
+    let centralized = CentralizedEngine::new(&graph);
+    let batch = BatchEngine::new(
+        &graph,
+        work_dir.join(format!("{}-batch", case.name)),
+        Duration::ZERO,
+        JobGranularity::MultiJoin,
+    )
+    .expect("batch engine setup");
+    let adaptive =
+        AdaptiveEngine::new(&graph, work_dir.join(&case.name), Duration::ZERO, 1_000_000)
+            .expect("adaptive engine setup");
+    let extvp = store.engine(true);
+    let vp = store.engine(false);
+    let engines: Vec<(&str, &dyn SparqlEngine)> = vec![
+        ("S2RDF ExtVP", &extvp),
+        ("S2RDF VP", &vp),
+        ("TriplesTable", &triples_table),
+        ("PropertyTable", &property_table),
+        ("Batch", &batch),
+        ("Centralized", &centralized),
+        ("Adaptive", &adaptive),
+    ];
+    let mut failures = Vec::new();
+    for (label, engine) in engines {
+        match engine.query_result_opt(&case.query, &QueryOptions::default()) {
+            Ok((result, _)) => {
+                if let Some(why) = check(&result, &case.expect) {
+                    failures.push(format!(
+                        "{}:{} [{label}]: {why}\n        query: {}",
+                        case.manifest,
+                        case.name,
+                        case.query.replace('\n', " ")
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!(
+                "{}:{} [{label}]: error: {e}\n        query: {}",
+                case.manifest,
+                case.name,
+                case.query.replace('\n', " ")
+            )),
+        }
+    }
+    failures
+}
+
+fn baseline() -> usize {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/conformance/BASELINE");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path:?}: {e}"))
+        .trim()
+        .parse()
+        .expect("BASELINE must hold an integer entry count")
+}
+
+#[test]
+fn conformance_suite() {
+    let cases = load_all_cases();
+    let work_dir = std::env::temp_dir().join(format!("s2rdf-conformance-{}", std::process::id()));
+
+    let mut failures: Vec<String> = Vec::new();
+    // feature → (pass, fail) counts, per engine-execution.
+    let mut by_feature: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for case in &cases {
+        let case_failures = run_case(case, &work_dir);
+        let entry = by_feature.entry(case.feature.clone()).or_insert((0, 0));
+        if case_failures.is_empty() {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+        failures.extend(case_failures);
+    }
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    println!(
+        "conformance summary ({} entries, all engines):",
+        cases.len()
+    );
+    println!("{:<16} {:>5} {:>5}", "feature", "pass", "fail");
+    for (feature, (pass, fail)) in &by_feature {
+        println!("{feature:<16} {pass:>5} {fail:>5}");
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} conformance failure(s):\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    let min = baseline();
+    assert!(
+        cases.len() >= min,
+        "conformance suite shrank: {} entries < baseline {min}",
+        cases.len()
+    );
+}
+
+/// Satellite: every manifest query must round-trip through the renderer —
+/// parse → render → re-parse yields an identical AST.
+#[test]
+fn manifest_queries_round_trip() {
+    let cases = load_all_cases();
+    assert!(!cases.is_empty());
+    for case in &cases {
+        let parsed = s2rdf_sparql::parse_query(&case.query).unwrap_or_else(|e| {
+            panic!("{}:{}: query does not parse: {e}", case.manifest, case.name)
+        });
+        let rendered = parsed.to_string();
+        let reparsed = s2rdf_sparql::parse_query(&rendered).unwrap_or_else(|e| {
+            panic!(
+                "{}:{}: rendered query does not re-parse: {e}\n{rendered}",
+                case.manifest, case.name
+            )
+        });
+        assert_eq!(
+            reparsed, parsed,
+            "{}:{}: round-trip drift via\n{rendered}",
+            case.manifest, case.name
+        );
+    }
+}

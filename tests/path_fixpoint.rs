@@ -1,0 +1,168 @@
+//! Property-based validation of the property-path fixpoint: on random
+//! directed graphs — cycles and self-loops included — the engine's `+`/`*`
+//! path answers must equal a naive BFS transitive-closure oracle, proving
+//! the delta-set iteration terminates and is complete. A second property
+//! re-runs each query on a single-worker pool (the in-process stand-in for
+//! launching with `S2RDF_THREADS=1`) and demands bit-identical results,
+//! so morsel scheduling cannot change path semantics.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use s2rdf_columnar::{pool, WorkerPool};
+use s2rdf_core::{BuildOptions, S2rdfStore, Solutions};
+use s2rdf_model::{Graph, Term, Triple};
+
+/// A leaked single-worker pool: `with_workers(1)` runs every task inline on
+/// the caller, in submission order.
+fn serial_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<&'static WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| Box::leak(Box::new(WorkerPool::with_workers(1))))
+}
+
+/// Random directed graph: node count plus an edge set over those nodes
+/// (self-loops allowed, so single-node cycles are exercised too).
+fn graph_strategy() -> impl Strategy<Value = (usize, BTreeSet<(usize, usize)>)> {
+    (
+        2usize..9,
+        proptest::collection::vec((0usize..9, 0usize..9), 0..=20),
+    )
+        .prop_map(|(n, raw)| {
+            let edges = raw.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            (n, edges)
+        })
+}
+
+fn build_graph(edges: &BTreeSet<(usize, usize)>) -> Graph {
+    let mut g = Graph::new();
+    for &(u, v) in edges {
+        g.insert(&Triple::new(
+            Term::iri(format!("n{u}")),
+            Term::iri("e"),
+            Term::iri(format!("n{v}")),
+        ));
+    }
+    g
+}
+
+/// BFS from every node: all `(s, t)` with a path of length ≥ 1, the oracle
+/// for `<e>+`.
+fn closure_oracle(n: usize, edges: &BTreeSet<(usize, usize)>) -> BTreeSet<(usize, usize)> {
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u].push(v);
+    }
+    let mut out = BTreeSet::new();
+    for s in 0..n {
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        for &v in &adj[s] {
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            out.insert((s, u));
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn node_index(t: &Term) -> usize {
+    t.to_string()
+        .trim_start_matches("<n")
+        .trim_end_matches('>')
+        .parse()
+        .expect("path solution should bind a node IRI")
+}
+
+fn solution_pairs(s: &Solutions) -> BTreeSet<(usize, usize)> {
+    let xi = s.vars.iter().position(|v| v == "x").unwrap();
+    let yi = s.vars.iter().position(|v| v == "y").unwrap();
+    s.rows
+        .iter()
+        .map(|row| {
+            (
+                node_index(row[xi].as_ref().unwrap()),
+                node_index(row[yi].as_ref().unwrap()),
+            )
+        })
+        .collect()
+}
+
+fn solution_nodes(s: &Solutions) -> BTreeSet<usize> {
+    let yi = s.vars.iter().position(|v| v == "y").unwrap();
+    s.rows
+        .iter()
+        .map(|row| node_index(row[yi].as_ref().unwrap()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `?x <e>+ ?y` equals the BFS transitive closure — in particular it
+    /// terminates on cyclic graphs and reports `(v, v)` for cycle members.
+    #[test]
+    fn plus_matches_bfs_oracle((n, edges) in graph_strategy()) {
+        let g = build_graph(&edges);
+        let store = S2rdfStore::build(&g, &BuildOptions::default());
+        let sols = store.query("SELECT ?x ?y WHERE { ?x <e>+ ?y }").unwrap();
+        prop_assert_eq!(solution_pairs(&sols), closure_oracle(n, &edges));
+    }
+
+    /// `?x <e>* ?y` equals the closure plus the identity pair for every
+    /// node that occurs in the graph (SPARQL's zero-length step).
+    #[test]
+    fn star_adds_identity_over_graph_nodes((n, edges) in graph_strategy()) {
+        let g = build_graph(&edges);
+        let store = S2rdfStore::build(&g, &BuildOptions::default());
+        let sols = store.query("SELECT ?x ?y WHERE { ?x <e>* ?y }").unwrap();
+        let mut expected = closure_oracle(n, &edges);
+        for &(u, v) in &edges {
+            expected.insert((u, u));
+            expected.insert((v, v));
+        }
+        prop_assert_eq!(solution_pairs(&sols), expected);
+    }
+
+    /// `<n0> <e>* ?y` is BFS reachability from node 0 plus node 0 itself —
+    /// even when node 0 has no edges at all.
+    #[test]
+    fn bound_subject_star_matches_bfs((n, edges) in graph_strategy()) {
+        let g = build_graph(&edges);
+        let store = S2rdfStore::build(&g, &BuildOptions::default());
+        let sols = store.query("SELECT ?y WHERE { <n0> <e>* ?y }").unwrap();
+        let mut expected: BTreeSet<usize> = closure_oracle(n, &edges)
+            .into_iter()
+            .filter(|&(s, _)| s == 0)
+            .map(|(_, t)| t)
+            .collect();
+        expected.insert(0);
+        prop_assert_eq!(solution_nodes(&sols), expected);
+    }
+
+    /// The same path query on a single-worker pool returns the identical
+    /// solution multiset: morsel scheduling is semantics-free.
+    #[test]
+    fn serial_pool_equivalence((_n, edges) in graph_strategy()) {
+        let g = build_graph(&edges);
+        let store = S2rdfStore::build(&g, &BuildOptions::default());
+        for query in [
+            "SELECT ?x ?y WHERE { ?x <e>+ ?y }",
+            "SELECT ?y WHERE { <n0> (<e>/<e>)* ?y }",
+        ] {
+            let parallel = store.query(query).unwrap();
+            let serial = pool::with_pool(serial_pool(), || store.query(query).unwrap());
+            prop_assert_eq!(parallel.canonical(), serial.canonical(), "{}", query);
+        }
+    }
+}
