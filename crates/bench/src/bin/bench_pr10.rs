@@ -1,0 +1,334 @@
+//! Writes `BENCH_pr10.json` — the chunked columnar format v3 artifact.
+//!
+//! Usage: `bench_pr10 [--out BENCH_pr10.json] [--baseline BENCH_pr8.json]`
+//!
+//! Four scenarios:
+//!
+//! 1. **Pruned vs full scan** — a 2 M-row table with clustered keys,
+//!    point lookup on the key column: `scan_chunks` (zone maps consulted
+//!    before any decode) against decode-everything + `select_eq`. The two
+//!    must agree on the output; the pruned scan must actually skip chunks
+//!    (`chunks_pruned > 0`).
+//! 2. **Compression table** — representative column shapes (constant,
+//!    monotone ids, clustered, pseudorandom) serialized in the legacy v2
+//!    whole-column format vs v3, plus the full WatDiv SF1 store saved both
+//!    ways. The v3 store must be ≥2× smaller than the raw columnar image
+//!    (4 bytes per value, the uncompressed layout v2 started from) and
+//!    strictly smaller than the varint/RLE v2 files it replaces — v2 had
+//!    already grown whole-column entropy coding, so the honest ratio
+//!    against it is also recorded (WatDiv ids carry ~8 bits/value of
+//!    unordered entropy; no chunk encoder doubles up on varints).
+//! 3. **End-to-end pruning** — the most selective kind of SPARQL step, a
+//!    bound-subject lookup against the largest predicate of a loaded
+//!    WatDiv store; `columnar.io.chunks_pruned` must advance.
+//! 4. **PR-8 comparable** — the exact BENCH_pr8 `par_join` workload
+//!    (200 k × 200 k adaptive join, 8 partitions), unchanged by this PR's
+//!    storage work. With `--baseline`, the new median is gated against the
+//!    committed BENCH_pr8 wall time (>20 % + 25 ms fails).
+//!
+//! Wall times are medians of 3 runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use s2rdf_bench::Args;
+use s2rdf_columnar::chunk::scan_chunks;
+use s2rdf_columnar::exec::{natural_join_adaptive, JoinConfig};
+use s2rdf_columnar::io::{serialize_table, serialize_table_v2};
+use s2rdf_columnar::ops::select_eq;
+use s2rdf_columnar::{metrics, CompressedTable, Schema, Table, TableStore, WriteOptions};
+use s2rdf_core::{BuildOptions, S2rdfStore};
+use s2rdf_watdiv::{generate, Config};
+
+/// Regression tolerance against the committed baseline: 20 % relative plus
+/// a 25 ms absolute floor.
+const BASELINE_REL_PCT: f64 = 20.0;
+const BASELINE_ABS_FLOOR_MS: f64 = 25.0;
+
+fn main() {
+    let args = Args::parse();
+    let out_path: String = args.get("out", "BENCH_pr10.json".to_string());
+    let baseline_path: String = args.get("baseline", String::new());
+    metrics::set_enabled(true);
+
+    // ---- Scenario 1: pruned vs full point-lookup scan ---------------------
+    // Clustered keys (64 rows per key, ascending) mirror a subject-sorted VP
+    // table: zone maps separate cleanly, so a point lookup touches one chunk.
+    const N: u32 = 1 << 21;
+    let table = Table::from_columns(
+        Schema::new(["s", "o"]),
+        vec![(0..N).map(|i| i / 64).collect(), lcg_column(N as usize)],
+    );
+    let ct = CompressedTable::from_table(
+        &table,
+        &WriteOptions {
+            chunk_rows: 4096,
+            bloom: true,
+        },
+    );
+    let needle = (N / 64) / 2; // present, interior chunk
+    let (pruned_ms, pruned_rows) = median3(|| {
+        let (_, rows, stats) = scan_chunks(&ct, &[(0, needle)], &[], &[1], None).expect("scan");
+        assert!(stats.chunks_pruned > 0, "point lookup pruned no chunks");
+        rows
+    });
+    let full = ct.materialize().expect("materialize");
+    let (full_ms, full_rows) = median3(|| select_eq(&full, 0, needle).num_rows());
+    assert_eq!(pruned_rows, full_rows, "pruned scan changed the output");
+    let (_, _, stats) = scan_chunks(&ct, &[(0, needle)], &[], &[1], None).expect("scan");
+    eprintln!(
+        "point lookup over {N} rows: pruned {pruned_ms:.2} ms vs full {full_ms:.2} ms \
+         ({}/{} chunks skipped, {pruned_rows} rows)",
+        stats.chunks_pruned,
+        ct.num_chunks(),
+    );
+
+    // ---- Scenario 2: compression table ------------------------------------
+    const C: usize = 1 << 20;
+    let shapes: [(&str, Vec<u32>); 4] = [
+        ("constant", vec![7; C]),
+        ("monotone_ids", (0..C as u32).collect()),
+        ("clustered", (0..C as u32).map(|i| i / 256).collect()),
+        ("pseudorandom", lcg_column(C)),
+    ];
+    let mut compression: Vec<(&str, usize, usize)> = Vec::new();
+    for (name, col) in &shapes {
+        let t = Table::from_columns(Schema::new(["c"]), vec![col.clone()]);
+        let v2 = serialize_table_v2(&t).len();
+        let v3 = serialize_table(&t).len();
+        eprintln!(
+            "compression {name:>13}: v2 {v2:>8} B → v3 {v3:>8} B ({:.2}x)",
+            v2 as f64 / v3 as f64
+        );
+        compression.push((name, v2, v3));
+    }
+
+    // The acceptance target: the whole WatDiv store, both formats on disk.
+    eprintln!("generating WatDiv SF1 and building the store…");
+    let data = generate(&Config { scale: 1, seed: 42 });
+    let mut store = S2rdfStore::build(&data.graph, &BuildOptions::default());
+    let tmp = std::env::temp_dir().join(format!("s2rdf-bench-pr10-{}", std::process::id()));
+    let (dir_v2, dir_v3) = (tmp.join("v2"), tmp.join("v3"));
+    let _ = std::fs::remove_dir_all(&tmp);
+    store.set_legacy_v2_writes(true);
+    store.save(&dir_v2).expect("save v2");
+    store.set_legacy_v2_writes(false);
+    store.save(&dir_v3).expect("save v3");
+    let bytes_v2 = TableStore::open(dir_v2.join("tables"))
+        .and_then(|t| t.total_size())
+        .expect("v2 size");
+    let bytes_v3 = TableStore::open(dir_v3.join("tables"))
+        .and_then(|t| t.total_size())
+        .expect("v3 size");
+    // Logical (uncompressed) image: every stored table at 4 B/value.
+    let v3_tables = TableStore::open(dir_v3.join("tables")).expect("open v3");
+    let mut bytes_raw = 0u64;
+    for name in v3_tables.names() {
+        let ct = v3_tables.load_compressed(&name).expect("parse v3");
+        bytes_raw += ct.logical_bytes() as u64;
+    }
+    let raw_ratio = bytes_raw as f64 / bytes_v3 as f64;
+    let v2_ratio = bytes_v2 as f64 / bytes_v3 as f64;
+    eprintln!(
+        "WatDiv SF1 store: raw {bytes_raw} B, v2 {bytes_v2} B, v3 {bytes_v3} B \
+         ({raw_ratio:.2}x vs raw, {v2_ratio:.2}x vs v2)"
+    );
+    assert!(
+        bytes_raw >= 2 * bytes_v3,
+        "v3 WatDiv store must be ≥2x smaller than the raw columnar image \
+         ({bytes_raw} vs {bytes_v3})"
+    );
+    assert!(
+        bytes_v3 < bytes_v2,
+        "v3 WatDiv store must beat the varint/RLE v2 files ({bytes_v2} vs {bytes_v3})"
+    );
+
+    // ---- Scenario 3: end-to-end pruning on a loaded store -----------------
+    // Small chunks so even SF1's predicates span several zone-map entries.
+    let dir_q = tmp.join("q");
+    store.set_write_options(WriteOptions {
+        chunk_rows: 512,
+        bloom: true,
+    });
+    store.save(&dir_q).expect("save query store");
+    drop(store);
+    let loaded = S2rdfStore::load(&dir_q).expect("load");
+    let (subject, predicate) = most_frequent_predicate_example(&data.graph);
+    let query = format!("SELECT * WHERE {{ {subject} {predicate} ?o }}");
+    let pruned_before = metrics::counter("columnar.io.chunks_pruned").get();
+    let (e2e_ms, e2e_rows) = median3(|| loaded.query(&query).expect("query").len());
+    let e2e_pruned = metrics::counter("columnar.io.chunks_pruned").get() - pruned_before;
+    assert!(e2e_rows > 0, "bound-subject lookup found nothing");
+    assert!(
+        e2e_pruned > 0,
+        "end-to-end bound-subject query pruned no chunks"
+    );
+    eprintln!("end-to-end {query}: {e2e_ms:.2} ms, {e2e_rows} row(s), {e2e_pruned} chunks pruned");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // ---- Scenario 4: the BENCH_pr8 par_join workload ----------------------
+    const ROWS: u32 = 200_000;
+    let left = Table::from_columns(
+        Schema::new(["k", "a"]),
+        vec![(0..ROWS).map(|x| x % 4096).collect(), (0..ROWS).collect()],
+    );
+    let right = Table::from_columns(
+        Schema::new(["k", "b"]),
+        vec![(0..ROWS).collect(), (0..ROWS).map(|x| x ^ 1).collect()],
+    );
+    let pr8_cfg = JoinConfig {
+        max_partitions: 8,
+        ..JoinConfig::default()
+    };
+    let (par_ms, par_rows) =
+        median3(|| natural_join_adaptive(&left, &right, &pr8_cfg).0.num_rows());
+    eprintln!("pr8 workload: {par_ms:.1} ms ({par_rows} rows)");
+
+    // ---- Baseline diff -----------------------------------------------------
+    let mut baseline_json = String::new();
+    if !baseline_path.is_empty() {
+        let doc = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let base_par =
+            extract_wall_ms(&doc, "\"par_join\"").expect("baseline has no par_join.wall_ms");
+        check_regression("par_join", par_ms, base_par);
+        let _ = write!(
+            baseline_json,
+            "  \"baseline\": {{\n    \"path\": \"{}\",\n    \
+             \"par_join_base_ms\": {base_par:.3}, \"par_join_new_ms\": {par_ms:.3},\n    \
+             \"rel_tolerance_pct\": {BASELINE_REL_PCT}, \"abs_floor_ms\": {BASELINE_ABS_FLOOR_MS}\n  }},\n",
+            metrics::json_escape(&baseline_path)
+        );
+    }
+
+    // ---- Artifact ----------------------------------------------------------
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"artifact\": \"BENCH_pr10\",");
+    let _ = writeln!(doc, "  \"pruned_scan\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"rows\": {N}, \"chunk_rows\": 4096, \"out_rows\": {pruned_rows},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"chunks_pruned\": {}, \"chunks_total\": {},",
+        stats.chunks_pruned,
+        ct.num_chunks()
+    );
+    let _ = writeln!(
+        doc,
+        "    \"pruned_wall_ms\": {pruned_ms:.3}, \"full_wall_ms\": {full_ms:.3}"
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"compression\": [");
+    for (i, (name, v2, v3)) in compression.iter().enumerate() {
+        let _ = writeln!(
+            doc,
+            "    {{\"column\": \"{name}\", \"v2_bytes\": {v2}, \"v3_bytes\": {v3}, \
+             \"ratio\": {:.3}}}{}",
+            *v2 as f64 / *v3 as f64,
+            if i + 1 < compression.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(doc, "  ],");
+    let _ = writeln!(doc, "  \"watdiv_store\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"raw_bytes\": {bytes_raw}, \"v2_bytes\": {bytes_v2}, \"v3_bytes\": {bytes_v3},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"ratio_vs_raw\": {raw_ratio:.3}, \"ratio_vs_v2\": {v2_ratio:.3}"
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"end_to_end\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"rows\": {e2e_rows}, \"chunks_pruned\": {e2e_pruned}, \"wall_ms\": {e2e_ms:.3}"
+    );
+    let _ = writeln!(doc, "  }},");
+    let _ = writeln!(doc, "  \"par_join\": {{");
+    let _ = writeln!(doc, "    \"rows_left\": {ROWS}, \"rows_right\": {ROWS},");
+    let _ = writeln!(doc, "    \"wall_ms\": {par_ms:.3}");
+    let _ = writeln!(doc, "  }},");
+    doc.push_str(&baseline_json);
+    let _ = writeln!(
+        doc,
+        "  \"operator_metrics\": {}",
+        metrics::snapshot().to_json()
+    );
+    doc.push_str("}\n");
+
+    std::fs::write(&out_path, doc).expect("write BENCH_pr10 artifact");
+    eprintln!("wrote {out_path}");
+}
+
+/// The most frequent predicate in the graph plus one subject under it, both
+/// rendered as SPARQL terms — the shape of the most selective scan a store
+/// serves (bound subject, largest VP table).
+fn most_frequent_predicate_example(graph: &s2rdf_model::Graph) -> (String, String) {
+    use std::collections::HashMap;
+    let mut counts: HashMap<String, (usize, String)> = HashMap::new();
+    for triple in graph.iter_decoded() {
+        let entry = counts
+            .entry(triple.p.to_string())
+            .or_insert_with(|| (0, triple.s.to_string()));
+        entry.0 += 1;
+    }
+    let (pred, (_, subj)) = counts
+        .into_iter()
+        .max_by_key(|(_, (n, _))| *n)
+        .expect("non-empty graph");
+    (subj, pred)
+}
+
+/// Deterministic pseudorandom column (same LCG the columnar tests use).
+fn lcg_column(n: usize) -> Vec<u32> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        })
+        .collect()
+}
+
+/// Fails the run when `new_ms` regresses past the relative tolerance plus
+/// the absolute floor.
+fn check_regression(name: &str, new_ms: f64, base_ms: f64) {
+    let bound = base_ms * (1.0 + BASELINE_REL_PCT / 100.0) + BASELINE_ABS_FLOOR_MS;
+    assert!(
+        new_ms <= bound,
+        "{name} regressed: {new_ms:.1} ms vs baseline {base_ms:.1} ms \
+         (bound {bound:.1} ms = +{BASELINE_REL_PCT}% +{BASELINE_ABS_FLOOR_MS} ms)"
+    );
+    eprintln!("baseline {name}: {new_ms:.1} ms vs {base_ms:.1} ms (bound {bound:.1} ms) — ok");
+}
+
+/// Extracts `"wall_ms": <number>` from the named JSON section of a
+/// BENCH_pr8-style artifact (both artifacts are written by this crate, so
+/// a positional scan is reliable).
+fn extract_wall_ms(doc: &str, section: &str) -> Option<f64> {
+    let start = doc.find(section)?;
+    let tail = &doc[start..];
+    let key = tail.find("\"wall_ms\": ")?;
+    let num = &tail[key + "\"wall_ms\": ".len()..];
+    let end = num.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    num[..end].parse().ok()
+}
+
+/// Median-of-3 wall time in milliseconds; returns the last run's count.
+fn median3(mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(3);
+    let mut rows = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        rows = run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (times[1], rows)
+}

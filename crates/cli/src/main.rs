@@ -4,6 +4,7 @@
 //! s2rdf generate --scale 1 [--seed 42] --out data.nt
 //! s2rdf load     --data data.nt --store ./db [--threshold 1.0]
 //!                [--mode rows|bits|lazy] [--no-extvp] [--oo]
+//!                [--chunk-rows 4096] [--no-bloom]
 //! s2rdf stats    --store ./db [--json]
 //! s2rdf query    --store ./db --query 'SELECT/ASK/CONSTRUCT/DESCRIBE …' | --file q.rq
 //!                [--explain] [--profile] [--no-extvp]
@@ -11,8 +12,8 @@
 //!                [--max-partitions <N>] [--morsel-rows <N>]
 //!                [--dp-max-patterns <N>] [--replan-threshold <ratio>]
 //! s2rdf update   --store ./db [--insert add.nt] [--delete del.nt]
-//!                [--checkpoint]
-//! s2rdf checkpoint --store ./db
+//!                [--checkpoint] [--chunk-rows <N>] [--no-bloom]
+//! s2rdf checkpoint --store ./db [--chunk-rows <N>] [--no-bloom]
 //! s2rdf verify   --store ./db [--repair] [--json]
 //! ```
 
@@ -35,6 +36,7 @@ const USAGE: &str = "usage:
   s2rdf generate --scale <N> [--seed <S>] --out <file.nt>
   s2rdf load     --data <file.nt> --store <dir> [--threshold <0..1>]
                  [--mode rows|bits|lazy] [--no-extvp] [--oo]
+                 [--chunk-rows <N>] [--no-bloom]
   s2rdf stats    --store <dir> [--json]
   s2rdf query    --store <dir> (--query <sparql> | --file <q.rq>)
                  [--explain] [--profile] [--no-extvp] [--intersect]
@@ -43,8 +45,8 @@ const USAGE: &str = "usage:
                  [--morsel-rows <N>] [--dp-max-patterns <N>]
                  [--replan-threshold <ratio>]
   s2rdf update   --store <dir> [--insert <file.nt>] [--delete <file.nt>]
-                 [--checkpoint]
-  s2rdf checkpoint --store <dir>
+                 [--checkpoint] [--chunk-rows <N>] [--no-bloom]
+  s2rdf checkpoint --store <dir> [--chunk-rows <N>] [--no-bloom]
   s2rdf verify   --store <dir> [--repair] [--json]";
 
 fn main() -> ExitCode {
@@ -69,6 +71,26 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The v3 encoder knobs, when the user overrides either default.
+fn write_options_from(args: &Args) -> Result<Option<s2rdf_columnar::WriteOptions>, String> {
+    let chunk_rows = args
+        .opt_value("chunk-rows")
+        .map(|s| match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err("bad --chunk-rows (need a positive integer)".to_string()),
+        })
+        .transpose()?;
+    let no_bloom = args.flag("no-bloom");
+    if chunk_rows.is_none() && !no_bloom {
+        return Ok(None);
+    }
+    let defaults = s2rdf_columnar::WriteOptions::default();
+    Ok(Some(s2rdf_columnar::WriteOptions {
+        chunk_rows: chunk_rows.unwrap_or(defaults.chunk_rows),
+        bloom: !no_bloom,
+    }))
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
@@ -111,7 +133,10 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     let graph = ntriples::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     eprintln!("{} triples; building store ({options:?})…", graph.len());
     let start = Instant::now();
-    let store = S2rdfStore::build(&graph, &options);
+    let mut store = S2rdfStore::build(&graph, &options);
+    if let Some(opts) = write_options_from(args)? {
+        store.set_write_options(opts);
+    }
     eprintln!(
         "built in {:.2?}: {} VP tables, {} ExtVP partitions ({} tuples)",
         start.elapsed(),
@@ -126,6 +151,52 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// On-disk vs decoded footprint of every table in the store, plus how
+/// many are in the chunked v3 format.
+struct StorageStats {
+    tables: usize,
+    chunked: usize,
+    bytes_on_disk: u64,
+    bytes_logical: u64,
+}
+
+impl StorageStats {
+    fn ratio(&self) -> f64 {
+        if self.bytes_on_disk == 0 {
+            1.0
+        } else {
+            self.bytes_logical as f64 / self.bytes_on_disk as f64
+        }
+    }
+}
+
+/// Parses every table file (headers + bodies, never materialized) to sum
+/// compressed and logical sizes. Runs with metrics suppressed so a
+/// `stats --json` dump reflects the store load alone, not this sweep.
+fn storage_stats(dir: &Path) -> Result<StorageStats, String> {
+    let metrics_were_on = s2rdf_columnar::metrics::enabled();
+    s2rdf_columnar::metrics::set_enabled(false);
+    let sweep = (|| {
+        let tables =
+            s2rdf_columnar::TableStore::open(dir.join("tables")).map_err(|e| e.to_string())?;
+        let mut out = StorageStats {
+            tables: 0,
+            chunked: 0,
+            bytes_on_disk: tables.total_size().map_err(|e| e.to_string())?,
+            bytes_logical: 0,
+        };
+        for name in tables.names() {
+            let ct = tables.load_compressed(&name).map_err(|e| e.to_string())?;
+            out.tables += 1;
+            out.chunked += ct.is_chunked() as usize;
+            out.bytes_logical += ct.logical_bytes() as u64;
+        }
+        Ok(out)
+    })();
+    s2rdf_columnar::metrics::set_enabled(metrics_were_on);
+    sweep
+}
+
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let store_dir = args.value("store")?;
     // With --json, operator metrics are recorded while loading the store so
@@ -137,6 +208,16 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     }
     let store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
     let catalog = store.catalog();
+    // Body-cache effectiveness of the load itself, captured before the
+    // storage sweep so the ratio is not skewed by our own re-reads.
+    let cache_hits = s2rdf_columnar::metrics::counter("columnar.io.cache_hits").get();
+    let cache_misses = s2rdf_columnar::metrics::counter("columnar.io.cache_misses").get();
+    let hit_ratio = if cache_hits + cache_misses == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    };
+    let storage = storage_stats(Path::new(&store_dir))?;
     if args.flag("json") {
         let summary = catalog.extvp_summary();
         println!("{{");
@@ -158,6 +239,19 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             summary.over_threshold_tables
         );
         println!(
+            "  \"storage\": {{\"tables\": {}, \"chunked_tables\": {}, \
+             \"bytes_on_disk\": {}, \"bytes_logical\": {}, \"compression_ratio\": {:.3}}},",
+            storage.tables,
+            storage.chunked,
+            storage.bytes_on_disk,
+            storage.bytes_logical,
+            storage.ratio()
+        );
+        println!(
+            "  \"cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}, \
+             \"hit_ratio\": {hit_ratio:.3}}},"
+        );
+        println!(
             "  \"metrics\": {}",
             s2rdf_columnar::metrics::snapshot().to_json()
         );
@@ -176,6 +270,15 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let summary = catalog.extvp_summary();
     println!("  SF=1 (not stored):    {}", summary.sf_one_tables);
     println!("  over threshold:       {}", summary.over_threshold_tables);
+    println!(
+        "  on-disk bytes:        {} ({} tables, {} chunked v3)",
+        storage.bytes_on_disk, storage.tables, storage.chunked
+    );
+    println!(
+        "  logical bytes:        {} ({:.2}x compression)",
+        storage.bytes_logical,
+        storage.ratio()
+    );
     println!("\nlargest VP tables:");
     let mut sizes: Vec<_> = catalog.vp_sizes().collect();
     sizes.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
@@ -401,6 +504,9 @@ fn cmd_update(args: &Args) -> Result<(), String> {
         return Err("need --insert and/or --delete".to_string());
     }
     let mut store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    if let Some(opts) = write_options_from(args)? {
+        store.set_write_options(opts);
+    }
     if store.wal_replayed() > 0 {
         eprintln!(
             "recovered {} WAL record(s) from an earlier interrupted session",
@@ -437,6 +543,9 @@ fn cmd_update(args: &Args) -> Result<(), String> {
 fn cmd_checkpoint(args: &Args) -> Result<(), String> {
     let store_dir = args.value("store")?;
     let mut store = S2rdfStore::load(Path::new(&store_dir)).map_err(|e| e.to_string())?;
+    if let Some(opts) = write_options_from(args)? {
+        store.set_write_options(opts);
+    }
     if store.wal_replayed() > 0 {
         eprintln!(
             "recovered {} WAL record(s) from an earlier interrupted session",
@@ -446,16 +555,48 @@ fn cmd_checkpoint(args: &Args) -> Result<(), String> {
     let start = Instant::now();
     let report = store.checkpoint().map_err(|e| e.to_string())?;
     println!(
-        "checkpointed in {:.2?}: {} tables flushed, {} removed, {} orphan(s) swept, \
-         {} dictionary term(s) appended, {} WAL record(s) truncated",
+        "checkpointed in {:.2?}: {} tables flushed, {} removed, {} legacy table(s) \
+         rewritten as v3, {} orphan(s) swept, {} dictionary term(s) appended, \
+         {} WAL record(s) truncated",
         start.elapsed(),
         report.tables_flushed,
         report.tables_removed,
+        report.tables_upgraded,
         report.orphans_removed,
         report.dict_terms_appended,
         report.wal_records_truncated
     );
     Ok(())
+}
+
+/// `[{"table": …, "bad_chunks": […], "total_chunks": N}, …]` for the
+/// chunk-granular corruption localization of the v3 format.
+fn chunks_json(chunks: &[(String, Vec<String>, usize)]) -> String {
+    let entries: Vec<String> = chunks
+        .iter()
+        .map(|(name, bad, total)| {
+            let bad: Vec<String> = bad
+                .iter()
+                .map(|c| format!("\"{}\"", s2rdf_columnar::metrics::json_escape(c)))
+                .collect();
+            format!(
+                "{{\"table\": \"{}\", \"bad_chunks\": [{}], \"total_chunks\": {total}}}",
+                s2rdf_columnar::metrics::json_escape(name),
+                bad.join(", ")
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(", "))
+}
+
+fn print_chunk_detail(chunks: &[(String, Vec<String>, usize)]) {
+    for (name, bad, total) in chunks {
+        println!(
+            "  {name}: {}/{total} chunk(s) damaged ({})",
+            bad.len(),
+            bad.join("; ")
+        );
+    }
 }
 
 fn cmd_verify(args: &Args) -> Result<(), String> {
@@ -466,12 +607,13 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     // residue of an append interrupted mid-write (truncated at next open).
     let wal = S2rdfStore::wal_status(dir).map_err(|e| e.to_string())?;
     if args.flag("json") {
-        let (repaired, unrecoverable, clean) = if args.flag("repair") {
+        let (repaired, unrecoverable, clean, chunk_detail) = if args.flag("repair") {
             let report = S2rdfStore::verify_and_repair(dir).map_err(|e| e.to_string())?;
             (
                 report.repaired.len(),
                 report.unrecoverable.len(),
                 report.clean_after,
+                chunks_json(&report.corrupt_chunks),
             )
         } else {
             let tables =
@@ -481,13 +623,14 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
                 0,
                 report.corrupt.len() + report.missing.len(),
                 report.is_clean(),
+                chunks_json(&report.corrupt_chunks),
             )
         };
         let (wal_records, wal_torn) = wal.map_or((0, 0), |w| (w.records, w.torn_bytes));
         println!(
             "{{\"store\": \"{}\", \"clean\": {clean}, \"repaired\": {repaired}, \
-             \"unrecoverable\": {unrecoverable}, \"wal_pending_records\": {wal_records}, \
-             \"wal_torn_bytes\": {wal_torn}}}",
+             \"unrecoverable\": {unrecoverable}, \"corrupt_chunks\": {chunk_detail}, \
+             \"wal_pending_records\": {wal_records}, \"wal_torn_bytes\": {wal_torn}}}",
             s2rdf_columnar::metrics::json_escape(&store_dir)
         );
         return if clean {
@@ -512,6 +655,7 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     if args.flag("repair") {
         let report = S2rdfStore::verify_and_repair(dir).map_err(|e| e.to_string())?;
         println!("scanned {} tables", report.scanned);
+        print_chunk_detail(&report.corrupt_chunks);
         for name in &report.repaired {
             println!("  rebuilt {name} from its VP base tables");
         }
@@ -542,6 +686,7 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         for (name, why) in &report.corrupt {
             println!("  CORRUPT {name}: {why}");
         }
+        print_chunk_detail(&report.corrupt_chunks);
         for name in &report.missing {
             println!("  MISSING {name}");
         }

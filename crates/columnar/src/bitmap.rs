@@ -52,6 +52,15 @@ impl Bitmap {
         self.words[i / 64] |= 1 << (i % 64);
     }
 
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
     /// Reads bit `i`.
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} out of range {}", self.len);

@@ -1,20 +1,35 @@
 //! Persistent table store: the stand-in for Parquet files on HDFS.
 //!
 //! Tables are serialized one file per table into a store directory, in a
-//! small columnar format with per-column lightweight compression (choosing
-//! per column between a plain varint stream and run-length encoding —
-//! standing in for Parquet's RLE + snappy, see DESIGN.md). A `manifest.tsv`
-//! maps logical table names (which contain characters like `|` that the
-//! ExtVP naming scheme uses) to on-disk file names.
+//! chunked columnar format (v3) with per-chunk lightweight compression,
+//! zone maps and optional per-column Bloom filters — standing in for
+//! Parquet's row groups + column statistics, see DESIGN.md and
+//! [`crate::chunk`]. A `manifest.tsv` maps logical table names (which
+//! contain characters like `|` that the ExtVP naming scheme uses) to
+//! on-disk file names.
 //!
-//! # Durability (format v2)
+//! # Format versions
 //!
-//! Version 2 of the file format appends a CRC-32 footer over the entire
-//! table body, mirroring Parquet's page-level CRC: any bit flip or
-//! truncation of a stored table surfaces as
+//! * **v3** (current): `magic | version | header | header CRC-32 | chunk
+//!   bodies | file CRC-32`. The header carries the schema plus per-chunk
+//!   zone maps (min/max/distinct), encodings, body lengths and per-chunk
+//!   CRCs, so [`TableStore::load_compressed`] can plan chunk skipping
+//!   without decoding anything; the trailing whole-file CRC still catches
+//!   every bit flip or truncation up front.
+//! * **v2**: one varint/RLE stream per column with a whole-file CRC-32
+//!   footer. Still readable (and writable via [`serialize_table_v2`] for
+//!   compatibility fixtures); `checkpoint` transparently rewrites v2
+//!   tables as v3.
+//! * **v1**: v2 without the footer. Readable only.
+//!
+//! # Durability
+//!
+//! Any bit flip or truncation of a stored v2/v3 table surfaces as
 //! [`ColumnarError::ChecksumMismatch`] instead of silently decoding to wrong
-//! data (or worse, decoding "successfully"). Version 1 files (no footer)
-//! remain readable for stores written by earlier builds.
+//! data (or worse, decoding "successfully"). v3 per-chunk CRCs additionally
+//! localize the damage: [`TableStore::verify_chunks`] reports exactly which
+//! chunks of which columns are corrupt, so repair can quarantine at chunk
+//! granularity instead of whole-table.
 //!
 //! All writes — table files and the manifest — go through a
 //! temp-file-then-rename sequence, so a crash mid-save leaves either the old
@@ -35,6 +50,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use rustc_hash::FxHashMap;
 
+use crate::chunk::{self, Bloom, ChunkMeta, ColMeta, CompressedTable, WriteOptions};
 use crate::crc32::crc32;
 use crate::error::ColumnarError;
 use crate::fault::FaultInjector;
@@ -43,7 +59,10 @@ use crate::table::Table;
 use crate::{metric_counter, metric_gauge};
 
 const MAGIC: &[u8; 4] = b"S2CT";
-/// Current format version: CRC-32 footer over the body.
+/// Current format version: chunked columns with zone maps (see
+/// [`crate::chunk`]), per-chunk CRCs, a header CRC and a whole-file footer.
+const VERSION_V3: u8 = 3;
+/// Monolithic per-column varint/RLE streams with a CRC-32 footer.
 const VERSION: u8 = 2;
 /// Legacy format without a checksum footer; still readable.
 const VERSION_V1: u8 = 1;
@@ -60,7 +79,7 @@ const MAX_CELLS: u64 = 1 << 28;
 /// corrupt row count cannot pre-allocate unbounded memory.
 const MAX_CAPACITY_HINT: usize = 1 << 22;
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -72,7 +91,7 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, ColumnarError> {
+pub(crate) fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, ColumnarError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
@@ -186,9 +205,62 @@ fn decode_column(data: &[u8], pos: &mut usize, nrows: usize) -> Result<Vec<u32>,
     Ok(col)
 }
 
-/// Serializes a table into the columnar file format (v2, with checksum
-/// footer).
+/// Serializes a table into the current columnar file format (v3, chunked
+/// with zone maps) using default write options.
 pub fn serialize_table(table: &Table) -> Vec<u8> {
+    serialize_table_opts(table, &WriteOptions::default())
+}
+
+/// Serializes a table as format v3 with explicit chunking/Bloom options.
+pub fn serialize_table_opts(table: &Table, opts: &WriteOptions) -> Vec<u8> {
+    serialize_compressed(&CompressedTable::from_table(table, opts))
+}
+
+/// Serializes an already-encoded [`CompressedTable`] (v3 layout: header,
+/// header CRC, chunk bodies, whole-file CRC footer).
+fn serialize_compressed(ct: &CompressedTable) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ct.body.len() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION_V3);
+    write_varint(&mut out, ct.schema.len() as u64);
+    for name in ct.schema.names() {
+        write_varint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+    }
+    write_varint(&mut out, ct.nrows as u64);
+    write_varint(&mut out, ct.chunk_rows as u64);
+    // Chunk counts and per-chunk row counts are derived from
+    // `nrows`/`chunk_rows` at parse time, so only the zone maps, encodings,
+    // body lengths and CRCs are written per chunk.
+    for col in &ct.cols {
+        match &col.bloom {
+            Some(bloom) => {
+                out.push(1);
+                bloom.write(&mut out);
+            }
+            None => out.push(0),
+        }
+        for m in &col.chunks {
+            out.push(m.enc);
+            write_varint(&mut out, m.min as u64);
+            write_varint(&mut out, (m.max - m.min) as u64);
+            out.push(m.distinct as u8);
+            write_varint(&mut out, m.len as u64);
+            out.extend_from_slice(&m.crc.to_le_bytes());
+        }
+    }
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&ct.body);
+    let footer = crc32(&out);
+    out.extend_from_slice(&footer.to_le_bytes());
+    out
+}
+
+/// Serializes a table into the legacy v2 format (one varint/RLE stream per
+/// column, whole-file CRC footer). Kept for backward-compatibility
+/// fixtures and the v2-vs-v3 size comparison in `bench_pr10`.
+pub fn serialize_table_v2(table: &Table) -> Vec<u8> {
     let mut out = Vec::with_capacity(table.byte_size() / 2 + 64);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -206,33 +278,225 @@ pub fn serialize_table(table: &Table) -> Vec<u8> {
     out
 }
 
+/// Verifies the whole-file CRC-32 footer shared by v2 and v3 images.
+fn check_footer(data: &[u8]) -> Result<usize, ColumnarError> {
+    if data.len() < 5 + FOOTER_LEN {
+        return Err(ColumnarError::CorruptFile(
+            "truncated checksum footer".into(),
+        ));
+    }
+    let body_end = data.len() - FOOTER_LEN;
+    let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
+    let actual = crc32(&data[..body_end]);
+    if actual != expected {
+        metric_counter!("columnar.io.checksum_failures").inc();
+        return Err(ColumnarError::ChecksumMismatch { expected, actual });
+    }
+    metric_counter!("columnar.io.checksum_verifies").inc();
+    Ok(body_end)
+}
+
+/// Parses a v3 image into its compressed form without decoding any chunk.
+/// Verifies the header CRC (the zone maps and chunk directory must be
+/// trustworthy before any pruning decision); the whole-file footer is the
+/// caller's concern — [`TableStore::load_compressed`] checks it on every
+/// physical read, while chunk-granular diagnostics
+/// ([`TableStore::verify_chunks`]) deliberately skip it to localize
+/// damage.
+///
+/// Total over arbitrary bytes: corrupt input of any shape produces an
+/// `Err`, never a panic or unbounded allocation.
+fn parse_compressed_v3(data: &[u8]) -> Result<CompressedTable, ColumnarError> {
+    debug_assert!(data.len() >= 5 && &data[..4] == MAGIC && data[4] == VERSION_V3);
+    let mut pos = 5usize;
+    let ncols = read_varint(data, &mut pos)? as usize;
+    if ncols > data.len() {
+        return Err(ColumnarError::CorruptFile(format!(
+            "implausible column count {ncols} for {}-byte file",
+            data.len()
+        )));
+    }
+    let mut names = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let len = read_varint(data, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .ok_or_else(|| ColumnarError::CorruptFile("column name length overflow".into()))?;
+        let bytes = data
+            .get(pos..end)
+            .ok_or_else(|| ColumnarError::CorruptFile("truncated column name".into()))?;
+        names.push(
+            std::str::from_utf8(bytes)
+                .map_err(|_| ColumnarError::CorruptFile("non-utf8 column name".into()))?
+                .to_string(),
+        );
+        pos = end;
+    }
+    // `Schema::new` treats duplicate names as a caller bug (panic); from
+    // untrusted bytes they are corruption.
+    let unique: std::collections::HashSet<&str> = names.iter().map(String::as_str).collect();
+    if unique.len() != names.len() {
+        return Err(ColumnarError::CorruptFile("duplicate column name".into()));
+    }
+    let nrows = read_varint(data, &mut pos)? as usize;
+    let cells = (nrows as u64)
+        .checked_mul(ncols.max(1) as u64)
+        .ok_or_else(|| ColumnarError::CorruptFile("table dimensions overflow".into()))?;
+    if cells > MAX_CELLS {
+        return Err(ColumnarError::CorruptFile(format!(
+            "table dimensions {nrows}x{ncols} exceed cell limit"
+        )));
+    }
+    let chunk_rows = read_varint(data, &mut pos)? as usize;
+    if chunk_rows == 0 || chunk_rows as u64 > MAX_CELLS {
+        return Err(ColumnarError::CorruptFile(format!(
+            "implausible chunk size {chunk_rows}"
+        )));
+    }
+    let nchunks = if nrows == 0 {
+        0
+    } else {
+        nrows.div_ceil(chunk_rows)
+    };
+    let mut cols = Vec::with_capacity(ncols.min(MAX_CAPACITY_HINT));
+    let mut offset = 0usize;
+    for _ in 0..ncols {
+        let has_bloom = *data
+            .get(pos)
+            .ok_or_else(|| ColumnarError::CorruptFile("truncated Bloom flag".into()))?;
+        pos += 1;
+        let bloom = match has_bloom {
+            0 => None,
+            1 => Some(Bloom::read(data, &mut pos)?),
+            other => {
+                return Err(ColumnarError::CorruptFile(format!(
+                    "bad Bloom flag {other}"
+                )))
+            }
+        };
+        let mut chunks = Vec::with_capacity(nchunks.min(MAX_CAPACITY_HINT));
+        for k in 0..nchunks {
+            let enc = *data
+                .get(pos)
+                .ok_or_else(|| ColumnarError::CorruptFile("truncated chunk encoding".into()))?;
+            pos += 1;
+            if enc > chunk::ENC_CHUNK_DELTA {
+                return Err(ColumnarError::CorruptFile(format!(
+                    "unknown chunk encoding {enc}"
+                )));
+            }
+            let min = read_varint(data, &mut pos)?;
+            let span = read_varint(data, &mut pos)?;
+            let max = min
+                .checked_add(span)
+                .filter(|&m| m <= u32::MAX as u64)
+                .ok_or_else(|| ColumnarError::CorruptFile("zone map exceeds u32".into()))?;
+            let distinct = *data
+                .get(pos)
+                .ok_or_else(|| ColumnarError::CorruptFile("truncated distinct flag".into()))?;
+            pos += 1;
+            if distinct > 1 {
+                return Err(ColumnarError::CorruptFile("bad distinct flag".into()));
+            }
+            let len = read_varint(data, &mut pos)? as usize;
+            let crc_bytes = data
+                .get(pos..pos + 4)
+                .ok_or_else(|| ColumnarError::CorruptFile("truncated chunk CRC".into()))?;
+            pos += 4;
+            let rows = if k + 1 == nchunks {
+                nrows - (nchunks - 1) * chunk_rows
+            } else {
+                chunk_rows
+            };
+            chunks.push(ChunkMeta {
+                rows,
+                min: min as u32,
+                max: max as u32,
+                distinct: distinct == 1,
+                enc,
+                offset,
+                len,
+                crc: u32::from_le_bytes(crc_bytes.try_into().expect("4-byte CRC")),
+            });
+            offset = offset
+                .checked_add(len)
+                .ok_or_else(|| ColumnarError::CorruptFile("chunk offsets overflow".into()))?;
+        }
+        cols.push(ColMeta { chunks, bloom });
+    }
+    let header_end = pos;
+    let declared = u32::from_le_bytes(
+        data.get(header_end..header_end + 4)
+            .ok_or_else(|| ColumnarError::CorruptFile("truncated header CRC".into()))?
+            .try_into()
+            .expect("4-byte CRC"),
+    );
+    let actual = crc32(&data[..header_end]);
+    if actual != declared {
+        metric_counter!("columnar.io.checksum_failures").inc();
+        return Err(ColumnarError::ChecksumMismatch {
+            expected: declared,
+            actual,
+        });
+    }
+    let bodies_start = header_end + 4;
+    // Exact-length check: anything shorter is torn, anything longer is
+    // appended garbage (and would also defeat the footer).
+    if data.len() != bodies_start + offset + FOOTER_LEN {
+        return Err(ColumnarError::CorruptFile(format!(
+            "file length {} does not match declared chunk bodies",
+            data.len()
+        )));
+    }
+    Ok(CompressedTable {
+        schema: Schema::new(names),
+        nrows,
+        chunk_rows,
+        cols,
+        body: data[bodies_start..bodies_start + offset].to_vec(),
+        file_bytes: data.len(),
+        materialized: std::sync::OnceLock::new(),
+    })
+}
+
+/// Parses any supported format into the compressed representation: v3
+/// stays compressed (chunks decode on demand); v1/v2 decode fully and are
+/// wrapped via [`CompressedTable::from_plain`]. `verify_footer` controls
+/// whether the v3 whole-file CRC is checked (physical reads do; chunk
+/// diagnostics do not).
+fn parse_compressed(data: &[u8], verify_footer: bool) -> Result<CompressedTable, ColumnarError> {
+    if data.len() >= 5 && &data[..4] == MAGIC && data[4] == VERSION_V3 {
+        if verify_footer {
+            check_footer(data)?;
+        }
+        parse_compressed_v3(data)
+    } else {
+        let table = Arc::new(deserialize_table(data)?);
+        Ok(CompressedTable::from_plain(table, data.len()))
+    }
+}
+
 /// Deserializes a table from the columnar file format.
 ///
-/// Accepts both the current v2 format (checksum-verified; a mismatch yields
-/// [`ColumnarError::ChecksumMismatch`]) and legacy v1 files without a
-/// footer. Designed to be total over arbitrary input bytes: corrupt data of
-/// any shape produces an `Err`, never a panic or unbounded allocation.
+/// Accepts the current v3 chunked format, v2, and legacy v1 files without
+/// a footer. v2/v3 are checksum-verified — the whole-file footer is
+/// checked *first*, so any single corrupt byte yields
+/// [`ColumnarError::ChecksumMismatch`] regardless of where it landed.
+/// Designed to be total over arbitrary input bytes: corrupt data of any
+/// shape produces an `Err`, never a panic or unbounded allocation.
 pub fn deserialize_table(data: &[u8]) -> Result<Table, ColumnarError> {
     if data.len() < 5 || &data[..4] != MAGIC {
         return Err(ColumnarError::CorruptFile("bad magic".into()));
     }
     let body_end = match data[4] {
         VERSION_V1 => data.len(),
-        VERSION => {
-            if data.len() < 5 + FOOTER_LEN {
-                return Err(ColumnarError::CorruptFile(
-                    "truncated checksum footer".into(),
-                ));
-            }
-            let body_end = data.len() - FOOTER_LEN;
-            let expected = u32::from_le_bytes(data[body_end..].try_into().expect("4-byte footer"));
-            let actual = crc32(&data[..body_end]);
-            if actual != expected {
-                metric_counter!("columnar.io.checksum_failures").inc();
-                return Err(ColumnarError::ChecksumMismatch { expected, actual });
-            }
-            metric_counter!("columnar.io.checksum_verifies").inc();
-            body_end
+        VERSION => check_footer(data)?,
+        VERSION_V3 => {
+            check_footer(data)?;
+            let ct = parse_compressed_v3(data)?;
+            let table = ct.materialize()?;
+            drop(ct);
+            return Ok(Arc::try_unwrap(table).unwrap_or_else(|t| (*t).clone()));
         }
         other => {
             return Err(ColumnarError::CorruptFile(format!(
@@ -301,6 +565,11 @@ pub struct VerifyReport {
     /// Tables whose file failed to read or decode, with the error text.
     /// These are the quarantine candidates for repair.
     pub corrupt: Vec<(String, String)>,
+    /// Chunk-level localization for corrupt v3 tables: `(name, corrupt
+    /// chunk labels, total chunks)`. A table appears here (in addition to
+    /// `corrupt`) when its header still parses, so the damage can be
+    /// pinned to specific chunks instead of quarantining blind.
+    pub corrupt_chunks: Vec<(String, Vec<String>, usize)>,
     /// Tables referenced by the manifest whose file is missing entirely.
     pub missing: Vec<String>,
     /// `t*.col` files present on disk but referenced by no manifest entry
@@ -313,6 +582,41 @@ impl VerifyReport {
     pub fn is_clean(&self) -> bool {
         self.corrupt.is_empty() && self.missing.is_empty() && self.orphans.is_empty()
     }
+}
+
+/// Chunk-granular integrity report for one v3 table
+/// ([`TableStore::verify_chunks`]).
+#[derive(Debug, Clone, Default)]
+pub struct ChunkVerifyReport {
+    /// Labels (`col <name> chunk <k>`) of chunks whose CRC or decode
+    /// failed.
+    pub corrupt: Vec<String>,
+    /// Total chunks checked (columns × row ranges).
+    pub total: usize,
+}
+
+/// Pins corruption inside a v3 image to specific chunks: parses the
+/// header (skipping the whole-file footer — it is known bad or the caller
+/// would not be here) and CRC-checks every chunk body. Returns `None`
+/// when the image is not v3 or its header itself is damaged (nothing to
+/// localize — the zone maps can't be trusted).
+fn locate_corrupt_chunks(data: &[u8]) -> Option<ChunkVerifyReport> {
+    if data.len() < 5 || &data[..4] != MAGIC || data[4] != VERSION_V3 {
+        return None;
+    }
+    let ct = parse_compressed_v3(data).ok()?;
+    let mut report = ChunkVerifyReport::default();
+    for (c, col) in ct.cols.iter().enumerate() {
+        for k in 0..col.chunks.len() {
+            report.total += 1;
+            if ct.decode_chunk(c, k).is_err() {
+                report
+                    .corrupt
+                    .push(format!("col {} chunk {k}", ct.schema.name(c)));
+            }
+        }
+    }
+    Some(report)
 }
 
 /// Extracts the sequence number from a store-managed file name (`t%06d.col`).
@@ -336,20 +640,24 @@ struct ManifestEntry {
     bytes: Option<u64>,
 }
 
-/// A decoded table body held by the demand cache.
+/// A table body held by the demand cache — in **compressed** form since
+/// format v3, so the byte budget admits more tables for the same memory
+/// (chunks decode on demand; one full materialization is memoized inside
+/// the [`CompressedTable`]).
 #[derive(Debug)]
 struct CachedBody {
-    table: Arc<Table>,
+    table: Arc<CompressedTable>,
     bytes: u64,
     last_used: u64,
 }
 
-/// Interior-mutable cache of decoded table bodies, keyed by logical name.
+/// Interior-mutable cache of table bodies, keyed by logical name.
 ///
 /// `load` fills it on first touch (which is also where checksum
-/// verification happens); an optional byte budget evicts
-/// least-recently-used bodies. Handed-out `Arc`s keep evicted tables alive
-/// for their users — eviction only drops the cache's reference.
+/// verification happens); an optional byte budget — counted over
+/// *compressed* bytes — evicts least-recently-used bodies. Handed-out
+/// `Arc`s keep evicted tables alive for their users — eviction only drops
+/// the cache's reference.
 #[derive(Debug, Default)]
 struct BodyCache {
     map: FxHashMap<String, CachedBody>,
@@ -359,7 +667,7 @@ struct BodyCache {
 }
 
 impl BodyCache {
-    fn touch(&mut self, name: &str) -> Option<Arc<Table>> {
+    fn touch(&mut self, name: &str) -> Option<Arc<CompressedTable>> {
         self.clock += 1;
         let clock = self.clock;
         self.map.get_mut(name).map(|e| {
@@ -368,8 +676,8 @@ impl BodyCache {
         })
     }
 
-    fn insert(&mut self, name: String, table: Arc<Table>) {
-        let bytes = table.byte_size() as u64;
+    fn insert(&mut self, name: String, table: Arc<CompressedTable>) {
+        let bytes = table.compressed_bytes() as u64;
         self.clock += 1;
         let entry = CachedBody {
             table,
@@ -440,9 +748,15 @@ pub struct TableStore {
     orphans: Vec<String>,
     /// Optional deterministic fault injection; `None` costs one branch.
     faults: Option<Arc<FaultInjector>>,
-    /// Demand cache of decoded bodies (interior mutability: `load` takes
-    /// `&self` so engines can share the store behind an `Arc`).
+    /// Demand cache of compressed bodies (interior mutability: `load`
+    /// takes `&self` so engines can share the store behind an `Arc`).
     cache: Mutex<BodyCache>,
+    /// Chunking/Bloom knobs for subsequent saves (`--chunk-rows`,
+    /// `--no-bloom`).
+    write_opts: WriteOptions,
+    /// Write the legacy v2 format instead of v3 — a hook for
+    /// backward-compat fixtures and the v2-vs-v3 benchmark comparison.
+    legacy_v2_writes: bool,
 }
 
 impl TableStore {
@@ -462,6 +776,8 @@ impl TableStore {
             orphans: Vec::new(),
             faults: None,
             cache: Mutex::new(BodyCache::default()),
+            write_opts: WriteOptions::default(),
+            legacy_v2_writes: false,
         };
         let manifest_path = store.manifest_path();
         if manifest_path.exists() {
@@ -641,6 +957,22 @@ impl TableStore {
         self.faults.as_ref()
     }
 
+    /// Sets the chunking/Bloom options for subsequent saves.
+    pub fn set_write_options(&mut self, opts: WriteOptions) {
+        self.write_opts = opts;
+    }
+
+    /// The chunking/Bloom options subsequent saves use.
+    pub fn write_options(&self) -> WriteOptions {
+        self.write_opts
+    }
+
+    /// Makes subsequent saves emit the legacy v2 format — for
+    /// backward-compat fixtures and size comparisons, not production use.
+    pub fn set_legacy_v2_writes(&mut self, on: bool) {
+        self.legacy_v2_writes = on;
+    }
+
     /// Orphaned `t*.col` files discovered when the store was opened: present
     /// on disk but referenced by no manifest entry. A non-empty list
     /// indicates an interrupted save (the table file landed but its manifest
@@ -668,7 +1000,11 @@ impl TableStore {
                 f
             }
         };
-        let mut data = serialize_table(table);
+        let mut data = if self.legacy_v2_writes {
+            serialize_table_v2(table)
+        } else {
+            serialize_table_opts(table, &self.write_opts)
+        };
         if let Some(faults) = &self.faults {
             if let Err(e) = faults.before_write(name) {
                 metric_counter!("columnar.io.fault_write_errors").inc();
@@ -695,13 +1031,26 @@ impl TableStore {
 
     /// Loads a table by logical name, sharing the decoded body.
     ///
-    /// First touch reads, checksum-verifies and decodes the file; repeat
-    /// loads return the cached `Arc` without I/O. An optional byte budget
-    /// ([`TableStore::set_cache_budget`]) bounds resident bodies with LRU
-    /// eviction. `columnar.io.{tables_read,bytes_read}` therefore count
-    /// *demanded* tables, not store size — the quantity the ExtVP design
-    /// optimizes.
+    /// Built on [`TableStore::load_compressed`]: the cache holds the
+    /// compressed form, and this fully materializes it (memoized inside
+    /// the [`CompressedTable`], so repeat loads share one `Arc<Table>`
+    /// without re-decoding).
     pub fn load(&self, name: &str) -> Result<Arc<Table>, ColumnarError> {
+        self.load_compressed(name)?.materialize()
+    }
+
+    /// Loads a table in compressed form, sharing the body through the
+    /// cache without decoding any chunk.
+    ///
+    /// First touch reads the file, checksum-verifies the whole image (v3
+    /// footer / header CRCs; v2 footer) and parses the chunk directory;
+    /// repeat loads return the cached `Arc` without I/O. An optional byte
+    /// budget ([`TableStore::set_cache_budget`]) bounds resident bodies —
+    /// counted in *compressed* bytes, so the same budget keeps more tables
+    /// warm than it did for decoded bodies — with LRU eviction.
+    /// `columnar.io.{tables_read,bytes_read}` therefore count *demanded*
+    /// tables, not store size — the quantity the ExtVP design optimizes.
+    pub fn load_compressed(&self, name: &str) -> Result<Arc<CompressedTable>, ColumnarError> {
         let entry = self
             .manifest
             .get(name)
@@ -725,7 +1074,9 @@ impl TableStore {
         }
         metric_counter!("columnar.io.tables_read").inc();
         metric_counter!("columnar.io.bytes_read").add(data.len() as u64);
-        let table = Arc::new(deserialize_table(&data)?);
+        let table = Arc::new(parse_compressed(&data, true)?);
+        metric_counter!("columnar.io.bytes_compressed").add(table.compressed_bytes() as u64);
+        metric_counter!("columnar.io.bytes_logical").add(table.logical_bytes() as u64);
         self.cache_lock().insert(name.to_string(), table.clone());
         Ok(table)
     }
@@ -747,16 +1098,17 @@ impl TableStore {
         verify_raw_checksum(&data)
     }
 
-    /// Sets (or with `None`, removes) the byte budget for cached decoded
-    /// bodies. Shrinking below current residency evicts LRU bodies
-    /// immediately; handed-out `Arc`s stay valid.
+    /// Sets (or with `None`, removes) the byte budget for cached table
+    /// bodies, counted in *compressed* (on-disk) bytes. Shrinking below
+    /// current residency evicts LRU bodies immediately; handed-out `Arc`s
+    /// stay valid.
     pub fn set_cache_budget(&self, bytes: Option<u64>) {
         let mut cache = self.cache_lock();
         cache.budget = bytes;
         cache.evict_to_budget();
     }
 
-    /// Total decoded bytes currently resident in the body cache.
+    /// Total compressed bytes currently resident in the body cache.
     pub fn cached_bytes(&self) -> u64 {
         self.cache_lock().total_bytes
     }
@@ -772,8 +1124,13 @@ impl TableStore {
     }
 
     /// Verifies every table in the manifest by reading and fully decoding
-    /// it (which checks the v2 CRC footer), reporting corrupt entries,
-    /// missing files and orphans.
+    /// it (which checks the whole-file CRC footer on v2/v3 and every
+    /// per-chunk CRC on v3), reporting corrupt entries, missing files and
+    /// orphans. For corrupt v3 files whose chunk directory is still
+    /// parseable, the damage is additionally localized to individual
+    /// chunks in [`VerifyReport::corrupt_chunks`], so a repair pass can
+    /// report (and a rebuild can target) the affected row ranges instead
+    /// of writing off the whole table.
     ///
     /// Reads the files directly, bypassing any attached fault injector:
     /// verification must observe the actual on-disk state so that a repair
@@ -793,11 +1150,78 @@ impl TableStore {
                 Err(e) => report.corrupt.push((name.clone(), e.to_string())),
                 Ok(data) => match deserialize_table(&data) {
                     Ok(_) => report.ok.push(name.clone()),
-                    Err(e) => report.corrupt.push((name.clone(), e.to_string())),
+                    Err(e) => {
+                        report.corrupt.push((name.clone(), e.to_string()));
+                        if let Some(chunks) = locate_corrupt_chunks(&data) {
+                            report.corrupt_chunks.push((
+                                name.clone(),
+                                chunks.corrupt,
+                                chunks.total,
+                            ));
+                        }
+                    }
                 },
             }
         }
         report
+    }
+
+    /// Chunk-granular integrity check of one table, read directly from
+    /// disk (bypassing cache and fault injector). For v3 files whose
+    /// header parses, returns which chunks fail their CRC — an intact
+    /// chunk directory with a damaged body localizes corruption to a few
+    /// row ranges. For v2/v1 files (no per-chunk CRCs) the whole file is
+    /// one "chunk": the report has `total == 1` and lists it as corrupt
+    /// iff the full decode fails.
+    pub fn verify_chunks(&self, name: &str) -> Result<ChunkVerifyReport, ColumnarError> {
+        let entry = self
+            .manifest
+            .get(name)
+            .ok_or_else(|| ColumnarError::NoSuchTable(name.to_string()))?;
+        let data = fs::read(self.root.join(&entry.file))?;
+        if let Some(report) = locate_corrupt_chunks(&data) {
+            return Ok(report);
+        }
+        // Legacy format (or a v3 header too damaged to parse): all-or-nothing.
+        Ok(match deserialize_table(&data) {
+            Ok(_) => ChunkVerifyReport {
+                corrupt: Vec::new(),
+                total: 1,
+            },
+            Err(e) => ChunkVerifyReport {
+                corrupt: vec![format!("whole file: {e}")],
+                total: 1,
+            },
+        })
+    }
+
+    /// Rewrites every v1/v2 file in the store in the current (v3) format,
+    /// returning how many were upgraded. Called from checkpoints so stores
+    /// created before the chunked format converge to it without an
+    /// explicit migration step. Files already in v3 are left untouched
+    /// (their bytes are not rewritten, preserving mtimes and avoiding
+    /// needless churn).
+    pub fn upgrade_legacy(&mut self) -> Result<usize, ColumnarError> {
+        if self.legacy_v2_writes {
+            return Ok(0);
+        }
+        let mut legacy: Vec<String> = Vec::new();
+        for (name, entry) in &self.manifest {
+            let path = self.root.join(&entry.file);
+            let mut head = [0u8; 5];
+            let ok = fs::File::open(&path)
+                .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut head))
+                .is_ok();
+            if ok && &head[..4] == MAGIC && head[4] != VERSION_V3 {
+                legacy.push(name.clone());
+            }
+        }
+        legacy.sort();
+        for name in &legacy {
+            let table = self.load(name)?;
+            self.save(name, &table)?;
+        }
+        Ok(legacy.len())
     }
 
     /// True if a table with this name exists.
@@ -888,14 +1312,15 @@ impl TableStore {
 }
 
 /// Checks a raw serialized table image's integrity without decoding it:
-/// magic, version, and (for v2) the CRC-32 footer. v1 images carry no
-/// footer, so the only verification possible is a full decode.
+/// magic, version, and (for v2/v3) the whole-file CRC-32 footer. v1
+/// images carry no footer, so the only verification possible is a full
+/// decode.
 fn verify_raw_checksum(data: &[u8]) -> Result<(), ColumnarError> {
     if data.len() < 5 || &data[..4] != MAGIC {
         return Err(ColumnarError::CorruptFile("bad magic".into()));
     }
     match data[4] {
-        VERSION => {
+        VERSION | VERSION_V3 => {
             if data.len() < 5 + FOOTER_LEN {
                 return Err(ColumnarError::CorruptFile(
                     "truncated checksum footer".into(),
@@ -930,6 +1355,17 @@ mod tests {
         )
     }
 
+    fn lcg_column(n: usize, card: u32, mut state: u64) -> Vec<u32> {
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as u32) % card
+            })
+            .collect()
+    }
+
     #[test]
     fn serialize_roundtrip() {
         let t = sample();
@@ -940,10 +1376,12 @@ mod tests {
 
     #[test]
     fn rle_beats_plain_on_constant_columns() {
+        // v2-specific encoding property (v3 compresses both sides well, so
+        // compare on the legacy serializer where the gap is meaningful).
         let constant = Table::from_columns(Schema::new(["c"]), vec![vec![42; 10_000]]);
         let varied = Table::from_columns(Schema::new(["c"]), vec![(0..10_000u32).collect()]);
-        let small = serialize_table(&constant).len();
-        let large = serialize_table(&varied).len();
+        let small = serialize_table_v2(&constant).len();
+        let large = serialize_table_v2(&varied).len();
         assert!(small * 100 < large, "RLE column {small}B vs plain {large}B");
     }
 
@@ -984,7 +1422,7 @@ mod tests {
     fn v1_files_without_footer_still_load() {
         // Hand-build a v1 image: the v2 body minus footer, version byte 1.
         let t = sample();
-        let v2 = serialize_table(&t);
+        let v2 = serialize_table_v2(&t);
         let mut v1 = v2[..v2.len() - FOOTER_LEN].to_vec();
         v1[4] = VERSION_V1;
         assert_eq!(deserialize_table(&v1).unwrap(), t);
@@ -1204,13 +1642,15 @@ mod tests {
         for i in 0..4 {
             store.save(&format!("t{i}"), &body).unwrap();
         }
-        store.set_cache_budget(Some(2 * body.byte_size() as u64));
+        // The cache accounts *compressed* bytes; budget two files' worth.
+        let unit = store.file_size("t0").unwrap();
+        store.set_cache_budget(Some(2 * unit));
         let keep = store.load("t0").unwrap();
         store.load("t1").unwrap();
         assert_eq!(store.cached_tables(), 2);
         store.load("t2").unwrap(); // evicts t0 (LRU)
         assert_eq!(store.cached_tables(), 2);
-        assert!(store.cached_bytes() <= 2 * body.byte_size() as u64);
+        assert!(store.cached_bytes() <= 2 * unit);
         // The evicted body's Arc handle stays usable.
         assert_eq!(keep.num_rows(), 1000);
         // Touch order matters: reload t1 (hit), then t3 must evict t2.
@@ -1222,6 +1662,68 @@ mod tests {
         store.load("t0").unwrap();
         store.load("t2").unwrap();
         assert_eq!(store.cached_tables(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v2_write_mode_roundtrips_and_upgrades() {
+        let dir = std::env::temp_dir().join(format!("s2ct-v2mode-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let t = sample();
+        {
+            let mut store = TableStore::open(&dir).unwrap();
+            store.set_legacy_v2_writes(true);
+            store.save("t", &t).unwrap();
+        }
+        let mut store = TableStore::open(&dir).unwrap();
+        let file = store.manifest.get("t").unwrap().file.clone();
+        let raw = fs::read(dir.join(&file)).unwrap();
+        assert_eq!(raw[4], VERSION, "legacy mode must write v2");
+        assert_eq!(*store.load("t").unwrap(), t);
+        // Upgrade rewrites it as v3 with identical contents.
+        assert_eq!(store.upgrade_legacy().unwrap(), 1);
+        let file = store.manifest.get("t").unwrap().file.clone();
+        let raw = fs::read(dir.join(&file)).unwrap();
+        assert_eq!(raw[4], VERSION_V3, "upgrade must write v3");
+        store.clear_cache();
+        assert_eq!(*store.load("t").unwrap(), t);
+        // Second pass is a no-op.
+        assert_eq!(store.upgrade_legacy().unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_chunks_localizes_corruption() {
+        let dir = std::env::temp_dir().join(format!("s2ct-chunkverify-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::open(&dir).unwrap();
+        store.set_write_options(WriteOptions {
+            chunk_rows: 64,
+            bloom: false,
+        });
+        let t = Table::from_columns(Schema::new(["a"]), vec![lcg_column(1000, 1 << 20, 7)]);
+        store.save("t", &t).unwrap();
+        let report = store.verify_chunks("t").unwrap();
+        assert_eq!(report.total, 1000usize.div_ceil(64));
+        assert!(report.corrupt.is_empty());
+        // Flip one byte in the last chunk's body: only that chunk reports.
+        let file = store.manifest.get("t").unwrap().file.clone();
+        let path = dir.join(&file);
+        let mut raw = fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - FOOTER_LEN - 2] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+        let report = store.verify_chunks("t").unwrap();
+        assert_eq!(report.corrupt.len(), 1, "damage must localize: {report:?}");
+        assert!(report.corrupt[0].contains("chunk 15"), "{report:?}");
+        // verify_all reports the table corrupt AND drills into chunks.
+        let all = store.verify_all();
+        assert_eq!(all.corrupt.len(), 1);
+        assert_eq!(all.corrupt_chunks.len(), 1);
+        let (name, chunks, total) = &all.corrupt_chunks[0];
+        assert_eq!(name, "t");
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(*total, 1000usize.div_ceil(64));
         fs::remove_dir_all(&dir).unwrap();
     }
 

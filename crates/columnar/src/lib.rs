@@ -12,6 +12,7 @@
 //! by OPTIONAL's left outer join).
 
 pub mod bitmap;
+pub mod chunk;
 pub mod crc32;
 pub mod error;
 pub mod exec;
@@ -26,6 +27,7 @@ pub mod table;
 pub mod wal;
 
 pub use bitmap::Bitmap;
+pub use chunk::{CompressedTable, ScanStats, SidewaysFilter, WriteOptions};
 pub use error::ColumnarError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use io::{TableStore, VerifyReport};

@@ -93,6 +93,18 @@ pub fn and_eq_cols(bm: &mut Bitmap, a: &[u32], b: &[u32]) {
     }
 }
 
+/// Narrows `bm` to rows where `keep(col[i])` holds, visiting only the
+/// rows already set — the sink for sideways semi-join filters: by the
+/// time the Bloom probe runs, the cheap vectorized predicates have
+/// already cleared most bits, so the per-row hash only touches survivors.
+pub fn retain_rows<F: Fn(u32) -> bool>(bm: &mut Bitmap, col: &[u32], keep: F) {
+    assert_eq!(bm.len(), col.len(), "bitmap/column length mismatch");
+    let cleared: Vec<usize> = bm.iter_ones().filter(|&i| !keep(col[i])).collect();
+    for i in cleared {
+        bm.clear(i);
+    }
+}
+
 /// Gathers `src[i]` for every set bit of `bm`, in row order — the
 /// late-materialization sink: columns are only touched here, once, after
 /// all selections have been folded into the bitmap.

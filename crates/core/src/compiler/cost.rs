@@ -266,6 +266,14 @@ impl JoinGraph {
         self.adj[i] & (1u64 << j) != 0
     }
 
+    /// Replaces node `i`'s cardinality estimate with better evidence than
+    /// the catalog heuristic — e.g. a zone-map scan estimate summing only
+    /// the chunks a bound constant can survive. Selectivity edges are
+    /// untouched: they are ratios and compose with any node estimate.
+    pub fn set_node_estimate(&mut self, i: usize, est_rows: f64) {
+        self.nodes[i].est_rows = est_rows.max(EST_FLOOR);
+    }
+
     /// Whether node `i` shares a variable with any node in `mask`.
     pub fn connected_to_set(&self, i: usize, mask: u64) -> bool {
         self.adj[i] & mask != 0

@@ -354,6 +354,69 @@ pub(crate) fn scan_pattern(
     Table::from_columns(schema, cols_out)
 }
 
+/// [`scan_pattern`] over a chunked compressed table, with zone-map pruning:
+/// chunks whose min/max range cannot contain a bound constant (or overlap a
+/// sideways semi-join filter passed from the other side of an upcoming
+/// join) are skipped *before decode*; survivors decode straight into the
+/// same 64-row bitmap kernels, preserving late materialization.
+///
+/// `sideways` names a variable of this pattern plus the filter built from
+/// the already-evaluated join side; a variable the pattern doesn't bind is
+/// ignored (filter applicability is the caller's heuristic, correctness is
+/// local). Returns `None` for non-chunked (legacy v1/v2) bodies, where the
+/// caller should fall back to the materialized path.
+pub(crate) fn scan_pattern_pruned(
+    ct: &s2rdf_columnar::CompressedTable,
+    cols: &[(usize, &TermPattern)],
+    dict: &Dictionary,
+    sideways: Option<(&str, &s2rdf_columnar::SidewaysFilter)>,
+) -> Option<Result<Table, CoreError>> {
+    if !ct.is_chunked() {
+        return None;
+    }
+
+    // Resolve bound terms to dictionary ids (unknown term → empty scan).
+    let mut bounds: Vec<(usize, u32)> = Vec::new();
+    for &(col, pat) in cols {
+        if let Some(term) = pat.as_term() {
+            let Some(id) = dict.id(term) else {
+                return Some(Ok(Table::empty(scan_schema(cols))));
+            };
+            bounds.push((col, id.0));
+        }
+    }
+
+    // Variable projections; repeated variables become equality selections.
+    let mut proj: Vec<(usize, &str)> = Vec::new();
+    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
+    for &(col, pat) in cols {
+        if let Some(var) = pat.as_var() {
+            match proj.iter().find(|(_, v)| *v == var) {
+                Some(&(first_col, _)) => eq_pairs.push((first_col, col)),
+                None => proj.push((col, var)),
+            }
+        }
+    }
+    let sw =
+        sideways.and_then(|(var, f)| proj.iter().find(|&&(_, v)| v == var).map(|&(c, _)| (c, f)));
+
+    let proj_cols: Vec<usize> = proj.iter().map(|&(c, _)| c).collect();
+    let (cols_out, out_rows, _stats) =
+        match s2rdf_columnar::chunk::scan_chunks(ct, &bounds, &eq_pairs, &proj_cols, sw) {
+            Ok(r) => r,
+            Err(e) => return Some(Err(e.into())),
+        };
+
+    if proj.is_empty() {
+        return Some(Ok(Table::from_columns(
+            Schema::new([crate::exec::pattern::UNIT_COL]),
+            vec![vec![0; out_rows]],
+        )));
+    }
+    let schema = Schema::new(proj.iter().map(|(_, v)| v.to_string()));
+    Some(Ok(Table::from_columns(schema, cols_out)))
+}
+
 fn scan_schema(cols: &[(usize, &TermPattern)]) -> Schema {
     let mut names: Vec<String> = Vec::new();
     for &(_, pat) in cols {

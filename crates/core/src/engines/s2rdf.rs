@@ -2,7 +2,7 @@
 
 use rustc_hash::{FxHashMap, FxHashSet};
 use s2rdf_columnar::exec::{natural_join_adaptive, BuildSide, JoinDecision, JoinStrategy};
-use s2rdf_columnar::{ops, Table};
+use s2rdf_columnar::{ops, SidewaysFilter, Table};
 use s2rdf_model::{Dictionary, TermId};
 use s2rdf_sparql::{TermPattern, TriplePattern};
 
@@ -19,7 +19,8 @@ use crate::layout::{extvp_table_name, vp_table_name, TT_NAME};
 use crate::store::S2rdfStore;
 
 use super::{
-    empty_bgp_table, run_query, run_query_result, scan_pattern, QueryResult, SparqlEngine,
+    empty_bgp_table, run_query, run_query_result, scan_pattern, scan_pattern_pruned, QueryResult,
+    SparqlEngine,
 };
 
 /// The S2RDF query engine over a built store.
@@ -54,12 +55,41 @@ impl<'a> S2rdfEngine<'a> {
         &self,
         step: &TpPlan,
         ctx: &mut ExecContext<'_>,
+        sideways: Option<(&str, &SidewaysFilter)>,
     ) -> Result<(Table, Option<String>), CoreError> {
         let dict = self.store.dict();
         let started = std::time::Instant::now();
         let span = ctx.span_open("scan");
         let intersected = ctx.options.intersect_correlations && !step.extra_reducers.is_empty();
+        // Zone-map pruned fast path: for VP/ExtVP steps with a bound
+        // constant (or an applicable sideways semi-join filter) over a
+        // chunked on-disk body, scan the compressed form directly,
+        // skipping whole chunks before decode. Falls through to the
+        // materialized path in every other case.
+        let pruned = if intersected {
+            None
+        } else {
+            self.pruned_scan(step, sideways)?
+        };
         let (out, name, sf, rationale, source) = match step.source {
+            _ if pruned.is_some() => {
+                let out = pruned.expect("guard checked");
+                let (name, rationale) = match step.source {
+                    TableSource::Vp(p) => (
+                        vp_table_name(dict, p),
+                        "VP: zone-map pruned chunk scan".to_string(),
+                    ),
+                    TableSource::ExtVp(key) => (
+                        extvp_table_name(dict, &key),
+                        format!(
+                            "ExtVP (SF {:.3} ≤ threshold): zone-map pruned chunk scan",
+                            step.sf
+                        ),
+                    ),
+                    _ => unreachable!("pruned scans only serve VP/ExtVP sources"),
+                };
+                (out, name, step.sf, rationale, None)
+            }
             TableSource::TriplesTable => {
                 let cols = [(0, &step.tp.s), (1, &step.tp.p), (2, &step.tp.o)];
                 let out = scan_pattern(self.store.triples_table(), &cols, dict);
@@ -155,9 +185,46 @@ impl<'a> S2rdfEngine<'a> {
             sf,
             wall_micros: started.elapsed().as_micros() as u64,
             rationale,
-            est_rows: self.store.estimated_rows(&step.source),
+            est_rows: self
+                .store
+                .zone_estimated_rows(&step.source, &step.tp)
+                .unwrap_or_else(|| self.store.estimated_rows(&step.source)),
         });
         Ok((out, source))
+    }
+
+    /// The zone-map-pruned scan for one step, or `None` to use the
+    /// materialized path. Engaged only when pruning can pay — the pattern
+    /// binds a constant, or a sideways filter targets one of its
+    /// variables — over a chunked on-disk VP/ExtVP body, with no fault
+    /// injector attached (the injector's deterministic op counting is
+    /// calibrated to the materialized path). Decode errors also fall back:
+    /// the materialized path re-reads and runs the full retry/degradation
+    /// machinery.
+    fn pruned_scan(
+        &self,
+        step: &TpPlan,
+        sideways: Option<(&str, &SidewaysFilter)>,
+    ) -> Result<Option<Table>, CoreError> {
+        let cols = [(0, &step.tp.s), (1, &step.tp.o)];
+        let has_bound = cols.iter().any(|(_, p)| !p.is_var());
+        let sw_applies =
+            sideways.is_some_and(|(var, _)| cols.iter().any(|&(_, p)| p.as_var() == Some(var)));
+        if (!has_bound && !sw_applies) || !self.store.pruned_scans_enabled() {
+            return Ok(None);
+        }
+        let ct = match step.source {
+            TableSource::Vp(p) => self.store.try_vp_compressed(p)?,
+            TableSource::ExtVp(key) => self.store.try_extvp_compressed(&key)?,
+            TableSource::TriplesTable | TableSource::Empty => None,
+        };
+        let Some(ct) = ct else {
+            return Ok(None);
+        };
+        match scan_pattern_pruned(&ct, &cols, self.store.dict(), sideways) {
+            Some(Ok(out)) => Ok(Some(out)),
+            Some(Err(_)) | None => Ok(None),
+        }
     }
 
     /// The stored-table name [`S2rdfEngine::exec_step`] would expose for
@@ -294,11 +361,24 @@ impl BgpEvaluator for S2rdfEngine<'_> {
             optimize_join_order: ctx.options.optimize_join_order,
             dp_max_patterns: ctx.options.dp_max_patterns,
         };
-        let plan = compile_bgp(bgp, self.store.catalog(), self.store.dict(), options);
+        let mut plan = compile_bgp(bgp, self.store.catalog(), self.store.dict(), options);
         ctx.explain.join_order_method = plan.order_method.label().to_string();
         if plan.statically_empty {
             ctx.explain.statically_empty = true;
             return Ok(empty_bgp_table(bgp));
+        }
+        // Refine per-node estimates with zone-map evidence: bound-constant
+        // scans over chunked on-disk bodies report the surviving-chunk row
+        // sum, usually far below the catalog's whole-table count. The
+        // compiler's initial order stands (estimates refine, they don't
+        // re-litigate the plan); the tightened graph feeds the AQE replans
+        // below, which start from observed cardinalities anyway.
+        if plan.graph.len() == plan.steps.len() {
+            for (i, step) in plan.steps.iter().enumerate() {
+                if let Some(rows) = self.store.zone_estimated_rows(&step.source, &step.tp) {
+                    plan.graph.set_node_estimate(i, rows as f64);
+                }
+            }
         }
         // Build-side hash indexes keyed by (stored table name, key column
         // positions). A star query scans the same VP/ExtVP table for
@@ -334,7 +414,25 @@ impl BgpEvaluator for S2rdfEngine<'_> {
             let step_no = sequence[pos];
             let step = &plan.steps[step_no];
             ctx.check_deadline()?;
-            let (scanned, source) = self.exec_step(step, ctx)?;
+            // Sideways semi-join filter: when the accumulator is small,
+            // hand its join-key column (the first variable shared with the
+            // pattern) to the scan — chunks outside the accumulator's key
+            // range are pruned before decode, and surviving rows are
+            // Bloom-tested before they reach the join. Purely a reduction:
+            // false positives are dropped by the join as always.
+            let sideways_built: Option<(&str, SidewaysFilter)> = result.as_ref().and_then(|acc| {
+                let vars = step.tp.vars();
+                let (col, var) = acc
+                    .schema()
+                    .names()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, n)| vars.contains(&n.as_ref()))
+                    .map(|(i, n)| (i, n.as_ref()))?;
+                SidewaysFilter::build(acc.column(col)).map(|f| (var, f))
+            });
+            let (scanned, source) =
+                self.exec_step(step, ctx, sideways_built.as_ref().map(|(v, f)| (*v, f)))?;
             result = Some(match result {
                 None => scanned,
                 Some(acc) => {

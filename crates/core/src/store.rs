@@ -11,7 +11,8 @@ use parking_lot::RwLock;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use s2rdf_columnar::{
-    metric_counter, Bitmap, ColumnarError, FaultInjector, Schema, Table, TableStore, Wal, WalStatus,
+    metric_counter, Bitmap, ColumnarError, CompressedTable, FaultInjector, Schema, Table,
+    TableStore, Wal, WalStatus,
 };
 use s2rdf_model::{DeltaBatch, DeltaRecord, Dictionary, Graph, Term, TermId, Triple};
 
@@ -97,6 +98,12 @@ pub struct S2rdfStore {
     /// Durable-update bookkeeping: WAL handle, dirty sets, overlays (see
     /// the update subsystem below).
     update: UpdateState,
+    /// Chunked-format write options applied to every table flush
+    /// ([`S2rdfStore::save`], checkpoints).
+    write_opts: s2rdf_columnar::WriteOptions,
+    /// Write tables in the legacy v2 format (fixture generation and
+    /// format-compatibility testing only).
+    legacy_v2_writes: bool,
 }
 
 /// Mutable bookkeeping of the update subsystem.
@@ -155,6 +162,9 @@ pub struct CheckpointReport {
     pub tables_removed: usize,
     /// Orphaned table files from interrupted earlier flushes deleted.
     pub orphans_removed: usize,
+    /// Legacy-format (v1/v2) table files rewritten in the current chunked
+    /// v3 format.
+    pub tables_upgraded: usize,
     /// New dictionary terms persisted.
     pub dict_terms_appended: usize,
     /// WAL records dropped by the final truncation.
@@ -199,6 +209,28 @@ impl S2rdfStore {
             swept: AtomicBool::new(true), // nothing on disk to sweep
             faults: None,
             update: UpdateState::default(),
+            write_opts: s2rdf_columnar::WriteOptions::default(),
+            legacy_v2_writes: false,
+        }
+    }
+
+    /// Sets the chunked-format write options (chunk rows, Bloom filters)
+    /// used by every subsequent table flush — [`S2rdfStore::save`],
+    /// update checkpoints, and legacy-format upgrades.
+    pub fn set_write_options(&mut self, opts: s2rdf_columnar::WriteOptions) {
+        self.write_opts = opts;
+        if let Some(disk) = &mut self.disk {
+            disk.set_write_options(opts);
+        }
+    }
+
+    /// Makes every subsequent table flush use the legacy v2 (whole-column)
+    /// format instead of v3 — for generating compatibility fixtures and
+    /// testing the upgrade path; not meant for production stores.
+    pub fn set_legacy_v2_writes(&mut self, on: bool) {
+        self.legacy_v2_writes = on;
+        if let Some(disk) = &mut self.disk {
+            disk.set_legacy_v2_writes(on);
         }
     }
 
@@ -264,6 +296,105 @@ impl S2rdfStore {
             return Ok(None);
         }
         Ok(Some(disk.load(&name)?))
+    }
+
+    /// A VP table body in compressed chunked form, for zone-map-pruned
+    /// scans. `Ok(None)` when the body lives in memory (built stores,
+    /// un-checkpointed update overlays) or the on-disk file is a legacy
+    /// non-chunked format — callers fall back to the materialized path,
+    /// which this never replaces, only bypasses.
+    pub fn try_vp_compressed(&self, p: TermId) -> Result<Option<Arc<CompressedTable>>, CoreError> {
+        if self.vp.contains_key(&p) {
+            return Ok(None);
+        }
+        let Some(disk) = &self.disk else {
+            return Ok(None);
+        };
+        let name = vp_table_name(&self.dict, p);
+        if !disk.contains(&name) {
+            return Ok(None);
+        }
+        let ct = disk.load_compressed(&name)?;
+        Ok(ct.is_chunked().then_some(ct))
+    }
+
+    /// An ExtVP partition body in compressed chunked form (see
+    /// [`S2rdfStore::try_vp_compressed`]). Quarantine-aware and
+    /// overlay-aware: corrupt bodies quarantine and return `Ok(None)`
+    /// exactly like the materialized demand-load path, so the engine's
+    /// VP-degradation logic stays the single fallback.
+    pub fn try_extvp_compressed(
+        &self,
+        key: &ExtVpKey,
+    ) -> Result<Option<Arc<CompressedTable>>, CoreError> {
+        if !matches!(self.extvp, ExtVpStorage::Disk)
+            || self.quarantine.read().contains(key)
+            || self.update.extvp_overlay.contains_key(key)
+        {
+            return Ok(None);
+        }
+        let Some(disk) = &self.disk else {
+            return Ok(None);
+        };
+        let name = extvp_table_name(&self.dict, key);
+        if !disk.contains(&name) {
+            return Ok(None);
+        }
+        match disk.load_compressed(&name) {
+            Ok(ct) => Ok(ct.is_chunked().then_some(ct)),
+            Err(ColumnarError::ChecksumMismatch { .. } | ColumnarError::CorruptFile(_)) => {
+                self.quarantine.write().insert(*key);
+                Ok(None)
+            }
+            Err(e) => Err(CoreError::Columnar(e)),
+        }
+    }
+
+    /// Whether the engine may take the zone-map-pruned scan path. Disabled
+    /// while a fault injector is attached anywhere on the read path: the
+    /// injector's deterministic op counter is the contract of the
+    /// kill-and-recover harnesses, and the pruned path would consume ops
+    /// the materialized path then never sees.
+    pub fn pruned_scans_enabled(&self) -> bool {
+        self.faults.is_none()
+            && self
+                .disk
+                .as_ref()
+                .is_none_or(|d| d.fault_injector().is_none())
+    }
+
+    /// Zone-map-tightened cardinality estimate for one compiled scan:
+    /// with a chunked on-disk body and at least one bound constant, the
+    /// sum of the chunks whose `[min, max]` range can contain the constant
+    /// (Bloom-consulted, distinct-flagged chunks counting one row)
+    /// replaces the whole-table catalog count. `None` when no zone
+    /// information applies — the caller keeps the catalog estimate.
+    pub fn zone_estimated_rows(
+        &self,
+        source: &crate::compiler::TableSource,
+        tp: &s2rdf_sparql::TriplePattern,
+    ) -> Option<usize> {
+        use crate::compiler::TableSource;
+        if !self.pruned_scans_enabled() {
+            return None;
+        }
+        let ct = match source {
+            TableSource::Vp(p) => self.try_vp_compressed(*p).ok().flatten()?,
+            TableSource::ExtVp(key) => self.try_extvp_compressed(key).ok().flatten()?,
+            TableSource::TriplesTable | TableSource::Empty => return None,
+        };
+        // VP/ExtVP physical layout: column 0 = subject, column 1 = object.
+        let mut est: Option<usize> = None;
+        for (col, pat) in [(0usize, &tp.s), (1, &tp.o)] {
+            if let Some(term) = pat.as_term() {
+                let rows = match self.dict.id(term) {
+                    Some(id) => ct.estimate_eq_rows(col, id.0),
+                    None => 0,
+                };
+                est = Some(est.map_or(rows, |e| e.min(rows)));
+            }
+        }
+        est
     }
 
     /// Attaches (or detaches) a deterministic fault injector on the ExtVP
@@ -528,6 +659,8 @@ impl S2rdfStore {
     pub fn save(&self, dir: &Path) -> Result<(), CoreError> {
         std::fs::create_dir_all(dir).map_err(|e| CoreError::Catalog(e.to_string()))?;
         let mut tables = TableStore::open(dir.join("tables"))?;
+        tables.set_write_options(self.write_opts);
+        tables.set_legacy_v2_writes(self.legacy_v2_writes);
         tables.save(TT_NAME, &self.tt)?;
         // Catalog-driven so demand-driven stores (empty in-memory VP map)
         // round-trip too: each body is pulled — possibly from disk — and
@@ -766,6 +899,8 @@ impl S2rdfStore {
                 dict_persisted,
                 ..UpdateState::default()
             },
+            write_opts: s2rdf_columnar::WriteOptions::default(),
+            legacy_v2_writes: false,
         };
         // Crash recovery: replay whatever the WAL still holds through the
         // same apply path live updates use. Replay is conservative (every
@@ -861,6 +996,11 @@ impl S2rdfStore {
         let scan = tables.verify_all();
         let mut report = RepairReport {
             scanned: scan.ok.len() + scan.corrupt.len() + scan.missing.len(),
+            // Chunk-granular localization for corrupt v3 bodies whose
+            // chunk directory survived: names the damaged row ranges so
+            // operators see "2 of 160 chunks" instead of writing off the
+            // whole table.
+            corrupt_chunks: scan.corrupt_chunks.clone(),
             ..RepairReport::default()
         };
 
@@ -1319,6 +1459,13 @@ impl S2rdfStore {
             }
             ExtVpStorage::Lazy | ExtVpStorage::None => {}
         }
+        // Format convergence: any table file still in a legacy (v1/v2)
+        // format — loaded from a store built before the chunked format —
+        // is rewritten as v3. Runs after the dirty flushes so freshly
+        // saved tables are probed (and skipped) as already-current.
+        if let Some(disk) = &mut self.disk {
+            report.tables_upgraded = disk.upgrade_legacy()?;
+        }
         if let Some(faults) = &self.faults {
             faults
                 .crash_point("catalog.json")
@@ -1374,6 +1521,10 @@ pub struct RepairReport {
     /// or reductions whose base tables are themselves damaged), with the
     /// reason.
     pub unrecoverable: Vec<(String, String)>,
+    /// Chunk-level localization of the damage, for corrupt v3 files whose
+    /// chunk directory still parsed: `(table, corrupt chunk labels, total
+    /// chunks)`. Legacy-format files cannot localize and never appear.
+    pub corrupt_chunks: Vec<(String, Vec<String>, usize)>,
     /// Orphaned table files deleted.
     pub removed_orphans: Vec<String>,
     /// True if a final verification pass found the store fully clean.
